@@ -1,0 +1,55 @@
+// Design-choice ablation (DESIGN.md decision: the paper's one-step TD
+// advantage, Eqn. 24, vs the GAE alternative exposed by
+// TrainConfig::gae_lambda). Compares training quality of h/i-MADRL under
+// both estimators at the same budget.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/evaluator.h"
+
+int main() {
+  using namespace agsc;
+  const bench::Settings settings = bench::Settings::FromEnv();
+  bench::PrintBanner("Ablation - advantage estimator (one-step vs GAE)",
+                     settings);
+
+  struct Estimator {
+    const char* name;
+    float gae_lambda;  // <0 = paper's one-step.
+  };
+  const std::vector<Estimator> estimators = {
+      {"one-step TD (paper, Eqn. 24)", -1.0f},
+      {"GAE lambda=0.5", 0.5f},
+      {"GAE lambda=0.95", 0.95f},
+  };
+
+  util::CsvWriter csv(bench::OutDir() + "/ablation_advantage.csv",
+                      {"campus", "estimator", "lambda"});
+  util::Table table({"advantage estimator", "lambda (Purdue)",
+                     "lambda (NCSU)"});
+  for (const Estimator& est : estimators) {
+    std::vector<double> lambdas;
+    for (const map::CampusId campus :
+         {map::CampusId::kPurdue, map::CampusId::kNcsu}) {
+      env::EnvConfig config = bench::BaseEnvConfig(settings);
+      core::TrainConfig train = bench::BaseTrainConfig(settings, 113);
+      train.gae_lambda = est.gae_lambda;
+      bench::TrainedHiMadrl run =
+          bench::TrainHiMadrlVariant(config, campus, settings, train);
+      const env::Metrics m =
+          core::Evaluate(*run.env, *run.trainer, settings.eval_episodes, 13)
+              .mean;
+      lambdas.push_back(m.efficiency);
+      std::cerr << "  [" << map::CampusName(campus) << "] " << est.name
+                << ": lambda=" << util::FormatDouble(m.efficiency, 3)
+                << "\n";
+      csv.WriteRow({map::CampusName(campus), est.name,
+                    util::FormatDouble(m.efficiency, 4)});
+      csv.Flush();
+    }
+    table.AddRow(est.name, lambdas);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Fig. 3 (Purdue) and Fig. 4 (NCSU): impact of the number of
+// UAVs/UGVs (deployed in equal numbers) on all five metrics for all six
+// methods. Paper sweep: {1, 2, 3, 4, 5, 7, 10}.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace agsc;
+  const bench::Settings settings = bench::Settings::FromEnv();
+  const std::vector<double> sweep =
+      settings.Sweep<double>({1, 2, 5}, {1, 2, 3, 4, 5, 7, 10});
+  bench::RunParameterSweep(
+      "Fig. 3 / Fig. 4 - impact of no. of UAVs/UGVs", "num_uvs", sweep,
+      [](env::EnvConfig& config, double value) {
+        config.num_uavs = static_cast<int>(value);
+        config.num_ugvs = static_cast<int>(value);
+      },
+      settings, "fig3_4_num_uvs");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Fig. 5 (Purdue) and Fig. 6 (NCSU): impact of the number of
+// AG-NOMA subchannels Z. Paper sweep: {1, 2, 3, 4, 5, 7, 10}.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace agsc;
+  const bench::Settings settings = bench::Settings::FromEnv();
+  const std::vector<double> sweep =
+      settings.Sweep<double>({1, 3, 10}, {1, 2, 3, 4, 5, 7, 10});
+  bench::RunParameterSweep(
+      "Fig. 5 / Fig. 6 - impact of no. of subchannels", "subchannels", sweep,
+      [](env::EnvConfig& config, double value) {
+        config.num_subchannels = static_cast<int>(value);
+      },
+      settings, "fig5_6_subchannels");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Fig. 7 (Purdue) and Fig. 8 (NCSU): impact of the UAV hovering
+// height H_u. Paper sweep: {60, 70, 90, 120, 150} m.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace agsc;
+  const bench::Settings settings = bench::Settings::FromEnv();
+  const std::vector<double> sweep =
+      settings.Sweep<double>({60, 90, 150}, {60, 70, 90, 120, 150});
+  bench::RunParameterSweep(
+      "Fig. 7 / Fig. 8 - impact of UAV hovering height", "height_m", sweep,
+      [](env::EnvConfig& config, double value) {
+        config.uav_height = value;
+      },
+      settings, "fig7_8_uav_height");
+  return 0;
+}

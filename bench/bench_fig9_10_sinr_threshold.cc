@@ -1,0 +1,18 @@
+// Reproduces Fig. 9 (Purdue) and Fig. 10 (NCSU): impact of the SINR/QoS
+// threshold. Paper sweep: {-7, -2.2, 0, 3, 7} dB.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace agsc;
+  const bench::Settings settings = bench::Settings::FromEnv();
+  const std::vector<double> sweep =
+      settings.Sweep<double>({-7.0, 0.0, 7.0}, {-7.0, -2.2, 0.0, 3.0, 7.0});
+  bench::RunParameterSweep(
+      "Fig. 9 / Fig. 10 - impact of SINR threshold", "sinr_db", sweep,
+      [](env::EnvConfig& config, double value) {
+        config.sinr_threshold_db = value;
+      },
+      settings, "fig9_10_sinr_threshold");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Microbenchmarks of the environment substrate: env step/reset, channel
+// evaluation, road-graph queries and the GA tour planner.
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/shortest_path.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace agsc;
+
+const map::Dataset& Dataset100() {
+  return bench::GetDataset(map::CampusId::kPurdue, 100);
+}
+
+void BM_EnvReset(benchmark::State& state) {
+  env::EnvConfig config;
+  env::ScEnv env(config, Dataset100(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.Reset().observations[0][0]);
+  }
+}
+BENCHMARK(BM_EnvReset)->Unit(benchmark::kMicrosecond);
+
+void BM_EnvStep(benchmark::State& state) {
+  env::EnvConfig config;
+  env::ScEnv env(config, Dataset100(), 1);
+  env.Reset();
+  util::Rng rng(2);
+  std::vector<env::UvAction> actions(env.num_agents());
+  for (auto _ : state) {
+    if (env.timeslot() >= config.num_timeslots) env.Reset();
+    for (auto& a : actions) {
+      a = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    }
+    benchmark::DoNotOptimize(env.Step(actions).rewards[0]);
+  }
+}
+BENCHMARK(BM_EnvStep)->Unit(benchmark::kMicrosecond);
+
+void BM_ChannelAirLinkGain(benchmark::State& state) {
+  env::EnvConfig config;
+  env::ChannelModel channel(config);
+  double x = 0.0;
+  for (auto _ : state) {
+    x += channel.AirLinkGain({x - std::floor(x), 200.0}, {500.0, 500.0},
+                             60.0);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_ChannelAirLinkGain);
+
+void BM_RoadProject(benchmark::State& state) {
+  const map::RoadGraph& roads = Dataset100().campus.roads;
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        roads.Project({rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)})
+            .edge);
+  }
+}
+BENCHMARK(BM_RoadProject)->Unit(benchmark::kMicrosecond);
+
+void BM_RoadMoveToward(benchmark::State& state) {
+  const map::RoadGraph& roads = Dataset100().campus.roads;
+  util::Rng rng(4);
+  map::RoadPosition pos = roads.Project({1000.0, 1000.0});
+  for (auto _ : state) {
+    pos = roads.MoveToward(
+        pos, {rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)}, 100.0);
+    benchmark::DoNotOptimize(pos.t);
+  }
+}
+BENCHMARK(BM_RoadMoveToward)->Unit(benchmark::kMicrosecond);
+
+void BM_GaTourPlanning(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  std::vector<int> points(count);
+  for (int i = 0; i < count; ++i) points[i] = i;
+  const auto& pois = Dataset100().pois;
+  auto dist = [&](int a, int b) {
+    return map::Distance(pois[a], pois[b]);
+  };
+  auto from_start = [&](int a) {
+    return map::Distance(Dataset100().campus.spawn, pois[a]);
+  };
+  algorithms::GaConfig config;
+  config.generations = 30;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algorithms::GaTour(points, dist, from_start, config, rng).front());
+  }
+}
+BENCHMARK(BM_GaTourPlanning)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

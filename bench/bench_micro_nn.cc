@@ -1,0 +1,104 @@
+// Microbenchmarks of the neural substrate: matmul throughput, MLP
+// forward/backward, Adam steps, GRU steps, and the i-EOI classifier
+// update. These bound the wall-clock cost of one training iteration.
+
+#include <benchmark/benchmark.h>
+
+#include "core/eoi.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace {
+
+using namespace agsc;
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  nn::Tensor a = nn::Tensor::Randn(n, n, rng);
+  nn::Tensor b = nn::Tensor::Randn(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MlpForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  nn::Mlp mlp({312, 128, 64, 2}, rng);
+  nn::Tensor x = nn::Tensor::Randn(batch, 312, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Forward(x).value()(0, 0));
+  }
+}
+BENCHMARK(BM_MlpForward)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  nn::Mlp mlp({312, 128, 64, 2}, rng);
+  nn::Tensor x = nn::Tensor::Randn(batch, 312, rng);
+  std::vector<nn::Variable> params = mlp.Parameters();
+  for (auto _ : state) {
+    for (nn::Variable& p : params) p.ZeroGrad();
+    nn::Variable loss = nn::Mean(nn::Square(mlp.Forward(x)));
+    loss.Backward();
+    benchmark::DoNotOptimize(params[0].grad()[0]);
+  }
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(64)->Arg(256);
+
+void BM_AdamStep(benchmark::State& state) {
+  util::Rng rng(4);
+  nn::Mlp mlp({312, 128, 64, 2}, rng);
+  nn::Adam adam(mlp.Parameters(), 3e-4f);
+  nn::Tensor x = nn::Tensor::Randn(64, 312, rng);
+  nn::Mean(nn::Square(mlp.Forward(x))).Backward();
+  for (auto _ : state) {
+    adam.Step();
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+void BM_GruStep(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  util::Rng rng(5);
+  nn::GruCell gru(128, 64, rng);
+  nn::Tensor x = nn::Tensor::Randn(batch, 128, rng);
+  nn::Tensor h = gru.InitialState(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gru.Step(nn::Variable::Constant(x), nn::Variable::Constant(h))
+            .value()(0, 0));
+  }
+}
+BENCHMARK(BM_GruStep)->Arg(1)->Arg(64);
+
+void BM_EoiClassifierUpdate(benchmark::State& state) {
+  util::Rng rng(6);
+  core::EoiConfig config;
+  config.hidden = {128, 64};
+  config.epochs = 1;
+  core::EoiClassifier eoi(312, 4, config, rng);
+  std::vector<std::vector<std::vector<float>>> per_agent(4);
+  for (auto& rows : per_agent) {
+    for (int i = 0; i < 100; ++i) {
+      std::vector<float> row(312);
+      for (float& v : row) v = static_cast<float>(rng.Uniform());
+      rows.push_back(std::move(row));
+    }
+  }
+  std::vector<const std::vector<std::vector<float>>*> ptrs;
+  for (const auto& rows : per_agent) ptrs.push_back(&rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eoi.Update(ptrs, rng));
+  }
+}
+BENCHMARK(BM_EoiClassifierUpdate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Reproduces Table VII: computational complexity — per-timeslot action
+// selection latency and model memory of each learned method. As in the
+// paper, h/i-MADRL / h/i-MADRL(CoPO) / MAPPO share the same inference path
+// (the plug-ins only exist at training time under CTDE), while e-Divert
+// pays for its recurrent actor.
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace agsc;
+
+env::EnvConfig FullScaleConfig() {
+  env::EnvConfig config;  // Table II defaults: I = 100, 2 UAVs + 2 UGVs.
+  return config;
+}
+
+env::ScEnv& SharedEnv() {
+  static env::ScEnv* env = [] {
+    auto* e = new env::ScEnv(
+        FullScaleConfig(),
+        bench::GetDataset(map::CampusId::kPurdue, 100), 1);
+    e->Reset();
+    return e;
+  }();
+  return *env;
+}
+
+core::HiMadrlTrainer& SharedHiMadrl() {
+  static core::HiMadrlTrainer* trainer = [] {
+    core::TrainConfig config;
+    config.net.hidden = {128, 64};  // Paper-scale networks.
+    return new core::HiMadrlTrainer(SharedEnv(), config);
+  }();
+  return *trainer;
+}
+
+algorithms::EDivertTrainer& SharedEDivert() {
+  static algorithms::EDivertTrainer* trainer = [] {
+    algorithms::EDivertConfig config;
+    config.hidden = 128;
+    config.gru_hidden = 64;
+    return new algorithms::EDivertTrainer(SharedEnv(), config);
+  }();
+  return *trainer;
+}
+
+/// One joint decision: all K agents select their timeslot action. This is
+/// the quantity Table VII reports ("time cost to select actions in a
+/// timeslot").
+void BM_HiMadrlActionSelection(benchmark::State& state) {
+  env::ScEnv& env = SharedEnv();
+  core::HiMadrlTrainer& trainer = SharedHiMadrl();
+  const env::StepResult r = env.Reset();
+  util::Rng rng(7);
+  for (auto _ : state) {
+    for (int k = 0; k < env.num_agents(); ++k) {
+      benchmark::DoNotOptimize(
+          trainer.Act(env, k, r.observations[k], rng, true));
+    }
+  }
+  state.SetLabel("h/i-MADRL == h/i-MADRL(CoPO) == MAPPO (same actor path)");
+}
+BENCHMARK(BM_HiMadrlActionSelection)->Unit(benchmark::kMillisecond);
+
+void BM_EDivertActionSelection(benchmark::State& state) {
+  env::ScEnv& env = SharedEnv();
+  algorithms::EDivertTrainer& trainer = SharedEDivert();
+  const env::StepResult r = env.Reset();
+  trainer.BeginEpisode(env);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    for (int k = 0; k < env.num_agents(); ++k) {
+      benchmark::DoNotOptimize(
+          trainer.Act(env, k, r.observations[k], rng, true));
+    }
+  }
+  state.SetLabel("e-Divert (recurrent actor)");
+}
+BENCHMARK(BM_EDivertActionSelection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Table VII - computational complexity ===\n";
+  // Memory column: inference (actor) parameter bytes + total train-time
+  // footprint, mirroring the paper's observation that the plug-in networks
+  // are training-only constructs.
+  {
+    using namespace agsc;
+    util::Table table({"method", "inference params (KB)",
+                       "train-time params (KB)"});
+    const double kb = 1024.0;
+    core::HiMadrlTrainer& hi = SharedHiMadrl();
+    table.AddRow("h/i-MADRL (also CoPO variant / MAPPO actor path)",
+                 {hi.ActorParameterBytes() / kb,
+                  hi.TotalParameterCount() * 4.0 / kb});
+    algorithms::EDivertTrainer& ed = SharedEDivert();
+    table.AddRow("e-Divert",
+                 {ed.ActorParameterBytes() / kb,
+                  ed.TotalParameterCount() * 4.0 / kb});
+    table.Print();
+    std::cout << "\nAction-selection latency (whole fleet, one timeslot):\n";
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

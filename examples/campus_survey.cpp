@@ -1,0 +1,92 @@
+// Campus sensing survey: the paper's primary evaluation setting, shown as a
+// library walkthrough that inspects *cooperation* artifacts rather than
+// just metrics.
+//
+//   ./build/examples/campus_survey [iterations]
+//
+// Trains h/i-MADRL on the Purdue campus, then replays one deterministic
+// episode and reports: which UAV-UGV relay pairs formed on each subchannel,
+// how the learned local coordination factors differ between UV kinds, and
+// the per-PoI coverage histogram behind the geographical-fairness metric.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/hi_madrl.h"
+#include "env/render.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace agsc;
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 25;
+
+  const map::Dataset dataset = map::BuildDataset(map::CampusId::kPurdue, 80);
+  env::EnvConfig config;
+  config.num_pois = 80;
+  config.num_timeslots = 80;
+  env::ScEnv env(config, dataset, /*seed=*/3);
+
+  core::TrainConfig train;
+  train.iterations = iterations;
+  train.net.hidden = {96, 48};
+  core::HiMadrlTrainer trainer(env, train);
+  std::cout << "Training " << iterations << " iterations on "
+            << dataset.campus.name << "...\n";
+  trainer.Train();
+
+  // Deterministic replay of one episode.
+  core::Evaluate(env, trainer, 1, 17);
+  const env::Metrics m = env.EpisodeMetrics();
+  std::cout << "Episode metrics: psi=" << util::FormatDouble(m.data_collection_ratio, 3)
+            << " sigma=" << util::FormatDouble(m.data_loss_ratio, 3)
+            << " xi=" << util::FormatDouble(m.energy_consumption_ratio, 3)
+            << " kappa=" << util::FormatDouble(m.geographical_fairness, 3)
+            << " lambda=" << util::FormatDouble(m.efficiency, 3) << "\n\n";
+
+  // Relay-pair anatomy: who decoded for whom, and with what link quality.
+  long pair_counts[8][8] = {};
+  double pair_sinr[8][8] = {};
+  for (const auto& slot_events : env.event_log()) {
+    for (const env::CollectionEvent& ev : slot_events) {
+      if (ev.uav >= 0 && ev.ugv >= 0 && ev.uav < 8 && ev.ugv < 8) {
+        ++pair_counts[ev.uav][ev.ugv];
+        pair_sinr[ev.uav][ev.ugv] += ev.sinr_relay_db;
+      }
+    }
+  }
+  util::Table pairs({"relay pair", "events", "mean relay SINR (dB)"});
+  for (int u = 0; u < env.num_agents(); ++u) {
+    if (!env.IsUav(u)) continue;
+    for (int g = 0; g < env.num_agents(); ++g) {
+      if (env.IsUav(g) || pair_counts[u][g] == 0) continue;
+      pairs.AddRow("UAV" + std::to_string(u) + " -> UGV" + std::to_string(g),
+                   {static_cast<double>(pair_counts[u][g]),
+                    pair_sinr[u][g] / pair_counts[u][g]});
+    }
+  }
+  pairs.Print();
+
+  // Learned cooperation preferences (Fig. 11(d) analogue).
+  std::cout << "\nLocal coordination factors:\n";
+  for (int k = 0; k < env.num_agents(); ++k) {
+    std::cout << "  " << (env.IsUav(k) ? "UAV" : "UGV") << k << ": phi="
+              << util::FormatDouble(trainer.lcfs()[k].phi_deg, 1)
+              << " deg, chi="
+              << util::FormatDouble(trainer.lcfs()[k].chi_deg, 1) << " deg\n";
+  }
+
+  // Coverage histogram behind kappa.
+  int buckets[5] = {};
+  for (int i = 0; i < config.num_pois; ++i) {
+    const double fraction =
+        1.0 - env.PoiRemainingGbit(i) / config.initial_data_gbit;
+    ++buckets[std::min(4, static_cast<int>(fraction * 5.0))];
+  }
+  std::cout << "\nPer-PoI collected fraction histogram "
+               "(0-20/20-40/40-60/60-80/80-100%): ";
+  for (int b = 0; b < 5; ++b) std::cout << buckets[b] << " ";
+  std::cout << "\n\n" << env::RenderTrajectoriesAscii(env, 64, 26);
+  env::DumpEventsCsv(env, "campus_survey_events.csv");
+  std::cout << "Event log written to campus_survey_events.csv\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Disaster-response scenario (the paper's motivating use case: collecting
+// data from CCTV/alarm sensors in areas dangerous for human workers).
+//
+//   ./build/examples/disaster_response [iterations]
+//
+// Models a post-earthquake sweep: a stringent QoS requirement (high SINR
+// threshold, so unreliable links must not be used), a larger UAV fleet
+// (aerial access matters when roads may be blocked), and a tight mission
+// horizon. Compares h/i-MADRL with the Shortest-Path planner and Random
+// dispatch.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "algorithms/random_policy.h"
+#include "algorithms/shortest_path.h"
+#include "core/hi_madrl.h"
+#include "env/render.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace agsc;
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 25;
+
+  // The NCSU-style campus plays the stricken district (larger, sparser
+  // road network = blocked streets).
+  const map::Dataset dataset = map::BuildDataset(map::CampusId::kNcsu, 60);
+
+  env::EnvConfig config;
+  config.num_pois = 60;
+  config.num_timeslots = 60;       // Tight mission window.
+  config.num_uavs = 3;             // Aerial-heavy fleet.
+  config.num_ugvs = 2;
+  config.sinr_threshold_db = 3.0;  // Stringent QoS: drop marginal links.
+  config.num_subchannels = 4;
+
+  env::ScEnv env(config, dataset, /*seed=*/7);
+
+  core::TrainConfig train;
+  train.iterations = iterations;
+  train.net.hidden = {96, 48};
+  core::HiMadrlTrainer trainer(env, train);
+  std::cout << "Training h/i-MADRL for the disaster sweep (" << iterations
+            << " iterations, " << config.num_uavs << " UAVs + "
+            << config.num_ugvs << " UGVs, QoS threshold "
+            << config.sinr_threshold_db << " dB)...\n";
+  trainer.Train();
+
+  util::Table table({"dispatcher", "psi", "sigma", "xi", "kappa", "lambda"});
+  table.AddRow("h/i-MADRL",
+               core::Evaluate(env, trainer, 5, 99).mean.ToVector());
+  algorithms::ShortestPathPolicy sp;
+  table.AddRow("Shortest Path", core::Evaluate(env, sp, 5, 99).mean.ToVector());
+  algorithms::RandomPolicy random;
+  table.AddRow("Random",
+               core::Evaluate(env, random, 5, 99, false).mean.ToVector());
+  table.Print();
+
+  std::cout << "\nNote the data-loss column (sigma): under a stringent QoS "
+               "threshold the planner that ignores link quality (Shortest "
+               "Path) wastes subchannel slots on undecodable uploads, while "
+               "h/i-MADRL's h-CoPO keeps relay pairs in range "
+               "(Section VI-D4 of the paper).\n\nFinal sweep map:\n"
+            << env::RenderTrajectoriesAscii(env, 64, 26);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fleet sizing study: how many UVs should a task operator deploy?
+//
+//   ./build/examples/fleet_sizing
+//
+// Uses the cheap planners (Shortest-Path, Greedy, Random) to sweep the
+// fleet size without any RL training — useful as a fast first cut before
+// committing GPU/CPU time to h/i-MADRL (the full learned sweep is
+// bench_fig3_4_num_uvs). Reproduces the rise-then-fall efficiency shape of
+// Fig. 3/4: more UVs collect faster, but co-channel interference and
+// saturation eventually drag efficiency down.
+
+#include <iostream>
+
+#include "algorithms/greedy_policy.h"
+#include "algorithms/random_policy.h"
+#include "algorithms/shortest_path.h"
+#include "core/evaluator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace agsc;
+  const map::Dataset dataset = map::BuildDataset(map::CampusId::kPurdue);
+
+  const std::vector<int> fleet_sizes = {1, 2, 3, 5, 7};
+  util::Table table({"UAVs+UGVs (each)", "Shortest Path lambda",
+                     "Greedy lambda", "Random lambda",
+                     "Shortest Path psi", "Shortest Path sigma"});
+  for (int n : fleet_sizes) {
+    env::EnvConfig config;
+    config.num_uavs = n;
+    config.num_ugvs = n;
+    env::ScEnv env(config, dataset, /*seed=*/5);
+
+    algorithms::ShortestPathPolicy sp;
+    const env::Metrics m_sp = core::Evaluate(env, sp, 3, 11).mean;
+    algorithms::GreedyPolicy greedy;
+    const env::Metrics m_greedy = core::Evaluate(env, greedy, 3, 11).mean;
+    algorithms::RandomPolicy random;
+    const env::Metrics m_random =
+        core::Evaluate(env, random, 3, 11, false).mean;
+
+    table.AddRow(std::to_string(n),
+                 {m_sp.efficiency, m_greedy.efficiency, m_random.efficiency,
+                  m_sp.data_collection_ratio, m_sp.data_loss_ratio});
+    std::cerr << "fleet size " << n << " done\n";
+  }
+  table.Print();
+  std::cout << "\nEfficiency rises while extra UVs still find uncontested "
+               "PoIs and falls once AG-NOMA co-channel interference and "
+               "saturation dominate (paper Section VI-D1).\n";
+  return 0;
+}

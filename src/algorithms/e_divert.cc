@@ -1,0 +1,457 @@
+#include "algorithms/e_divert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rollout.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+#include "util/logging.h"
+
+namespace agsc::algorithms {
+
+namespace {
+
+/// Recurrent deterministic actor: obs -> Linear/ReLU -> LSTM or GRU ->
+/// tanh head. The recurrent state is packed (GRU: N x H, LSTM: N x 2H) so
+/// the replay buffer handles both uniformly.
+class RecurrentActor : public nn::Module {
+ public:
+  RecurrentActor(int obs_dim, int hidden, int rnn_hidden, int action_dim,
+                 bool use_lstm, util::Rng& rng)
+      : embed_(obs_dim, hidden, rng, std::sqrt(2.0f)),
+        head_(rnn_hidden, action_dim, rng, 0.01f) {
+    if (use_lstm) {
+      lstm_ = std::make_unique<nn::LstmCell>(hidden, rnn_hidden, rng);
+    } else {
+      gru_ = std::make_unique<nn::GruCell>(hidden, rnn_hidden, rng);
+    }
+  }
+
+  /// Returns {action in [-1,1]^A, next packed state} as graph variables.
+  std::pair<nn::Variable, nn::Variable> Forward(
+      const nn::Variable& obs, const nn::Variable& state) const {
+    nn::Variable x = nn::Relu(embed_.Forward(obs));
+    if (lstm_) {
+      nn::Variable next = lstm_->Step(x, state);
+      return {nn::Tanh(head_.Forward(lstm_->Output(next))), next};
+    }
+    nn::Variable next = gru_->Step(x, state);
+    return {nn::Tanh(head_.Forward(next)), next};
+  }
+
+  nn::Tensor InitialState(int n) const {
+    return lstm_ ? lstm_->InitialState(n) : gru_->InitialState(n);
+  }
+
+  int state_size() const {
+    return lstm_ ? lstm_->state_size() : gru_->hidden_size();
+  }
+
+  std::vector<nn::Variable> Parameters() const override {
+    std::vector<nn::Variable> params = embed_.Parameters();
+    const std::vector<nn::Variable> rnn_params =
+        lstm_ ? lstm_->Parameters() : gru_->Parameters();
+    params.insert(params.end(), rnn_params.begin(), rnn_params.end());
+    for (nn::Variable& p : head_.Parameters()) params.push_back(std::move(p));
+    return params;
+  }
+
+ private:
+  nn::Linear embed_;
+  std::unique_ptr<nn::LstmCell> lstm_;
+  std::unique_ptr<nn::GruCell> gru_;
+  nn::Linear head_;
+};
+
+void SoftUpdate(const std::vector<nn::Variable>& src,
+                std::vector<nn::Variable>& dst, float tau) {
+  for (size_t i = 0; i < src.size(); ++i) {
+    nn::Tensor& d = dst[i].mutable_value();
+    const nn::Tensor& s = src[i].value();
+    for (int j = 0; j < d.size(); ++j) {
+      d[j] = tau * s[j] + (1.0f - tau) * d[j];
+    }
+  }
+}
+
+struct Transition {
+  std::vector<std::vector<float>> obs;       // Per agent.
+  std::vector<std::vector<float>> next_obs;  // Per agent.
+  std::vector<std::vector<float>> hidden;    // Actor GRU state pre-step.
+  std::vector<std::vector<float>> next_hidden;
+  std::vector<float> state;
+  std::vector<float> next_state;
+  std::vector<std::array<float, 2>> actions;
+  std::vector<float> rewards;
+  bool done = false;
+  float priority = 1.0f;
+};
+
+nn::Tensor RowsToTensor(const std::vector<const std::vector<float>*>& rows) {
+  nn::Tensor t(static_cast<int>(rows.size()),
+               static_cast<int>(rows[0]->size()));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r]->size(); ++c) {
+      t(static_cast<int>(r), static_cast<int>(c)) = (*rows[r])[c];
+    }
+  }
+  return t;
+}
+
+std::vector<float> TensorRow(const nn::Tensor& t, int r) {
+  std::vector<float> out(t.cols());
+  for (int c = 0; c < t.cols(); ++c) out[c] = t(r, c);
+  return out;
+}
+
+}  // namespace
+
+struct EDivertTrainer::Impl {
+  env::ScEnv& env;
+  EDivertConfig config;
+  util::Rng rng;
+  int num_agents;
+  int obs_dim;
+  int state_dim;
+
+  std::vector<std::unique_ptr<RecurrentActor>> actors;
+  std::vector<std::unique_ptr<RecurrentActor>> actor_targets;
+  std::vector<std::unique_ptr<nn::Mlp>> critics;        // Q_k(s, a_joint).
+  std::vector<std::unique_ptr<nn::Mlp>> critic_targets;
+  std::vector<std::unique_ptr<nn::Adam>> actor_opts;
+  std::vector<std::unique_ptr<nn::Adam>> critic_opts;
+
+  std::vector<Transition> replay;
+  size_t replay_next = 0;  // Ring-buffer cursor.
+
+  // Evaluation-time recurrent state.
+  std::vector<nn::Tensor> eval_hidden;
+
+  int iteration = 0;
+
+  Impl(env::ScEnv& e, const EDivertConfig& c)
+      : env(e),
+        config(c),
+        rng(c.seed),
+        num_agents(e.num_agents()),
+        obs_dim(e.obs_dim()),
+        state_dim(e.state_dim()) {
+    const int joint_action = num_agents * env::ScEnv::kActionDim;
+    for (int k = 0; k < num_agents; ++k) {
+      actors.push_back(std::make_unique<RecurrentActor>(
+          obs_dim, config.hidden, config.gru_hidden, env::ScEnv::kActionDim,
+          config.use_lstm, rng));
+      actor_targets.push_back(std::make_unique<RecurrentActor>(
+          obs_dim, config.hidden, config.gru_hidden, env::ScEnv::kActionDim,
+          config.use_lstm, rng));
+      auto src = actors[k]->Parameters();
+      auto dst = actor_targets[k]->Parameters();
+      nn::CopyParameters(src, dst);
+      critics.push_back(std::make_unique<nn::Mlp>(
+          std::vector<int>{state_dim + joint_action, config.hidden,
+                           config.hidden, 1},
+          rng, nn::Activation::kRelu, nn::Activation::kNone));
+      critic_targets.push_back(std::make_unique<nn::Mlp>(
+          std::vector<int>{state_dim + joint_action, config.hidden,
+                           config.hidden, 1},
+          rng, nn::Activation::kRelu, nn::Activation::kNone));
+      auto csrc = critics[k]->Parameters();
+      auto cdst = critic_targets[k]->Parameters();
+      nn::CopyParameters(csrc, cdst);
+      actor_opts.push_back(
+          std::make_unique<nn::Adam>(actors[k]->Parameters(),
+                                     config.actor_lr));
+      critic_opts.push_back(
+          std::make_unique<nn::Adam>(critics[k]->Parameters(),
+                                     config.critic_lr));
+    }
+    eval_hidden.assign(num_agents, actors[0]->InitialState(1));
+  }
+
+  float CurrentNoise() const {
+    if (config.iterations <= 1) return config.explore_noise;
+    const float progress =
+        std::min(1.0f, static_cast<float>(iteration) /
+                           static_cast<float>(config.iterations - 1));
+    return config.explore_noise +
+           (config.explore_noise_final - config.explore_noise) * progress;
+  }
+
+  void StoreTransition(Transition t) {
+    // New transitions get the current max priority so they are replayed.
+    float max_priority = 1.0f;
+    for (const Transition& existing : replay) {
+      max_priority = std::max(max_priority, existing.priority);
+    }
+    t.priority = max_priority;
+    if (static_cast<int>(replay.size()) <
+        config.replay_capacity) {
+      replay.push_back(std::move(t));
+    } else {
+      replay[replay_next] = std::move(t);
+      replay_next = (replay_next + 1) % replay.size();
+    }
+  }
+
+  std::vector<int> SamplePrioritized(int count) {
+    std::vector<double> cumulative(replay.size());
+    double total = 0.0;
+    for (size_t i = 0; i < replay.size(); ++i) {
+      total += std::pow(static_cast<double>(replay[i].priority),
+                        config.priority_alpha);
+      cumulative[i] = total;
+    }
+    std::vector<int> picks(count);
+    for (int s = 0; s < count; ++s) {
+      const double target = rng.Uniform() * total;
+      picks[s] = static_cast<int>(
+          std::lower_bound(cumulative.begin(), cumulative.end(), target) -
+          cumulative.begin());
+      picks[s] = std::min<int>(picks[s],
+                               static_cast<int>(replay.size()) - 1);
+    }
+    return picks;
+  }
+
+  double CollectEpisodes() {
+    std::vector<env::Metrics> metrics;
+    const float noise = CurrentNoise();
+    for (int e = 0; e < config.episodes_per_iteration; ++e) {
+      env::StepResult step = env.Reset();
+      std::vector<nn::Tensor> hidden(num_agents,
+                                     actors[0]->InitialState(1));
+      while (!step.done) {
+        Transition t;
+        t.obs = step.observations;
+        t.state = step.state;
+        std::vector<env::UvAction> actions(num_agents);
+        std::vector<nn::Tensor> next_hidden(num_agents);
+        for (int k = 0; k < num_agents; ++k) {
+          t.hidden.push_back(hidden[k].ToVector());
+          nn::Tensor obs_row(1, obs_dim);
+          for (int c = 0; c < obs_dim; ++c) {
+            obs_row[c] = step.observations[k][c];
+          }
+          auto [action, h_next] =
+              actors[k]->Forward(nn::Variable::Constant(obs_row),
+                                 nn::Variable::Constant(hidden[k]));
+          next_hidden[k] = h_next.value();
+          std::array<float, 2> a{};
+          for (int c = 0; c < 2; ++c) {
+            a[c] = std::clamp(
+                action.value()(0, c) +
+                    noise * static_cast<float>(rng.Gaussian()),
+                -1.0f, 1.0f);
+          }
+          t.actions.push_back(a);
+          actions[k] = {a[0], a[1]};
+        }
+        env::StepResult next = env.Step(actions);
+        t.next_obs = next.observations;
+        t.next_state = next.state;
+        for (int k = 0; k < num_agents; ++k) {
+          t.rewards.push_back(static_cast<float>(next.rewards[k]));
+          t.next_hidden.push_back(next_hidden[k].ToVector());
+        }
+        t.done = next.done;
+        StoreTransition(std::move(t));
+        hidden = std::move(next_hidden);
+        step = std::move(next);
+      }
+      metrics.push_back(env.EpisodeMetrics());
+    }
+    return env::Metrics::Average(metrics).efficiency;
+  }
+
+  void Update() {
+    if (replay.size() < static_cast<size_t>(config.minibatch)) return;
+    const std::vector<int> batch = SamplePrioritized(config.minibatch);
+    const int n = static_cast<int>(batch.size());
+
+    // Shared per-batch tensors.
+    std::vector<const std::vector<float>*> state_rows, next_state_rows;
+    for (int idx : batch) {
+      state_rows.push_back(&replay[idx].state);
+      next_state_rows.push_back(&replay[idx].next_state);
+    }
+    const nn::Tensor states = RowsToTensor(state_rows);
+    const nn::Tensor next_states = RowsToTensor(next_state_rows);
+
+    // Joint current actions and target next actions.
+    nn::Tensor joint_actions(n, num_agents * 2);
+    nn::Tensor joint_next_actions(n, num_agents * 2);
+    for (int k = 0; k < num_agents; ++k) {
+      std::vector<const std::vector<float>*> next_obs_rows, next_h_rows;
+      for (int idx : batch) {
+        next_obs_rows.push_back(&replay[idx].next_obs[k]);
+        next_h_rows.push_back(&replay[idx].next_hidden[k]);
+      }
+      auto [next_action, h_unused] = actor_targets[k]->Forward(
+          nn::Variable::Constant(RowsToTensor(next_obs_rows)),
+          nn::Variable::Constant(RowsToTensor(next_h_rows)));
+      (void)h_unused;
+      for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < 2; ++c) {
+          joint_actions(r, k * 2 + c) = replay[batch[r]].actions[k][c];
+          joint_next_actions(r, k * 2 + c) = next_action.value()(r, c);
+        }
+      }
+    }
+
+    for (int k = 0; k < num_agents; ++k) {
+      // --- Critic update: y = r + gamma (1-done) Q_target(s', a'). ---
+      nn::Tensor next_input(n, state_dim + num_agents * 2);
+      nn::Tensor input(n, state_dim + num_agents * 2);
+      for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < state_dim; ++c) {
+          input(r, c) = states(r, c);
+          next_input(r, c) = next_states(r, c);
+        }
+        for (int c = 0; c < num_agents * 2; ++c) {
+          input(r, state_dim + c) = joint_actions(r, c);
+          next_input(r, state_dim + c) = joint_next_actions(r, c);
+        }
+      }
+      const nn::Tensor q_next = critic_targets[k]->Forward(next_input).value();
+      nn::Tensor y(n, 1);
+      for (int r = 0; r < n; ++r) {
+        const Transition& t = replay[batch[r]];
+        y(r, 0) = t.rewards[k] +
+                  (t.done ? 0.0f : config.gamma * q_next(r, 0));
+      }
+      nn::Variable q_pred = critics[k]->Forward(input);
+      nn::Variable critic_loss = nn::MseLoss(q_pred, y);
+      critic_opts[k]->ZeroGrad();
+      critic_loss.Backward();
+      critic_opts[k]->Step();
+
+      // Refresh priorities with the new TD errors.
+      for (int r = 0; r < n; ++r) {
+        replay[batch[r]].priority =
+            std::fabs(q_pred.value()(r, 0) - y(r, 0)) + 1e-3f;
+      }
+
+      // --- Actor update: maximize Q_k(s, [a_-k, pi_k(o_k, h_k)]). ---
+      std::vector<const std::vector<float>*> obs_rows, h_rows;
+      for (int idx : batch) {
+        obs_rows.push_back(&replay[idx].obs[k]);
+        h_rows.push_back(&replay[idx].hidden[k]);
+      }
+      auto [pi_action, h2_unused] = actors[k]->Forward(
+          nn::Variable::Constant(RowsToTensor(obs_rows)),
+          nn::Variable::Constant(RowsToTensor(h_rows)));
+      (void)h2_unused;
+      // Assemble [state | a_0 .. pi_k .. a_{K-1}] with only pi_k on the
+      // graph so dQ/da flows into the actor.
+      nn::Tensor left(n, state_dim + k * 2);
+      for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < state_dim; ++c) left(r, c) = states(r, c);
+        for (int c = 0; c < k * 2; ++c) {
+          left(r, state_dim + c) = joint_actions(r, c);
+        }
+      }
+      nn::Variable critic_input =
+          nn::ConcatCols(nn::Variable::Constant(left), pi_action);
+      const int right_cols = (num_agents - 1 - k) * 2;
+      if (right_cols > 0) {
+        nn::Tensor right(n, right_cols);
+        for (int r = 0; r < n; ++r) {
+          for (int c = 0; c < right_cols; ++c) {
+            right(r, c) = joint_actions(r, (k + 1) * 2 + c);
+          }
+        }
+        critic_input =
+            nn::ConcatCols(critic_input, nn::Variable::Constant(right));
+      }
+      nn::Variable actor_loss =
+          nn::Neg(nn::Mean(critics[k]->Forward(critic_input)));
+      actor_opts[k]->ZeroGrad();
+      // Freeze the critic during the actor step: gradients flow through it
+      // but only actor parameters are updated (critic grads are cleared).
+      critic_opts[k]->ZeroGrad();
+      actor_loss.Backward();
+      actor_opts[k]->Step();
+      critic_opts[k]->ZeroGrad();
+
+      // --- Target networks. ---
+      auto asrc = actors[k]->Parameters();
+      auto adst = actor_targets[k]->Parameters();
+      SoftUpdate(asrc, adst, config.tau);
+      auto csrc = critics[k]->Parameters();
+      auto cdst = critic_targets[k]->Parameters();
+      SoftUpdate(csrc, cdst, config.tau);
+    }
+  }
+};
+
+EDivertTrainer::EDivertTrainer(env::ScEnv& env, const EDivertConfig& config)
+    : impl_(std::make_unique<Impl>(env, config)) {}
+
+EDivertTrainer::~EDivertTrainer() = default;
+
+double EDivertTrainer::TrainIteration() {
+  const double efficiency = impl_->CollectEpisodes();
+  for (int u = 0; u < impl_->config.updates_per_iteration; ++u) {
+    impl_->Update();
+  }
+  if (impl_->config.verbose) {
+    AGSC_LOG(kInfo) << "e-Divert iter " << impl_->iteration
+                    << " lambda=" << efficiency;
+  }
+  ++impl_->iteration;
+  return efficiency;
+}
+
+void EDivertTrainer::Train(int iterations) {
+  const int total =
+      iterations >= 0 ? iterations : impl_->config.iterations;
+  for (int i = 0; i < total; ++i) TrainIteration();
+}
+
+void EDivertTrainer::BeginEpisode(const env::ScEnv& env) {
+  (void)env;
+  impl_->eval_hidden.assign(impl_->num_agents,
+                            impl_->actors[0]->InitialState(1));
+}
+
+env::UvAction EDivertTrainer::Act(const env::ScEnv& env, int k,
+                                  const std::vector<float>& obs,
+                                  util::Rng& rng, bool deterministic) {
+  (void)env;
+  nn::Tensor obs_row(1, impl_->obs_dim);
+  for (int c = 0; c < impl_->obs_dim; ++c) obs_row[c] = obs[c];
+  auto [action, h_next] = impl_->actors[k]->Forward(
+      nn::Variable::Constant(obs_row),
+      nn::Variable::Constant(impl_->eval_hidden[k]));
+  impl_->eval_hidden[k] = h_next.value();
+  env::UvAction out{action.value()(0, 0), action.value()(0, 1)};
+  if (!deterministic) {
+    const float noise = impl_->CurrentNoise();
+    out.raw_direction = std::clamp(
+        out.raw_direction + noise * rng.Gaussian(), -1.0, 1.0);
+    out.raw_speed =
+        std::clamp(out.raw_speed + noise * rng.Gaussian(), -1.0, 1.0);
+  }
+  return out;
+}
+
+int EDivertTrainer::TotalParameterCount() const {
+  int total = 0;
+  for (int k = 0; k < impl_->num_agents; ++k) {
+    total += impl_->actors[k]->ParameterCount();
+    total += impl_->critics[k]->ParameterCount();
+  }
+  return total;
+}
+
+int EDivertTrainer::ActorParameterBytes() const {
+  int total = 0;
+  for (int k = 0; k < impl_->num_agents; ++k) {
+    total += impl_->actors[k]->ParameterCount();
+  }
+  return total * static_cast<int>(sizeof(float));
+}
+
+}  // namespace agsc::algorithms

@@ -1,0 +1,81 @@
+#ifndef AGSC_ALGORITHMS_E_DIVERT_H_
+#define AGSC_ALGORITHMS_E_DIVERT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/policy.h"
+#include "nn/gru.h"
+#include "nn/optimizer.h"
+
+namespace agsc::algorithms {
+
+/// Configuration of the e-Divert baseline.
+struct EDivertConfig {
+  int iterations = 100;
+  int episodes_per_iteration = 4;
+  int updates_per_iteration = 64;   ///< Minibatch updates per iteration.
+  int minibatch = 64;
+  int replay_capacity = 20000;
+  float gamma = 0.95f;
+  float actor_lr = 3e-4f;
+  float critic_lr = 1e-3f;
+  float tau = 0.01f;                ///< Soft target update rate.
+  float priority_alpha = 0.6f;      ///< Prioritized-replay exponent.
+  float explore_noise = 0.25f;      ///< Gaussian action noise (initial).
+  float explore_noise_final = 0.05f;
+  int hidden = 64;
+  int gru_hidden = 64;  ///< Recurrent hidden width (GRU H / LSTM H).
+  /// true = LSTM recurrent actor (as in the e-Divert paper); false = GRU
+  /// (same sequential modeling, ~25% fewer parameters).
+  bool use_lstm = true;
+  uint64_t seed = 3;
+  bool verbose = false;
+};
+
+/// The paper's "e-Divert" baseline (Liu et al., TMC'20): a CTDE
+/// deterministic-policy-gradient method with a distributed *prioritized
+/// experience replay* and a *recurrent* (sequence-modeling) actor.
+///
+/// Implementation notes (faithful in structure, simplified in scale):
+///  * per-agent recurrent actor: obs -> Linear -> LSTM (or GRU) -> tanh
+///    head, stepped one timeslot at a time;
+///  * per-agent centralized critic Q_k(state, joint action), MADDPG-style;
+///  * replay transitions store the actor's recurrent state at sampling time
+///    so one-step updates preserve the sequence context;
+///  * proportional prioritized sampling on |TD error|^alpha;
+///  * target networks with Polyak averaging.
+class EDivertTrainer : public core::Policy {
+ public:
+  EDivertTrainer(env::ScEnv& env, const EDivertConfig& config);
+  ~EDivertTrainer() override;
+
+  /// One iteration: collect episodes with exploration noise, then run
+  /// `updates_per_iteration` prioritized minibatch updates.
+  /// Returns the mean rollout efficiency.
+  double TrainIteration();
+
+  /// Runs `config.iterations` iterations (or `iterations` if >= 0).
+  void Train(int iterations = -1);
+
+  // Policy interface (stateful: BeginEpisode resets recurrent states).
+  void BeginEpisode(const env::ScEnv& env) override;
+  env::UvAction Act(const env::ScEnv& env, int k,
+                    const std::vector<float>& obs, util::Rng& rng,
+                    bool deterministic) override;
+
+  /// Total scalar parameter count across actors and critics.
+  int TotalParameterCount() const;
+
+  /// Inference-only (actor) parameter bytes.
+  int ActorParameterBytes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace agsc::algorithms
+
+#endif  // AGSC_ALGORITHMS_E_DIVERT_H_

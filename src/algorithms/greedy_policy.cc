@@ -1,0 +1,43 @@
+#include "algorithms/greedy_policy.h"
+
+#include <cmath>
+
+namespace agsc::algorithms {
+
+env::UvAction HeadingToAction(double angle, double speed_fraction) {
+  // ScEnv maps raw_direction a0 in [-1,1] to (a0+1)*pi and raw_speed a1 to
+  // (a1+1)/2 * vmax.
+  double wrapped = std::fmod(angle, 2.0 * M_PI);
+  if (wrapped < 0.0) wrapped += 2.0 * M_PI;
+  return {wrapped / M_PI - 1.0, 2.0 * speed_fraction - 1.0};
+}
+
+env::UvAction GreedyPolicy::Act(const env::ScEnv& env, int k,
+                                const std::vector<float>& obs,
+                                util::Rng& rng, bool deterministic) {
+  (void)obs;
+  (void)rng;
+  (void)deterministic;
+  const map::Point2 pos = env.uv(k).pos;
+  int best = -1;
+  double best_dist = 0.0;
+  for (int i = 0; i < env.config().num_pois; ++i) {
+    if (env.PoiRemainingGbit(i) <= 0.0) continue;
+    const double d = map::Distance(pos, env.dataset().pois[i]);
+    if (best < 0 || d < best_dist) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  if (best < 0) return {0.0, -1.0};  // Nothing left: stop (save energy).
+  const map::Point2 delta = env.dataset().pois[best] - pos;
+  // Close targets do not need full speed; avoids orbiting the PoI.
+  const double vmax =
+      env.IsUav(k) ? env.config().uav_vmax : env.config().ugv_vmax;
+  const double reach = vmax * env.config().tau_move;
+  const double speed_fraction =
+      std::min(1.0, map::Norm(delta) / std::max(reach, 1e-9));
+  return HeadingToAction(std::atan2(delta.y, delta.x), speed_fraction);
+}
+
+}  // namespace agsc::algorithms

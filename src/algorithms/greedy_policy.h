@@ -1,0 +1,26 @@
+#ifndef AGSC_ALGORITHMS_GREEDY_POLICY_H_
+#define AGSC_ALGORITHMS_GREEDY_POLICY_H_
+
+#include "core/evaluator.h"
+
+namespace agsc::algorithms {
+
+/// Myopic baseline (not in the paper's comparison set; used by tests and as
+/// a sanity reference): every UV drives at full speed straight toward the
+/// nearest PoI that still holds data.
+class GreedyPolicy : public core::Policy {
+ public:
+  GreedyPolicy() = default;
+
+  env::UvAction Act(const env::ScEnv& env, int k,
+                    const std::vector<float>& obs, util::Rng& rng,
+                    bool deterministic) override;
+};
+
+/// Maps a desired world-space heading `angle` (radians) and a speed
+/// fraction in [0,1] to the raw [-1,1]^2 action convention of ScEnv.
+env::UvAction HeadingToAction(double angle, double speed_fraction);
+
+}  // namespace agsc::algorithms
+
+#endif  // AGSC_ALGORITHMS_GREEDY_POLICY_H_

@@ -1,0 +1,15 @@
+#include "algorithms/random_policy.h"
+
+namespace agsc::algorithms {
+
+env::UvAction RandomPolicy::Act(const env::ScEnv& env, int k,
+                                const std::vector<float>& obs,
+                                util::Rng& rng, bool deterministic) {
+  (void)env;
+  (void)k;
+  (void)obs;
+  (void)deterministic;  // Random has no deterministic mode.
+  return {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+}
+
+}  // namespace agsc::algorithms

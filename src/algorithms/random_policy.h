@@ -1,0 +1,21 @@
+#ifndef AGSC_ALGORITHMS_RANDOM_POLICY_H_
+#define AGSC_ALGORITHMS_RANDOM_POLICY_H_
+
+#include "core/evaluator.h"
+
+namespace agsc::algorithms {
+
+/// The paper's "Random" baseline: each UV's action is sampled uniformly
+/// from its action space every timeslot.
+class RandomPolicy : public core::Policy {
+ public:
+  RandomPolicy() = default;
+
+  env::UvAction Act(const env::ScEnv& env, int k,
+                    const std::vector<float>& obs, util::Rng& rng,
+                    bool deterministic) override;
+};
+
+}  // namespace agsc::algorithms
+
+#endif  // AGSC_ALGORITHMS_RANDOM_POLICY_H_

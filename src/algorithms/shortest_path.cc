@@ -1,0 +1,195 @@
+#include "algorithms/shortest_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "algorithms/greedy_policy.h"
+
+namespace agsc::algorithms {
+
+namespace {
+
+double TourLength(const std::vector<int>& order,
+                  const std::function<double(int, int)>& dist,
+                  const std::function<double(int)>& dist_from_start) {
+  if (order.empty()) return 0.0;
+  double total = dist_from_start(order[0]);
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    total += dist(order[i], order[i + 1]);
+  }
+  return total;
+}
+
+/// Order crossover (OX1): copies a slice of parent a and fills the rest in
+/// parent b's order.
+std::vector<int> OrderCrossover(const std::vector<int>& a,
+                                const std::vector<int>& b, util::Rng& rng) {
+  const size_t n = a.size();
+  if (n < 3) return a;
+  size_t lo = rng.UniformInt(static_cast<uint64_t>(n));
+  size_t hi = rng.UniformInt(static_cast<uint64_t>(n));
+  if (lo > hi) std::swap(lo, hi);
+  std::vector<int> child(n, -1);
+  std::vector<bool> used(n, false);
+  // Map values to positions in `a`'s index space: values are PoI ids, so
+  // track usage by value via a lookup over the slice.
+  for (size_t i = lo; i <= hi; ++i) child[i] = a[i];
+  auto contains = [&](int value) {
+    for (size_t i = lo; i <= hi; ++i) {
+      if (child[i] == value) return true;
+    }
+    return false;
+  };
+  size_t fill = (hi + 1) % n;
+  for (size_t step = 0; step < n; ++step) {
+    const int candidate = b[(hi + 1 + step) % n];
+    if (contains(candidate)) continue;
+    while (child[fill] != -1) fill = (fill + 1) % n;
+    child[fill] = candidate;
+  }
+  return child;
+}
+
+}  // namespace
+
+std::vector<int> GaTour(const std::vector<int>& points,
+                        const std::function<double(int, int)>& dist,
+                        const std::function<double(int)>& dist_from_start,
+                        const GaConfig& config, util::Rng& rng) {
+  if (points.size() <= 2) return points;
+  std::vector<std::vector<int>> population(config.population, points);
+  for (auto& genome : population) rng.Shuffle(genome);
+  std::vector<double> fitness(config.population);
+  auto evaluate = [&](const std::vector<int>& genome) {
+    return TourLength(genome, dist, dist_from_start);
+  };
+  for (int p = 0; p < config.population; ++p) {
+    fitness[p] = evaluate(population[p]);
+  }
+  auto tournament_pick = [&]() {
+    int best = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(config.population)));
+    for (int t = 1; t < config.tournament; ++t) {
+      const int cand = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(config.population)));
+      if (fitness[cand] < fitness[best]) best = cand;
+    }
+    return best;
+  };
+  for (int gen = 0; gen < config.generations; ++gen) {
+    std::vector<std::vector<int>> next;
+    std::vector<double> next_fitness;
+    // Elitism: keep the best genome.
+    const int best = static_cast<int>(
+        std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
+    next.push_back(population[best]);
+    next_fitness.push_back(fitness[best]);
+    while (static_cast<int>(next.size()) < config.population) {
+      std::vector<int> child = population[tournament_pick()];
+      if (rng.Bernoulli(config.crossover_prob)) {
+        child = OrderCrossover(child, population[tournament_pick()], rng);
+      }
+      if (rng.Bernoulli(config.mutation_prob) && child.size() >= 2) {
+        const size_t i =
+            rng.UniformInt(static_cast<uint64_t>(child.size()));
+        const size_t j =
+            rng.UniformInt(static_cast<uint64_t>(child.size()));
+        std::swap(child[i], child[j]);
+      }
+      next_fitness.push_back(evaluate(child));
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    fitness = std::move(next_fitness);
+  }
+  const int best = static_cast<int>(
+      std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
+  return population[best];
+}
+
+ShortestPathPolicy::ShortestPathPolicy(const GaConfig& config)
+    : config_(config) {}
+
+void ShortestPathPolicy::BeginEpisode(const env::ScEnv& env) {
+  const int num_agents = env.num_agents();
+  const int num_pois = env.config().num_pois;
+  tours_.assign(num_agents, {});
+  progress_.assign(num_agents, 0);
+  util::Rng rng(config_.seed);
+
+  // Partition PoIs over UVs by angular sector around the spawn point, so
+  // each UV owns a contiguous wedge of the task area.
+  const map::Point2 spawn = env.dataset().campus.spawn;
+  std::vector<std::pair<double, int>> by_angle;
+  for (int i = 0; i < num_pois; ++i) {
+    const map::Point2 d = env.dataset().pois[i] - spawn;
+    by_angle.emplace_back(std::atan2(d.y, d.x), i);
+  }
+  std::sort(by_angle.begin(), by_angle.end());
+  std::vector<std::vector<int>> partitions(num_agents);
+  for (size_t rank = 0; rank < by_angle.size(); ++rank) {
+    const int owner = static_cast<int>(rank * num_agents / by_angle.size());
+    partitions[owner].push_back(by_angle[rank].second);
+  }
+
+  const map::RoadGraph& roads = env.dataset().campus.roads;
+  for (int k = 0; k < num_agents; ++k) {
+    const bool is_uav = env.IsUav(k);
+    // UGV tour costs respect the roadmap (paper: "shortest paths of UGVs
+    // are under the restriction of roadmap").
+    std::vector<map::RoadPosition> road_pois;
+    if (!is_uav) {
+      road_pois.resize(num_pois);
+      for (int i : partitions[k]) {
+        road_pois[i] = roads.Project(env.dataset().pois[i]);
+      }
+    }
+    auto dist = [&](int a, int b) {
+      if (is_uav) {
+        return map::Distance(env.dataset().pois[a], env.dataset().pois[b]);
+      }
+      return roads.PathDistance(road_pois[a], road_pois[b]);
+    };
+    const map::RoadPosition spawn_road = roads.Project(spawn);
+    auto dist_from_start = [&](int a) {
+      if (is_uav) return map::Distance(spawn, env.dataset().pois[a]);
+      return roads.PathDistance(spawn_road, road_pois[a]);
+    };
+    tours_[k] = GaTour(partitions[k], dist, dist_from_start, config_, rng);
+  }
+}
+
+env::UvAction ShortestPathPolicy::Act(const env::ScEnv& env, int k,
+                                      const std::vector<float>& obs,
+                                      util::Rng& rng, bool deterministic) {
+  (void)obs;
+  (void)rng;
+  (void)deterministic;
+  const map::Point2 pos = env.uv(k).pos;
+  // Advance past drained or reached targets.
+  std::vector<int>& tour = tours_[k];
+  size_t& next = progress_[k];
+  const double arrive_radius = 25.0;
+  while (next < tour.size() &&
+         (env.PoiRemainingGbit(tour[next]) <= 0.0 ||
+          map::Distance(pos, env.dataset().pois[tour[next]]) <
+              arrive_radius)) {
+    // Dwell on a reached PoI until it is drained; skip drained ones.
+    if (env.PoiRemainingGbit(tour[next]) <= 0.0) {
+      ++next;
+      continue;
+    }
+    return {0.0, -1.0};  // Hover/park and collect.
+  }
+  if (next >= tour.size()) return {0.0, -1.0};  // Tour finished.
+  const map::Point2 delta = env.dataset().pois[tour[next]] - pos;
+  const double vmax =
+      env.IsUav(k) ? env.config().uav_vmax : env.config().ugv_vmax;
+  const double reach = vmax * env.config().tau_move;
+  const double speed_fraction =
+      std::min(1.0, map::Norm(delta) / std::max(reach, 1e-9));
+  return HeadingToAction(std::atan2(delta.y, delta.x), speed_fraction);
+}
+
+}  // namespace agsc::algorithms

@@ -1,0 +1,60 @@
+#ifndef AGSC_ALGORITHMS_SHORTEST_PATH_H_
+#define AGSC_ALGORITHMS_SHORTEST_PATH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/evaluator.h"
+
+namespace agsc::algorithms {
+
+/// Genetic-algorithm settings for the Shortest-Path baseline.
+struct GaConfig {
+  int population = 40;
+  int generations = 120;
+  double crossover_prob = 0.9;
+  double mutation_prob = 0.25;
+  int tournament = 3;
+  uint64_t seed = 17;
+};
+
+/// The paper's "Shortest Path" baseline: each UV visits a sequence of PoIs
+/// along the shortest tour found by a genetic algorithm (order crossover +
+/// swap mutation); UGV tour lengths respect the roadmap (shortest-path
+/// distances on the road graph).
+///
+/// PoIs are first partitioned among UVs by nearest-assignment over angular
+/// sectors around the spawn point, then each UV's visiting order is
+/// optimized independently.
+class ShortestPathPolicy : public core::Policy {
+ public:
+  explicit ShortestPathPolicy(const GaConfig& config = GaConfig());
+
+  void BeginEpisode(const env::ScEnv& env) override;
+
+  env::UvAction Act(const env::ScEnv& env, int k,
+                    const std::vector<float>& obs, util::Rng& rng,
+                    bool deterministic) override;
+
+  /// The tour (PoI indices, visit order) planned for agent `k`.
+  const std::vector<int>& TourOf(int k) const { return tours_[k]; }
+
+ private:
+  GaConfig config_;
+  std::vector<std::vector<int>> tours_;   // Per-agent PoI visit order.
+  std::vector<size_t> progress_;          // Next tour index per agent.
+};
+
+/// Optimizes a visiting order over `points` starting from `start` using a
+/// genetic algorithm with the given pairwise `dist` callback. Exposed for
+/// testing. Returns the best order (indices into `points`).
+std::vector<int> GaTour(
+    const std::vector<int>& points,
+    const std::function<double(int, int)>& dist,
+    const std::function<double(int)>& dist_from_start,
+    const GaConfig& config, util::Rng& rng);
+
+}  // namespace agsc::algorithms
+
+#endif  // AGSC_ALGORITHMS_SHORTEST_PATH_H_

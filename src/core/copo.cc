@@ -1,0 +1,53 @@
+#include "core/copo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agsc::core {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double Lcf::phi_rad() const { return phi_deg * kDegToRad; }
+double Lcf::chi_rad() const { return chi_deg * kDegToRad; }
+
+void Lcf::ClampToRange() {
+  phi_deg = std::clamp(phi_deg, 0.0, 90.0);
+  chi_deg = std::clamp(chi_deg, 0.0, 90.0);
+}
+
+double CoopAdvantage(double a, double a_he, double a_ho, const Lcf& lcf) {
+  return a * std::cos(lcf.phi_rad()) +
+         (a_he * std::cos(lcf.chi_rad()) + a_ho * std::sin(lcf.chi_rad())) *
+             std::sin(lcf.phi_rad());
+}
+
+double CoopAdvantageDPhi(double a, double a_he, double a_ho, const Lcf& lcf) {
+  return -a * std::sin(lcf.phi_rad()) +
+         (a_he * std::cos(lcf.chi_rad()) + a_ho * std::sin(lcf.chi_rad())) *
+             std::cos(lcf.phi_rad());
+}
+
+double CoopAdvantageDChi(double a, double a_he, double a_ho, const Lcf& lcf) {
+  return (-a_he * std::sin(lcf.chi_rad()) + a_ho * std::cos(lcf.chi_rad())) *
+         std::sin(lcf.phi_rad());
+}
+
+double CoopAdvantagePlain(double a, double a_neighbor, const Lcf& lcf) {
+  return a * std::cos(lcf.phi_rad()) + a_neighbor * std::sin(lcf.phi_rad());
+}
+
+double CoopAdvantagePlainDPhi(double a, double a_neighbor, const Lcf& lcf) {
+  return -a * std::sin(lcf.phi_rad()) + a_neighbor * std::cos(lcf.phi_rad());
+}
+
+double NeighborMeanReward(const std::vector<int>& neighbors,
+                          const std::vector<double>& rewards) {
+  if (neighbors.empty()) return 0.0;
+  double sum = 0.0;
+  for (int n : neighbors) sum += rewards[n];
+  return sum / static_cast<double>(neighbors.size());
+}
+
+}  // namespace agsc::core

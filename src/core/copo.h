@@ -1,0 +1,49 @@
+#ifndef AGSC_CORE_COPO_H_
+#define AGSC_CORE_COPO_H_
+
+#include <vector>
+
+namespace agsc::core {
+
+/// Local coordination factors of one UV (Section V-B). Both angles are in
+/// degrees and constrained to [0, 90]:
+///  * phi: 0 = fully self-interested, 90 = fully neighbor-oriented;
+///  * chi: attention split between heterogeneous (cos chi) and homogeneous
+///    (sin chi) neighbors.
+/// Algorithm 1 initializes phi = 0, chi = 45.
+struct Lcf {
+  double phi_deg = 0.0;
+  double chi_deg = 45.0;
+
+  double phi_rad() const;
+  double chi_rad() const;
+
+  /// Clamps both angles into [0, 90] degrees.
+  void ClampToRange();
+};
+
+/// Cooperation-aware advantage (Eqn. 27):
+///   A_CO = A cos(phi) + (A_HE cos(chi) + A_HO sin(chi)) sin(phi).
+double CoopAdvantage(double a, double a_he, double a_ho, const Lcf& lcf);
+
+/// dA_CO/dphi (radians).
+double CoopAdvantageDPhi(double a, double a_he, double a_ho, const Lcf& lcf);
+
+/// dA_CO/dchi (radians).
+double CoopAdvantageDChi(double a, double a_he, double a_ho, const Lcf& lcf);
+
+/// The plain-CoPO variant used by the h/i-MADRL(CoPO) baseline: both
+/// neighbor kinds merged into one set, a single neighbor advantage and no
+/// chi split: A_CO = A cos(phi) + A_N sin(phi).
+double CoopAdvantagePlain(double a, double a_neighbor, const Lcf& lcf);
+
+/// dA_CO/dphi for the plain variant.
+double CoopAdvantagePlainDPhi(double a, double a_neighbor, const Lcf& lcf);
+
+/// Mean of `rewards` over `neighbors` indices (Eqn. 23); 0 when empty.
+double NeighborMeanReward(const std::vector<int>& neighbors,
+                          const std::vector<double>& rewards);
+
+}  // namespace agsc::core
+
+#endif  // AGSC_CORE_COPO_H_

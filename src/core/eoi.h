@@ -1,0 +1,64 @@
+#ifndef AGSC_CORE_EOI_H_
+#define AGSC_CORE_EOI_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "nn/optimizer.h"
+
+namespace agsc::core {
+
+/// Hyperparameters of the i-EOI plug-in (Section V-A).
+struct EoiConfig {
+  std::vector<int> hidden = {128, 64};
+  float lr = 1e-3f;
+  float epsilon = 0.1f;  ///< Weight of the MI regularizer in Eqn. (21).
+  int epochs = 2;
+  int minibatch = 256;
+};
+
+/// The i-EOI identity classifier p_mu(k | o^k) (Section V-A).
+///
+/// A global probabilistic classifier maps a local observation to a
+/// distribution over agent identities. Its confidence on the true identity
+/// is the intrinsic reward (Eqn. 19): observations only the owner would see
+/// (far-away, distinct areas) earn high intrinsic reward, driving a spatial
+/// division of work. Training minimizes Eqn. (21): cross-entropy against the
+/// true identity plus epsilon * CE(p, p) (the conditional-entropy
+/// regularizer derived from the mutual-information bound, Eqn. 20).
+class EoiClassifier {
+ public:
+  EoiClassifier(int obs_dim, int num_agents, const EoiConfig& config,
+                util::Rng& rng);
+
+  /// p_mu(.|obs) for one observation (length num_agents, sums to 1).
+  std::vector<float> Probabilities(const std::vector<float>& obs) const;
+
+  /// Intrinsic reward p_mu(k|obs) for agent `k`.
+  float IntrinsicReward(int k, const std::vector<float>& obs) const;
+
+  /// Intrinsic rewards for a batch of (obs) rows of agent `k`.
+  std::vector<float> IntrinsicRewards(
+      int k, const std::vector<std::vector<float>>& obs_rows) const;
+
+  /// One training pass over <o^k, k> samples drawn equally from each agent
+  /// (Algorithm 1, Line 12). `per_agent_obs[k]` holds agent k's
+  /// observations. Returns the mean loss of the last epoch.
+  float Update(const std::vector<const std::vector<std::vector<float>>*>&
+                   per_agent_obs,
+               util::Rng& rng);
+
+  int num_agents() const { return num_agents_; }
+  const nn::Mlp& net() const { return net_; }
+
+ private:
+  int num_agents_;
+  EoiConfig config_;
+  nn::Mlp net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace agsc::core
+
+#endif  // AGSC_CORE_EOI_H_

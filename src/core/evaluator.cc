@@ -1,0 +1,26 @@
+#include "core/evaluator.h"
+
+namespace agsc::core {
+
+EvalResult Evaluate(env::ScEnv& env, Policy& policy, int episodes,
+                    uint64_t seed, bool deterministic) {
+  EvalResult result;
+  util::Rng rng(seed);
+  for (int e = 0; e < episodes; ++e) {
+    env::StepResult step = env.Reset();
+    policy.BeginEpisode(env);
+    while (!step.done) {
+      std::vector<env::UvAction> actions(env.num_agents());
+      for (int k = 0; k < env.num_agents(); ++k) {
+        actions[k] =
+            policy.Act(env, k, step.observations[k], rng, deterministic);
+      }
+      step = env.Step(actions);
+    }
+    result.episodes.push_back(env.EpisodeMetrics());
+  }
+  result.mean = env::Metrics::Average(result.episodes);
+  return result;
+}
+
+}  // namespace agsc::core

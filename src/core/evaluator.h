@@ -1,0 +1,41 @@
+#ifndef AGSC_CORE_EVALUATOR_H_
+#define AGSC_CORE_EVALUATOR_H_
+
+#include <vector>
+
+#include "env/sc_env.h"
+#include "util/rng.h"
+
+namespace agsc::core {
+
+/// A decision-maker for all UVs: learned policies ignore `env` and act from
+/// the observation; planner baselines (Shortest-Path, Greedy) may inspect
+/// the environment directly.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Called once right after env.Reset() for each evaluation episode.
+  virtual void BeginEpisode(const env::ScEnv& env) { (void)env; }
+
+  /// Returns agent `k`'s raw action for this timeslot.
+  virtual env::UvAction Act(const env::ScEnv& env, int k,
+                            const std::vector<float>& obs, util::Rng& rng,
+                            bool deterministic) = 0;
+};
+
+/// Result of an evaluation run.
+struct EvalResult {
+  env::Metrics mean;                    ///< Component-wise episode average.
+  std::vector<env::Metrics> episodes;   ///< Per-episode metrics.
+};
+
+/// Runs `episodes` full episodes of `policy` in `env` (the paper tests each
+/// model 50 times and averages, Section VI). `deterministic` selects the
+/// policy mode instead of sampling.
+EvalResult Evaluate(env::ScEnv& env, Policy& policy, int episodes,
+                    uint64_t seed, bool deterministic = true);
+
+}  // namespace agsc::core
+
+#endif  // AGSC_CORE_EVALUATOR_H_

@@ -1,0 +1,709 @@
+#include "core/hi_madrl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ppo.h"
+#include "nn/serialize.h"
+#include "util/logging.h"
+
+namespace agsc::core {
+
+namespace {
+constexpr double kRadToDeg = 180.0 / M_PI;
+}  // namespace
+
+HiMadrlTrainer::HiMadrlTrainer(env::ScEnv& env, const TrainConfig& config)
+    : env_(env),
+      config_(config),
+      rng_(config.seed),
+      buffer_(env.num_agents()) {
+  const int num_agents = env_.num_agents();
+  const int id_dim = config_.share_params ? num_agents : 0;
+  actor_input_dim_ = env_.obs_dim() + id_dim;
+  const bool state_critic =
+      config_.base == BaseAlgo::kMappo || config_.centralized_critic;
+  critic_input_dim_ = (state_critic ? env_.state_dim() : env_.obs_dim()) +
+                      id_dim;
+
+  const int net_count = config_.share_params ? 1 : num_agents;
+  nets_.resize(net_count);
+  for (int i = 0; i < net_count; ++i) {
+    AgentNets& n = nets_[i];
+    n.actor = std::make_unique<GaussianActor>(
+        actor_input_dim_, env::ScEnv::kActionDim, config_.net, rng_);
+    n.actor_old = std::make_unique<GaussianActor>(
+        actor_input_dim_, env::ScEnv::kActionDim, config_.net, rng_);
+    n.value = std::make_unique<ValueNet>(critic_input_dim_, config_.net, rng_);
+    n.actor_opt = std::make_unique<nn::Adam>(n.actor->Parameters(),
+                                             config_.actor_lr);
+    std::vector<nn::Variable> value_params = n.value->Parameters();
+    if (config_.use_copo) {
+      // Neighborhood value networks take the local observation (Section
+      // V-B), augmented with the one-hot id under SP like the actor.
+      n.value_he =
+          std::make_unique<ValueNet>(actor_input_dim_, config_.net, rng_);
+      n.value_ho =
+          std::make_unique<ValueNet>(actor_input_dim_, config_.net, rng_);
+      for (nn::Variable& p : n.value_he->Parameters()) {
+        value_params.push_back(p);
+      }
+      for (nn::Variable& p : n.value_ho->Parameters()) {
+        value_params.push_back(p);
+      }
+    }
+    n.value_opt =
+        std::make_unique<nn::Adam>(std::move(value_params), config_.critic_lr);
+  }
+  if (config_.use_copo) {
+    value_all_ =
+        std::make_unique<ValueNet>(env_.state_dim(), config_.net, rng_);
+    value_all_opt_ = std::make_unique<nn::Adam>(value_all_->Parameters(),
+                                                config_.critic_lr);
+  }
+  if (config_.use_eoi) {
+    // The classifier sees the *raw* observation (no id features, which
+    // would make the identification task trivial).
+    eoi_ = std::make_unique<EoiClassifier>(env_.obs_dim(), num_agents,
+                                           config_.eoi, rng_);
+  }
+  lcfs_.assign(num_agents, Lcf{});  // phi = 0, chi = 45 (Line 3).
+}
+
+std::vector<float> HiMadrlTrainer::ActorInput(
+    int k, const std::vector<float>& obs) const {
+  if (!config_.share_params) return obs;
+  std::vector<float> input = obs;
+  for (int j = 0; j < env_.num_agents(); ++j) {
+    input.push_back(j == k ? 1.0f : 0.0f);
+  }
+  return input;
+}
+
+std::vector<float> HiMadrlTrainer::CriticInput(
+    int k, const std::vector<float>& obs,
+    const std::vector<float>& state) const {
+  const bool state_critic =
+      config_.base == BaseAlgo::kMappo || config_.centralized_critic;
+  std::vector<float> input = state_critic ? state : obs;
+  if (config_.share_params) {
+    for (int j = 0; j < env_.num_agents(); ++j) {
+      input.push_back(j == k ? 1.0f : 0.0f);
+    }
+  }
+  return input;
+}
+
+void HiMadrlTrainer::CollectRollouts() {
+  buffer_.Clear();
+  rollout_metrics_.clear();
+  const int num_agents = env_.num_agents();
+  for (int e = 0; e < config_.episodes_per_iteration; ++e) {
+    env::StepResult step = env_.Reset();
+    std::vector<std::vector<float>> obs = step.observations;
+    std::vector<float> state = step.state;
+    while (true) {
+      std::vector<env::UvAction> actions(num_agents);
+      std::vector<float> logps(num_agents);
+      std::vector<std::vector<float>> raw_actions(num_agents);
+      for (int k = 0; k < num_agents; ++k) {
+        raw_actions[k] = Nets(k).actor->Act(ActorInput(k, obs[k]), rng_,
+                                            /*deterministic=*/false,
+                                            &logps[k]);
+        actions[k] = {raw_actions[k][0], raw_actions[k][1]};
+      }
+      env::StepResult next = env_.Step(actions);
+      for (int k = 0; k < num_agents; ++k) {
+        AgentRollout& r = buffer_.agents[k];
+        r.obs.push_back(obs[k]);
+        r.next_obs.push_back(next.observations[k]);
+        r.action_dir.push_back(raw_actions[k][0]);
+        r.action_speed.push_back(raw_actions[k][1]);
+        r.logp_old.push_back(logps[k]);
+        r.reward_ext.push_back(static_cast<float>(next.rewards[k]));
+        r.he_neighbors.push_back(env_.HeterogeneousNeighbors(k));
+        r.ho_neighbors.push_back(env_.HomogeneousNeighbors(k));
+        r.done.push_back(next.done ? 1 : 0);
+      }
+      buffer_.states.push_back(state);
+      buffer_.next_states.push_back(next.state);
+      buffer_.done.push_back(next.done ? 1 : 0);
+      obs = next.observations;
+      state = next.state;
+      if (next.done) break;
+    }
+    rollout_metrics_.push_back(env_.EpisodeMetrics());
+    total_env_steps_ +=
+        static_cast<long>(env_.config().num_timeslots) * num_agents;
+  }
+}
+
+float HiMadrlTrainer::CurrentOmegaIn() const {
+  if (!config_.use_eoi) return 0.0f;
+  if (config_.omega_in_final < 0.0f || config_.iterations <= 1) {
+    return config_.omega_in;
+  }
+  const float progress = std::min(
+      1.0f, static_cast<float>(iteration_) /
+                static_cast<float>(config_.iterations - 1));
+  return config_.omega_in +
+         (config_.omega_in_final - config_.omega_in) * progress;
+}
+
+float HiMadrlTrainer::UpdateEoiAndRewards() {
+  const int num_agents = env_.num_agents();
+  const size_t n = buffer_.size();
+  float eoi_loss = 0.0f;
+
+  // Line 12: train the identity classifier on this iteration's buffer.
+  if (config_.use_eoi) {
+    std::vector<const std::vector<std::vector<float>>*> per_agent;
+    per_agent.reserve(num_agents);
+    for (int k = 0; k < num_agents; ++k) {
+      per_agent.push_back(&buffer_.agents[k].obs);
+    }
+    eoi_loss = eoi_->Update(per_agent, rng_);
+  }
+
+  // Compound reward r^k = r_ext + omega_in * p_mu(k|o) (Eqn. 19, Line 16).
+  const float omega_in = CurrentOmegaIn();
+  for (int k = 0; k < num_agents; ++k) {
+    AgentRollout& r = buffer_.agents[k];
+    if (config_.use_eoi) {
+      r.reward_int = eoi_->IntrinsicRewards(k, r.obs);
+    } else {
+      r.reward_int.assign(n, 0.0f);
+    }
+    r.reward.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      r.reward[i] = r.reward_ext[i] + omega_in * r.reward_int[i];
+    }
+  }
+
+  // r_all (Eqn. 29) and the neighbor mean rewards (Eqn. 23).
+  buffer_.reward_all.assign(n, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> rewards_at(num_agents);
+    for (int k = 0; k < num_agents; ++k) {
+      rewards_at[k] = buffer_.agents[k].reward[i];
+      buffer_.reward_all[i] += buffer_.agents[k].reward[i];
+    }
+    for (int k = 0; k < num_agents; ++k) {
+      AgentRollout& r = buffer_.agents[k];
+      if (config_.hetero_copo) {
+        r.reward_he.push_back(static_cast<float>(
+            NeighborMeanReward(r.he_neighbors[i], rewards_at)));
+        r.reward_ho.push_back(static_cast<float>(
+            NeighborMeanReward(r.ho_neighbors[i], rewards_at)));
+      } else {
+        // Plain CoPO: one merged neighbor set (stored in the HE slot).
+        std::vector<int> merged = r.he_neighbors[i];
+        merged.insert(merged.end(), r.ho_neighbors[i].begin(),
+                      r.ho_neighbors[i].end());
+        std::sort(merged.begin(), merged.end());
+        merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+        r.reward_he.push_back(
+            static_cast<float>(NeighborMeanReward(merged, rewards_at)));
+        r.reward_ho.push_back(0.0f);
+      }
+    }
+  }
+  return eoi_loss;
+}
+
+void HiMadrlTrainer::SnapshotOldPolicies() {
+  for (AgentNets& n : nets_) {
+    std::vector<nn::Variable> src = n.actor->Parameters();
+    std::vector<nn::Variable> dst = n.actor_old->Parameters();
+    nn::CopyParameters(src, dst);
+  }
+}
+
+namespace {
+
+/// Computes (normalized) one-step or GAE advantages for a reward stream.
+AdvantageResult StreamAdvantages(const std::vector<float>& rewards,
+                                 const std::vector<float>& values,
+                                 const std::vector<float>& next_values,
+                                 const std::vector<uint8_t>& dones,
+                                 const TrainConfig& config, bool normalize) {
+  AdvantageResult adv =
+      config.gae_lambda < 0.0f
+          ? OneStepAdvantages(rewards, values, next_values, dones,
+                              config.gamma)
+          : GaeAdvantages(rewards, values, next_values, dones, config.gamma,
+                          config.gae_lambda);
+  if (normalize) NormalizeInPlace(adv.advantages);
+  return adv;
+}
+
+/// Elementwise dot product of two gradient snapshots.
+double GradDot(const std::vector<nn::Tensor>& a,
+               const std::vector<nn::Tensor>& b) {
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (int j = 0; j < a[i].size(); ++j) {
+      dot += static_cast<double>(a[i][j]) * b[i][j];
+    }
+  }
+  return dot;
+}
+
+double GradNorm(const std::vector<nn::Tensor>& a) {
+  double sq = 0.0;
+  for (const nn::Tensor& t : a) {
+    for (int j = 0; j < t.size(); ++j) {
+      sq += static_cast<double>(t[j]) * t[j];
+    }
+  }
+  return std::sqrt(sq);
+}
+
+std::vector<nn::Tensor> SnapshotGrads(std::vector<nn::Variable> params) {
+  std::vector<nn::Tensor> out;
+  out.reserve(params.size());
+  for (nn::Variable& p : params) out.push_back(p.grad());
+  return out;
+}
+
+void ZeroGrads(std::vector<nn::Variable> params) {
+  for (nn::Variable& p : params) p.ZeroGrad();
+}
+
+}  // namespace
+
+std::pair<float, float> HiMadrlTrainer::PolicyUpdate() {
+  const int num_agents = env_.num_agents();
+  const size_t n = buffer_.size();
+
+  // Pre-build augmented input rows once per iteration.
+  std::vector<std::vector<std::vector<float>>> actor_inputs(num_agents);
+  std::vector<std::vector<std::vector<float>>> next_actor_inputs(num_agents);
+  std::vector<std::vector<std::vector<float>>> critic_inputs(num_agents);
+  std::vector<std::vector<std::vector<float>>> next_critic_inputs(num_agents);
+  for (int k = 0; k < num_agents; ++k) {
+    const AgentRollout& r = buffer_.agents[k];
+    actor_inputs[k].reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      actor_inputs[k].push_back(ActorInput(k, r.obs[i]));
+      next_actor_inputs[k].push_back(ActorInput(k, r.next_obs[i]));
+      critic_inputs[k].push_back(
+          CriticInput(k, r.obs[i], buffer_.states[i]));
+      next_critic_inputs[k].push_back(
+          CriticInput(k, r.next_obs[i], buffer_.next_states[i]));
+    }
+  }
+
+  double grad_norm_sum = 0.0, value_loss_sum = 0.0;
+  long grad_norm_count = 0, value_loss_count = 0;
+
+  for (int epoch = 0; epoch < config_.policy_epochs; ++epoch) {
+    for (int k = 0; k < num_agents; ++k) {
+      AgentNets& nets = Nets(k);
+      AgentRollout& r = buffer_.agents[k];
+
+      // Value predictions (no grad) and advantage streams (Eqn. 24).
+      const std::vector<float> v = nets.value->Values(critic_inputs[k]);
+      const std::vector<float> vn =
+          nets.value->Values(next_critic_inputs[k]);
+      AdvantageResult adv_k =
+          StreamAdvantages(r.reward, v, vn, r.done, config_, true);
+      AdvantageResult adv_he, adv_ho;
+      if (config_.use_copo) {
+        const std::vector<float> vhe =
+            nets.value_he->Values(actor_inputs[k]);
+        const std::vector<float> vhe_n =
+            nets.value_he->Values(next_actor_inputs[k]);
+        adv_he = StreamAdvantages(r.reward_he, vhe, vhe_n, r.done, config_,
+                                  true);
+        const std::vector<float> vho =
+            nets.value_ho->Values(actor_inputs[k]);
+        const std::vector<float> vho_n =
+            nets.value_ho->Values(next_actor_inputs[k]);
+        adv_ho = StreamAdvantages(r.reward_ho, vho, vho_n, r.done, config_,
+                                  true);
+      }
+
+      // Cooperation-aware advantage A_CO (Eqn. 27) or the base advantage.
+      std::vector<float> a_co(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (!config_.use_copo) {
+          a_co[i] = adv_k.advantages[i];
+        } else if (config_.hetero_copo) {
+          a_co[i] = static_cast<float>(
+              CoopAdvantage(adv_k.advantages[i], adv_he.advantages[i],
+                            adv_ho.advantages[i], lcfs_[k]));
+        } else {
+          a_co[i] = static_cast<float>(CoopAdvantagePlain(
+              adv_k.advantages[i], adv_he.advantages[i], lcfs_[k]));
+        }
+      }
+
+      for (const std::vector<int>& batch :
+           MakeMinibatches(n, config_.minibatch, rng_)) {
+        // --- Actor: maximize J_CO (Eqn. 28) + entropy bonus. ---
+        nn::Tensor obs_b = PackBatch(actor_inputs[k], batch);
+        nn::Tensor act_b = r.ActionBatch(batch);
+        std::vector<float> logp_old_b(batch.size()), a_co_b(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          logp_old_b[i] = r.logp_old[batch[i]];
+          a_co_b[i] = a_co[batch[i]];
+        }
+        nn::DiagGaussian dist = nets.actor->Dist(obs_b);
+        nn::Variable logp = dist.LogProb(act_b);
+        nn::Variable surrogate =
+            PpoSurrogate(logp, logp_old_b, a_co_b, config_.clip);
+        nn::Variable actor_loss =
+            nn::Sub(nn::Neg(surrogate),
+                    nn::ScalarMul(dist.Entropy(), config_.entropy_coef));
+        nets.actor_opt->ZeroGrad();
+        actor_loss.Backward();
+        std::vector<nn::Variable> actor_params = nets.actor->Parameters();
+        grad_norm_sum +=
+            nn::ClipGradNorm(actor_params, config_.max_grad_norm);
+        ++grad_norm_count;
+        nets.actor_opt->Step();
+
+        // --- Critics: Eqn. (26) TD regression for V^k, V_HE, V_HO. ---
+        auto value_target = [&](const AdvantageResult& adv) {
+          nn::Tensor t(static_cast<int>(batch.size()), 1);
+          for (size_t i = 0; i < batch.size(); ++i) {
+            t(static_cast<int>(i), 0) = adv.returns[batch[i]];
+          }
+          return t;
+        };
+        nets.value_opt->ZeroGrad();
+        nn::Tensor critic_b = PackBatch(critic_inputs[k], batch);
+        nn::Variable v_loss =
+            nn::MseLoss(nets.value->Forward(critic_b), value_target(adv_k));
+        v_loss.Backward();
+        value_loss_sum += v_loss.value()(0, 0);
+        ++value_loss_count;
+        if (config_.use_copo) {
+          nn::MseLoss(nets.value_he->Forward(obs_b), value_target(adv_he))
+              .Backward();
+          nn::MseLoss(nets.value_ho->Forward(obs_b), value_target(adv_ho))
+              .Backward();
+        }
+        nets.value_opt->Step();
+      }
+    }
+
+    // Line 20: update the overall value network V_all on r_all.
+    if (config_.use_copo) {
+      const std::vector<float> v_all = value_all_->Values(buffer_.states);
+      const std::vector<float> v_all_next =
+          value_all_->Values(buffer_.next_states);
+      AdvantageResult adv_all = StreamAdvantages(
+          buffer_.reward_all, v_all, v_all_next, buffer_.done, config_, false);
+      for (const std::vector<int>& batch :
+           MakeMinibatches(n, config_.minibatch, rng_)) {
+        nn::Tensor s_b = buffer_.StateBatch(batch);
+        nn::Tensor target(static_cast<int>(batch.size()), 1);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          target(static_cast<int>(i), 0) = adv_all.returns[batch[i]];
+        }
+        value_all_opt_->ZeroGrad();
+        nn::MseLoss(value_all_->Forward(s_b), target).Backward();
+        value_all_opt_->Step();
+      }
+    }
+  }
+  return {grad_norm_count > 0
+              ? static_cast<float>(grad_norm_sum / grad_norm_count)
+              : 0.0f,
+          value_loss_count > 0
+              ? static_cast<float>(value_loss_sum / value_loss_count)
+              : 0.0f};
+}
+
+void HiMadrlTrainer::LcfUpdate() {
+  if (!config_.use_copo) return;
+  const int num_agents = env_.num_agents();
+  const size_t n = buffer_.size();
+
+  // Overall advantage A_all from V_all (Eqn. 31), shared by all agents.
+  const std::vector<float> v_all = value_all_->Values(buffer_.states);
+  const std::vector<float> v_all_next =
+      value_all_->Values(buffer_.next_states);
+  AdvantageResult adv_all = StreamAdvantages(
+      buffer_.reward_all, v_all, v_all_next, buffer_.done, config_, true);
+
+  // Input caches are policy-independent; build them once.
+  std::vector<std::vector<std::vector<float>>> all_actor_inputs(num_agents);
+  std::vector<std::vector<std::vector<float>>> all_next_actor_inputs(
+      num_agents);
+  std::vector<std::vector<std::vector<float>>> all_critic_inputs(num_agents);
+  std::vector<std::vector<std::vector<float>>> all_next_critic_inputs(
+      num_agents);
+  for (int k = 0; k < num_agents; ++k) {
+    const AgentRollout& r = buffer_.agents[k];
+    all_actor_inputs[k].reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      all_actor_inputs[k].push_back(ActorInput(k, r.obs[i]));
+      all_next_actor_inputs[k].push_back(ActorInput(k, r.next_obs[i]));
+      all_critic_inputs[k].push_back(
+          CriticInput(k, r.obs[i], buffer_.states[i]));
+      all_next_critic_inputs[k].push_back(
+          CriticInput(k, r.next_obs[i], buffer_.next_states[i]));
+    }
+  }
+
+  for (int m = 0; m < config_.lcf_epochs; ++m) {
+    for (int k = 0; k < num_agents; ++k) {
+      AgentNets& nets = Nets(k);
+      AgentRollout& r = buffer_.agents[k];
+
+      // Advantage streams with current critics (for dA_CO/d(phi,chi)).
+      const auto& actor_inputs = all_actor_inputs[k];
+      const auto& next_actor_inputs = all_next_actor_inputs[k];
+      const auto& critic_inputs = all_critic_inputs[k];
+      const auto& next_critic_inputs = all_next_critic_inputs[k];
+      const std::vector<float> v = nets.value->Values(critic_inputs);
+      const std::vector<float> vn = nets.value->Values(next_critic_inputs);
+      AdvantageResult adv_k =
+          StreamAdvantages(r.reward, v, vn, r.done, config_, true);
+      const std::vector<float> vhe = nets.value_he->Values(actor_inputs);
+      const std::vector<float> vhe_n =
+          nets.value_he->Values(next_actor_inputs);
+      AdvantageResult adv_he =
+          StreamAdvantages(r.reward_he, vhe, vhe_n, r.done, config_, true);
+      const std::vector<float> vho = nets.value_ho->Values(actor_inputs);
+      const std::vector<float> vho_n =
+          nets.value_ho->Values(next_actor_inputs);
+      AdvantageResult adv_ho =
+          StreamAdvantages(r.reward_ho, vho, vho_n, r.done, config_, true);
+
+      for (const std::vector<int>& batch :
+           MakeMinibatches(n, config_.minibatch, rng_)) {
+        nn::Tensor obs_b = PackBatch(actor_inputs, batch);
+        nn::Tensor act_b = r.ActionBatch(batch);
+        std::vector<float> logp_old_b(batch.size()), adv_all_b(batch.size());
+        nn::Tensor w_phi(static_cast<int>(batch.size()), 1);
+        nn::Tensor w_chi(static_cast<int>(batch.size()), 1);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const int idx = batch[i];
+          logp_old_b[i] = r.logp_old[idx];
+          adv_all_b[i] = adv_all.advantages[idx];
+          if (config_.hetero_copo) {
+            w_phi(static_cast<int>(i), 0) = static_cast<float>(
+                CoopAdvantageDPhi(adv_k.advantages[idx],
+                                  adv_he.advantages[idx],
+                                  adv_ho.advantages[idx], lcfs_[k]));
+            w_chi(static_cast<int>(i), 0) = static_cast<float>(
+                CoopAdvantageDChi(adv_k.advantages[idx],
+                                  adv_he.advantages[idx],
+                                  adv_ho.advantages[idx], lcfs_[k]));
+          } else {
+            w_phi(static_cast<int>(i), 0) =
+                static_cast<float>(CoopAdvantagePlainDPhi(
+                    adv_k.advantages[idx], adv_he.advantages[idx], lcfs_[k]));
+            w_chi(static_cast<int>(i), 0) = 0.0f;
+          }
+        }
+
+        // First factor of Eqn. (30): grad of J_all w.r.t. theta_new
+        // (Eqn. 31) via the clipped surrogate with A_all.
+        nn::DiagGaussian dist_new = nets.actor->Dist(obs_b);
+        nn::Variable j_all = PpoSurrogate(dist_new.LogProb(act_b),
+                                          logp_old_b, adv_all_b,
+                                          config_.clip);
+        ZeroGrads(nets.actor->Parameters());
+        j_all.Backward();
+        const std::vector<nn::Tensor> g_all =
+            SnapshotGrads(nets.actor->Parameters());
+
+        // Second factor (Eqn. 32): alpha * E[grad_theta_old log pi *
+        // dA_CO/dLCF], evaluated on the frozen behavior policy.
+        auto lcf_grad = [&](const nn::Tensor& weights) {
+          nn::DiagGaussian dist_old = nets.actor_old->Dist(obs_b);
+          nn::Variable weighted =
+              nn::Mean(nn::Mul(dist_old.LogProb(act_b),
+                               nn::Variable::Constant(weights)));
+          ZeroGrads(nets.actor_old->Parameters());
+          weighted.Backward();
+          return SnapshotGrads(nets.actor_old->Parameters());
+        };
+        const std::vector<nn::Tensor> g_phi = lcf_grad(w_phi);
+        const double norm_all = GradNorm(g_all);
+        const double norm_phi = GradNorm(g_phi);
+        // Normalized meta-gradient (cosine form) for numerical robustness;
+        // the sign and relative magnitude follow Eqn. (30).
+        const double dot_phi =
+            GradDot(g_all, g_phi) / (norm_all * norm_phi + 1e-12);
+        double step_phi = config_.lcf_lr * dot_phi * kRadToDeg *
+                          static_cast<double>(config_.actor_lr);
+        step_phi = std::clamp(step_phi,
+                              -static_cast<double>(config_.max_lcf_step_deg),
+                              static_cast<double>(config_.max_lcf_step_deg));
+        lcfs_[k].phi_deg += step_phi;
+        if (config_.hetero_copo) {
+          const std::vector<nn::Tensor> g_chi = lcf_grad(w_chi);
+          const double norm_chi = GradNorm(g_chi);
+          const double dot_chi =
+              GradDot(g_all, g_chi) / (norm_all * norm_chi + 1e-12);
+          double step_chi = config_.lcf_lr * dot_chi * kRadToDeg *
+                            static_cast<double>(config_.actor_lr);
+          step_chi = std::clamp(
+              step_chi, -static_cast<double>(config_.max_lcf_step_deg),
+              static_cast<double>(config_.max_lcf_step_deg));
+          lcfs_[k].chi_deg += step_chi;
+        }
+        lcfs_[k].ClampToRange();
+      }
+    }
+  }
+}
+
+IterationStats HiMadrlTrainer::TrainIteration() {
+  IterationStats stats;
+  stats.iteration = iteration_;
+
+  CollectRollouts();
+  stats.eoi_loss = UpdateEoiAndRewards();
+  SnapshotOldPolicies();
+  const auto [grad_norm, value_loss] = PolicyUpdate();
+  stats.actor_grad_norm = grad_norm;
+  stats.value_loss = value_loss;
+  LcfUpdate();
+
+  stats.rollout_metrics = env::Metrics::Average(rollout_metrics_);
+  double ext_sum = 0.0, int_sum = 0.0;
+  long count = 0;
+  for (const AgentRollout& r : buffer_.agents) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      ext_sum += r.reward_ext[i];
+      int_sum += r.reward_int[i];
+      ++count;
+    }
+  }
+  stats.mean_reward_ext =
+      count > 0 ? static_cast<float>(ext_sum / count) : 0.0f;
+  stats.mean_reward_int =
+      count > 0 ? static_cast<float>(int_sum / count) : 0.0f;
+  stats.total_env_steps = total_env_steps_;
+
+  if (config_.verbose) {
+    AGSC_LOG(kInfo) << "iter " << iteration_ << " lambda="
+                    << stats.rollout_metrics.efficiency
+                    << " r_ext=" << stats.mean_reward_ext
+                    << " grad=" << stats.actor_grad_norm;
+  }
+  ++iteration_;
+  return stats;
+}
+
+std::vector<IterationStats> HiMadrlTrainer::Train(int iterations) {
+  const int total = iterations >= 0 ? iterations : config_.iterations;
+  std::vector<IterationStats> all;
+  all.reserve(total);
+  for (int i = 0; i < total; ++i) all.push_back(TrainIteration());
+  return all;
+}
+
+env::UvAction HiMadrlTrainer::Act(const env::ScEnv& env, int k,
+                                  const std::vector<float>& obs,
+                                  util::Rng& rng, bool deterministic) {
+  (void)env;
+  const std::vector<float> action =
+      Nets(k).actor->Act(ActorInput(k, obs), rng, deterministic, nullptr);
+  return {action[0], action[1]};
+}
+
+namespace {
+
+/// All persistent parameters in a stable order, with the LCF angles packed
+/// into one trailing Kx2 tensor (phi, chi rows).
+std::vector<nn::Variable> CheckpointVars(
+    const std::vector<nn::Variable>& net_params,
+    const std::vector<Lcf>& lcfs) {
+  std::vector<nn::Variable> vars = net_params;
+  nn::Tensor lcf_tensor(static_cast<int>(lcfs.size()), 2);
+  for (size_t k = 0; k < lcfs.size(); ++k) {
+    lcf_tensor(static_cast<int>(k), 0) = static_cast<float>(lcfs[k].phi_deg);
+    lcf_tensor(static_cast<int>(k), 1) = static_cast<float>(lcfs[k].chi_deg);
+  }
+  vars.push_back(nn::Variable::Parameter(std::move(lcf_tensor)));
+  return vars;
+}
+
+}  // namespace
+
+bool HiMadrlTrainer::SaveCheckpoint(const std::string& path) const {
+  std::vector<nn::Variable> params;
+  for (const AgentNets& n : nets_) {
+    for (const nn::Variable& p : n.actor->Parameters()) params.push_back(p);
+    for (const nn::Variable& p : n.value->Parameters()) params.push_back(p);
+    if (n.value_he) {
+      for (const nn::Variable& p : n.value_he->Parameters()) {
+        params.push_back(p);
+      }
+      for (const nn::Variable& p : n.value_ho->Parameters()) {
+        params.push_back(p);
+      }
+    }
+  }
+  if (value_all_) {
+    for (const nn::Variable& p : value_all_->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  if (eoi_) {
+    for (const nn::Variable& p : eoi_->net().Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return nn::SaveParameters(path, CheckpointVars(params, lcfs_));
+}
+
+bool HiMadrlTrainer::LoadCheckpoint(const std::string& path) {
+  std::vector<nn::Variable> params;
+  for (AgentNets& n : nets_) {
+    for (nn::Variable& p : n.actor->Parameters()) params.push_back(p);
+    for (nn::Variable& p : n.value->Parameters()) params.push_back(p);
+    if (n.value_he) {
+      for (nn::Variable& p : n.value_he->Parameters()) params.push_back(p);
+      for (nn::Variable& p : n.value_ho->Parameters()) params.push_back(p);
+    }
+  }
+  if (value_all_) {
+    for (nn::Variable& p : value_all_->Parameters()) params.push_back(p);
+  }
+  if (eoi_) {
+    for (nn::Variable& p : eoi_->net().Parameters()) params.push_back(p);
+  }
+  std::vector<nn::Variable> vars = CheckpointVars(params, lcfs_);
+  // LoadParameters writes into the tensors referenced by `vars`; the net
+  // parameters alias the live networks, the trailing tensor is a staging
+  // buffer for the LCFs.
+  if (!nn::LoadParameters(path, vars)) return false;
+  const nn::Tensor& lcf_tensor = vars.back().value();
+  for (size_t k = 0; k < lcfs_.size(); ++k) {
+    lcfs_[k].phi_deg = lcf_tensor(static_cast<int>(k), 0);
+    lcfs_[k].chi_deg = lcf_tensor(static_cast<int>(k), 1);
+  }
+  // Keep theta_old in sync so the next LCF update sees a consistent pair.
+  SnapshotOldPolicies();
+  return true;
+}
+
+int HiMadrlTrainer::TotalParameterCount() const {
+  int total = 0;
+  for (const AgentNets& n : nets_) {
+    total += n.actor->ParameterCount();
+    total += n.value->ParameterCount();
+    if (n.value_he) total += n.value_he->ParameterCount();
+    if (n.value_ho) total += n.value_ho->ParameterCount();
+  }
+  if (value_all_) total += value_all_->ParameterCount();
+  if (eoi_) total += eoi_->net().ParameterCount();
+  return total;
+}
+
+int HiMadrlTrainer::ActorParameterBytes() const {
+  int total = 0;
+  for (const AgentNets& n : nets_) total += n.actor->ParameterCount();
+  return total * static_cast<int>(sizeof(float));
+}
+
+}  // namespace agsc::core

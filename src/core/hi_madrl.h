@@ -1,0 +1,167 @@
+#ifndef AGSC_CORE_HI_MADRL_H_
+#define AGSC_CORE_HI_MADRL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/copo.h"
+#include "core/eoi.h"
+#include "core/evaluator.h"
+#include "core/policy.h"
+#include "core/rollout.h"
+#include "env/sc_env.h"
+#include "nn/optimizer.h"
+
+namespace agsc::core {
+
+/// Which multi-agent actor-critic serves as the base module (Section V):
+/// IPPO (independent critics on local obs) or MAPPO (critics on the global
+/// state).
+enum class BaseAlgo { kIppo, kMappo };
+
+/// Full training configuration of h/i-MADRL (Algorithm 1). Disabling both
+/// plug-ins reduces the trainer to plain IPPO/MAPPO, which is how the
+/// ablations and the MAPPO baseline are run.
+struct TrainConfig {
+  BaseAlgo base = BaseAlgo::kIppo;
+  int iterations = 100;          ///< N outer iterations.
+  int episodes_per_iteration = 4;
+  int policy_epochs = 4;         ///< M1.
+  int lcf_epochs = 2;            ///< M2.
+  int minibatch = 256;
+  float gamma = 0.95f;
+  /// <0 uses the paper's one-step advantage (Eqn. 24); otherwise GAE lambda.
+  float gae_lambda = -1.0f;
+  float clip = 0.2f;             ///< PPO clip epsilon.
+  float actor_lr = 3e-4f;
+  float critic_lr = 1e-3f;
+  float entropy_coef = 1e-3f;
+  float max_grad_norm = 10.0f;
+
+  // --- i-EOI plug-in (Section V-A) ---
+  bool use_eoi = true;
+  float omega_in = 0.003f;        ///< Intrinsic weight (Eqn. 19, Table III).
+  /// >= 0 linearly anneals omega_in to this value over training (Table IV).
+  float omega_in_final = -1.0f;
+  EoiConfig eoi;
+
+  // --- h-CoPO plug-in (Section V-B) ---
+  bool use_copo = true;
+  /// true = h-CoPO (separate HE/HO neighbor advantages + chi); false = the
+  /// plain CoPO of the h/i-MADRL(CoPO) baseline (merged neighbor set).
+  bool hetero_copo = true;
+  float lcf_lr = 50.0f;           ///< Outer meta step on the LCF degrees.
+  float max_lcf_step_deg = 3.0f;  ///< Per-minibatch LCF step clamp.
+
+  // --- Architecture variants swept by Table III ---
+  bool share_params = false;       ///< SP: one network for all UVs.
+  bool centralized_critic = false; ///< CC: V^k takes the global state.
+
+  NetConfig net;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// Per-iteration training diagnostics.
+struct IterationStats {
+  int iteration = 0;
+  env::Metrics rollout_metrics;   ///< Mean metrics of this iter's episodes.
+  float mean_reward_ext = 0.0f;
+  float mean_reward_int = 0.0f;
+  float eoi_loss = 0.0f;
+  float actor_grad_norm = 0.0f;   ///< ||grad J_CO|| (sample complexity).
+  float value_loss = 0.0f;
+  long total_env_steps = 0;       ///< Cumulative agent-steps consumed.
+};
+
+/// The h/i-MADRL trainer (Algorithm 1): a PPO-family base module plus the
+/// i-EOI and h-CoPO plug-ins. Also acts as an evaluation `Policy`.
+class HiMadrlTrainer : public Policy {
+ public:
+  HiMadrlTrainer(env::ScEnv& env, const TrainConfig& config);
+
+  /// One outer iteration: rollout -> i-EOI update -> M1 policy epochs ->
+  /// M2 LCF meta-updates. Returns diagnostics.
+  IterationStats TrainIteration();
+
+  /// Runs `config.iterations` iterations (or `iterations` if >= 0).
+  std::vector<IterationStats> Train(int iterations = -1);
+
+  // Policy interface (deterministic evaluation uses the Gaussian mode).
+  env::UvAction Act(const env::ScEnv& env, int k,
+                    const std::vector<float>& obs, util::Rng& rng,
+                    bool deterministic) override;
+
+  const std::vector<Lcf>& lcfs() const { return lcfs_; }
+  const TrainConfig& config() const { return config_; }
+  long total_env_steps() const { return total_env_steps_; }
+
+  /// Total scalar parameters across all live networks.
+  int TotalParameterCount() const;
+
+  /// Inference-only parameter bytes (actors only; critics and the i-EOI
+  /// classifier are train-time constructs under CTDE, Section VI-F).
+  int ActorParameterBytes() const;
+
+  /// Current effective intrinsic-reward weight (after annealing).
+  float CurrentOmegaIn() const;
+
+  /// Writes all live network parameters and the per-agent LCFs to `path`
+  /// (binary, see nn/serialize.h). Returns false on I/O failure.
+  bool SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a checkpoint written by SaveCheckpoint into this trainer.
+  /// The trainer must have been constructed with the same architecture
+  /// (env dims + TrainConfig network settings). Returns false on failure.
+  bool LoadCheckpoint(const std::string& path);
+
+ private:
+  struct AgentNets {
+    std::unique_ptr<GaussianActor> actor;
+    std::unique_ptr<GaussianActor> actor_old;  ///< theta_old (Line 13).
+    std::unique_ptr<ValueNet> value;           ///< V^k.
+    std::unique_ptr<ValueNet> value_he;        ///< V^k_HE.
+    std::unique_ptr<ValueNet> value_ho;        ///< V^k_HO.
+    std::unique_ptr<nn::Adam> actor_opt;
+    std::unique_ptr<nn::Adam> value_opt;
+  };
+
+  AgentNets& Nets(int k) { return nets_[config_.share_params ? 0 : k]; }
+  const AgentNets& Nets(int k) const {
+    return nets_[config_.share_params ? 0 : k];
+  }
+
+  /// Actor input: raw obs, plus a one-hot agent id when parameters are
+  /// shared (SP) so the shared network can distinguish UVs.
+  std::vector<float> ActorInput(int k, const std::vector<float>& obs) const;
+  /// Critic input: obs for IPPO, global state for MAPPO or CC (+ one-hot
+  /// under SP).
+  std::vector<float> CriticInput(int k, const std::vector<float>& obs,
+                                 const std::vector<float>& state) const;
+
+  void CollectRollouts();
+  float UpdateEoiAndRewards();
+  void SnapshotOldPolicies();
+  /// Returns {mean actor grad norm, mean value loss}.
+  std::pair<float, float> PolicyUpdate();
+  void LcfUpdate();
+
+  env::ScEnv& env_;
+  TrainConfig config_;
+  util::Rng rng_;
+  std::vector<AgentNets> nets_;
+  std::unique_ptr<ValueNet> value_all_;       ///< V_all on the state.
+  std::unique_ptr<nn::Adam> value_all_opt_;
+  std::unique_ptr<EoiClassifier> eoi_;
+  std::vector<Lcf> lcfs_;
+  MultiAgentBuffer buffer_;
+  std::vector<env::Metrics> rollout_metrics_;
+  int iteration_ = 0;
+  long total_env_steps_ = 0;
+  int actor_input_dim_ = 0;
+  int critic_input_dim_ = 0;
+};
+
+}  // namespace agsc::core
+
+#endif  // AGSC_CORE_HI_MADRL_H_

@@ -1,0 +1,90 @@
+#include "core/rollout.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace agsc::core {
+
+void AgentRollout::Clear() {
+  obs.clear();
+  next_obs.clear();
+  action_dir.clear();
+  action_speed.clear();
+  logp_old.clear();
+  reward_ext.clear();
+  reward_int.clear();
+  reward.clear();
+  reward_he.clear();
+  reward_ho.clear();
+  he_neighbors.clear();
+  ho_neighbors.clear();
+  done.clear();
+}
+
+nn::Tensor PackBatch(const std::vector<std::vector<float>>& rows,
+                     const std::vector<int>& indices) {
+  if (indices.empty()) throw std::invalid_argument("PackBatch: empty batch");
+  const int dim = static_cast<int>(rows[indices[0]].size());
+  nn::Tensor batch(static_cast<int>(indices.size()), dim);
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const std::vector<float>& row = rows[indices[r]];
+    for (int c = 0; c < dim; ++c) batch(static_cast<int>(r), c) = row[c];
+  }
+  return batch;
+}
+
+nn::Tensor AgentRollout::ObsBatch(const std::vector<int>& indices) const {
+  return PackBatch(obs, indices);
+}
+
+nn::Tensor AgentRollout::NextObsBatch(const std::vector<int>& indices) const {
+  return PackBatch(next_obs, indices);
+}
+
+nn::Tensor AgentRollout::ActionBatch(const std::vector<int>& indices) const {
+  nn::Tensor batch(static_cast<int>(indices.size()), 2);
+  for (size_t r = 0; r < indices.size(); ++r) {
+    batch(static_cast<int>(r), 0) = action_dir[indices[r]];
+    batch(static_cast<int>(r), 1) = action_speed[indices[r]];
+  }
+  return batch;
+}
+
+void MultiAgentBuffer::Clear() {
+  for (AgentRollout& a : agents) a.Clear();
+  states.clear();
+  next_states.clear();
+  reward_all.clear();
+  done.clear();
+}
+
+nn::Tensor MultiAgentBuffer::StateBatch(const std::vector<int>& indices) const {
+  return PackBatch(states, indices);
+}
+
+nn::Tensor MultiAgentBuffer::NextStateBatch(
+    const std::vector<int>& indices) const {
+  return PackBatch(next_states, indices);
+}
+
+std::vector<int> AllIndices(size_t n) {
+  std::vector<int> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int>(i);
+  return idx;
+}
+
+std::vector<std::vector<int>> MakeMinibatches(size_t n, int batch_size,
+                                              util::Rng& rng) {
+  std::vector<int> idx = AllIndices(n);
+  rng.Shuffle(idx);
+  std::vector<std::vector<int>> batches;
+  for (size_t start = 0; start < idx.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end = std::min(idx.size(), start + batch_size);
+    batches.emplace_back(idx.begin() + start, idx.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace agsc::core

@@ -1,0 +1,62 @@
+#include "env/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agsc::env {
+
+double DbToLinear(double db) { return std::pow(10.0, db / 10.0); }
+
+double LinearToDb(double linear) { return 10.0 * std::log10(linear); }
+
+ChannelModel::ChannelModel(const EnvConfig& config)
+    : config_(config),
+      eta_los_linear_(DbToLinear(config.eta_los_db)),
+      eta_nlos_linear_(DbToLinear(config.eta_nlos_db)),
+      noise_power_(config.noise_psd * config.bandwidth_hz),
+      sinr_threshold_linear_(DbToLinear(config.sinr_threshold_db)) {}
+
+double ChannelModel::LosProbability(double angle_deg) const {
+  // Eqn. (2): 1 / (1 + omega * exp(-beta * angle)).
+  return 1.0 /
+         (1.0 + config_.omega_los * std::exp(-config_.beta_los * angle_deg));
+}
+
+double ChannelModel::AirLinkGain(const map::Point2& ground,
+                                 const map::Point2& air,
+                                 double height) const {
+  const double d = std::max(map::SlantDistance(ground, air, height), 1.0);
+  const double angle = map::ElevationAngleDeg(ground, air, height);
+  const double p_los = LosProbability(angle);
+  const double path = std::pow(d, -config_.alpha1);
+  // Eqn. (3): mixture of LoS and NLoS attenuation over the same path loss.
+  return (p_los * eta_los_linear_ + (1.0 - p_los) * eta_nlos_linear_) * path;
+}
+
+double ChannelModel::GroundLinkGain(const map::Point2& a,
+                                    const map::Point2& b,
+                                    double fading_gain) const {
+  const double d = std::max(map::Distance(a, b), 1.0);
+  return fading_gain * std::pow(d, -config_.alpha2);
+}
+
+double ChannelModel::Capacity(double sinr_linear) const {
+  return config_.bandwidth_hz * std::log2(1.0 + std::max(sinr_linear, 0.0));
+}
+
+double ChannelModel::UplinkUavSinr(double gain_iu, double gain_i2u) const {
+  return gain_iu * config_.rho_poi_w /
+         (noise_power_ + gain_i2u * config_.rho_poi_w);
+}
+
+double ChannelModel::UplinkUgvSinr(double gain_i2g) const {
+  return gain_i2g * config_.rho_poi_w / noise_power_;
+}
+
+double ChannelModel::RelaySinr(double gain_ug, double gain_ig,
+                               double gain_i2g) const {
+  return (gain_ug * config_.rho_uav_w + gain_ig * config_.rho_poi_w) /
+         (noise_power_ + gain_i2g * config_.rho_poi_w);
+}
+
+}  // namespace agsc::env

@@ -1,0 +1,71 @@
+#ifndef AGSC_ENV_CHANNEL_H_
+#define AGSC_ENV_CHANNEL_H_
+
+#include "env/config.h"
+#include "map/geometry.h"
+
+namespace agsc::env {
+
+/// Converts decibels to a linear power ratio.
+double DbToLinear(double db);
+
+/// Converts a linear power ratio to decibels.
+double LinearToDb(double linear);
+
+/// AG-NOMA channel calculator implementing Section III-B.
+///
+/// Three link types are modeled:
+///  * PoI -> UAV uplink (ground-to-air, probabilistic LoS, Eqns. 2-4),
+///  * PoI -> UGV uplink (ground-to-ground, Rayleigh + path loss, Eqns. 5-6),
+///  * UAV -> UGV relay (air-to-ground, same LoS model, Eqns. 7-9).
+class ChannelModel {
+ public:
+  explicit ChannelModel(const EnvConfig& config);
+
+  /// LoS probability of a ground<->air link with elevation `angle_deg`
+  /// (Eqn. 2 / Eqn. 7).
+  double LosProbability(double angle_deg) const;
+
+  /// Expected air link gain between a ground point and an aerial point at
+  /// the configured UAV height (Eqns. 3 / 8): LoS/NLoS mixture over
+  /// d^-alpha1 with extra attenuation factors.
+  double AirLinkGain(const map::Point2& ground, const map::Point2& air,
+                     double height) const;
+
+  /// Ground link gain (Eqn. 5): |h|^2 d^-alpha2. `fading_gain` is the
+  /// sampled |h_z|^2 (pass config.rayleigh_mean_gain for the mean).
+  double GroundLinkGain(const map::Point2& a, const map::Point2& b,
+                        double fading_gain) const;
+
+  /// Shannon capacity of one subchannel (bits/s) at linear SINR (Eqn. 4).
+  double Capacity(double sinr_linear) const;
+
+  /// SINR of the PoI i -> UAV u uplink with co-channel interferer i'
+  /// (Eqn. 4). `gain_iu` / `gain_i2u` are AirLinkGain values.
+  double UplinkUavSinr(double gain_iu, double gain_i2u) const;
+
+  /// SINR of the PoI i' -> UGV g direct uplink after SIC (Eqn. 6).
+  double UplinkUgvSinr(double gain_i2g) const;
+
+  /// SINR of the UAV u -> UGV g relay link carrying PoI i's data with
+  /// interference from PoI i' (Eqn. 9). Gains: relay u->g, direct i->g copy,
+  /// interferer i'->g.
+  double RelaySinr(double gain_ug, double gain_ig, double gain_i2g) const;
+
+  /// Noise power over one subchannel: N0 * B.
+  double NoisePower() const { return noise_power_; }
+
+  /// Linear SINR threshold from the configured dB threshold.
+  double SinrThresholdLinear() const { return sinr_threshold_linear_; }
+
+ private:
+  EnvConfig config_;
+  double eta_los_linear_;
+  double eta_nlos_linear_;
+  double noise_power_;
+  double sinr_threshold_linear_;
+};
+
+}  // namespace agsc::env
+
+#endif  // AGSC_ENV_CHANNEL_H_

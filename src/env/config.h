@@ -1,0 +1,107 @@
+#ifndef AGSC_ENV_CONFIG_H_
+#define AGSC_ENV_CONFIG_H_
+
+#include <cstdint>
+
+namespace agsc::env {
+
+/// Uplink medium-access scheme. The paper's system model is NOMA, but it
+/// notes (end of Section III) that the solution applies to TDMA/OFDMA "by
+/// simply re-defining the data collection and relay models"; these
+/// alternatives exercise that claim:
+///  * kNoma  — power-domain superposition: direct and relay links share the
+///    full subchannel simultaneously and interfere (Eqns. 4, 9);
+///  * kTdma  — time-shared: no co-channel interference, but each
+///    transmission only gets half of the collection window;
+///  * kOfdma — frequency-split: no interference, half the bandwidth each,
+///    and the per-Hz noise drop doubles the subband SINR.
+enum class MediumAccess { kNoma, kTdma, kOfdma };
+
+/// Simulation settings. Defaults reproduce the paper's Table II; sweep
+/// benches override individual fields.
+struct EnvConfig {
+  // --- Task structure (Table II) ---
+  int num_timeslots = 100;        ///< T.
+  double tau_move = 10.0;         ///< Movement time per slot (s).
+  double tau_coll = 10.0;         ///< Data-collection time per slot (s).
+  int num_pois = 100;             ///< I.
+  double initial_data_gbit = 3.0; ///< D_0^i per PoI (Gbit).
+  int num_uavs = 2;               ///< U.
+  int num_ugvs = 2;               ///< G.
+
+  // --- Mobility / energy (Table II + Eqn. 1) ---
+  double uav_vmax = 18.0;         ///< m/s (DJI Matrice 600 class).
+  double ugv_vmax = 10.0;         ///< m/s.
+  double uav_height = 60.0;       ///< H_u hover altitude (m).
+  double uav_energy_kj = 1500.0;  ///< E_0^u (kJ).
+  double ugv_energy_kj = 2000.0;  ///< E_0^g (kJ).
+  /// Energy model eta = (idle_power + move_power * v / vmax) * slot seconds.
+  /// The move term realizes Eqn. (1)'s proportionality to speed; the idle
+  /// term models hover/electronics so that the energy ratio xi has a floor
+  /// and the efficiency metric lambda = psi(1-sigma)kappa/xi stays bounded.
+  double uav_idle_power_w = 40.0;
+  double uav_move_power_w = 400.0;
+  double ugv_idle_power_w = 25.0;
+  double ugv_move_power_w = 250.0;
+
+  // --- AG-NOMA channel (Table II, Section III-B) ---
+  int num_subchannels = 3;        ///< Z.
+  double bandwidth_hz = 20e6;     ///< B per subchannel.
+  double noise_psd = 5e-20;       ///< N_0 (W/Hz).
+  double alpha1 = 2.0;            ///< G2A/A2G path-loss exponent.
+  double alpha2 = 4.0;            ///< G2G path-loss exponent.
+  double eta_los_db = 0.0;        ///< Extra LoS attenuation (dB).
+  double eta_nlos_db = -20.0;     ///< Extra NLoS attenuation (dB).
+  double omega_los = 9.6;         ///< LoS probability constant (omega).
+  double beta_los = 0.16;         ///< LoS probability constant (beta).
+  double rho_uav_w = 3.0;         ///< UAV relay transmit power (W).
+  double rho_poi_w = 0.1;         ///< PoI transmit power (W).
+  double sinr_threshold_db = 0.0; ///< QoS threshold (Def. 1/2).
+  /// Fraction of the Shannon capacity actually realized per collection
+  /// event (MAC/protocol overhead, decode-and-forward turnaround, imperfect
+  /// scheduling). Keeps the task from saturating: with raw Shannon rates a
+  /// random walker drains every PoI, leaving no headroom for the metrics
+  /// the paper differentiates on.
+  double throughput_factor = 0.25;
+  /// Uplink multiple-access scheme (paper default: AG-NOMA).
+  MediumAccess medium_access = MediumAccess::kNoma;
+  /// Mean-square Rayleigh amplitude gain |h_z|^2 reference for G2G links.
+  double rayleigh_mean_gain = 1.0;
+  /// If true, |h_z|^2 is sampled per event from Exp(1); if false the mean is
+  /// used (deterministic, useful for tests).
+  bool rayleigh_fading = true;
+
+  // --- Reward shaping (Eqn. 17) ---
+  double omega_coll = 0.005;      ///< Penalty per data-loss event.
+  double omega_move = 0.02;       ///< Penalty weight on energy fraction.
+
+  // --- Observability (Section IV-B1) ---
+  /// UVs/PoIs farther than this fraction of the area diagonal are blinded
+  /// ((0,0,0) entries in the local observation).
+  double observe_range_fraction = 0.35;
+
+  // --- h-CoPO neighborhood (Section V-B, Table V) ---
+  /// Homogeneous "nearby" neighbor radius as a fraction of the area
+  /// diagonal; the paper's best value is 25% of the task-area size.
+  double neighbor_range_fraction = 0.25;
+
+  int num_agents() const { return num_uavs + num_ugvs; }
+
+  double uav_energy_j() const { return uav_energy_kj * 1000.0; }
+  double ugv_energy_j() const { return ugv_energy_kj * 1000.0; }
+
+  /// Per-slot movement energy (J) for a UAV moving at `speed` m/s.
+  double UavMoveEnergy(double speed) const {
+    return (uav_idle_power_w + uav_move_power_w * speed / uav_vmax) *
+           (tau_move + tau_coll);
+  }
+  /// Per-slot movement energy (J) for a UGV moving at `speed` m/s.
+  double UgvMoveEnergy(double speed) const {
+    return (ugv_idle_power_w + ugv_move_power_w * speed / ugv_vmax) *
+           (tau_move + tau_coll);
+  }
+};
+
+}  // namespace agsc::env
+
+#endif  // AGSC_ENV_CONFIG_H_

@@ -1,0 +1,45 @@
+#include "env/metrics.h"
+
+namespace agsc::env {
+
+std::vector<double> Metrics::ToVector() const {
+  return {data_collection_ratio, data_loss_ratio, energy_consumption_ratio,
+          geographical_fairness, efficiency};
+}
+
+Metrics Metrics::Average(const std::vector<Metrics>& all) {
+  Metrics avg;
+  if (all.empty()) return avg;
+  for (const Metrics& m : all) {
+    avg.data_collection_ratio += m.data_collection_ratio;
+    avg.data_loss_ratio += m.data_loss_ratio;
+    avg.energy_consumption_ratio += m.energy_consumption_ratio;
+    avg.geographical_fairness += m.geographical_fairness;
+    avg.efficiency += m.efficiency;
+  }
+  const double inv = 1.0 / static_cast<double>(all.size());
+  avg.data_collection_ratio *= inv;
+  avg.data_loss_ratio *= inv;
+  avg.energy_consumption_ratio *= inv;
+  avg.geographical_fairness *= inv;
+  avg.efficiency *= inv;
+  return avg;
+}
+
+double JainFairness(const std::vector<double>& collected_fraction) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double f : collected_fraction) {
+    sum += f;
+    sum_sq += f * f;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  const double n = static_cast<double>(collected_fraction.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+double Efficiency(double psi, double sigma, double kappa, double xi) {
+  if (xi <= 0.0) return 0.0;
+  return psi * (1.0 - sigma) * kappa / xi;
+}
+
+}  // namespace agsc::env

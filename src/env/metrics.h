@@ -1,0 +1,33 @@
+#ifndef AGSC_ENV_METRICS_H_
+#define AGSC_ENV_METRICS_H_
+
+#include <vector>
+
+namespace agsc::env {
+
+/// The paper's five evaluation metrics (Section IV-A, Eqns. 12-16).
+struct Metrics {
+  double data_collection_ratio = 0.0;  ///< psi, Eqn. 12.
+  double data_loss_ratio = 0.0;        ///< sigma, Eqn. 13.
+  double energy_consumption_ratio = 0.0;  ///< xi, Eqn. 14.
+  double geographical_fairness = 0.0;  ///< kappa (Jain index), Eqn. 15.
+  double efficiency = 0.0;             ///< lambda, Eqn. 16.
+
+  /// Returns {psi, sigma, xi, kappa, lambda} for table printing.
+  std::vector<double> ToVector() const;
+
+  /// Averages a set of per-episode metrics component-wise.
+  static Metrics Average(const std::vector<Metrics>& all);
+};
+
+/// Jain's fairness index over per-PoI collection fractions (Eqn. 15).
+/// `collected_fraction[i]` = (D_0^i - D_T^i) / D_0^i. Returns 0 when
+/// nothing was collected.
+double JainFairness(const std::vector<double>& collected_fraction);
+
+/// lambda = psi * (1 - sigma) * kappa / xi (Eqn. 16); 0 when xi == 0.
+double Efficiency(double psi, double sigma, double kappa, double xi);
+
+}  // namespace agsc::env
+
+#endif  // AGSC_ENV_METRICS_H_

@@ -1,0 +1,165 @@
+#include "env/render.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace agsc::env {
+
+std::string RenderTrajectoriesAscii(const ScEnv& env, int width, int height) {
+  const map::Rect& bounds = env.dataset().campus.bounds;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  auto plot = [&](const map::Point2& p, char c, bool overwrite) {
+    int cx = static_cast<int>((p.x - bounds.min.x) / bounds.Width() *
+                              (width - 1));
+    int cy = static_cast<int>((p.y - bounds.min.y) / bounds.Height() *
+                              (height - 1));
+    cx = std::clamp(cx, 0, width - 1);
+    cy = std::clamp(cy, 0, height - 1);
+    char& cell = grid[height - 1 - cy][cx];  // y grows upward.
+    if (overwrite || cell == ' ') cell = c;
+  };
+  const map::RoadGraph& roads = env.dataset().campus.roads;
+  for (int e = 0; e < roads.NumEdges(); ++e) {
+    const auto& edge = roads.edge(e);
+    const map::Point2 a = roads.node(edge.a), b = roads.node(edge.b);
+    const int steps = std::max(2, static_cast<int>(edge.length / 40.0));
+    for (int s = 0; s <= steps; ++s) {
+      plot(map::Lerp(a, b, static_cast<double>(s) / steps), '-', false);
+    }
+  }
+  for (int i = 0; i < env.config().num_pois; ++i) {
+    plot(env.dataset().pois[i],
+         env.PoiRemainingGbit(i) > 0.0 ? '.' : 'o', true);
+  }
+  const auto& trajectories = env.trajectories();
+  for (int k = 0; k < env.num_agents(); ++k) {
+    const char symbol =
+        env.IsUav(k)
+            ? static_cast<char>('0' + (k % 10))
+            : static_cast<char>('a' + ((k - env.num_uavs()) % 26));
+    for (const map::Point2& p : trajectories[k]) plot(p, symbol, true);
+  }
+  plot(env.dataset().campus.spawn, 'S', true);
+  std::string out;
+  out.reserve(static_cast<size_t>(height) * (width + 1));
+  for (const std::string& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+bool DumpTrajectoriesCsv(const ScEnv& env, const std::string& path) {
+  try {
+    util::CsvWriter csv(path, {"agent", "kind", "t", "x", "y"});
+    const auto& trajectories = env.trajectories();
+    for (int k = 0; k < env.num_agents(); ++k) {
+      for (size_t t = 0; t < trajectories[k].size(); ++t) {
+        csv.WriteRow({std::to_string(k), env.IsUav(k) ? "UAV" : "UGV",
+                      std::to_string(t),
+                      util::FormatDouble(trajectories[k][t].x, 2),
+                      util::FormatDouble(trajectories[k][t].y, 2)});
+      }
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool DumpEventsCsv(const ScEnv& env, const std::string& path) {
+  try {
+    util::CsvWriter csv(path, {"t", "subchannel", "uav", "ugv", "poi_uav",
+                               "poi_ugv", "collected_uav_gbit",
+                               "collected_ugv_gbit", "loss_uav", "loss_ugv",
+                               "sinr_uplink_uav_db", "sinr_relay_db",
+                               "sinr_uplink_ugv_db"});
+    const auto& log = env.event_log();
+    for (size_t t = 0; t < log.size(); ++t) {
+      for (const CollectionEvent& ev : log[t]) {
+        csv.WriteRow({std::to_string(t), std::to_string(ev.subchannel),
+                      std::to_string(ev.uav), std::to_string(ev.ugv),
+                      std::to_string(ev.poi_uav), std::to_string(ev.poi_ugv),
+                      util::FormatDouble(ev.collected_uav_gbit, 4),
+                      util::FormatDouble(ev.collected_ugv_gbit, 4),
+                      ev.loss_uav ? "1" : "0", ev.loss_ugv ? "1" : "0",
+                      util::FormatDouble(ev.sinr_uplink_uav_db, 2),
+                      util::FormatDouble(ev.sinr_relay_db, 2),
+                      util::FormatDouble(ev.sinr_uplink_ugv_db, 2)});
+      }
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool RenderTrajectoriesSvg(const ScEnv& env, const std::string& path,
+                           int width_px) {
+  const map::Rect& bounds = env.dataset().campus.bounds;
+  const double scale = width_px / bounds.Width();
+  const int height_px =
+      static_cast<int>(bounds.Height() * scale);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  auto px = [&](const map::Point2& p) {
+    return std::pair<double, double>{(p.x - bounds.min.x) * scale,
+                                     // SVG y grows downward.
+                                     (bounds.max.y - p.y) * scale};
+  };
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width_px
+      << "' height='" << height_px << "' viewBox='0 0 " << width_px << " "
+      << height_px << "'>\n"
+      << "<rect width='100%' height='100%' fill='#fcfcf8'/>\n";
+  // Roads.
+  const map::RoadGraph& roads = env.dataset().campus.roads;
+  out << "<g stroke='#c8c8c0' stroke-width='2'>\n";
+  for (int e = 0; e < roads.NumEdges(); ++e) {
+    const auto& edge = roads.edge(e);
+    const auto [x1, y1] = px(roads.node(edge.a));
+    const auto [x2, y2] = px(roads.node(edge.b));
+    out << "<line x1='" << x1 << "' y1='" << y1 << "' x2='" << x2
+        << "' y2='" << y2 << "'/>\n";
+  }
+  out << "</g>\n";
+  // PoIs shaded by remaining data (black = full, light = drained).
+  for (int i = 0; i < env.config().num_pois; ++i) {
+    const double fraction =
+        env.PoiRemainingGbit(i) / env.config().initial_data_gbit;
+    const int shade = static_cast<int>(40 + 180 * (1.0 - fraction));
+    const auto [x, y] = px(env.dataset().pois[i]);
+    out << "<circle cx='" << x << "' cy='" << y << "' r='3' fill='rgb("
+        << shade << "," << shade << "," << shade << ")'/>\n";
+  }
+  // Trajectories: warm palette for UAVs, cool palette for UGVs.
+  const char* uav_colors[] = {"#d03030", "#e07828", "#b03878", "#905020"};
+  const char* ugv_colors[] = {"#2858c8", "#28a0a8", "#6048c0", "#207858"};
+  const auto& trajectories = env.trajectories();
+  for (int k = 0; k < env.num_agents(); ++k) {
+    const char* color = env.IsUav(k)
+                            ? uav_colors[k % 4]
+                            : ugv_colors[(k - env.num_uavs()) % 4];
+    out << "<polyline fill='none' stroke='" << color
+        << "' stroke-width='1.5' opacity='0.85' points='";
+    for (const map::Point2& p : trajectories[k]) {
+      const auto [x, y] = px(p);
+      out << x << "," << y << " ";
+    }
+    out << "'/>\n";
+    if (!trajectories[k].empty()) {
+      const auto [x, y] = px(trajectories[k].back());
+      out << "<circle cx='" << x << "' cy='" << y << "' r='4' fill='"
+          << color << "'/>\n";
+    }
+  }
+  const auto [sx, sy] = px(env.dataset().campus.spawn);
+  out << "<rect x='" << sx - 4 << "' y='" << sy - 4
+      << "' width='8' height='8' fill='#101010'/>\n</svg>\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace agsc::env

@@ -1,0 +1,36 @@
+#ifndef AGSC_ENV_RENDER_H_
+#define AGSC_ENV_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "env/sc_env.h"
+
+namespace agsc::env {
+
+/// Renders an episode's trajectories as an ASCII map (the paper's Fig. 2 /
+/// Fig. 11 as terminal art): '.' PoIs with remaining data, 'o' drained PoIs,
+/// digits = UAV tracks (agent index), letters a.. = UGV tracks, '#' road
+/// nodes, 'S' the spawn point.
+std::string RenderTrajectoriesAscii(const ScEnv& env, int width = 72,
+                                    int height = 36);
+
+/// Writes one CSV row per (agent, timeslot) with columns
+/// agent,kind,t,x,y — the raw data behind the trajectory figures.
+/// Returns false on I/O failure.
+bool DumpTrajectoriesCsv(const ScEnv& env, const std::string& path);
+
+/// Writes one CSV row per collection event with SINR/collected columns
+/// (Fig. 11 coordination analysis). Returns false on I/O failure.
+bool DumpEventsCsv(const ScEnv& env, const std::string& path);
+
+/// Renders the episode as a standalone SVG (the publication-quality
+/// counterpart of the paper's Fig. 2 panels): roads in grey, PoIs as dots
+/// shaded by remaining data, UAV trajectories in warm colors, UGV
+/// trajectories in cool colors, spawn marked. Returns false on I/O failure.
+bool RenderTrajectoriesSvg(const ScEnv& env, const std::string& path,
+                           int width_px = 640);
+
+}  // namespace agsc::env
+
+#endif  // AGSC_ENV_RENDER_H_

@@ -1,0 +1,506 @@
+#include "env/sc_env.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace agsc::env {
+
+namespace {
+constexpr double kTwoPi = 2.0 * M_PI;
+}  // namespace
+
+ScEnv::ScEnv(const EnvConfig& config, map::Dataset dataset, uint64_t seed)
+    : config_(config),
+      dataset_(std::move(dataset)),
+      channel_(config),
+      rng_(seed) {
+  if (static_cast<int>(dataset_.pois.size()) < config_.num_pois) {
+    throw std::invalid_argument("ScEnv: dataset has fewer PoIs than config");
+  }
+  if (config_.num_uavs < 0 || config_.num_ugvs < 0 ||
+      config_.num_agents() == 0) {
+    throw std::invalid_argument("ScEnv: need at least one UV");
+  }
+}
+
+int ScEnv::obs_dim() const {
+  return 3 * (config_.num_agents() + config_.num_pois);
+}
+
+int ScEnv::state_dim() const { return obs_dim(); }
+
+StepResult ScEnv::Reset() {
+  timeslot_ = 0;
+  done_ = false;
+  loss_events_ = 0;
+  energy_ratio_sum_uav_ = 0.0;
+  energy_ratio_sum_ugv_ = 0.0;
+  last_events_.clear();
+  event_log_.clear();
+
+  uvs_.assign(config_.num_agents(), UvState{});
+  const map::Campus& campus = dataset_.campus;
+  for (int k = 0; k < config_.num_agents(); ++k) {
+    UvState& uv = uvs_[k];
+    uv.kind = IsUav(k) ? UvKind::kUav : UvKind::kUgv;
+    uv.pos = campus.spawn;
+    uv.energy_j = uv.initial_energy_j =
+        IsUav(k) ? config_.uav_energy_j() : config_.ugv_energy_j();
+    uv.active = true;
+    uv.last_speed = 0.0;
+    if (uv.kind == UvKind::kUgv) {
+      uv.road_pos = campus.roads.Project(campus.spawn);
+      uv.pos = campus.roads.PointAt(uv.road_pos);
+    }
+  }
+  poi_data_.assign(config_.num_pois, config_.initial_data_gbit);
+  trajectories_.assign(config_.num_agents(), {});
+  for (int k = 0; k < config_.num_agents(); ++k) {
+    trajectories_[k].push_back(uvs_[k].pos);
+  }
+
+  StepResult result;
+  result.rewards.assign(config_.num_agents(), 0.0);
+  result.done = false;
+  for (int k = 0; k < config_.num_agents(); ++k) {
+    result.observations.push_back(BuildObservation(k));
+  }
+  result.state = BuildState();
+  return result;
+}
+
+void ScEnv::MoveAgents(const std::vector<UvAction>& actions,
+                       std::vector<double>& energy_used) {
+  const map::Campus& campus = dataset_.campus;
+  const double slot_seconds = config_.tau_move;
+  for (int k = 0; k < config_.num_agents(); ++k) {
+    UvState& uv = uvs_[k];
+    energy_used[k] = 0.0;
+    uv.last_speed = 0.0;
+    if (!uv.active) continue;
+    const double a0 = std::clamp(actions[k].raw_direction, -1.0, 1.0);
+    const double a1 = std::clamp(actions[k].raw_speed, -1.0, 1.0);
+    const double direction = (a0 + 1.0) * M_PI;  // [0, 2pi).
+    const double vmax =
+        uv.kind == UvKind::kUav ? config_.uav_vmax : config_.ugv_vmax;
+    const double speed = (a1 + 1.0) * 0.5 * vmax;
+    const double budget = slot_seconds * speed;
+    double moved = 0.0;
+    if (uv.kind == UvKind::kUav) {
+      const map::Point2 desired =
+          uv.pos + map::Point2{std::cos(direction), std::sin(direction)} *
+                       budget;
+      const map::Point2 clamped = campus.bounds.Clamp(desired);
+      moved = map::Distance(uv.pos, clamped);
+      uv.pos = clamped;
+    } else {
+      const map::Point2 target =
+          uv.pos + map::Point2{std::cos(direction), std::sin(direction)} *
+                       budget;
+      uv.road_pos =
+          campus.roads.MoveToward(uv.road_pos, target, budget, &moved);
+      uv.pos = campus.roads.PointAt(uv.road_pos);
+    }
+    const double realized_speed =
+        slot_seconds > 0.0 ? moved / slot_seconds : 0.0;
+    uv.last_speed = realized_speed;
+    const double eta = uv.kind == UvKind::kUav
+                           ? config_.UavMoveEnergy(realized_speed)
+                           : config_.UgvMoveEnergy(realized_speed);
+    // A UV cannot spend more than its remaining reserve; the slot that
+    // drains the battery only counts the energy that actually existed.
+    const double spent = std::min(eta, uv.energy_j);
+    energy_used[k] = spent;
+    uv.energy_j -= spent;
+    if (uv.energy_j <= 1e-9) {
+      uv.energy_j = 0.0;
+      uv.active = false;
+    }
+    (uv.kind == UvKind::kUav ? energy_ratio_sum_uav_
+                             : energy_ratio_sum_ugv_) +=
+        spent / uv.initial_energy_j;
+  }
+}
+
+double ScEnv::SampleFadingGain() {
+  if (!config_.rayleigh_fading) return config_.rayleigh_mean_gain;
+  // |h|^2 of a Rayleigh amplitude is exponential with the configured mean.
+  double u = rng_.Uniform();
+  while (u <= 1e-300) u = rng_.Uniform();
+  return -config_.rayleigh_mean_gain * std::log(u);
+}
+
+std::vector<CollectionEvent> ScEnv::CollectData(
+    std::vector<double>& rewards) {
+  // Subchannel assignment: every active UAV transmits each slot on
+  // subchannel (uav rank) % Z, relaying to its nearest UGV; the decoding
+  // UGV's own direct uplink (PoI i') shares that channel, forming the
+  // paper's (u, g, i, i')_z tuple. When the fleet outgrows Z, several
+  // relay pairs share a channel and interfere — this is what makes the
+  // efficiency fall again for large fleets (Section VI-D1). UGVs that
+  // decode for nobody direct-collect on (ugv rank) % Z.
+  std::vector<CollectionEvent> events;
+  std::vector<int> uavs, ugvs;
+  for (int k = 0; k < config_.num_agents(); ++k) {
+    if (!uvs_[k].active) continue;
+    (IsUav(k) ? uavs : ugvs).push_back(k);
+  }
+  if (uavs.empty() && ugvs.empty()) return events;
+  const double total_initial =
+      static_cast<double>(config_.num_pois) * config_.initial_data_gbit;
+  const double threshold = channel_.SinrThresholdLinear();
+  const int Z = config_.num_subchannels;
+  const double height = config_.uav_height;
+
+  std::vector<bool> claimed(config_.num_pois, false);
+  auto nearest_poi = [&](const map::Point2& pos) {
+    int best = -1;
+    double best_dist = 0.0;
+    for (int i = 0; i < config_.num_pois; ++i) {
+      if (claimed[i] || poi_data_[i] <= 0.0) continue;
+      const double d = map::Distance(pos, dataset_.pois[i]);
+      if (best < 0 || d < best_dist) {
+        best = i;
+        best_dist = d;
+      }
+    }
+    if (best >= 0) claimed[best] = true;
+    return best;
+  };
+
+  // --- Build this slot's link plan. ---
+  struct Pair {
+    int subchannel;
+    int uav;
+    int ugv;      // Decoder (nearest UGV), -1 if none.
+    int poi_uav;  // i.
+  };
+  std::vector<Pair> pairs;
+  std::vector<int> ugv_channel(config_.num_agents(), -1);
+  for (size_t j = 0; j < uavs.size(); ++j) {
+    Pair pair;
+    pair.subchannel = static_cast<int>(j) % Z;
+    pair.uav = uavs[j];
+    pair.ugv = -1;
+    double best = 0.0;
+    for (int cand : ugvs) {
+      const double d = map::Distance(uvs_[pair.uav].pos, uvs_[cand].pos);
+      if (pair.ugv < 0 || d < best) {
+        pair.ugv = cand;
+        best = d;
+      }
+    }
+    pair.poi_uav = nearest_poi(uvs_[pair.uav].pos);
+    if (pair.ugv >= 0 && ugv_channel[pair.ugv] < 0) {
+      ugv_channel[pair.ugv] = pair.subchannel;
+    }
+    pairs.push_back(pair);
+  }
+  struct Direct {
+    int subchannel;
+    int ugv;
+    int poi_ugv;  // i'.
+  };
+  std::vector<Direct> directs;
+  for (size_t j = 0; j < ugvs.size(); ++j) {
+    Direct direct;
+    direct.ugv = ugvs[j];
+    direct.subchannel = ugv_channel[direct.ugv] >= 0
+                            ? ugv_channel[direct.ugv]
+                            : static_cast<int>(j) % Z;
+    direct.poi_ugv = nearest_poi(uvs_[direct.ugv].pos);
+    directs.push_back(direct);
+  }
+
+  // Per-subchannel ground transmitters (PoIs) for interference sums.
+  std::vector<std::vector<int>> channel_pois(Z);
+  for (const Pair& pair : pairs) {
+    if (pair.poi_uav >= 0) channel_pois[pair.subchannel].push_back(pair.poi_uav);
+  }
+  for (const Direct& direct : directs) {
+    if (direct.poi_ugv >= 0) {
+      channel_pois[direct.subchannel].push_back(direct.poi_ugv);
+    }
+  }
+
+  // Medium-access scaling: NOMA keeps the full subchannel but suffers
+  // co-channel interference; TDMA halves the collection window; OFDMA
+  // halves the bandwidth, which also halves subband noise (SINR x2).
+  const bool noma = config_.medium_access == MediumAccess::kNoma;
+  double time_share = 1.0, bw_share = 1.0, sinr_boost = 1.0;
+  if (config_.medium_access == MediumAccess::kTdma) {
+    time_share = 0.5;
+  } else if (config_.medium_access == MediumAccess::kOfdma) {
+    bw_share = 0.5;
+    sinr_boost = 2.0;
+  }
+  auto link_rate = [&](double sinr) {
+    return bw_share * channel_.Capacity(sinr * sinr_boost);
+  };
+  const double h_gain = SampleFadingGain();
+  // Interference power from co-channel PoI transmitters at an aerial
+  // receiver (excluding up to two own-pair PoIs).
+  auto air_interference = [&](int z, const map::Point2& rx, int skip_a,
+                              int skip_b) {
+    if (!noma) return 0.0;
+    double power = 0.0;
+    for (int poi : channel_pois[z]) {
+      if (poi == skip_a || poi == skip_b) continue;
+      power += channel_.AirLinkGain(dataset_.pois[poi], rx, height) *
+               config_.rho_poi_w;
+    }
+    return power;
+  };
+  auto ground_interference = [&](int z, const map::Point2& rx, int skip_a,
+                                 int skip_b) {
+    if (!noma) return 0.0;
+    double power = 0.0;
+    for (int poi : channel_pois[z]) {
+      if (poi == skip_a || poi == skip_b) continue;
+      power += channel_.GroundLinkGain(dataset_.pois[poi], rx, h_gain) *
+               config_.rho_poi_w;
+    }
+    return power;
+  };
+  const double noise = channel_.NoisePower();
+
+  // --- UAV relay chains: PoI i -> UAV u -> UGV g (Def. 1). ---
+  for (const Pair& pair : pairs) {
+    CollectionEvent ev;
+    ev.subchannel = pair.subchannel;
+    ev.uav = pair.uav;
+    ev.ugv = pair.ugv;
+    ev.poi_uav = pair.poi_uav;
+    if (pair.poi_uav < 0) continue;  // No data left anywhere.
+    if (pair.ugv < 0) {
+      // No mobile BS alive: the relay chain cannot complete (Def. 1).
+      ev.loss_uav = true;
+      ++loss_events_;
+      rewards[pair.uav] -= config_.omega_coll;
+      events.push_back(ev);
+      continue;
+    }
+    const int i = pair.poi_uav;
+    const int u = pair.uav, g = pair.ugv;
+    const double gain_iu =
+        channel_.AirLinkGain(dataset_.pois[i], uvs_[u].pos, height);
+    const double sinr_iu =
+        gain_iu * config_.rho_poi_w /
+        (noise + air_interference(pair.subchannel, uvs_[u].pos, i, -1));
+    const double gain_ug =
+        channel_.AirLinkGain(uvs_[g].pos, uvs_[u].pos, height);
+    const double gain_ig =
+        channel_.GroundLinkGain(dataset_.pois[i], uvs_[g].pos, h_gain);
+    // Eqn. (9): the relay and the direct copy combine; co-channel ground
+    // transmitters other than i interfere at the UGV.
+    const double sinr_ug =
+        (gain_ug * config_.rho_uav_w + gain_ig * config_.rho_poi_w) /
+        (noise + ground_interference(pair.subchannel, uvs_[g].pos, i, -1));
+    ev.sinr_uplink_uav_db = LinearToDb(std::max(sinr_iu * sinr_boost, 1e-30));
+    ev.sinr_relay_db = LinearToDb(std::max(sinr_ug * sinr_boost, 1e-30));
+    if (std::min(sinr_iu, sinr_ug) * sinr_boost < threshold) {
+      ev.loss_uav = true;
+      ++loss_events_;
+      rewards[u] -= config_.omega_coll;
+    } else {
+      const double cap = std::min(link_rate(sinr_iu), link_rate(sinr_ug));
+      const double gbit = std::min(config_.throughput_factor * time_share *
+                                       config_.tau_coll * cap / 1e9,
+                                   poi_data_[i]);
+      poi_data_[i] -= gbit;
+      ev.collected_uav_gbit = gbit;
+      rewards[u] += gbit / total_initial;
+    }
+    events.push_back(ev);
+  }
+
+  // --- UGV direct uplinks: PoI i' -> UGV g (Def. 2). ---
+  for (const Direct& direct : directs) {
+    if (direct.poi_ugv < 0) continue;
+    CollectionEvent ev;
+    ev.subchannel = direct.subchannel;
+    ev.ugv = direct.ugv;
+    ev.poi_ugv = direct.poi_ugv;
+    const int i2 = direct.poi_ugv;
+    const int g = direct.ugv;
+    const double gain_i2g =
+        channel_.GroundLinkGain(dataset_.pois[i2], uvs_[g].pos, h_gain);
+    // Eqn. (6): the own pair's relayed PoI is SIC-canceled; other
+    // co-channel pairs' transmitters still interfere.
+    int own_pair_poi = -1;
+    for (const Pair& pair : pairs) {
+      if (pair.ugv == g && pair.subchannel == direct.subchannel) {
+        own_pair_poi = pair.poi_uav;
+        break;
+      }
+    }
+    const double sinr_i2g =
+        gain_i2g * config_.rho_poi_w /
+        (noise + ground_interference(direct.subchannel, uvs_[g].pos, i2,
+                                     own_pair_poi));
+    ev.sinr_uplink_ugv_db =
+        LinearToDb(std::max(sinr_i2g * sinr_boost, 1e-30));
+    if (sinr_i2g * sinr_boost < threshold) {
+      ev.loss_ugv = true;
+      ++loss_events_;
+      rewards[g] -= config_.omega_coll;
+    } else {
+      const double cap = link_rate(sinr_i2g);
+      const double gbit = std::min(config_.throughput_factor * time_share *
+                                       config_.tau_coll * cap / 1e9,
+                                   poi_data_[i2]);
+      poi_data_[i2] -= gbit;
+      ev.collected_ugv_gbit = gbit;
+      rewards[g] += gbit / total_initial;
+    }
+    events.push_back(ev);
+  }
+  return events;
+}
+
+StepResult ScEnv::Step(const std::vector<UvAction>& actions) {
+  if (done_) throw std::logic_error("ScEnv::Step after episode end");
+  if (static_cast<int>(actions.size()) != config_.num_agents()) {
+    throw std::invalid_argument("ScEnv::Step: wrong action count");
+  }
+  StepResult result;
+  result.rewards.assign(config_.num_agents(), 0.0);
+
+  std::vector<double> energy_used(config_.num_agents(), 0.0);
+  MoveAgents(actions, energy_used);
+  result.events = CollectData(result.rewards);
+  last_events_ = result.events;
+  event_log_.push_back(result.events);
+
+  // Movement-energy penalty term of Eqn. (17).
+  for (int k = 0; k < config_.num_agents(); ++k) {
+    result.rewards[k] -=
+        config_.omega_move * energy_used[k] / uvs_[k].initial_energy_j;
+    trajectories_[k].push_back(uvs_[k].pos);
+  }
+
+  ++timeslot_;
+  done_ = timeslot_ >= config_.num_timeslots;
+  result.done = done_;
+  for (int k = 0; k < config_.num_agents(); ++k) {
+    result.observations.push_back(BuildObservation(k));
+  }
+  result.state = BuildState();
+  return result;
+}
+
+std::vector<float> ScEnv::BuildObservation(int k) const {
+  const map::Rect& bounds = dataset_.campus.bounds;
+  const double inv_w = 1.0 / bounds.Width();
+  const double inv_h = 1.0 / bounds.Height();
+  const double range = config_.observe_range_fraction * bounds.Diagonal();
+  std::vector<float> obs;
+  obs.reserve(obs_dim());
+  auto push_uv = [&](const UvState& uv, bool visible) {
+    if (visible) {
+      obs.push_back(static_cast<float>((uv.pos.x - bounds.min.x) * inv_w));
+      obs.push_back(static_cast<float>((uv.pos.y - bounds.min.y) * inv_h));
+      obs.push_back(static_cast<float>(uv.energy_j / uv.initial_energy_j));
+    } else {
+      obs.insert(obs.end(), {0.0f, 0.0f, 0.0f});
+    }
+  };
+  // Self first (always visible), then the other UVs in index order.
+  push_uv(uvs_[k], true);
+  for (int j = 0; j < config_.num_agents(); ++j) {
+    if (j == k) continue;
+    push_uv(uvs_[j], map::Distance(uvs_[k].pos, uvs_[j].pos) <= range);
+  }
+  for (int i = 0; i < config_.num_pois; ++i) {
+    const bool visible =
+        map::Distance(uvs_[k].pos, dataset_.pois[i]) <= range;
+    if (visible) {
+      obs.push_back(
+          static_cast<float>((dataset_.pois[i].x - bounds.min.x) * inv_w));
+      obs.push_back(
+          static_cast<float>((dataset_.pois[i].y - bounds.min.y) * inv_h));
+      obs.push_back(
+          static_cast<float>(poi_data_[i] / config_.initial_data_gbit));
+    } else {
+      obs.insert(obs.end(), {0.0f, 0.0f, 0.0f});
+    }
+  }
+  return obs;
+}
+
+std::vector<float> ScEnv::BuildState() const {
+  const map::Rect& bounds = dataset_.campus.bounds;
+  const double inv_w = 1.0 / bounds.Width();
+  const double inv_h = 1.0 / bounds.Height();
+  std::vector<float> state;
+  state.reserve(state_dim());
+  for (const UvState& uv : uvs_) {
+    state.push_back(static_cast<float>((uv.pos.x - bounds.min.x) * inv_w));
+    state.push_back(static_cast<float>((uv.pos.y - bounds.min.y) * inv_h));
+    state.push_back(static_cast<float>(uv.energy_j / uv.initial_energy_j));
+  }
+  for (int i = 0; i < config_.num_pois; ++i) {
+    state.push_back(
+        static_cast<float>((dataset_.pois[i].x - bounds.min.x) * inv_w));
+    state.push_back(
+        static_cast<float>((dataset_.pois[i].y - bounds.min.y) * inv_h));
+    state.push_back(
+        static_cast<float>(poi_data_[i] / config_.initial_data_gbit));
+  }
+  return state;
+}
+
+Metrics ScEnv::EpisodeMetrics() const {
+  Metrics m;
+  const double total_initial =
+      static_cast<double>(config_.num_pois) * config_.initial_data_gbit;
+  double remaining = 0.0;
+  std::vector<double> fractions(config_.num_pois);
+  for (int i = 0; i < config_.num_pois; ++i) {
+    remaining += poi_data_[i];
+    fractions[i] =
+        (config_.initial_data_gbit - poi_data_[i]) / config_.initial_data_gbit;
+  }
+  m.data_collection_ratio =
+      std::clamp(1.0 - remaining / total_initial, 0.0, 1.0);
+  const double denom = static_cast<double>(config_.num_subchannels) *
+                       config_.num_timeslots * config_.num_agents();
+  m.data_loss_ratio = denom > 0.0 ? loss_events_ / denom : 0.0;
+  m.energy_consumption_ratio =
+      (config_.num_uavs > 0 ? energy_ratio_sum_uav_ / config_.num_uavs
+                            : 0.0) +
+      (config_.num_ugvs > 0 ? energy_ratio_sum_ugv_ / config_.num_ugvs : 0.0);
+  m.geographical_fairness = JainFairness(fractions);
+  m.efficiency =
+      Efficiency(m.data_collection_ratio, m.data_loss_ratio,
+                 m.geographical_fairness, m.energy_consumption_ratio);
+  return m;
+}
+
+std::vector<int> ScEnv::HeterogeneousNeighbors(int k) const {
+  std::vector<int> neighbors;
+  for (const CollectionEvent& ev : last_events_) {
+    if (ev.uav == k && ev.ugv >= 0) neighbors.push_back(ev.ugv);
+    if (ev.ugv == k && ev.uav >= 0) neighbors.push_back(ev.uav);
+  }
+  std::sort(neighbors.begin(), neighbors.end());
+  neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                  neighbors.end());
+  return neighbors;
+}
+
+std::vector<int> ScEnv::HomogeneousNeighbors(int k) const {
+  const double range =
+      config_.neighbor_range_fraction * dataset_.campus.bounds.Diagonal();
+  std::vector<int> neighbors;
+  for (int j = 0; j < config_.num_agents(); ++j) {
+    if (j == k || IsUav(j) != IsUav(k)) continue;
+    if (map::Distance(uvs_[k].pos, uvs_[j].pos) <= range) {
+      neighbors.push_back(j);
+    }
+  }
+  return neighbors;
+}
+
+}  // namespace agsc::env

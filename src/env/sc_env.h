@@ -1,0 +1,152 @@
+#ifndef AGSC_ENV_SC_ENV_H_
+#define AGSC_ENV_SC_ENV_H_
+
+#include <vector>
+
+#include "env/channel.h"
+#include "env/config.h"
+#include "env/metrics.h"
+#include "map/trace.h"
+#include "util/rng.h"
+
+namespace agsc::env {
+
+/// Unmanned-vehicle kind (the two heterogeneous agent types).
+enum class UvKind { kUav, kUgv };
+
+/// Dynamic state of one UV.
+struct UvState {
+  UvKind kind = UvKind::kUav;
+  map::Point2 pos;
+  map::RoadPosition road_pos;  ///< Valid for UGVs only.
+  double energy_j = 0.0;       ///< Remaining energy E_t^k.
+  double initial_energy_j = 0.0;
+  bool active = true;          ///< False once the battery is exhausted.
+  double last_speed = 0.0;     ///< Realized speed in the last slot (m/s).
+};
+
+/// Raw policy action: two reals, squashed/clamped to [-1, 1] by the env.
+/// Mapping (Section IV-B2): direction = (a0+1)*pi in [0, 2pi); speed =
+/// (a1+1)/2 * v_max. For UGVs the same desired displacement is projected
+/// onto the road network (A_g subset of A_u).
+struct UvAction {
+  double raw_direction = 0.0;
+  double raw_speed = 0.0;
+};
+
+/// One AG-NOMA data-collection event (u, g, i, i')_z of Section III-B.
+struct CollectionEvent {
+  int subchannel = -1;
+  int uav = -1;      ///< Global agent index of the relay-source UAV; -1 none.
+  int ugv = -1;      ///< Global agent index of the decoding UGV; -1 none.
+  int poi_uav = -1;  ///< PoI i accessed by the UAV; -1 none.
+  int poi_ugv = -1;  ///< PoI i' accessed directly by the UGV; -1 none.
+  double collected_uav_gbit = 0.0;  ///< Delta D_{z,t}^{i,u} (Def. 1).
+  double collected_ugv_gbit = 0.0;  ///< Delta D_{z,t}^{i',g} (Def. 2).
+  bool loss_uav = false;  ///< SINR below threshold on the UAV chain.
+  bool loss_ugv = false;  ///< SINR below threshold on the UGV uplink.
+  double sinr_uplink_uav_db = 0.0;  ///< gamma^{i,u} (Eqn. 4).
+  double sinr_relay_db = 0.0;       ///< gamma^{u,g} (Eqn. 9).
+  double sinr_uplink_ugv_db = 0.0;  ///< gamma^{i',g} (Eqn. 6).
+};
+
+/// Output of Reset/Step.
+struct StepResult {
+  std::vector<std::vector<float>> observations;  ///< o_t^k per agent.
+  std::vector<float> state;                      ///< Global s_t.
+  std::vector<double> rewards;  ///< Extrinsic r_{t,ext}^k (Eqn. 17).
+  bool done = false;
+  std::vector<CollectionEvent> events;  ///< This slot's collection events.
+};
+
+/// The air-ground spatial-crowdsourcing Dec-POMDP (Sections III & IV).
+///
+/// Agent indexing: 0..U-1 are UAVs, U..U+G-1 are UGVs. Each timeslot first
+/// moves every UV (UAVs freely, UGVs along the road graph), charges movement
+/// energy (Eqn. 1), then runs AG-NOMA data collection over Z subchannels
+/// (Defs. 1-2) and returns per-agent extrinsic rewards (Eqn. 17).
+class ScEnv {
+ public:
+  static constexpr int kActionDim = 2;
+
+  /// `dataset` supplies the campus (roads, bounds, spawn) and PoI layout.
+  ScEnv(const EnvConfig& config, map::Dataset dataset, uint64_t seed);
+
+  int num_agents() const { return config_.num_agents(); }
+  int num_uavs() const { return config_.num_uavs; }
+  int num_ugvs() const { return config_.num_ugvs; }
+  bool IsUav(int k) const { return k < config_.num_uavs; }
+
+  /// Length of each local observation o^k: 3*(K + I) normalized features,
+  /// self entry first, out-of-range entries blinded to zero.
+  int obs_dim() const;
+
+  /// Length of the global state s (same layout, no blinding, canonical UV
+  /// order).
+  int state_dim() const;
+
+  /// Starts a new episode; returns initial observations (rewards zero).
+  StepResult Reset();
+
+  /// Advances one timeslot. `actions` must have num_agents() entries.
+  StepResult Step(const std::vector<UvAction>& actions);
+
+  /// Metrics of the episode so far (final once done).
+  Metrics EpisodeMetrics() const;
+
+  int timeslot() const { return timeslot_; }
+  const UvState& uv(int k) const { return uvs_[k]; }
+  double PoiRemainingGbit(int i) const { return poi_data_[i]; }
+  const map::Dataset& dataset() const { return dataset_; }
+  const EnvConfig& config() const { return config_; }
+  const ChannelModel& channel() const { return channel_; }
+
+  /// Heterogeneous relaying neighbors of agent `k` from the *last* slot's
+  /// events: the UGV(s) decoding a UAV's data or vice versa (Section V-B).
+  std::vector<int> HeterogeneousNeighbors(int k) const;
+
+  /// Homogeneous nearby neighbors: same-kind UVs within
+  /// `neighbor_range_fraction * area diagonal`.
+  std::vector<int> HomogeneousNeighbors(int k) const;
+
+  /// Positions of every UV at every slot of the current episode
+  /// (trajectories[k][t]); used for Fig. 2 / Fig. 11 renders.
+  const std::vector<std::vector<map::Point2>>& trajectories() const {
+    return trajectories_;
+  }
+
+  /// All events of the current episode in slot order (Fig. 11 analysis).
+  const std::vector<std::vector<CollectionEvent>>& event_log() const {
+    return event_log_;
+  }
+
+ private:
+  std::vector<float> BuildObservation(int k) const;
+  std::vector<float> BuildState() const;
+  void MoveAgents(const std::vector<UvAction>& actions,
+                  std::vector<double>& energy_used);
+  std::vector<CollectionEvent> CollectData(std::vector<double>& rewards);
+  double SampleFadingGain();
+
+  EnvConfig config_;
+  map::Dataset dataset_;
+  ChannelModel channel_;
+  util::Rng rng_;
+
+  int timeslot_ = 0;
+  bool done_ = true;
+  std::vector<UvState> uvs_;
+  std::vector<double> poi_data_;  ///< Remaining D_t^i (Gbit).
+  std::vector<CollectionEvent> last_events_;
+
+  // Episode accumulators.
+  long loss_events_ = 0;
+  double energy_ratio_sum_uav_ = 0.0;  ///< Sum over t,u of eta/E0.
+  double energy_ratio_sum_ugv_ = 0.0;
+  std::vector<std::vector<map::Point2>> trajectories_;
+  std::vector<std::vector<CollectionEvent>> event_log_;
+};
+
+}  // namespace agsc::env
+
+#endif  // AGSC_ENV_SC_ENV_H_

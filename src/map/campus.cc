@@ -1,0 +1,177 @@
+#include "map/campus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace agsc::map {
+
+std::string CampusName(CampusId id) {
+  return id == CampusId::kPurdue ? "Purdue" : "NCSU";
+}
+
+namespace {
+
+/// Parameters of the procedural campus generator.
+struct CampusSpec {
+  std::string name;
+  double size;            // Square side length in meters.
+  int grid;               // Grid nodes per side.
+  double jitter;          // Node position jitter (meters).
+  double removal_rate;    // Fraction of grid edges to try to remove.
+  double diagonal_rate;   // Fraction of cells gaining a diagonal road.
+  int num_landmarks;
+  double landmark_spread; // 0 = center-clustered .. 1 = uniform.
+  int num_traces;
+  uint64_t seed;
+};
+
+/// True if the graph formed by `kept` edges over `n` nodes is connected.
+bool EdgesConnected(int n, const std::vector<std::pair<int, int>>& kept) {
+  if (n == 0) return true;
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& [a, b] : kept) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        stack.push_back(v);
+      }
+    }
+  }
+  return count == n;
+}
+
+Campus GenerateCampus(const CampusSpec& spec) {
+  util::Rng rng(spec.seed);
+  Campus campus;
+  campus.name = spec.name;
+  campus.bounds = {{0.0, 0.0}, {spec.size, spec.size}};
+  campus.num_traces = spec.num_traces;
+
+  // Jittered grid of road intersections.
+  const int g = spec.grid;
+  const double step = spec.size / static_cast<double>(g - 1);
+  std::vector<int> node_id(static_cast<size_t>(g) * g);
+  for (int r = 0; r < g; ++r) {
+    for (int c = 0; c < g; ++c) {
+      const bool border = r == 0 || c == 0 || r == g - 1 || c == g - 1;
+      const double jitter = border ? 0.0 : spec.jitter;
+      Point2 p{c * step + rng.Uniform(-jitter, jitter),
+               r * step + rng.Uniform(-jitter, jitter)};
+      node_id[r * g + c] = campus.roads.AddNode(campus.bounds.Clamp(p));
+    }
+  }
+
+  // Full grid edges plus occasional diagonals.
+  std::vector<std::pair<int, int>> candidates;
+  for (int r = 0; r < g; ++r) {
+    for (int c = 0; c < g; ++c) {
+      if (c + 1 < g) candidates.emplace_back(node_id[r * g + c],
+                                             node_id[r * g + c + 1]);
+      if (r + 1 < g) candidates.emplace_back(node_id[r * g + c],
+                                             node_id[(r + 1) * g + c]);
+      if (r + 1 < g && c + 1 < g && rng.Bernoulli(spec.diagonal_rate)) {
+        candidates.emplace_back(node_id[r * g + c],
+                                node_id[(r + 1) * g + c + 1]);
+      }
+    }
+  }
+
+  // Randomly remove edges while preserving connectivity (city roadmaps are
+  // incomplete grids; this is what makes UGV reachability non-trivial).
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  std::vector<bool> kept(candidates.size(), true);
+  size_t removed = 0;
+  const size_t target =
+      static_cast<size_t>(spec.removal_rate * candidates.size());
+  for (size_t idx : order) {
+    if (removed >= target) break;
+    kept[idx] = false;
+    std::vector<std::pair<int, int>> remaining;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (kept[i]) remaining.push_back(candidates[i]);
+    }
+    if (EdgesConnected(campus.roads.NumNodes(), remaining)) {
+      ++removed;
+    } else {
+      kept[idx] = true;
+    }
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (kept[i]) campus.roads.AddEdge(candidates[i].first,
+                                      candidates[i].second);
+  }
+
+  // Landmarks: attractors for student mobility. `landmark_spread` pushes
+  // them toward the borders (NCSU) or keeps them clustered (Purdue).
+  for (int i = 0; i < spec.num_landmarks; ++i) {
+    const double lo = 0.5 - 0.45 * spec.landmark_spread;
+    const double hi = 0.5 + 0.45 * spec.landmark_spread;
+    Point2 p{spec.size * rng.Uniform(lo, hi) +
+                 rng.Gaussian(0.0, 0.08 * spec.size),
+             spec.size * rng.Uniform(lo, hi) +
+                 rng.Gaussian(0.0, 0.08 * spec.size)};
+    campus.landmarks.push_back(campus.bounds.Clamp(p));
+  }
+
+  // All UVs start together near the campus center, on a road.
+  const Point2 center{spec.size * 0.5, spec.size * 0.5};
+  campus.spawn = campus.roads.PointAt(campus.roads.Project(center));
+  return campus;
+}
+
+}  // namespace
+
+Campus BuildPurdueCampus() {
+  CampusSpec spec;
+  spec.name = "Purdue";
+  spec.size = 2000.0;
+  spec.grid = 9;
+  spec.jitter = 30.0;
+  spec.removal_rate = 0.15;
+  spec.diagonal_rate = 0.05;
+  spec.num_landmarks = 12;
+  spec.landmark_spread = 0.75;
+  spec.num_traces = 59;
+  spec.seed = 0xBADC0FFEE0DDF00DULL;
+  return GenerateCampus(spec);
+}
+
+Campus BuildNcsuCampus() {
+  CampusSpec spec;
+  spec.name = "NCSU";
+  spec.size = 3000.0;
+  spec.grid = 8;
+  spec.jitter = 80.0;
+  spec.removal_rate = 0.25;
+  spec.diagonal_rate = 0.15;
+  spec.num_landmarks = 10;
+  spec.landmark_spread = 1.0;
+  spec.num_traces = 33;
+  spec.seed = 0x5EEDCAFEBEEF1234ULL;
+  return GenerateCampus(spec);
+}
+
+Campus BuildCampus(CampusId id) {
+  switch (id) {
+    case CampusId::kPurdue: return BuildPurdueCampus();
+    case CampusId::kNcsu: return BuildNcsuCampus();
+  }
+  throw std::invalid_argument("unknown campus");
+}
+
+}  // namespace agsc::map

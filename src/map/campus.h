@@ -1,0 +1,46 @@
+#ifndef AGSC_MAP_CAMPUS_H_
+#define AGSC_MAP_CAMPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "map/road_graph.h"
+
+namespace agsc::map {
+
+/// Which of the paper's two evaluation campuses to synthesize.
+enum class CampusId { kPurdue, kNcsu };
+
+/// Returns "Purdue" / "NCSU".
+std::string CampusName(CampusId id);
+
+/// A synthetic campus: task-area bounds, a road network for UGVs, landmark
+/// attractors that shape student mobility (and hence the PoI distribution),
+/// and the common start point of all UVs.
+///
+/// This substitutes the paper's Google-Maps-marked Purdue/NCSU campuses; see
+/// DESIGN.md ("Dataset substitution") for why the substitution preserves the
+/// relevant behaviour.
+struct Campus {
+  std::string name;
+  Rect bounds;
+  RoadGraph roads;
+  std::vector<Point2> landmarks;
+  Point2 spawn;        // All UVs start here (paper Section VI-B).
+  int num_traces = 0;  // Paper: Purdue 59 student traces, NCSU 33.
+};
+
+/// Builds the synthetic Purdue campus: 2000 m x 2000 m, dense near-regular
+/// road grid, 12 clustered landmarks, 59 student traces.
+Campus BuildPurdueCampus();
+
+/// Builds the synthetic NCSU campus: 3000 m x 3000 m ("bigger campus"),
+/// sparser irregular road network, 10 spread-out landmarks, 33 traces.
+Campus BuildNcsuCampus();
+
+/// Dispatches on `id`.
+Campus BuildCampus(CampusId id);
+
+}  // namespace agsc::map
+
+#endif  // AGSC_MAP_CAMPUS_H_

@@ -1,0 +1,35 @@
+#include "map/geometry.h"
+
+#include <algorithm>
+
+namespace agsc::map {
+
+double ClosestPointParamOnSegment(const Point2& a, const Point2& b,
+                                  const Point2& p) {
+  const Point2 ab = b - a;
+  const double len2 = ab.x * ab.x + ab.y * ab.y;
+  if (len2 <= 0.0) return 0.0;
+  const Point2 ap = p - a;
+  const double t = (ap.x * ab.x + ap.y * ab.y) / len2;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+Point2 Rect::Clamp(const Point2& p) const {
+  return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+}
+
+double SlantDistance(const Point2& ground, const Point2& air_ground,
+                     double height) {
+  const double d2d = Distance(ground, air_ground);
+  return std::sqrt(d2d * d2d + height * height);
+}
+
+double ElevationAngleDeg(const Point2& ground, const Point2& air_ground,
+                         double height) {
+  const double d = SlantDistance(ground, air_ground, height);
+  if (d <= 0.0) return 90.0;
+  const double ratio = std::clamp(height / d, -1.0, 1.0);
+  return std::asin(ratio) * 180.0 / M_PI;
+}
+
+}  // namespace agsc::map

@@ -1,0 +1,63 @@
+#ifndef AGSC_MAP_GEOMETRY_H_
+#define AGSC_MAP_GEOMETRY_H_
+
+#include <cmath>
+
+namespace agsc::map {
+
+/// 2-D point / vector in meters (task-area coordinates).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point2 operator+(const Point2& o) const { return {x + o.x, y + o.y}; }
+  Point2 operator-(const Point2& o) const { return {x - o.x, y - o.y}; }
+  Point2 operator*(double s) const { return {x * s, y * s}; }
+  bool operator==(const Point2& o) const { return x == o.x && y == o.y; }
+};
+
+/// Euclidean length of `p` as a vector.
+inline double Norm(const Point2& p) { return std::hypot(p.x, p.y); }
+
+/// Euclidean distance between two points.
+inline double Distance(const Point2& a, const Point2& b) {
+  return Norm(a - b);
+}
+
+/// Linear interpolation a + t (b - a).
+inline Point2 Lerp(const Point2& a, const Point2& b, double t) {
+  return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+/// Parameter t in [0,1] of the point on segment [a,b] closest to `p`.
+double ClosestPointParamOnSegment(const Point2& a, const Point2& b,
+                                  const Point2& p);
+
+/// Axis-aligned rectangle [min, max].
+struct Rect {
+  Point2 min;
+  Point2 max;
+
+  double Width() const { return max.x - min.x; }
+  double Height() const { return max.y - min.y; }
+  double Diagonal() const { return Distance(min, max); }
+  bool Contains(const Point2& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  /// Clamps `p` into the rectangle.
+  Point2 Clamp(const Point2& p) const;
+};
+
+/// 3-D distance between a ground point and an aerial point hovering at
+/// `height` above `air_ground`: sqrt(d2d^2 + height^2).
+double SlantDistance(const Point2& ground, const Point2& air_ground,
+                     double height);
+
+/// Elevation angle (degrees) of an aerial point at `height` above
+/// `air_ground`, seen from `ground`.
+double ElevationAngleDeg(const Point2& ground, const Point2& air_ground,
+                         double height);
+
+}  // namespace agsc::map
+
+#endif  // AGSC_MAP_GEOMETRY_H_

@@ -1,0 +1,252 @@
+#include "map/road_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace agsc::map {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+int RoadGraph::AddNode(const Point2& pos) {
+  nodes_.push_back(pos);
+  incident_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int RoadGraph::AddEdge(int a, int b) {
+  if (a < 0 || b < 0 || a >= NumNodes() || b >= NumNodes() || a == b) {
+    throw std::invalid_argument("RoadGraph::AddEdge: bad endpoints");
+  }
+  Edge e;
+  e.a = a;
+  e.b = b;
+  e.length = Distance(nodes_[a], nodes_[b]);
+  edges_.push_back(e);
+  const int id = static_cast<int>(edges_.size()) - 1;
+  incident_[a].push_back(id);
+  incident_[b].push_back(id);
+  return id;
+}
+
+bool RoadGraph::IsConnected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int eid : incident_[u]) {
+      const Edge& e = edges_[eid];
+      const int v = e.a == u ? e.b : e.a;
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        stack.push_back(v);
+      }
+    }
+  }
+  return count == NumNodes();
+}
+
+Point2 RoadGraph::PointAt(const RoadPosition& pos) const {
+  const Edge& e = edges_.at(pos.edge);
+  return Lerp(nodes_[e.a], nodes_[e.b], std::clamp(pos.t, 0.0, 1.0));
+}
+
+RoadPosition RoadGraph::Project(const Point2& p) const {
+  RoadPosition best;
+  double best_dist = kInf;
+  for (int i = 0; i < NumEdges(); ++i) {
+    const Edge& e = edges_[i];
+    const double t = ClosestPointParamOnSegment(nodes_[e.a], nodes_[e.b], p);
+    const double d = Distance(Lerp(nodes_[e.a], nodes_[e.b], t), p);
+    if (d < best_dist) {
+      best_dist = d;
+      best.edge = i;
+      best.t = t;
+    }
+  }
+  return best;
+}
+
+std::vector<double> RoadGraph::Dijkstra(int from, std::vector<int>* prev) const {
+  std::vector<double> dist(nodes_.size(), kInf);
+  if (prev != nullptr) prev->assign(nodes_.size(), -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[from] = 0.0;
+  heap.emplace(0.0, from);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (int eid : incident_[u]) {
+      const Edge& e = edges_[eid];
+      const int v = e.a == u ? e.b : e.a;
+      const double nd = d + e.length;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        if (prev != nullptr) (*prev)[v] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+double RoadGraph::NodeDistance(int from, int to) const {
+  if (from == to) return 0.0;
+  return Dijkstra(from, nullptr)[to];
+}
+
+std::vector<int> RoadGraph::NodePath(int from, int to) const {
+  std::vector<int> prev;
+  const std::vector<double> dist = Dijkstra(from, &prev);
+  if (dist[to] == kInf) return {};
+  std::vector<int> path;
+  for (int v = to; v != -1; v = prev[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;  // Starts at `from`, ends at `to`.
+}
+
+namespace {
+
+/// A stretch of travel along one edge from parameter t0 to t1.
+struct Segment {
+  int edge;
+  double t0;
+  double t1;
+};
+
+}  // namespace
+
+double RoadGraph::PathDistance(const RoadPosition& from,
+                               const RoadPosition& to) const {
+  if (!from.Valid() || !to.Valid()) return kInf;
+  const Edge& ef = edges_.at(from.edge);
+  const Edge& et = edges_.at(to.edge);
+  double best = kInf;
+  if (from.edge == to.edge) {
+    best = std::fabs(to.t - from.t) * ef.length;
+  }
+  const std::vector<double> da = Dijkstra(ef.a, nullptr);
+  const std::vector<double> db = Dijkstra(ef.b, nullptr);
+  const double off_a = from.t * ef.length;        // from -> node a.
+  const double off_b = (1.0 - from.t) * ef.length;  // from -> node b.
+  const double to_a = to.t * et.length;            // node a2 -> to.
+  const double to_b = (1.0 - to.t) * et.length;    // node b2 -> to.
+  best = std::min(best, off_a + da[et.a] + to_a);
+  best = std::min(best, off_a + da[et.b] + to_b);
+  best = std::min(best, off_b + db[et.a] + to_a);
+  best = std::min(best, off_b + db[et.b] + to_b);
+  return best;
+}
+
+RoadPosition RoadGraph::MoveAlong(const RoadPosition& from,
+                                  const RoadPosition& to, double budget,
+                                  double* moved) const {
+  if (moved != nullptr) *moved = 0.0;
+  if (!from.Valid() || !to.Valid() || budget <= 0.0) return from;
+  const Edge& ef = edges_.at(from.edge);
+  const Edge& et = edges_.at(to.edge);
+
+  // Enumerate the four endpoint routings plus the same-edge direct route and
+  // keep the shortest as a segment list.
+  double best = kInf;
+  std::vector<Segment> route;
+  if (from.edge == to.edge) {
+    best = std::fabs(to.t - from.t) * ef.length;
+    route = {{from.edge, from.t, to.t}};
+  }
+  struct Option {
+    int exit_node;    // Node of `from.edge` we leave through.
+    double exit_cost;
+    int enter_node;   // Node of `to.edge` we arrive at.
+    double enter_cost;
+  };
+  const Option options[] = {
+      {ef.a, from.t * ef.length, et.a, to.t * et.length},
+      {ef.a, from.t * ef.length, et.b, (1.0 - to.t) * et.length},
+      {ef.b, (1.0 - from.t) * ef.length, et.a, to.t * et.length},
+      {ef.b, (1.0 - from.t) * ef.length, et.b, (1.0 - to.t) * et.length},
+  };
+  for (const Option& opt : options) {
+    const std::vector<int> nodes = NodePath(opt.exit_node, opt.enter_node);
+    if (nodes.empty() && opt.exit_node != opt.enter_node) continue;
+    double mid = 0.0;
+    for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+      const int u = nodes[i], v = nodes[i + 1];
+      double step = kInf;
+      for (int eid : incident_[u]) {
+        const Edge& e = edges_[eid];
+        const int other = e.a == u ? e.b : e.a;
+        if (other == v) step = std::min(step, e.length);
+      }
+      mid += step;
+    }
+    const double total = opt.exit_cost + mid + opt.enter_cost;
+    if (total >= best) continue;
+    best = total;
+    route.clear();
+    // Leave the starting edge toward exit_node.
+    route.push_back({from.edge, from.t, opt.exit_node == ef.a ? 0.0 : 1.0});
+    // Traverse intermediate edges.
+    for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+      const int u = nodes[i], v = nodes[i + 1];
+      int best_eid = -1;
+      for (int eid : incident_[u]) {
+        const Edge& e = edges_[eid];
+        const int other = e.a == u ? e.b : e.a;
+        if (other != v) continue;
+        if (best_eid < 0 || e.length < edges_[best_eid].length) best_eid = eid;
+      }
+      route.push_back({best_eid, edges_[best_eid].a == u ? 0.0 : 1.0,
+                       edges_[best_eid].a == u ? 1.0 : 0.0});
+    }
+    // Enter the target edge from enter_node.
+    route.push_back({to.edge, opt.enter_node == et.a ? 0.0 : 1.0, to.t});
+  }
+  if (route.empty()) return from;  // Disconnected.
+
+  // Walk the route consuming the budget.
+  RoadPosition pos = from;
+  double walked = 0.0;
+  for (const Segment& seg : route) {
+    const double len = std::fabs(seg.t1 - seg.t0) * edges_[seg.edge].length;
+    if (len <= 1e-12) {
+      pos = {seg.edge, seg.t1};
+      continue;
+    }
+    if (walked + len <= budget) {
+      walked += len;
+      pos = {seg.edge, seg.t1};
+    } else {
+      const double frac = (budget - walked) / len;
+      walked = budget;
+      pos = {seg.edge, seg.t0 + (seg.t1 - seg.t0) * frac};
+      break;
+    }
+  }
+  if (moved != nullptr) *moved = walked;
+  return pos;
+}
+
+RoadPosition RoadGraph::MoveToward(const RoadPosition& from,
+                                   const Point2& target, double budget,
+                                   double* moved) const {
+  return MoveAlong(from, Project(target), budget, moved);
+}
+
+double RoadGraph::TotalLength() const {
+  double total = 0.0;
+  for (const Edge& e : edges_) total += e.length;
+  return total;
+}
+
+}  // namespace agsc::map

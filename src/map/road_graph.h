@@ -1,0 +1,95 @@
+#ifndef AGSC_MAP_ROAD_GRAPH_H_
+#define AGSC_MAP_ROAD_GRAPH_H_
+
+#include <vector>
+
+#include "map/geometry.h"
+
+namespace agsc::map {
+
+/// A position on the road network: fraction `t` in [0,1] along undirected
+/// edge `edge`, measured from the edge's node `a` toward node `b`.
+struct RoadPosition {
+  int edge = -1;
+  double t = 0.0;
+
+  bool Valid() const { return edge >= 0; }
+};
+
+/// Undirected road network with geometric nodes.
+///
+/// Supports the operations the environment needs for UGV motion:
+///  * projecting an arbitrary point onto the nearest road,
+///  * shortest-path distance between two on-road positions (Dijkstra),
+///  * moving along the shortest path toward a target under a range budget
+///    (the paper's constraint that a UGV may move only within
+///    `tau_move * v_max^UGV` per timeslot, Section III-A).
+class RoadGraph {
+ public:
+  struct Edge {
+    int a = 0;
+    int b = 0;
+    double length = 0.0;
+  };
+
+  RoadGraph() = default;
+
+  /// Adds a node at `pos`; returns its index.
+  int AddNode(const Point2& pos);
+
+  /// Adds an undirected edge between existing nodes `a` and `b`; returns the
+  /// edge index. Length is the Euclidean node distance.
+  int AddEdge(int a, int b);
+
+  int NumNodes() const { return static_cast<int>(nodes_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+  const Point2& node(int i) const { return nodes_[i]; }
+  const Edge& edge(int i) const { return edges_[i]; }
+
+  /// True if every node can reach every other node.
+  bool IsConnected() const;
+
+  /// Geometric location of an on-road position.
+  Point2 PointAt(const RoadPosition& pos) const;
+
+  /// Projects `p` onto the nearest point of any edge.
+  RoadPosition Project(const Point2& p) const;
+
+  /// Shortest travel distance between two node indices (Dijkstra);
+  /// +inf if disconnected.
+  double NodeDistance(int from, int to) const;
+
+  /// Shortest travel distance between two on-road positions, allowing
+  /// travel within an edge.
+  double PathDistance(const RoadPosition& from, const RoadPosition& to) const;
+
+  /// Moves from `from` at most `budget` meters along the shortest path
+  /// toward `to`. Returns the reached position; output `moved` (optional)
+  /// receives the distance actually traveled.
+  RoadPosition MoveAlong(const RoadPosition& from, const RoadPosition& to,
+                         double budget, double* moved = nullptr) const;
+
+  /// Convenience: project `target` onto the road and MoveAlong toward it.
+  RoadPosition MoveToward(const RoadPosition& from, const Point2& target,
+                          double budget, double* moved = nullptr) const;
+
+  /// Total length of all edges.
+  double TotalLength() const;
+
+ private:
+  /// Expanded node path (node indices) between nodes via Dijkstra;
+  /// empty if disconnected or from == to.
+  std::vector<int> NodePath(int from, int to) const;
+
+  /// Dijkstra distances from `from` to all nodes; `prev` (optional) receives
+  /// predecessor node indices for path recovery.
+  std::vector<double> Dijkstra(int from, std::vector<int>* prev) const;
+
+  std::vector<Point2> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> incident_;  // node -> incident edge indices.
+};
+
+}  // namespace agsc::map
+
+#endif  // AGSC_MAP_ROAD_GRAPH_H_

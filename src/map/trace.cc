@@ -1,0 +1,112 @@
+#include "map/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/rng.h"
+
+namespace agsc::map {
+
+std::vector<Trace> GenerateTraces(const Campus& campus,
+                                  const TraceConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<Trace> traces;
+  traces.reserve(campus.num_traces);
+  for (int s = 0; s < campus.num_traces; ++s) {
+    util::Rng student_rng = rng.Fork();
+    Trace trace;
+    trace.reserve(config.num_steps);
+    // Students start near a random landmark (dorm/lecture hall).
+    Point2 pos = campus.bounds.Clamp(
+        campus.landmarks[student_rng.UniformInt(
+            static_cast<uint64_t>(campus.landmarks.size()))] +
+        Point2{student_rng.Gaussian(0.0, config.landmark_sigma),
+               student_rng.Gaussian(0.0, config.landmark_sigma)});
+    Point2 waypoint = pos;
+    bool at_waypoint = true;
+    for (int t = 0; t < config.num_steps; ++t) {
+      if (at_waypoint) {
+        if (student_rng.Bernoulli(config.dwell_prob)) {
+          trace.push_back(pos);  // Dwell (classes, meals) concentrates visits.
+          continue;
+        }
+        // Pick the next waypoint: landmark-biased or uniform exploration.
+        if (student_rng.Bernoulli(config.landmark_prob)) {
+          const Point2& lm = campus.landmarks[student_rng.UniformInt(
+              static_cast<uint64_t>(campus.landmarks.size()))];
+          waypoint = campus.bounds.Clamp(
+              lm + Point2{student_rng.Gaussian(0.0, config.landmark_sigma),
+                          student_rng.Gaussian(0.0, config.landmark_sigma)});
+        } else {
+          waypoint = {student_rng.Uniform(campus.bounds.min.x,
+                                          campus.bounds.max.x),
+                      student_rng.Uniform(campus.bounds.min.y,
+                                          campus.bounds.max.y)};
+        }
+        at_waypoint = false;
+      }
+      const double dist = Distance(pos, waypoint);
+      if (dist <= config.step_meters) {
+        pos = waypoint;
+        at_waypoint = true;
+      } else {
+        pos = Lerp(pos, waypoint, config.step_meters / dist);
+      }
+      trace.push_back(pos);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+std::vector<Point2> ExtractPois(const Campus& campus,
+                                const std::vector<Trace>& traces, int count,
+                                double cell_meters) {
+  struct CellStats {
+    long visits = 0;
+    double sum_x = 0.0;
+    double sum_y = 0.0;
+  };
+  const int cells_x = std::max(
+      1, static_cast<int>(std::ceil(campus.bounds.Width() / cell_meters)));
+  std::map<long, CellStats> cells;  // Ordered => deterministic tie-breaks.
+  for (const Trace& trace : traces) {
+    for (const Point2& p : trace) {
+      const int cx = static_cast<int>((p.x - campus.bounds.min.x) /
+                                      cell_meters);
+      const int cy = static_cast<int>((p.y - campus.bounds.min.y) /
+                                      cell_meters);
+      CellStats& cell = cells[static_cast<long>(cy) * cells_x + cx];
+      ++cell.visits;
+      cell.sum_x += p.x;
+      cell.sum_y += p.y;
+    }
+  }
+  std::vector<std::pair<long, long>> ranked;  // (-visits, cell_key)
+  ranked.reserve(cells.size());
+  for (const auto& [key, stats] : cells) ranked.emplace_back(-stats.visits, key);
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<Point2> pois;
+  pois.reserve(count);
+  for (const auto& [neg_visits, key] : ranked) {
+    if (static_cast<int>(pois.size()) >= count) break;
+    const CellStats& stats = cells.at(key);
+    pois.push_back({stats.sum_x / static_cast<double>(stats.visits),
+                    stats.sum_y / static_cast<double>(stats.visits)});
+  }
+  return pois;
+}
+
+Dataset BuildDataset(CampusId id, int num_pois) {
+  Dataset dataset;
+  dataset.campus = BuildCampus(id);
+  TraceConfig config;
+  // Per-campus trace seeds keep the two datasets independent.
+  config.seed = id == CampusId::kPurdue ? 7001 : 7002;
+  const std::vector<Trace> traces = GenerateTraces(dataset.campus, config);
+  dataset.pois = ExtractPois(dataset.campus, traces, num_pois);
+  return dataset;
+}
+
+}  // namespace agsc::map

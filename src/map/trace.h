@@ -1,0 +1,47 @@
+#ifndef AGSC_MAP_TRACE_H_
+#define AGSC_MAP_TRACE_H_
+
+#include <vector>
+
+#include "map/campus.h"
+
+namespace agsc::map {
+
+/// Parameters of the synthetic student-mobility model (landmark-biased
+/// random waypoint). Substitutes the CRAWDAD Purdue/NCSU GPS trace sets.
+struct TraceConfig {
+  int num_steps = 2000;          // Sampled positions per student.
+  double step_meters = 80.0;     // Walk distance per sample (~1.3 m/s @ 60s).
+  double landmark_prob = 0.75;   // P(next waypoint near a landmark).
+  double landmark_sigma = 60.0;  // Gaussian spread around the landmark.
+  double dwell_prob = 0.55;      // P(stay put this step once arrived).
+  uint64_t seed = 42;
+};
+
+/// One student's sampled positions over time.
+using Trace = std::vector<Point2>;
+
+/// Generates `campus.num_traces` student traces inside the campus bounds.
+std::vector<Trace> GenerateTraces(const Campus& campus,
+                                  const TraceConfig& config);
+
+/// Extracts the `count` most-frequently-visited grid cells (cell side
+/// `cell_meters`) as PoI locations, mirroring the paper's "100 most
+/// frequently visited PoIs" extraction. The PoI position is the centroid of
+/// the visits falling in the cell. Deterministic given the traces.
+std::vector<Point2> ExtractPois(const Campus& campus,
+                                const std::vector<Trace>& traces, int count,
+                                double cell_meters = 60.0);
+
+/// A ready-to-use evaluation dataset: campus + PoIs.
+struct Dataset {
+  Campus campus;
+  std::vector<Point2> pois;
+};
+
+/// Builds the full dataset for a campus with `num_pois` PoIs (paper: 100).
+Dataset BuildDataset(CampusId id, int num_pois = 100);
+
+}  // namespace agsc::map
+
+#endif  // AGSC_MAP_TRACE_H_

@@ -1,0 +1,126 @@
+#include "nn/autograd.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace agsc::nn {
+
+Variable Variable::Parameter(Tensor value) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->op_name = "parameter";
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Variable Variable::Constant(Tensor value) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  node->op_name = "constant";
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+const Tensor& Variable::value() const {
+  if (!node_) throw std::logic_error("Variable::value on null variable");
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  if (!node_) throw std::logic_error("Variable::mutable_value on null");
+  return node_->value;
+}
+
+Tensor& Variable::grad() {
+  if (!node_) throw std::logic_error("Variable::grad on null variable");
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  return node_ != nullptr && node_->requires_grad;
+}
+
+namespace {
+
+void TopoSort(internal::Node* root,
+              std::vector<internal::Node*>& order,
+              std::unordered_set<internal::Node*>& visited) {
+  // Iterative post-order DFS (graphs can be deep for long rollouts).
+  struct Frame {
+    internal::Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root).second) stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      internal::Node* parent = top.node->parents[top.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Variable::Backward() const {
+  if (!node_) throw std::logic_error("Backward on null variable");
+  if (node_->value.size() != 1) {
+    throw std::logic_error("Backward() without seed requires a scalar; got " +
+                           node_->value.ShapeString());
+  }
+  Tensor seed(1, 1);
+  seed[0] = 1.0f;
+  Backward(seed);
+}
+
+void Variable::Backward(const Tensor& seed) const {
+  if (!node_) throw std::logic_error("Backward on null variable");
+  if (!node_->requires_grad) return;  // Nothing reachable needs gradients.
+  if (seed.rows() != node_->value.rows() ||
+      seed.cols() != node_->value.cols()) {
+    throw std::invalid_argument("Backward: seed shape mismatch");
+  }
+  std::vector<internal::Node*> order;
+  std::unordered_set<internal::Node*> visited;
+  TopoSort(node_.get(), order, visited);
+  node_->EnsureGrad();
+  node_->grad.AddInPlace(seed);
+  // `order` is post-order (leaves first); iterate in reverse so each node's
+  // grad is complete before it is pushed to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::Node* n = *it;
+    if (n->backward_fn) {
+      n->EnsureGrad();
+      n->backward_fn(*n);
+    }
+  }
+}
+
+Variable Variable::Detach() const {
+  return Constant(value());
+}
+
+void Variable::ZeroGrad() {
+  if (!node_) return;
+  node_->EnsureGrad();
+  node_->grad.Fill(0.0f);
+}
+
+}  // namespace agsc::nn

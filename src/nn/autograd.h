@@ -1,0 +1,90 @@
+#ifndef AGSC_NN_AUTOGRAD_H_
+#define AGSC_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace agsc::nn {
+
+namespace internal {
+
+/// One node of the dynamically-built computation graph. Users interact with
+/// `Variable`; nodes are reference-counted so a graph lives as long as any
+/// variable referencing it.
+struct Node {
+  Tensor value;
+  Tensor grad;                 // Same shape as value; lazily allocated.
+  bool requires_grad = false;  // True for parameters and anything downstream.
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this node's grad into its parents' grads.
+  std::function<void(Node&)> backward_fn;
+  std::string op_name;  // For error messages / debugging.
+
+  void EnsureGrad() {
+    if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+      grad = Tensor(value.rows(), value.cols());
+    }
+  }
+};
+
+}  // namespace internal
+
+/// Handle to a node in the autograd graph.
+///
+/// A `Variable` either wraps a *parameter* / *constant* leaf or the result of
+/// an op in `nn/ops.h`. Calling `Backward()` on a scalar variable runs
+/// reverse-mode differentiation and *accumulates* gradients into every
+/// reachable parameter's `grad()` (so gradients from several losses add up
+/// until `Optimizer::ZeroGrad` clears them).
+class Variable {
+ public:
+  /// Null variable; most operations on it throw.
+  Variable() = default;
+
+  /// Creates a trainable leaf (participates in gradients).
+  static Variable Parameter(Tensor value);
+
+  /// Creates a non-trainable leaf (no gradient flows into it).
+  static Variable Constant(Tensor value);
+
+  /// True if this variable wraps a node.
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  /// Accumulated gradient. Allocated (zero) on first access.
+  Tensor& grad();
+  bool requires_grad() const;
+
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  /// Runs reverse-mode autodiff from this variable, which must be a 1x1
+  /// scalar. Seeds d(this)/d(this)=1 and accumulates into leaf grads.
+  void Backward() const;
+
+  /// As Backward() but with an explicit seed gradient (same shape as value).
+  void Backward(const Tensor& seed) const;
+
+  /// Returns a constant leaf sharing this variable's current value
+  /// (cuts the graph; no gradient flows through the result).
+  Variable Detach() const;
+
+  /// Sets this parameter's gradient to zero (allocating if needed).
+  void ZeroGrad();
+
+  /// Internal: wraps an op-produced node.
+  static Variable FromNode(std::shared_ptr<internal::Node> node);
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+}  // namespace agsc::nn
+
+#endif  // AGSC_NN_AUTOGRAD_H_

@@ -1,0 +1,34 @@
+#include "nn/gru.h"
+
+namespace agsc::nn {
+
+GruCell::GruCell(int input_size, int hidden_size, util::Rng& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      x_z_(input_size, hidden_size, rng),
+      h_z_(hidden_size, hidden_size, rng),
+      x_r_(input_size, hidden_size, rng),
+      h_r_(hidden_size, hidden_size, rng),
+      x_n_(input_size, hidden_size, rng),
+      h_n_(hidden_size, hidden_size, rng) {}
+
+Variable GruCell::Step(const Variable& x, const Variable& h) const {
+  Variable z = Sigmoid(Add(x_z_.Forward(x), h_z_.Forward(h)));
+  Variable r = Sigmoid(Add(x_r_.Forward(x), h_r_.Forward(h)));
+  Variable n = Tanh(Add(x_n_.Forward(x), h_n_.Forward(Mul(r, h))));
+  // h' = (1 - z) * n + z * h.
+  Variable one_minus_z = ScalarAdd(Neg(z), 1.0f);
+  return Add(Mul(one_minus_z, n), Mul(z, h));
+}
+
+Tensor GruCell::InitialState(int n) const { return Tensor(n, hidden_size_); }
+
+std::vector<Variable> GruCell::Parameters() const {
+  std::vector<Variable> params;
+  for (const Linear* layer : {&x_z_, &h_z_, &x_r_, &h_r_, &x_n_, &h_n_}) {
+    for (Variable& p : layer->Parameters()) params.push_back(std::move(p));
+  }
+  return params;
+}
+
+}  // namespace agsc::nn

@@ -1,0 +1,46 @@
+#ifndef AGSC_NN_GRU_H_
+#define AGSC_NN_GRU_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace agsc::nn {
+
+/// Gated recurrent unit cell (Cho et al. 2014), used by the e-Divert
+/// baseline's sequential policy/critic.
+///
+///   z = sigmoid(x Wz + h Uz + bz)        (update gate)
+///   r = sigmoid(x Wr + h Ur + br)        (reset gate)
+///   n = tanh(x Wn + (r * h) Un + bn)     (candidate)
+///   h' = (1 - z) * n + z * h
+///
+/// The cell is stepped one timeslot at a time; backpropagation through time
+/// works by simply chaining `Step` calls inside one autograd graph.
+class GruCell : public Module {
+ public:
+  GruCell(int input_size, int hidden_size, util::Rng& rng);
+
+  /// One recurrence step. `x` is N x input, `h` is N x hidden; returns the
+  /// next hidden state (N x hidden).
+  Variable Step(const Variable& x, const Variable& h) const;
+
+  /// Returns an all-zero initial hidden state for a batch of `n` rows.
+  Tensor InitialState(int n) const;
+
+  std::vector<Variable> Parameters() const override;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  Linear x_z_, h_z_;  // Update gate.
+  Linear x_r_, h_r_;  // Reset gate.
+  Linear x_n_, h_n_;  // Candidate.
+};
+
+}  // namespace agsc::nn
+
+#endif  // AGSC_NN_GRU_H_

@@ -1,0 +1,88 @@
+#ifndef AGSC_NN_LAYERS_H_
+#define AGSC_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace agsc::nn {
+
+/// Hidden-layer nonlinearity selector.
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+/// Applies `act` to `x` (identity for kNone).
+Variable Activate(const Variable& x, Activation act);
+
+/// Interface for anything that owns trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Returns all trainable parameters (stable order across calls so that
+  /// serialization and optimizers can rely on it).
+  virtual std::vector<Variable> Parameters() const = 0;
+
+  /// Total scalar parameter count.
+  int ParameterCount() const;
+};
+
+/// Fully-connected layer y = x W + b with orthogonal weight init.
+class Linear : public Module {
+ public:
+  /// `gain` scales the orthogonal initialization (use sqrt(2) before ReLU,
+  /// 0.01 for small policy heads, 1 otherwise).
+  Linear(int in_features, int out_features, util::Rng& rng, float gain = 1.0f);
+
+  /// Applies the layer to a batch (rows = batch).
+  Variable Forward(const Variable& x) const;
+
+  std::vector<Variable> Parameters() const override;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  const Variable& weight() const { return weight_; }
+  const Variable& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Variable weight_;  // in x out.
+  Variable bias_;    // 1 x out.
+};
+
+/// Multi-layer perceptron: Linear -> act -> ... -> Linear (-> output_act).
+class Mlp : public Module {
+ public:
+  /// `sizes` = {in, hidden..., out}; needs >= 2 entries. `hidden_act` is
+  /// applied after every layer except the last, `output_act` after the last.
+  Mlp(const std::vector<int>& sizes, util::Rng& rng,
+      Activation hidden_act = Activation::kTanh,
+      Activation output_act = Activation::kNone, float final_gain = 1.0f);
+
+  Variable Forward(const Variable& x) const;
+
+  /// Convenience: forward on raw data without building grad history upstream
+  /// of the input (input becomes a constant leaf).
+  Variable Forward(const Tensor& x) const;
+
+  std::vector<Variable> Parameters() const override;
+
+  int in_features() const { return layers_.front().in_features(); }
+  int out_features() const { return layers_.back().out_features(); }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_act_;
+  Activation output_act_;
+};
+
+/// Fills `w` (in x out) with a (semi-)orthogonal matrix scaled by `gain`,
+/// using Gram-Schmidt on Gaussian columns. Exposed for testing.
+void OrthogonalInit(Tensor& w, util::Rng& rng, float gain);
+
+}  // namespace agsc::nn
+
+#endif  // AGSC_NN_LAYERS_H_

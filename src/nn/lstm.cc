@@ -1,0 +1,49 @@
+#include "nn/lstm.h"
+
+namespace agsc::nn {
+
+LstmCell::LstmCell(int input_size, int hidden_size, util::Rng& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      x_i_(input_size, hidden_size, rng),
+      h_i_(hidden_size, hidden_size, rng),
+      x_f_(input_size, hidden_size, rng),
+      h_f_(hidden_size, hidden_size, rng),
+      x_o_(input_size, hidden_size, rng),
+      h_o_(hidden_size, hidden_size, rng),
+      x_g_(input_size, hidden_size, rng),
+      h_g_(hidden_size, hidden_size, rng) {}
+
+Variable LstmCell::Step(const Variable& x,
+                        const Variable& packed_state) const {
+  Variable h = SliceCols(packed_state, 0, hidden_size_);
+  Variable c = SliceCols(packed_state, hidden_size_, hidden_size_);
+  Variable i = Sigmoid(Add(x_i_.Forward(x), h_i_.Forward(h)));
+  // Unit forget-gate bias keeps early gradients alive (Jozefowicz 2015).
+  Variable f = Sigmoid(ScalarAdd(Add(x_f_.Forward(x), h_f_.Forward(h)),
+                                 1.0f));
+  Variable o = Sigmoid(Add(x_o_.Forward(x), h_o_.Forward(h)));
+  Variable g = Tanh(Add(x_g_.Forward(x), h_g_.Forward(h)));
+  Variable c_next = Add(Mul(f, c), Mul(i, g));
+  Variable h_next = Mul(o, Tanh(c_next));
+  return ConcatCols(h_next, c_next);
+}
+
+Variable LstmCell::Output(const Variable& packed_state) const {
+  return SliceCols(packed_state, 0, hidden_size_);
+}
+
+Tensor LstmCell::InitialState(int n) const {
+  return Tensor(n, state_size());
+}
+
+std::vector<Variable> LstmCell::Parameters() const {
+  std::vector<Variable> params;
+  for (const Linear* layer : {&x_i_, &h_i_, &x_f_, &h_f_, &x_o_, &h_o_,
+                              &x_g_, &h_g_}) {
+    for (Variable& p : layer->Parameters()) params.push_back(std::move(p));
+  }
+  return params;
+}
+
+}  // namespace agsc::nn

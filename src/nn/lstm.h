@@ -1,0 +1,53 @@
+#ifndef AGSC_NN_LSTM_H_
+#define AGSC_NN_LSTM_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace agsc::nn {
+
+/// Long short-term memory cell (Hochreiter & Schmidhuber 1997), the
+/// recurrent unit the e-Divert baseline's paper uses for sequential
+/// modeling.
+///
+///   i = sigmoid(x Wi + h Ui + bi)           (input gate)
+///   f = sigmoid(x Wf + h Uf + bf + 1)       (forget gate, +1 bias trick)
+///   o = sigmoid(x Wo + h Uo + bo)           (output gate)
+///   g = tanh(x Wg + h Ug + bg)              (candidate)
+///   c' = f * c + i * g;   h' = o * tanh(c')
+///
+/// The recurrent state is *packed* as an N x 2H tensor [h | c] so callers
+/// can treat GRU (N x H) and LSTM (N x 2H) states uniformly.
+class LstmCell : public Module {
+ public:
+  LstmCell(int input_size, int hidden_size, util::Rng& rng);
+
+  /// One recurrence step on a packed state; returns the next packed state.
+  Variable Step(const Variable& x, const Variable& packed_state) const;
+
+  /// The externally visible output of a packed state: its h half.
+  Variable Output(const Variable& packed_state) const;
+
+  /// All-zero packed initial state (N x 2H).
+  Tensor InitialState(int n) const;
+
+  std::vector<Variable> Parameters() const override;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+  /// Width of the packed state (2H).
+  int state_size() const { return 2 * hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  Linear x_i_, h_i_;
+  Linear x_f_, h_f_;
+  Linear x_o_, h_o_;
+  Linear x_g_, h_g_;
+};
+
+}  // namespace agsc::nn
+
+#endif  // AGSC_NN_LSTM_H_

@@ -1,0 +1,107 @@
+#ifndef AGSC_NN_OPS_H_
+#define AGSC_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace agsc::nn {
+
+// Differentiable operations over `Variable`. Every op returns a new variable
+// whose node records how to push gradients into its inputs. Shapes follow the
+// convention rows = batch, cols = features.
+
+/// C = A x B (matrix product).
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// Elementwise A + B (same shape).
+Variable Add(const Variable& a, const Variable& b);
+
+/// Elementwise A - B (same shape).
+Variable Sub(const Variable& a, const Variable& b);
+
+/// Elementwise A * B (Hadamard, same shape).
+Variable Mul(const Variable& a, const Variable& b);
+
+/// -A.
+Variable Neg(const Variable& a);
+
+/// A * s (scalar).
+Variable ScalarMul(const Variable& a, float s);
+
+/// A + s (scalar, elementwise).
+Variable ScalarAdd(const Variable& a, float s);
+
+/// out[r,c] = m[r,c] + v[0,c]; v is a 1xC row vector broadcast over rows.
+Variable AddRowVector(const Variable& m, const Variable& v);
+
+/// out[r,c] = m[r,c] * v[0,c]; v is a 1xC row vector broadcast over rows.
+Variable MulRowVector(const Variable& m, const Variable& v);
+
+/// Elementwise exp.
+Variable Exp(const Variable& a);
+
+/// Elementwise natural log (inputs must be positive).
+Variable Log(const Variable& a);
+
+/// Elementwise tanh.
+Variable Tanh(const Variable& a);
+
+/// Elementwise max(x, 0).
+Variable Relu(const Variable& a);
+
+/// Elementwise logistic sigmoid.
+Variable Sigmoid(const Variable& a);
+
+/// Elementwise x^2.
+Variable Square(const Variable& a);
+
+/// Elementwise clamp to [lo, hi]; gradient is zero outside the interval.
+Variable Clamp(const Variable& a, float lo, float hi);
+
+/// Elementwise min(A, B); gradient routes to the smaller input (ties -> A).
+Variable Minimum(const Variable& a, const Variable& b);
+
+/// Elementwise max(A, B); gradient routes to the larger input (ties -> A).
+Variable Maximum(const Variable& a, const Variable& b);
+
+/// Sum of all elements -> 1x1.
+Variable Sum(const Variable& a);
+
+/// Mean of all elements -> 1x1.
+Variable Mean(const Variable& a);
+
+/// Row-wise sum -> Rx1.
+Variable RowSum(const Variable& a);
+
+/// Horizontal concatenation [A | B] (same row count).
+Variable ConcatCols(const Variable& a, const Variable& b);
+
+/// Column slice A[:, start : start+count]; backward scatters into the
+/// sliced region only.
+Variable SliceCols(const Variable& a, int start, int count);
+
+/// Row-wise softmax (numerically stabilized).
+Variable Softmax(const Variable& logits);
+
+/// Row-wise log-softmax (numerically stabilized).
+Variable LogSoftmax(const Variable& logits);
+
+/// out[r,0] = m[r, indices[r]]. Used for NLL losses.
+Variable PickPerRow(const Variable& m, const std::vector<int>& indices);
+
+/// Mean negative log likelihood of integer `labels` under row-wise
+/// softmax(logits) -> 1x1. Equivalent to cross-entropy with one-hot targets.
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int>& labels);
+
+/// Mean (over rows) Shannon entropy of row-wise softmax(logits) -> 1x1.
+/// This is CrossEntropy(p, p) in the i-EOI regularizer (Eqn. 21).
+Variable SoftmaxEntropy(const Variable& logits);
+
+/// Mean squared error between `pred` and constant `target` -> 1x1.
+Variable MseLoss(const Variable& pred, const Tensor& target);
+
+}  // namespace agsc::nn
+
+#endif  // AGSC_NN_OPS_H_

@@ -1,0 +1,85 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace agsc::nn {
+
+Optimizer::Optimizer(std::vector<Variable> params)
+    : params_(std::move(params)) {}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+void Optimizer::AddParameters(const std::vector<Variable>& more) {
+  params_.insert(params_.end(), more.begin(), more.end());
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr)
+    : Optimizer(std::move(params)), lr_(lr) {}
+
+void Sgd::Step() {
+  for (Variable& p : params_) {
+    Tensor& value = p.mutable_value();
+    const Tensor& g = p.grad();
+    for (int i = 0; i < value.size(); ++i) value[i] -= lr_ * g[i];
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {}
+
+void Adam::EnsureState() {
+  if (m_.size() == params_.size()) return;
+  m_.clear();
+  v_.clear();
+  for (const Variable& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  EnsureState();
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& value = params_[k].mutable_value();
+    const Tensor& g = params_[k].grad();
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (int i = 0; i < value.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(std::vector<Variable>& params, float max_norm) {
+  double total = 0.0;
+  for (Variable& p : params) {
+    const Tensor& g = p.grad();
+    for (int i = 0; i < g.size(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Variable& p : params) p.grad().Scale(scale);
+  }
+  return norm;
+}
+
+}  // namespace agsc::nn

@@ -1,0 +1,85 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace agsc::nn {
+
+namespace {
+constexpr char kMagic[8] = {'A', 'G', 'S', 'C', 'N', 'N', '0', '1'};
+}  // namespace
+
+bool SaveParameters(const std::string& path,
+                    const std::vector<Variable>& params) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Variable& p : params) {
+    const Tensor& t = p.value();
+    const int32_t rows = t.rows(), cols = t.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(sizeof(float)) * t.size());
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadParameters(const std::string& path, std::vector<Variable>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) return false;
+  for (Variable& p : params) {
+    int32_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    Tensor& t = p.mutable_value();
+    if (!in || rows != t.rows() || cols != t.cols()) return false;
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float)) * t.size());
+    if (!in) return false;
+  }
+  return true;
+}
+
+void CopyParameters(const std::vector<Variable>& src,
+                    std::vector<Variable>& dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("CopyParameters: count mismatch");
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    const Tensor& s = src[i].value();
+    Tensor& d = dst[i].mutable_value();
+    if (s.rows() != d.rows() || s.cols() != d.cols()) {
+      throw std::invalid_argument("CopyParameters: shape mismatch");
+    }
+    d = s;
+  }
+}
+
+std::vector<Tensor> SnapshotParameters(const std::vector<Variable>& params) {
+  std::vector<Tensor> snapshot;
+  snapshot.reserve(params.size());
+  for (const Variable& p : params) snapshot.push_back(p.value());
+  return snapshot;
+}
+
+void RestoreParameters(const std::vector<Tensor>& snapshot,
+                       std::vector<Variable>& params) {
+  if (snapshot.size() != params.size()) {
+    throw std::invalid_argument("RestoreParameters: count mismatch");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = snapshot[i];
+  }
+}
+
+}  // namespace agsc::nn

@@ -1,0 +1,35 @@
+#ifndef AGSC_NN_SERIALIZE_H_
+#define AGSC_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace agsc::nn {
+
+/// Writes `params` (shapes + row-major float data) to a binary file.
+/// Format: magic "AGSCNN01", count, then per tensor {rows, cols, data}.
+/// Returns false on I/O failure.
+bool SaveParameters(const std::string& path,
+                    const std::vector<Variable>& params);
+
+/// Loads parameters saved by SaveParameters into `params` *in place*:
+/// the file must contain the same number of tensors with matching shapes.
+/// Returns false on I/O failure or shape/count mismatch.
+bool LoadParameters(const std::string& path, std::vector<Variable>& params);
+
+/// Copies parameter values from `src` into `dst` (shapes must match).
+void CopyParameters(const std::vector<Variable>& src,
+                    std::vector<Variable>& dst);
+
+/// Snapshots current parameter values (used by PPO for pi_old).
+std::vector<Tensor> SnapshotParameters(const std::vector<Variable>& params);
+
+/// Restores a snapshot taken by SnapshotParameters.
+void RestoreParameters(const std::vector<Tensor>& snapshot,
+                       std::vector<Variable>& params);
+
+}  // namespace agsc::nn
+
+#endif  // AGSC_NN_SERIALIZE_H_

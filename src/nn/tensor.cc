@@ -1,0 +1,185 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace agsc::nn {
+
+Tensor::Tensor(int rows, int cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, 0.0f) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("negative tensor dim");
+}
+
+Tensor::Tensor(int rows, int cols, float fill)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("negative tensor dim");
+}
+
+Tensor Tensor::RowVector(const std::vector<float>& values) {
+  Tensor t(1, static_cast<int>(values.size()));
+  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::ColVector(const std::vector<float>& values) {
+  Tensor t(static_cast<int>(values.size()), 1);
+  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t(1, 1);
+  t[0] = value;
+  return t;
+}
+
+Tensor Tensor::FromRowMajor(int rows, int cols,
+                            const std::vector<float>& values) {
+  if (static_cast<size_t>(rows) * cols != values.size()) {
+    throw std::invalid_argument("FromRowMajor: size mismatch");
+  }
+  Tensor t(rows, cols);
+  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::Randn(int rows, int cols, util::Rng& rng, float stddev) {
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Gaussian()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::Uniform(int rows, int cols, util::Rng& rng, float lo,
+                       float hi) {
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::Transposed() const {
+  Tensor out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Tensor Tensor::Row(int r) const {
+  Tensor out(1, cols_);
+  std::memcpy(out.data(), data_.data() + static_cast<size_t>(r) * cols_,
+              cols_ * sizeof(float));
+  return out;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  if (other.rows_ != rows_ || other.cols_ != cols_) {
+    throw std::invalid_argument("AddInPlace: shape mismatch " + ShapeString() +
+                                " vs " + other.ShapeString());
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Scale(float factor) {
+  for (float& x : data_) x *= factor;
+}
+
+float Tensor::Sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Tensor::Mean() const {
+  return data_.empty() ? 0.0f : Sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::AbsMax() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+float Tensor::Norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+bool Tensor::SameAs(const Tensor& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         data_ == other.data_;
+}
+
+std::string Tensor::ShapeString() const {
+  return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("MatMul: inner dims " + a.ShapeString() +
+                                " vs " + b.ShapeString());
+  }
+  Tensor c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    float* crow = c.data() + static_cast<size_t>(i) * n;
+    const float* arow = a.data() + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("MatMulTransposedB: dims " + a.ShapeString() +
+                                " vs " + b.ShapeString());
+  }
+  Tensor c(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.data() + static_cast<size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.data() + static_cast<size_t>(j) * k;
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
+      c(i, j) = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("MatMulTransposedA: dims " + a.ShapeString() +
+                                " vs " + b.ShapeString());
+  }
+  Tensor c(a.cols(), b.cols());
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.data() + static_cast<size_t>(p) * m;
+    const float* brow = b.data() + static_cast<size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace agsc::nn

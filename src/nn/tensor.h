@@ -1,0 +1,122 @@
+#ifndef AGSC_NN_TENSOR_H_
+#define AGSC_NN_TENSOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace agsc::nn {
+
+/// Dense row-major 2-D float matrix. This is the only tensor rank the
+/// library needs: batches are rows, features are columns; vectors are 1xC or
+/// Rx1 matrices and scalars are 1x1.
+class Tensor {
+ public:
+  /// Creates an empty 0x0 tensor.
+  Tensor() = default;
+
+  /// Creates a rows x cols tensor initialized to zero.
+  Tensor(int rows, int cols);
+
+  /// Creates a rows x cols tensor filled with `fill`.
+  Tensor(int rows, int cols, float fill);
+
+  Tensor(const Tensor&) = default;
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  /// Builds a 1xN row vector from `values`.
+  static Tensor RowVector(const std::vector<float>& values);
+
+  /// Builds an Nx1 column vector from `values`.
+  static Tensor ColVector(const std::vector<float>& values);
+
+  /// Builds a 1x1 scalar tensor.
+  static Tensor Scalar(float value);
+
+  /// Builds a rows x cols tensor from row-major `values`
+  /// (values.size() must equal rows*cols).
+  static Tensor FromRowMajor(int rows, int cols,
+                             const std::vector<float>& values);
+
+  /// Tensor with i.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(int rows, int cols, util::Rng& rng,
+                      float stddev = 1.0f);
+
+  /// Tensor with i.i.d. U(lo, hi) entries.
+  static Tensor Uniform(int rows, int cols, util::Rng& rng, float lo,
+                        float hi);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Element access (bounds unchecked in release; asserted in debug).
+  float& operator()(int r, int c) { return data_[r * cols_ + c]; }
+  float operator()(int r, int c) const { return data_[r * cols_ + c]; }
+
+  /// Flat element access in row-major order.
+  float& operator[](int i) { return data_[i]; }
+  float operator[](int i) const { return data_[i]; }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Returns the transpose.
+  Tensor Transposed() const;
+
+  /// Returns a copy of row `r` as a 1xC tensor.
+  Tensor Row(int r) const;
+
+  /// In-place elementwise add of a same-shaped tensor.
+  void AddInPlace(const Tensor& other);
+
+  /// In-place scale by a scalar.
+  void Scale(float factor);
+
+  /// Sum of all elements.
+  float Sum() const;
+
+  /// Mean of all elements; 0 for empty tensors.
+  float Mean() const;
+
+  /// Maximum absolute value of any element; 0 for empty tensors.
+  float AbsMax() const;
+
+  /// Frobenius norm.
+  float Norm() const;
+
+  /// Returns true if shapes and all elements match exactly.
+  bool SameAs(const Tensor& other) const;
+
+  /// Human-readable "rows x cols" string.
+  std::string ShapeString() const;
+
+  /// Row-major copy of the contents.
+  std::vector<float> ToVector() const { return data_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B (matrix product). Shapes must agree.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T without materializing the transpose.
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B without materializing the transpose.
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+}  // namespace agsc::nn
+
+#endif  // AGSC_NN_TENSOR_H_

@@ -1,0 +1,65 @@
+#include "util/csv.h"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace agsc::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path, std::ios::trunc);
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  WriteRow(header);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << CsvEscape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::string& label,
+                         const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, precision));
+  WriteRow(cells);
+}
+
+void CsvWriter::Flush() { out_.flush(); }
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return !ec || std::filesystem::exists(dir);
+}
+
+}  // namespace agsc::util

@@ -1,0 +1,44 @@
+#ifndef AGSC_UTIL_CSV_H_
+#define AGSC_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace agsc::util {
+
+/// Minimal CSV writer used by the benchmark harness to dump the series each
+/// paper figure plots. Fields containing commas, quotes or newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncating) and writes `header` as the first
+  /// row. Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row of string cells.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Writes a row of `label` followed by fixed-precision doubles.
+  void WriteRow(const std::string& label, const std::vector<double>& values,
+                int precision = 6);
+
+  /// Flushes buffered output to disk.
+  void Flush();
+
+ private:
+  std::ofstream out_;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+std::string CsvEscape(const std::string& field);
+
+/// Creates `dir` (and parents) if missing; returns false on failure.
+bool EnsureDirectory(const std::string& dir);
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_CSV_H_

@@ -1,0 +1,36 @@
+#include "util/env_flags.h"
+
+#include <cstdlib>
+
+namespace agsc::util {
+
+std::string GetEnvOr(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  return value != nullptr ? std::string(value) : fallback;
+}
+
+int GetEnvOr(const std::string& name, int fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
+double GetEnvOr(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+BenchScale GetBenchScale() {
+  return GetEnvOr("AGSC_BENCH_SCALE", std::string("smoke")) == "paper"
+             ? BenchScale::kPaper
+             : BenchScale::kSmoke;
+}
+
+}  // namespace agsc::util

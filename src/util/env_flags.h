@@ -1,0 +1,27 @@
+#ifndef AGSC_UTIL_ENV_FLAGS_H_
+#define AGSC_UTIL_ENV_FLAGS_H_
+
+#include <string>
+
+namespace agsc::util {
+
+/// Returns the value of environment variable `name`, or `fallback` if unset.
+std::string GetEnvOr(const std::string& name, const std::string& fallback);
+
+/// Returns env var `name` parsed as int, or `fallback` if unset/unparsable.
+int GetEnvOr(const std::string& name, int fallback);
+
+/// Returns env var `name` parsed as double, or `fallback` if unset/unparsable.
+double GetEnvOr(const std::string& name, double fallback);
+
+/// Benchmark scale selected by AGSC_BENCH_SCALE: "smoke" (default) runs
+/// reduced sweeps/training so the whole harness finishes in minutes;
+/// "paper" runs the full sweep grid with a larger training budget.
+enum class BenchScale { kSmoke, kPaper };
+
+/// Reads AGSC_BENCH_SCALE ("smoke"|"paper"); defaults to kSmoke.
+BenchScale GetBenchScale();
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_ENV_FLAGS_H_

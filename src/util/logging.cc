@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace agsc::util {
+namespace {
+
+std::mutex& LogMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+LogLevel& CurrentLevel() {
+  static LogLevel level = [] {
+    const char* env = std::getenv("AGSC_LOG_LEVEL");
+    if (env != nullptr) {
+      if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+      if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+      if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+    }
+    return LogLevel::kInfo;
+  }();
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { CurrentLevel() = level; }
+
+LogLevel GetLogLevel() { return CurrentLevel(); }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level < CurrentLevel()) return;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::cerr << '[' << LevelName(level) << "] " << message << '\n';
+}
+
+}  // namespace agsc::util

@@ -1,0 +1,63 @@
+#ifndef AGSC_UTIL_LOGGING_H_
+#define AGSC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace agsc::util {
+
+/// Log severities, ordered by verbosity.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted (default kInfo). Messages below
+/// the threshold are dropped. Also settable via the AGSC_LOG_LEVEL
+/// environment variable ("debug"|"info"|"warning"|"error") at first use.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+/// Emits `message` at `level` to stderr as "[LEVEL] message\n".
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style helper behind the AGSC_LOG macro; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace agsc::util
+
+/// Usage: AGSC_LOG(kInfo) << "trained " << n << " iterations";
+#define AGSC_LOG(severity) \
+  ::agsc::util::internal::LogStream(::agsc::util::LogLevel::severity)
+
+/// Fatal-on-false runtime check (active in all build types).
+#define AGSC_CHECK(condition)                                              \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::agsc::util::LogMessage(::agsc::util::LogLevel::kError,             \
+                               std::string("CHECK failed: ") + #condition + \
+                                   " at " + __FILE__ + ":" +               \
+                                   std::to_string(__LINE__));              \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#endif  // AGSC_UTIL_LOGGING_H_

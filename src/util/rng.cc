@@ -1,0 +1,102 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace agsc::util {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = RotL(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::UniformInt: n must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (hi < lo) throw std::invalid_argument("Rng::UniformInt: hi < lo");
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::Gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller transform.
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::Categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("Rng::Categorical: weights sum to zero");
+  }
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace agsc::util

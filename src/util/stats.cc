@@ -1,0 +1,87 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace agsc::util {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (!has_minmax_) {
+    min_ = max_ = x;
+    has_minmax_ = true;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void RunningStats::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::Variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Min() const {
+  return has_minmax_ ? min_ : std::numeric_limits<double>::infinity();
+}
+
+double RunningStats::Max() const {
+  return has_minmax_ ? max_ : -std::numeric_limits<double>::infinity();
+}
+
+double RunningStats::Sum() const {
+  return mean_ * static_cast<double>(count_);
+}
+
+double Mean(const std::vector<double>& xs) {
+  RunningStats s;
+  s.AddAll(xs);
+  return s.Mean();
+}
+
+double StdDev(const std::vector<double>& xs) {
+  RunningStats s;
+  s.AddAll(xs);
+  return s.StdDev();
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace agsc::util

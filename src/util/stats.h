@@ -1,0 +1,59 @@
+#ifndef AGSC_UTIL_STATS_H_
+#define AGSC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace agsc::util {
+
+/// Streaming accumulator of count / mean / variance / min / max using
+/// Welford's numerically-stable online algorithm.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Folds one observation into the accumulator.
+  void Add(double x);
+
+  /// Folds every element of `xs` into the accumulator.
+  void AddAll(const std::vector<double>& xs);
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  /// Mean of the observations; 0 when empty.
+  double Mean() const;
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double Variance() const;
+  /// Sample standard deviation.
+  double StdDev() const;
+  /// Smallest observation; +inf when empty.
+  double Min() const;
+  /// Largest observation; -inf when empty.
+  double Max() const;
+  /// Sum of all observations.
+  double Sum() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool has_minmax_ = false;
+};
+
+/// Returns the arithmetic mean of `xs`; 0 when empty.
+double Mean(const std::vector<double>& xs);
+
+/// Returns the sample standard deviation of `xs`; 0 when size < 2.
+double StdDev(const std::vector<double>& xs);
+
+/// Returns the `q`-quantile (0 <= q <= 1) by linear interpolation on a
+/// sorted copy of `xs`. Returns 0 when empty.
+double Quantile(std::vector<double> xs, double q);
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_STATS_H_

@@ -1,0 +1,46 @@
+#ifndef AGSC_UTIL_TABLE_H_
+#define AGSC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace agsc::util {
+
+/// Aligned console table used by the benchmark harness to print rows in the
+/// same layout the paper's tables/figures report.
+///
+/// Example:
+///   Table t({"method", "psi", "lambda"});
+///   t.AddRow({"h/i-MADRL", "0.834", "7.872"});
+///   std::cout << t.ToString();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` decimal places.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders the table with column-aligned cells and a separator rule.
+  std::string ToString() const;
+
+  /// Writes `ToString()` to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with fixed precision (default 3), e.g. FormatDouble(7.8725)
+/// == "7.873".
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_TABLE_H_

@@ -1,0 +1,269 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/e_divert.h"
+#include "algorithms/greedy_policy.h"
+#include "algorithms/random_policy.h"
+#include "algorithms/shortest_path.h"
+#include "core/evaluator.h"
+
+namespace agsc::algorithms {
+namespace {
+
+const map::Dataset& SmallDataset() {
+  static const map::Dataset* dataset =
+      new map::Dataset(map::BuildDataset(map::CampusId::kPurdue, 20));
+  return *dataset;
+}
+
+env::EnvConfig TinyEnvConfig() {
+  env::EnvConfig config;
+  config.num_timeslots = 10;
+  config.num_pois = 20;
+  config.num_uavs = 1;
+  config.num_ugvs = 1;
+  return config;
+}
+
+TEST(RandomPolicyTest, ActionsWithinBounds) {
+  env::ScEnv env(TinyEnvConfig(), SmallDataset(), 1);
+  const env::StepResult r = env.Reset();
+  RandomPolicy policy;
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const env::UvAction a = policy.Act(env, 0, r.observations[0], rng, false);
+    EXPECT_GE(a.raw_direction, -1.0);
+    EXPECT_LT(a.raw_direction, 1.0);
+    EXPECT_GE(a.raw_speed, -1.0);
+    EXPECT_LT(a.raw_speed, 1.0);
+  }
+}
+
+TEST(HeadingToActionTest, RoundTripThroughEnvConvention) {
+  // angle pi (west) -> raw 0; env maps raw 0 back to angle pi.
+  const env::UvAction west = HeadingToAction(M_PI, 1.0);
+  EXPECT_NEAR(west.raw_direction, 0.0, 1e-12);
+  EXPECT_NEAR(west.raw_speed, 1.0, 1e-12);
+  const env::UvAction east = HeadingToAction(0.0, 0.5);
+  EXPECT_NEAR(east.raw_direction, -1.0, 1e-12);
+  EXPECT_NEAR(east.raw_speed, 0.0, 1e-12);
+  // Negative angles wrap.
+  const env::UvAction wrapped = HeadingToAction(-M_PI / 2.0, 1.0);
+  EXPECT_NEAR(wrapped.raw_direction, 0.5, 1e-12);
+}
+
+TEST(GreedyPolicyTest, HeadsTowardNearestPoi) {
+  env::ScEnv env(TinyEnvConfig(), SmallDataset(), 2);
+  env.Reset();
+  GreedyPolicy policy;
+  util::Rng rng(1);
+  const map::Point2 before = env.uv(0).pos;
+  double nearest_before = 1e18;
+  for (int i = 0; i < 20; ++i) {
+    nearest_before = std::min(
+        nearest_before, map::Distance(before, SmallDataset().pois[i]));
+  }
+  std::vector<env::UvAction> actions(env.num_agents());
+  const env::StepResult r0 = env.Reset();
+  for (int k = 0; k < env.num_agents(); ++k) {
+    actions[k] = policy.Act(env, k, r0.observations[k], rng, true);
+  }
+  env.Step(actions);
+  double nearest_after = 1e18;
+  for (int i = 0; i < 20; ++i) {
+    nearest_after = std::min(
+        nearest_after, map::Distance(env.uv(0).pos, SmallDataset().pois[i]));
+  }
+  EXPECT_LE(nearest_after, nearest_before + 1e-9);
+}
+
+TEST(GreedyPolicyTest, StopsWhenAllDataCollected) {
+  env::ScEnv env(TinyEnvConfig(), SmallDataset(), 3);
+  env.Reset();
+  GreedyPolicy policy;
+  util::Rng rng(1);
+  // Pretend all PoIs are drained by checking the no-target branch via a
+  // fresh env whose config has 0 initial data.
+  env::EnvConfig config = TinyEnvConfig();
+  config.initial_data_gbit = 0.0;
+  env::ScEnv empty(config, SmallDataset(), 3);
+  const env::StepResult r = empty.Reset();
+  const env::UvAction a = policy.Act(empty, 0, r.observations[0], rng, true);
+  EXPECT_EQ(a.raw_speed, -1.0);  // Park.
+}
+
+TEST(GaTourTest, FindsShortOrderOnLine) {
+  // Points on a line: optimal tour visits them monotonically.
+  std::vector<double> xs = {50.0, 10.0, 40.0, 20.0, 30.0};
+  std::vector<int> points = {0, 1, 2, 3, 4};
+  auto dist = [&](int a, int b) { return std::fabs(xs[a] - xs[b]); };
+  auto from_start = [&](int a) { return xs[a]; };  // Start at x=0.
+  GaConfig config;
+  config.generations = 200;
+  util::Rng rng(7);
+  const std::vector<int> tour = GaTour(points, dist, from_start, config, rng);
+  double length = from_start(tour[0]);
+  for (size_t i = 0; i + 1 < tour.size(); ++i) {
+    length += dist(tour[i], tour[i + 1]);
+  }
+  // Optimal: 10-20-30-40-50 = 50 total.
+  EXPECT_NEAR(length, 50.0, 1e-9);
+}
+
+TEST(GaTourTest, HandlesDegenerateSizes) {
+  auto dist = [](int, int) { return 1.0; };
+  auto from_start = [](int) { return 1.0; };
+  GaConfig config;
+  util::Rng rng(1);
+  EXPECT_TRUE(GaTour({}, dist, from_start, config, rng).empty());
+  EXPECT_EQ(GaTour({5}, dist, from_start, config, rng),
+            (std::vector<int>{5}));
+  EXPECT_EQ(GaTour({5, 7}, dist, from_start, config, rng).size(), 2u);
+}
+
+TEST(GaTourTest, TourIsPermutation) {
+  util::Rng coord_rng(11);
+  std::vector<map::Point2> pts(12);
+  for (auto& p : pts) {
+    p = {coord_rng.Uniform(0.0, 100.0), coord_rng.Uniform(0.0, 100.0)};
+  }
+  std::vector<int> points(12);
+  for (int i = 0; i < 12; ++i) points[i] = i;
+  auto dist = [&](int a, int b) { return map::Distance(pts[a], pts[b]); };
+  auto from_start = [&](int a) { return map::Norm(pts[a]); };
+  GaConfig config;
+  config.generations = 50;
+  util::Rng rng(3);
+  std::vector<int> tour = GaTour(points, dist, from_start, config, rng);
+  std::sort(tour.begin(), tour.end());
+  EXPECT_EQ(tour, points);
+}
+
+TEST(GaTourTest, BeatsRandomOrderOnAverage) {
+  util::Rng coord_rng(13);
+  std::vector<map::Point2> pts(15);
+  for (auto& p : pts) {
+    p = {coord_rng.Uniform(0.0, 1000.0), coord_rng.Uniform(0.0, 1000.0)};
+  }
+  std::vector<int> points(15);
+  for (int i = 0; i < 15; ++i) points[i] = i;
+  auto dist = [&](int a, int b) { return map::Distance(pts[a], pts[b]); };
+  auto from_start = [&](int a) { return map::Norm(pts[a]); };
+  auto length_of = [&](const std::vector<int>& order) {
+    double total = from_start(order[0]);
+    for (size_t i = 0; i + 1 < order.size(); ++i) {
+      total += dist(order[i], order[i + 1]);
+    }
+    return total;
+  };
+  GaConfig config;
+  util::Rng rng(5);
+  const double ga_length =
+      length_of(GaTour(points, dist, from_start, config, rng));
+  double random_total = 0.0;
+  std::vector<int> shuffled = points;
+  for (int trial = 0; trial < 20; ++trial) {
+    rng.Shuffle(shuffled);
+    random_total += length_of(shuffled);
+  }
+  EXPECT_LT(ga_length, random_total / 20.0);
+}
+
+TEST(ShortestPathPolicyTest, PlansToursCoveringAllPois) {
+  env::ScEnv env(TinyEnvConfig(), SmallDataset(), 4);
+  env.Reset();
+  ShortestPathPolicy policy;
+  policy.BeginEpisode(env);
+  std::vector<bool> covered(20, false);
+  for (int k = 0; k < env.num_agents(); ++k) {
+    for (int poi : policy.TourOf(k)) {
+      ASSERT_GE(poi, 0);
+      ASSERT_LT(poi, 20);
+      EXPECT_FALSE(covered[poi]) << "PoI assigned twice";
+      covered[poi] = true;
+    }
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(covered[i]);
+}
+
+TEST(ShortestPathPolicyTest, CollectsDataOverEpisode) {
+  env::EnvConfig config = TinyEnvConfig();
+  config.num_timeslots = 40;
+  env::ScEnv env(config, SmallDataset(), 5);
+  ShortestPathPolicy policy;
+  const core::EvalResult result = core::Evaluate(env, policy, 1, 42);
+  EXPECT_GT(result.mean.data_collection_ratio, 0.05);
+}
+
+TEST(EDivertTest, TrainIterationRunsAndActsInBounds) {
+  env::ScEnv env(TinyEnvConfig(), SmallDataset(), 6);
+  EDivertConfig config;
+  config.episodes_per_iteration = 1;
+  config.updates_per_iteration = 4;
+  config.minibatch = 8;
+  config.hidden = 16;
+  config.gru_hidden = 16;
+  EDivertTrainer trainer(env, config);
+  const double efficiency = trainer.TrainIteration();
+  EXPECT_TRUE(std::isfinite(efficiency));
+  EXPECT_GT(trainer.TotalParameterCount(), 100);
+  EXPECT_GT(trainer.ActorParameterBytes(), 0);
+
+  const env::StepResult r = env.Reset();
+  trainer.BeginEpisode(env);
+  util::Rng rng(1);
+  for (int k = 0; k < env.num_agents(); ++k) {
+    const env::UvAction a =
+        trainer.Act(env, k, r.observations[k], rng, true);
+    EXPECT_GE(a.raw_direction, -1.0);
+    EXPECT_LE(a.raw_direction, 1.0);
+    EXPECT_GE(a.raw_speed, -1.0);
+    EXPECT_LE(a.raw_speed, 1.0);
+  }
+}
+
+TEST(EDivertTest, RecurrentStateChangesAcrossSteps) {
+  env::ScEnv env(TinyEnvConfig(), SmallDataset(), 7);
+  EDivertConfig config;
+  config.hidden = 16;
+  config.gru_hidden = 16;
+  EDivertTrainer trainer(env, config);
+  env::StepResult r = env.Reset();
+  trainer.BeginEpisode(env);
+  util::Rng rng(1);
+  const env::UvAction first = trainer.Act(env, 0, r.observations[0], rng,
+                                          true);
+  // Same observation, but hidden state advanced: action may differ.
+  const env::UvAction second = trainer.Act(env, 0, r.observations[0], rng,
+                                           true);
+  // (GRU carries memory; outputs are not forced equal.)
+  (void)first;
+  (void)second;
+  // Resetting the episode restores the initial hidden state exactly.
+  trainer.BeginEpisode(env);
+  const env::UvAction replay = trainer.Act(env, 0, r.observations[0], rng,
+                                           true);
+  EXPECT_EQ(first.raw_direction, replay.raw_direction);
+  EXPECT_EQ(first.raw_speed, replay.raw_speed);
+}
+
+TEST(EvaluatorTest, RunsRequestedEpisodes) {
+  env::ScEnv env(TinyEnvConfig(), SmallDataset(), 8);
+  RandomPolicy policy;
+  const core::EvalResult result = core::Evaluate(env, policy, 3, 7, false);
+  EXPECT_EQ(result.episodes.size(), 3u);
+  EXPECT_GE(result.mean.efficiency, 0.0);
+}
+
+TEST(EvaluatorTest, DeterministicPolicyGivesIdenticalEpisodes) {
+  env::EnvConfig config = TinyEnvConfig();
+  config.rayleigh_fading = false;  // Remove env stochasticity.
+  env::ScEnv env(config, SmallDataset(), 9);
+  GreedyPolicy policy;
+  const core::EvalResult result = core::Evaluate(env, policy, 2, 7, true);
+  EXPECT_EQ(result.episodes[0].efficiency, result.episodes[1].efficiency);
+}
+
+}  // namespace
+}  // namespace agsc::algorithms

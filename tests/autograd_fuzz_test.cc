@@ -1,0 +1,95 @@
+// Randomized-graph gradient checking: builds random DAGs of supported ops
+// over a parameter leaf and verifies the full reverse-mode gradient against
+// central finite differences. This catches interaction bugs (shared
+// subexpressions, accumulation across paths) that single-op tests miss.
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace agsc::nn {
+namespace {
+
+/// Applies a randomly chosen smooth unary op (avoiding non-differentiable
+/// kinks like ReLU/clamp boundaries).
+Variable RandomUnary(util::Rng& rng, const Variable& x) {
+  switch (rng.UniformInt(uint64_t{6})) {
+    case 0: return Tanh(x);
+    case 1: return Sigmoid(x);
+    case 2: return Square(x);
+    case 3: return ScalarMul(x, static_cast<float>(rng.Uniform(-2.0, 2.0)));
+    case 4: return ScalarAdd(x, static_cast<float>(rng.Uniform(-1.0, 1.0)));
+    default: return Exp(ScalarMul(x, 0.3f));  // Bounded exp.
+  }
+}
+
+/// Applies a randomly chosen binary op to two same-shaped variables.
+Variable RandomBinary(util::Rng& rng, const Variable& a, const Variable& b) {
+  switch (rng.UniformInt(uint64_t{3})) {
+    case 0: return Add(a, b);
+    case 1: return Sub(a, b);
+    default: return Mul(a, b);
+  }
+}
+
+class AutogradFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutogradFuzzTest, RandomDagGradientMatchesFiniteDifference) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 1000003ULL + 7);
+  const int rows = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  const int cols = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  const int depth = 3 + static_cast<int>(rng.UniformInt(uint64_t{5}));
+  // Record the construction choices so the graph can be rebuilt identically
+  // for each finite-difference probe.
+  const uint64_t graph_seed = rng.NextU64();
+  auto build = [&](const Variable& x) {
+    util::Rng graph_rng(graph_seed);
+    std::vector<Variable> pool = {x};
+    for (int d = 0; d < depth; ++d) {
+      const Variable& a =
+          pool[graph_rng.UniformInt(static_cast<uint64_t>(pool.size()))];
+      if (graph_rng.Bernoulli(0.5) && pool.size() >= 2) {
+        const Variable& b =
+            pool[graph_rng.UniformInt(static_cast<uint64_t>(pool.size()))];
+        pool.push_back(RandomBinary(graph_rng, a, b));
+      } else {
+        pool.push_back(RandomUnary(graph_rng, a));
+      }
+    }
+    // Reduce everything to a scalar (sum of all pool outputs' means) so
+    // every path contributes to the gradient.
+    Variable total = Mean(pool.back());
+    for (size_t i = 0; i + 1 < pool.size(); ++i) {
+      total = Add(total, ScalarMul(Mean(pool[i]), 0.5f));
+    }
+    return total;
+  };
+  agsc::testing::CheckGradient(
+      build, Tensor::Uniform(rows, cols, rng, -0.9f, 0.9f),
+      /*eps=*/1e-3f, /*tol=*/4e-2f);
+}
+
+TEST_P(AutogradFuzzTest, MatMulChainGradientMatches) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 97ULL + 5);
+  const int d0 = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  const int d1 = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  const int d2 = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  Tensor w1 = Tensor::Uniform(d1, d2, rng, -0.7f, 0.7f);
+  Tensor w2 = Tensor::Uniform(d2, d1, rng, -0.7f, 0.7f);
+  agsc::testing::CheckGradient(
+      [&](const Variable& x) {
+        Variable h = Tanh(MatMul(x, Variable::Constant(w1)));
+        Variable back = MatMul(h, Variable::Constant(w2));
+        // Reuse x in a second path (diamond) to stress accumulation.
+        return Mean(Square(Add(back, ScalarMul(x, 0.5f))));
+      },
+      Tensor::Uniform(d0, d1, rng, -0.8f, 0.8f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace agsc::nn

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+#include "tests/test_util.h"
+
+namespace agsc::nn {
+namespace {
+
+using agsc::testing::CheckGradient;
+
+Tensor RandomTensor(int rows, int cols, uint64_t seed, float lo = -1.0f,
+                    float hi = 1.0f) {
+  util::Rng rng(seed);
+  return Tensor::Uniform(rows, cols, rng, lo, hi);
+}
+
+TEST(AutogradTest, BackwardRequiresScalar) {
+  Variable x = Variable::Parameter(Tensor(2, 2));
+  EXPECT_THROW(x.Backward(), std::logic_error);
+}
+
+TEST(AutogradTest, ConstantsReceiveNoGradient) {
+  Variable c = Variable::Constant(Tensor::Scalar(2.0f));
+  Variable p = Variable::Parameter(Tensor::Scalar(3.0f));
+  Variable y = Mul(c, p);
+  y.Backward();
+  EXPECT_FLOAT_EQ(p.grad()[0], 2.0f);
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(AutogradTest, GradientsAccumulateAcrossBackwards) {
+  Variable p = Variable::Parameter(Tensor::Scalar(1.0f));
+  Variable y1 = ScalarMul(p, 3.0f);
+  Variable y2 = ScalarMul(p, 4.0f);
+  y1.Backward();
+  y2.Backward();
+  EXPECT_FLOAT_EQ(p.grad()[0], 7.0f);
+  p.ZeroGrad();
+  EXPECT_FLOAT_EQ(p.grad()[0], 0.0f);
+}
+
+TEST(AutogradTest, DiamondGraphSumsPaths) {
+  // y = x*x + x => dy/dx = 2x + 1.
+  Variable x = Variable::Parameter(Tensor::Scalar(3.0f));
+  Variable y = Add(Mul(x, x), x);
+  y.Backward();
+  EXPECT_FLOAT_EQ(y.value()[0], 12.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);
+}
+
+TEST(AutogradTest, DetachCutsGraph) {
+  Variable x = Variable::Parameter(Tensor::Scalar(2.0f));
+  Variable d = Mul(x, x).Detach();
+  Variable y = Mul(d, x);  // y = const(4) * x.
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+}
+
+TEST(AutogradGradCheck, MatMulLeft) {
+  Tensor b = RandomTensor(3, 2, 11);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Sum(MatMul(x, Variable::Constant(b)));
+      },
+      RandomTensor(2, 3, 12));
+}
+
+TEST(AutogradGradCheck, MatMulRight) {
+  Tensor a = RandomTensor(2, 3, 13);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Sum(MatMul(Variable::Constant(a), x));
+      },
+      RandomTensor(3, 4, 14));
+}
+
+TEST(AutogradGradCheck, AddSubMul) {
+  Tensor other = RandomTensor(2, 3, 15);
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable o = Variable::Constant(other);
+        return Sum(Mul(Sub(Add(x, o), ScalarMul(o, 0.5f)), x));
+      },
+      RandomTensor(2, 3, 16));
+}
+
+TEST(AutogradGradCheck, RowBroadcasts) {
+  Tensor m = RandomTensor(4, 3, 17);
+  CheckGradient(
+      [&](const Variable& v) {
+        Variable mm = Variable::Constant(m);
+        return Sum(Mul(AddRowVector(mm, v), MulRowVector(mm, v)));
+      },
+      RandomTensor(1, 3, 18, 0.5f, 1.5f));
+}
+
+TEST(AutogradGradCheck, RowBroadcastGradIntoMatrix) {
+  Tensor v = RandomTensor(1, 3, 19);
+  CheckGradient(
+      [&](const Variable& m) {
+        Variable vv = Variable::Constant(v);
+        return Sum(Square(AddRowVector(m, vv)));
+      },
+      RandomTensor(4, 3, 20));
+}
+
+TEST(AutogradGradCheck, ExpLogChain) {
+  CheckGradient(
+      [](const Variable& x) { return Sum(Log(ScalarAdd(Exp(x), 1.0f))); },
+      RandomTensor(3, 3, 21));
+}
+
+TEST(AutogradGradCheck, TanhSigmoid) {
+  CheckGradient(
+      [](const Variable& x) { return Sum(Mul(Tanh(x), Sigmoid(x))); },
+      RandomTensor(2, 4, 22));
+}
+
+TEST(AutogradGradCheck, ReluAwayFromKink) {
+  // Keep inputs away from 0 where ReLU is non-differentiable.
+  Tensor t = RandomTensor(3, 3, 23);
+  for (int i = 0; i < t.size(); ++i) {
+    t[i] = t[i] >= 0.0f ? t[i] + 0.2f : t[i] - 0.2f;
+  }
+  CheckGradient([](const Variable& x) { return Sum(Relu(x)); }, t);
+}
+
+TEST(AutogradGradCheck, SquareAndScalarOps) {
+  CheckGradient(
+      [](const Variable& x) {
+        return Mean(ScalarAdd(ScalarMul(Square(x), 3.0f), -1.0f));
+      },
+      RandomTensor(2, 5, 24));
+}
+
+TEST(AutogradGradCheck, ClampInterior) {
+  // All inputs strictly inside the clamp interval -> gradient 1.
+  CheckGradient(
+      [](const Variable& x) { return Sum(Clamp(x, -2.0f, 2.0f)); },
+      RandomTensor(2, 3, 25));
+}
+
+TEST(AutogradTest, ClampBlocksGradientOutside) {
+  Variable x = Variable::Parameter(Tensor::Scalar(5.0f));
+  Variable y = Sum(Clamp(x, -1.0f, 1.0f));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(AutogradGradCheck, MinimumMaximumRouting) {
+  Tensor other = RandomTensor(3, 3, 26);
+  // Perturb so no exact ties.
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable o = Variable::Constant(other);
+        return Sum(Add(Minimum(x, o), Maximum(x, o)));
+      },
+      RandomTensor(3, 3, 27, 1.5f, 2.5f));
+}
+
+TEST(AutogradGradCheck, SumMeanRowSum) {
+  CheckGradient(
+      [](const Variable& x) {
+        return Add(Mean(x), ScalarMul(Sum(Square(RowSum(x))), 0.01f));
+      },
+      RandomTensor(3, 4, 28));
+}
+
+TEST(AutogradGradCheck, ConcatColsBothSides) {
+  Tensor right = RandomTensor(3, 2, 29);
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable cat = ConcatCols(x, Variable::Constant(right));
+        return Sum(Square(cat));
+      },
+      RandomTensor(3, 2, 30));
+  Tensor left = RandomTensor(3, 2, 31);
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable cat = ConcatCols(Variable::Constant(left), x);
+        return Sum(Square(cat));
+      },
+      RandomTensor(3, 3, 32));
+}
+
+TEST(AutogradGradCheck, SoftmaxComposition) {
+  CheckGradient(
+      [](const Variable& x) { return Sum(Square(Softmax(x))); },
+      RandomTensor(3, 4, 33));
+}
+
+TEST(AutogradGradCheck, LogSoftmaxComposition) {
+  CheckGradient(
+      [](const Variable& x) { return Mean(Square(LogSoftmax(x))); },
+      RandomTensor(3, 4, 34));
+}
+
+TEST(AutogradGradCheck, PickPerRowAndCrossEntropy) {
+  std::vector<int> labels = {0, 2, 1};
+  CheckGradient(
+      [&](const Variable& x) { return SoftmaxCrossEntropy(x, labels); },
+      RandomTensor(3, 3, 35));
+}
+
+TEST(AutogradGradCheck, SoftmaxEntropy) {
+  CheckGradient(
+      [](const Variable& x) { return SoftmaxEntropy(x); },
+      RandomTensor(4, 3, 36));
+}
+
+TEST(AutogradGradCheck, MseLoss) {
+  Tensor target = RandomTensor(4, 2, 37);
+  CheckGradient(
+      [&](const Variable& x) { return MseLoss(x, target); },
+      RandomTensor(4, 2, 38));
+}
+
+TEST(AutogradTest, SoftmaxRowsSumToOne) {
+  Variable logits = Variable::Constant(RandomTensor(5, 7, 39, -3.0f, 3.0f));
+  const Tensor p = Softmax(logits).value();
+  for (int r = 0; r < p.rows(); ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < p.cols(); ++c) {
+      sum += p(r, c);
+      EXPECT_GT(p(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(AutogradTest, CrossEntropyOfConfidentLogitsIsSmall) {
+  Tensor logits(2, 3);
+  logits(0, 0) = 20.0f;
+  logits(1, 2) = 20.0f;
+  const float ce =
+      SoftmaxCrossEntropy(Variable::Constant(logits), {0, 2}).value()[0];
+  EXPECT_LT(ce, 1e-3f);
+}
+
+TEST(AutogradTest, PickPerRowBounds) {
+  Variable m = Variable::Constant(Tensor(2, 2));
+  EXPECT_THROW(PickPerRow(m, {0}), std::invalid_argument);
+  EXPECT_THROW(PickPerRow(m, {0, 5}), std::out_of_range);
+}
+
+TEST(AutogradTest, ShapeMismatchThrows) {
+  Variable a = Variable::Constant(Tensor(2, 3));
+  Variable b = Variable::Constant(Tensor(3, 2));
+  EXPECT_THROW(Add(a, b), std::invalid_argument);
+  EXPECT_THROW(Mul(a, b), std::invalid_argument);
+  EXPECT_THROW(ConcatCols(a, b), std::invalid_argument);
+}
+
+TEST(AutogradTest, DeepChainBackward) {
+  // Exercise the iterative topological sort with a deep graph.
+  Variable x = Variable::Parameter(Tensor::Scalar(0.01f));
+  Variable y = x;
+  for (int i = 0; i < 2000; ++i) y = ScalarAdd(y, 0.001f);
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace agsc::nn

@@ -1,0 +1,106 @@
+// Tests of the benchmark-harness infrastructure (bench/bench_common.*):
+// scale resolution from the environment, method naming, and config scaling.
+// The harness is part of the deliverable (it regenerates the paper's tables
+// and figures), so its plumbing is tested like library code.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+
+namespace agsc::bench {
+namespace {
+
+class EnvVarGuard {
+ public:
+  explicit EnvVarGuard(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+  }
+  ~EnvVarGuard() {
+    if (had_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(BenchSettingsTest, SmokeDefaults) {
+  EnvVarGuard g1("AGSC_BENCH_SCALE"), g2("AGSC_BENCH_ITERS");
+  unsetenv("AGSC_BENCH_SCALE");
+  unsetenv("AGSC_BENCH_ITERS");
+  const Settings s = Settings::FromEnv();
+  EXPECT_FALSE(s.paper);
+  EXPECT_EQ(s.timeslots, 40);
+  EXPECT_EQ(s.num_pois, 40);
+  EXPECT_EQ(s.num_seeds, 1);
+}
+
+TEST(BenchSettingsTest, PaperScaleMatchesTableII) {
+  EnvVarGuard g1("AGSC_BENCH_SCALE");
+  setenv("AGSC_BENCH_SCALE", "paper", 1);
+  const Settings s = Settings::FromEnv();
+  EXPECT_TRUE(s.paper);
+  EXPECT_EQ(s.timeslots, 100);   // T (Table II).
+  EXPECT_EQ(s.num_pois, 100);    // I (Table II).
+  EXPECT_EQ(s.eval_episodes, 50);  // "test each model 50 times".
+  EXPECT_EQ(s.num_seeds, 3);
+}
+
+TEST(BenchSettingsTest, IterationOverride) {
+  EnvVarGuard g1("AGSC_BENCH_SCALE"), g2("AGSC_BENCH_ITERS");
+  unsetenv("AGSC_BENCH_SCALE");
+  setenv("AGSC_BENCH_ITERS", "7", 1);
+  EXPECT_EQ(Settings::FromEnv().train_iterations, 7);
+}
+
+TEST(BenchSettingsTest, SweepPicksByScale) {
+  Settings s;
+  s.paper = false;
+  EXPECT_EQ(s.Sweep<double>({1, 2}, {1, 2, 3, 4}).size(), 2u);
+  s.paper = true;
+  EXPECT_EQ(s.Sweep<double>({1, 2}, {1, 2, 3, 4}).size(), 4u);
+}
+
+TEST(BenchCommonTest, MethodNamesMatchPaper) {
+  EXPECT_EQ(MethodName(Method::kHiMadrl), "h/i-MADRL");
+  EXPECT_EQ(MethodName(Method::kHiMadrlCopo), "h/i-MADRL(CoPO)");
+  EXPECT_EQ(MethodName(Method::kMappo), "MAPPO");
+  EXPECT_EQ(MethodName(Method::kEDivert), "e-Divert");
+  EXPECT_EQ(MethodName(Method::kShortestPath), "Shortest Path");
+  EXPECT_EQ(MethodName(Method::kRandom), "Random");
+  EXPECT_EQ(AllMethods().size(), 6u);  // The paper's comparison set.
+}
+
+TEST(BenchCommonTest, BaseConfigsScale) {
+  Settings s;
+  s.timeslots = 17;
+  s.num_pois = 23;
+  s.net_hidden = {32, 16};
+  const env::EnvConfig env_config = BaseEnvConfig(s);
+  EXPECT_EQ(env_config.num_timeslots, 17);
+  EXPECT_EQ(env_config.num_pois, 23);
+  const core::TrainConfig train = BaseTrainConfig(s, 5);
+  EXPECT_EQ(train.net.hidden, (std::vector<int>{32, 16}));
+  EXPECT_EQ(train.seed, 5u);
+}
+
+TEST(BenchCommonTest, DatasetCacheReturnsSameInstance) {
+  const map::Dataset& a = GetDataset(map::CampusId::kPurdue, 25);
+  const map::Dataset& b = GetDataset(map::CampusId::kPurdue, 25);
+  EXPECT_EQ(&a, &b);
+  const map::Dataset& c = GetDataset(map::CampusId::kPurdue, 30);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(static_cast<int>(c.pois.size()), 30);
+}
+
+}  // namespace
+}  // namespace agsc::bench

@@ -1,0 +1,185 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "map/campus.h"
+#include "map/trace.h"
+
+namespace agsc::map {
+namespace {
+
+class CampusParamTest : public ::testing::TestWithParam<CampusId> {};
+
+TEST_P(CampusParamTest, RoadNetworkIsConnected) {
+  const Campus campus = BuildCampus(GetParam());
+  EXPECT_TRUE(campus.roads.IsConnected());
+  EXPECT_GT(campus.roads.NumNodes(), 30);
+  EXPECT_GT(campus.roads.NumEdges(), campus.roads.NumNodes() - 1);
+}
+
+TEST_P(CampusParamTest, EverythingInsideBounds) {
+  const Campus campus = BuildCampus(GetParam());
+  for (int i = 0; i < campus.roads.NumNodes(); ++i) {
+    EXPECT_TRUE(campus.bounds.Contains(campus.roads.node(i)));
+  }
+  for (const Point2& lm : campus.landmarks) {
+    EXPECT_TRUE(campus.bounds.Contains(lm));
+  }
+  EXPECT_TRUE(campus.bounds.Contains(campus.spawn));
+}
+
+TEST_P(CampusParamTest, SpawnIsOnRoad) {
+  const Campus campus = BuildCampus(GetParam());
+  const RoadPosition proj = campus.roads.Project(campus.spawn);
+  EXPECT_NEAR(Distance(campus.roads.PointAt(proj), campus.spawn), 0.0, 1e-6);
+}
+
+TEST_P(CampusParamTest, DeterministicGeneration) {
+  const Campus a = BuildCampus(GetParam());
+  const Campus b = BuildCampus(GetParam());
+  ASSERT_EQ(a.roads.NumNodes(), b.roads.NumNodes());
+  ASSERT_EQ(a.roads.NumEdges(), b.roads.NumEdges());
+  for (int i = 0; i < a.roads.NumNodes(); ++i) {
+    EXPECT_EQ(a.roads.node(i).x, b.roads.node(i).x);
+    EXPECT_EQ(a.roads.node(i).y, b.roads.node(i).y);
+  }
+  ASSERT_EQ(a.landmarks.size(), b.landmarks.size());
+}
+
+TEST_P(CampusParamTest, TracesStayInBounds) {
+  const Campus campus = BuildCampus(GetParam());
+  TraceConfig config;
+  config.num_steps = 300;
+  const std::vector<Trace> traces = GenerateTraces(campus, config);
+  EXPECT_EQ(static_cast<int>(traces.size()), campus.num_traces);
+  for (const Trace& trace : traces) {
+    EXPECT_EQ(static_cast<int>(trace.size()), config.num_steps);
+    for (const Point2& p : trace) {
+      EXPECT_TRUE(campus.bounds.Contains(p));
+    }
+  }
+}
+
+TEST_P(CampusParamTest, TraceStepLengthBounded) {
+  const Campus campus = BuildCampus(GetParam());
+  TraceConfig config;
+  config.num_steps = 200;
+  const std::vector<Trace> traces = GenerateTraces(campus, config);
+  for (const Trace& trace : traces) {
+    for (size_t t = 1; t < trace.size(); ++t) {
+      EXPECT_LE(Distance(trace[t - 1], trace[t]),
+                config.step_meters + 1e-6);
+    }
+  }
+}
+
+TEST_P(CampusParamTest, ExtractPoisReturnsRequestedCount) {
+  const Dataset dataset = BuildDataset(GetParam(), 100);
+  EXPECT_EQ(dataset.pois.size(), 100u);
+  for (const Point2& poi : dataset.pois) {
+    EXPECT_TRUE(dataset.campus.bounds.Contains(poi));
+  }
+}
+
+TEST_P(CampusParamTest, PoisAreSpatiallyDistinct) {
+  const Dataset dataset = BuildDataset(GetParam(), 100);
+  // Cell-based extraction guarantees minimum separation for most pairs;
+  // check no exact duplicates.
+  for (size_t i = 0; i < dataset.pois.size(); ++i) {
+    for (size_t j = i + 1; j < dataset.pois.size(); ++j) {
+      EXPECT_GT(Distance(dataset.pois[i], dataset.pois[j]), 1.0);
+    }
+  }
+}
+
+TEST_P(CampusParamTest, PoisAreClusteredNotUniform) {
+  // The landmark-biased mobility should concentrate PoIs: the mean distance
+  // of a PoI to its nearest landmark must be far below the uniform-random
+  // expectation (~ area_size / 4 for these landmark counts).
+  const Dataset dataset = BuildDataset(GetParam(), 100);
+  double mean_nearest = 0.0;
+  for (const Point2& poi : dataset.pois) {
+    double best = 1e18;
+    for (const Point2& lm : dataset.campus.landmarks) {
+      best = std::min(best, Distance(poi, lm));
+    }
+    mean_nearest += best;
+  }
+  mean_nearest /= static_cast<double>(dataset.pois.size());
+  EXPECT_LT(mean_nearest, dataset.campus.bounds.Width() * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCampuses, CampusParamTest,
+                         ::testing::Values(CampusId::kPurdue,
+                                           CampusId::kNcsu),
+                         [](const auto& info) {
+                           return CampusName(info.param);
+                         });
+
+TEST(CampusTest, NamesAndSizesDiffer) {
+  const Campus purdue = BuildPurdueCampus();
+  const Campus ncsu = BuildNcsuCampus();
+  EXPECT_EQ(purdue.name, "Purdue");
+  EXPECT_EQ(ncsu.name, "NCSU");
+  EXPECT_EQ(purdue.num_traces, 59);
+  EXPECT_EQ(ncsu.num_traces, 33);
+  // NCSU is the "bigger campus" (Section VI-D1).
+  EXPECT_GT(ncsu.bounds.Width(), purdue.bounds.Width());
+}
+
+TEST(TraceTest, DeterministicForSeed) {
+  const Campus campus = BuildPurdueCampus();
+  TraceConfig config;
+  config.num_steps = 50;
+  const std::vector<Trace> a = GenerateTraces(campus, config);
+  const std::vector<Trace> b = GenerateTraces(campus, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    for (size_t t = 0; t < a[s].size(); ++t) {
+      EXPECT_EQ(a[s][t].x, b[s][t].x);
+      EXPECT_EQ(a[s][t].y, b[s][t].y);
+    }
+  }
+}
+
+TEST(TraceTest, DifferentSeedsGiveDifferentTraces) {
+  const Campus campus = BuildPurdueCampus();
+  TraceConfig config_a, config_b;
+  config_a.num_steps = config_b.num_steps = 50;
+  config_b.seed = config_a.seed + 1;
+  const std::vector<Trace> a = GenerateTraces(campus, config_a);
+  const std::vector<Trace> b = GenerateTraces(campus, config_b);
+  bool any_diff = false;
+  for (size_t t = 0; t < a[0].size() && !any_diff; ++t) {
+    any_diff = a[0][t].x != b[0][t].x;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TraceTest, ExtractPoisOrdersByVisitCount) {
+  // Construct artificial traces: cell around (10,10) visited most.
+  Campus campus;
+  campus.name = "toy";
+  campus.bounds = {{0.0, 0.0}, {1000.0, 1000.0}};
+  campus.num_traces = 1;
+  std::vector<Trace> traces(1);
+  for (int i = 0; i < 100; ++i) traces[0].push_back({10.0, 10.0});
+  for (int i = 0; i < 10; ++i) traces[0].push_back({500.0, 500.0});
+  traces[0].push_back({900.0, 900.0});
+  const std::vector<Point2> pois = ExtractPois(campus, traces, 2, 50.0);
+  ASSERT_EQ(pois.size(), 2u);
+  EXPECT_NEAR(pois[0].x, 10.0, 1.0);
+  EXPECT_NEAR(pois[1].x, 500.0, 1.0);
+}
+
+TEST(TraceTest, ExtractPoisCapsAtAvailableCells) {
+  Campus campus;
+  campus.bounds = {{0.0, 0.0}, {1000.0, 1000.0}};
+  std::vector<Trace> traces(1);
+  traces[0].push_back({10.0, 10.0});
+  const std::vector<Point2> pois = ExtractPois(campus, traces, 5, 50.0);
+  EXPECT_EQ(pois.size(), 1u);
+}
+
+}  // namespace
+}  // namespace agsc::map

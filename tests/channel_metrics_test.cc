@@ -1,0 +1,189 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "env/channel.h"
+#include "env/metrics.h"
+#include "util/rng.h"
+
+namespace agsc::env {
+namespace {
+
+EnvConfig DefaultConfig() { return EnvConfig{}; }
+
+TEST(ChannelTest, DbConversionsRoundtrip) {
+  EXPECT_NEAR(DbToLinear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(DbToLinear(10.0), 10.0, 1e-9);
+  EXPECT_NEAR(DbToLinear(-20.0), 0.01, 1e-12);
+  EXPECT_NEAR(LinearToDb(100.0), 20.0, 1e-9);
+  for (double db : {-7.0, -2.2, 0.0, 3.0, 7.0}) {
+    EXPECT_NEAR(LinearToDb(DbToLinear(db)), db, 1e-9);
+  }
+}
+
+TEST(ChannelTest, LosProbabilityIncreasesWithAngle) {
+  ChannelModel ch(DefaultConfig());
+  double prev = 0.0;
+  for (double angle = 0.0; angle <= 90.0; angle += 10.0) {
+    const double p = ch.LosProbability(angle);
+    EXPECT_GT(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  // Table II constants: at 90 degrees LoS is near certain.
+  EXPECT_GT(ch.LosProbability(90.0), 0.99);
+}
+
+TEST(ChannelTest, AirLinkGainDecreasesWithDistance) {
+  ChannelModel ch(DefaultConfig());
+  const map::Point2 air{0.0, 0.0};
+  double prev = 1e18;
+  for (double d : {10.0, 50.0, 100.0, 300.0, 800.0}) {
+    const double gain = ch.AirLinkGain({d, 0.0}, air, 60.0);
+    EXPECT_LT(gain, prev);
+    EXPECT_GT(gain, 0.0);
+    prev = gain;
+  }
+}
+
+TEST(ChannelTest, AirLinkGainHigherAltitudeWeaker) {
+  // At a fixed large ground offset, more height = longer slant path; the
+  // LoS improvement cannot beat alpha1=2 path loss at these scales.
+  ChannelModel ch(DefaultConfig());
+  const map::Point2 ground{500.0, 0.0};
+  const double g60 = ch.AirLinkGain(ground, {0.0, 0.0}, 60.0);
+  const double g150 = ch.AirLinkGain(ground, {0.0, 0.0}, 150.0);
+  EXPECT_GT(g60, 0.0);
+  EXPECT_GT(g150, 0.0);
+  // The overhead case must always beat the far case at the same height.
+  EXPECT_GT(ch.AirLinkGain({0.0, 0.0}, {0.0, 0.0}, 60.0), g60);
+}
+
+TEST(ChannelTest, GroundLinkGainPathLossExponent) {
+  ChannelModel ch(DefaultConfig());
+  const double g100 = ch.GroundLinkGain({0, 0}, {100.0, 0.0}, 1.0);
+  const double g200 = ch.GroundLinkGain({0, 0}, {200.0, 0.0}, 1.0);
+  // alpha2 = 4 -> doubling distance costs 16x.
+  EXPECT_NEAR(g100 / g200, 16.0, 1e-6);
+}
+
+TEST(ChannelTest, GroundLinkFadingScalesLinearly) {
+  ChannelModel ch(DefaultConfig());
+  const double g1 = ch.GroundLinkGain({0, 0}, {100.0, 0.0}, 1.0);
+  const double g3 = ch.GroundLinkGain({0, 0}, {100.0, 0.0}, 3.0);
+  EXPECT_NEAR(g3 / g1, 3.0, 1e-9);
+}
+
+TEST(ChannelTest, MinimumDistanceClamped) {
+  ChannelModel ch(DefaultConfig());
+  // Zero distance must not blow up.
+  EXPECT_TRUE(std::isfinite(ch.GroundLinkGain({0, 0}, {0, 0}, 1.0)));
+}
+
+TEST(ChannelTest, CapacityShannonForm) {
+  EnvConfig config = DefaultConfig();
+  ChannelModel ch(config);
+  EXPECT_DOUBLE_EQ(ch.Capacity(0.0), 0.0);
+  EXPECT_NEAR(ch.Capacity(1.0), config.bandwidth_hz, 1e-3);
+  EXPECT_NEAR(ch.Capacity(3.0), 2.0 * config.bandwidth_hz, 1e-3);
+}
+
+TEST(ChannelTest, NoisePowerMatchesTableII) {
+  EnvConfig config = DefaultConfig();
+  ChannelModel ch(config);
+  EXPECT_NEAR(ch.NoisePower(), 5e-20 * 20e6, 1e-18);
+}
+
+TEST(ChannelTest, UplinkUavSinrInterferenceReduces) {
+  ChannelModel ch(DefaultConfig());
+  const double clean = ch.UplinkUavSinr(1e-6, 0.0);
+  const double interfered = ch.UplinkUavSinr(1e-6, 1e-6);
+  EXPECT_GT(clean, interfered);
+  // With equal gains and negligible noise, SINR approaches 1 (0 dB).
+  EXPECT_NEAR(interfered, 1.0, 0.02);
+}
+
+TEST(ChannelTest, UplinkUgvSinrNoInterference) {
+  EnvConfig config = DefaultConfig();
+  ChannelModel ch(config);
+  const double gain = 1e-9;
+  EXPECT_NEAR(ch.UplinkUgvSinr(gain),
+              gain * config.rho_poi_w / ch.NoisePower(), 1e-9);
+}
+
+TEST(ChannelTest, RelaySinrCombinesRelayAndDirectCopy) {
+  EnvConfig config = DefaultConfig();
+  ChannelModel ch(config);
+  const double with_copy = ch.RelaySinr(1e-9, 1e-9, 0.0);
+  const double without_copy = ch.RelaySinr(1e-9, 0.0, 0.0);
+  EXPECT_GT(with_copy, without_copy);  // Eqn. 9 numerator adds the copy.
+  const double interfered = ch.RelaySinr(1e-9, 1e-9, 1e-9);
+  EXPECT_LT(interfered, with_copy);
+}
+
+TEST(ChannelTest, ThresholdLinearMatchesDb) {
+  EnvConfig config = DefaultConfig();
+  config.sinr_threshold_db = 3.0;
+  ChannelModel ch(config);
+  EXPECT_NEAR(ch.SinrThresholdLinear(), DbToLinear(3.0), 1e-12);
+}
+
+TEST(MetricsTest, JainFairnessBounds) {
+  // All-equal -> 1.
+  EXPECT_NEAR(JainFairness({0.5, 0.5, 0.5}), 1.0, 1e-12);
+  // One active of n -> 1/n.
+  EXPECT_NEAR(JainFairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  // Nothing collected -> 0 by convention.
+  EXPECT_DOUBLE_EQ(JainFairness({0.0, 0.0}), 0.0);
+}
+
+TEST(MetricsTest, JainFairnessScaleInvariant) {
+  const double a = JainFairness({0.1, 0.2, 0.3});
+  const double b = JainFairness({0.2, 0.4, 0.6});
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+class JainPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JainPropertyTest, AlwaysWithinUnitInterval) {
+  util::Rng rng(GetParam());
+  std::vector<double> fractions(20);
+  for (double& f : fractions) f = rng.Uniform();
+  const double kappa = JainFairness(fractions);
+  EXPECT_GE(kappa, 1.0 / 20.0 - 1e-12);
+  EXPECT_LE(kappa, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JainPropertyTest,
+                         ::testing::Range(1, 11));
+
+TEST(MetricsTest, EfficiencyFormula) {
+  EXPECT_NEAR(Efficiency(0.834, 0.007, 0.874, 0.092), 7.868, 0.01);
+  EXPECT_DOUBLE_EQ(Efficiency(0.5, 0.1, 0.8, 0.0), 0.0);  // xi=0 guard.
+}
+
+TEST(MetricsTest, AverageComponentwise) {
+  Metrics a, b;
+  a.data_collection_ratio = 0.8;
+  b.data_collection_ratio = 0.6;
+  a.efficiency = 7.0;
+  b.efficiency = 5.0;
+  const Metrics avg = Metrics::Average({a, b});
+  EXPECT_NEAR(avg.data_collection_ratio, 0.7, 1e-12);
+  EXPECT_NEAR(avg.efficiency, 6.0, 1e-12);
+  EXPECT_EQ(Metrics::Average({}).efficiency, 0.0);
+}
+
+TEST(MetricsTest, ToVectorOrder) {
+  Metrics m;
+  m.data_collection_ratio = 1;
+  m.data_loss_ratio = 2;
+  m.energy_consumption_ratio = 3;
+  m.geographical_fairness = 4;
+  m.efficiency = 5;
+  EXPECT_EQ(m.ToVector(), (std::vector<double>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace agsc::env

@@ -1,0 +1,216 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/copo.h"
+#include "core/eoi.h"
+#include "util/rng.h"
+
+namespace agsc::core {
+namespace {
+
+TEST(LcfTest, DefaultsMatchAlgorithmOne) {
+  Lcf lcf;
+  EXPECT_DOUBLE_EQ(lcf.phi_deg, 0.0);
+  EXPECT_DOUBLE_EQ(lcf.chi_deg, 45.0);
+}
+
+TEST(LcfTest, ClampToRange) {
+  Lcf lcf;
+  lcf.phi_deg = -10.0;
+  lcf.chi_deg = 120.0;
+  lcf.ClampToRange();
+  EXPECT_DOUBLE_EQ(lcf.phi_deg, 0.0);
+  EXPECT_DOUBLE_EQ(lcf.chi_deg, 90.0);
+}
+
+TEST(CoopAdvantageTest, SelfishLimitRecoversOwnAdvantage) {
+  Lcf lcf;
+  lcf.phi_deg = 0.0;  // cos(0) = 1, sin(0) = 0.
+  EXPECT_NEAR(CoopAdvantage(2.5, -100.0, 100.0, lcf), 2.5, 1e-12);
+}
+
+TEST(CoopAdvantageTest, FullyCooperativeHeterogeneousLimit) {
+  Lcf lcf;
+  lcf.phi_deg = 90.0;
+  lcf.chi_deg = 0.0;  // All attention on HE neighbors.
+  EXPECT_NEAR(CoopAdvantage(5.0, 3.0, -7.0, lcf), 3.0, 1e-12);
+  lcf.chi_deg = 90.0;  // All attention on HO neighbors.
+  EXPECT_NEAR(CoopAdvantage(5.0, 3.0, -7.0, lcf), -7.0, 1e-12);
+}
+
+TEST(CoopAdvantageTest, MatchesEquation27) {
+  Lcf lcf;
+  lcf.phi_deg = 30.0;
+  lcf.chi_deg = 60.0;
+  const double a = 1.0, he = 2.0, ho = 3.0;
+  const double expected =
+      a * std::cos(M_PI / 6.0) +
+      (he * std::cos(M_PI / 3.0) + ho * std::sin(M_PI / 3.0)) *
+          std::sin(M_PI / 6.0);
+  EXPECT_NEAR(CoopAdvantage(a, he, ho, lcf), expected, 1e-12);
+}
+
+TEST(CoopAdvantageTest, DerivativesMatchFiniteDifference) {
+  Lcf lcf;
+  lcf.phi_deg = 37.0;
+  lcf.chi_deg = 22.0;
+  const double a = 1.3, he = -0.7, ho = 2.1;
+  const double eps_deg = 1e-4;
+  Lcf plus = lcf, minus = lcf;
+  plus.phi_deg += eps_deg;
+  minus.phi_deg -= eps_deg;
+  const double dphi_numeric =
+      (CoopAdvantage(a, he, ho, plus) - CoopAdvantage(a, he, ho, minus)) /
+      (2.0 * eps_deg * M_PI / 180.0);
+  EXPECT_NEAR(CoopAdvantageDPhi(a, he, ho, lcf), dphi_numeric, 1e-6);
+  plus = minus = lcf;
+  plus.chi_deg += eps_deg;
+  minus.chi_deg -= eps_deg;
+  const double dchi_numeric =
+      (CoopAdvantage(a, he, ho, plus) - CoopAdvantage(a, he, ho, minus)) /
+      (2.0 * eps_deg * M_PI / 180.0);
+  EXPECT_NEAR(CoopAdvantageDChi(a, he, ho, lcf), dchi_numeric, 1e-6);
+}
+
+TEST(CoopAdvantageTest, PlainVariantAndDerivative) {
+  Lcf lcf;
+  lcf.phi_deg = 45.0;
+  const double expected =
+      2.0 * std::cos(M_PI / 4.0) + 3.0 * std::sin(M_PI / 4.0);
+  EXPECT_NEAR(CoopAdvantagePlain(2.0, 3.0, lcf), expected, 1e-12);
+  const double eps_deg = 1e-4;
+  Lcf plus = lcf, minus = lcf;
+  plus.phi_deg += eps_deg;
+  minus.phi_deg -= eps_deg;
+  const double numeric =
+      (CoopAdvantagePlain(2.0, 3.0, plus) -
+       CoopAdvantagePlain(2.0, 3.0, minus)) /
+      (2.0 * eps_deg * M_PI / 180.0);
+  EXPECT_NEAR(CoopAdvantagePlainDPhi(2.0, 3.0, lcf), numeric, 1e-6);
+}
+
+TEST(NeighborMeanRewardTest, MeanAndEmptyConvention) {
+  const std::vector<double> rewards = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(NeighborMeanReward({1, 3}, rewards), 3.0);
+  EXPECT_DOUBLE_EQ(NeighborMeanReward({}, rewards), 0.0);
+  EXPECT_DOUBLE_EQ(NeighborMeanReward({0}, rewards), 1.0);
+}
+
+class CoopAdvantagePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoopAdvantagePropertyTest, BoundedByComponentMagnitudes) {
+  // |A_CO| <= |A| + |A_HE| + |A_HO| for any LCF in range.
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    Lcf lcf;
+    lcf.phi_deg = rng.Uniform(0.0, 90.0);
+    lcf.chi_deg = rng.Uniform(0.0, 90.0);
+    const double a = rng.Gaussian(), he = rng.Gaussian(),
+                 ho = rng.Gaussian();
+    const double co = CoopAdvantage(a, he, ho, lcf);
+    EXPECT_LE(std::fabs(co),
+              std::fabs(a) + std::fabs(he) + std::fabs(ho) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoopAdvantagePropertyTest,
+                         ::testing::Range(1, 6));
+
+// ---------------------------------------------------------------------------
+// i-EOI classifier.
+// ---------------------------------------------------------------------------
+
+TEST(EoiTest, ProbabilitiesSumToOne) {
+  util::Rng rng(5);
+  EoiConfig config;
+  config.hidden = {16};
+  EoiClassifier eoi(4, 3, config, rng);
+  const std::vector<float> p = eoi.Probabilities({0.1f, 0.2f, 0.3f, 0.4f});
+  ASSERT_EQ(p.size(), 3u);
+  float sum = 0.0f;
+  for (float v : p) {
+    EXPECT_GT(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(EoiTest, LearnsSeparableIdentities) {
+  // Two agents living in disjoint observation regions: after training the
+  // classifier must assign high intrinsic reward to each agent's own obs.
+  util::Rng rng(6);
+  EoiConfig config;
+  config.hidden = {32};
+  config.lr = 1e-2f;
+  config.epochs = 60;
+  config.minibatch = 32;
+  EoiClassifier eoi(2, 2, config, rng);
+  std::vector<std::vector<float>> obs0, obs1;
+  for (int i = 0; i < 64; ++i) {
+    obs0.push_back({static_cast<float>(rng.Uniform(0.0, 0.3)),
+                    static_cast<float>(rng.Uniform(0.0, 0.3))});
+    obs1.push_back({static_cast<float>(rng.Uniform(0.7, 1.0)),
+                    static_cast<float>(rng.Uniform(0.7, 1.0))});
+  }
+  eoi.Update({&obs0, &obs1}, rng);
+  EXPECT_GT(eoi.IntrinsicReward(0, {0.15f, 0.15f}), 0.85f);
+  EXPECT_GT(eoi.IntrinsicReward(1, {0.85f, 0.85f}), 0.85f);
+  EXPECT_LT(eoi.IntrinsicReward(0, {0.85f, 0.85f}), 0.15f);
+}
+
+TEST(EoiTest, IndistinguishableObsGiveLowConfidence) {
+  // Identical observation distributions: p(k|o) stays near uniform, i.e.
+  // low intrinsic reward for everyone (no individuality emerged).
+  util::Rng rng(7);
+  EoiConfig config;
+  config.hidden = {16};
+  config.epochs = 10;
+  EoiClassifier eoi(2, 2, config, rng);
+  std::vector<std::vector<float>> obs(64, {0.5f, 0.5f});
+  eoi.Update({&obs, &obs}, rng);
+  const float p = eoi.IntrinsicReward(0, {0.5f, 0.5f});
+  EXPECT_NEAR(p, 0.5f, 0.1f);
+}
+
+TEST(EoiTest, IntrinsicRewardsBatchMatchesSingle) {
+  util::Rng rng(8);
+  EoiConfig config;
+  config.hidden = {8};
+  EoiClassifier eoi(3, 2, config, rng);
+  std::vector<std::vector<float>> rows = {{0.1f, 0.2f, 0.3f},
+                                          {0.9f, 0.8f, 0.7f}};
+  const std::vector<float> batch = eoi.IntrinsicRewards(1, rows);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_NEAR(batch[0], eoi.IntrinsicReward(1, rows[0]), 1e-5);
+  EXPECT_NEAR(batch[1], eoi.IntrinsicReward(1, rows[1]), 1e-5);
+}
+
+TEST(EoiTest, UpdateHandlesEmptyBuffers) {
+  util::Rng rng(9);
+  EoiConfig config;
+  EoiClassifier eoi(2, 2, config, rng);
+  std::vector<std::vector<float>> empty;
+  std::vector<std::vector<float>> some = {{0.0f, 0.0f}};
+  EXPECT_EQ(eoi.Update({&empty, &some}, rng), 0.0f);
+  EXPECT_THROW(eoi.Update({&some}, rng), std::invalid_argument);
+}
+
+TEST(EoiTest, EntropyRegularizerSharpensPredictions) {
+  // With a large epsilon the loss actively minimizes prediction entropy;
+  // training on separable data should produce confident outputs.
+  util::Rng rng(10);
+  EoiConfig config;
+  config.hidden = {16};
+  config.lr = 1e-2f;
+  config.epochs = 40;
+  config.epsilon = 0.5f;
+  EoiClassifier eoi(1, 2, config, rng);
+  std::vector<std::vector<float>> obs0(32, {-1.0f}), obs1(32, {1.0f});
+  eoi.Update({&obs0, &obs1}, rng);
+  EXPECT_GT(eoi.IntrinsicReward(0, {-1.0f}), 0.9f);
+  EXPECT_GT(eoi.IntrinsicReward(1, {1.0f}), 0.9f);
+}
+
+}  // namespace
+}  // namespace agsc::core

@@ -1,0 +1,131 @@
+// Randomized robustness tests: drive the environment with random
+#include <fstream>
+#include <iterator>
+// configurations and random (including out-of-range) actions, asserting the
+// global invariants that must hold for ANY input. This is the
+// failure-injection net under the RL stack — a NaN or a negative PoI that
+// slips out of the env silently corrupts training.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "env/render.h"
+#include "env/sc_env.h"
+
+namespace agsc::env {
+namespace {
+
+const map::Dataset& FuzzDataset() {
+  static const map::Dataset* dataset =
+      new map::Dataset(map::BuildDataset(map::CampusId::kPurdue, 50));
+  return *dataset;
+}
+
+class EnvFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnvFuzzTest, InvariantsHoldUnderRandomConfigAndActions) {
+  util::Rng rng(GetParam() * 7919 + 3);
+  EnvConfig config;
+  config.num_timeslots = 5 + static_cast<int>(rng.UniformInt(uint64_t{20}));
+  config.num_pois = 5 + static_cast<int>(rng.UniformInt(uint64_t{45}));
+  config.num_uavs = static_cast<int>(rng.UniformInt(uint64_t{4}));
+  config.num_ugvs = static_cast<int>(rng.UniformInt(uint64_t{4}));
+  if (config.num_agents() == 0) config.num_ugvs = 1;
+  config.num_subchannels = 1 + static_cast<int>(rng.UniformInt(uint64_t{9}));
+  config.uav_height = rng.Uniform(30.0, 200.0);
+  config.sinr_threshold_db = rng.Uniform(-10.0, 10.0);
+  config.observe_range_fraction = rng.Uniform(0.05, 1.0);
+  config.neighbor_range_fraction = rng.Uniform(0.05, 1.0);
+  config.initial_data_gbit = rng.Uniform(0.5, 5.0);
+  const int scheme = static_cast<int>(rng.UniformInt(uint64_t{3}));
+  config.medium_access = scheme == 0   ? MediumAccess::kNoma
+                         : scheme == 1 ? MediumAccess::kTdma
+                                       : MediumAccess::kOfdma;
+  ScEnv env(config, FuzzDataset(), GetParam());
+
+  StepResult r = env.Reset();
+  ASSERT_EQ(static_cast<int>(r.observations.size()), config.num_agents());
+  double prev_total_data =
+      config.num_pois * config.initial_data_gbit + 1e-9;
+  while (!r.done) {
+    std::vector<UvAction> actions;
+    for (int k = 0; k < env.num_agents(); ++k) {
+      // Deliberately out-of-range actions: the env must clamp, not crash.
+      actions.push_back(
+          {rng.Uniform(-3.0, 3.0), rng.Uniform(-3.0, 3.0)});
+    }
+    r = env.Step(actions);
+    double total_data = 0.0;
+    for (int i = 0; i < config.num_pois; ++i) {
+      const double d = env.PoiRemainingGbit(i);
+      ASSERT_GE(d, 0.0);
+      ASSERT_LE(d, config.initial_data_gbit + 1e-9);
+      total_data += d;
+    }
+    ASSERT_LE(total_data, prev_total_data + 1e-9) << "data created";
+    prev_total_data = total_data;
+    for (int k = 0; k < env.num_agents(); ++k) {
+      ASSERT_TRUE(std::isfinite(r.rewards[k]));
+      const UvState& uv = env.uv(k);
+      ASSERT_TRUE(FuzzDataset().campus.bounds.Contains(uv.pos));
+      ASSERT_GE(uv.energy_j, 0.0);
+      ASSERT_LE(uv.energy_j, uv.initial_energy_j + 1e-9);
+      for (float v : r.observations[k]) ASSERT_TRUE(std::isfinite(v));
+    }
+    for (float v : r.state) ASSERT_TRUE(std::isfinite(v));
+    for (const CollectionEvent& ev : r.events) {
+      ASSERT_TRUE(std::isfinite(ev.collected_uav_gbit));
+      ASSERT_TRUE(std::isfinite(ev.collected_ugv_gbit));
+      ASSERT_GE(ev.subchannel, 0);
+      ASSERT_LT(ev.subchannel, config.num_subchannels);
+    }
+  }
+  const Metrics m = env.EpisodeMetrics();
+  ASSERT_TRUE(std::isfinite(m.efficiency));
+  ASSERT_GE(m.data_collection_ratio, 0.0);
+  ASSERT_LE(m.data_collection_ratio, 1.0);
+  ASSERT_GE(m.data_loss_ratio, 0.0);
+  ASSERT_LE(m.data_loss_ratio, 1.0);
+  ASSERT_GE(m.geographical_fairness, 0.0);
+  ASSERT_LE(m.geographical_fairness, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, EnvFuzzTest,
+                         ::testing::Range(1, 21));
+
+TEST(SvgRenderTest, ProducesWellFormedSvg) {
+  EnvConfig config;
+  config.num_timeslots = 8;
+  config.num_pois = 50;
+  ScEnv env(config, FuzzDataset(), 3);
+  env.Reset();
+  util::Rng rng(4);
+  StepResult r;
+  r.done = false;
+  while (!r.done) {
+    std::vector<UvAction> actions;
+    for (int k = 0; k < env.num_agents(); ++k) {
+      actions.push_back({rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)});
+    }
+    r = env.Step(actions);
+  }
+  const std::string path = ::testing::TempDir() + "/agsc_render.svg";
+  ASSERT_TRUE(RenderTrajectoriesSvg(env, path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+  // One polyline per agent, one circle per PoI at least.
+  size_t polylines = 0;
+  for (size_t pos = content.find("<polyline"); pos != std::string::npos;
+       pos = content.find("<polyline", pos + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, static_cast<size_t>(env.num_agents()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace agsc::env

@@ -1,0 +1,253 @@
+// Tests for the extension features: the SliceCols op, the LSTM cell,
+// TDMA/OFDMA medium-access alternatives, and trainer checkpointing.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/hi_madrl.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "tests/test_util.h"
+
+namespace agsc {
+namespace {
+
+TEST(SliceColsTest, ForwardSelectsRange) {
+  nn::Tensor m = nn::Tensor::FromRowMajor(2, 4, {1, 2, 3, 4, 5, 6, 7, 8});
+  const nn::Tensor s =
+      nn::SliceCols(nn::Variable::Constant(m), 1, 2).value();
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_EQ(s(0, 0), 2.0f);
+  EXPECT_EQ(s(1, 1), 7.0f);
+}
+
+TEST(SliceColsTest, RangeValidation) {
+  nn::Variable m = nn::Variable::Constant(nn::Tensor(2, 4));
+  EXPECT_THROW(nn::SliceCols(m, -1, 2), std::invalid_argument);
+  EXPECT_THROW(nn::SliceCols(m, 3, 2), std::invalid_argument);
+  EXPECT_THROW(nn::SliceCols(m, 0, 0), std::invalid_argument);
+}
+
+TEST(SliceColsTest, GradientScattersIntoSlice) {
+  util::Rng rng(1);
+  agsc::testing::CheckGradient(
+      [](const nn::Variable& x) {
+        return nn::Sum(nn::Square(nn::SliceCols(x, 1, 2)));
+      },
+      nn::Tensor::Uniform(3, 4, rng, -1.0f, 1.0f));
+  // Gradient outside the slice is exactly zero.
+  nn::Variable x = nn::Variable::Parameter(nn::Tensor(2, 4, 1.0f));
+  nn::Sum(nn::SliceCols(x, 0, 2)).Backward();
+  EXPECT_EQ(x.grad()(0, 3), 0.0f);
+  EXPECT_EQ(x.grad()(0, 0), 1.0f);
+}
+
+TEST(LstmTest, PackedStateShapes) {
+  util::Rng rng(2);
+  nn::LstmCell lstm(3, 5, rng);
+  EXPECT_EQ(lstm.state_size(), 10);
+  nn::Tensor s0 = lstm.InitialState(4);
+  EXPECT_EQ(s0.rows(), 4);
+  EXPECT_EQ(s0.cols(), 10);
+  nn::Variable next = lstm.Step(nn::Variable::Constant(nn::Tensor(4, 3, 0.5f)),
+                                nn::Variable::Constant(s0));
+  EXPECT_EQ(next.rows(), 4);
+  EXPECT_EQ(next.cols(), 10);
+  nn::Variable out = lstm.Output(next);
+  EXPECT_EQ(out.cols(), 5);
+}
+
+TEST(LstmTest, HiddenOutputBounded) {
+  util::Rng rng(3);
+  nn::LstmCell lstm(2, 4, rng);
+  nn::Variable state = nn::Variable::Constant(lstm.InitialState(1));
+  for (int t = 0; t < 10; ++t) {
+    state = lstm.Step(
+        nn::Variable::Constant(nn::Tensor(1, 2, 5.0f)), state);
+  }
+  const nn::Tensor h = lstm.Output(state).value();
+  for (int i = 0; i < h.size(); ++i) {
+    EXPECT_GE(h[i], -1.0f);
+    EXPECT_LE(h[i], 1.0f);
+  }
+}
+
+TEST(LstmTest, CellStateCarriesMemory) {
+  util::Rng rng(4);
+  nn::LstmCell lstm(1, 4, rng);
+  // Feed a spike then zeros; the state must remain different from the
+  // all-zeros trajectory (memory).
+  nn::Variable spiked = nn::Variable::Constant(lstm.InitialState(1));
+  nn::Variable silent = nn::Variable::Constant(lstm.InitialState(1));
+  spiked = lstm.Step(nn::Variable::Constant(nn::Tensor(1, 1, 3.0f)), spiked);
+  silent = lstm.Step(nn::Variable::Constant(nn::Tensor(1, 1)), silent);
+  for (int t = 0; t < 5; ++t) {
+    spiked = lstm.Step(nn::Variable::Constant(nn::Tensor(1, 1)), spiked);
+    silent = lstm.Step(nn::Variable::Constant(nn::Tensor(1, 1)), silent);
+  }
+  EXPECT_FALSE(spiked.value().SameAs(silent.value()));
+}
+
+TEST(LstmTest, BackpropThroughTime) {
+  util::Rng rng(5);
+  nn::LstmCell lstm(2, 3, rng);
+  nn::Variable x = nn::Variable::Parameter(nn::Tensor(1, 2, 0.4f));
+  nn::Variable state = nn::Variable::Constant(lstm.InitialState(1));
+  for (int t = 0; t < 3; ++t) state = lstm.Step(x, state);
+  nn::Sum(lstm.Output(state)).Backward();
+  EXPECT_GT(x.grad().Norm(), 0.0f);
+  for (nn::Variable& p : lstm.Parameters()) {
+    EXPECT_GT(p.grad().Norm(), 0.0f) << "dead LSTM parameter";
+  }
+}
+
+TEST(LstmTest, ParameterCountLargerThanGru) {
+  util::Rng rng(6);
+  nn::LstmCell lstm(8, 8, rng);
+  nn::GruCell gru(8, 8, rng);
+  EXPECT_GT(lstm.ParameterCount(), gru.ParameterCount());
+}
+
+// ---------------------------------------------------------------------------
+// Medium access.
+// ---------------------------------------------------------------------------
+
+const map::Dataset& SmallDataset() {
+  static const map::Dataset* dataset =
+      new map::Dataset(map::BuildDataset(map::CampusId::kPurdue, 20));
+  return *dataset;
+}
+
+env::EnvConfig MaConfig(env::MediumAccess ma) {
+  env::EnvConfig config;
+  config.num_timeslots = 12;
+  config.num_pois = 20;
+  config.num_uavs = 1;
+  config.num_ugvs = 1;
+  config.rayleigh_fading = false;
+  config.medium_access = ma;
+  return config;
+}
+
+double RunIdleEpisode(env::MediumAccess ma, env::Metrics* metrics) {
+  env::ScEnv env(MaConfig(ma), SmallDataset(), 5);
+  env.Reset();
+  std::vector<env::UvAction> idle(env.num_agents(), env::UvAction{0.0, -1.0});
+  env::StepResult r;
+  r.done = false;
+  double collected = 0.0;
+  while (!r.done) {
+    r = env.Step(idle);
+    for (const env::CollectionEvent& ev : r.events) {
+      collected += ev.collected_uav_gbit + ev.collected_ugv_gbit;
+    }
+  }
+  if (metrics != nullptr) *metrics = env.EpisodeMetrics();
+  return collected;
+}
+
+TEST(MediumAccessTest, AllSchemesCollectData) {
+  for (const auto ma : {env::MediumAccess::kNoma, env::MediumAccess::kTdma,
+                        env::MediumAccess::kOfdma}) {
+    EXPECT_GT(RunIdleEpisode(ma, nullptr), 0.0);
+  }
+}
+
+TEST(MediumAccessTest, OfdmaOutperformsTdmaPerEvent) {
+  // (B/2) log2(1 + 2s) >= (1/2) B log2(1 + s) by concavity of log, with
+  // equality only at s = 0 — OFDMA should collect at least as much as TDMA
+  // under identical (deterministic) conditions.
+  const double ofdma = RunIdleEpisode(env::MediumAccess::kOfdma, nullptr);
+  const double tdma = RunIdleEpisode(env::MediumAccess::kTdma, nullptr);
+  EXPECT_GE(ofdma, tdma - 1e-9);
+}
+
+TEST(MediumAccessTest, OrthogonalSchemesRemoveInterference) {
+  // With a very strict threshold, NOMA's interfered UAV chain loses data
+  // while the orthogonal schemes (boosted / clean SINR) lose no more.
+  env::EnvConfig noma = MaConfig(env::MediumAccess::kNoma);
+  noma.sinr_threshold_db = 10.0;
+  env::EnvConfig tdma = MaConfig(env::MediumAccess::kTdma);
+  tdma.sinr_threshold_db = 10.0;
+  env::ScEnv env_noma(noma, SmallDataset(), 6);
+  env::ScEnv env_tdma(tdma, SmallDataset(), 6);
+  for (env::ScEnv* env : {&env_noma, &env_tdma}) {
+    env->Reset();
+    std::vector<env::UvAction> idle(env->num_agents(),
+                                    env::UvAction{0.0, -1.0});
+    env::StepResult r;
+    r.done = false;
+    while (!r.done) r = env->Step(idle);
+  }
+  EXPECT_GE(env_noma.EpisodeMetrics().data_loss_ratio,
+            env_tdma.EpisodeMetrics().data_loss_ratio);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, SaveLoadRestoresPolicyAndLcfs) {
+  env::EnvConfig config = MaConfig(env::MediumAccess::kNoma);
+  env::ScEnv env(config, SmallDataset(), 7);
+  core::TrainConfig train;
+  train.iterations = 2;
+  train.episodes_per_iteration = 1;
+  train.net.hidden = {24};
+  train.eoi.hidden = {16};
+  core::HiMadrlTrainer a(env, train);
+  a.Train();
+  const std::string path = ::testing::TempDir() + "/agsc_ckpt.bin";
+  ASSERT_TRUE(a.SaveCheckpoint(path));
+
+  env::ScEnv env_b(config, SmallDataset(), 8);
+  core::HiMadrlTrainer b(env_b, train);
+  ASSERT_TRUE(b.LoadCheckpoint(path));
+  // Identical deterministic actions on the same observation.
+  const env::StepResult r = env.Reset();
+  util::Rng rng(1);
+  for (int k = 0; k < env.num_agents(); ++k) {
+    const env::UvAction ua = a.Act(env, k, r.observations[k], rng, true);
+    const env::UvAction ub = b.Act(env, k, r.observations[k], rng, true);
+    EXPECT_EQ(ua.raw_direction, ub.raw_direction);
+    EXPECT_EQ(ua.raw_speed, ub.raw_speed);
+    // LCFs roundtrip through float32 serialization.
+    EXPECT_NEAR(a.lcfs()[k].phi_deg, b.lcfs()[k].phi_deg, 1e-4);
+    EXPECT_NEAR(a.lcfs()[k].chi_deg, b.lcfs()[k].chi_deg, 1e-4);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsWrongArchitecture) {
+  env::EnvConfig config = MaConfig(env::MediumAccess::kNoma);
+  env::ScEnv env(config, SmallDataset(), 9);
+  core::TrainConfig train;
+  train.iterations = 1;
+  train.episodes_per_iteration = 1;
+  train.net.hidden = {24};
+  train.eoi.hidden = {16};
+  core::HiMadrlTrainer a(env, train);
+  const std::string path = ::testing::TempDir() + "/agsc_ckpt2.bin";
+  ASSERT_TRUE(a.SaveCheckpoint(path));
+  core::TrainConfig other = train;
+  other.net.hidden = {32};
+  env::ScEnv env_b(config, SmallDataset(), 10);
+  core::HiMadrlTrainer b(env_b, other);
+  EXPECT_FALSE(b.LoadCheckpoint(path));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileFails) {
+  env::EnvConfig config = MaConfig(env::MediumAccess::kNoma);
+  env::ScEnv env(config, SmallDataset(), 11);
+  core::TrainConfig train;
+  train.net.hidden = {24};
+  train.eoi.hidden = {16};
+  core::HiMadrlTrainer trainer(env, train);
+  EXPECT_FALSE(trainer.LoadCheckpoint("/nonexistent/agsc.bin"));
+}
+
+}  // namespace
+}  // namespace agsc

@@ -1,0 +1,219 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "map/geometry.h"
+#include "map/road_graph.h"
+#include "util/rng.h"
+
+namespace agsc::map {
+namespace {
+
+TEST(GeometryTest, BasicVectorOps) {
+  Point2 a{1.0, 2.0}, b{4.0, 6.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Norm(b - a), 5.0);
+  Point2 mid = Lerp(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 2.5);
+  EXPECT_DOUBLE_EQ(mid.y, 4.0);
+  Point2 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.x, 2.0);
+}
+
+TEST(GeometryTest, ClosestPointOnSegment) {
+  Point2 a{0.0, 0.0}, b{10.0, 0.0};
+  EXPECT_DOUBLE_EQ(ClosestPointParamOnSegment(a, b, {5.0, 3.0}), 0.5);
+  EXPECT_DOUBLE_EQ(ClosestPointParamOnSegment(a, b, {-5.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ClosestPointParamOnSegment(a, b, {20.0, 1.0}), 1.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(ClosestPointParamOnSegment(a, a, {3.0, 3.0}), 0.0);
+}
+
+TEST(GeometryTest, RectOperations) {
+  Rect r{{0.0, 0.0}, {10.0, 20.0}};
+  EXPECT_DOUBLE_EQ(r.Width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 20.0);
+  EXPECT_NEAR(r.Diagonal(), std::sqrt(500.0), 1e-9);
+  EXPECT_TRUE(r.Contains({5.0, 5.0}));
+  EXPECT_FALSE(r.Contains({-1.0, 5.0}));
+  Point2 clamped = r.Clamp({-3.0, 25.0});
+  EXPECT_DOUBLE_EQ(clamped.x, 0.0);
+  EXPECT_DOUBLE_EQ(clamped.y, 20.0);
+}
+
+TEST(GeometryTest, SlantDistanceAndElevation) {
+  Point2 ground{0.0, 0.0}, below_air{30.0, 40.0};
+  // 2D distance 50, height 120 -> slant 130.
+  EXPECT_DOUBLE_EQ(SlantDistance(ground, below_air, 120.0), 130.0);
+  EXPECT_NEAR(ElevationAngleDeg(ground, below_air, 120.0),
+              std::asin(120.0 / 130.0) * 180.0 / M_PI, 1e-9);
+  // Directly overhead -> 90 degrees.
+  EXPECT_DOUBLE_EQ(ElevationAngleDeg(ground, ground, 60.0), 90.0);
+}
+
+/// 4-node square with one diagonal:
+///   0 --- 1
+///   |   / |
+///   2 --- 3       (edge 0-1, 0-2, 1-2 diag, 1-3, 2-3)
+RoadGraph MakeSquareGraph() {
+  RoadGraph g;
+  g.AddNode({0.0, 100.0});    // 0
+  g.AddNode({100.0, 100.0});  // 1
+  g.AddNode({0.0, 0.0});      // 2
+  g.AddNode({100.0, 0.0});    // 3
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(RoadGraphTest, BasicConstruction) {
+  RoadGraph g = MakeSquareGraph();
+  EXPECT_EQ(g.NumNodes(), 4);
+  EXPECT_EQ(g.NumEdges(), 5);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_DOUBLE_EQ(g.edge(0).length, 100.0);
+  EXPECT_NEAR(g.edge(2).length, std::sqrt(20000.0), 1e-9);
+  EXPECT_NEAR(g.TotalLength(), 400.0 + std::sqrt(20000.0), 1e-9);
+}
+
+TEST(RoadGraphTest, AddEdgeValidation) {
+  RoadGraph g;
+  g.AddNode({0, 0});
+  g.AddNode({1, 0});
+  EXPECT_THROW(g.AddEdge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.AddEdge(0, 5), std::invalid_argument);
+}
+
+TEST(RoadGraphTest, DisconnectedGraphDetected) {
+  RoadGraph g;
+  g.AddNode({0, 0});
+  g.AddNode({1, 0});
+  g.AddNode({5, 5});
+  g.AddEdge(0, 1);
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_TRUE(std::isinf(g.NodeDistance(0, 2)));
+}
+
+TEST(RoadGraphTest, NodeDistanceTakesShortestRoute) {
+  RoadGraph g = MakeSquareGraph();
+  // 0 -> 3: direct via 0-1-3 or 0-2-3 both = 200; diagonal path
+  // 0-1(100) + 1-2(141) + 2-3(100) is longer.
+  EXPECT_DOUBLE_EQ(g.NodeDistance(0, 3), 200.0);
+  EXPECT_DOUBLE_EQ(g.NodeDistance(0, 0), 0.0);
+  EXPECT_NEAR(g.NodeDistance(1, 2), std::sqrt(20000.0), 1e-9);
+}
+
+TEST(RoadGraphTest, ProjectFindsNearestEdge) {
+  RoadGraph g = MakeSquareGraph();
+  // A point near the middle of the bottom edge (2-3).
+  RoadPosition pos = g.Project({50.0, -10.0});
+  EXPECT_EQ(pos.edge, 4);
+  EXPECT_NEAR(pos.t, 0.5, 1e-9);
+  const Point2 p = g.PointAt(pos);
+  EXPECT_NEAR(p.x, 50.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(RoadGraphTest, PathDistanceSameEdge) {
+  RoadGraph g = MakeSquareGraph();
+  RoadPosition a{0, 0.2};
+  RoadPosition b{0, 0.7};
+  EXPECT_NEAR(g.PathDistance(a, b), 50.0, 1e-9);
+  EXPECT_NEAR(g.PathDistance(b, a), 50.0, 1e-9);
+}
+
+TEST(RoadGraphTest, PathDistanceAcrossEdges) {
+  RoadGraph g = MakeSquareGraph();
+  // Middle of top edge (0-1) to middle of bottom edge (2-3):
+  // 50 to a corner + 100 down + 50 along = 200... but the diagonal helps:
+  // via node 1 + diagonal 1-2 (141.42) + 50 = 50 + 141.42 + 50 = 241 worse.
+  RoadPosition top{0, 0.5};
+  RoadPosition bottom{4, 0.5};
+  EXPECT_NEAR(g.PathDistance(top, bottom), 200.0, 1e-6);
+}
+
+TEST(RoadGraphTest, MoveAlongRespectsBudget) {
+  RoadGraph g = MakeSquareGraph();
+  RoadPosition start{0, 0.0};  // Node 0 corner.
+  RoadPosition goal{4, 1.0};   // Node 3 corner (shortest 200 via 2 routes).
+  double moved = 0.0;
+  RoadPosition mid = g.MoveAlong(start, goal, 120.0, &moved);
+  EXPECT_NEAR(moved, 120.0, 1e-9);
+  // Remaining distance should be 80.
+  EXPECT_NEAR(g.PathDistance(mid, goal), 80.0, 1e-6);
+}
+
+TEST(RoadGraphTest, MoveAlongReachesGoalWithSurplus) {
+  RoadGraph g = MakeSquareGraph();
+  RoadPosition start{0, 0.5};
+  RoadPosition goal{0, 0.8};
+  double moved = 0.0;
+  RoadPosition end = g.MoveAlong(start, goal, 500.0, &moved);
+  EXPECT_NEAR(moved, 30.0, 1e-9);
+  EXPECT_NEAR(Distance(g.PointAt(end), g.PointAt(goal)), 0.0, 1e-9);
+}
+
+TEST(RoadGraphTest, MoveAlongZeroBudgetStays) {
+  RoadGraph g = MakeSquareGraph();
+  RoadPosition start{1, 0.3};
+  double moved = 1.0;
+  RoadPosition end = g.MoveAlong(start, {4, 0.9}, 0.0, &moved);
+  EXPECT_EQ(end.edge, start.edge);
+  EXPECT_DOUBLE_EQ(end.t, start.t);
+  EXPECT_DOUBLE_EQ(moved, 0.0);
+}
+
+TEST(RoadGraphTest, MoveTowardProjectsOffRoadTarget) {
+  RoadGraph g = MakeSquareGraph();
+  RoadPosition start{4, 0.0};  // Node 2 corner (0,0).
+  // Target far off-road to the right; projection lands on bottom or right.
+  double moved = 0.0;
+  RoadPosition end = g.MoveToward(start, {500.0, -500.0}, 60.0, &moved);
+  EXPECT_NEAR(moved, 60.0, 1e-9);
+  const Point2 p = g.PointAt(end);
+  // Walked along the bottom edge toward (100, 0).
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+  EXPECT_NEAR(p.x, 60.0, 1e-9);
+}
+
+TEST(RoadGraphTest, MoveStaysOnRoadProperty) {
+  RoadGraph g = MakeSquareGraph();
+  agsc::util::Rng rng(99);
+  RoadPosition pos = g.Project({10.0, 10.0});
+  for (int step = 0; step < 200; ++step) {
+    const Point2 target{rng.Uniform(-50.0, 150.0), rng.Uniform(-50.0, 150.0)};
+    double moved = 0.0;
+    pos = g.MoveToward(pos, target, rng.Uniform(0.0, 80.0), &moved);
+    ASSERT_GE(pos.edge, 0);
+    ASSERT_LT(pos.edge, g.NumEdges());
+    ASSERT_GE(pos.t, 0.0);
+    ASSERT_LE(pos.t, 1.0);
+    // The reached point is exactly on the segment.
+    const auto& e = g.edge(pos.edge);
+    const Point2 p = g.PointAt(pos);
+    const double t =
+        ClosestPointParamOnSegment(g.node(e.a), g.node(e.b), p);
+    EXPECT_NEAR(Distance(Lerp(g.node(e.a), g.node(e.b), t), p), 0.0, 1e-6);
+  }
+}
+
+TEST(RoadGraphTest, MoveAlongNeverExceedsBudgetProperty) {
+  RoadGraph g = MakeSquareGraph();
+  agsc::util::Rng rng(123);
+  for (int trial = 0; trial < 100; ++trial) {
+    RoadPosition from{static_cast<int>(rng.UniformInt(uint64_t{5})),
+                      rng.Uniform()};
+    RoadPosition to{static_cast<int>(rng.UniformInt(uint64_t{5})),
+                    rng.Uniform()};
+    const double budget = rng.Uniform(0.0, 300.0);
+    double moved = 0.0;
+    g.MoveAlong(from, to, budget, &moved);
+    EXPECT_LE(moved, budget + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace agsc::map

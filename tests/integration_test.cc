@@ -1,0 +1,219 @@
+// End-to-end integration tests: dataset -> environment -> training ->
+// evaluation across every method, checking cross-module invariants rather
+// than single-module behaviour.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/e_divert.h"
+#include "algorithms/greedy_policy.h"
+#include "algorithms/random_policy.h"
+#include "algorithms/shortest_path.h"
+#include "core/hi_madrl.h"
+#include "env/render.h"
+
+namespace agsc {
+namespace {
+
+const map::Dataset& Dataset() {
+  static const map::Dataset* dataset =
+      new map::Dataset(map::BuildDataset(map::CampusId::kNcsu, 30));
+  return *dataset;
+}
+
+env::EnvConfig Config() {
+  env::EnvConfig config;
+  config.num_timeslots = 15;
+  config.num_pois = 30;
+  config.num_uavs = 1;
+  config.num_ugvs = 1;
+  return config;
+}
+
+void ExpectValidMetrics(const env::Metrics& m, const std::string& who) {
+  EXPECT_GE(m.data_collection_ratio, 0.0) << who;
+  EXPECT_LE(m.data_collection_ratio, 1.0) << who;
+  EXPECT_GE(m.data_loss_ratio, 0.0) << who;
+  EXPECT_LE(m.data_loss_ratio, 1.0) << who;
+  EXPECT_GT(m.energy_consumption_ratio, 0.0) << who;
+  EXPECT_LE(m.energy_consumption_ratio, 2.0) << who;
+  EXPECT_GE(m.geographical_fairness, 0.0) << who;
+  EXPECT_LE(m.geographical_fairness, 1.0) << who;
+  EXPECT_TRUE(std::isfinite(m.efficiency)) << who;
+  EXPECT_GE(m.efficiency, 0.0) << who;
+}
+
+TEST(IntegrationTest, EveryPolicyEvaluatesWithValidMetrics) {
+  env::ScEnv env(Config(), Dataset(), 1);
+
+  algorithms::RandomPolicy random;
+  ExpectValidMetrics(core::Evaluate(env, random, 2, 5, false).mean,
+                     "Random");
+  algorithms::GreedyPolicy greedy;
+  ExpectValidMetrics(core::Evaluate(env, greedy, 2, 5).mean, "Greedy");
+  algorithms::ShortestPathPolicy sp;
+  ExpectValidMetrics(core::Evaluate(env, sp, 2, 5).mean, "ShortestPath");
+
+  core::TrainConfig train;
+  train.iterations = 2;
+  train.episodes_per_iteration = 1;
+  train.net.hidden = {32, 16};
+  train.eoi.hidden = {16};
+  core::HiMadrlTrainer trainer(env, train);
+  trainer.Train();
+  ExpectValidMetrics(core::Evaluate(env, trainer, 2, 5).mean, "HiMadrl");
+
+  algorithms::EDivertConfig ed;
+  ed.episodes_per_iteration = 1;
+  ed.updates_per_iteration = 2;
+  ed.minibatch = 8;
+  ed.hidden = 16;
+  ed.gru_hidden = 16;
+  algorithms::EDivertTrainer edivert(env, ed);
+  edivert.TrainIteration();
+  ExpectValidMetrics(core::Evaluate(env, edivert, 2, 5).mean, "EDivert");
+}
+
+TEST(IntegrationTest, PlannersBeatRandomOnEfficiency) {
+  // A planner with global knowledge must beat uniform-random actions on the
+  // integrated efficiency metric (robust at any budget; the paper's Fig. 3).
+  env::EnvConfig config = Config();
+  config.num_timeslots = 40;
+  env::ScEnv env(config, Dataset(), 2);
+  algorithms::ShortestPathPolicy sp;
+  const double sp_lambda = core::Evaluate(env, sp, 3, 9).mean.efficiency;
+  algorithms::RandomPolicy random;
+  const double random_lambda =
+      core::Evaluate(env, random, 3, 9, false).mean.efficiency;
+  EXPECT_GT(sp_lambda, random_lambda);
+}
+
+TEST(IntegrationTest, TrainingImprovesExtrinsicReward) {
+  // The PPO objective maximizes the (compound) reward, whose extrinsic part
+  // is dominated by collected data (Eqn. 17); over a short run the rollout
+  // reward must trend upward. (The integrated efficiency metric lambda is
+  // *not* monotone in the reward at tiny budgets, because a freshly
+  // initialized tanh policy barely moves and buys a cheap low-xi lambda.)
+  env::EnvConfig config = Config();
+  config.num_timeslots = 30;
+  env::ScEnv env(config, Dataset(), 3);
+  core::TrainConfig train;
+  train.iterations = 20;
+  train.episodes_per_iteration = 2;
+  train.net.hidden = {48, 24};
+  train.eoi.hidden = {24};
+  train.actor_lr = 8e-4f;
+  train.critic_lr = 2e-3f;
+  train.seed = 4;
+  core::HiMadrlTrainer trainer(env, train);
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < train.iterations; ++i) {
+    const core::IterationStats stats = trainer.TrainIteration();
+    if (i < 5) early += stats.mean_reward_ext / 5.0;
+    if (i >= train.iterations - 5) late += stats.mean_reward_ext / 5.0;
+  }
+  // Generous slack: 20 iterations of on-policy RL on one seed is noisy; the
+  // assertion guards against *systematic* degradation (sign errors in the
+  // surrogate), not run-to-run variance.
+  EXPECT_GT(late, early * 0.75);
+}
+
+TEST(IntegrationTest, RewardAccountingMatchesCollectedData) {
+  // Sum of positive reward components over an episode equals the collected
+  // fraction (Eqn. 17's first term sums to psi when loss/energy terms are
+  // stripped), tying env accounting to the metric pipeline.
+  env::EnvConfig config = Config();
+  config.omega_coll = 0.0;
+  config.omega_move = 0.0;
+  config.rayleigh_fading = false;
+  env::ScEnv env(config, Dataset(), 5);
+  env::StepResult r = env.Reset();
+  util::Rng rng(6);
+  double reward_sum = 0.0;
+  while (!r.done) {
+    std::vector<env::UvAction> actions;
+    for (int k = 0; k < env.num_agents(); ++k) {
+      actions.push_back({rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)});
+    }
+    r = env.Step(actions);
+    for (double reward : r.rewards) reward_sum += reward;
+  }
+  EXPECT_NEAR(reward_sum, env.EpisodeMetrics().data_collection_ratio, 1e-6);
+}
+
+TEST(IntegrationTest, EnergyExhaustionStopsUvs) {
+  env::EnvConfig config = Config();
+  config.uav_energy_kj = 10.0;  // Minuscule battery.
+  config.ugv_energy_kj = 10.0;
+  config.num_timeslots = 30;
+  env::ScEnv env(config, Dataset(), 7);
+  env.Reset();
+  std::vector<env::UvAction> fast(env.num_agents(), env::UvAction{0.0, 1.0});
+  env::StepResult r;
+  r.done = false;
+  while (!r.done) r = env.Step(fast);
+  for (int k = 0; k < env.num_agents(); ++k) {
+    EXPECT_FALSE(env.uv(k).active);
+    EXPECT_EQ(env.uv(k).energy_j, 0.0);
+  }
+  // Once inactive, positions freeze.
+  const auto& traj = env.trajectories()[0];
+  EXPECT_EQ(traj[traj.size() - 1].x, traj[traj.size() - 2].x);
+  // Energy ratio is capped around 1 per kind (cannot spend beyond E0 much).
+  EXPECT_LE(env.EpisodeMetrics().energy_consumption_ratio, 2.2);
+}
+
+TEST(IntegrationTest, FullPipelineRenderAndDump) {
+  env::ScEnv env(Config(), Dataset(), 8);
+  core::TrainConfig train;
+  train.iterations = 1;
+  train.episodes_per_iteration = 1;
+  train.net.hidden = {24};
+  train.eoi.hidden = {16};
+  core::HiMadrlTrainer trainer(env, train);
+  trainer.Train();
+  core::Evaluate(env, trainer, 1, 12);
+  EXPECT_FALSE(env::RenderTrajectoriesAscii(env).empty());
+  const std::string dir = ::testing::TempDir();
+  EXPECT_TRUE(env::DumpTrajectoriesCsv(env, dir + "/int_traj.csv"));
+  EXPECT_TRUE(env::DumpEventsCsv(env, dir + "/int_events.csv"));
+}
+
+TEST(IntegrationTest, SweepConfigurationsAllRun) {
+  // Every figure sweep's env mutation must produce a runnable env.
+  for (double height : {60.0, 150.0}) {
+    for (double threshold : {-7.0, 7.0}) {
+      for (int z : {1, 5}) {
+        env::EnvConfig config = Config();
+        config.uav_height = height;
+        config.sinr_threshold_db = threshold;
+        config.num_subchannels = z;
+        env::ScEnv env(config, Dataset(), 9);
+        algorithms::GreedyPolicy greedy;
+        ExpectValidMetrics(core::Evaluate(env, greedy, 1, 3).mean,
+                           "sweep config");
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, HigherThresholdNeverReducesLoss) {
+  // Data-loss ratio is monotonically non-decreasing in the QoS threshold
+  // for a fixed policy and seed (Fig. 9/10 shape).
+  double prev_loss = -1.0;
+  for (double threshold : {-7.0, 0.0, 7.0}) {
+    env::EnvConfig config = Config();
+    config.sinr_threshold_db = threshold;
+    config.rayleigh_fading = false;
+    env::ScEnv env(config, Dataset(), 10);
+    algorithms::GreedyPolicy greedy;
+    const double loss =
+        core::Evaluate(env, greedy, 1, 3).mean.data_loss_ratio;
+    EXPECT_GE(loss, prev_loss);
+    prev_loss = loss;
+  }
+}
+
+}  // namespace
+}  // namespace agsc

@@ -1,0 +1,138 @@
+// Property-style sweeps over the road-network substrate on randomly
+// generated connected graphs: metric properties of PathDistance, and
+// consistency of Project / PointAt / MoveAlong under arbitrary inputs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "map/road_graph.h"
+#include "util/rng.h"
+
+namespace agsc::map {
+namespace {
+
+/// Random connected graph: a random spanning tree over `n` scattered nodes
+/// plus `extra` random chords.
+RoadGraph RandomConnectedGraph(util::Rng& rng, int n, int extra) {
+  RoadGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddNode({rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
+  }
+  for (int i = 1; i < n; ++i) {
+    g.AddEdge(i, static_cast<int>(rng.UniformInt(
+                     static_cast<uint64_t>(i))));  // Parent in the tree.
+  }
+  for (int e = 0; e < extra; ++e) {
+    const int a = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+    const int b = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+    if (a != b) g.AddEdge(a, b);
+  }
+  return g;
+}
+
+RoadPosition RandomPosition(util::Rng& rng, const RoadGraph& g) {
+  return {static_cast<int>(
+              rng.UniformInt(static_cast<uint64_t>(g.NumEdges()))),
+          rng.Uniform()};
+}
+
+class MapPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  util::Rng rng_{static_cast<uint64_t>(GetParam()) * 48271ULL + 11};
+};
+
+TEST_P(MapPropertyTest, GeneratedGraphIsConnected) {
+  RoadGraph g = RandomConnectedGraph(rng_, 20, 8);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST_P(MapPropertyTest, PathDistanceIsSymmetric) {
+  RoadGraph g = RandomConnectedGraph(rng_, 15, 6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RoadPosition a = RandomPosition(rng_, g);
+    const RoadPosition b = RandomPosition(rng_, g);
+    EXPECT_NEAR(g.PathDistance(a, b), g.PathDistance(b, a), 1e-6);
+  }
+}
+
+TEST_P(MapPropertyTest, PathDistanceNonNegativeAndZeroToSelf) {
+  RoadGraph g = RandomConnectedGraph(rng_, 12, 4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RoadPosition a = RandomPosition(rng_, g);
+    EXPECT_GE(g.PathDistance(a, RandomPosition(rng_, g)), 0.0);
+    EXPECT_NEAR(g.PathDistance(a, a), 0.0, 1e-9);
+  }
+}
+
+TEST_P(MapPropertyTest, PathDistanceAtLeastEuclidean) {
+  // Travel along roads can never beat the straight line.
+  RoadGraph g = RandomConnectedGraph(rng_, 15, 6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RoadPosition a = RandomPosition(rng_, g);
+    const RoadPosition b = RandomPosition(rng_, g);
+    EXPECT_GE(g.PathDistance(a, b) + 1e-6,
+              Distance(g.PointAt(a), g.PointAt(b)));
+  }
+}
+
+TEST_P(MapPropertyTest, TriangleInequality) {
+  RoadGraph g = RandomConnectedGraph(rng_, 12, 5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const RoadPosition a = RandomPosition(rng_, g);
+    const RoadPosition b = RandomPosition(rng_, g);
+    const RoadPosition c = RandomPosition(rng_, g);
+    EXPECT_LE(g.PathDistance(a, c),
+              g.PathDistance(a, b) + g.PathDistance(b, c) + 1e-6);
+  }
+}
+
+TEST_P(MapPropertyTest, ProjectIsIdempotent) {
+  RoadGraph g = RandomConnectedGraph(rng_, 12, 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point2 p{rng_.Uniform(-200.0, 1200.0),
+                   rng_.Uniform(-200.0, 1200.0)};
+    const RoadPosition proj = g.Project(p);
+    const Point2 on_road = g.PointAt(proj);
+    // Projecting a point already on the road returns (geometrically) the
+    // same point.
+    EXPECT_NEAR(Distance(g.PointAt(g.Project(on_road)), on_road), 0.0,
+                1e-6);
+  }
+}
+
+TEST_P(MapPropertyTest, MoveAlongProgressReducesRemainingDistance) {
+  RoadGraph g = RandomConnectedGraph(rng_, 12, 5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const RoadPosition from = RandomPosition(rng_, g);
+    const RoadPosition to = RandomPosition(rng_, g);
+    const double total = g.PathDistance(from, to);
+    const double budget = rng_.Uniform(0.0, 600.0);
+    double moved = 0.0;
+    const RoadPosition mid = g.MoveAlong(from, to, budget, &moved);
+    const double remaining = g.PathDistance(mid, to);
+    // Distance accounting: moved + remaining == total when the route taken
+    // is shortest (allow slack for alternate equal-length routes).
+    EXPECT_LE(moved, budget + 1e-6);
+    EXPECT_NEAR(moved + remaining, total,
+                1e-6 + total * 1e-9 + (moved > 0 ? 1e-6 : 0.0));
+  }
+}
+
+TEST_P(MapPropertyTest, MoveAlongFullBudgetArrives) {
+  RoadGraph g = RandomConnectedGraph(rng_, 10, 4);
+  for (int trial = 0; trial < 15; ++trial) {
+    const RoadPosition from = RandomPosition(rng_, g);
+    const RoadPosition to = RandomPosition(rng_, g);
+    const double total = g.PathDistance(from, to);
+    double moved = 0.0;
+    const RoadPosition end = g.MoveAlong(from, to, total + 1.0, &moved);
+    EXPECT_NEAR(Distance(g.PointAt(end), g.PointAt(to)), 0.0, 1e-6);
+    EXPECT_NEAR(moved, total, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapPropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace agsc::map

@@ -1,0 +1,173 @@
+// Property-style sweeps over the neural substrate: algebraic identities and
+// convergence properties that must hold for random shapes, seeds and data
+// (parameterized via TEST_P), complementing the example-based tests in
+// autograd_test.cc / layers_test.cc.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/ppo.h"
+#include "nn/distributions.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "tests/test_util.h"
+
+namespace agsc::nn {
+namespace {
+
+class NnPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  util::Rng rng_{static_cast<uint64_t>(GetParam()) * 2654435761ULL + 1};
+};
+
+TEST_P(NnPropertyTest, LogSoftmaxEqualsLogOfSoftmax) {
+  const int rows = 1 + static_cast<int>(rng_.UniformInt(uint64_t{6}));
+  const int cols = 2 + static_cast<int>(rng_.UniformInt(uint64_t{8}));
+  Tensor logits = Tensor::Uniform(rows, cols, rng_, -5.0f, 5.0f);
+  const Tensor p = Softmax(Variable::Constant(logits)).value();
+  const Tensor logp = LogSoftmax(Variable::Constant(logits)).value();
+  for (int i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(std::log(p[i]), logp[i], 1e-4);
+  }
+}
+
+TEST_P(NnPropertyTest, SoftmaxInvariantToRowShift) {
+  const int cols = 3 + static_cast<int>(rng_.UniformInt(uint64_t{5}));
+  Tensor logits = Tensor::Uniform(2, cols, rng_, -2.0f, 2.0f);
+  Tensor shifted = logits;
+  const float shift = static_cast<float>(rng_.Uniform(-10.0, 10.0));
+  for (int c = 0; c < cols; ++c) shifted(0, c) += shift;
+  const Tensor p0 = Softmax(Variable::Constant(logits)).value();
+  const Tensor p1 = Softmax(Variable::Constant(shifted)).value();
+  for (int c = 0; c < cols; ++c) {
+    EXPECT_NEAR(p0(0, c), p1(0, c), 1e-5);
+  }
+}
+
+TEST_P(NnPropertyTest, CrossEntropyBounds) {
+  const int classes = 2 + static_cast<int>(rng_.UniformInt(uint64_t{6}));
+  const int rows = 4;
+  Tensor logits = Tensor::Uniform(rows, classes, rng_, -3.0f, 3.0f);
+  std::vector<int> labels(rows);
+  for (int& l : labels) {
+    l = static_cast<int>(rng_.UniformInt(static_cast<uint64_t>(classes)));
+  }
+  const float ce =
+      SoftmaxCrossEntropy(Variable::Constant(logits), labels).value()[0];
+  EXPECT_GE(ce, 0.0f);
+  // CE is unbounded above in general but with logits in [-3,3] it is at
+  // most log K + 6.
+  EXPECT_LE(ce, std::log(static_cast<float>(classes)) + 6.0f);
+}
+
+TEST_P(NnPropertyTest, EntropyMaximizedByUniformLogits) {
+  const int classes = 2 + static_cast<int>(rng_.UniformInt(uint64_t{6}));
+  Tensor random_logits = Tensor::Uniform(1, classes, rng_, -4.0f, 4.0f);
+  const float random_entropy =
+      SoftmaxEntropy(Variable::Constant(random_logits)).value()[0];
+  const float uniform_entropy =
+      SoftmaxEntropy(Variable::Constant(Tensor(1, classes))).value()[0];
+  EXPECT_LE(random_entropy, uniform_entropy + 1e-5);
+  EXPECT_NEAR(uniform_entropy, std::log(static_cast<float>(classes)), 1e-4);
+}
+
+TEST_P(NnPropertyTest, MatMulGradientIsLinearInSeed) {
+  // Backward with seed 2*G must produce exactly 2x the gradient of seed G.
+  Tensor a = Tensor::Uniform(3, 4, rng_, -1.0f, 1.0f);
+  Tensor b = Tensor::Uniform(4, 2, rng_, -1.0f, 1.0f);
+  Tensor seed = Tensor::Uniform(3, 2, rng_, -1.0f, 1.0f);
+  auto grad_with_seed = [&](float scale) {
+    Variable va = Variable::Parameter(a);
+    Variable prod = MatMul(va, Variable::Constant(b));
+    Tensor s = seed;
+    s.Scale(scale);
+    prod.Backward(s);
+    return va.grad();
+  };
+  const Tensor g1 = grad_with_seed(1.0f);
+  const Tensor g2 = grad_with_seed(2.0f);
+  for (int i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(g2[i], 2.0f * g1[i], 1e-4);
+  }
+}
+
+TEST_P(NnPropertyTest, RandomMlpPassesGradientCheck) {
+  const int in = 2 + static_cast<int>(rng_.UniformInt(uint64_t{3}));
+  const int hidden = 3 + static_cast<int>(rng_.UniformInt(uint64_t{4}));
+  Mlp mlp({in, hidden, 1}, rng_);
+  agsc::testing::CheckGradient(
+      [&](const Variable& x) { return Mean(Square(mlp.Forward(x))); },
+      Tensor::Uniform(3, in, rng_, -1.0f, 1.0f));
+}
+
+TEST_P(NnPropertyTest, AdamSolvesRandomLeastSquares) {
+  const int dim = 2 + static_cast<int>(rng_.UniformInt(uint64_t{4}));
+  Tensor target = Tensor::Uniform(1, dim, rng_, -2.0f, 2.0f);
+  Variable x = Variable::Parameter(Tensor(1, dim));
+  Adam opt({x}, 0.05f);
+  for (int i = 0; i < 800; ++i) {
+    opt.ZeroGrad();
+    MseLoss(x, target).Backward();
+    opt.Step();
+  }
+  for (int c = 0; c < dim; ++c) {
+    EXPECT_NEAR(x.value()(0, c), target(0, c), 5e-2);
+  }
+}
+
+TEST_P(NnPropertyTest, GaussianLogProbIntegratesToDensityRatio) {
+  // For two actions a1, a2: logp(a1) - logp(a2) must equal the closed-form
+  // quadratic difference. Randomized mean/std.
+  const int dims = 1 + static_cast<int>(rng_.UniformInt(uint64_t{3}));
+  Tensor mean = Tensor::Uniform(1, dims, rng_, -1.0f, 1.0f);
+  Tensor log_std = Tensor::Uniform(1, dims, rng_, -1.0f, 0.5f);
+  DiagGaussian dist(Variable::Constant(mean), Variable::Constant(log_std));
+  Tensor a1 = Tensor::Uniform(1, dims, rng_, -2.0f, 2.0f);
+  Tensor a2 = Tensor::Uniform(1, dims, rng_, -2.0f, 2.0f);
+  const float diff =
+      dist.LogProb(a1).value()[0] - dist.LogProb(a2).value()[0];
+  float expected = 0.0f;
+  for (int c = 0; c < dims; ++c) {
+    const float inv_var = std::exp(-2.0f * log_std(0, c));
+    const float z1 = a1(0, c) - mean(0, c);
+    const float z2 = a2(0, c) - mean(0, c);
+    expected += -0.5f * inv_var * (z1 * z1 - z2 * z2);
+  }
+  EXPECT_NEAR(diff, expected, 1e-3);
+}
+
+TEST_P(NnPropertyTest, PpoSurrogateIdentityAtEqualPolicies) {
+  const int n = 4 + static_cast<int>(rng_.UniformInt(uint64_t{12}));
+  Tensor logp(n, 1);
+  std::vector<float> logp_old(n);
+  std::vector<float> adv(n);
+  double adv_mean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    logp(i, 0) = static_cast<float>(rng_.Uniform(-3.0, 0.0));
+    logp_old[i] = logp(i, 0);
+    adv[i] = static_cast<float>(rng_.Gaussian());
+    adv_mean += adv[i];
+  }
+  const core::AdvantageResult unused{};
+  (void)unused;
+  const float j = core::PpoSurrogate(Variable::Constant(logp), logp_old,
+                                     adv, 0.2f)
+                      .value()[0];
+  EXPECT_NEAR(j, static_cast<float>(adv_mean / n), 1e-4);
+}
+
+TEST_P(NnPropertyTest, ClipGradNormIsIdempotent) {
+  Mlp mlp({4, 8, 2}, rng_);
+  Mean(Square(mlp.Forward(Tensor::Uniform(8, 4, rng_, -2.0f, 2.0f))))
+      .Backward();
+  std::vector<Variable> params = mlp.Parameters();
+  ClipGradNorm(params, 0.1f);
+  const float norm_after = ClipGradNorm(params, 0.1f);
+  EXPECT_LE(norm_after, 0.1f + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnPropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace agsc::nn

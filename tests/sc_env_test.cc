@@ -1,0 +1,436 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "env/render.h"
+#include "env/sc_env.h"
+
+namespace agsc::env {
+namespace {
+
+const map::Dataset& PurdueDataset() {
+  static const map::Dataset* dataset =
+      new map::Dataset(map::BuildDataset(map::CampusId::kPurdue));
+  return *dataset;
+}
+
+EnvConfig SmallConfig() {
+  EnvConfig config;
+  config.num_timeslots = 20;
+  return config;
+}
+
+TEST(ScEnvTest, ConstructionValidation) {
+  EnvConfig config = SmallConfig();
+  config.num_pois = 1000;  // More than the dataset provides.
+  EXPECT_THROW(ScEnv(config, PurdueDataset(), 1), std::invalid_argument);
+  EnvConfig none = SmallConfig();
+  none.num_uavs = 0;
+  none.num_ugvs = 0;
+  EXPECT_THROW(ScEnv(none, PurdueDataset(), 1), std::invalid_argument);
+}
+
+TEST(ScEnvTest, ResetShapes) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 1);
+  const StepResult r = env.Reset();
+  EXPECT_EQ(env.num_agents(), 4);
+  EXPECT_EQ(static_cast<int>(r.observations.size()), 4);
+  EXPECT_EQ(static_cast<int>(r.observations[0].size()), env.obs_dim());
+  EXPECT_EQ(static_cast<int>(r.state.size()), env.state_dim());
+  EXPECT_EQ(env.obs_dim(), 3 * (4 + 100));
+  EXPECT_FALSE(r.done);
+  EXPECT_EQ(env.timeslot(), 0);
+}
+
+TEST(ScEnvTest, AllUvsStartAtSpawnWithFullEnergy) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 1);
+  env.Reset();
+  for (int k = 0; k < env.num_agents(); ++k) {
+    const UvState& uv = env.uv(k);
+    EXPECT_TRUE(uv.active);
+    EXPECT_NEAR(uv.energy_j, uv.initial_energy_j, 1e-9);
+    if (env.IsUav(k)) {
+      EXPECT_EQ(uv.kind, UvKind::kUav);
+      EXPECT_NEAR(uv.pos.x, PurdueDataset().campus.spawn.x, 1e-9);
+    } else {
+      EXPECT_EQ(uv.kind, UvKind::kUgv);
+      // UGVs are projected onto the road (spawn is already on-road).
+      EXPECT_NEAR(map::Distance(uv.pos, PurdueDataset().campus.spawn), 0.0,
+                  1.0);
+    }
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(env.PoiRemainingGbit(i), 3.0);
+  }
+}
+
+TEST(ScEnvTest, UavMovesExpectedDistance) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 1);
+  env.Reset();
+  const map::Point2 before = env.uv(0).pos;
+  // Full speed (raw_speed=1 -> vmax), direction raw 0 -> angle pi (west).
+  std::vector<UvAction> actions(env.num_agents(), UvAction{0.0, -1.0});
+  actions[0] = {0.0, 1.0};
+  env.Step(actions);
+  const map::Point2 after = env.uv(0).pos;
+  const double expected = 18.0 * 10.0;  // vmax * tau_move.
+  EXPECT_NEAR(map::Distance(before, after), expected, 1e-6);
+  EXPECT_NEAR(after.x - before.x, -expected, 1e-6);  // Heading pi = -x.
+}
+
+TEST(ScEnvTest, UavClampedAtBounds) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 1);
+  env.Reset();
+  // Drive west at full speed until the boundary must clamp.
+  std::vector<UvAction> actions(env.num_agents(), UvAction{0.0, -1.0});
+  actions[0] = {0.0, 1.0};
+  for (int t = 0; t < 10; ++t) env.Step(actions);
+  EXPECT_GE(env.uv(0).pos.x, 0.0);
+  EXPECT_TRUE(
+      PurdueDataset().campus.bounds.Contains(env.uv(0).pos));
+}
+
+TEST(ScEnvTest, UgvStaysOnRoad) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 2);
+  env.Reset();
+  util::Rng rng(5);
+  const int g = env.num_uavs();  // First UGV.
+  for (int t = 0; t < 15; ++t) {
+    std::vector<UvAction> actions;
+    for (int k = 0; k < env.num_agents(); ++k) {
+      actions.push_back({rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)});
+    }
+    env.Step(actions);
+    const UvState& uv = env.uv(g);
+    const map::RoadGraph& roads = PurdueDataset().campus.roads;
+    EXPECT_NEAR(
+        map::Distance(roads.PointAt(roads.Project(uv.pos)), uv.pos), 0.0,
+        1e-6);
+  }
+}
+
+TEST(ScEnvTest, UgvSlowerThanUav) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 3);
+  env.Reset();
+  // Everyone tries to go at max speed in a fixed direction.
+  std::vector<UvAction> actions(env.num_agents(), UvAction{0.5, 1.0});
+  env.Step(actions);
+  // Realized UGV speed can never exceed its vmax.
+  for (int k = env.num_uavs(); k < env.num_agents(); ++k) {
+    EXPECT_LE(env.uv(k).last_speed, 10.0 + 1e-9);
+  }
+  EXPECT_NEAR(env.uv(0).last_speed, 18.0, 1e-9);
+}
+
+TEST(ScEnvTest, EnergyDecreasesWithMovement) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 4);
+  env.Reset();
+  std::vector<UvAction> fast(env.num_agents(), UvAction{0.0, 1.0});
+  std::vector<UvAction> idle(env.num_agents(), UvAction{0.0, -1.0});
+  env.Step(fast);
+  const double after_fast = env.uv(0).energy_j;
+  const double fast_cost = env.uv(0).initial_energy_j - after_fast;
+  env.Step(idle);
+  const double idle_cost = after_fast - env.uv(0).energy_j;
+  EXPECT_GT(fast_cost, idle_cost);
+  EXPECT_GT(idle_cost, 0.0);  // Idle/hover power floor.
+  const EnvConfig& c = env.config();
+  EXPECT_NEAR(fast_cost, c.UavMoveEnergy(c.uav_vmax), 1e-6);
+  EXPECT_NEAR(idle_cost, c.UavMoveEnergy(0.0), 1e-6);
+}
+
+TEST(ScEnvTest, EpisodeTerminatesAtHorizon) {
+  EnvConfig config = SmallConfig();
+  ScEnv env(config, PurdueDataset(), 5);
+  StepResult r = env.Reset();
+  int steps = 0;
+  std::vector<UvAction> actions(env.num_agents(), UvAction{0.2, 0.3});
+  while (!r.done) {
+    r = env.Step(actions);
+    ++steps;
+  }
+  EXPECT_EQ(steps, config.num_timeslots);
+  EXPECT_THROW(env.Step(actions), std::logic_error);
+  // Reset starts a fresh episode.
+  r = env.Reset();
+  EXPECT_FALSE(r.done);
+}
+
+TEST(ScEnvTest, ObservationSelfFirstAndNormalized) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 6);
+  const StepResult r = env.Reset();
+  for (int k = 0; k < env.num_agents(); ++k) {
+    const auto& obs = r.observations[k];
+    const map::Rect& b = PurdueDataset().campus.bounds;
+    EXPECT_NEAR(obs[0], (env.uv(k).pos.x - b.min.x) / b.Width(), 1e-5);
+    EXPECT_NEAR(obs[1], (env.uv(k).pos.y - b.min.y) / b.Height(), 1e-5);
+    EXPECT_NEAR(obs[2], 1.0f, 1e-6);  // Full energy.
+    for (float v : obs) {
+      EXPECT_GE(v, -1e-6f);
+      EXPECT_LE(v, 1.0f + 1e-6f);
+    }
+  }
+}
+
+TEST(ScEnvTest, ObservationBlindsFarPois) {
+  EnvConfig config = SmallConfig();
+  config.observe_range_fraction = 0.05;  // Very short sight.
+  ScEnv env(config, PurdueDataset(), 7);
+  const StepResult r = env.Reset();
+  const auto& obs = r.observations[0];
+  const double range =
+      config.observe_range_fraction * PurdueDataset().campus.bounds.Diagonal();
+  int visible = 0;
+  for (int i = 0; i < config.num_pois; ++i) {
+    const int base = 3 * env.num_agents() + 3 * i;
+    const bool in_range =
+        map::Distance(env.uv(0).pos, PurdueDataset().pois[i]) <= range;
+    const bool nonzero =
+        obs[base] != 0.0f || obs[base + 1] != 0.0f || obs[base + 2] != 0.0f;
+    EXPECT_EQ(in_range, nonzero) << "poi " << i;
+    visible += nonzero;
+  }
+  EXPECT_LT(visible, config.num_pois);  // Partial observability is real.
+}
+
+TEST(ScEnvTest, StateContainsAllPois) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 8);
+  const StepResult r = env.Reset();
+  // State has no blinding: every PoI entry carries data fraction 1.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(r.state[3 * env.num_agents() + 3 * i + 2], 1.0f, 1e-6);
+  }
+}
+
+TEST(ScEnvTest, DataCollectionHappensNearPois) {
+  EnvConfig config = SmallConfig();
+  config.rayleigh_fading = false;  // Deterministic channel for the test.
+  ScEnv env(config, PurdueDataset(), 9);
+  env.Reset();
+  // Park everyone; the spawn area is near busy PoIs so collection occurs.
+  std::vector<UvAction> idle(env.num_agents(), UvAction{0.0, -1.0});
+  double collected = 0.0;
+  for (int t = 0; t < 10; ++t) {
+    const StepResult r = env.Step(idle);
+    for (const CollectionEvent& ev : r.events) {
+      collected += ev.collected_uav_gbit + ev.collected_ugv_gbit;
+    }
+  }
+  EXPECT_GT(collected, 0.0);
+  const Metrics m = env.EpisodeMetrics();
+  EXPECT_GT(m.data_collection_ratio, 0.0);
+}
+
+TEST(ScEnvTest, EventsReferenceValidAgentsAndPois) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 10);
+  env.Reset();
+  util::Rng rng(11);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<UvAction> actions;
+    for (int k = 0; k < env.num_agents(); ++k) {
+      actions.push_back({rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)});
+    }
+    const StepResult r = env.Step(actions);
+    for (const CollectionEvent& ev : r.events) {
+      EXPECT_GE(ev.subchannel, 0);
+      EXPECT_LT(ev.subchannel, env.config().num_subchannels);
+      if (ev.uav >= 0) EXPECT_TRUE(env.IsUav(ev.uav));
+      if (ev.ugv >= 0) EXPECT_FALSE(env.IsUav(ev.ugv));
+      if (ev.poi_uav >= 0) EXPECT_LT(ev.poi_uav, 100);
+      if (ev.poi_ugv >= 0) {
+        EXPECT_LT(ev.poi_ugv, 100);
+        EXPECT_NE(ev.poi_ugv, ev.poi_uav);  // i' != i (Section III-B).
+      }
+      EXPECT_GE(ev.collected_uav_gbit, 0.0);
+      EXPECT_GE(ev.collected_ugv_gbit, 0.0);
+      if (ev.loss_uav) EXPECT_EQ(ev.collected_uav_gbit, 0.0);
+      if (ev.loss_ugv) EXPECT_EQ(ev.collected_ugv_gbit, 0.0);
+    }
+    if (r.done) break;
+  }
+}
+
+TEST(ScEnvTest, PoiDataNeverNegativeAndMonotone) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 12);
+  env.Reset();
+  std::vector<double> prev(100, 3.0);
+  std::vector<UvAction> idle(env.num_agents(), UvAction{0.0, -1.0});
+  for (int t = 0; t < 20; ++t) {
+    env.Step(idle);
+    for (int i = 0; i < 100; ++i) {
+      const double d = env.PoiRemainingGbit(i);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, prev[i] + 1e-12);
+      prev[i] = d;
+    }
+  }
+}
+
+TEST(ScEnvTest, DeterministicGivenSeed) {
+  EnvConfig config = SmallConfig();
+  ScEnv a(config, PurdueDataset(), 77);
+  ScEnv b(config, PurdueDataset(), 77);
+  a.Reset();
+  b.Reset();
+  util::Rng rng_a(1), rng_b(1);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<UvAction> actions;
+    for (int k = 0; k < a.num_agents(); ++k) {
+      actions.push_back({rng_a.Uniform(-1.0, 1.0), rng_a.Uniform(-1.0, 1.0)});
+    }
+    const StepResult ra = a.Step(actions);
+    const StepResult rb = b.Step(actions);
+    for (int k = 0; k < a.num_agents(); ++k) {
+      EXPECT_EQ(ra.rewards[k], rb.rewards[k]);
+    }
+    (void)rng_b;
+  }
+  EXPECT_EQ(a.EpisodeMetrics().efficiency, b.EpisodeMetrics().efficiency);
+}
+
+TEST(ScEnvTest, MetricsWithinValidRanges) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 13);
+  env.Reset();
+  util::Rng rng(14);
+  StepResult r;
+  r.done = false;
+  while (!r.done) {
+    std::vector<UvAction> actions;
+    for (int k = 0; k < env.num_agents(); ++k) {
+      actions.push_back({rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)});
+    }
+    r = env.Step(actions);
+  }
+  const Metrics m = env.EpisodeMetrics();
+  EXPECT_GE(m.data_collection_ratio, 0.0);
+  EXPECT_LE(m.data_collection_ratio, 1.0);
+  EXPECT_GE(m.data_loss_ratio, 0.0);
+  EXPECT_LE(m.data_loss_ratio, 1.0);
+  EXPECT_GT(m.energy_consumption_ratio, 0.0);
+  EXPECT_GE(m.geographical_fairness, 0.0);
+  EXPECT_LE(m.geographical_fairness, 1.0);
+  EXPECT_GE(m.efficiency, 0.0);
+}
+
+TEST(ScEnvTest, HeterogeneousNeighborsAreRelayPairs) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 15);
+  env.Reset();
+  std::vector<UvAction> idle(env.num_agents(), UvAction{0.0, -1.0});
+  const StepResult r = env.Step(idle);
+  for (const CollectionEvent& ev : r.events) {
+    if (ev.uav >= 0 && ev.ugv >= 0) {
+      const auto uav_neighbors = env.HeterogeneousNeighbors(ev.uav);
+      EXPECT_NE(std::find(uav_neighbors.begin(), uav_neighbors.end(),
+                          ev.ugv),
+                uav_neighbors.end());
+      const auto ugv_neighbors = env.HeterogeneousNeighbors(ev.ugv);
+      EXPECT_NE(std::find(ugv_neighbors.begin(), ugv_neighbors.end(),
+                          ev.uav),
+                ugv_neighbors.end());
+    }
+  }
+}
+
+TEST(ScEnvTest, HomogeneousNeighborsSameKindOnly) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 16);
+  env.Reset();
+  // At spawn everyone is collocated: the other UAV is agent 0's neighbor.
+  const auto n0 = env.HomogeneousNeighbors(0);
+  ASSERT_EQ(n0.size(), 1u);
+  EXPECT_EQ(n0[0], 1);
+  const auto n2 = env.HomogeneousNeighbors(2);
+  ASSERT_EQ(n2.size(), 1u);
+  EXPECT_EQ(n2[0], 3);
+}
+
+TEST(ScEnvTest, HomogeneousNeighborsRespectRange) {
+  EnvConfig config = SmallConfig();
+  config.neighbor_range_fraction = 1e-9;  // Effectively zero radius.
+  ScEnv env(config, PurdueDataset(), 17);
+  env.Reset();
+  std::vector<UvAction> spread = {{0.0, 1.0}, {1.0, 1.0},
+                                  {0.5, 1.0}, {-0.5, 1.0}};
+  for (int t = 0; t < 3; ++t) env.Step(spread);
+  EXPECT_TRUE(env.HomogeneousNeighbors(0).empty());
+}
+
+TEST(ScEnvTest, TrajectoriesRecorded) {
+  EnvConfig config = SmallConfig();
+  ScEnv env(config, PurdueDataset(), 18);
+  env.Reset();
+  std::vector<UvAction> actions(env.num_agents(), UvAction{0.3, 0.5});
+  for (int t = 0; t < 5; ++t) env.Step(actions);
+  for (int k = 0; k < env.num_agents(); ++k) {
+    EXPECT_EQ(env.trajectories()[k].size(), 6u);  // Initial + 5 steps.
+  }
+  EXPECT_EQ(env.event_log().size(), 5u);
+}
+
+TEST(ScEnvTest, RewardPenalizesEnergyUse) {
+  EnvConfig config = SmallConfig();
+  config.omega_move = 10.0;  // Exaggerate the energy term.
+  config.rayleigh_fading = false;
+  ScEnv env(config, PurdueDataset(), 19);
+  env.Reset();
+  // Move at full speed away from everything: rewards should be negative.
+  std::vector<UvAction> fast(env.num_agents(), UvAction{0.0, 1.0});
+  const StepResult r = env.Step(fast);
+  // The energy penalty alone is omega_move * eta / E0 > 0.
+  const double eta = config.UavMoveEnergy(config.uav_vmax);
+  EXPECT_LT(r.rewards[0],
+            1.0 /* any collection gain is < total fraction */);
+  EXPECT_LT(r.rewards[0] - 1.0, -10.0 * eta / config.uav_energy_j() + 1.0);
+}
+
+TEST(ScEnvTest, RenderProducesMap) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 20);
+  env.Reset();
+  std::vector<UvAction> actions(env.num_agents(), UvAction{0.3, 1.0});
+  for (int t = 0; t < 5; ++t) env.Step(actions);
+  const std::string art = RenderTrajectoriesAscii(env, 40, 20);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 20);
+  EXPECT_NE(art.find('.'), std::string::npos);   // PoIs plotted.
+  // Same-kind agents share identical actions here, so the last-drawn agent
+  // of each kind owns the overlapping track cells.
+  EXPECT_NE(art.find('1'), std::string::npos);   // UAV track.
+  EXPECT_NE(art.find('b'), std::string::npos);   // UGV track.
+}
+
+TEST(ScEnvTest, CsvDumpsSucceed) {
+  ScEnv env(SmallConfig(), PurdueDataset(), 21);
+  env.Reset();
+  std::vector<UvAction> actions(env.num_agents(), UvAction{0.0, 0.5});
+  for (int t = 0; t < 3; ++t) env.Step(actions);
+  const std::string dir = ::testing::TempDir();
+  EXPECT_TRUE(DumpTrajectoriesCsv(env, dir + "/traj.csv"));
+  EXPECT_TRUE(DumpEventsCsv(env, dir + "/events.csv"));
+}
+
+TEST(ScEnvTest, SubchannelCountControlsEvents) {
+  EnvConfig config = SmallConfig();
+  config.num_subchannels = 7;
+  ScEnv env(config, PurdueDataset(), 22);
+  env.Reset();
+  std::vector<UvAction> idle(env.num_agents(), UvAction{0.0, -1.0});
+  const StepResult r = env.Step(idle);
+  EXPECT_LE(r.events.size(), 7u);
+  EXPECT_GT(r.events.size(), 0u);
+}
+
+TEST(ScEnvTest, HighThresholdCausesLoss) {
+  EnvConfig config = SmallConfig();
+  config.sinr_threshold_db = 60.0;  // Practically unattainable.
+  config.rayleigh_fading = false;
+  ScEnv env(config, PurdueDataset(), 23);
+  env.Reset();
+  std::vector<UvAction> idle(env.num_agents(), UvAction{0.0, -1.0});
+  StepResult r;
+  r.done = false;
+  while (!r.done) r = env.Step(idle);
+  const Metrics m = env.EpisodeMetrics();
+  EXPECT_GT(m.data_loss_ratio, 0.0);
+  EXPECT_EQ(m.data_collection_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace agsc::env

@@ -1,0 +1,143 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace agsc::nn {
+namespace {
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+  t(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t(2, 2, 3.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(t[i], 3.5f);
+}
+
+TEST(TensorTest, FactoryHelpers) {
+  Tensor r = Tensor::RowVector({1, 2, 3});
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r.cols(), 3);
+  Tensor c = Tensor::ColVector({1, 2});
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 1);
+  Tensor s = Tensor::Scalar(7.0f);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s[0], 7.0f);
+  Tensor m = Tensor::FromRowMajor(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m(1, 0), 3.0f);
+  EXPECT_THROW(Tensor::FromRowMajor(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TensorTest, TransposedSwapsIndices) {
+  Tensor m = Tensor::FromRowMajor(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), t(c, r));
+  }
+}
+
+TEST(TensorTest, RowExtraction) {
+  Tensor m = Tensor::FromRowMajor(2, 2, {1, 2, 3, 4});
+  Tensor row = m.Row(1);
+  EXPECT_EQ(row.rows(), 1);
+  EXPECT_EQ(row(0, 0), 3.0f);
+  EXPECT_EQ(row(0, 1), 4.0f);
+}
+
+TEST(TensorTest, AddInPlaceAndScale) {
+  Tensor a = Tensor::FromRowMajor(1, 3, {1, 2, 3});
+  Tensor b = Tensor::FromRowMajor(1, 3, {10, 20, 30});
+  a.AddInPlace(b);
+  a.Scale(0.5f);
+  EXPECT_EQ(a(0, 0), 5.5f);
+  EXPECT_EQ(a(0, 2), 16.5f);
+  Tensor wrong(2, 2);
+  EXPECT_THROW(a.AddInPlace(wrong), std::invalid_argument);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor m = Tensor::FromRowMajor(2, 2, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(m.Sum(), -2.0f);
+  EXPECT_FLOAT_EQ(m.Mean(), -0.5f);
+  EXPECT_FLOAT_EQ(m.AbsMax(), 4.0f);
+  EXPECT_NEAR(m.Norm(), std::sqrt(30.0f), 1e-6);
+}
+
+TEST(TensorTest, SameAs) {
+  Tensor a = Tensor::FromRowMajor(1, 2, {1, 2});
+  Tensor b = Tensor::FromRowMajor(1, 2, {1, 2});
+  Tensor c = Tensor::FromRowMajor(2, 1, {1, 2});
+  EXPECT_TRUE(a.SameAs(b));
+  EXPECT_FALSE(a.SameAs(c));
+}
+
+TEST(TensorTest, MatMulMatchesManual) {
+  Tensor a = Tensor::FromRowMajor(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromRowMajor(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(TensorTest, MatMulShapeCheck) {
+  Tensor a(2, 3), b(2, 3);
+  EXPECT_THROW(MatMul(a, b), std::invalid_argument);
+}
+
+TEST(TensorTest, MatMulTransposedVariantsAgree) {
+  util::Rng rng(5);
+  Tensor a = Tensor::Randn(4, 6, rng);
+  Tensor b = Tensor::Randn(5, 6, rng);
+  Tensor direct = MatMul(a, b.Transposed());
+  Tensor fused = MatMulTransposedB(a, b);
+  for (int i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], fused[i], 1e-4);
+  }
+  Tensor c = Tensor::Randn(6, 4, rng);
+  Tensor d = Tensor::Randn(6, 5, rng);
+  Tensor direct2 = MatMul(c.Transposed(), d);
+  Tensor fused2 = MatMulTransposedA(c, d);
+  for (int i = 0; i < direct2.size(); ++i) {
+    EXPECT_NEAR(direct2[i], fused2[i], 1e-4);
+  }
+}
+
+TEST(TensorTest, RandnStatistics) {
+  util::Rng rng(9);
+  Tensor t = Tensor::Randn(100, 100, rng, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double mean = sum / t.size();
+  const double std = std::sqrt(sq / t.size() - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(std, 2.0, 0.05);
+}
+
+TEST(TensorTest, UniformBounds) {
+  util::Rng rng(9);
+  Tensor t = Tensor::Uniform(10, 10, rng, -2.0f, -1.0f);
+  for (int i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -2.0f);
+    EXPECT_LT(t[i], -1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace agsc::nn

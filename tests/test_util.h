@@ -1,0 +1,46 @@
+#ifndef AGSC_TESTS_TEST_UTIL_H_
+#define AGSC_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace agsc::testing {
+
+/// Numerically checks d(scalar fn)/d(input) against the autograd gradient.
+///
+/// `build` maps a parameter leaf to a scalar graph output. Each input entry
+/// is perturbed by +-eps and the central difference is compared against the
+/// gradient produced by Backward().
+inline void CheckGradient(
+    const std::function<nn::Variable(const nn::Variable&)>& build,
+    nn::Tensor input, float eps = 1e-3f, float tol = 2e-2f) {
+  nn::Variable x = nn::Variable::Parameter(input);
+  nn::Variable y = build(x);
+  ASSERT_EQ(y.value().size(), 1) << "CheckGradient needs a scalar output";
+  x.ZeroGrad();
+  y.Backward();
+  const nn::Tensor grad = x.grad();
+  for (int i = 0; i < input.size(); ++i) {
+    nn::Tensor plus = input, minus = input;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const float f_plus =
+        build(nn::Variable::Parameter(plus)).value()(0, 0);
+    const float f_minus =
+        build(nn::Variable::Parameter(minus)).value()(0, 0);
+    const float numeric = (f_plus - f_minus) / (2.0f * eps);
+    const float analytic = grad[i];
+    const float scale = std::max({1.0f, std::fabs(numeric),
+                                  std::fabs(analytic)});
+    EXPECT_NEAR(analytic, numeric, tol * scale)
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+}  // namespace agsc::testing
+
+#endif  // AGSC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,256 @@
+#include <cmath>
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/env_flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace agsc::util {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.5, 2.5);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(uint64_t{5}));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-2}, int64_t{3});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.UniformInt(uint64_t{0}), std::invalid_argument);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Gaussian());
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.StdDev(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.Mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.StdDev(), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(RngTest, CategoricalRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.Categorical({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(37);
+  Rng child = a.Fork();
+  // Child does not replay the parent stream.
+  EXPECT_NE(child.NextU64(), a.NextU64());
+}
+
+TEST(StatsTest, WelfordMatchesDirect) {
+  RunningStats s;
+  std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  s.AddAll(xs);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 6.2);
+  double var = 0.0;
+  for (double x : xs) var += (x - 6.2) * (x - 6.2);
+  var /= 4.0;
+  EXPECT_NEAR(s.Variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 16.0);
+  EXPECT_NEAR(s.Sum(), 31.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.Min()));
+}
+
+TEST(StatsTest, MergeEqualsCombined) {
+  RunningStats a, b, all;
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(3.0, 2.0);
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+  EXPECT_EQ(a.Min(), all.Min());
+  EXPECT_EQ(a.Max(), all.Max());
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "2.5"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 2.5   |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, DoubleRowFormatting) {
+  Table t({"m", "a", "b"});
+  t.AddRow("r", {1.23456, 2.0}, 3);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("1.235"), std::string::npos);
+  EXPECT_NE(s.find("2.000"), std::string::npos);
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(7.8724, 3), "7.872");
+  EXPECT_EQ(FormatDouble(-1.0, 1), "-1.0");
+  EXPECT_EQ(FormatDouble(0.0, 0), "0");
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/agsc_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.WriteRow({"1", "x,y"});
+    csv.WriteRow("row", {0.5}, 2);
+    csv.Flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"x,y\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "row,0.50");
+  std::remove(path.c_str());
+}
+
+TEST(EnvFlagsTest, FallbacksWhenUnset) {
+  EXPECT_EQ(GetEnvOr("AGSC_DOES_NOT_EXIST", std::string("dflt")), "dflt");
+  EXPECT_EQ(GetEnvOr("AGSC_DOES_NOT_EXIST", 42), 42);
+  EXPECT_DOUBLE_EQ(GetEnvOr("AGSC_DOES_NOT_EXIST", 2.5), 2.5);
+}
+
+TEST(EnvFlagsTest, ParsesSetValues) {
+  setenv("AGSC_TEST_FLAG_INT", "17", 1);
+  setenv("AGSC_TEST_FLAG_BAD", "zzz", 1);
+  EXPECT_EQ(GetEnvOr("AGSC_TEST_FLAG_INT", 0), 17);
+  EXPECT_EQ(GetEnvOr("AGSC_TEST_FLAG_BAD", 5), 5);
+  unsetenv("AGSC_TEST_FLAG_INT");
+  unsetenv("AGSC_TEST_FLAG_BAD");
+}
+
+TEST(EnvFlagsTest, BenchScaleDefaultsToSmoke) {
+  unsetenv("AGSC_BENCH_SCALE");
+  EXPECT_EQ(GetBenchScale(), BenchScale::kSmoke);
+  setenv("AGSC_BENCH_SCALE", "paper", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kPaper);
+  unsetenv("AGSC_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace agsc::util

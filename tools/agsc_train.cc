@@ -1,0 +1,225 @@
+// Command-line trainer: the library's "production" entry point for running
+// a single configurable experiment end to end.
+//
+//   agsc_train [--campus purdue|ncsu] [--iterations N] [--timeslots T]
+//              [--pois I] [--uavs U] [--ugvs G] [--subchannels Z]
+//              [--height M] [--threshold DB] [--medium noma|tdma|ofdma]
+//              [--no-eoi] [--no-copo] [--plain-copo] [--mappo]
+//              [--seed S] [--eval N] [--save FILE] [--load FILE]
+//              [--render] [--quiet]
+//
+// Trains h/i-MADRL (or the selected variant), evaluates it, prints the five
+// paper metrics and optionally saves/loads a checkpoint.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/hi_madrl.h"
+#include "env/render.h"
+#include "util/table.h"
+
+namespace {
+
+struct Args {
+  std::string campus = "purdue";
+  int iterations = 30;
+  int timeslots = 100;
+  int pois = 100;
+  int uavs = 2;
+  int ugvs = 2;
+  int subchannels = 3;
+  double height = 60.0;
+  double threshold_db = 0.0;
+  std::string medium = "noma";
+  bool use_eoi = true;
+  bool use_copo = true;
+  bool hetero_copo = true;
+  bool mappo = false;
+  uint64_t seed = 1;
+  int eval_episodes = 10;
+  std::string save_path;
+  std::string load_path;
+  bool render = false;
+  bool quiet = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << name << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--campus") {
+      const char* v = next("--campus");
+      if (!v) return false;
+      args.campus = v;
+    } else if (flag == "--iterations") {
+      const char* v = next("--iterations");
+      if (!v) return false;
+      args.iterations = std::atoi(v);
+    } else if (flag == "--timeslots") {
+      const char* v = next("--timeslots");
+      if (!v) return false;
+      args.timeslots = std::atoi(v);
+    } else if (flag == "--pois") {
+      const char* v = next("--pois");
+      if (!v) return false;
+      args.pois = std::atoi(v);
+    } else if (flag == "--uavs") {
+      const char* v = next("--uavs");
+      if (!v) return false;
+      args.uavs = std::atoi(v);
+    } else if (flag == "--ugvs") {
+      const char* v = next("--ugvs");
+      if (!v) return false;
+      args.ugvs = std::atoi(v);
+    } else if (flag == "--subchannels") {
+      const char* v = next("--subchannels");
+      if (!v) return false;
+      args.subchannels = std::atoi(v);
+    } else if (flag == "--height") {
+      const char* v = next("--height");
+      if (!v) return false;
+      args.height = std::atof(v);
+    } else if (flag == "--threshold") {
+      const char* v = next("--threshold");
+      if (!v) return false;
+      args.threshold_db = std::atof(v);
+    } else if (flag == "--medium") {
+      const char* v = next("--medium");
+      if (!v) return false;
+      args.medium = v;
+    } else if (flag == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--eval") {
+      const char* v = next("--eval");
+      if (!v) return false;
+      args.eval_episodes = std::atoi(v);
+    } else if (flag == "--save") {
+      const char* v = next("--save");
+      if (!v) return false;
+      args.save_path = v;
+    } else if (flag == "--load") {
+      const char* v = next("--load");
+      if (!v) return false;
+      args.load_path = v;
+    } else if (flag == "--no-eoi") {
+      args.use_eoi = false;
+    } else if (flag == "--no-copo") {
+      args.use_copo = false;
+    } else if (flag == "--plain-copo") {
+      args.hetero_copo = false;
+    } else if (flag == "--mappo") {
+      args.mappo = true;
+    } else if (flag == "--render") {
+      args.render = true;
+    } else if (flag == "--quiet") {
+      args.quiet = true;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace agsc;
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    std::cerr
+        << "usage: agsc_train [--campus purdue|ncsu] [--iterations N]\n"
+           "  [--timeslots T] [--pois I] [--uavs U] [--ugvs G]\n"
+           "  [--subchannels Z] [--height M] [--threshold DB]\n"
+           "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
+           "  [--plain-copo] [--mappo] [--seed S] [--eval N]\n"
+           "  [--save FILE] [--load FILE] [--render] [--quiet]\n";
+    return 1;
+  }
+
+  const map::CampusId campus = args.campus == "ncsu"
+                                   ? map::CampusId::kNcsu
+                                   : map::CampusId::kPurdue;
+  const map::Dataset dataset = map::BuildDataset(campus, args.pois);
+
+  env::EnvConfig env_config;
+  env_config.num_timeslots = args.timeslots;
+  env_config.num_pois = args.pois;
+  env_config.num_uavs = args.uavs;
+  env_config.num_ugvs = args.ugvs;
+  env_config.num_subchannels = args.subchannels;
+  env_config.uav_height = args.height;
+  env_config.sinr_threshold_db = args.threshold_db;
+  if (args.medium == "tdma") {
+    env_config.medium_access = env::MediumAccess::kTdma;
+  } else if (args.medium == "ofdma") {
+    env_config.medium_access = env::MediumAccess::kOfdma;
+  }
+  env::ScEnv env(env_config, dataset, args.seed);
+
+  core::TrainConfig train;
+  train.iterations = args.iterations;
+  train.use_eoi = args.use_eoi;
+  train.use_copo = args.use_copo;
+  train.hetero_copo = args.hetero_copo;
+  if (args.mappo) train.base = core::BaseAlgo::kMappo;
+  train.seed = args.seed;
+  train.verbose = !args.quiet;
+  core::HiMadrlTrainer trainer(env, train);
+
+  if (!args.load_path.empty()) {
+    if (!trainer.LoadCheckpoint(args.load_path)) {
+      std::cerr << "failed to load checkpoint " << args.load_path << "\n";
+      return 1;
+    }
+    std::cout << "loaded checkpoint " << args.load_path << "\n";
+  }
+  if (args.iterations > 0) {
+    std::cout << "training " << args.iterations << " iterations on "
+              << dataset.campus.name << " ("
+              << trainer.TotalParameterCount() << " parameters)...\n";
+    trainer.Train();
+  }
+  if (!args.save_path.empty()) {
+    if (!trainer.SaveCheckpoint(args.save_path)) {
+      std::cerr << "failed to save checkpoint " << args.save_path << "\n";
+      return 1;
+    }
+    std::cout << "saved checkpoint to " << args.save_path << "\n";
+  }
+
+  const core::EvalResult result =
+      core::Evaluate(env, trainer, args.eval_episodes, args.seed + 99);
+  util::Table table({"metric", "value"});
+  const char* names[] = {"data collection ratio (psi)",
+                         "data loss ratio (sigma)",
+                         "energy consumption ratio (xi)",
+                         "geographical fairness (kappa)",
+                         "efficiency (lambda)"};
+  const std::vector<double> values = result.mean.ToVector();
+  for (int i = 0; i < 5; ++i) {
+    table.AddRow({names[i], util::FormatDouble(values[i], 4)});
+  }
+  table.Print();
+  for (int k = 0; k < env.num_agents(); ++k) {
+    std::cout << (env.IsUav(k) ? "UAV " : "UGV ") << k << ": phi="
+              << util::FormatDouble(trainer.lcfs()[k].phi_deg, 1)
+              << " chi=" << util::FormatDouble(trainer.lcfs()[k].chi_deg, 1)
+              << "\n";
+  }
+  if (args.render) {
+    std::cout << env::RenderTrajectoriesAscii(env);
+  }
+  return 0;
+}

@@ -52,6 +52,9 @@ class EoiClassifier {
   int num_agents() const { return num_agents_; }
   const nn::Mlp& net() const { return net_; }
 
+  /// The classifier's Adam optimizer (checkpointing captures its moments).
+  nn::Adam& optimizer() { return *optimizer_; }
+
  private:
   int num_agents_;
   EoiConfig config_;

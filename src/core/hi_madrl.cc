@@ -2,15 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 
 #include "core/ppo.h"
 #include "nn/serialize.h"
+#include "util/fault_inject.h"
 #include "util/logging.h"
 
 namespace agsc::core {
 
 namespace {
 constexpr double kRadToDeg = 180.0 / M_PI;
+
+/// True when every element of every parameter is finite.
+bool AllFinite(const std::vector<nn::Variable>& params) {
+  for (const nn::Variable& p : params) {
+    const nn::Tensor& t = p.value();
+    for (int i = 0; i < t.size(); ++i) {
+      if (!std::isfinite(t[i])) return false;
+    }
+  }
+  return true;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+double BitsToDouble(uint64_t u) {
+  double d = 0.0;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
 }  // namespace
 
 HiMadrlTrainer::HiMadrlTrainer(env::ScEnv& env, const TrainConfig& config)
@@ -339,6 +368,16 @@ std::pair<float, float> HiMadrlTrainer::PolicyUpdate() {
         }
       }
 
+      // Divergence guard: "last good" snapshots to roll back to when a
+      // minibatch produces a non-finite loss, gradient, or parameter.
+      std::vector<nn::Variable> actor_params = nets.actor->Parameters();
+      std::vector<nn::Variable> value_params(nets.value_opt->params());
+      std::vector<nn::Tensor> actor_good, value_good;
+      if (config_.divergence_guard) {
+        actor_good = nn::SnapshotParameters(actor_params);
+        value_good = nn::SnapshotParameters(value_params);
+      }
+
       for (const std::vector<int>& batch :
            MakeMinibatches(n, config_.minibatch, rng_)) {
         // --- Actor: maximize J_CO (Eqn. 28) + entropy bonus. ---
@@ -356,13 +395,32 @@ std::pair<float, float> HiMadrlTrainer::PolicyUpdate() {
         nn::Variable actor_loss =
             nn::Sub(nn::Neg(surrogate),
                     nn::ScalarMul(dist.Entropy(), config_.entropy_coef));
+        float actor_loss_val = actor_loss.value()(0, 0);
+        if (util::FaultInjector::Instance().PoisonLossNow()) {
+          actor_loss_val = std::numeric_limits<float>::quiet_NaN();
+        }
         nets.actor_opt->ZeroGrad();
         actor_loss.Backward();
-        std::vector<nn::Variable> actor_params = nets.actor->Parameters();
-        grad_norm_sum +=
-            nn::ClipGradNorm(actor_params, config_.max_grad_norm);
+        const float norm = nn::ClipGradNorm(actor_params,
+                                            config_.max_grad_norm);
+        if (config_.divergence_guard &&
+            (!std::isfinite(actor_loss_val) || !std::isfinite(norm))) {
+          // Poisoned minibatch: discard it entirely (actor and critics).
+          nn::RestoreParameters(actor_good, actor_params);
+          ++iter_anomalies_;
+          continue;
+        }
+        grad_norm_sum += norm;
         ++grad_norm_count;
         nets.actor_opt->Step();
+        if (config_.divergence_guard) {
+          if (!AllFinite(actor_params)) {
+            nn::RestoreParameters(actor_good, actor_params);
+            ++iter_anomalies_;
+            continue;
+          }
+          actor_good = nn::SnapshotParameters(actor_params);
+        }
 
         // --- Critics: Eqn. (26) TD regression for V^k, V_HE, V_HO. ---
         auto value_target = [&](const AdvantageResult& adv) {
@@ -377,15 +435,33 @@ std::pair<float, float> HiMadrlTrainer::PolicyUpdate() {
         nn::Variable v_loss =
             nn::MseLoss(nets.value->Forward(critic_b), value_target(adv_k));
         v_loss.Backward();
-        value_loss_sum += v_loss.value()(0, 0);
-        ++value_loss_count;
+        const float v_loss_val = v_loss.value()(0, 0);
+        float aux_loss_val = 0.0f;
         if (config_.use_copo) {
-          nn::MseLoss(nets.value_he->Forward(obs_b), value_target(adv_he))
-              .Backward();
-          nn::MseLoss(nets.value_ho->Forward(obs_b), value_target(adv_ho))
-              .Backward();
+          nn::Variable he_loss =
+              nn::MseLoss(nets.value_he->Forward(obs_b), value_target(adv_he));
+          he_loss.Backward();
+          nn::Variable ho_loss =
+              nn::MseLoss(nets.value_ho->Forward(obs_b), value_target(adv_ho));
+          ho_loss.Backward();
+          aux_loss_val = he_loss.value()(0, 0) + ho_loss.value()(0, 0);
         }
+        if (config_.divergence_guard &&
+            (!std::isfinite(v_loss_val) || !std::isfinite(aux_loss_val))) {
+          ++iter_anomalies_;
+          continue;  // Params untouched: no step was taken.
+        }
+        value_loss_sum += v_loss_val;
+        ++value_loss_count;
         nets.value_opt->Step();
+        if (config_.divergence_guard) {
+          if (!AllFinite(value_params)) {
+            nn::RestoreParameters(value_good, value_params);
+            ++iter_anomalies_;
+            continue;
+          }
+          value_good = nn::SnapshotParameters(value_params);
+        }
       }
     }
 
@@ -404,7 +480,13 @@ std::pair<float, float> HiMadrlTrainer::PolicyUpdate() {
           target(static_cast<int>(i), 0) = adv_all.returns[batch[i]];
         }
         value_all_opt_->ZeroGrad();
-        nn::MseLoss(value_all_->Forward(s_b), target).Backward();
+        nn::Variable all_loss = nn::MseLoss(value_all_->Forward(s_b), target);
+        all_loss.Backward();
+        if (config_.divergence_guard &&
+            !std::isfinite(all_loss.value()(0, 0))) {
+          ++iter_anomalies_;
+          continue;  // Skip the poisoned minibatch; no step was taken.
+        }
         value_all_opt_->Step();
       }
     }
@@ -536,7 +618,11 @@ void HiMadrlTrainer::LcfUpdate() {
         step_phi = std::clamp(step_phi,
                               -static_cast<double>(config_.max_lcf_step_deg),
                               static_cast<double>(config_.max_lcf_step_deg));
-        lcfs_[k].phi_deg += step_phi;
+        if (config_.divergence_guard && !std::isfinite(step_phi)) {
+          ++iter_anomalies_;
+        } else {
+          lcfs_[k].phi_deg += step_phi;
+        }
         if (config_.hetero_copo) {
           const std::vector<nn::Tensor> g_chi = lcf_grad(w_chi);
           const double norm_chi = GradNorm(g_chi);
@@ -547,7 +633,11 @@ void HiMadrlTrainer::LcfUpdate() {
           step_chi = std::clamp(
               step_chi, -static_cast<double>(config_.max_lcf_step_deg),
               static_cast<double>(config_.max_lcf_step_deg));
-          lcfs_[k].chi_deg += step_chi;
+          if (config_.divergence_guard && !std::isfinite(step_chi)) {
+            ++iter_anomalies_;
+          } else {
+            lcfs_[k].chi_deg += step_chi;
+          }
         }
         lcfs_[k].ClampToRange();
       }
@@ -559,6 +649,7 @@ IterationStats HiMadrlTrainer::TrainIteration() {
   IterationStats stats;
   stats.iteration = iteration_;
 
+  iter_anomalies_ = 0;
   CollectRollouts();
   stats.eoi_loss = UpdateEoiAndRewards();
   SnapshotOldPolicies();
@@ -566,6 +657,17 @@ IterationStats HiMadrlTrainer::TrainIteration() {
   stats.actor_grad_norm = grad_norm;
   stats.value_loss = value_loss;
   LcfUpdate();
+
+  stats.anomalies = iter_anomalies_;
+  anomaly_streak_ = iter_anomalies_ > 0 ? anomaly_streak_ + 1 : 0;
+  stats.lr_backoff = MaybeBackoffLearningRates();
+  if (stats.anomalies > 0) {
+    AGSC_LOG(kWarning) << "iter " << iteration_ << ": divergence guard "
+                       << "caught " << stats.anomalies
+                       << " non-finite update(s); rolled back and skipped "
+                       << "the poisoned minibatches (streak="
+                       << anomaly_streak_ << ")";
+  }
 
   stats.rollout_metrics = env::Metrics::Average(rollout_metrics_);
   double ext_sum = 0.0, int_sum = 0.0;
@@ -593,12 +695,47 @@ IterationStats HiMadrlTrainer::TrainIteration() {
   return stats;
 }
 
+bool HiMadrlTrainer::MaybeBackoffLearningRates() {
+  if (!config_.divergence_guard || config_.anomaly_backoff_after <= 0 ||
+      anomaly_streak_ < config_.anomaly_backoff_after) {
+    return false;
+  }
+  const float factor = config_.lr_backoff_factor;
+  config_.actor_lr *= factor;
+  config_.critic_lr *= factor;
+  for (AgentNets& n : nets_) {
+    n.actor_opt->set_lr(n.actor_opt->lr() * factor);
+    n.value_opt->set_lr(n.value_opt->lr() * factor);
+  }
+  if (value_all_opt_) {
+    value_all_opt_->set_lr(value_all_opt_->lr() * factor);
+  }
+  anomaly_streak_ = 0;
+  AGSC_LOG(kWarning) << "divergence guard: " << config_.anomaly_backoff_after
+                     << " consecutive anomalous iterations; halving learning "
+                     << "rates (actor_lr=" << config_.actor_lr
+                     << ", critic_lr=" << config_.critic_lr << ")";
+  return true;
+}
+
 std::vector<IterationStats> HiMadrlTrainer::Train(int iterations) {
   const int total = iterations >= 0 ? iterations : config_.iterations;
+  const bool auto_checkpoint =
+      !config_.checkpoint_dir.empty() && config_.checkpoint_every > 0;
   std::vector<IterationStats> all;
   all.reserve(total);
-  for (int i = 0; i < total; ++i) all.push_back(TrainIteration());
+  for (int i = 0; i < total; ++i) {
+    all.push_back(TrainIteration());
+    if (auto_checkpoint && (iteration_ % config_.checkpoint_every == 0 ||
+                            i + 1 == total)) {
+      WriteAutoCheckpoint();
+    }
+  }
   return all;
+}
+
+std::vector<IterationStats> HiMadrlTrainer::TrainTo(int total_iterations) {
+  return Train(std::max(0, total_iterations - iteration_));
 }
 
 env::UvAction HiMadrlTrainer::Act(const env::ScEnv& env, int k,
@@ -629,7 +766,7 @@ std::vector<nn::Variable> CheckpointVars(
 
 }  // namespace
 
-bool HiMadrlTrainer::SaveCheckpoint(const std::string& path) const {
+std::vector<nn::Variable> HiMadrlTrainer::GatherNetParameters() const {
   std::vector<nn::Variable> params;
   for (const AgentNets& n : nets_) {
     for (const nn::Variable& p : n.actor->Parameters()) params.push_back(p);
@@ -653,26 +790,106 @@ bool HiMadrlTrainer::SaveCheckpoint(const std::string& path) const {
       params.push_back(p);
     }
   }
-  return nn::SaveParameters(path, CheckpointVars(params, lcfs_));
+  return params;
+}
+
+std::vector<nn::Adam*> HiMadrlTrainer::GatherOptimizers() {
+  std::vector<nn::Adam*> opts;
+  for (AgentNets& n : nets_) {
+    opts.push_back(n.actor_opt.get());
+    opts.push_back(n.value_opt.get());
+  }
+  if (value_all_opt_) opts.push_back(value_all_opt_.get());
+  if (eoi_) opts.push_back(&eoi_->optimizer());
+  return opts;
+}
+
+uint64_t HiMadrlTrainer::ArchitectureFingerprint() const {
+  // FNV-1a over every field that determines network shapes or the
+  // checkpoint layout. Checkpoints from a differently-shaped run are
+  // rejected loudly instead of being poured into mismatched tensors.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(env_.obs_dim()));
+  mix(static_cast<uint64_t>(env_.state_dim()));
+  mix(static_cast<uint64_t>(env_.num_agents()));
+  mix(static_cast<uint64_t>(env_.num_uavs()));
+  mix(config_.base == BaseAlgo::kMappo ? 1 : 0);
+  mix(config_.share_params ? 1 : 0);
+  mix(config_.centralized_critic ? 1 : 0);
+  mix(config_.use_eoi ? 1 : 0);
+  mix(config_.use_copo ? 1 : 0);
+  mix(config_.hetero_copo ? 1 : 0);
+  for (int width : config_.net.hidden) mix(static_cast<uint64_t>(width));
+  if (config_.use_eoi) {
+    for (int width : config_.eoi.hidden) mix(static_cast<uint64_t>(width));
+  }
+  mix(static_cast<uint64_t>(TotalParameterCount()));
+  return h;
+}
+
+namespace {
+constexpr char kSecParams[] = "params";
+constexpr char kSecLcf[] = "lcf";
+constexpr char kSecAdam[] = "adam";
+constexpr char kSecRng[] = "rng";
+constexpr char kSecCounters[] = "counters";
+// counters section layout: iteration, total_env_steps, anomaly_streak,
+// actor_lr bits, critic_lr bits.
+constexpr size_t kCounterWords = 5;
+}  // namespace
+
+bool HiMadrlTrainer::SaveCheckpoint(const std::string& path) {
+  nn::Checkpoint ckpt;
+  ckpt.fingerprint = ArchitectureFingerprint();
+
+  nn::CheckpointSection& params = ckpt.AddSection(kSecParams);
+  params.tensors = nn::SnapshotParameters(GatherNetParameters());
+
+  nn::CheckpointSection& lcf = ckpt.AddSection(kSecLcf);
+  for (const Lcf& l : lcfs_) {
+    lcf.words.push_back(DoubleBits(l.phi_deg));
+    lcf.words.push_back(DoubleBits(l.chi_deg));
+  }
+
+  nn::CheckpointSection& adam = ckpt.AddSection(kSecAdam);
+  for (nn::Adam* opt : GatherOptimizers()) {
+    nn::Adam::State state = opt->ExportState();
+    adam.words.push_back(static_cast<uint64_t>(state.step_count));
+    adam.words.push_back(DoubleBits(static_cast<double>(state.lr)));
+    for (nn::Tensor& t : state.m) adam.tensors.push_back(std::move(t));
+    for (nn::Tensor& t : state.v) adam.tensors.push_back(std::move(t));
+  }
+
+  nn::CheckpointSection& rng = ckpt.AddSection(kSecRng);
+  for (uint64_t w : rng_.SaveState()) rng.words.push_back(w);
+  for (uint64_t w : env_.rng().SaveState()) rng.words.push_back(w);
+
+  nn::CheckpointSection& counters = ckpt.AddSection(kSecCounters);
+  counters.words = {static_cast<uint64_t>(iteration_),
+                    static_cast<uint64_t>(total_env_steps_),
+                    static_cast<uint64_t>(anomaly_streak_),
+                    DoubleBits(static_cast<double>(config_.actor_lr)),
+                    DoubleBits(static_cast<double>(config_.critic_lr))};
+
+  return nn::SaveCheckpointFile(path, ckpt);
 }
 
 bool HiMadrlTrainer::LoadCheckpoint(const std::string& path) {
-  std::vector<nn::Variable> params;
-  for (AgentNets& n : nets_) {
-    for (nn::Variable& p : n.actor->Parameters()) params.push_back(p);
-    for (nn::Variable& p : n.value->Parameters()) params.push_back(p);
-    if (n.value_he) {
-      for (nn::Variable& p : n.value_he->Parameters()) params.push_back(p);
-      for (nn::Variable& p : n.value_ho->Parameters()) params.push_back(p);
-    }
-  }
-  if (value_all_) {
-    for (nn::Variable& p : value_all_->Parameters()) params.push_back(p);
-  }
-  if (eoi_) {
-    for (nn::Variable& p : eoi_->net().Parameters()) params.push_back(p);
-  }
-  std::vector<nn::Variable> vars = CheckpointVars(params, lcfs_);
+  if (nn::ReadFileMagic(path) == "AGSCNN01") return LoadCheckpointV1(path);
+  return LoadCheckpointV2(path);
+}
+
+bool HiMadrlTrainer::LoadCheckpointV1(const std::string& path) {
+  // Legacy flat parameter files: network params + LCFs only (no optimizer,
+  // RNG, or counter state — resume from these is *not* bit-exact).
+  std::vector<nn::Variable> vars =
+      CheckpointVars(GatherNetParameters(), lcfs_);
   // LoadParameters writes into the tensors referenced by `vars`; the net
   // parameters alias the live networks, the trailing tensor is a staging
   // buffer for the LCFs.
@@ -685,6 +902,198 @@ bool HiMadrlTrainer::LoadCheckpoint(const std::string& path) {
   // Keep theta_old in sync so the next LCF update sees a consistent pair.
   SnapshotOldPolicies();
   return true;
+}
+
+bool HiMadrlTrainer::LoadCheckpointV2(const std::string& path) {
+  nn::Checkpoint ckpt;
+  const nn::CheckpointError error = nn::LoadCheckpointFile(path, ckpt);
+  if (error != nn::CheckpointError::kOk) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": "
+                     << nn::CheckpointErrorString(error);
+    return false;
+  }
+  if (ckpt.fingerprint != ArchitectureFingerprint()) {
+    AGSC_LOG(kError) << "checkpoint " << path
+                     << ": architecture fingerprint mismatch (file "
+                     << ckpt.fingerprint << ", trainer "
+                     << ArchitectureFingerprint()
+                     << "); the env dims or TrainConfig differ from the run "
+                     << "that saved this checkpoint";
+    return false;
+  }
+  const nn::CheckpointSection* params_sec = ckpt.Find(kSecParams);
+  const nn::CheckpointSection* lcf_sec = ckpt.Find(kSecLcf);
+  const nn::CheckpointSection* adam_sec = ckpt.Find(kSecAdam);
+  const nn::CheckpointSection* rng_sec = ckpt.Find(kSecRng);
+  const nn::CheckpointSection* counters_sec = ckpt.Find(kSecCounters);
+  if (!params_sec || !lcf_sec || !adam_sec || !rng_sec || !counters_sec) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": missing section";
+    return false;
+  }
+
+  // Validate every section against the live architecture BEFORE mutating
+  // anything, so a malformed checkpoint leaves the trainer untouched.
+  std::vector<nn::Variable> net_params = GatherNetParameters();
+  if (params_sec->tensors.size() != net_params.size()) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": parameter count "
+                     << params_sec->tensors.size() << " != expected "
+                     << net_params.size();
+    return false;
+  }
+  for (size_t i = 0; i < net_params.size(); ++i) {
+    const nn::Tensor& have = params_sec->tensors[i];
+    const nn::Tensor& want = net_params[i].value();
+    if (have.rows() != want.rows() || have.cols() != want.cols()) {
+      AGSC_LOG(kError) << "checkpoint " << path << ": tensor " << i
+                       << " shape " << have.ShapeString() << " != expected "
+                       << want.ShapeString();
+      return false;
+    }
+  }
+  if (lcf_sec->words.size() != lcfs_.size() * 2) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": LCF count mismatch";
+    return false;
+  }
+  std::vector<nn::Adam*> opts = GatherOptimizers();
+  if (adam_sec->words.size() != opts.size() * 2) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": optimizer count "
+                     << adam_sec->words.size() / 2 << " != expected "
+                     << opts.size();
+    return false;
+  }
+  std::vector<nn::Adam::State> states(opts.size());
+  size_t cursor = 0;
+  for (size_t i = 0; i < opts.size(); ++i) {
+    const std::vector<nn::Variable>& opt_params = opts[i]->params();
+    const size_t count = opt_params.size();
+    if (adam_sec->tensors.size() < cursor + 2 * count) {
+      AGSC_LOG(kError) << "checkpoint " << path
+                       << ": truncated optimizer state";
+      return false;
+    }
+    nn::Adam::State& state = states[i];
+    state.step_count = static_cast<long>(adam_sec->words[2 * i]);
+    state.lr = static_cast<float>(BitsToDouble(adam_sec->words[2 * i + 1]));
+    state.m.assign(adam_sec->tensors.begin() + cursor,
+                   adam_sec->tensors.begin() + cursor + count);
+    cursor += count;
+    state.v.assign(adam_sec->tensors.begin() + cursor,
+                   adam_sec->tensors.begin() + cursor + count);
+    cursor += count;
+    for (size_t j = 0; j < count; ++j) {
+      const nn::Tensor& want = opt_params[j].value();
+      if (state.m[j].rows() != want.rows() ||
+          state.m[j].cols() != want.cols() ||
+          state.v[j].rows() != want.rows() ||
+          state.v[j].cols() != want.cols()) {
+        AGSC_LOG(kError) << "checkpoint " << path
+                         << ": optimizer moment shape mismatch";
+        return false;
+      }
+    }
+  }
+  if (cursor != adam_sec->tensors.size()) {
+    AGSC_LOG(kError) << "checkpoint " << path
+                     << ": trailing optimizer tensors";
+    return false;
+  }
+  if (rng_sec->words.size() != 2 * util::Rng::kStateWords ||
+      counters_sec->words.size() < kCounterWords) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": bad RNG/counter state";
+    return false;
+  }
+
+  // Commit: everything validated, now restore all state atomically.
+  nn::RestoreParameters(params_sec->tensors, net_params);
+  for (size_t k = 0; k < lcfs_.size(); ++k) {
+    lcfs_[k].phi_deg = BitsToDouble(lcf_sec->words[2 * k]);
+    lcfs_[k].chi_deg = BitsToDouble(lcf_sec->words[2 * k + 1]);
+  }
+  for (size_t i = 0; i < opts.size(); ++i) {
+    opts[i]->ImportState(states[i]);
+  }
+  std::array<uint64_t, util::Rng::kStateWords> rng_state{};
+  std::copy_n(rng_sec->words.begin(), util::Rng::kStateWords,
+              rng_state.begin());
+  rng_.LoadState(rng_state);
+  std::copy_n(rng_sec->words.begin() + util::Rng::kStateWords,
+              util::Rng::kStateWords, rng_state.begin());
+  env_.rng().LoadState(rng_state);
+  iteration_ = static_cast<int>(counters_sec->words[0]);
+  total_env_steps_ = static_cast<long>(counters_sec->words[1]);
+  anomaly_streak_ = static_cast<int>(counters_sec->words[2]);
+  config_.actor_lr = static_cast<float>(BitsToDouble(counters_sec->words[3]));
+  config_.critic_lr =
+      static_cast<float>(BitsToDouble(counters_sec->words[4]));
+  // Keep theta_old in sync so the next LCF update sees a consistent pair.
+  SnapshotOldPolicies();
+  return true;
+}
+
+bool HiMadrlTrainer::LoadLatestCheckpoint(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> candidates;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt_", 0) == 0 && name.size() > 5 &&
+        name.ends_with(".agsc")) {
+      candidates.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    AGSC_LOG(kError) << "checkpoint dir " << dir << ": " << ec.message();
+    return false;
+  }
+  // Newest first (zero-padded iteration numbers sort lexicographically).
+  std::sort(candidates.rbegin(), candidates.rend());
+  // Honor the `latest` pointer when it names an existing candidate.
+  std::ifstream latest_in(fs::path(dir) / "latest");
+  std::string latest_name;
+  if (latest_in && std::getline(latest_in, latest_name)) {
+    const std::string latest_path = (fs::path(dir) / latest_name).string();
+    auto it = std::find(candidates.begin(), candidates.end(), latest_path);
+    if (it != candidates.end()) std::rotate(candidates.begin(), it, it + 1);
+  }
+  for (const std::string& path : candidates) {
+    if (LoadCheckpoint(path)) {
+      AGSC_LOG(kInfo) << "resumed from checkpoint " << path << " (iteration "
+                      << iteration_ << ")";
+      return true;
+    }
+    AGSC_LOG(kWarning) << "checkpoint " << path
+                       << " failed validation; falling back to an older one";
+  }
+  AGSC_LOG(kError) << "no loadable checkpoint in " << dir;
+  return false;
+}
+
+void HiMadrlTrainer::WriteAutoCheckpoint() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(config_.checkpoint_dir, ec);
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt_%06d.agsc", iteration_);
+  const fs::path dir(config_.checkpoint_dir);
+  const std::string path = (dir / name).string();
+  if (!SaveCheckpoint(path)) {
+    AGSC_LOG(kWarning) << "auto-checkpoint failed: " << path;
+    return;
+  }
+  util::AtomicWriteFile((dir / "latest").string(), std::string(name) + "\n");
+  // Keep-last-K retention over ckpt_*.agsc files.
+  std::vector<fs::path> retained;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("ckpt_", 0) == 0 && fname.ends_with(".agsc")) {
+      retained.push_back(entry.path());
+    }
+  }
+  std::sort(retained.begin(), retained.end());
+  const size_t keep = static_cast<size_t>(std::max(1, config_.checkpoint_keep));
+  for (size_t i = 0; i + keep < retained.size(); ++i) {
+    fs::remove(retained[i], ec);
+  }
 }
 
 int HiMadrlTrainer::TotalParameterCount() const {

@@ -57,6 +57,25 @@ struct TrainConfig {
   bool share_params = false;       ///< SP: one network for all UVs.
   bool centralized_critic = false; ///< CC: V^k takes the global state.
 
+  // --- Divergence guard (robustness) ---
+  /// Detect non-finite losses/grad norms/parameters during updates, roll
+  /// the affected network back to its last good state and skip the
+  /// poisoned minibatch instead of propagating NaN.
+  bool divergence_guard = true;
+  /// After this many *consecutive* anomalous iterations, halve the actor
+  /// and critic learning rates (with a warning) instead of crashing.
+  int anomaly_backoff_after = 3;
+  float lr_backoff_factor = 0.5f;
+
+  // --- Periodic auto-checkpointing (crash recovery) ---
+  /// When non-empty and checkpoint_every > 0, Train() writes a v2
+  /// checkpoint to this directory every `checkpoint_every` iterations
+  /// (and after the final one), updates a `latest` pointer file, and
+  /// retains only the newest `checkpoint_keep` files.
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
+  int checkpoint_keep = 3;
+
   NetConfig net;
   uint64_t seed = 1;
   bool verbose = false;
@@ -72,6 +91,13 @@ struct IterationStats {
   float actor_grad_norm = 0.0f;   ///< ||grad J_CO|| (sample complexity).
   float value_loss = 0.0f;
   long total_env_steps = 0;       ///< Cumulative agent-steps consumed.
+  /// Non-finite losses/grads/params caught by the divergence guard this
+  /// iteration; each one rolled the affected network back and skipped the
+  /// poisoned minibatch.
+  int anomalies = 0;
+  /// True if repeated anomalies triggered a learning-rate halving at the
+  /// end of this iteration.
+  bool lr_backoff = false;
 };
 
 /// The h/i-MADRL trainer (Algorithm 1): a PPO-family base module plus the
@@ -84,8 +110,14 @@ class HiMadrlTrainer : public Policy {
   /// M2 LCF meta-updates. Returns diagnostics.
   IterationStats TrainIteration();
 
-  /// Runs `config.iterations` iterations (or `iterations` if >= 0).
+  /// Runs `config.iterations` iterations (or `iterations` if >= 0),
+  /// auto-checkpointing per `config.checkpoint_*`.
   std::vector<IterationStats> Train(int iterations = -1);
+
+  /// Trains until the *cumulative* iteration counter reaches
+  /// `total_iterations` — after a checkpoint resume this runs only the
+  /// remaining iterations (no-op if already past the target).
+  std::vector<IterationStats> TrainTo(int total_iterations);
 
   // Policy interface (deterministic evaluation uses the Gaussian mode).
   env::UvAction Act(const env::ScEnv& env, int k,
@@ -95,6 +127,8 @@ class HiMadrlTrainer : public Policy {
   const std::vector<Lcf>& lcfs() const { return lcfs_; }
   const TrainConfig& config() const { return config_; }
   long total_env_steps() const { return total_env_steps_; }
+  /// Cumulative iterations trained (restored by LoadCheckpoint).
+  int iteration() const { return iteration_; }
 
   /// Total scalar parameters across all live networks.
   int TotalParameterCount() const;
@@ -106,14 +140,31 @@ class HiMadrlTrainer : public Policy {
   /// Current effective intrinsic-reward weight (after annealing).
   float CurrentOmegaIn() const;
 
-  /// Writes all live network parameters and the per-agent LCFs to `path`
-  /// (binary, see nn/serialize.h). Returns false on I/O failure.
-  bool SaveCheckpoint(const std::string& path) const;
+  /// Writes a v2 ("AGSCNN02") checkpoint to `path`: all network
+  /// parameters, per-agent LCFs, Adam moments + step counts + learning
+  /// rates, trainer and environment RNG state, and the iteration/env-step
+  /// counters — everything needed for LoadCheckpoint + Train to be
+  /// bit-exact with an uninterrupted run. The file carries a CRC-32 and an
+  /// architecture fingerprint, and is written atomically (tmp + fsync +
+  /// rename). Returns false on I/O failure.
+  bool SaveCheckpoint(const std::string& path);
 
   /// Restores a checkpoint written by SaveCheckpoint into this trainer.
-  /// The trainer must have been constructed with the same architecture
-  /// (env dims + TrainConfig network settings). Returns false on failure.
+  /// v2 files are checksum-verified and rejected loudly on an architecture
+  /// fingerprint mismatch; legacy v1 ("AGSCNN01") parameter files are
+  /// still accepted (params + LCFs only, no optimizer/RNG state). The
+  /// trainer must have been constructed with the same architecture.
+  /// Returns false on failure, leaving the trainer unchanged.
   bool LoadCheckpoint(const std::string& path);
+
+  /// Restores the newest checkpoint in `dir` that passes validation,
+  /// falling back to older retained files when the newest one is
+  /// truncated or corrupted. Returns false if no checkpoint loads.
+  bool LoadLatestCheckpoint(const std::string& dir);
+
+  /// Hash of the env dims and architecture-relevant TrainConfig fields;
+  /// stored in checkpoints and compared on load.
+  uint64_t ArchitectureFingerprint() const;
 
  private:
   struct AgentNets {
@@ -146,6 +197,19 @@ class HiMadrlTrainer : public Policy {
   std::pair<float, float> PolicyUpdate();
   void LcfUpdate();
 
+  /// All persistent network parameters in a stable order (actors, critics,
+  /// V_all, i-EOI classifier).
+  std::vector<nn::Variable> GatherNetParameters() const;
+  /// All live Adam optimizers in a stable order matching the checkpoint.
+  std::vector<nn::Adam*> GatherOptimizers();
+  bool LoadCheckpointV1(const std::string& path);
+  bool LoadCheckpointV2(const std::string& path);
+  /// Writes ckpt_<iter>.agsc + the `latest` pointer and prunes old files.
+  void WriteAutoCheckpoint();
+  /// Halves actor/critic learning rates after repeated anomalous
+  /// iterations; returns true if a backoff happened.
+  bool MaybeBackoffLearningRates();
+
   env::ScEnv& env_;
   TrainConfig config_;
   util::Rng rng_;
@@ -160,6 +224,8 @@ class HiMadrlTrainer : public Policy {
   long total_env_steps_ = 0;
   int actor_input_dim_ = 0;
   int critic_input_dim_ = 0;
+  int iter_anomalies_ = 0;        ///< Guard events in the current iteration.
+  int anomaly_streak_ = 0;        ///< Consecutive anomalous iterations.
 };
 
 }  // namespace agsc::core

@@ -2,6 +2,7 @@
 #define AGSC_ENV_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 namespace agsc::env {
 
@@ -86,6 +87,34 @@ struct EnvConfig {
   double neighbor_range_fraction = 0.25;
 
   int num_agents() const { return num_uavs + num_ugvs; }
+
+  /// Checks the structural invariants every consumer of this config relies
+  /// on (positive task sizes, at least one UV, a positive hover altitude,
+  /// positive slot durations/bandwidth). Returns an empty string when the
+  /// config is valid, otherwise a descriptive error message; ScEnv and the
+  /// trainer CLI surface that message instead of hitting downstream UB.
+  std::string Validate() const {
+    if (num_timeslots < 1) return "num_timeslots must be >= 1";
+    if (num_pois < 1) return "num_pois must be >= 1";
+    if (num_uavs < 0) return "num_uavs must be >= 0";
+    if (num_ugvs < 0) return "num_ugvs must be >= 0";
+    if (num_agents() < 1) return "need at least one UV (num_uavs + num_ugvs >= 1)";
+    if (num_subchannels < 1) return "num_subchannels must be >= 1";
+    if (uav_height <= 0.0) return "uav_height must be > 0";
+    if (tau_move <= 0.0 || tau_coll <= 0.0) {
+      return "slot durations tau_move/tau_coll must be > 0";
+    }
+    if (initial_data_gbit < 0.0) return "initial_data_gbit must be >= 0";
+    if (uav_vmax <= 0.0 || ugv_vmax <= 0.0) {
+      return "uav_vmax/ugv_vmax must be > 0";
+    }
+    if (uav_energy_kj <= 0.0 || ugv_energy_kj <= 0.0) {
+      return "uav_energy_kj/ugv_energy_kj must be > 0";
+    }
+    if (bandwidth_hz <= 0.0) return "bandwidth_hz must be > 0";
+    if (noise_psd <= 0.0) return "noise_psd must be > 0";
+    return {};
+  }
 
   double uav_energy_j() const { return uav_energy_kj * 1000.0; }
   double ugv_energy_j() const { return ugv_energy_kj * 1000.0; }

@@ -15,12 +15,12 @@ ScEnv::ScEnv(const EnvConfig& config, map::Dataset dataset, uint64_t seed)
       dataset_(std::move(dataset)),
       channel_(config),
       rng_(seed) {
+  const std::string error = config_.Validate();
+  if (!error.empty()) {
+    throw std::invalid_argument("ScEnv: invalid EnvConfig: " + error);
+  }
   if (static_cast<int>(dataset_.pois.size()) < config_.num_pois) {
     throw std::invalid_argument("ScEnv: dataset has fewer PoIs than config");
-  }
-  if (config_.num_uavs < 0 || config_.num_ugvs < 0 ||
-      config_.num_agents() == 0) {
-    throw std::invalid_argument("ScEnv: need at least one UV");
   }
 }
 

@@ -101,6 +101,11 @@ class ScEnv {
   const EnvConfig& config() const { return config_; }
   const ChannelModel& channel() const { return channel_; }
 
+  /// The environment's private RNG stream. Exposed mutably so checkpoints
+  /// can capture/restore it for bit-exact training resume.
+  util::Rng& rng() { return rng_; }
+  const util::Rng& rng() const { return rng_; }
+
   /// Heterogeneous relaying neighbors of agent `k` from the *last* slot's
   /// events: the UGV(s) decoding a UAV's data or vice versa (Section V-B).
   std::vector<int> HeterogeneousNeighbors(int k) const;

@@ -66,6 +66,34 @@ void Adam::Step() {
   }
 }
 
+Adam::State Adam::ExportState() {
+  EnsureState();
+  State state;
+  state.step_count = step_count_;
+  state.lr = lr_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+bool Adam::ImportState(const State& state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size()) {
+    return false;
+  }
+  for (size_t k = 0; k < params_.size(); ++k) {
+    const Tensor& p = params_[k].value();
+    if (state.m[k].rows() != p.rows() || state.m[k].cols() != p.cols() ||
+        state.v[k].rows() != p.rows() || state.v[k].cols() != p.cols()) {
+      return false;
+    }
+  }
+  step_count_ = state.step_count;
+  lr_ = state.lr;
+  m_ = state.m;
+  v_ = state.v;
+  return true;
+}
+
 float ClipGradNorm(std::vector<Variable>& params, float max_norm) {
   double total = 0.0;
   for (Variable& p : params) {

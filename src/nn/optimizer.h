@@ -45,12 +45,30 @@ class Sgd : public Optimizer {
 /// Adam (Kingma & Ba 2015) with bias correction.
 class Adam : public Optimizer {
  public:
+  /// Complete serializable optimizer state (checkpoint/resume support).
+  struct State {
+    long step_count = 0;
+    float lr = 0.0f;
+    std::vector<Tensor> m;  ///< First-moment estimates, one per parameter.
+    std::vector<Tensor> v;  ///< Second-moment estimates, one per parameter.
+  };
+
   Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f);
   void Step() override;
 
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
+  long step_count() const { return step_count_; }
+
+  /// Captures step count, learning rate, and both moment vectors (moments
+  /// are materialized at their parameter shapes even before the first
+  /// Step()).
+  State ExportState();
+
+  /// Restores a state captured by ExportState. Returns false (leaving the
+  /// optimizer untouched) if the moment shapes do not match the parameters.
+  bool ImportState(const State& state);
 
  private:
   void EnsureState();

@@ -1,0 +1,88 @@
+#include "util/fault_inject.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "util/env_flags.h"
+
+namespace agsc::util {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::set_config(const Config& config) {
+  config_ = config;
+  write_count_ = 0;
+  loss_count_ = 0;
+}
+
+void FaultInjector::ReloadFromEnv() {
+  Config config;
+  config.fail_write = GetEnvOr("AGSC_FAULT_FAIL_WRITE", 0);
+  config.mutate_write = GetEnvOr("AGSC_FAULT_MUTATE_WRITE", 0);
+  config.truncate_at =
+      static_cast<long>(GetEnvOr("AGSC_FAULT_TRUNCATE_AT", -1));
+  config.flip_byte = static_cast<long>(GetEnvOr("AGSC_FAULT_FLIP_BYTE", -1));
+  config.nan_loss = GetEnvOr("AGSC_FAULT_NAN_LOSS", 0);
+  set_config(config);
+}
+
+void FaultInjector::Reset() { set_config(Config{}); }
+
+bool FaultInjector::OnWrite(std::string& bytes) {
+  ++write_count_;
+  if (config_.fail_write > 0 && write_count_ == config_.fail_write) {
+    return false;
+  }
+  if (config_.mutate_write > 0 && write_count_ == config_.mutate_write) {
+    if (config_.truncate_at >= 0 &&
+        static_cast<size_t>(config_.truncate_at) < bytes.size()) {
+      bytes.resize(static_cast<size_t>(config_.truncate_at));
+    }
+    if (config_.flip_byte >= 0 &&
+        static_cast<size_t>(config_.flip_byte) < bytes.size()) {
+      bytes[static_cast<size_t>(config_.flip_byte)] ^=
+          static_cast<char>(0xFF);
+    }
+  }
+  return true;
+}
+
+bool FaultInjector::PoisonLossNow() {
+  if (config_.nan_loss <= 0) return false;
+  return ++loss_count_ == config_.nan_loss;
+}
+
+bool AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  std::string payload = bytes;
+  if (!FaultInjector::Instance().OnWrite(payload)) return false;
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  size_t written = 0;
+  bool ok = true;
+  while (written < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + written,
+                              payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) std::remove(tmp.c_str());
+  return ok;
+}
+
+}  // namespace agsc::util

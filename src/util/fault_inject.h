@@ -1,0 +1,74 @@
+#ifndef AGSC_UTIL_FAULT_INJECT_H_
+#define AGSC_UTIL_FAULT_INJECT_H_
+
+#include <string>
+
+namespace agsc::util {
+
+/// Deterministic fault injection for exercising crash-recovery paths in
+/// tests. All faults are disabled by default; they are armed either
+/// programmatically via set_config() or from environment flags via
+/// ReloadFromEnv():
+///
+///   AGSC_FAULT_FAIL_WRITE=N    AtomicWriteFile call #N (1-based) fails
+///                              without touching the destination.
+///   AGSC_FAULT_MUTATE_WRITE=N  AtomicWriteFile call #N writes a corrupted
+///                              payload, shaped by the two flags below.
+///   AGSC_FAULT_TRUNCATE_AT=B   the mutated payload is truncated to B bytes.
+///   AGSC_FAULT_FLIP_BYTE=B     byte B of the mutated payload is XORed with
+///                              0xFF (after any truncation).
+///   AGSC_FAULT_NAN_LOSS=N      guarded training loss #N evaluates as NaN
+///                              (exercises the divergence guard).
+///
+/// The injector is a process-wide singleton; counters advance across all
+/// call sites so "the Nth write" is well defined for a whole run.
+class FaultInjector {
+ public:
+  struct Config {
+    int fail_write = 0;     ///< 1-based write call to fail; 0 = off.
+    int mutate_write = 0;   ///< 1-based write call to corrupt; 0 = off.
+    long truncate_at = -1;  ///< Truncation length for the mutated write.
+    long flip_byte = -1;    ///< Byte offset to flip in the mutated write.
+    int nan_loss = 0;       ///< 1-based guarded loss to poison; 0 = off.
+  };
+
+  static FaultInjector& Instance();
+
+  /// Installs `config` and resets all counters.
+  void set_config(const Config& config);
+  const Config& config() const { return config_; }
+
+  /// Re-reads the AGSC_FAULT_* environment flags and resets all counters.
+  void ReloadFromEnv();
+
+  /// Disables all faults and resets all counters.
+  void Reset();
+
+  /// Called once per AtomicWriteFile with the payload about to be written.
+  /// Advances the write counter; returns false if this write must fail,
+  /// and corrupts `bytes` in place if this write is the mutation target.
+  bool OnWrite(std::string& bytes);
+
+  /// Called once per guarded loss evaluation; returns true if this loss
+  /// must be treated as NaN.
+  bool PoisonLossNow();
+
+  int write_count() const { return write_count_; }
+
+ private:
+  FaultInjector() { ReloadFromEnv(); }
+
+  Config config_;
+  int write_count_ = 0;
+  int loss_count_ = 0;
+};
+
+/// Writes `bytes` to `path` crash-safely: the payload goes to `path.tmp`,
+/// is fsync'd, and is then renamed over `path`, so readers observe either
+/// the old file or the complete new one, never a torn write. Returns false
+/// on any I/O failure (or an injected fault), leaving the old file intact.
+bool AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_FAULT_INJECT_H_

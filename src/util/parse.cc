@@ -1,0 +1,60 @@
+#include "util/parse.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace agsc::util {
+
+namespace {
+
+template <typename T>
+bool ParseWithFromChars(const std::string& text, T* out) {
+  if (text.empty()) return false;
+  T value{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseInt(const std::string& text, int* out) {
+  return ParseWithFromChars(text, out);
+}
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  return ParseWithFromChars(text, out);
+}
+
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  // from_chars<unsigned> accepts "-1" by wrapping; reject explicitly.
+  if (!text.empty() && text[0] == '-') return false;
+  return ParseWithFromChars(text, out);
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  return ParseWithFromChars(text, out);
+}
+
+bool ParseIntInRange(const std::string& text, int lo, int hi, int* out) {
+  int value = 0;
+  if (!ParseInt(text, &value) || value < lo || value > hi) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleInRange(const std::string& text, double lo, double hi,
+                        double* out) {
+  double value = 0.0;
+  if (!ParseDouble(text, &value) || std::isnan(value) || value < lo ||
+      value > hi) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace agsc::util

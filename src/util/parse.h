@@ -1,0 +1,28 @@
+#ifndef AGSC_UTIL_PARSE_H_
+#define AGSC_UTIL_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace agsc::util {
+
+/// Strict numeric parsing for CLI flags and config files. Unlike
+/// std::atoi/atof these reject trailing garbage ("12abc"), empty strings,
+/// and out-of-range values instead of silently returning 0. On success the
+/// parsed value is stored in `*out` and true is returned; on failure `*out`
+/// is untouched.
+bool ParseInt(const std::string& text, int* out);
+bool ParseInt64(const std::string& text, int64_t* out);
+bool ParseUint64(const std::string& text, uint64_t* out);
+bool ParseDouble(const std::string& text, double* out);
+
+/// ParseInt plus an inclusive range check.
+bool ParseIntInRange(const std::string& text, int lo, int hi, int* out);
+
+/// ParseDouble plus an inclusive range check (NaN always fails).
+bool ParseDoubleInRange(const std::string& text, double lo, double hi,
+                        double* out);
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_PARSE_H_

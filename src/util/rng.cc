@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace agsc::util {
@@ -98,5 +99,22 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+std::array<uint64_t, Rng::kStateWords> Rng::SaveState() const {
+  std::array<uint64_t, kStateWords> out{};
+  for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  out[4] = have_cached_gaussian_ ? 1 : 0;
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(cached_gaussian_));
+  std::memcpy(&bits, &cached_gaussian_, sizeof(bits));
+  out[5] = bits;
+  return out;
+}
+
+void Rng::LoadState(const std::array<uint64_t, kStateWords>& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  have_cached_gaussian_ = state[4] != 0;
+  std::memcpy(&cached_gaussian_, &state[5], sizeof(cached_gaussian_));
+}
 
 }  // namespace agsc::util

@@ -1,6 +1,7 @@
 #ifndef AGSC_UTIL_RNG_H_
 #define AGSC_UTIL_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -63,6 +64,17 @@ class Rng {
   /// Forks an independent generator; the child stream is a deterministic
   /// function of this generator's current state.
   Rng Fork();
+
+  /// Number of 64-bit words in the serialized generator state: the four
+  /// xoshiro256++ words plus the Box-Muller cache (flag, value bits).
+  static constexpr size_t kStateWords = 6;
+
+  /// Captures the complete generator state; restoring it with LoadState
+  /// reproduces the exact same output stream (checkpoint/resume support).
+  std::array<uint64_t, kStateWords> SaveState() const;
+
+  /// Restores a state captured by SaveState.
+  void LoadState(const std::array<uint64_t, kStateWords>& state);
 
  private:
   uint64_t state_[4];

@@ -6,17 +6,22 @@
 //              [--height M] [--threshold DB] [--medium noma|tdma|ofdma]
 //              [--no-eoi] [--no-copo] [--plain-copo] [--mappo]
 //              [--seed S] [--eval N] [--save FILE] [--load FILE]
+//              [--checkpoint-dir DIR] [--checkpoint-every N]
+//              [--checkpoint-keep K] [--resume]
 //              [--render] [--quiet]
 //
 // Trains h/i-MADRL (or the selected variant), evaluates it, prints the five
-// paper metrics and optionally saves/loads a checkpoint.
+// paper metrics and optionally saves/loads a checkpoint. With
+// --checkpoint-dir/--checkpoint-every the trainer writes crash-safe v2
+// checkpoints periodically; --resume restores the newest valid one (falling
+// back past corrupted files) and trains only the remaining iterations.
 
-#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/hi_madrl.h"
 #include "env/render.h"
+#include "util/parse.h"
 #include "util/table.h"
 
 namespace {
@@ -40,11 +45,18 @@ struct Args {
   int eval_episodes = 10;
   std::string save_path;
   std::string load_path;
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
+  int checkpoint_keep = 3;
+  bool resume = false;
   bool render = false;
   bool quiet = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args& args) {
+  // Strict numeric parsing: reject garbage ("--iterations abc") and
+  // out-of-range values ("--uavs -3") instead of silently training a
+  // nonsense configuration.
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&](const char* name) -> const char* {
@@ -54,54 +66,80 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
       return argv[++i];
     };
+    auto next_int = [&](const char* name, int lo, int hi, int* out) {
+      const char* v = next(name);
+      if (!v) return false;
+      if (!agsc::util::ParseIntInRange(v, lo, hi, out)) {
+        std::cerr << "invalid value for " << name << ": '" << v
+                  << "' (expected integer in [" << lo << ", " << hi
+                  << "])\n";
+        return false;
+      }
+      return true;
+    };
+    auto next_double = [&](const char* name, double lo, double hi,
+                           double* out) {
+      const char* v = next(name);
+      if (!v) return false;
+      if (!agsc::util::ParseDoubleInRange(v, lo, hi, out)) {
+        std::cerr << "invalid value for " << name << ": '" << v
+                  << "' (expected number in [" << lo << ", " << hi << "])\n";
+        return false;
+      }
+      return true;
+    };
+    constexpr int kMaxInt = 1000000000;
     if (flag == "--campus") {
       const char* v = next("--campus");
       if (!v) return false;
       args.campus = v;
+      if (args.campus != "purdue" && args.campus != "ncsu") {
+        std::cerr << "invalid value for --campus: '" << args.campus
+                  << "' (expected purdue|ncsu)\n";
+        return false;
+      }
     } else if (flag == "--iterations") {
-      const char* v = next("--iterations");
-      if (!v) return false;
-      args.iterations = std::atoi(v);
+      if (!next_int("--iterations", 0, kMaxInt, &args.iterations)) {
+        return false;
+      }
     } else if (flag == "--timeslots") {
-      const char* v = next("--timeslots");
-      if (!v) return false;
-      args.timeslots = std::atoi(v);
+      if (!next_int("--timeslots", 1, kMaxInt, &args.timeslots)) return false;
     } else if (flag == "--pois") {
-      const char* v = next("--pois");
-      if (!v) return false;
-      args.pois = std::atoi(v);
+      if (!next_int("--pois", 1, kMaxInt, &args.pois)) return false;
     } else if (flag == "--uavs") {
-      const char* v = next("--uavs");
-      if (!v) return false;
-      args.uavs = std::atoi(v);
+      if (!next_int("--uavs", 0, kMaxInt, &args.uavs)) return false;
     } else if (flag == "--ugvs") {
-      const char* v = next("--ugvs");
-      if (!v) return false;
-      args.ugvs = std::atoi(v);
+      if (!next_int("--ugvs", 0, kMaxInt, &args.ugvs)) return false;
     } else if (flag == "--subchannels") {
-      const char* v = next("--subchannels");
-      if (!v) return false;
-      args.subchannels = std::atoi(v);
+      if (!next_int("--subchannels", 1, kMaxInt, &args.subchannels)) {
+        return false;
+      }
     } else if (flag == "--height") {
-      const char* v = next("--height");
-      if (!v) return false;
-      args.height = std::atof(v);
+      if (!next_double("--height", 1e-6, 1e6, &args.height)) return false;
     } else if (flag == "--threshold") {
-      const char* v = next("--threshold");
-      if (!v) return false;
-      args.threshold_db = std::atof(v);
+      if (!next_double("--threshold", -1e6, 1e6, &args.threshold_db)) {
+        return false;
+      }
     } else if (flag == "--medium") {
       const char* v = next("--medium");
       if (!v) return false;
       args.medium = v;
+      if (args.medium != "noma" && args.medium != "tdma" &&
+          args.medium != "ofdma") {
+        std::cerr << "invalid value for --medium: '" << args.medium
+                  << "' (expected noma|tdma|ofdma)\n";
+        return false;
+      }
     } else if (flag == "--seed") {
       const char* v = next("--seed");
       if (!v) return false;
-      args.seed = std::strtoull(v, nullptr, 10);
+      if (!agsc::util::ParseUint64(v, &args.seed)) {
+        std::cerr << "invalid value for --seed: '" << v
+                  << "' (expected unsigned integer)\n";
+        return false;
+      }
     } else if (flag == "--eval") {
-      const char* v = next("--eval");
-      if (!v) return false;
-      args.eval_episodes = std::atoi(v);
+      if (!next_int("--eval", 0, kMaxInt, &args.eval_episodes)) return false;
     } else if (flag == "--save") {
       const char* v = next("--save");
       if (!v) return false;
@@ -110,6 +148,21 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next("--load");
       if (!v) return false;
       args.load_path = v;
+    } else if (flag == "--checkpoint-dir") {
+      const char* v = next("--checkpoint-dir");
+      if (!v) return false;
+      args.checkpoint_dir = v;
+    } else if (flag == "--checkpoint-every") {
+      if (!next_int("--checkpoint-every", 1, kMaxInt,
+                    &args.checkpoint_every)) {
+        return false;
+      }
+    } else if (flag == "--checkpoint-keep") {
+      if (!next_int("--checkpoint-keep", 1, kMaxInt, &args.checkpoint_keep)) {
+        return false;
+      }
+    } else if (flag == "--resume") {
+      args.resume = true;
     } else if (flag == "--no-eoi") {
       args.use_eoi = false;
     } else if (flag == "--no-copo") {
@@ -129,6 +182,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       return false;
     }
   }
+  if (args.resume && args.checkpoint_dir.empty()) {
+    std::cerr << "--resume requires --checkpoint-dir\n";
+    return false;
+  }
   return true;
 }
 
@@ -144,7 +201,9 @@ int main(int argc, char** argv) {
            "  [--subchannels Z] [--height M] [--threshold DB]\n"
            "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
            "  [--plain-copo] [--mappo] [--seed S] [--eval N]\n"
-           "  [--save FILE] [--load FILE] [--render] [--quiet]\n";
+           "  [--save FILE] [--load FILE]\n"
+           "  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+           "  [--checkpoint-keep K] [--resume] [--render] [--quiet]\n";
     return 1;
   }
 
@@ -166,6 +225,11 @@ int main(int argc, char** argv) {
   } else if (args.medium == "ofdma") {
     env_config.medium_access = env::MediumAccess::kOfdma;
   }
+  const std::string config_error = env_config.Validate();
+  if (!config_error.empty()) {
+    std::cerr << "invalid configuration: " << config_error << "\n";
+    return 1;
+  }
   env::ScEnv env(env_config, dataset, args.seed);
 
   core::TrainConfig train;
@@ -176,8 +240,20 @@ int main(int argc, char** argv) {
   if (args.mappo) train.base = core::BaseAlgo::kMappo;
   train.seed = args.seed;
   train.verbose = !args.quiet;
+  train.checkpoint_dir = args.checkpoint_dir;
+  train.checkpoint_every = args.checkpoint_every;
+  train.checkpoint_keep = args.checkpoint_keep;
   core::HiMadrlTrainer trainer(env, train);
 
+  if (args.resume) {
+    if (trainer.LoadLatestCheckpoint(args.checkpoint_dir)) {
+      std::cout << "resumed from " << args.checkpoint_dir << " at iteration "
+                << trainer.iteration() << "\n";
+    } else {
+      std::cout << "no valid checkpoint in " << args.checkpoint_dir
+                << "; starting fresh\n";
+    }
+  }
   if (!args.load_path.empty()) {
     if (!trainer.LoadCheckpoint(args.load_path)) {
       std::cerr << "failed to load checkpoint " << args.load_path << "\n";
@@ -189,7 +265,7 @@ int main(int argc, char** argv) {
     std::cout << "training " << args.iterations << " iterations on "
               << dataset.campus.name << " ("
               << trainer.TotalParameterCount() << " parameters)...\n";
-    trainer.Train();
+    trainer.TrainTo(args.iterations);
   }
   if (!args.save_path.empty()) {
     if (!trainer.SaveCheckpoint(args.save_path)) {

@@ -97,6 +97,10 @@ HiMadrlTrainer::HiMadrlTrainer(env::ScEnv& env, const TrainConfig& config)
                                            config_.eoi, rng_);
   }
   lcfs_.assign(num_agents, Lcf{});  // phi = 0, chi = 45 (Line 3).
+  if (config_.num_workers >= 1) {
+    sampler_ = std::make_unique<VecSampler>(env_, rng_, config_.num_workers,
+                                            config_.seed);
+  }
 }
 
 std::vector<float> HiMadrlTrainer::ActorInput(
@@ -123,10 +127,51 @@ std::vector<float> HiMadrlTrainer::CriticInput(
   return input;
 }
 
+void HiMadrlTrainer::BatchAct(
+    int k, const std::vector<const std::vector<float>*>& obs_rows,
+    const std::vector<util::Rng*>& rngs,
+    std::vector<std::array<float, 2>>& actions_out,
+    std::vector<float>& logps_out) {
+  const int n = static_cast<int>(obs_rows.size());
+  nn::Tensor batch(n, actor_input_dim_);
+  for (int r = 0; r < n; ++r) {
+    const std::vector<float> input = ActorInput(k, *obs_rows[r]);
+    for (int c = 0; c < actor_input_dim_; ++c) {
+      batch(r, c) = input[static_cast<size_t>(c)];
+    }
+  }
+  // One forward + one log-prob graph for every worker's row; each row of
+  // the MLP/log-prob math depends only on that row, so row r is bit-equal
+  // to a single-row Act() on worker r's observation.
+  nn::DiagGaussian dist = Nets(k).actor->Dist(batch);
+  const nn::Tensor sampled = dist.SamplePerRow(rngs);
+  const nn::Tensor logp = dist.LogProb(sampled).value();
+  for (int r = 0; r < n; ++r) {
+    actions_out[static_cast<size_t>(r)] = {sampled(r, 0), sampled(r, 1)};
+    logps_out[static_cast<size_t>(r)] = logp(r, 0);
+  }
+}
+
 void HiMadrlTrainer::CollectRollouts() {
   buffer_.Clear();
   rollout_metrics_.clear();
   const int num_agents = env_.num_agents();
+  if (sampler_) {
+    sampler_->Collect(
+        config_.episodes_per_iteration,
+        [this](int k, const std::vector<const std::vector<float>*>& obs_rows,
+               const std::vector<util::Rng*>& rngs,
+               std::vector<std::array<float, 2>>& actions_out,
+               std::vector<float>& logps_out) {
+          BatchAct(k, obs_rows, rngs, actions_out, logps_out);
+        },
+        buffer_, rollout_metrics_);
+    total_env_steps_ += static_cast<long>(config_.episodes_per_iteration) *
+                        env_.config().num_timeslots * num_agents;
+    return;
+  }
+  // Legacy sequential sampler (num_workers == 0): the reference
+  // implementation the vectorized path is tested against.
   for (int e = 0; e < config_.episodes_per_iteration; ++e) {
     env::StepResult step = env_.Reset();
     std::vector<std::vector<float>> obs = step.observations;
@@ -839,6 +884,10 @@ constexpr char kSecLcf[] = "lcf";
 constexpr char kSecAdam[] = "adam";
 constexpr char kSecRng[] = "rng";
 constexpr char kSecCounters[] = "counters";
+// Extra RNG streams of rollout workers 1..W-1 when num_workers > 1:
+// first word = num_workers, then per worker {sampling, env} states
+// (kStateWords words each). Absent <=> the run had at most one worker.
+constexpr char kSecVecRng[] = "vrng";
 // counters section layout: iteration, total_env_steps, anomaly_streak,
 // actor_lr bits, critic_lr bits.
 constexpr size_t kCounterWords = 5;
@@ -876,6 +925,14 @@ bool HiMadrlTrainer::SaveCheckpoint(const std::string& path) {
                     static_cast<uint64_t>(anomaly_streak_),
                     DoubleBits(static_cast<double>(config_.actor_lr)),
                     DoubleBits(static_cast<double>(config_.critic_lr))};
+
+  if (sampler_ && sampler_->num_workers() > 1) {
+    nn::CheckpointSection& vrng = ckpt.AddSection(kSecVecRng);
+    vrng.words.push_back(static_cast<uint64_t>(sampler_->num_workers()));
+    for (util::Rng* stream : sampler_->SplitRngs()) {
+      for (uint64_t w : stream->SaveState()) vrng.words.push_back(w);
+    }
+  }
 
   return nn::SaveCheckpointFile(path, ckpt);
 }
@@ -1002,6 +1059,28 @@ bool HiMadrlTrainer::LoadCheckpointV2(const std::string& path) {
     AGSC_LOG(kError) << "checkpoint " << path << ": bad RNG/counter state";
     return false;
   }
+  // Worker RNG streams: a checkpoint is only bit-exact to resume with the
+  // same num_workers, so a mismatch is rejected loudly. Files without a
+  // vrng section come from single-worker (or legacy-sampler) runs.
+  const nn::CheckpointSection* vrng_sec = ckpt.Find(kSecVecRng);
+  const uint64_t my_workers =
+      sampler_ ? static_cast<uint64_t>(sampler_->num_workers()) : 1;
+  const uint64_t file_workers =
+      vrng_sec && !vrng_sec->words.empty() ? vrng_sec->words[0] : 1;
+  if (file_workers != my_workers) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": saved with num_workers="
+                     << file_workers << " but this trainer has num_workers="
+                     << my_workers
+                     << "; resume is only bit-exact with a matching worker "
+                     << "count";
+    return false;
+  }
+  if (vrng_sec &&
+      vrng_sec->words.size() !=
+          1 + 2 * util::Rng::kStateWords * (file_workers - 1)) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": bad worker RNG state";
+    return false;
+  }
 
   // Commit: everything validated, now restore all state atomically.
   nn::RestoreParameters(params_sec->tensors, net_params);
@@ -1019,6 +1098,14 @@ bool HiMadrlTrainer::LoadCheckpointV2(const std::string& path) {
   std::copy_n(rng_sec->words.begin() + util::Rng::kStateWords,
               util::Rng::kStateWords, rng_state.begin());
   env_.rng().LoadState(rng_state);
+  if (vrng_sec && sampler_) {
+    const std::vector<util::Rng*> streams = sampler_->SplitRngs();
+    for (size_t i = 0; i < streams.size(); ++i) {
+      std::copy_n(vrng_sec->words.begin() + 1 + i * util::Rng::kStateWords,
+                  util::Rng::kStateWords, rng_state.begin());
+      streams[i]->LoadState(rng_state);
+    }
+  }
   iteration_ = static_cast<int>(counters_sec->words[0]);
   total_env_steps_ = static_cast<long>(counters_sec->words[1]);
   anomaly_streak_ = static_cast<int>(counters_sec->words[2]);

@@ -9,6 +9,7 @@
 #include "core/evaluator.h"
 #include "core/policy.h"
 #include "core/rollout.h"
+#include "core/vec_sampler.h"
 #include "env/sc_env.h"
 #include "nn/optimizer.h"
 
@@ -76,6 +77,17 @@ struct TrainConfig {
   int checkpoint_every = 0;
   int checkpoint_keep = 3;
 
+  // --- Parallel rollout collection ---
+  /// Rollout workers for on-policy sampling. 1 (the default) runs the
+  /// vectorized sampler with a single worker, which is bit-identical to the
+  /// legacy sequential sampler and spawns no threads. W > 1 runs W
+  /// independent environment replicas in lock-step on a thread pool with
+  /// per-worker `Rng::Split` streams; results are bit-identical for a given
+  /// (seed, num_workers) pair and independent of thread scheduling. 0
+  /// selects the legacy sequential sampler directly (reference
+  /// implementation, kept for the equivalence tests).
+  int num_workers = 1;
+
   NetConfig net;
   uint64_t seed = 1;
   bool verbose = false;
@@ -140,6 +152,16 @@ class HiMadrlTrainer : public Policy {
   /// Current effective intrinsic-reward weight (after annealing).
   float CurrentOmegaIn() const;
 
+  /// Runs one round of on-policy sampling (Algorithm 1, Lines 5-11) into
+  /// the shared buffer: `config.episodes_per_iteration` episodes through
+  /// the vectorized sampler (`num_workers >= 1`) or the legacy sequential
+  /// loop (`num_workers == 0`). Public so the sampling-throughput bench and
+  /// the determinism tests can drive collection without a policy update.
+  void CollectRollouts();
+
+  /// The shared on-policy buffer filled by CollectRollouts.
+  const MultiAgentBuffer& buffer() const { return buffer_; }
+
   /// Writes a v2 ("AGSCNN02") checkpoint to `path`: all network
   /// parameters, per-agent LCFs, Adam moments + step counts + learning
   /// rates, trainer and environment RNG state, and the iteration/env-step
@@ -190,7 +212,13 @@ class HiMadrlTrainer : public Policy {
   std::vector<float> CriticInput(int k, const std::vector<float>& obs,
                                  const std::vector<float>& state) const;
 
-  void CollectRollouts();
+  /// Batched action selection across rollout workers for agent `k` (the
+  /// VecSampler's BatchActFn): one actor forward over all rows, then
+  /// per-row sampling from each worker's private stream.
+  void BatchAct(int k, const std::vector<const std::vector<float>*>& obs_rows,
+                const std::vector<util::Rng*>& rngs,
+                std::vector<std::array<float, 2>>& actions_out,
+                std::vector<float>& logps_out);
   float UpdateEoiAndRewards();
   void SnapshotOldPolicies();
   /// Returns {mean actor grad norm, mean value loss}.
@@ -213,6 +241,7 @@ class HiMadrlTrainer : public Policy {
   env::ScEnv& env_;
   TrainConfig config_;
   util::Rng rng_;
+  std::unique_ptr<VecSampler> sampler_;  ///< Null when num_workers == 0.
   std::vector<AgentNets> nets_;
   std::unique_ptr<ValueNet> value_all_;       ///< V_all on the state.
   std::unique_ptr<nn::Adam> value_all_opt_;

@@ -22,6 +22,42 @@ void AgentRollout::Clear() {
   done.clear();
 }
 
+namespace {
+
+template <typename T>
+void AppendVec(std::vector<T>& dst, const std::vector<T>& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace
+
+void AgentRollout::Append(const AgentRollout& other) {
+  AppendVec(obs, other.obs);
+  AppendVec(next_obs, other.next_obs);
+  AppendVec(action_dir, other.action_dir);
+  AppendVec(action_speed, other.action_speed);
+  AppendVec(logp_old, other.logp_old);
+  AppendVec(reward_ext, other.reward_ext);
+  AppendVec(reward_int, other.reward_int);
+  AppendVec(reward, other.reward);
+  AppendVec(reward_he, other.reward_he);
+  AppendVec(reward_ho, other.reward_ho);
+  AppendVec(he_neighbors, other.he_neighbors);
+  AppendVec(ho_neighbors, other.ho_neighbors);
+  AppendVec(done, other.done);
+}
+
+void MultiAgentBuffer::Append(const MultiAgentBuffer& other) {
+  if (other.agents.size() != agents.size()) {
+    throw std::invalid_argument("MultiAgentBuffer::Append: agent count");
+  }
+  for (size_t k = 0; k < agents.size(); ++k) agents[k].Append(other.agents[k]);
+  AppendVec(states, other.states);
+  AppendVec(next_states, other.next_states);
+  AppendVec(reward_all, other.reward_all);
+  AppendVec(done, other.done);
+}
+
 nn::Tensor PackBatch(const std::vector<std::vector<float>>& rows,
                      const std::vector<int>& indices) {
   if (indices.empty()) throw std::invalid_argument("PackBatch: empty batch");

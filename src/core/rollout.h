@@ -29,6 +29,11 @@ struct AgentRollout {
   size_t size() const { return obs.size(); }
   void Clear();
 
+  /// Appends every stream of `other` after this rollout's streams (used by
+  /// the vectorized sampler to merge per-worker rollouts in stable worker
+  /// order).
+  void Append(const AgentRollout& other);
+
   /// Packs rows `indices` of `obs` into a batch tensor.
   nn::Tensor ObsBatch(const std::vector<int>& indices) const;
   /// Packs rows `indices` of `next_obs` into a batch tensor.
@@ -50,6 +55,10 @@ struct MultiAgentBuffer {
 
   size_t size() const { return states.size(); }
   void Clear();
+
+  /// Appends `other` (same agent count) after this buffer's streams,
+  /// agent-by-agent and for the global-state streams.
+  void Append(const MultiAgentBuffer& other);
 
   nn::Tensor StateBatch(const std::vector<int>& indices) const;
   nn::Tensor NextStateBatch(const std::vector<int>& indices) const;

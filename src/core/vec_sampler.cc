@@ -1,0 +1,174 @@
+#include "core/vec_sampler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace agsc::core {
+
+namespace {
+// Stream ids for Rng(seed).Split(): worker w > 0 draws its sampling stream
+// from id 2w and its environment stream from id 2w+1. Worker 0 uses the
+// primary streams and owns no split ids.
+uint64_t SampleStreamId(int w) { return 2 * static_cast<uint64_t>(w); }
+uint64_t EnvStreamId(int w) { return 2 * static_cast<uint64_t>(w) + 1; }
+}  // namespace
+
+VecSampler::VecSampler(env::ScEnv& primary_env, util::Rng& primary_rng,
+                       int num_workers, uint64_t seed)
+    : primary_env_(primary_env),
+      primary_rng_(primary_rng),
+      num_workers_(num_workers),
+      // With one worker the pool runs inline on the caller's thread: the
+      // single-worker path adds no threads and no handoff overhead.
+      pool_(num_workers > 1 ? num_workers : 0) {
+  if (num_workers < 1) {
+    throw std::invalid_argument("VecSampler: num_workers must be >= 1");
+  }
+  const util::Rng base(seed);
+  replica_rngs_.reserve(static_cast<size_t>(num_workers - 1));
+  for (int w = 1; w < num_workers; ++w) {
+    replica_envs_.push_back(std::make_unique<env::ScEnv>(primary_env));
+    replica_envs_.back()->rng() = base.Split(EnvStreamId(w));
+    replica_rngs_.push_back(base.Split(SampleStreamId(w)));
+  }
+}
+
+VecSampler::~VecSampler() = default;
+
+util::Rng& VecSampler::sample_rng(int w) {
+  return w == 0 ? primary_rng_ : replica_rngs_[static_cast<size_t>(w - 1)];
+}
+
+env::ScEnv& VecSampler::worker_env(int w) {
+  return w == 0 ? primary_env_ : *replica_envs_[static_cast<size_t>(w - 1)];
+}
+
+std::vector<util::Rng*> VecSampler::SplitRngs() {
+  std::vector<util::Rng*> rngs;
+  rngs.reserve(2 * replica_rngs_.size());
+  for (int w = 1; w < num_workers_; ++w) {
+    rngs.push_back(&replica_rngs_[static_cast<size_t>(w - 1)]);
+    rngs.push_back(&replica_envs_[static_cast<size_t>(w - 1)]->rng());
+  }
+  return rngs;
+}
+
+void VecSampler::Collect(int episodes, const BatchActFn& act,
+                         MultiAgentBuffer& buffer,
+                         std::vector<env::Metrics>& metrics) {
+  if (episodes <= 0) return;
+  const int num_agents = primary_env_.num_agents();
+  const int w_count = num_workers_;
+
+  // Worker-local outputs; merged in worker-index order at the end so the
+  // result never depends on pool scheduling.
+  std::vector<MultiAgentBuffer> wbufs;
+  wbufs.reserve(static_cast<size_t>(w_count));
+  for (int w = 0; w < w_count; ++w) wbufs.emplace_back(num_agents);
+  std::vector<std::vector<env::Metrics>> wmetrics(w_count);
+
+  // Worker-local step state; element w is only touched by worker w's tasks
+  // (or the main thread between ParallelFor barriers).
+  std::vector<std::vector<std::vector<float>>> obs(w_count);
+  std::vector<std::vector<float>> state(w_count);
+  std::vector<std::vector<env::UvAction>> actions(
+      w_count, std::vector<env::UvAction>(num_agents));
+  std::vector<std::vector<std::array<float, 2>>> raw(
+      w_count, std::vector<std::array<float, 2>>(num_agents));
+  std::vector<std::vector<float>> logps(
+      w_count, std::vector<float>(num_agents));
+
+  // Reusable scratch for the batched action calls.
+  std::vector<const std::vector<float>*> rows;
+  std::vector<util::Rng*> rngs;
+  std::vector<std::array<float, 2>> batch_actions;
+  std::vector<float> batch_logps;
+  std::vector<int> run_ids;
+
+  // Episodes are dealt round-robin, so each round's active workers form a
+  // prefix 0..active-1 of the worker indices.
+  const int rounds = (episodes + w_count - 1) / w_count;
+  for (int r = 0; r < rounds; ++r) {
+    const int active = std::min(w_count, episodes - r * w_count);
+    pool_.ParallelFor(active, [&](int w) {
+      env::StepResult first = worker_env(w).Reset();
+      obs[w] = std::move(first.observations);
+      state[w] = std::move(first.state);
+    });
+
+    std::vector<uint8_t> running(static_cast<size_t>(active), 1);
+    int num_running = active;
+    while (num_running > 0) {
+      run_ids.clear();
+      for (int w = 0; w < active; ++w) {
+        if (running[static_cast<size_t>(w)]) run_ids.push_back(w);
+      }
+
+      // Batched action selection on the caller's thread: one forward per
+      // agent covering all running workers, each row sampled from its own
+      // worker stream in ascending worker order.
+      for (int k = 0; k < num_agents; ++k) {
+        rows.clear();
+        rngs.clear();
+        for (int w : run_ids) {
+          rows.push_back(&obs[w][static_cast<size_t>(k)]);
+          rngs.push_back(&sample_rng(w));
+        }
+        batch_actions.assign(run_ids.size(), {});
+        batch_logps.assign(run_ids.size(), 0.0f);
+        act(k, rows, rngs, batch_actions, batch_logps);
+        for (size_t i = 0; i < run_ids.size(); ++i) {
+          const int w = run_ids[i];
+          raw[w][static_cast<size_t>(k)] = batch_actions[i];
+          logps[w][static_cast<size_t>(k)] = batch_logps[i];
+          actions[w][static_cast<size_t>(k)] = {batch_actions[i][0],
+                                                batch_actions[i][1]};
+        }
+      }
+
+      // Parallel environment steps. Every write below is to worker-local
+      // state, so the outcome is independent of which pool thread runs
+      // which worker.
+      pool_.ParallelFor(static_cast<int>(run_ids.size()), [&](int i) {
+        const int w = run_ids[static_cast<size_t>(i)];
+        env::ScEnv& e = worker_env(w);
+        env::StepResult next = e.Step(actions[w]);
+        MultiAgentBuffer& b = wbufs[static_cast<size_t>(w)];
+        for (int k = 0; k < num_agents; ++k) {
+          AgentRollout& ar = b.agents[static_cast<size_t>(k)];
+          ar.obs.push_back(obs[w][static_cast<size_t>(k)]);
+          ar.next_obs.push_back(next.observations[static_cast<size_t>(k)]);
+          ar.action_dir.push_back(raw[w][static_cast<size_t>(k)][0]);
+          ar.action_speed.push_back(raw[w][static_cast<size_t>(k)][1]);
+          ar.logp_old.push_back(logps[w][static_cast<size_t>(k)]);
+          ar.reward_ext.push_back(
+              static_cast<float>(next.rewards[static_cast<size_t>(k)]));
+          ar.he_neighbors.push_back(e.HeterogeneousNeighbors(k));
+          ar.ho_neighbors.push_back(e.HomogeneousNeighbors(k));
+          ar.done.push_back(next.done ? 1 : 0);
+        }
+        b.states.push_back(state[w]);
+        b.next_states.push_back(next.state);
+        b.done.push_back(next.done ? 1 : 0);
+        obs[w] = std::move(next.observations);
+        state[w] = std::move(next.state);
+        if (next.done) {
+          wmetrics[static_cast<size_t>(w)].push_back(e.EpisodeMetrics());
+          running[static_cast<size_t>(w)] = 0;
+        }
+      });
+
+      num_running = 0;
+      for (uint8_t flag : running) num_running += flag != 0 ? 1 : 0;
+    }
+  }
+
+  for (int w = 0; w < w_count; ++w) {
+    buffer.Append(wbufs[static_cast<size_t>(w)]);
+    metrics.insert(metrics.end(), wmetrics[static_cast<size_t>(w)].begin(),
+                   wmetrics[static_cast<size_t>(w)].end());
+  }
+}
+
+}  // namespace agsc::core

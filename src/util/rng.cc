@@ -100,6 +100,20 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng Rng::Split(uint64_t stream_id) const {
+  // Collapse the current 256-bit state into one word, fold in the stream
+  // id, and re-expand through SplitMix64 (the same seeding path as the
+  // constructor). Rotations keep the four words from cancelling.
+  uint64_t sm = state_[0] ^ RotL(state_[1], 13) ^ RotL(state_[2], 27) ^
+                RotL(state_[3], 41);
+  sm ^= (stream_id + 1) * 0xA0761D6478BD642FULL;
+  Rng child(0);
+  for (auto& s : child.state_) s = SplitMix64(sm);
+  child.have_cached_gaussian_ = false;
+  child.cached_gaussian_ = 0.0;
+  return child;
+}
+
 std::array<uint64_t, Rng::kStateWords> Rng::SaveState() const {
   std::array<uint64_t, kStateWords> out{};
   for (int i = 0; i < 4; ++i) out[i] = state_[i];

@@ -65,6 +65,15 @@ class Rng {
   /// function of this generator's current state.
   Rng Fork();
 
+  /// Derives an independent child stream identified by `stream_id` WITHOUT
+  /// advancing this generator. The child state is a SplitMix64 expansion of
+  /// (current state, stream_id), so distinct ids yield decorrelated streams
+  /// and the same (state, id) pair always yields the same stream — the
+  /// basis of the parallel-sampler determinism contract (each rollout
+  /// worker w draws from Split(w), making results independent of thread
+  /// scheduling).
+  Rng Split(uint64_t stream_id) const;
+
   /// Number of 64-bit words in the serialized generator state: the four
   /// xoshiro256++ words plus the Box-Muller cache (flag, value bits).
   static constexpr size_t kStateWords = 6;

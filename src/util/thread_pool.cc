@@ -1,0 +1,74 @@
+#include "util/thread_pool.h"
+
+#include <exception>
+#include <utility>
+
+namespace agsc::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 0) num_threads = 0;
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting_down_ and nothing left.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // Exceptions land in the task's future, never escape here.
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (threads_.empty()) {
+    packaged();  // Inline mode: run on the caller's thread.
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(Submit([&fn, i] { fn(i); }));
+  }
+  // Wait for everything first so no task can still be touching caller state
+  // when we unwind, then rethrow from the lowest failing index.
+  std::exception_ptr first_error;
+  for (int i = 0; i < n; ++i) {
+    try {
+      futures[static_cast<size_t>(i)].get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace agsc::util

@@ -1,0 +1,63 @@
+#ifndef AGSC_UTIL_THREAD_POOL_H_
+#define AGSC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agsc::util {
+
+/// A small fixed-size thread pool for deterministic fork/join parallelism.
+///
+/// Tasks are plain `void()` callables; Submit returns a future that either
+/// becomes ready when the task finishes or carries the exception the task
+/// threw. The pool itself imposes no ordering beyond FIFO dispatch — callers
+/// that need deterministic *results* must hand each task its own private
+/// state (the VecSampler gives every rollout worker its own environment,
+/// RNG stream, and output buffer, so the merged result is independent of
+/// which thread ran what when).
+///
+/// With `num_threads == 0` the pool degrades to inline execution: Submit
+/// runs the task on the calling thread. This keeps single-worker code paths
+/// free of thread handoff overhead and makes the pool safe to use
+/// unconditionally.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` worker threads (0 = inline execution).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; the future becomes ready on completion and rethrows
+  /// any exception the task threw when `.get()` is called.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(0), fn(1), ..., fn(n-1) across the pool and blocks until all
+  /// complete. If any invocation throws, the exception from the *lowest*
+  /// index is rethrown (a deterministic choice) after every task finished.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_THREAD_POOL_H_

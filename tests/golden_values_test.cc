@@ -1,0 +1,253 @@
+// Golden-value regression tests pinning the numerical outputs of the
+// advantage estimators (Eqn. 24 / GAE), the h-CoPO advantage mixing
+// (Eqn. 27) and neighbor-mean rewards (Eqn. 23), and the i-EOI intrinsic
+// reward (Eqn. 19) to frozen constants. A failure here means the math
+// CHANGED, not that it is wrong — if a change is intentional, regenerate
+// the constants (instructions at each fixture) and update them in the
+// same commit that changes the math.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/copo.h"
+#include "core/eoi.h"
+#include "core/hi_madrl.h"
+#include "core/ppo.h"
+#include "env/config.h"
+#include "env/sc_env.h"
+#include "map/campus.h"
+#include "util/rng.h"
+
+namespace agsc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Advantage estimators. All inputs are small dyadic rationals, so every
+// intermediate float is exact and the expectations hold bit-for-bit.
+// ---------------------------------------------------------------------------
+
+TEST(AdvantageGoldenTest, OneStepHandComputed) {
+  // A_t = r_t + gamma * V(o_{t+1}) * (1 - done_t) - V(o_t).
+  const std::vector<float> rewards = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> values = {0.5f, 1.0f, 1.5f};
+  const std::vector<float> next_values = {1.0f, 1.5f, 2.0f};
+  const std::vector<uint8_t> dones = {0, 0, 1};
+  const core::AdvantageResult res =
+      core::OneStepAdvantages(rewards, values, next_values, dones, 0.5f);
+  ASSERT_EQ(res.advantages.size(), 3u);
+  EXPECT_FLOAT_EQ(res.advantages[0], 1.0f);
+  EXPECT_FLOAT_EQ(res.advantages[1], 1.75f);
+  EXPECT_FLOAT_EQ(res.advantages[2], 1.5f);
+  EXPECT_FLOAT_EQ(res.returns[0], 1.5f);
+  EXPECT_FLOAT_EQ(res.returns[1], 2.75f);
+  EXPECT_FLOAT_EQ(res.returns[2], 3.0f);
+}
+
+TEST(AdvantageGoldenTest, GaeHandComputedZeroValues) {
+  // With V == 0 everywhere: delta_t = r_t and
+  // gae_t = delta_t + gamma * lambda * gae_{t+1}.
+  const std::vector<float> rewards = {1.0f, 1.0f, 1.0f};
+  const std::vector<float> zeros = {0.0f, 0.0f, 0.0f};
+  const std::vector<uint8_t> dones = {0, 0, 1};
+  const core::AdvantageResult res =
+      core::GaeAdvantages(rewards, zeros, zeros, dones, 0.5f, 0.5f);
+  ASSERT_EQ(res.advantages.size(), 3u);
+  EXPECT_FLOAT_EQ(res.advantages[0], 1.3125f);  // 1 + 0.25 * 1.25.
+  EXPECT_FLOAT_EQ(res.advantages[1], 1.25f);    // 1 + 0.25 * 1.
+  EXPECT_FLOAT_EQ(res.advantages[2], 1.0f);
+  // returns = advantages + values = advantages here.
+  EXPECT_FLOAT_EQ(res.returns[0], 1.3125f);
+  EXPECT_FLOAT_EQ(res.returns[1], 1.25f);
+  EXPECT_FLOAT_EQ(res.returns[2], 1.0f);
+}
+
+TEST(AdvantageGoldenTest, GaeHandComputedNonZeroValues) {
+  const std::vector<float> rewards = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> values = {0.5f, 1.0f, 1.5f};
+  const std::vector<float> next_values = {1.0f, 1.5f, 2.0f};
+  const std::vector<uint8_t> dones = {0, 0, 1};
+  const core::AdvantageResult res =
+      core::GaeAdvantages(rewards, values, next_values, dones, 0.5f, 0.5f);
+  ASSERT_EQ(res.advantages.size(), 3u);
+  // deltas: {1, 1.75, 1.5}; gae backwards: 1.5, 1.75 + .25*1.5 = 2.125,
+  // 1 + .25*2.125 = 1.53125.
+  EXPECT_FLOAT_EQ(res.advantages[0], 1.53125f);
+  EXPECT_FLOAT_EQ(res.advantages[1], 2.125f);
+  EXPECT_FLOAT_EQ(res.advantages[2], 1.5f);
+  EXPECT_FLOAT_EQ(res.returns[0], 2.03125f);
+  EXPECT_FLOAT_EQ(res.returns[1], 3.125f);
+  EXPECT_FLOAT_EQ(res.returns[2], 3.0f);
+}
+
+TEST(AdvantageGoldenTest, GaeResetsAtEpisodeBoundaries) {
+  // Two concatenated 2-step episodes must bootstrap independently.
+  const std::vector<float> rewards = {1.0f, 1.0f, 1.0f, 1.0f};
+  const std::vector<float> zeros = {0.0f, 0.0f, 0.0f, 0.0f};
+  const std::vector<uint8_t> dones = {0, 1, 0, 1};
+  const core::AdvantageResult res =
+      core::GaeAdvantages(rewards, zeros, zeros, dones, 0.5f, 0.5f);
+  ASSERT_EQ(res.advantages.size(), 4u);
+  EXPECT_FLOAT_EQ(res.advantages[0], 1.25f);
+  EXPECT_FLOAT_EQ(res.advantages[1], 1.0f);
+  EXPECT_FLOAT_EQ(res.advantages[2], 1.25f);
+  EXPECT_FLOAT_EQ(res.advantages[3], 1.0f);
+}
+
+TEST(AdvantageGoldenTest, GaeLambdaZeroReducesToOneStep) {
+  const std::vector<float> rewards = {0.5f, -1.0f, 2.0f, 0.25f};
+  const std::vector<float> values = {0.25f, 0.5f, -0.5f, 1.0f};
+  const std::vector<float> next_values = {0.5f, -0.5f, 1.0f, 0.0f};
+  const std::vector<uint8_t> dones = {0, 0, 0, 1};
+  const core::AdvantageResult gae =
+      core::GaeAdvantages(rewards, values, next_values, dones, 0.75f, 0.0f);
+  const core::AdvantageResult one_step =
+      core::OneStepAdvantages(rewards, values, next_values, dones, 0.75f);
+  ASSERT_EQ(gae.advantages.size(), one_step.advantages.size());
+  for (size_t t = 0; t < gae.advantages.size(); ++t) {
+    EXPECT_FLOAT_EQ(gae.advantages[t], one_step.advantages[t]) << "t=" << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// h-CoPO advantage mixing (Eqn. 27) and neighbor means (Eqn. 23).
+// Golden constants are exact trigonometric values written to double
+// precision: cos(30deg) = sqrt(3)/2 = 0.8660254037844386...
+// ---------------------------------------------------------------------------
+
+TEST(CopoGoldenTest, CoopAdvantageMixing) {
+  core::Lcf lcf;
+  lcf.phi_deg = 30.0;
+  lcf.chi_deg = 60.0;
+  const double a = 1.0, a_he = 2.0, a_ho = 3.0;
+  // A cos(phi) + (A_HE cos(chi) + A_HO sin(chi)) sin(phi)
+  //   = sqrt(3)/2 + (1 + 1.5 sqrt(3)) / 2.
+  EXPECT_NEAR(core::CoopAdvantage(a, a_he, a_ho, lcf), 2.6650635094610966,
+              1e-12);
+  // dA/dphi = -A sin(phi) + (A_HE cos(chi) + A_HO sin(chi)) cos(phi).
+  EXPECT_NEAR(core::CoopAdvantageDPhi(a, a_he, a_ho, lcf),
+              2.6160254037844387, 1e-12);
+  // dA/dchi = (-A_HE sin(chi) + A_HO cos(chi)) sin(phi).
+  EXPECT_NEAR(core::CoopAdvantageDChi(a, a_he, a_ho, lcf),
+              -0.11602540378443865, 1e-12);
+}
+
+TEST(CopoGoldenTest, CoopAdvantageSelfishAndSelflessLimits) {
+  core::Lcf selfish;  // phi = 0: pure individual advantage.
+  selfish.phi_deg = 0.0;
+  selfish.chi_deg = 45.0;
+  EXPECT_NEAR(core::CoopAdvantage(7.0, -3.0, 11.0, selfish), 7.0, 1e-12);
+  core::Lcf selfless;  // phi = 90, chi = 0: pure HE-neighbor advantage.
+  selfless.phi_deg = 90.0;
+  selfless.chi_deg = 0.0;
+  EXPECT_NEAR(core::CoopAdvantage(7.0, -3.0, 11.0, selfless), -3.0, 1e-12);
+}
+
+TEST(CopoGoldenTest, PlainCopoVariant) {
+  core::Lcf lcf;
+  lcf.phi_deg = 30.0;
+  // A cos(phi) + A_N sin(phi) = sqrt(3)/2 + 1.
+  EXPECT_NEAR(core::CoopAdvantagePlain(1.0, 2.0, lcf), 1.8660254037844386,
+              1e-12);
+  // -A sin(phi) + A_N cos(phi) = -0.5 + sqrt(3).
+  EXPECT_NEAR(core::CoopAdvantagePlainDPhi(1.0, 2.0, lcf),
+              1.2320508075688772, 1e-12);
+}
+
+TEST(CopoGoldenTest, NeighborMeanReward) {
+  const std::vector<double> rewards = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(core::NeighborMeanReward({0, 2}, rewards), 2.0);
+  EXPECT_DOUBLE_EQ(core::NeighborMeanReward({1}, rewards), 2.0);
+  EXPECT_DOUBLE_EQ(core::NeighborMeanReward({}, rewards), 0.0);
+}
+
+TEST(CopoGoldenTest, LcfClampToRange) {
+  core::Lcf lcf;
+  lcf.phi_deg = -5.0;
+  lcf.chi_deg = 100.0;
+  lcf.ClampToRange();
+  EXPECT_DOUBLE_EQ(lcf.phi_deg, 0.0);
+  EXPECT_DOUBLE_EQ(lcf.chi_deg, 90.0);
+}
+
+// ---------------------------------------------------------------------------
+// i-EOI intrinsic reward (Eqn. 19), pinned against a freshly initialized
+// classifier. Regenerate the constants by printing
+//   EoiClassifier(4, 3, {.hidden = {8}}, util::Rng(123))
+//       .IntrinsicReward(k, obs)
+// for k in 0..2 and the two observation rows below.
+// ---------------------------------------------------------------------------
+
+TEST(EoiGoldenTest, IntrinsicRewardFrozenInitialization) {
+  core::EoiConfig config;
+  config.hidden = {8};
+  util::Rng rng(123);
+  core::EoiClassifier eoi(/*obs_dim=*/4, /*num_agents=*/3, config, rng);
+
+  const std::vector<float> obs_a = {0.1f, -0.2f, 0.3f, 0.7f};
+  const std::vector<float> obs_b = {-0.5f, 0.25f, 0.0f, 1.0f};
+  const float golden[3][2] = {{0.423698932f, 0.328232557f},
+                              {0.295728832f, 0.242813438f},
+                              {0.280572206f, 0.428954005f}};
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_NEAR(eoi.IntrinsicReward(k, obs_a), golden[k][0], 1e-6)
+        << "k=" << k;
+    EXPECT_NEAR(eoi.IntrinsicReward(k, obs_b), golden[k][1], 1e-6)
+        << "k=" << k;
+  }
+
+  // Internal consistency: probabilities are a distribution and the batch
+  // path reproduces the single-row path bitwise.
+  for (const auto& obs : {obs_a, obs_b}) {
+    const std::vector<float> probs = eoi.Probabilities(obs);
+    ASSERT_EQ(probs.size(), 3u);
+    float sum = 0.0f;
+    for (int k = 0; k < 3; ++k) {
+      sum += probs[k];
+      EXPECT_EQ(probs[k], eoi.IntrinsicReward(k, obs));
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+  }
+  const std::vector<float> batch = eoi.IntrinsicRewards(1, {obs_a, obs_b});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], eoi.IntrinsicReward(1, obs_a));
+  EXPECT_EQ(batch[1], eoi.IntrinsicReward(1, obs_b));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end sampling regression: the first training iteration of a tiny
+// fixed configuration. These constants pin the whole sampling chain
+// (environment dynamics, actor init, RNG draw order, Eqn. 19 compound
+// rewards, Eqn. 21 classifier loss). Regenerate by printing the
+// IterationStats fields of the exact configuration below.
+// ---------------------------------------------------------------------------
+
+TEST(TrainerGoldenTest, FirstIterationStats) {
+  const map::Dataset dataset = map::BuildDataset(map::CampusId::kPurdue, 8);
+  env::EnvConfig env_config;
+  env_config.num_timeslots = 10;
+  env_config.num_pois = 8;
+  env_config.num_uavs = 1;
+  env_config.num_ugvs = 1;
+  env::ScEnv env(env_config, dataset, /*seed=*/7);
+
+  core::TrainConfig train;
+  train.iterations = 1;
+  train.episodes_per_iteration = 2;
+  train.net.hidden = {16, 8};
+  train.eoi.hidden = {16};
+  train.seed = 7;
+  train.verbose = false;
+  core::HiMadrlTrainer trainer(env, train);
+
+  const core::IterationStats stats = trainer.TrainIteration();
+  EXPECT_NEAR(stats.mean_reward_ext, 0.0111469878f, 2e-6f);
+  EXPECT_NEAR(stats.mean_reward_int, 0.500629961f, 2e-6f);
+  EXPECT_NEAR(stats.eoi_loss, 1.01740682f, 1e-5f);
+  EXPECT_EQ(stats.total_env_steps,
+            2L * env_config.num_timeslots * env.num_agents());
+}
+
+}  // namespace
+}  // namespace agsc

@@ -172,6 +172,72 @@ TEST(StatsTest, MergeEqualsCombined) {
   EXPECT_EQ(a.Max(), all.Max());
 }
 
+TEST(StatsTest, MergePropertyRandomPartitions) {
+  // Property: for ANY partition of a sample into shards, merging the
+  // per-shard accumulators (in any association order) must agree with
+  // sequential accumulation of the whole sample. This is the contract the
+  // parallel rollout workers rely on when they fold per-worker statistics.
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{400}));
+    const int shards = 1 + static_cast<int>(rng.UniformInt(uint64_t{8}));
+    std::vector<double> xs(static_cast<size_t>(n));
+    for (auto& x : xs) x = rng.Gaussian(rng.Uniform(-5.0, 5.0), 3.0);
+
+    RunningStats sequential;
+    sequential.AddAll(xs);
+
+    // Random shard assignment (some shards may stay empty).
+    std::vector<RunningStats> parts(static_cast<size_t>(shards));
+    for (double x : xs) parts[rng.UniformInt(static_cast<uint64_t>(shards))]
+        .Add(x);
+
+    // Linear (left fold) merge.
+    RunningStats linear;
+    for (const auto& p : parts) linear.Merge(p);
+    // Pairwise (tree) merge, a different association order.
+    std::vector<RunningStats> tree = parts;
+    while (tree.size() > 1) {
+      std::vector<RunningStats> next;
+      for (size_t i = 0; i < tree.size(); i += 2) {
+        RunningStats m = tree[i];
+        if (i + 1 < tree.size()) m.Merge(tree[i + 1]);
+        next.push_back(m);
+      }
+      tree.swap(next);
+    }
+
+    for (const RunningStats* merged : {&linear, &tree[0]}) {
+      EXPECT_EQ(merged->count(), sequential.count());
+      EXPECT_DOUBLE_EQ(merged->Min(), sequential.Min());
+      EXPECT_DOUBLE_EQ(merged->Max(), sequential.Max());
+      EXPECT_NEAR(merged->Mean(), sequential.Mean(), 1e-10);
+      EXPECT_NEAR(merged->Variance(), sequential.Variance(), 1e-8);
+      EXPECT_NEAR(merged->Sum(), sequential.Sum(), 1e-8);
+    }
+  }
+}
+
+TEST(StatsTest, MergeWithEmptyIsIdentityBothWays) {
+  RunningStats a;
+  a.AddAll({1.0, 2.0, 3.0});
+  RunningStats empty;
+  RunningStats left = a;
+  left.Merge(empty);
+  EXPECT_EQ(left.count(), 3u);
+  EXPECT_DOUBLE_EQ(left.Mean(), a.Mean());
+  EXPECT_DOUBLE_EQ(left.Variance(), a.Variance());
+  EXPECT_DOUBLE_EQ(left.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(left.Max(), 3.0);
+  RunningStats right;
+  right.Merge(a);
+  EXPECT_EQ(right.count(), 3u);
+  EXPECT_DOUBLE_EQ(right.Mean(), a.Mean());
+  EXPECT_DOUBLE_EQ(right.Variance(), a.Variance());
+  EXPECT_DOUBLE_EQ(right.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(right.Max(), 3.0);
+}
+
 TEST(StatsTest, QuantileInterpolates) {
   std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
   EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);

@@ -5,7 +5,8 @@
 //              [--pois I] [--uavs U] [--ugvs G] [--subchannels Z]
 //              [--height M] [--threshold DB] [--medium noma|tdma|ofdma]
 //              [--no-eoi] [--no-copo] [--plain-copo] [--mappo]
-//              [--seed S] [--eval N] [--save FILE] [--load FILE]
+//              [--seed S] [--eval N] [--num-workers W]
+//              [--save FILE] [--load FILE]
 //              [--checkpoint-dir DIR] [--checkpoint-every N]
 //              [--checkpoint-keep K] [--resume]
 //              [--render] [--quiet]
@@ -15,6 +16,10 @@
 // --checkpoint-dir/--checkpoint-every the trainer writes crash-safe v2
 // checkpoints periodically; --resume restores the newest valid one (falling
 // back past corrupted files) and trains only the remaining iterations.
+// --num-workers W samples rollouts on W parallel environment replicas with
+// per-worker RNG streams: results are bit-identical for a given
+// (seed, W) pair, and checkpoints capture every worker stream so --resume
+// stays bit-exact.
 
 #include <iostream>
 #include <string>
@@ -43,6 +48,7 @@ struct Args {
   bool mappo = false;
   uint64_t seed = 1;
   int eval_episodes = 10;
+  int num_workers = 1;
   std::string save_path;
   std::string load_path;
   std::string checkpoint_dir;
@@ -140,6 +146,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
     } else if (flag == "--eval") {
       if (!next_int("--eval", 0, kMaxInt, &args.eval_episodes)) return false;
+    } else if (flag == "--num-workers") {
+      if (!next_int("--num-workers", 1, 1024, &args.num_workers)) {
+        return false;
+      }
     } else if (flag == "--save") {
       const char* v = next("--save");
       if (!v) return false;
@@ -201,7 +211,7 @@ int main(int argc, char** argv) {
            "  [--subchannels Z] [--height M] [--threshold DB]\n"
            "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
            "  [--plain-copo] [--mappo] [--seed S] [--eval N]\n"
-           "  [--save FILE] [--load FILE]\n"
+           "  [--num-workers W] [--save FILE] [--load FILE]\n"
            "  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
            "  [--checkpoint-keep K] [--resume] [--render] [--quiet]\n";
     return 1;
@@ -239,6 +249,7 @@ int main(int argc, char** argv) {
   train.hetero_copo = args.hetero_copo;
   if (args.mappo) train.base = core::BaseAlgo::kMappo;
   train.seed = args.seed;
+  train.num_workers = args.num_workers;
   train.verbose = !args.quiet;
   train.checkpoint_dir = args.checkpoint_dir;
   train.checkpoint_every = args.checkpoint_every;

@@ -1,10 +1,20 @@
-// Microbenchmarks of the neural substrate: matmul throughput, MLP
-// forward/backward, Adam steps, GRU steps, and the i-EOI classifier
-// update. These bound the wall-clock cost of one training iteration.
+// Microbenchmarks of the neural substrate: matmul throughput across the
+// kernel configurations, MLP forward/backward, Adam steps, GRU steps, the
+// i-EOI classifier update, and an end-to-end PPO optimize phase. These
+// bound the wall-clock cost of one training iteration and back the numbers
+// checked into BENCH_nn.json.
+//
+// GEMM benchmarks take a second argument selecting the kernel mode:
+//   0 = naive reference, 1 = blocked, 2 = blocked + 4 worker threads.
+// All modes produce bit-identical outputs (asserted per run below and by
+// nn_kernel_test); only throughput differs.
 
 #include <benchmark/benchmark.h>
 
 #include "core/eoi.h"
+#include "core/hi_madrl.h"
+#include "env/sc_env.h"
+#include "map/campus.h"
 #include "nn/gru.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
@@ -13,17 +23,120 @@ namespace {
 
 using namespace agsc;
 
+/// Installs the kernel mode for one benchmark run and restores the default
+/// configuration when the run ends.
+class KernelModeGuard {
+ public:
+  explicit KernelModeGuard(int mode) : saved_(nn::GetKernelConfig()) {
+    nn::KernelConfig config;
+    config.gemm =
+        mode == 0 ? nn::GemmKernel::kNaive : nn::GemmKernel::kBlocked;
+    config.nn_threads = mode == 2 ? 4 : 0;
+    if (mode == 2) config.parallel_min_flops = 0;
+    nn::SetKernelConfig(config);
+  }
+  ~KernelModeGuard() { nn::SetKernelConfig(saved_); }
+
+ private:
+  nn::KernelConfig saved_;
+};
+
+const char* KernelModeName(int mode) {
+  switch (mode) {
+    case 0:
+      return "naive";
+    case 1:
+      return "blocked";
+    default:
+      return "blocked_t4";
+  }
+}
+
+/// Cross-checks one blocked product against the naive reference; bails the
+/// benchmark loudly if the determinism contract is ever violated.
+bool SelfCheck(benchmark::State& state, const nn::Tensor& got,
+               const nn::Tensor& want) {
+  if (!got.SameAs(want)) {
+    state.SkipWithError("blocked kernel diverged from naive reference");
+    return false;
+  }
+  return true;
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  KernelModeGuard guard(mode);
+  state.SetLabel(KernelModeName(mode));
   util::Rng rng(1);
   nn::Tensor a = nn::Tensor::Randn(n, n, rng);
   nn::Tensor b = nn::Tensor::Randn(n, n, rng);
+  if (!SelfCheck(state, nn::MatMul(a, b), nn::internal::NaiveMatMul(a, b))) {
+    return;
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(nn::MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMul)
+    ->ArgsProduct({{64, 128, 256}, {0, 1, 2}});
+
+void BM_MatMulTransposedB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  KernelModeGuard guard(mode);
+  state.SetLabel(KernelModeName(mode));
+  util::Rng rng(2);
+  nn::Tensor a = nn::Tensor::Randn(n, n, rng);
+  nn::Tensor b = nn::Tensor::Randn(n, n, rng);
+  if (!SelfCheck(state, nn::MatMulTransposedB(a, b),
+                 nn::internal::NaiveMatMulTransposedB(a, b))) {
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMulTransposedB(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMulTransposedB)->ArgsProduct({{128, 256}, {0, 1, 2}});
+
+void BM_MatMulTransposedA(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  KernelModeGuard guard(mode);
+  state.SetLabel(KernelModeName(mode));
+  util::Rng rng(3);
+  nn::Tensor a = nn::Tensor::Randn(n, n, rng);
+  nn::Tensor b = nn::Tensor::Randn(n, n, rng);
+  if (!SelfCheck(state, nn::MatMulTransposedA(a, b),
+                 nn::internal::NaiveMatMulTransposedA(a, b))) {
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMulTransposedA(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMulTransposedA)->ArgsProduct({{128, 256}, {0, 1, 2}});
+
+void BM_MatMulTraining(benchmark::State& state) {
+  // The dominant training GEMM shape: minibatch x obs -> hidden.
+  const int mode = static_cast<int>(state.range(0));
+  KernelModeGuard guard(mode);
+  state.SetLabel(KernelModeName(mode));
+  util::Rng rng(4);
+  nn::Tensor a = nn::Tensor::Randn(64, 312, rng);
+  nn::Tensor b = nn::Tensor::Randn(312, 128, rng);
+  if (!SelfCheck(state, nn::MatMul(a, b), nn::internal::NaiveMatMul(a, b))) {
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 64 * 312 * 128);
+}
+BENCHMARK(BM_MatMulTraining)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_MlpForward(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
@@ -98,6 +211,50 @@ void BM_EoiClassifierUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EoiClassifierUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_PpoUpdate(benchmark::State& state) {
+  // End-to-end optimize phase (i-EOI update + M1 policy epochs + M2 LCF
+  // meta-updates) on a fixed pre-collected rollout buffer. This is the NN
+  // hot path the blocked kernels and the buffer pool exist for.
+  const int mode = static_cast<int>(state.range(0));
+  static const map::Dataset* dataset =
+      new map::Dataset(map::BuildDataset(map::CampusId::kPurdue, 10));
+  env::EnvConfig env_config;
+  env_config.num_timeslots = 30;
+  env_config.num_pois = 10;
+  env_config.num_uavs = 1;
+  env_config.num_ugvs = 1;
+  env::ScEnv env(env_config, *dataset, 11);
+  core::TrainConfig train;
+  train.iterations = 1;
+  train.episodes_per_iteration = 4;
+  train.policy_epochs = 2;
+  train.lcf_epochs = 1;
+  train.minibatch = 64;
+  train.net.hidden = {64, 64};
+  train.eoi.hidden = {32};
+  train.seed = 11;
+  train.verbose = false;
+  train.nn_naive_kernels = (mode == 0);
+  train.nn_threads = mode == 2 ? 4 : 0;
+  // Guard first (captures the default config to restore afterwards); the
+  // trainer ctor then installs the config implied by `train`.
+  KernelModeGuard guard(mode);
+  core::HiMadrlTrainer trainer(env, train);
+  if (mode == 2) {
+    // The ctor resets parallel_min_flops; force the bench-sized GEMMs onto
+    // the worker pool anyway so the threaded path is what gets timed.
+    nn::KernelConfig kc = nn::GetKernelConfig();
+    kc.parallel_min_flops = 0;
+    nn::SetKernelConfig(kc);
+  }
+  state.SetLabel(KernelModeName(mode));
+  trainer.CollectRollouts();
+  for (auto _ : state) {
+    trainer.OptimizeOnCurrentBuffer();
+  }
+}
+BENCHMARK(BM_PpoUpdate)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -47,6 +47,16 @@ HiMadrlTrainer::HiMadrlTrainer(env::ScEnv& env, const TrainConfig& config)
       config_(config),
       rng_(config.seed),
       buffer_(env.num_agents()) {
+  // Install the NN kernel selection before any network is built. The config
+  // is process-wide; with several trainers alive the last one constructed
+  // wins, which is fine — every kernel choice is bit-identical, only speed
+  // differs.
+  nn::KernelConfig kernel_config;
+  kernel_config.gemm = config_.nn_naive_kernels ? nn::GemmKernel::kNaive
+                                                : nn::GemmKernel::kBlocked;
+  kernel_config.nn_threads = config_.nn_threads;
+  nn::SetKernelConfig(kernel_config);
+
   const int num_agents = env_.num_agents();
   const int id_dim = config_.share_params ? num_agents : 0;
   actor_input_dim_ = env_.obs_dim() + id_dim;
@@ -254,7 +264,14 @@ float HiMadrlTrainer::UpdateEoiAndRewards() {
     }
   }
 
-  // r_all (Eqn. 29) and the neighbor mean rewards (Eqn. 23).
+  // r_all (Eqn. 29) and the neighbor mean rewards (Eqn. 23). The neighbor
+  // rewards are appended below, so clear any previous pass first — this
+  // makes the update idempotent over one buffer (a repeated call, e.g. from
+  // OptimizeOnCurrentBuffer in bench_micro_nn, must not grow the arrays).
+  for (int k = 0; k < num_agents; ++k) {
+    buffer_.agents[k].reward_he.clear();
+    buffer_.agents[k].reward_ho.clear();
+  }
   buffer_.reward_all.assign(n, 0.0f);
   for (size_t i = 0; i < n; ++i) {
     std::vector<double> rewards_at(num_agents);
@@ -437,9 +454,10 @@ std::pair<float, float> HiMadrlTrainer::PolicyUpdate() {
         nn::Variable logp = dist.LogProb(act_b);
         nn::Variable surrogate =
             PpoSurrogate(logp, logp_old_b, a_co_b, config_.clip);
-        nn::Variable actor_loss =
-            nn::Sub(nn::Neg(surrogate),
-                    nn::ScalarMul(dist.Entropy(), config_.entropy_coef));
+        // -(surrogate + c*H); one fused node instead of Sub(Neg, ScalarMul),
+        // bit-exact: negation distributes exactly over the rounded sum.
+        nn::Variable actor_loss = nn::Neg(
+            nn::AddScaled(surrogate, dist.Entropy(), config_.entropy_coef));
         float actor_loss_val = actor_loss.value()(0, 0);
         if (util::FaultInjector::Instance().PoisonLossNow()) {
           actor_loss_val = std::numeric_limits<float>::quiet_NaN();
@@ -688,6 +706,13 @@ void HiMadrlTrainer::LcfUpdate() {
       }
     }
   }
+}
+
+void HiMadrlTrainer::OptimizeOnCurrentBuffer() {
+  UpdateEoiAndRewards();
+  SnapshotOldPolicies();
+  PolicyUpdate();
+  LcfUpdate();
 }
 
 IterationStats HiMadrlTrainer::TrainIteration() {

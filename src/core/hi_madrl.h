@@ -88,6 +88,16 @@ struct TrainConfig {
   /// implementation, kept for the equivalence tests).
   int num_workers = 1;
 
+  // --- NN compute kernels (process-wide, applied in the ctor) ---
+  /// Worker threads for the blocked GEMM kernels in the optimize phase
+  /// (nn::KernelConfig::nn_threads). 0 = single-threaded. Results are
+  /// bit-identical for every value: the row partitioning never changes an
+  /// output element's accumulation order.
+  int nn_threads = 0;
+  /// Use the retained naive reference GEMMs instead of the blocked kernels
+  /// (debug / benchmark baseline; bit-identical results, just slower).
+  bool nn_naive_kernels = false;
+
   NetConfig net;
   uint64_t seed = 1;
   bool verbose = false;
@@ -161,6 +171,14 @@ class HiMadrlTrainer : public Policy {
 
   /// The shared on-policy buffer filled by CollectRollouts.
   const MultiAgentBuffer& buffer() const { return buffer_; }
+
+  /// Runs one optimize phase (i-EOI update + theta_old snapshot + M1 policy
+  /// epochs + M2 LCF meta-updates) on whatever CollectRollouts already put
+  /// in the buffer, without sampling or touching the iteration counters.
+  /// Public so bench_micro_nn's end-to-end PpoUpdate benchmark can time the
+  /// optimize hot path in isolation; Train/TrainIteration remain the real
+  /// entry points.
+  void OptimizeOnCurrentBuffer();
 
   /// Writes a v2 ("AGSCNN02") checkpoint to `path`: all network
   /// parameters, per-agent LCFs, Adam moments + step counts + learning

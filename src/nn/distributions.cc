@@ -54,7 +54,7 @@ Variable DiagGaussian::LogProb(const Tensor& actions) const {
   Variable diff = Sub(a, mean_);
   Variable inv_sigma = Exp(Neg(log_std_));
   Variable z = MulRowVector(diff, inv_sigma);
-  Variable per_dim = ScalarMul(Square(z), -0.5f);
+  Variable per_dim = SquareScale(z, -0.5f);
   per_dim = AddRowVector(per_dim, Neg(log_std_));
   per_dim = ScalarAdd(per_dim, -0.5f * kLogTwoPi);
   return RowSum(per_dim);

@@ -64,12 +64,16 @@ Linear::Linear(int in_features, int out_features, util::Rng& rng, float gain)
 }
 
 Variable Linear::Forward(const Variable& x) const {
+  return Forward(x, Activation::kNone);
+}
+
+Variable Linear::Forward(const Variable& x, Activation act) const {
   if (x.cols() != in_features_) {
     throw std::invalid_argument("Linear::Forward: expected " +
                                 std::to_string(in_features_) + " cols, got " +
                                 std::to_string(x.cols()));
   }
-  return AddRowVector(MatMul(x, weight_), bias_);
+  return LinearActivate(x, weight_, bias_, act);
 }
 
 std::vector<Variable> Linear::Parameters() const { return {weight_, bias_}; }
@@ -90,9 +94,8 @@ Mlp::Mlp(const std::vector<int>& sizes, util::Rng& rng, Activation hidden_act,
 Variable Mlp::Forward(const Variable& x) const {
   Variable h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Forward(h);
     const bool last = i + 1 == layers_.size();
-    h = Activate(h, last ? output_act_ : hidden_act_);
+    h = layers_[i].Forward(h, last ? output_act_ : hidden_act_);
   }
   return h;
 }

@@ -10,8 +10,8 @@
 
 namespace agsc::nn {
 
-/// Hidden-layer nonlinearity selector.
-enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+// `Activation` lives in ops.h (shared with the fused LinearActivate op) and
+// is re-exported here through the include above.
 
 /// Applies `act` to `x` (identity for kNone).
 Variable Activate(const Variable& x, Activation act);
@@ -38,6 +38,10 @@ class Linear : public Module {
 
   /// Applies the layer to a batch (rows = batch).
   Variable Forward(const Variable& x) const;
+
+  /// Applies the layer and `act` as one fused graph node (bit-exact
+  /// equivalent to Activate(Forward(x), act), with fewer allocations).
+  Variable Forward(const Variable& x, Activation act) const;
 
   std::vector<Variable> Parameters() const override;
 

@@ -182,10 +182,13 @@ Variable MulRowVector(const Variable& m, const Variable& v) {
 namespace {
 
 /// Shared helper for elementwise unary ops where d(out)/d(in) can be written
-/// as a function of (input, output).
-Variable UnaryOp(const char* name, const Variable& a,
-                 const std::function<float(float)>& fwd,
-                 const std::function<float(float, float)>& dydx_from_x_y) {
+/// as a function of (input, output). Templated on the callables so the
+/// forward loop inlines and the backward closure is a capture of one empty
+/// functor — small enough for std::function's inline storage, so building a
+/// unary node performs no heap allocation beyond the node itself.
+template <typename Fwd, typename DydxFromXY>
+Variable UnaryOp(const char* name, const Variable& a, Fwd fwd,
+                 DydxFromXY dydx_from_x_y) {
   Tensor out = a.value();
   for (int i = 0; i < out.size(); ++i) out[i] = fwd(out[i]);
   return Variable::FromNode(
@@ -480,6 +483,114 @@ Variable MseLoss(const Variable& pred, const Tensor& target) {
     throw std::invalid_argument("MseLoss: shape mismatch");
   }
   return Mean(Square(Sub(pred, Variable::Constant(target))));
+}
+
+namespace {
+
+float ApplyActivation(Activation act, float x) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return x > 0.0f ? x : 0.0f;
+    case Activation::kTanh: return std::tanh(x);
+    case Activation::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
+  }
+  throw std::logic_error("unknown activation");
+}
+
+// d(act)/dx expressed from the post-activation value y. Matches the
+// unfused ops exactly: tanh and sigmoid already differentiate from y, and
+// for relu the y > 0 test is equivalent to the x > 0 test (y == x when
+// x > 0, else y == 0).
+float ActivationPrimeFromY(Activation act, float y) {
+  switch (act) {
+    case Activation::kNone: return 1.0f;
+    case Activation::kRelu: return y > 0.0f ? 1.0f : 0.0f;
+    case Activation::kTanh: return 1.0f - y * y;
+    case Activation::kSigmoid: return y * (1.0f - y);
+  }
+  throw std::logic_error("unknown activation");
+}
+
+}  // namespace
+
+Variable LinearActivate(const Variable& m, const Variable& w,
+                        const Variable& b, Activation act) {
+  if (m.cols() != w.rows()) {
+    throw std::invalid_argument("LinearActivate: inner dims " +
+                                m.value().ShapeString() + " vs " +
+                                w.value().ShapeString());
+  }
+  if (b.rows() != 1 || b.cols() != w.cols()) {
+    throw std::invalid_argument("LinearActivate: b must be 1x" +
+                                std::to_string(w.cols()));
+  }
+  Tensor out = MatMul(m.value(), w.value());
+  const Tensor& bias = b.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out(r, c) += bias(0, c);
+  }
+  if (act != Activation::kNone) {
+    for (int i = 0; i < out.size(); ++i) {
+      out[i] = ApplyActivation(act, out[i]);
+    }
+  }
+  return Variable::FromNode(
+      MakeNode("linear_activate", std::move(out), {m, w, b}, [act](Node& n) {
+        const auto& pm = n.parents[0];
+        const auto& pw = n.parents[1];
+        const auto& pb = n.parents[2];
+        // d = g * act'(y), the gradient at the pre-activation output.
+        Tensor d = n.grad;
+        if (act != Activation::kNone) {
+          for (int i = 0; i < d.size(); ++i) {
+            d[i] *= ActivationPrimeFromY(act, n.value[i]);
+          }
+        }
+        if (pb->requires_grad) {
+          Tensor db(1, d.cols());
+          for (int r = 0; r < d.rows(); ++r) {
+            for (int c = 0; c < d.cols(); ++c) db(0, c) += d(r, c);
+          }
+          Accumulate(pb, db);
+        }
+        if (pm->requires_grad) {
+          Accumulate(pm, MatMulTransposedB(d, pw->value));
+        }
+        if (pw->requires_grad) {
+          Accumulate(pw, MatMulTransposedA(pm->value, d));
+        }
+      }));
+}
+
+Variable AddScaled(const Variable& a, const Variable& b, float s) {
+  CheckSameShape("add_scaled", a, b);
+  Tensor out = a.value();
+  for (int i = 0; i < out.size(); ++i) out[i] += s * b.value()[i];
+  return Variable::FromNode(
+      MakeNode("add_scaled", std::move(out), {a, b}, [s](Node& n) {
+        Accumulate(n.parents[0], n.grad);
+        const auto& pb = n.parents[1];
+        if (pb->requires_grad) {
+          Tensor d = n.grad;
+          d.Scale(s);
+          Accumulate(pb, d);
+        }
+      }));
+}
+
+Variable SquareScale(const Variable& a, float s) {
+  Tensor out = a.value();
+  for (int i = 0; i < out.size(); ++i) out[i] = s * (out[i] * out[i]);
+  return Variable::FromNode(
+      MakeNode("square_scale", std::move(out), {a}, [s](Node& n) {
+        const auto& pa = n.parents[0];
+        if (!pa->requires_grad) return;
+        Tensor d = n.grad;
+        for (int i = 0; i < d.size(); ++i) {
+          d[i] = (d[i] * s) * (2.0f * pa->value[i]);
+        }
+        Accumulate(pa, d);
+      }));
 }
 
 }  // namespace agsc::nn

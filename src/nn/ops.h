@@ -11,6 +11,10 @@ namespace agsc::nn {
 // whose node records how to push gradients into its inputs. Shapes follow the
 // convention rows = batch, cols = features.
 
+/// Hidden-layer nonlinearity selector (shared by layers.h and the fused
+/// LinearActivate op).
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
 /// C = A x B (matrix product).
 Variable MatMul(const Variable& a, const Variable& b);
 
@@ -101,6 +105,22 @@ Variable SoftmaxEntropy(const Variable& logits);
 
 /// Mean squared error between `pred` and constant `target` -> 1x1.
 Variable MseLoss(const Variable& pred, const Tensor& target);
+
+// Fused ops. Each is bit-exact equivalent to the op chain it replaces (same
+// elementwise operations in the same order on the same intermediate values)
+// but builds one graph node instead of several — fewer allocations, fewer
+// passes over the data. nn_kernel_test asserts the bit-equivalence.
+
+/// act(m x w + b) in a single node; equivalent to
+/// Activate(AddRowVector(MatMul(m, w), b), act). `w` is KxN, `b` is 1xN.
+Variable LinearActivate(const Variable& m, const Variable& w,
+                        const Variable& b, Activation act);
+
+/// Elementwise a + s*b (same shape); equivalent to Add(a, ScalarMul(b, s)).
+Variable AddScaled(const Variable& a, const Variable& b, float s);
+
+/// Elementwise s * a^2; equivalent to ScalarMul(Square(a), s).
+Variable SquareScale(const Variable& a, float s);
 
 }  // namespace agsc::nn
 

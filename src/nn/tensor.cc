@@ -1,30 +1,189 @@
 #include "nn/tensor.h"
 
+// This translation unit must be compiled with floating-point contraction
+// disabled (-ffp-contract=off, set in src/nn/CMakeLists.txt): the blocked
+// kernels are bit-exact against the naive references only if the compiler
+// never fuses their mul+add chains into FMAs. The avx512 tile additionally
+// pins fp-contract=off at function level because its target attribute
+// enables FMA hardware.
+
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+
+#include "util/thread_pool.h"
 
 namespace agsc::nn {
 
-Tensor::Tensor(int rows, int cols)
-    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, 0.0f) {
-  if (rows < 0 || cols < 0) throw std::invalid_argument("negative tensor dim");
+// ---------------------------------------------------------------------------
+// Thread-local buffer pool
+//
+// Tensor element storage cycles at graph-node frequency during training —
+// every op result, every gradient, every minibatch slice. The pool keeps
+// freed vectors in per-thread power-of-two size classes so steady-state
+// training performs no heap traffic for tensor data: an optimize epoch is
+// O(1) heap allocations after warm-up (asserted in nn_kernel_test).
+//
+// Determinism: pooling only recycles capacity; every acquired buffer is
+// fully overwritten via assign(), so values never depend on pool state.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Sanitizer builds keep the instrumented allocator in the loop: pooling
+// would otherwise mask use-after-free at the exact layer these builds exist
+// to check.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kPoolCompiledIn = false;
+#else
+constexpr bool kPoolCompiledIn = true;
+#endif
+
+constexpr int kNumBuckets = 25;  // size classes 2^0 .. 2^24 floats (64 MiB)
+constexpr std::size_t kMaxPooledFloats = std::size_t{1} << (kNumBuckets - 1);
+constexpr std::size_t kMaxPerBucket = 64;
+
+int CeilLog2(std::size_t n) {  // n >= 1
+  return std::bit_width(n - 1);
 }
 
-Tensor::Tensor(int rows, int cols, float fill)
-    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
-  if (rows < 0 || cols < 0) throw std::invalid_argument("negative tensor dim");
+int FloorLog2(std::size_t n) {  // n >= 1
+  return std::bit_width(n) - 1;
 }
+
+// Kept outside BufferPool (and trivially destructible) so ReleaseBuffer can
+// tell the pool has been torn down regardless of the order thread_local
+// destructors run in during thread exit.
+thread_local bool t_pool_alive = false;
+
+struct BufferPool {
+  std::vector<std::vector<float>> buckets[kNumBuckets];
+  internal::BufferPoolStats stats;
+  BufferPool() { t_pool_alive = true; }
+  ~BufferPool() { t_pool_alive = false; }
+};
+
+BufferPool& GetPool() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool BufferPoolEnabled() { return kPoolCompiledIn; }
+
+BufferPoolStats GetBufferPoolStats() { return GetPool().stats; }
+
+std::vector<float> AcquireBuffer(std::size_t n, float fill) {
+  if (n == 0) return {};
+  BufferPool& pool = GetPool();
+  ++pool.stats.acquires;
+  if (kPoolCompiledIn && n <= kMaxPooledFloats) {
+    auto& bucket = pool.buckets[CeilLog2(n)];
+    if (!bucket.empty()) {
+      std::vector<float> buf = std::move(bucket.back());
+      bucket.pop_back();
+      ++pool.stats.pool_hits;
+      buf.assign(n, fill);  // capacity >= 2^ceil_log2(n) >= n: no realloc
+      return buf;
+    }
+  }
+  ++pool.stats.heap_allocs;
+  std::vector<float> buf;
+  if (kPoolCompiledIn && n <= kMaxPooledFloats) {
+    // Reserve the full size class so this buffer satisfies any later
+    // request that maps to the same bucket.
+    buf.reserve(std::size_t{1} << CeilLog2(n));
+  }
+  buf.assign(n, fill);
+  return buf;
+}
+
+void ReleaseBuffer(std::vector<float>&& buffer) noexcept {
+  if (!kPoolCompiledIn || !t_pool_alive) return;
+  const std::size_t cap = buffer.capacity();
+  if (cap == 0 || cap > kMaxPooledFloats) return;
+  auto& bucket = GetPool().buckets[FloorLog2(cap)];
+  if (bucket.size() >= kMaxPerBucket) return;
+  try {
+    bucket.push_back(std::move(buffer));
+  } catch (...) {
+    // Free-list growth failed; just let the buffer die.
+  }
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Tensor value semantics over pooled storage
+// ---------------------------------------------------------------------------
+
+Tensor::Tensor(int rows, int cols, float fill) : rows_(rows), cols_(cols) {
+  // Validate before sizing any storage: a negative dim must throw, not
+  // attempt a static_cast<size_t>(-1)-scale allocation.
+  if (rows < 0 || cols < 0) {
+    throw std::invalid_argument("negative tensor dim");
+  }
+  data_ = internal::AcquireBuffer(static_cast<std::size_t>(rows) * cols, fill);
+}
+
+Tensor::Tensor(const Tensor& other) : rows_(other.rows_), cols_(other.cols_) {
+  data_ = internal::AcquireBuffer(other.data_.size(), 0.0f);
+  if (!data_.empty()) {
+    std::memcpy(data_.data(), other.data_.data(),
+                data_.size() * sizeof(float));
+  }
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_.clear();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    Tensor tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    internal::ReleaseBuffer(std::move(data_));
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = std::move(other.data_);
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_.clear();
+  }
+  return *this;
+}
+
+Tensor::~Tensor() { internal::ReleaseBuffer(std::move(data_)); }
 
 Tensor Tensor::RowVector(const std::vector<float>& values) {
   Tensor t(1, static_cast<int>(values.size()));
-  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  }
   return t;
 }
 
 Tensor Tensor::ColVector(const std::vector<float>& values) {
   Tensor t(static_cast<int>(values.size()), 1);
-  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  }
   return t;
 }
 
@@ -36,11 +195,16 @@ Tensor Tensor::Scalar(float value) {
 
 Tensor Tensor::FromRowMajor(int rows, int cols,
                             const std::vector<float>& values) {
-  if (static_cast<size_t>(rows) * cols != values.size()) {
+  if (rows < 0 || cols < 0) {
+    throw std::invalid_argument("negative tensor dim");
+  }
+  if (static_cast<std::size_t>(rows) * cols != values.size()) {
     throw std::invalid_argument("FromRowMajor: size mismatch");
   }
   Tensor t(rows, cols);
-  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  }
   return t;
 }
 
@@ -74,9 +238,15 @@ Tensor Tensor::Transposed() const {
 }
 
 Tensor Tensor::Row(int r) const {
+  if (r < 0 || r >= rows_) {
+    throw std::out_of_range("Tensor::Row: index " + std::to_string(r) +
+                            " out of range for " + ShapeString());
+  }
   Tensor out(1, cols_);
-  std::memcpy(out.data(), data_.data() + static_cast<size_t>(r) * cols_,
-              cols_ * sizeof(float));
+  if (cols_ > 0) {
+    std::memcpy(out.data(), data_.data() + static_cast<std::size_t>(r) * cols_,
+                cols_ * sizeof(float));
+  }
   return out;
 }
 
@@ -85,7 +255,7 @@ void Tensor::AddInPlace(const Tensor& other) {
     throw std::invalid_argument("AddInPlace: shape mismatch " + ShapeString() +
                                 " vs " + other.ShapeString());
   }
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 
 void Tensor::Scale(float factor) {
@@ -116,14 +286,28 @@ float Tensor::Norm() const {
 
 bool Tensor::SameAs(const Tensor& other) const {
   return rows_ == other.rows_ && cols_ == other.cols_ &&
-         data_ == other.data_;
+         std::equal(data_.begin(), data_.end(), other.data_.begin());
 }
 
 std::string Tensor::ShapeString() const {
   return std::to_string(rows_) + "x" + std::to_string(cols_);
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+// ---------------------------------------------------------------------------
+// GEMM kernels
+//
+// Determinism contract: every kernel — naive, blocked (any ISA variant,
+// full tile or scalar edge), serial or row-partitioned parallel — computes
+// each output element C[i][j] through one accumulation chain in ascending-p
+// order, starting from 0. Nothing ever splits or reorders a chain, so the
+// result bits are identical for every (kernel, tile, thread-count) choice.
+// MatMul / MatMulTransposedA accumulate in float; MatMulTransposedB
+// accumulates each dot product in double, exactly as the naive reference.
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("MatMul: inner dims " + a.ShapeString() +
                                 " vs " + b.ShapeString());
@@ -131,15 +315,385 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Tensor c(a.rows(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
   for (int i = 0; i < m; ++i) {
-    float* crow = c.data() + static_cast<size_t>(i) * n;
-    const float* arow = a.data() + static_cast<size_t>(i) * k;
+    float* crow = c.data() + static_cast<std::size_t>(i) * n;
+    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
     for (int p = 0; p < k; ++p) {
+      // No zero-skip here: 0 * NaN must stay NaN so diverging weights are
+      // visible to the divergence guard instead of being masked by a zero
+      // activation.
       const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + static_cast<size_t>(p) * n;
+      const float* brow = b.data() + static_cast<std::size_t>(p) * n;
       for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
+  return c;
+}
+
+Tensor NaiveMatMulTransposedB(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("MatMulTransposedB: dims " + a.ShapeString() +
+                                " vs " + b.ShapeString());
+  }
+  Tensor c(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.data() + static_cast<std::size_t>(j) * k;
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) {
+        s += static_cast<double>(arow[p]) * brow[p];
+      }
+      c(i, j) = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Tensor NaiveMatMulTransposedA(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("MatMulTransposedA: dims " + a.ShapeString() +
+                                " vs " + b.ShapeString());
+  }
+  Tensor c(a.cols(), b.cols());
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.data() + static_cast<std::size_t>(p) * m;
+    const float* brow = b.data() + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];  // no zero-skip: see NaiveMatMul
+      float* crow = c.data() + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace internal
+
+namespace {
+
+enum class IsaLevel { kGeneric, kAvx2, kAvx512 };
+
+IsaLevel DetectIsa() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return IsaLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return IsaLevel::kAvx2;
+#endif
+  return IsaLevel::kGeneric;
+}
+
+IsaLevel Isa() {
+  static const IsaLevel level = DetectIsa();
+  return level;
+}
+
+// --- MatMul family: C[i][j] = sum_p A[i][p]*B[p][j], A is m x k row-major --
+
+constexpr int kMmMr = 8;   // rows per register tile
+constexpr int kMmNr = 32;  // cols per register tile
+
+// Full 8x32 register tile, all of k. Each acc[ii][jj] is the complete
+// ascending-p chain for one output element.
+#define AGSC_MM_TILE_BODY                                                 \
+  float acc[kMmMr][kMmNr] = {};                                           \
+  for (int p = 0; p < k; ++p) {                                           \
+    const float* brow = b + static_cast<std::size_t>(p) * n + j0;         \
+    const float* acol = a + static_cast<std::size_t>(i0) * k + p;         \
+    for (int ii = 0; ii < kMmMr; ++ii) {                                  \
+      const float av = acol[static_cast<std::size_t>(ii) * k];            \
+      for (int jj = 0; jj < kMmNr; ++jj) acc[ii][jj] += av * brow[jj];    \
+    }                                                                     \
+  }                                                                       \
+  for (int ii = 0; ii < kMmMr; ++ii) {                                    \
+    float* crow = c + static_cast<std::size_t>(i0 + ii) * n + j0;         \
+    for (int jj = 0; jj < kMmNr; ++jj) crow[jj] = acc[ii][jj];            \
+  }
+
+void MmTileGeneric(const float* a, const float* b, float* c, int k, int n,
+                   int i0, int j0) {
+  AGSC_MM_TILE_BODY
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void MmTileAvx2(const float* a,
+                                                const float* b, float* c,
+                                                int k, int n, int i0,
+                                                int j0) {
+  AGSC_MM_TILE_BODY
+}
+
+// avx512f implies FMA hardware; fp-contract must stay off or gcc fuses the
+// mul+add into an FMA and the tile stops being bit-exact vs the reference.
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+MmTileAvx512(const float* a, const float* b, float* c, int k, int n, int i0,
+             int j0) {
+  AGSC_MM_TILE_BODY
+}
+#endif  // x86
+
+#undef AGSC_MM_TILE_BODY
+
+// Scalar remainder: identical ascending-p chain per element.
+void MmEdge(const float* a, const float* b, float* c, int k, int n, int i0,
+            int i1, int j0, int j1) {
+  for (int i = i0; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = j0; j < j1; ++j) {
+      float s = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        s += arow[p] * b[static_cast<std::size_t>(p) * n + j];
+      }
+      crow[j] = s;
+    }
+  }
+}
+
+void MmRange(const float* a, const float* b, float* c, int k, int n, int r0,
+             int r1) {
+  auto* tile = MmTileGeneric;
+#if defined(__x86_64__) || defined(__i386__)
+  if (Isa() == IsaLevel::kAvx512) {
+    tile = MmTileAvx512;
+  } else if (Isa() == IsaLevel::kAvx2) {
+    tile = MmTileAvx2;
+  }
+#endif
+  int i0 = r0;
+  for (; i0 + kMmMr <= r1; i0 += kMmMr) {
+    int j0 = 0;
+    for (; j0 + kMmNr <= n; j0 += kMmNr) tile(a, b, c, k, n, i0, j0);
+    if (j0 < n) MmEdge(a, b, c, k, n, i0, i0 + kMmMr, j0, n);
+  }
+  if (i0 < r1) MmEdge(a, b, c, k, n, i0, r1, 0, n);
+}
+
+// --- TransposedA family: C[i][j] = sum_p A[p][i]*B[p][j], A is k x m ------
+
+#define AGSC_MTA_TILE_BODY                                                \
+  float acc[kMmMr][kMmNr] = {};                                           \
+  for (int p = 0; p < k; ++p) {                                           \
+    const float* brow = b + static_cast<std::size_t>(p) * n + j0;         \
+    const float* arow = a + static_cast<std::size_t>(p) * m + i0;         \
+    for (int ii = 0; ii < kMmMr; ++ii) {                                  \
+      const float av = arow[ii];                                          \
+      for (int jj = 0; jj < kMmNr; ++jj) acc[ii][jj] += av * brow[jj];    \
+    }                                                                     \
+  }                                                                       \
+  for (int ii = 0; ii < kMmMr; ++ii) {                                    \
+    float* crow = c + static_cast<std::size_t>(i0 + ii) * n + j0;         \
+    for (int jj = 0; jj < kMmNr; ++jj) crow[jj] = acc[ii][jj];            \
+  }
+
+void MtaTileGeneric(const float* a, const float* b, float* c, int k, int m,
+                    int n, int i0, int j0) {
+  AGSC_MTA_TILE_BODY
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void MtaTileAvx2(const float* a,
+                                                 const float* b, float* c,
+                                                 int k, int m, int n, int i0,
+                                                 int j0) {
+  AGSC_MTA_TILE_BODY
+}
+
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+MtaTileAvx512(const float* a, const float* b, float* c, int k, int m, int n,
+              int i0, int j0) {
+  AGSC_MTA_TILE_BODY
+}
+#endif  // x86
+
+#undef AGSC_MTA_TILE_BODY
+
+void MtaEdge(const float* a, const float* b, float* c, int k, int m, int n,
+             int i0, int i1, int j0, int j1) {
+  for (int i = i0; i < i1; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = j0; j < j1; ++j) {
+      float s = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        s += a[static_cast<std::size_t>(p) * m + i] *
+             b[static_cast<std::size_t>(p) * n + j];
+      }
+      crow[j] = s;
+    }
+  }
+}
+
+void MtaRange(const float* a, const float* b, float* c, int k, int m, int n,
+              int r0, int r1) {
+  auto* tile = MtaTileGeneric;
+#if defined(__x86_64__) || defined(__i386__)
+  if (Isa() == IsaLevel::kAvx512) {
+    tile = MtaTileAvx512;
+  } else if (Isa() == IsaLevel::kAvx2) {
+    tile = MtaTileAvx2;
+  }
+#endif
+  int i0 = r0;
+  for (; i0 + kMmMr <= r1; i0 += kMmMr) {
+    int j0 = 0;
+    for (; j0 + kMmNr <= n; j0 += kMmNr) tile(a, b, c, k, m, n, i0, j0);
+    if (j0 < n) MtaEdge(a, b, c, k, m, n, i0, i0 + kMmMr, j0, n);
+  }
+  if (i0 < r1) MtaEdge(a, b, c, k, m, n, i0, r1, 0, n);
+}
+
+// --- TransposedB family: C[i][j] = dot(A row i, B row j) in double --------
+
+constexpr int kTbNr = 8;  // independent double accumulator chains per tile
+
+#define AGSC_TB_TILE_BODY                                                 \
+  double acc[kTbNr] = {};                                                 \
+  const float* arow = a + static_cast<std::size_t>(i) * k;                \
+  for (int p = 0; p < k; ++p) {                                           \
+    const double av = static_cast<double>(arow[p]);                       \
+    for (int jj = 0; jj < kTbNr; ++jj) {                                  \
+      acc[jj] += av * b[static_cast<std::size_t>(j0 + jj) * k + p];       \
+    }                                                                     \
+  }                                                                       \
+  float* crow = c + static_cast<std::size_t>(i) * n + j0;                 \
+  for (int jj = 0; jj < kTbNr; ++jj) {                                    \
+    crow[jj] = static_cast<float>(acc[jj]);                               \
+  }
+
+void TbTileGeneric(const float* a, const float* b, float* c, int k, int n,
+                   int i, int j0) {
+  AGSC_TB_TILE_BODY
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void TbTileAvx2(const float* a,
+                                                const float* b, float* c,
+                                                int k, int n, int i,
+                                                int j0) {
+  AGSC_TB_TILE_BODY
+}
+
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+TbTileAvx512(const float* a, const float* b, float* c, int k, int n, int i,
+             int j0) {
+  AGSC_TB_TILE_BODY
+}
+#endif  // x86
+
+#undef AGSC_TB_TILE_BODY
+
+void TbRange(const float* a, const float* b, float* c, int k, int n, int r0,
+             int r1) {
+  auto* tile = TbTileGeneric;
+#if defined(__x86_64__) || defined(__i386__)
+  if (Isa() == IsaLevel::kAvx512) {
+    tile = TbTileAvx512;
+  } else if (Isa() == IsaLevel::kAvx2) {
+    tile = TbTileAvx2;
+  }
+#endif
+  for (int i = r0; i < r1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    int j0 = 0;
+    for (; j0 + kTbNr <= n; j0 += kTbNr) tile(a, b, c, k, n, i, j0);
+    for (; j0 < n; ++j0) {
+      const float* brow = b + static_cast<std::size_t>(j0) * k;
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) {
+        s += static_cast<double>(arow[p]) * brow[p];
+      }
+      c[static_cast<std::size_t>(i) * n + j0] = static_cast<float>(s);
+    }
+  }
+}
+
+// --- Kernel configuration + row-partitioned parallel driver ---------------
+
+struct KernelState {
+  std::mutex mu;
+  KernelConfig config;
+  std::unique_ptr<util::ThreadPool> pool;
+};
+
+KernelState& State() {
+  static KernelState state;  // dtor joins any worker pool at exit
+  return state;
+}
+
+struct GemmPlan {
+  GemmKernel gemm;
+  long long min_flops;
+  util::ThreadPool* pool;  // null when nn_threads == 0
+};
+
+GemmPlan CurrentPlan() {
+  KernelState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return {s.config.gemm, s.config.parallel_min_flops, s.pool.get()};
+}
+
+// Runs run_range(r0, r1) over [0, m), split into at most pool->num_threads()
+// contiguous chunks. Chunk boundaries depend only on (m, worker count), and
+// every output element is computed wholly inside one chunk with an unchanged
+// accumulation order — so the result bits are independent of the worker
+// count and of scheduling.
+template <typename RangeFn>
+void RunRows(const GemmPlan& plan, long long flops, int m,
+             const RangeFn& run_range) {
+  util::ThreadPool* pool = plan.pool;
+  if (pool == nullptr || m < 2 || flops < plan.min_flops) {
+    run_range(0, m);
+    return;
+  }
+  const int chunks = std::min(pool->num_threads(), m);
+  const int base = m / chunks;
+  const int rem = m % chunks;
+  pool->ParallelFor(chunks, [&](int chunk) {
+    const int r0 = chunk * base + std::min(chunk, rem);
+    const int r1 = r0 + base + (chunk < rem ? 1 : 0);
+    run_range(r0, r1);
+  });
+}
+
+}  // namespace
+
+void SetKernelConfig(const KernelConfig& config) {
+  KernelState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.config = config;
+  s.config.nn_threads = std::max(0, s.config.nn_threads);
+  s.config.parallel_min_flops = std::max(0LL, s.config.parallel_min_flops);
+  const int have = s.pool ? s.pool->num_threads() : 0;
+  if (have != s.config.nn_threads) {
+    s.pool.reset();  // joins the old workers first
+    if (s.config.nn_threads > 0) {
+      s.pool = std::make_unique<util::ThreadPool>(s.config.nn_threads);
+    }
+  }
+}
+
+KernelConfig GetKernelConfig() {
+  KernelState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.config;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("MatMul: inner dims " + a.ShapeString() +
+                                " vs " + b.ShapeString());
+  }
+  const GemmPlan plan = CurrentPlan();
+  if (plan.gemm == GemmKernel::kNaive) return internal::NaiveMatMul(a, b);
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  if (m == 0 || n == 0) return c;
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  RunRows(plan, 2LL * m * k * n, m, [&](int r0, int r1) {
+    MmRange(ap, bp, cp, k, n, r0, r1);
+  });
   return c;
 }
 
@@ -148,17 +702,19 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("MatMulTransposedB: dims " + a.ShapeString() +
                                 " vs " + b.ShapeString());
   }
-  Tensor c(a.rows(), b.rows());
-  const int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.data() + static_cast<size_t>(i) * k;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.data() + static_cast<size_t>(j) * k;
-      double s = 0.0;
-      for (int p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
-      c(i, j) = static_cast<float>(s);
-    }
+  const GemmPlan plan = CurrentPlan();
+  if (plan.gemm == GemmKernel::kNaive) {
+    return internal::NaiveMatMulTransposedB(a, b);
   }
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c(m, n);
+  if (m == 0 || n == 0) return c;
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  RunRows(plan, 2LL * m * k * n, m, [&](int r0, int r1) {
+    TbRange(ap, bp, cp, k, n, r0, r1);
+  });
   return c;
 }
 
@@ -167,18 +723,19 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("MatMulTransposedA: dims " + a.ShapeString() +
                                 " vs " + b.ShapeString());
   }
-  Tensor c(a.cols(), b.cols());
-  const int m = a.cols(), k = a.rows(), n = b.cols();
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a.data() + static_cast<size_t>(p) * m;
-    const float* brow = b.data() + static_cast<size_t>(p) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.data() + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
+  const GemmPlan plan = CurrentPlan();
+  if (plan.gemm == GemmKernel::kNaive) {
+    return internal::NaiveMatMulTransposedA(a, b);
   }
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  Tensor c(m, n);
+  if (m == 0 || n == 0) return c;
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  RunRows(plan, 2LL * m * k * n, m, [&](int r0, int r1) {
+    MtaRange(ap, bp, cp, k, m, n, r0, r1);
+  });
   return c;
 }
 

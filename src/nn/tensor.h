@@ -9,24 +9,68 @@
 
 namespace agsc::nn {
 
+/// Selects the GEMM implementation used by MatMul / MatMulTransposedA /
+/// MatMulTransposedB. Every variant computes each output element through the
+/// same single accumulation chain (ascending inner index), so results are
+/// bit-identical across kernels — the choice affects speed only.
+enum class GemmKernel {
+  kNaive,    ///< Reference triple-loop kernels (the original implementation).
+  kBlocked,  ///< Cache-blocked, register-tiled kernels (default).
+};
+
+/// Process-wide configuration of the tensor compute kernels.
+struct KernelConfig {
+  GemmKernel gemm = GemmKernel::kBlocked;
+
+  /// Worker threads for the row-partitioned parallel GEMM path. 0 disables
+  /// threading (no pool is created). Output rows are split into at most
+  /// `nn_threads` contiguous chunks; each output element is still computed
+  /// wholly by one task in the unchanged accumulation order, so results are
+  /// bit-identical for every value of `nn_threads`.
+  int nn_threads = 0;
+
+  /// Minimum 2*m*k*n flop count before a GEMM is dispatched to the pool;
+  /// smaller products run inline on the caller. Purely a shape function, so
+  /// the inline/parallel decision is deterministic (and irrelevant to the
+  /// result bits either way). Tests set this to 0 to force the pool path.
+  long long parallel_min_flops = 1 << 21;
+};
+
+/// Installs `config` process-wide (thread-safe). Creates or resizes the GEMM
+/// worker pool as needed; `SetKernelConfig` must not be called concurrently
+/// with in-flight GEMMs.
+void SetKernelConfig(const KernelConfig& config);
+
+/// Returns the currently installed configuration.
+KernelConfig GetKernelConfig();
+
 /// Dense row-major 2-D float matrix. This is the only tensor rank the
 /// library needs: batches are rows, features are columns; vectors are 1xC or
 /// Rx1 matrices and scalars are 1x1.
+///
+/// Element storage is recycled through a thread-local buffer pool (see
+/// internal::AcquireBuffer), so graph-shaped workloads — e.g. one PPO
+/// optimize epoch — perform O(1) heap allocations after warm-up. The pool is
+/// transparent: construction, copying, and destruction have value semantics
+/// exactly as before.
 class Tensor {
  public:
   /// Creates an empty 0x0 tensor.
   Tensor() = default;
 
   /// Creates a rows x cols tensor initialized to zero.
-  Tensor(int rows, int cols);
+  /// Throws std::invalid_argument for negative dims (checked before any
+  /// storage is sized, so a negative dim can never trigger an allocation).
+  Tensor(int rows, int cols) : Tensor(rows, cols, 0.0f) {}
 
   /// Creates a rows x cols tensor filled with `fill`.
   Tensor(int rows, int cols, float fill);
 
-  Tensor(const Tensor&) = default;
-  Tensor(Tensor&&) noexcept = default;
-  Tensor& operator=(const Tensor&) = default;
-  Tensor& operator=(Tensor&&) noexcept = default;
+  Tensor(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(const Tensor& other);
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   /// Builds a 1xN row vector from `values`.
   static Tensor RowVector(const std::vector<float>& values);
@@ -73,6 +117,7 @@ class Tensor {
   Tensor Transposed() const;
 
   /// Returns a copy of row `r` as a 1xC tensor.
+  /// Throws std::out_of_range for r outside [0, rows()).
   Tensor Row(int r) const;
 
   /// In-place elementwise add of a same-shaped tensor.
@@ -100,7 +145,9 @@ class Tensor {
   std::string ShapeString() const;
 
   /// Row-major copy of the contents.
-  std::vector<float> ToVector() const { return data_; }
+  std::vector<float> ToVector() const {
+    return std::vector<float>(data_.begin(), data_.end());
+  }
 
  private:
   int rows_ = 0;
@@ -116,6 +163,39 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
 
 /// C = A^T * B without materializing the transpose.
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+namespace internal {
+
+/// Reference GEMMs, kept verbatim (minus the NaN-swallowing zero-skip) as the
+/// golden implementations the blocked kernels are tested bit-exact against.
+/// `MatMul` et al. route here when KernelConfig::gemm == GemmKernel::kNaive.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b);
+Tensor NaiveMatMulTransposedB(const Tensor& a, const Tensor& b);
+Tensor NaiveMatMulTransposedA(const Tensor& a, const Tensor& b);
+
+/// Per-thread buffer-pool counters (for this calling thread).
+struct BufferPoolStats {
+  long long acquires = 0;    ///< Total AcquireBuffer calls.
+  long long pool_hits = 0;   ///< Acquires served from the free list.
+  long long heap_allocs = 0; ///< Acquires that had to touch the heap.
+};
+
+/// Snapshot of this thread's pool counters.
+BufferPoolStats GetBufferPoolStats();
+
+/// False when pooling is compiled out (ASan/TSan builds keep the allocator
+/// instrumented); stats still count heap allocations in that mode.
+bool BufferPoolEnabled();
+
+/// Obtains a float buffer of exactly `n` elements, all set to `fill`,
+/// reusing a pooled allocation when one of sufficient capacity exists.
+std::vector<float> AcquireBuffer(std::size_t n, float fill);
+
+/// Returns a buffer to this thread's pool (or frees it if the pool is full,
+/// the buffer is outside pooled size classes, or the thread is exiting).
+void ReleaseBuffer(std::vector<float>&& buffer) noexcept;
+
+}  // namespace internal
 
 }  // namespace agsc::nn
 

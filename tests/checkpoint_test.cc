@@ -4,6 +4,8 @@
 // checkpoint retention/fallback, the divergence guard, and the strict
 // CLI-number / EnvConfig validation satellites.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -60,7 +62,10 @@ core::TrainConfig SmallTrainConfig() {
 }
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // gtest's TempDir is shared by every concurrently running test process
+  // (ctest -j spawns one per test case); fixed names collide across
+  // processes, so scope each path to this pid.
+  return ::testing::TempDir() + "/p" + std::to_string(::getpid()) + "_" + name;
 }
 
 /// Clears injected faults on scope entry and exit so tests never leak
@@ -84,6 +89,7 @@ std::vector<nn::Tensor> ActorSnapshot(core::HiMadrlTrainer& trainer,
   std::remove(path.c_str());
   const nn::CheckpointSection* params = ckpt.Find("params");
   EXPECT_NE(params, nullptr);
+  if (params == nullptr) return {};  // EXPECT_NE is non-fatal; don't deref.
   return params->tensors;
 }
 

@@ -139,5 +139,70 @@ TEST(TensorTest, UniformBounds) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Regressions for latent construction/access bugs.
+// ---------------------------------------------------------------------------
+
+TEST(TensorTest, NegativeDimsThrowBeforeAnyAllocation) {
+  // The ctor used to compute rows*cols before validating, so a negative dim
+  // became a ~SIZE_MAX allocation request (std::bad_alloc or worse) instead
+  // of a clean argument error.
+  EXPECT_THROW(Tensor(-1, 4), std::invalid_argument);
+  EXPECT_THROW(Tensor(4, -1), std::invalid_argument);
+  EXPECT_THROW(Tensor(-3, -3), std::invalid_argument);
+  EXPECT_THROW(Tensor(-1, 4, 2.0f), std::invalid_argument);
+  EXPECT_THROW(Tensor::FromRowMajor(-2, 2, {}), std::invalid_argument);
+}
+
+TEST(TensorTest, RowOutOfRangeThrows) {
+  // Row() used to memcpy from an unchecked offset — out-of-range indices
+  // read past the buffer instead of throwing.
+  Tensor m = Tensor::FromRowMajor(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_THROW(m.Row(-1), std::out_of_range);
+  EXPECT_THROW(m.Row(2), std::out_of_range);
+  EXPECT_NO_THROW(m.Row(1));
+}
+
+TEST(TensorTest, EmptyFactoriesAreSafe) {
+  // RowVector/ColVector/FromRowMajor used to memcpy from values.data() even
+  // when `values` was empty (null source pointer is UB for memcpy).
+  Tensor r = Tensor::RowVector({});
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r.cols(), 0);
+  Tensor c = Tensor::ColVector({});
+  EXPECT_EQ(c.rows(), 0);
+  EXPECT_EQ(c.cols(), 1);
+  Tensor m = Tensor::FromRowMajor(0, 5, {});
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 5);
+  EXPECT_TRUE(m.empty());
+  Tensor row0 = Tensor::FromRowMajor(0, 0, {});
+  EXPECT_TRUE(row0.empty());
+}
+
+TEST(TensorTest, CopyAndMoveSemantics) {
+  // The pooled-storage rewrite hand-rolls the rule of five; pin the exact
+  // value semantics the rest of the library assumes.
+  Tensor a = Tensor::FromRowMajor(2, 2, {1, 2, 3, 4});
+  Tensor copy = a;
+  copy(0, 0) = 99.0f;
+  EXPECT_EQ(a(0, 0), 1.0f);  // Deep copy.
+  EXPECT_EQ(copy(0, 0), 99.0f);
+
+  Tensor moved = std::move(copy);
+  EXPECT_EQ(moved(0, 0), 99.0f);
+  EXPECT_EQ(copy.size(), 0);  // NOLINT(bugprone-use-after-move): pinned empty.
+
+  Tensor assigned(3, 3, 7.0f);
+  assigned = a;
+  EXPECT_TRUE(assigned.SameAs(a));
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned(0, 0), 99.0f);
+
+  Tensor self = Tensor::FromRowMajor(1, 2, {5, 6});
+  self = self;  // Self-assignment must be a no-op.
+  EXPECT_EQ(self(0, 1), 6.0f);
+}
+
 }  // namespace
 }  // namespace agsc::nn

@@ -4,6 +4,8 @@
 // stable worker-order merging, and bit-exact checkpoint resume with
 // worker RNG streams (the "vrng" checkpoint section).
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -56,7 +58,9 @@ core::TrainConfig SmallTrainConfig(int num_workers, int episodes = 3) {
 }
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // pid-scoped: gtest's TempDir is shared across concurrently running test
+  // processes (ctest -j), and fixed names collide.
+  return ::testing::TempDir() + "/p" + std::to_string(::getpid()) + "_" + name;
 }
 
 std::string ReadFileBytes(const std::string& path) {

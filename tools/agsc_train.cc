@@ -6,6 +6,7 @@
 //              [--height M] [--threshold DB] [--medium noma|tdma|ofdma]
 //              [--no-eoi] [--no-copo] [--plain-copo] [--mappo]
 //              [--seed S] [--eval N] [--num-workers W]
+//              [--nn-threads T] [--nn-naive]
 //              [--save FILE] [--load FILE]
 //              [--checkpoint-dir DIR] [--checkpoint-every N]
 //              [--checkpoint-keep K] [--resume]
@@ -20,6 +21,10 @@
 // per-worker RNG streams: results are bit-identical for a given
 // (seed, W) pair, and checkpoints capture every worker stream so --resume
 // stays bit-exact.
+// --nn-threads T parallelizes the large GEMMs of the optimize phase over T
+// workers and --nn-naive falls back to the reference kernels; both are
+// bit-identical to the default blocked single-threaded kernels, so they
+// change throughput only, never the learned parameters.
 
 #include <iostream>
 #include <string>
@@ -49,6 +54,8 @@ struct Args {
   uint64_t seed = 1;
   int eval_episodes = 10;
   int num_workers = 1;
+  int nn_threads = 0;
+  bool nn_naive = false;
   std::string save_path;
   std::string load_path;
   std::string checkpoint_dir;
@@ -150,6 +157,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (!next_int("--num-workers", 1, 1024, &args.num_workers)) {
         return false;
       }
+    } else if (flag == "--nn-threads") {
+      if (!next_int("--nn-threads", 0, 1024, &args.nn_threads)) return false;
+    } else if (flag == "--nn-naive") {
+      args.nn_naive = true;
     } else if (flag == "--save") {
       const char* v = next("--save");
       if (!v) return false;
@@ -211,7 +222,8 @@ int main(int argc, char** argv) {
            "  [--subchannels Z] [--height M] [--threshold DB]\n"
            "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
            "  [--plain-copo] [--mappo] [--seed S] [--eval N]\n"
-           "  [--num-workers W] [--save FILE] [--load FILE]\n"
+           "  [--num-workers W] [--nn-threads T] [--nn-naive]\n"
+           "  [--save FILE] [--load FILE]\n"
            "  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
            "  [--checkpoint-keep K] [--resume] [--render] [--quiet]\n";
     return 1;
@@ -250,6 +262,8 @@ int main(int argc, char** argv) {
   if (args.mappo) train.base = core::BaseAlgo::kMappo;
   train.seed = args.seed;
   train.num_workers = args.num_workers;
+  train.nn_threads = args.nn_threads;
+  train.nn_naive_kernels = args.nn_naive;
   train.verbose = !args.quiet;
   train.checkpoint_dir = args.checkpoint_dir;
   train.checkpoint_every = args.checkpoint_every;

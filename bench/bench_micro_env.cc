@@ -1,7 +1,17 @@
-// Microbenchmarks of the environment substrate: env step/reset, channel
-// evaluation, road-graph queries and the GA tour planner.
+// Microbenchmarks of the environment substrate: env step/reset with
+// per-phase timings (MoveAgents / CollectData / BuildObservation), channel
+// evaluation, road-graph queries (cached/indexed vs naive), the
+// PathDistance-heavy UGV stepping path, and the GA tour planner.
+//
+// main() first runs a naive-vs-indexed self-check: every cached/indexed
+// query must be bit-identical to its naive oracle on randomized inputs,
+// and a full episode stepped with use_spatial_index on/off must produce
+// identical StepResults. The process exits non-zero on any mismatch, so
+// the ctest smoke run doubles as a CI equivalence check.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "algorithms/shortest_path.h"
 #include "bench/bench_common.h"
@@ -14,30 +24,91 @@ const map::Dataset& Dataset100() {
   return bench::GetDataset(map::CampusId::kPurdue, 100);
 }
 
-void BM_EnvReset(benchmark::State& state) {
+env::ScEnv MakeEnv(bool indexed, int uavs = -1, int ugvs = -1) {
   env::EnvConfig config;
-  env::ScEnv env(config, Dataset100(), 1);
+  config.use_spatial_index = indexed;
+  config.record_event_log = false;
+  if (uavs >= 0) config.num_uavs = uavs;
+  if (ugvs >= 0) config.num_ugvs = ugvs;
+  return env::ScEnv(config, Dataset100(), 1);
+}
+
+void RandomActions(util::Rng& rng, std::vector<env::UvAction>& actions) {
+  for (env::UvAction& a : actions) {
+    a = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+  }
+}
+
+void BM_EnvReset(benchmark::State& state) {
+  env::ScEnv env = MakeEnv(true);
+  env::StepResult step;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(env.Reset().observations[0][0]);
+    env.Reset(step);
+    benchmark::DoNotOptimize(step.observations[0][0]);
   }
 }
 BENCHMARK(BM_EnvReset)->Unit(benchmark::kMicrosecond);
 
-void BM_EnvStep(benchmark::State& state) {
-  env::EnvConfig config;
-  env::ScEnv env(config, Dataset100(), 1);
-  env.Reset();
+void EnvStep(benchmark::State& state, bool indexed) {
+  env::ScEnv env = MakeEnv(indexed);
+  env::StepResult step;
+  env.Reset(step);
   util::Rng rng(2);
   std::vector<env::UvAction> actions(env.num_agents());
   for (auto _ : state) {
-    if (env.timeslot() >= config.num_timeslots) env.Reset();
-    for (auto& a : actions) {
-      a = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
-    }
-    benchmark::DoNotOptimize(env.Step(actions).rewards[0]);
+    if (env.timeslot() >= env.config().num_timeslots) env.Reset(step);
+    RandomActions(rng, actions);
+    env.Step(actions, step);
+    benchmark::DoNotOptimize(step.rewards[0]);
   }
 }
+void BM_EnvStep(benchmark::State& state) { EnvStep(state, true); }
+void BM_EnvStepNaive(benchmark::State& state) { EnvStep(state, false); }
 BENCHMARK(BM_EnvStep)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EnvStepNaive)->Unit(benchmark::kMicrosecond);
+
+// --- Per-phase timings (through the ScEnvHotPathPeer backdoor). ---
+
+void BM_EnvMoveAgents(benchmark::State& state) {
+  env::ScEnv env = MakeEnv(true);
+  env.Reset();
+  util::Rng rng(3);
+  std::vector<env::UvAction> actions(env.num_agents());
+  std::vector<double> energy(env.num_agents(), 0.0);
+  for (auto _ : state) {
+    RandomActions(rng, actions);
+    env::ScEnvHotPathPeer::MoveAgents(env, actions, energy);
+    benchmark::DoNotOptimize(energy[0]);
+  }
+}
+BENCHMARK(BM_EnvMoveAgents)->Unit(benchmark::kMicrosecond);
+
+void BM_EnvCollectData(benchmark::State& state) {
+  env::ScEnv env = MakeEnv(true);
+  env.Reset();
+  std::vector<double> rewards(env.num_agents(), 0.0);
+  std::vector<env::CollectionEvent> events;
+  int calls = 0;
+  for (auto _ : state) {
+    // Refresh PoI data periodically so the collection never runs dry.
+    if (++calls % 256 == 0) env.Reset();
+    std::fill(rewards.begin(), rewards.end(), 0.0);
+    env::ScEnvHotPathPeer::CollectData(env, rewards, events);
+    benchmark::DoNotOptimize(rewards[0]);
+  }
+}
+BENCHMARK(BM_EnvCollectData)->Unit(benchmark::kMicrosecond);
+
+void BM_EnvBuildObservation(benchmark::State& state) {
+  env::ScEnv env = MakeEnv(true);
+  env.Reset();
+  std::vector<float> obs;
+  for (auto _ : state) {
+    env.BuildObservation(0, &obs);
+    benchmark::DoNotOptimize(obs[0]);
+  }
+}
+BENCHMARK(BM_EnvBuildObservation)->Unit(benchmark::kMicrosecond);
 
 void BM_ChannelAirLinkGain(benchmark::State& state) {
   env::EnvConfig config;
@@ -51,28 +122,92 @@ void BM_ChannelAirLinkGain(benchmark::State& state) {
 }
 BENCHMARK(BM_ChannelAirLinkGain);
 
-void BM_RoadProject(benchmark::State& state) {
+// --- Road-graph queries: grid/cache vs naive oracle. ---
+
+void RoadProject(benchmark::State& state, bool indexed) {
   const map::RoadGraph& roads = Dataset100().campus.roads;
+  roads.EnsureCaches();
   util::Rng rng(3);
   for (auto _ : state) {
+    const map::Point2 p{rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)};
     benchmark::DoNotOptimize(
-        roads.Project({rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)})
-            .edge);
+        (indexed ? roads.Project(p) : roads.ProjectNaive(p)).edge);
   }
 }
+void BM_RoadProject(benchmark::State& state) { RoadProject(state, true); }
+void BM_RoadProjectNaive(benchmark::State& state) {
+  RoadProject(state, false);
+}
 BENCHMARK(BM_RoadProject)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RoadProjectNaive)->Unit(benchmark::kMicrosecond);
 
-void BM_RoadMoveToward(benchmark::State& state) {
+void RoadPathDistance(benchmark::State& state, bool cached) {
   const map::RoadGraph& roads = Dataset100().campus.roads;
+  roads.EnsureCaches();
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const map::RoadPosition a = roads.Project(
+        {rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)});
+    const map::RoadPosition b = roads.Project(
+        {rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)});
+    benchmark::DoNotOptimize(cached ? roads.PathDistance(a, b)
+                                    : roads.PathDistanceNaive(a, b));
+  }
+}
+void BM_RoadPathDistance(benchmark::State& state) {
+  RoadPathDistance(state, true);
+}
+void BM_RoadPathDistanceNaive(benchmark::State& state) {
+  RoadPathDistance(state, false);
+}
+BENCHMARK(BM_RoadPathDistance)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RoadPathDistanceNaive)->Unit(benchmark::kMicrosecond);
+
+void RoadMoveToward(benchmark::State& state, bool indexed) {
+  const map::RoadGraph& roads = Dataset100().campus.roads;
+  roads.EnsureCaches();
   util::Rng rng(4);
   map::RoadPosition pos = roads.Project({1000.0, 1000.0});
   for (auto _ : state) {
-    pos = roads.MoveToward(
-        pos, {rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)}, 100.0);
+    const map::Point2 target{rng.Uniform(0.0, 2000.0),
+                             rng.Uniform(0.0, 2000.0)};
+    pos = indexed ? roads.MoveToward(pos, target, 100.0)
+                  : roads.MoveTowardNaive(pos, target, 100.0);
     benchmark::DoNotOptimize(pos.t);
   }
 }
+void BM_RoadMoveToward(benchmark::State& state) {
+  RoadMoveToward(state, true);
+}
+void BM_RoadMoveTowardNaive(benchmark::State& state) {
+  RoadMoveToward(state, false);
+}
 BENCHMARK(BM_RoadMoveToward)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RoadMoveTowardNaive)->Unit(benchmark::kMicrosecond);
+
+// The acceptance benchmark: a UGV-only fleet, where every step pays for
+// road projection + shortest-path routing per vehicle. Naive runs up to
+// four Dijkstras plus an O(E) projection per UGV per slot; the cached path
+// reduces that to table lookups plus a grid query.
+void UgvStepping(benchmark::State& state, bool indexed) {
+  env::ScEnv env = MakeEnv(indexed, /*uavs=*/0, /*ugvs=*/4);
+  env::StepResult step;
+  env.Reset(step);
+  util::Rng rng(8);
+  std::vector<env::UvAction> actions(env.num_agents());
+  for (auto _ : state) {
+    if (env.timeslot() >= env.config().num_timeslots) env.Reset(step);
+    RandomActions(rng, actions);
+    env.Step(actions, step);
+    benchmark::DoNotOptimize(step.rewards[0]);
+  }
+}
+void BM_UgvStepping(benchmark::State& state) { UgvStepping(state, true); }
+void BM_UgvSteppingNaive(benchmark::State& state) {
+  UgvStepping(state, false);
+}
+BENCHMARK(BM_UgvStepping)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_UgvSteppingNaive)->Unit(benchmark::kMicrosecond);
 
 void BM_GaTourPlanning(benchmark::State& state) {
   const int count = static_cast<int>(state.range(0));
@@ -95,6 +230,105 @@ void BM_GaTourPlanning(benchmark::State& state) {
 }
 BENCHMARK(BM_GaTourPlanning)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
 
+// --- Naive-vs-indexed equivalence self-check (run before benchmarks). ---
+
+bool RoadPositionsEqual(const map::RoadPosition& a,
+                        const map::RoadPosition& b) {
+  return a.edge == b.edge && a.t == b.t;
+}
+
+bool RoadSelfCheck() {
+  const map::RoadGraph& roads = Dataset100().campus.roads;
+  util::Rng rng(17);
+  for (int it = 0; it < 200; ++it) {
+    const map::Point2 p{rng.Uniform(-200.0, 2200.0),
+                        rng.Uniform(-200.0, 2200.0)};
+    const map::Point2 q{rng.Uniform(-200.0, 2200.0),
+                        rng.Uniform(-200.0, 2200.0)};
+    if (!RoadPositionsEqual(roads.Project(p), roads.ProjectNaive(p))) {
+      std::fprintf(stderr, "self-check FAILED: Project mismatch\n");
+      return false;
+    }
+    const map::RoadPosition a = roads.Project(p);
+    const map::RoadPosition b = roads.Project(q);
+    if (roads.PathDistance(a, b) != roads.PathDistanceNaive(a, b)) {
+      std::fprintf(stderr, "self-check FAILED: PathDistance mismatch\n");
+      return false;
+    }
+    const double budget = rng.Uniform(0.0, 400.0);
+    double moved_fast = 0.0, moved_naive = 0.0;
+    const map::RoadPosition mf = roads.MoveAlong(a, b, budget, &moved_fast);
+    const map::RoadPosition mn =
+        roads.MoveAlongNaive(a, b, budget, &moved_naive);
+    if (!RoadPositionsEqual(mf, mn) || moved_fast != moved_naive) {
+      std::fprintf(stderr, "self-check FAILED: MoveAlong mismatch\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool EventsEqual(const env::CollectionEvent& a,
+                 const env::CollectionEvent& b) {
+  return a.subchannel == b.subchannel && a.uav == b.uav && a.ugv == b.ugv &&
+         a.poi_uav == b.poi_uav && a.poi_ugv == b.poi_ugv &&
+         a.collected_uav_gbit == b.collected_uav_gbit &&
+         a.collected_ugv_gbit == b.collected_ugv_gbit &&
+         a.loss_uav == b.loss_uav && a.loss_ugv == b.loss_ugv &&
+         a.sinr_uplink_uav_db == b.sinr_uplink_uav_db &&
+         a.sinr_relay_db == b.sinr_relay_db &&
+         a.sinr_uplink_ugv_db == b.sinr_uplink_ugv_db;
+}
+
+bool StepResultsEqual(const env::StepResult& a, const env::StepResult& b) {
+  if (a.observations != b.observations || a.state != b.state ||
+      a.rewards != b.rewards || a.done != b.done ||
+      a.events.size() != b.events.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    if (!EventsEqual(a.events[i], b.events[i])) return false;
+  }
+  return true;
+}
+
+bool EnvSelfCheck() {
+  env::EnvConfig indexed_config;
+  indexed_config.num_timeslots = 40;
+  indexed_config.use_spatial_index = true;
+  env::EnvConfig naive_config = indexed_config;
+  naive_config.use_spatial_index = false;
+  env::ScEnv indexed(indexed_config, Dataset100(), 11);
+  env::ScEnv naive(naive_config, Dataset100(), 11);
+  env::StepResult si, sn;
+  indexed.Reset(si);
+  naive.Reset(sn);
+  if (!StepResultsEqual(si, sn)) {
+    std::fprintf(stderr, "self-check FAILED: Reset mismatch\n");
+    return false;
+  }
+  util::Rng rng(23);
+  std::vector<env::UvAction> actions(indexed.num_agents());
+  for (int t = 0; t < indexed_config.num_timeslots; ++t) {
+    RandomActions(rng, actions);
+    indexed.Step(actions, si);
+    naive.Step(actions, sn);
+    if (!StepResultsEqual(si, sn)) {
+      std::fprintf(stderr, "self-check FAILED: Step %d mismatch\n", t);
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!RoadSelfCheck() || !EnvSelfCheck()) return 1;
+  std::fprintf(stderr, "naive-vs-indexed self-check OK\n");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -218,21 +218,24 @@ struct EDivertTrainer::Impl {
   double CollectEpisodes() {
     std::vector<env::Metrics> metrics;
     const float noise = CurrentNoise();
+    // Double-buffered StepResults: the out-param Step writes into nxt
+    // (reusing its storage), then the buffers swap.
+    env::StepResult cur, nxt;
     for (int e = 0; e < config.episodes_per_iteration; ++e) {
-      env::StepResult step = env.Reset();
+      env.Reset(cur);
       std::vector<nn::Tensor> hidden(num_agents,
                                      actors[0]->InitialState(1));
-      while (!step.done) {
+      while (!cur.done) {
         Transition t;
-        t.obs = step.observations;
-        t.state = step.state;
+        t.obs = cur.observations;
+        t.state = cur.state;
         std::vector<env::UvAction> actions(num_agents);
         std::vector<nn::Tensor> next_hidden(num_agents);
         for (int k = 0; k < num_agents; ++k) {
           t.hidden.push_back(hidden[k].ToVector());
           nn::Tensor obs_row(1, obs_dim);
           for (int c = 0; c < obs_dim; ++c) {
-            obs_row[c] = step.observations[k][c];
+            obs_row[c] = cur.observations[k][c];
           }
           auto [action, h_next] =
               actors[k]->Forward(nn::Variable::Constant(obs_row),
@@ -248,17 +251,17 @@ struct EDivertTrainer::Impl {
           t.actions.push_back(a);
           actions[k] = {a[0], a[1]};
         }
-        env::StepResult next = env.Step(actions);
-        t.next_obs = next.observations;
-        t.next_state = next.state;
+        env.Step(actions, nxt);
+        t.next_obs = nxt.observations;
+        t.next_state = nxt.state;
         for (int k = 0; k < num_agents; ++k) {
-          t.rewards.push_back(static_cast<float>(next.rewards[k]));
+          t.rewards.push_back(static_cast<float>(nxt.rewards[k]));
           t.next_hidden.push_back(next_hidden[k].ToVector());
         }
-        t.done = next.done;
+        t.done = nxt.done;
         StoreTransition(std::move(t));
         hidden = std::move(next_hidden);
-        step = std::move(next);
+        std::swap(cur, nxt);
       }
       metrics.push_back(env.EpisodeMetrics());
     }

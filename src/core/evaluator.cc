@@ -6,16 +6,19 @@ EvalResult Evaluate(env::ScEnv& env, Policy& policy, int episodes,
                     uint64_t seed, bool deterministic) {
   EvalResult result;
   util::Rng rng(seed);
+  // One reused StepResult: the out-param Step overwrites it in place (its
+  // observations are consumed by policy.Act before the next Step call).
+  env::StepResult step;
+  std::vector<env::UvAction> actions(env.num_agents());
   for (int e = 0; e < episodes; ++e) {
-    env::StepResult step = env.Reset();
+    env.Reset(step);
     policy.BeginEpisode(env);
     while (!step.done) {
-      std::vector<env::UvAction> actions(env.num_agents());
       for (int k = 0; k < env.num_agents(); ++k) {
         actions[k] =
             policy.Act(env, k, step.observations[k], rng, deterministic);
       }
-      step = env.Step(actions);
+      env.Step(actions, step);
     }
     result.episodes.push_back(env.EpisodeMetrics());
   }

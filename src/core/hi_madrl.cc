@@ -181,40 +181,41 @@ void HiMadrlTrainer::CollectRollouts() {
     return;
   }
   // Legacy sequential sampler (num_workers == 0): the reference
-  // implementation the vectorized path is tested against.
+  // implementation the vectorized path is tested against. `cur`/`nxt` are
+  // double-buffered StepResults (see VecSampler::Collect): the out-param
+  // Step writes into nxt reusing its storage, then the two swap.
+  env::StepResult cur, nxt;
+  std::vector<env::UvAction> actions(num_agents);
+  std::vector<float> logps(num_agents);
+  std::vector<std::vector<float>> raw_actions(num_agents);
   for (int e = 0; e < config_.episodes_per_iteration; ++e) {
-    env::StepResult step = env_.Reset();
-    std::vector<std::vector<float>> obs = step.observations;
-    std::vector<float> state = step.state;
+    env_.Reset(cur);
     while (true) {
-      std::vector<env::UvAction> actions(num_agents);
-      std::vector<float> logps(num_agents);
-      std::vector<std::vector<float>> raw_actions(num_agents);
       for (int k = 0; k < num_agents; ++k) {
-        raw_actions[k] = Nets(k).actor->Act(ActorInput(k, obs[k]), rng_,
-                                            /*deterministic=*/false,
-                                            &logps[k]);
+        raw_actions[k] =
+            Nets(k).actor->Act(ActorInput(k, cur.observations[k]), rng_,
+                               /*deterministic=*/false, &logps[k]);
         actions[k] = {raw_actions[k][0], raw_actions[k][1]};
       }
-      env::StepResult next = env_.Step(actions);
+      env_.Step(actions, nxt);
       for (int k = 0; k < num_agents; ++k) {
         AgentRollout& r = buffer_.agents[k];
-        r.obs.push_back(obs[k]);
-        r.next_obs.push_back(next.observations[k]);
+        r.obs.push_back(cur.observations[k]);
+        r.next_obs.push_back(nxt.observations[k]);
         r.action_dir.push_back(raw_actions[k][0]);
         r.action_speed.push_back(raw_actions[k][1]);
         r.logp_old.push_back(logps[k]);
-        r.reward_ext.push_back(static_cast<float>(next.rewards[k]));
+        r.reward_ext.push_back(static_cast<float>(nxt.rewards[k]));
         r.he_neighbors.push_back(env_.HeterogeneousNeighbors(k));
         r.ho_neighbors.push_back(env_.HomogeneousNeighbors(k));
-        r.done.push_back(next.done ? 1 : 0);
+        r.done.push_back(nxt.done ? 1 : 0);
       }
-      buffer_.states.push_back(state);
-      buffer_.next_states.push_back(next.state);
-      buffer_.done.push_back(next.done ? 1 : 0);
-      obs = next.observations;
-      state = next.state;
-      if (next.done) break;
+      buffer_.states.push_back(cur.state);
+      buffer_.next_states.push_back(nxt.state);
+      buffer_.done.push_back(nxt.done ? 1 : 0);
+      const bool episode_done = nxt.done;
+      std::swap(cur, nxt);
+      if (episode_done) break;
     }
     rollout_metrics_.push_back(env_.EpisodeMetrics());
     total_env_steps_ +=

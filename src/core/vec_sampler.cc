@@ -69,9 +69,12 @@ void VecSampler::Collect(int episodes, const BatchActFn& act,
   std::vector<std::vector<env::Metrics>> wmetrics(w_count);
 
   // Worker-local step state; element w is only touched by worker w's tasks
-  // (or the main thread between ParallelFor barriers).
-  std::vector<std::vector<std::vector<float>>> obs(w_count);
-  std::vector<std::vector<float>> state(w_count);
+  // (or the main thread between ParallelFor barriers). `cur`/`nxt` are
+  // double-buffered StepResults: each step writes into nxt[w] (reusing its
+  // storage via the out-param Step) and then swaps, so the steady-state
+  // loop performs no per-step allocation inside the environment.
+  std::vector<env::StepResult> cur(w_count);
+  std::vector<env::StepResult> nxt(w_count);
   std::vector<std::vector<env::UvAction>> actions(
       w_count, std::vector<env::UvAction>(num_agents));
   std::vector<std::vector<std::array<float, 2>>> raw(
@@ -91,11 +94,7 @@ void VecSampler::Collect(int episodes, const BatchActFn& act,
   const int rounds = (episodes + w_count - 1) / w_count;
   for (int r = 0; r < rounds; ++r) {
     const int active = std::min(w_count, episodes - r * w_count);
-    pool_.ParallelFor(active, [&](int w) {
-      env::StepResult first = worker_env(w).Reset();
-      obs[w] = std::move(first.observations);
-      state[w] = std::move(first.state);
-    });
+    pool_.ParallelFor(active, [&](int w) { worker_env(w).Reset(cur[w]); });
 
     std::vector<uint8_t> running(static_cast<size_t>(active), 1);
     int num_running = active;
@@ -112,7 +111,7 @@ void VecSampler::Collect(int episodes, const BatchActFn& act,
         rows.clear();
         rngs.clear();
         for (int w : run_ids) {
-          rows.push_back(&obs[w][static_cast<size_t>(k)]);
+          rows.push_back(&cur[w].observations[static_cast<size_t>(k)]);
           rngs.push_back(&sample_rng(w));
         }
         batch_actions.assign(run_ids.size(), {});
@@ -133,11 +132,12 @@ void VecSampler::Collect(int episodes, const BatchActFn& act,
       pool_.ParallelFor(static_cast<int>(run_ids.size()), [&](int i) {
         const int w = run_ids[static_cast<size_t>(i)];
         env::ScEnv& e = worker_env(w);
-        env::StepResult next = e.Step(actions[w]);
+        e.Step(actions[w], nxt[w]);
+        const env::StepResult& next = nxt[w];
         MultiAgentBuffer& b = wbufs[static_cast<size_t>(w)];
         for (int k = 0; k < num_agents; ++k) {
           AgentRollout& ar = b.agents[static_cast<size_t>(k)];
-          ar.obs.push_back(obs[w][static_cast<size_t>(k)]);
+          ar.obs.push_back(cur[w].observations[static_cast<size_t>(k)]);
           ar.next_obs.push_back(next.observations[static_cast<size_t>(k)]);
           ar.action_dir.push_back(raw[w][static_cast<size_t>(k)][0]);
           ar.action_speed.push_back(raw[w][static_cast<size_t>(k)][1]);
@@ -148,12 +148,14 @@ void VecSampler::Collect(int episodes, const BatchActFn& act,
           ar.ho_neighbors.push_back(e.HomogeneousNeighbors(k));
           ar.done.push_back(next.done ? 1 : 0);
         }
-        b.states.push_back(state[w]);
+        b.states.push_back(cur[w].state);
         b.next_states.push_back(next.state);
         b.done.push_back(next.done ? 1 : 0);
-        obs[w] = std::move(next.observations);
-        state[w] = std::move(next.state);
-        if (next.done) {
+        const bool episode_done = next.done;
+        // Promote next -> cur; the displaced buffers become next step's
+        // scratch, so their capacity is reused instead of reallocated.
+        std::swap(cur[w], nxt[w]);
+        if (episode_done) {
           wmetrics[static_cast<size_t>(w)].push_back(e.EpisodeMetrics());
           running[static_cast<size_t>(w)] = 0;
         }

@@ -86,6 +86,19 @@ struct EnvConfig {
   /// diagonal; the paper's best value is 25% of the task-area size.
   double neighbor_range_fraction = 0.25;
 
+  // --- Performance knobs (no effect on results) ---
+  /// If true, every slot's CollectionEvents are appended to
+  /// ScEnv::event_log() (needed by evaluator/render analysis). Training
+  /// only consumes the last slot's events, so long runs can turn this off
+  /// to avoid per-slot allocation and unbounded memory growth.
+  bool record_event_log = true;
+  /// If true (default), ScEnv uses the grid-accelerated nearest-neighbor
+  /// queries and the cached road routing; if false it uses the naive
+  /// linear-scan / per-call-Dijkstra reference paths. Both produce
+  /// bit-identical results (pinned by tests); the naive path exists as an
+  /// oracle and debugging aid.
+  bool use_spatial_index = true;
+
   int num_agents() const { return num_uavs + num_ugvs; }
 
   /// Checks the structural invariants every consumer of this config relies

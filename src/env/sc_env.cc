@@ -6,10 +6,6 @@
 
 namespace agsc::env {
 
-namespace {
-constexpr double kTwoPi = 2.0 * M_PI;
-}  // namespace
-
 ScEnv::ScEnv(const EnvConfig& config, map::Dataset dataset, uint64_t seed)
     : config_(config),
       dataset_(std::move(dataset)),
@@ -22,6 +18,18 @@ ScEnv::ScEnv(const EnvConfig& config, map::Dataset dataset, uint64_t seed)
   if (static_cast<int>(dataset_.pois.size()) < config_.num_pois) {
     throw std::invalid_argument("ScEnv: dataset has fewer PoIs than config");
   }
+  if (config_.use_spatial_index) {
+    // Warm the road routing caches now so the const queries issued while
+    // stepping are read-only and allocation-free.
+    dataset_.campus.roads.EnsureCaches();
+    const std::vector<map::Point2> pois(
+        dataset_.pois.begin(), dataset_.pois.begin() + config_.num_pois);
+    const int cells = std::clamp(
+        static_cast<int>(std::lround(std::sqrt(
+            static_cast<double>(config_.num_pois)))),
+        1, 64);
+    poi_grid_.Build(dataset_.campus.bounds, pois, cells);
+  }
 }
 
 int ScEnv::obs_dim() const {
@@ -30,7 +38,24 @@ int ScEnv::obs_dim() const {
 
 int ScEnv::state_dim() const { return obs_dim(); }
 
+void ScEnv::RebuildAgentGrid() {
+  if (!config_.use_spatial_index) return;
+  const int n = config_.num_agents();
+  agent_pos_scratch_.resize(n);
+  for (int k = 0; k < n; ++k) agent_pos_scratch_[k] = uvs_[k].pos;
+  const int cells = std::clamp(
+      static_cast<int>(std::lround(std::sqrt(static_cast<double>(n)))), 1,
+      16);
+  agent_grid_.Build(dataset_.campus.bounds, agent_pos_scratch_, cells);
+}
+
 StepResult ScEnv::Reset() {
+  StepResult result;
+  Reset(result);
+  return result;
+}
+
+void ScEnv::Reset(StepResult& result) {
   timeslot_ = 0;
   done_ = false;
   loss_events_ = 0;
@@ -50,24 +75,30 @@ StepResult ScEnv::Reset() {
     uv.active = true;
     uv.last_speed = 0.0;
     if (uv.kind == UvKind::kUgv) {
-      uv.road_pos = campus.roads.Project(campus.spawn);
+      uv.road_pos = config_.use_spatial_index
+                        ? campus.roads.Project(campus.spawn)
+                        : campus.roads.ProjectNaive(campus.spawn);
       uv.pos = campus.roads.PointAt(uv.road_pos);
     }
   }
   poi_data_.assign(config_.num_pois, config_.initial_data_gbit);
-  trajectories_.assign(config_.num_agents(), {});
+  // Clear trajectories without freeing the per-agent storage, so episode
+  // 2+ appends into already-warm capacity.
+  trajectories_.resize(config_.num_agents());
+  for (std::vector<map::Point2>& traj : trajectories_) traj.clear();
   for (int k = 0; k < config_.num_agents(); ++k) {
     trajectories_[k].push_back(uvs_[k].pos);
   }
+  RebuildAgentGrid();
 
-  StepResult result;
   result.rewards.assign(config_.num_agents(), 0.0);
   result.done = false;
+  result.events.clear();
+  result.observations.resize(config_.num_agents());
   for (int k = 0; k < config_.num_agents(); ++k) {
-    result.observations.push_back(BuildObservation(k));
+    BuildObservation(k, &result.observations[k]);
   }
-  result.state = BuildState();
-  return result;
+  BuildState(&result.state);
 }
 
 void ScEnv::MoveAgents(const std::vector<UvAction>& actions,
@@ -99,7 +130,10 @@ void ScEnv::MoveAgents(const std::vector<UvAction>& actions,
           uv.pos + map::Point2{std::cos(direction), std::sin(direction)} *
                        budget;
       uv.road_pos =
-          campus.roads.MoveToward(uv.road_pos, target, budget, &moved);
+          config_.use_spatial_index
+              ? campus.roads.MoveToward(uv.road_pos, target, budget, &moved)
+              : campus.roads.MoveTowardNaive(uv.road_pos, target, budget,
+                                             &moved);
       uv.pos = campus.roads.PointAt(uv.road_pos);
     }
     const double realized_speed =
@@ -121,6 +155,7 @@ void ScEnv::MoveAgents(const std::vector<UvAction>& actions,
                              : energy_ratio_sum_ugv_) +=
         spent / uv.initial_energy_j;
   }
+  RebuildAgentGrid();
 }
 
 double ScEnv::SampleFadingGain() {
@@ -131,8 +166,8 @@ double ScEnv::SampleFadingGain() {
   return -config_.rayleigh_mean_gain * std::log(u);
 }
 
-std::vector<CollectionEvent> ScEnv::CollectData(
-    std::vector<double>& rewards) {
+void ScEnv::CollectData(std::vector<double>& rewards,
+                        std::vector<CollectionEvent>& events) {
   // Subchannel assignment: every active UAV transmits each slot on
   // subchannel (uav rank) % Z, relaying to its nearest UGV; the decoding
   // UGV's own direct uplink (PoI i') shares that channel, forming the
@@ -140,55 +175,70 @@ std::vector<CollectionEvent> ScEnv::CollectData(
   // relay pairs share a channel and interfere — this is what makes the
   // efficiency fall again for large fleets (Section VI-D1). UGVs that
   // decode for nobody direct-collect on (ugv rank) % Z.
-  std::vector<CollectionEvent> events;
-  std::vector<int> uavs, ugvs;
+  events.clear();
+  const bool indexed = config_.use_spatial_index;
+  std::vector<int>& uavs = uavs_scratch_;
+  std::vector<int>& ugvs = ugvs_scratch_;
+  uavs.clear();
+  ugvs.clear();
   for (int k = 0; k < config_.num_agents(); ++k) {
     if (!uvs_[k].active) continue;
     (IsUav(k) ? uavs : ugvs).push_back(k);
   }
-  if (uavs.empty() && ugvs.empty()) return events;
+  if (uavs.empty() && ugvs.empty()) return;
   const double total_initial =
       static_cast<double>(config_.num_pois) * config_.initial_data_gbit;
   const double threshold = channel_.SinrThresholdLinear();
   const int Z = config_.num_subchannels;
   const double height = config_.uav_height;
 
-  std::vector<bool> claimed(config_.num_pois, false);
+  std::vector<uint8_t>& claimed = claimed_scratch_;
+  claimed.assign(config_.num_pois, 0);
   auto nearest_poi = [&](const map::Point2& pos) {
-    int best = -1;
-    double best_dist = 0.0;
-    for (int i = 0; i < config_.num_pois; ++i) {
-      if (claimed[i] || poi_data_[i] <= 0.0) continue;
-      const double d = map::Distance(pos, dataset_.pois[i]);
-      if (best < 0 || d < best_dist) {
-        best = i;
-        best_dist = d;
+    int best;
+    if (indexed) {
+      best = poi_grid_.Nearest(
+          pos, [&](int i) { return !claimed[i] && poi_data_[i] > 0.0; },
+          nullptr);
+    } else {
+      best = -1;
+      double best_dist = 0.0;
+      for (int i = 0; i < config_.num_pois; ++i) {
+        if (claimed[i] || poi_data_[i] <= 0.0) continue;
+        const double d = map::Distance(pos, dataset_.pois[i]);
+        if (best < 0 || d < best_dist) {
+          best = i;
+          best_dist = d;
+        }
       }
     }
-    if (best >= 0) claimed[best] = true;
+    if (best >= 0) claimed[best] = 1;
     return best;
   };
 
   // --- Build this slot's link plan. ---
-  struct Pair {
-    int subchannel;
-    int uav;
-    int ugv;      // Decoder (nearest UGV), -1 if none.
-    int poi_uav;  // i.
-  };
-  std::vector<Pair> pairs;
-  std::vector<int> ugv_channel(config_.num_agents(), -1);
+  std::vector<RelayPair>& pairs = pairs_scratch_;
+  pairs.clear();
+  std::vector<int>& ugv_channel = ugv_channel_scratch_;
+  ugv_channel.assign(config_.num_agents(), -1);
   for (size_t j = 0; j < uavs.size(); ++j) {
-    Pair pair;
+    RelayPair pair;
     pair.subchannel = static_cast<int>(j) % Z;
     pair.uav = uavs[j];
-    pair.ugv = -1;
-    double best = 0.0;
-    for (int cand : ugvs) {
-      const double d = map::Distance(uvs_[pair.uav].pos, uvs_[cand].pos);
-      if (pair.ugv < 0 || d < best) {
-        pair.ugv = cand;
-        best = d;
+    if (indexed) {
+      pair.ugv = agent_grid_.Nearest(
+          uvs_[pair.uav].pos,
+          [&](int cand) { return !IsUav(cand) && uvs_[cand].active; },
+          nullptr);
+    } else {
+      pair.ugv = -1;
+      double best = 0.0;
+      for (int cand : ugvs) {
+        const double d = map::Distance(uvs_[pair.uav].pos, uvs_[cand].pos);
+        if (pair.ugv < 0 || d < best) {
+          pair.ugv = cand;
+          best = d;
+        }
       }
     }
     pair.poi_uav = nearest_poi(uvs_[pair.uav].pos);
@@ -197,14 +247,10 @@ std::vector<CollectionEvent> ScEnv::CollectData(
     }
     pairs.push_back(pair);
   }
-  struct Direct {
-    int subchannel;
-    int ugv;
-    int poi_ugv;  // i'.
-  };
-  std::vector<Direct> directs;
+  std::vector<DirectUplink>& directs = directs_scratch_;
+  directs.clear();
   for (size_t j = 0; j < ugvs.size(); ++j) {
-    Direct direct;
+    DirectUplink direct;
     direct.ugv = ugvs[j];
     direct.subchannel = ugv_channel[direct.ugv] >= 0
                             ? ugv_channel[direct.ugv]
@@ -214,11 +260,15 @@ std::vector<CollectionEvent> ScEnv::CollectData(
   }
 
   // Per-subchannel ground transmitters (PoIs) for interference sums.
-  std::vector<std::vector<int>> channel_pois(Z);
-  for (const Pair& pair : pairs) {
-    if (pair.poi_uav >= 0) channel_pois[pair.subchannel].push_back(pair.poi_uav);
+  std::vector<std::vector<int>>& channel_pois = channel_pois_scratch_;
+  channel_pois.resize(Z);
+  for (std::vector<int>& pois : channel_pois) pois.clear();
+  for (const RelayPair& pair : pairs) {
+    if (pair.poi_uav >= 0) {
+      channel_pois[pair.subchannel].push_back(pair.poi_uav);
+    }
   }
-  for (const Direct& direct : directs) {
+  for (const DirectUplink& direct : directs) {
     if (direct.poi_ugv >= 0) {
       channel_pois[direct.subchannel].push_back(direct.poi_ugv);
     }
@@ -266,7 +316,7 @@ std::vector<CollectionEvent> ScEnv::CollectData(
   const double noise = channel_.NoisePower();
 
   // --- UAV relay chains: PoI i -> UAV u -> UGV g (Def. 1). ---
-  for (const Pair& pair : pairs) {
+  for (const RelayPair& pair : pairs) {
     CollectionEvent ev;
     ev.subchannel = pair.subchannel;
     ev.uav = pair.uav;
@@ -316,7 +366,7 @@ std::vector<CollectionEvent> ScEnv::CollectData(
   }
 
   // --- UGV direct uplinks: PoI i' -> UGV g (Def. 2). ---
-  for (const Direct& direct : directs) {
+  for (const DirectUplink& direct : directs) {
     if (direct.poi_ugv < 0) continue;
     CollectionEvent ev;
     ev.subchannel = direct.subchannel;
@@ -329,7 +379,7 @@ std::vector<CollectionEvent> ScEnv::CollectData(
     // Eqn. (6): the own pair's relayed PoI is SIC-canceled; other
     // co-channel pairs' transmitters still interfere.
     int own_pair_poi = -1;
-    for (const Pair& pair : pairs) {
+    for (const RelayPair& pair : pairs) {
       if (pair.ugv == g && pair.subchannel == direct.subchannel) {
         own_pair_poi = pair.poi_uav;
         break;
@@ -356,46 +406,51 @@ std::vector<CollectionEvent> ScEnv::CollectData(
     }
     events.push_back(ev);
   }
-  return events;
 }
 
 StepResult ScEnv::Step(const std::vector<UvAction>& actions) {
+  StepResult result;
+  Step(actions, result);
+  return result;
+}
+
+void ScEnv::Step(const std::vector<UvAction>& actions, StepResult& result) {
   if (done_) throw std::logic_error("ScEnv::Step after episode end");
   if (static_cast<int>(actions.size()) != config_.num_agents()) {
     throw std::invalid_argument("ScEnv::Step: wrong action count");
   }
-  StepResult result;
   result.rewards.assign(config_.num_agents(), 0.0);
 
-  std::vector<double> energy_used(config_.num_agents(), 0.0);
-  MoveAgents(actions, energy_used);
-  result.events = CollectData(result.rewards);
+  energy_scratch_.assign(config_.num_agents(), 0.0);
+  MoveAgents(actions, energy_scratch_);
+  CollectData(result.rewards, result.events);
   last_events_ = result.events;
-  event_log_.push_back(result.events);
+  if (config_.record_event_log) event_log_.push_back(result.events);
 
   // Movement-energy penalty term of Eqn. (17).
   for (int k = 0; k < config_.num_agents(); ++k) {
     result.rewards[k] -=
-        config_.omega_move * energy_used[k] / uvs_[k].initial_energy_j;
+        config_.omega_move * energy_scratch_[k] / uvs_[k].initial_energy_j;
     trajectories_[k].push_back(uvs_[k].pos);
   }
 
   ++timeslot_;
   done_ = timeslot_ >= config_.num_timeslots;
   result.done = done_;
+  result.observations.resize(config_.num_agents());
   for (int k = 0; k < config_.num_agents(); ++k) {
-    result.observations.push_back(BuildObservation(k));
+    BuildObservation(k, &result.observations[k]);
   }
-  result.state = BuildState();
-  return result;
+  BuildState(&result.state);
 }
 
-std::vector<float> ScEnv::BuildObservation(int k) const {
+void ScEnv::BuildObservation(int k, std::vector<float>* out) const {
   const map::Rect& bounds = dataset_.campus.bounds;
   const double inv_w = 1.0 / bounds.Width();
   const double inv_h = 1.0 / bounds.Height();
   const double range = config_.observe_range_fraction * bounds.Diagonal();
-  std::vector<float> obs;
+  std::vector<float>& obs = *out;
+  obs.clear();
   obs.reserve(obs_dim());
   auto push_uv = [&](const UvState& uv, bool visible) {
     if (visible) {
@@ -412,28 +467,52 @@ std::vector<float> ScEnv::BuildObservation(int k) const {
     if (j == k) continue;
     push_uv(uvs_[j], map::Distance(uvs_[k].pos, uvs_[j].pos) <= range);
   }
-  for (int i = 0; i < config_.num_pois; ++i) {
-    const bool visible =
-        map::Distance(uvs_[k].pos, dataset_.pois[i]) <= range;
-    if (visible) {
-      obs.push_back(
-          static_cast<float>((dataset_.pois[i].x - bounds.min.x) * inv_w));
-      obs.push_back(
-          static_cast<float>((dataset_.pois[i].y - bounds.min.y) * inv_h));
-      obs.push_back(
-          static_cast<float>(poi_data_[i] / config_.initial_data_gbit));
-    } else {
-      obs.insert(obs.end(), {0.0f, 0.0f, 0.0f});
+  if (config_.use_spatial_index) {
+    // Mark the PoIs inside the visibility disk: candidates from the grid
+    // get the exact distance test; everything else is provably out of
+    // range (its cell lies outside the disk's bounding box).
+    vis_scratch_.assign(config_.num_pois, 0);
+    poi_grid_.ForEachInDiskBBox(uvs_[k].pos, range, [&](int i) {
+      if (map::Distance(uvs_[k].pos, dataset_.pois[i]) <= range) {
+        vis_scratch_[i] = 1;
+      }
+    });
+    for (int i = 0; i < config_.num_pois; ++i) {
+      if (vis_scratch_[i]) {
+        obs.push_back(
+            static_cast<float>((dataset_.pois[i].x - bounds.min.x) * inv_w));
+        obs.push_back(
+            static_cast<float>((dataset_.pois[i].y - bounds.min.y) * inv_h));
+        obs.push_back(
+            static_cast<float>(poi_data_[i] / config_.initial_data_gbit));
+      } else {
+        obs.insert(obs.end(), {0.0f, 0.0f, 0.0f});
+      }
+    }
+  } else {
+    for (int i = 0; i < config_.num_pois; ++i) {
+      const bool visible =
+          map::Distance(uvs_[k].pos, dataset_.pois[i]) <= range;
+      if (visible) {
+        obs.push_back(
+            static_cast<float>((dataset_.pois[i].x - bounds.min.x) * inv_w));
+        obs.push_back(
+            static_cast<float>((dataset_.pois[i].y - bounds.min.y) * inv_h));
+        obs.push_back(
+            static_cast<float>(poi_data_[i] / config_.initial_data_gbit));
+      } else {
+        obs.insert(obs.end(), {0.0f, 0.0f, 0.0f});
+      }
     }
   }
-  return obs;
 }
 
-std::vector<float> ScEnv::BuildState() const {
+void ScEnv::BuildState(std::vector<float>* out) const {
   const map::Rect& bounds = dataset_.campus.bounds;
   const double inv_w = 1.0 / bounds.Width();
   const double inv_h = 1.0 / bounds.Height();
-  std::vector<float> state;
+  std::vector<float>& state = *out;
+  state.clear();
   state.reserve(state_dim());
   for (const UvState& uv : uvs_) {
     state.push_back(static_cast<float>((uv.pos.x - bounds.min.x) * inv_w));
@@ -448,7 +527,6 @@ std::vector<float> ScEnv::BuildState() const {
     state.push_back(
         static_cast<float>(poi_data_[i] / config_.initial_data_gbit));
   }
-  return state;
 }
 
 Metrics ScEnv::EpisodeMetrics() const {
@@ -493,6 +571,18 @@ std::vector<int> ScEnv::HeterogeneousNeighbors(int k) const {
 std::vector<int> ScEnv::HomogeneousNeighbors(int k) const {
   const double range =
       config_.neighbor_range_fraction * dataset_.campus.bounds.Diagonal();
+  if (config_.use_spatial_index) {
+    std::vector<int>& neighbors = neighbor_scratch_;
+    neighbors.clear();
+    agent_grid_.ForEachInDiskBBox(uvs_[k].pos, range, [&](int j) {
+      if (j == k || IsUav(j) != IsUav(k)) return;
+      if (map::Distance(uvs_[k].pos, uvs_[j].pos) <= range) {
+        neighbors.push_back(j);
+      }
+    });
+    std::sort(neighbors.begin(), neighbors.end());
+    return {neighbors.begin(), neighbors.end()};
+  }
   std::vector<int> neighbors;
   for (int j = 0; j < config_.num_agents(); ++j) {
     if (j == k || IsUav(j) != IsUav(k)) continue;

@@ -1,11 +1,13 @@
 #ifndef AGSC_ENV_SC_ENV_H_
 #define AGSC_ENV_SC_ENV_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "env/channel.h"
 #include "env/config.h"
 #include "env/metrics.h"
+#include "map/spatial_index.h"
 #include "map/trace.h"
 #include "util/rng.h"
 
@@ -59,12 +61,21 @@ struct StepResult {
   std::vector<CollectionEvent> events;  ///< This slot's collection events.
 };
 
+struct ScEnvHotPathPeer;
+
 /// The air-ground spatial-crowdsourcing Dec-POMDP (Sections III & IV).
 ///
 /// Agent indexing: 0..U-1 are UAVs, U..U+G-1 are UGVs. Each timeslot first
 /// moves every UV (UAVs freely, UGVs along the road graph), charges movement
 /// energy (Eqn. 1), then runs AG-NOMA data collection over Z subchannels
 /// (Defs. 1-2) and returns per-agent extrinsic rewards (Eqn. 17).
+///
+/// Hot path: with `EnvConfig::use_spatial_index` (default) the env uses
+/// grid-accelerated nearest queries and the road graph's cached routing; the
+/// naive linear-scan path (`use_spatial_index = false`) is bit-identical and
+/// kept as a test oracle. The out-param `Reset`/`Step` overloads reuse the
+/// caller's `StepResult` storage, so a steady-state step allocates nothing
+/// once buffers are warm (with `record_event_log` off).
 class ScEnv {
  public:
   static constexpr int kActionDim = 2;
@@ -91,6 +102,11 @@ class ScEnv {
   /// Advances one timeslot. `actions` must have num_agents() entries.
   StepResult Step(const std::vector<UvAction>& actions);
 
+  /// Out-param variants of Reset/Step: identical results, but they reuse
+  /// `result`'s storage so the steady-state hot path does not allocate.
+  void Reset(StepResult& result);
+  void Step(const std::vector<UvAction>& actions, StepResult& result);
+
   /// Metrics of the episode so far (final once done).
   Metrics EpisodeMetrics() const;
 
@@ -111,8 +127,13 @@ class ScEnv {
   std::vector<int> HeterogeneousNeighbors(int k) const;
 
   /// Homogeneous nearby neighbors: same-kind UVs within
-  /// `neighbor_range_fraction * area diagonal`.
+  /// `neighbor_range_fraction * area diagonal`, ascending agent index.
   std::vector<int> HomogeneousNeighbors(int k) const;
+
+  /// Local observation of agent `k` / global state, written into `out`
+  /// (cleared first; capacity reused).
+  void BuildObservation(int k, std::vector<float>* out) const;
+  void BuildState(std::vector<float>* out) const;
 
   /// Positions of every UV at every slot of the current episode
   /// (trajectories[k][t]); used for Fig. 2 / Fig. 11 renders.
@@ -121,17 +142,20 @@ class ScEnv {
   }
 
   /// All events of the current episode in slot order (Fig. 11 analysis).
+  /// Empty when `EnvConfig::record_event_log` is off.
   const std::vector<std::vector<CollectionEvent>>& event_log() const {
     return event_log_;
   }
 
  private:
-  std::vector<float> BuildObservation(int k) const;
-  std::vector<float> BuildState() const;
+  friend struct ScEnvHotPathPeer;
+
   void MoveAgents(const std::vector<UvAction>& actions,
                   std::vector<double>& energy_used);
-  std::vector<CollectionEvent> CollectData(std::vector<double>& rewards);
+  void CollectData(std::vector<double>& rewards,
+                   std::vector<CollectionEvent>& events);
   double SampleFadingGain();
+  void RebuildAgentGrid();
 
   EnvConfig config_;
   map::Dataset dataset_;
@@ -144,12 +168,54 @@ class ScEnv {
   std::vector<double> poi_data_;  ///< Remaining D_t^i (Gbit).
   std::vector<CollectionEvent> last_events_;
 
+  // Spatial indices (use_spatial_index): poi_grid_ is static per dataset;
+  // agent_grid_ is rebuilt (allocation-free) after every move.
+  map::PointGrid poi_grid_;
+  map::PointGrid agent_grid_;
+
+  // Reusable scratch so steady-state stepping performs no heap allocation.
+  struct RelayPair {
+    int subchannel;
+    int uav;
+    int ugv;      // Decoder (nearest UGV), -1 if none.
+    int poi_uav;  // i.
+  };
+  struct DirectUplink {
+    int subchannel;
+    int ugv;
+    int poi_ugv;  // i'.
+  };
+  std::vector<map::Point2> agent_pos_scratch_;
+  std::vector<double> energy_scratch_;
+  std::vector<int> uavs_scratch_, ugvs_scratch_;
+  std::vector<uint8_t> claimed_scratch_;
+  std::vector<RelayPair> pairs_scratch_;
+  std::vector<DirectUplink> directs_scratch_;
+  std::vector<int> ugv_channel_scratch_;
+  std::vector<std::vector<int>> channel_pois_scratch_;
+  mutable std::vector<uint8_t> vis_scratch_;   ///< BuildObservation PoIs.
+  mutable std::vector<int> neighbor_scratch_;  ///< HomogeneousNeighbors.
+
   // Episode accumulators.
   long loss_events_ = 0;
   double energy_ratio_sum_uav_ = 0.0;  ///< Sum over t,u of eta/E0.
   double energy_ratio_sum_ugv_ = 0.0;
   std::vector<std::vector<map::Point2>> trajectories_;
   std::vector<std::vector<CollectionEvent>> event_log_;
+};
+
+/// Test/bench backdoor into the private per-phase helpers, so the micro
+/// benches and hot-path tests can time MoveAgents / CollectData separately.
+/// Both helpers mutate env state (positions, PoI claims, the RNG stream).
+struct ScEnvHotPathPeer {
+  static void MoveAgents(ScEnv& env, const std::vector<UvAction>& actions,
+                         std::vector<double>& energy_used) {
+    env.MoveAgents(actions, energy_used);
+  }
+  static void CollectData(ScEnv& env, std::vector<double>& rewards,
+                          std::vector<CollectionEvent>& events) {
+    env.CollectData(rewards, events);
+  }
 };
 
 }  // namespace agsc::env

@@ -1,9 +1,11 @@
 #include "map/road_graph.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace agsc::map {
 
@@ -11,9 +13,54 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
+RoadGraph::RoadGraph(const RoadGraph& other)
+    : nodes_(other.nodes_), edges_(other.edges_), incident_(other.incident_) {
+  std::lock_guard<std::mutex> lock(other.cache_mutex_);
+  cache_ = other.cache_;
+  cache_ready_.store(other.cache_ready_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+}
+
+RoadGraph::RoadGraph(RoadGraph&& other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      edges_(std::move(other.edges_)),
+      incident_(std::move(other.incident_)),
+      cache_(std::move(other.cache_)) {
+  cache_ready_.store(other.cache_ready_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  other.cache_ready_.store(false, std::memory_order_release);
+}
+
+RoadGraph& RoadGraph::operator=(const RoadGraph& other) {
+  if (this == &other) return *this;
+  nodes_ = other.nodes_;
+  edges_ = other.edges_;
+  incident_ = other.incident_;
+  {
+    std::lock_guard<std::mutex> lock(other.cache_mutex_);
+    cache_ = other.cache_;
+    cache_ready_.store(other.cache_ready_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+  }
+  return *this;
+}
+
+RoadGraph& RoadGraph::operator=(RoadGraph&& other) noexcept {
+  if (this == &other) return *this;
+  nodes_ = std::move(other.nodes_);
+  edges_ = std::move(other.edges_);
+  incident_ = std::move(other.incident_);
+  cache_ = std::move(other.cache_);
+  cache_ready_.store(other.cache_ready_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  other.cache_ready_.store(false, std::memory_order_release);
+  return *this;
+}
+
 int RoadGraph::AddNode(const Point2& pos) {
   nodes_.push_back(pos);
   incident_.emplace_back();
+  InvalidateCaches();
   return static_cast<int>(nodes_.size()) - 1;
 }
 
@@ -29,7 +76,12 @@ int RoadGraph::AddEdge(int a, int b) {
   const int id = static_cast<int>(edges_.size()) - 1;
   incident_[a].push_back(id);
   incident_[b].push_back(id);
+  InvalidateCaches();
   return id;
+}
+
+void RoadGraph::InvalidateCaches() {
+  cache_ready_.store(false, std::memory_order_release);
 }
 
 bool RoadGraph::IsConnected() const {
@@ -59,7 +111,10 @@ Point2 RoadGraph::PointAt(const RoadPosition& pos) const {
   return Lerp(nodes_[e.a], nodes_[e.b], std::clamp(pos.t, 0.0, 1.0));
 }
 
-RoadPosition RoadGraph::Project(const Point2& p) const {
+RoadPosition RoadGraph::ProjectNaive(const Point2& p) const {
+  if (edges_.empty()) {
+    throw std::logic_error("RoadGraph::Project: graph has no edges");
+  }
   RoadPosition best;
   double best_dist = kInf;
   for (int i = 0; i < NumEdges(); ++i) {
@@ -72,6 +127,27 @@ RoadPosition RoadGraph::Project(const Point2& p) const {
       best.t = t;
     }
   }
+  return best;
+}
+
+RoadPosition RoadGraph::Project(const Point2& p) const {
+  if (edges_.empty()) {
+    throw std::logic_error("RoadGraph::Project: graph has no edges");
+  }
+  EnsureCaches();
+  RoadPosition best;
+  const int winner = cache_.edge_grid.Nearest(
+      p,
+      [&](int i) {
+        const Edge& e = edges_[i];
+        const double t =
+            ClosestPointParamOnSegment(nodes_[e.a], nodes_[e.b], p);
+        return Distance(Lerp(nodes_[e.a], nodes_[e.b], t), p);
+      },
+      nullptr);
+  best.edge = winner;
+  const Edge& e = edges_[winner];
+  best.t = ClosestPointParamOnSegment(nodes_[e.a], nodes_[e.b], p);
   return best;
 }
 
@@ -100,12 +176,144 @@ std::vector<double> RoadGraph::Dijkstra(int from, std::vector<int>* prev) const 
   return dist;
 }
 
-double RoadGraph::NodeDistance(int from, int to) const {
+void RoadGraph::BuildCache() const {
+  const int n = NumNodes();
+  RoutingCache& c = cache_;
+
+  // CSR adjacency in incident_ iteration order.
+  c.adj_start.assign(n + 1, 0);
+  c.adj_node.clear();
+  c.adj_len.clear();
+  for (int u = 0; u < n; ++u) {
+    for (int eid : incident_[u]) {
+      const Edge& e = edges_[eid];
+      c.adj_node.push_back(e.a == u ? e.b : e.a);
+      c.adj_len.push_back(e.length);
+    }
+    c.adj_start[u + 1] = static_cast<int>(c.adj_node.size());
+  }
+
+  // Deduplicated min-length edge per adjacent node pair. Strict `<` with
+  // first-wins over incident order keeps the lowest edge id among parallel
+  // edges of equal length, matching the naive incident scans.
+  c.nbr_start.assign(n + 1, 0);
+  c.nbr_node.clear();
+  c.nbr_min_edge.clear();
+  c.nbr_min_len.clear();
+  for (int u = 0; u < n; ++u) {
+    const int begin = static_cast<int>(c.nbr_node.size());
+    for (int eid : incident_[u]) {
+      const Edge& e = edges_[eid];
+      const int v = e.a == u ? e.b : e.a;
+      int j = -1;
+      for (int k = begin; k < static_cast<int>(c.nbr_node.size()); ++k) {
+        if (c.nbr_node[k] == v) {
+          j = k;
+          break;
+        }
+      }
+      if (j < 0) {
+        c.nbr_node.push_back(v);
+        c.nbr_min_edge.push_back(eid);
+        c.nbr_min_len.push_back(e.length);
+      } else if (e.length < c.nbr_min_len[j]) {
+        c.nbr_min_edge[j] = eid;
+        c.nbr_min_len[j] = e.length;
+      }
+    }
+    c.nbr_start[u + 1] = static_cast<int>(c.nbr_node.size());
+  }
+
+  // All-pairs Dijkstra over the CSR adjacency. The relaxation sequence is
+  // identical to the naive per-call Dijkstra (same heap type, same edge
+  // order), so dist/prev rows are bit-identical to its results.
+  c.dist.assign(static_cast<size_t>(n) * n, kInf);
+  c.prev.assign(static_cast<size_t>(n) * n, -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (int s = 0; s < n; ++s) {
+    double* dist = c.dist.data() + static_cast<size_t>(s) * n;
+    int* prev = c.prev.data() + static_cast<size_t>(s) * n;
+    dist[s] = 0.0;
+    heap.emplace(0.0, s);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (int k = c.adj_start[u]; k < c.adj_start[u + 1]; ++k) {
+        const int v = c.adj_node[k];
+        const double nd = d + c.adj_len[k];
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          prev[v] = u;
+          heap.emplace(nd, v);
+        }
+      }
+    }
+  }
+
+  // Edge-bbox grid for Project.
+  if (!nodes_.empty() && !edges_.empty()) {
+    Rect bounds;
+    bounds.min = bounds.max = nodes_[0];
+    for (const Point2& p : nodes_) {
+      bounds.min.x = std::min(bounds.min.x, p.x);
+      bounds.min.y = std::min(bounds.min.y, p.y);
+      bounds.max.x = std::max(bounds.max.x, p.x);
+      bounds.max.y = std::max(bounds.max.y, p.y);
+    }
+    std::vector<Rect> boxes(edges_.size());
+    for (size_t i = 0; i < edges_.size(); ++i) {
+      const Edge& e = edges_[i];
+      const Point2& a = nodes_[e.a];
+      const Point2& b = nodes_[e.b];
+      boxes[i].min = {std::min(a.x, b.x), std::min(a.y, b.y)};
+      boxes[i].max = {std::max(a.x, b.x), std::max(a.y, b.y)};
+    }
+    const int cells = std::clamp(
+        static_cast<int>(std::lround(std::sqrt(static_cast<double>(
+            edges_.size())))),
+        1, 64);
+    c.edge_grid.Build(bounds, boxes, cells);
+  } else {
+    c.edge_grid = SegmentGrid();
+  }
+}
+
+void RoadGraph::EnsureCaches() const {
+  if (cache_ready_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_ready_.load(std::memory_order_relaxed)) return;
+  BuildCache();
+  cache_ready_.store(true, std::memory_order_release);
+}
+
+double RoadGraph::RoutingCache::MinLen(int u, int v) const {
+  for (int k = nbr_start[u]; k < nbr_start[u + 1]; ++k) {
+    if (nbr_node[k] == v) return nbr_min_len[k];
+  }
+  return kInf;
+}
+
+int RoadGraph::RoutingCache::MinEdge(int u, int v) const {
+  for (int k = nbr_start[u]; k < nbr_start[u + 1]; ++k) {
+    if (nbr_node[k] == v) return nbr_min_edge[k];
+  }
+  return -1;
+}
+
+double RoadGraph::NodeDistanceNaive(int from, int to) const {
   if (from == to) return 0.0;
   return Dijkstra(from, nullptr)[to];
 }
 
-std::vector<int> RoadGraph::NodePath(int from, int to) const {
+double RoadGraph::NodeDistance(int from, int to) const {
+  if (from == to) return 0.0;
+  EnsureCaches();
+  return cache_.DistRow(from, NumNodes())[to];
+}
+
+std::vector<int> RoadGraph::NodePathNaive(int from, int to) const {
   std::vector<int> prev;
   const std::vector<double> dist = Dijkstra(from, &prev);
   if (dist[to] == kInf) return {};
@@ -115,19 +323,17 @@ std::vector<int> RoadGraph::NodePath(int from, int to) const {
   return path;  // Starts at `from`, ends at `to`.
 }
 
-namespace {
+void RoadGraph::NodePathCached(int from, int to, std::vector<int>* out) const {
+  out->clear();
+  const int n = NumNodes();
+  if (cache_.DistRow(from, n)[to] == kInf) return;
+  const int* prev = cache_.PrevRow(from, n);
+  for (int v = to; v != -1; v = prev[v]) out->push_back(v);
+  std::reverse(out->begin(), out->end());  // Starts at `from`, ends at `to`.
+}
 
-/// A stretch of travel along one edge from parameter t0 to t1.
-struct Segment {
-  int edge;
-  double t0;
-  double t1;
-};
-
-}  // namespace
-
-double RoadGraph::PathDistance(const RoadPosition& from,
-                               const RoadPosition& to) const {
+double RoadGraph::PathDistanceNaive(const RoadPosition& from,
+                                    const RoadPosition& to) const {
   if (!from.Valid() || !to.Valid()) return kInf;
   const Edge& ef = edges_.at(from.edge);
   const Edge& et = edges_.at(to.edge);
@@ -137,10 +343,10 @@ double RoadGraph::PathDistance(const RoadPosition& from,
   }
   const std::vector<double> da = Dijkstra(ef.a, nullptr);
   const std::vector<double> db = Dijkstra(ef.b, nullptr);
-  const double off_a = from.t * ef.length;        // from -> node a.
+  const double off_a = from.t * ef.length;          // from -> node a.
   const double off_b = (1.0 - from.t) * ef.length;  // from -> node b.
-  const double to_a = to.t * et.length;            // node a2 -> to.
-  const double to_b = (1.0 - to.t) * et.length;    // node b2 -> to.
+  const double to_a = to.t * et.length;             // node a2 -> to.
+  const double to_b = (1.0 - to.t) * et.length;     // node b2 -> to.
   best = std::min(best, off_a + da[et.a] + to_a);
   best = std::min(best, off_a + da[et.b] + to_b);
   best = std::min(best, off_b + db[et.a] + to_a);
@@ -148,26 +354,52 @@ double RoadGraph::PathDistance(const RoadPosition& from,
   return best;
 }
 
-RoadPosition RoadGraph::MoveAlong(const RoadPosition& from,
-                                  const RoadPosition& to, double budget,
-                                  double* moved) const {
+double RoadGraph::PathDistance(const RoadPosition& from,
+                               const RoadPosition& to) const {
+  if (!from.Valid() || !to.Valid()) return kInf;
+  EnsureCaches();
+  const int n = NumNodes();
+  const Edge& ef = edges_.at(from.edge);
+  const Edge& et = edges_.at(to.edge);
+  double best = kInf;
+  if (from.edge == to.edge) {
+    best = std::fabs(to.t - from.t) * ef.length;
+  }
+  const double* da = cache_.DistRow(ef.a, n);
+  const double* db = cache_.DistRow(ef.b, n);
+  const double off_a = from.t * ef.length;          // from -> node a.
+  const double off_b = (1.0 - from.t) * ef.length;  // from -> node b.
+  const double to_a = to.t * et.length;             // node a2 -> to.
+  const double to_b = (1.0 - to.t) * et.length;     // node b2 -> to.
+  best = std::min(best, off_a + da[et.a] + to_a);
+  best = std::min(best, off_a + da[et.b] + to_b);
+  best = std::min(best, off_b + db[et.a] + to_a);
+  best = std::min(best, off_b + db[et.b] + to_b);
+  return best;
+}
+
+RoadPosition RoadGraph::MoveAlongImpl(const RoadPosition& from,
+                                      const RoadPosition& to, double budget,
+                                      double* moved, bool cached) const {
   if (moved != nullptr) *moved = 0.0;
   if (!from.Valid() || !to.Valid() || budget <= 0.0) return from;
+  if (cached) EnsureCaches();
   const Edge& ef = edges_.at(from.edge);
   const Edge& et = edges_.at(to.edge);
 
   // Enumerate the four endpoint routings plus the same-edge direct route and
   // keep the shortest as a segment list.
   double best = kInf;
-  std::vector<Segment> route;
+  std::vector<TravelSegment>& route = route_scratch_;
+  route.clear();
   if (from.edge == to.edge) {
     best = std::fabs(to.t - from.t) * ef.length;
-    route = {{from.edge, from.t, to.t}};
+    route.push_back({from.edge, from.t, to.t});
   }
   struct Option {
-    int exit_node;    // Node of `from.edge` we leave through.
+    int exit_node;  // Node of `from.edge` we leave through.
     double exit_cost;
-    int enter_node;   // Node of `to.edge` we arrive at.
+    int enter_node;  // Node of `to.edge` we arrive at.
     double enter_cost;
   };
   const Option options[] = {
@@ -176,17 +408,30 @@ RoadPosition RoadGraph::MoveAlong(const RoadPosition& from,
       {ef.b, (1.0 - from.t) * ef.length, et.a, to.t * et.length},
       {ef.b, (1.0 - from.t) * ef.length, et.b, (1.0 - to.t) * et.length},
   };
+  std::vector<int> naive_nodes;
   for (const Option& opt : options) {
-    const std::vector<int> nodes = NodePath(opt.exit_node, opt.enter_node);
+    const std::vector<int>* nodes_ptr;
+    if (cached) {
+      NodePathCached(opt.exit_node, opt.enter_node, &path_scratch_);
+      nodes_ptr = &path_scratch_;
+    } else {
+      naive_nodes = NodePathNaive(opt.exit_node, opt.enter_node);
+      nodes_ptr = &naive_nodes;
+    }
+    const std::vector<int>& nodes = *nodes_ptr;
     if (nodes.empty() && opt.exit_node != opt.enter_node) continue;
     double mid = 0.0;
     for (size_t i = 0; i + 1 < nodes.size(); ++i) {
       const int u = nodes[i], v = nodes[i + 1];
       double step = kInf;
-      for (int eid : incident_[u]) {
-        const Edge& e = edges_[eid];
-        const int other = e.a == u ? e.b : e.a;
-        if (other == v) step = std::min(step, e.length);
+      if (cached) {
+        step = std::min(step, cache_.MinLen(u, v));
+      } else {
+        for (int eid : incident_[u]) {
+          const Edge& e = edges_[eid];
+          const int other = e.a == u ? e.b : e.a;
+          if (other == v) step = std::min(step, e.length);
+        }
       }
       mid += step;
     }
@@ -200,11 +445,17 @@ RoadPosition RoadGraph::MoveAlong(const RoadPosition& from,
     for (size_t i = 0; i + 1 < nodes.size(); ++i) {
       const int u = nodes[i], v = nodes[i + 1];
       int best_eid = -1;
-      for (int eid : incident_[u]) {
-        const Edge& e = edges_[eid];
-        const int other = e.a == u ? e.b : e.a;
-        if (other != v) continue;
-        if (best_eid < 0 || e.length < edges_[best_eid].length) best_eid = eid;
+      if (cached) {
+        best_eid = cache_.MinEdge(u, v);
+      } else {
+        for (int eid : incident_[u]) {
+          const Edge& e = edges_[eid];
+          const int other = e.a == u ? e.b : e.a;
+          if (other != v) continue;
+          if (best_eid < 0 || e.length < edges_[best_eid].length) {
+            best_eid = eid;
+          }
+        }
       }
       route.push_back({best_eid, edges_[best_eid].a == u ? 0.0 : 1.0,
                        edges_[best_eid].a == u ? 1.0 : 0.0});
@@ -217,7 +468,7 @@ RoadPosition RoadGraph::MoveAlong(const RoadPosition& from,
   // Walk the route consuming the budget.
   RoadPosition pos = from;
   double walked = 0.0;
-  for (const Segment& seg : route) {
+  for (const TravelSegment& seg : route) {
     const double len = std::fabs(seg.t1 - seg.t0) * edges_[seg.edge].length;
     if (len <= 1e-12) {
       pos = {seg.edge, seg.t1};
@@ -237,10 +488,28 @@ RoadPosition RoadGraph::MoveAlong(const RoadPosition& from,
   return pos;
 }
 
+RoadPosition RoadGraph::MoveAlong(const RoadPosition& from,
+                                  const RoadPosition& to, double budget,
+                                  double* moved) const {
+  return MoveAlongImpl(from, to, budget, moved, /*cached=*/true);
+}
+
+RoadPosition RoadGraph::MoveAlongNaive(const RoadPosition& from,
+                                       const RoadPosition& to, double budget,
+                                       double* moved) const {
+  return MoveAlongImpl(from, to, budget, moved, /*cached=*/false);
+}
+
 RoadPosition RoadGraph::MoveToward(const RoadPosition& from,
                                    const Point2& target, double budget,
                                    double* moved) const {
   return MoveAlong(from, Project(target), budget, moved);
+}
+
+RoadPosition RoadGraph::MoveTowardNaive(const RoadPosition& from,
+                                        const Point2& target, double budget,
+                                        double* moved) const {
+  return MoveAlongNaive(from, ProjectNaive(target), budget, moved);
 }
 
 double RoadGraph::TotalLength() const {

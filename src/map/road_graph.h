@@ -1,9 +1,12 @@
 #ifndef AGSC_MAP_ROAD_GRAPH_H_
 #define AGSC_MAP_ROAD_GRAPH_H_
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "map/geometry.h"
+#include "map/spatial_index.h"
 
 namespace agsc::map {
 
@@ -24,6 +27,20 @@ struct RoadPosition {
 ///  * moving along the shortest path toward a target under a range budget
 ///    (the paper's constraint that a UGV may move only within
 ///    `tau_move * v_max^UGV` per timeslot, Section III-A).
+///
+/// The graph is static after campus construction, so the query methods are
+/// backed by lazily built caches — an all-pairs Dijkstra table (distances +
+/// predecessors), a CSR adjacency with the min-length edge per adjacent node
+/// pair, and a uniform grid over edge bounding boxes for `Project`. Every
+/// cached query is bit-identical to its retained `*Naive` counterpart (same
+/// arithmetic on the same values in the same order); the `*Naive` methods
+/// exist as test oracles. `AddNode`/`AddEdge` invalidate the caches.
+///
+/// Thread safety: the lazy cache build is guarded (double-checked), but the
+/// fast queries use mutable scratch, so concurrent queries on the *same*
+/// object are not safe — every environment replica owns its own copy.
+/// Call `EnsureCaches()` once up front to make subsequent const queries
+/// read-only on shared graphs and allocation-free.
 class RoadGraph {
  public:
   struct Edge {
@@ -33,12 +50,16 @@ class RoadGraph {
   };
 
   RoadGraph() = default;
+  RoadGraph(const RoadGraph& other);
+  RoadGraph(RoadGraph&& other) noexcept;
+  RoadGraph& operator=(const RoadGraph& other);
+  RoadGraph& operator=(RoadGraph&& other) noexcept;
 
-  /// Adds a node at `pos`; returns its index.
+  /// Adds a node at `pos`; returns its index. Invalidates caches.
   int AddNode(const Point2& pos);
 
   /// Adds an undirected edge between existing nodes `a` and `b`; returns the
-  /// edge index. Length is the Euclidean node distance.
+  /// edge index. Length is the Euclidean node distance. Invalidates caches.
   int AddEdge(int a, int b);
 
   int NumNodes() const { return static_cast<int>(nodes_.size()); }
@@ -52,15 +73,16 @@ class RoadGraph {
   /// Geometric location of an on-road position.
   Point2 PointAt(const RoadPosition& pos) const;
 
-  /// Projects `p` onto the nearest point of any edge.
+  /// Projects `p` onto the nearest point of any edge (grid-accelerated).
+  /// Throws std::logic_error if the graph has no edges.
   RoadPosition Project(const Point2& p) const;
 
-  /// Shortest travel distance between two node indices (Dijkstra);
+  /// Shortest travel distance between two node indices (cached);
   /// +inf if disconnected.
   double NodeDistance(int from, int to) const;
 
   /// Shortest travel distance between two on-road positions, allowing
-  /// travel within an edge.
+  /// travel within an edge (cached).
   double PathDistance(const RoadPosition& from, const RoadPosition& to) const;
 
   /// Moves from `from` at most `budget` meters along the shortest path
@@ -70,24 +92,101 @@ class RoadGraph {
                          double budget, double* moved = nullptr) const;
 
   /// Convenience: project `target` onto the road and MoveAlong toward it.
+  /// Throws std::logic_error if the graph has no edges.
   RoadPosition MoveToward(const RoadPosition& from, const Point2& target,
                           double budget, double* moved = nullptr) const;
 
   /// Total length of all edges.
   double TotalLength() const;
 
+  /// Builds the routing caches now (idempotent). Also invoked lazily by the
+  /// query methods; calling it eagerly makes later const queries read-only
+  /// and allocation-free.
+  void EnsureCaches() const;
+
+  /// Naive reference implementations (per-call Dijkstra / linear scans).
+  /// Kept as test oracles: the cached queries above must match these
+  /// bit-for-bit.
+  RoadPosition ProjectNaive(const Point2& p) const;
+  double NodeDistanceNaive(int from, int to) const;
+  double PathDistanceNaive(const RoadPosition& from,
+                           const RoadPosition& to) const;
+  RoadPosition MoveAlongNaive(const RoadPosition& from, const RoadPosition& to,
+                              double budget, double* moved = nullptr) const;
+  RoadPosition MoveTowardNaive(const RoadPosition& from, const Point2& target,
+                               double budget, double* moved = nullptr) const;
+
  private:
-  /// Expanded node path (node indices) between nodes via Dijkstra;
-  /// empty if disconnected or from == to.
-  std::vector<int> NodePath(int from, int to) const;
+  /// A stretch of travel along one edge from parameter t0 to t1.
+  struct TravelSegment {
+    int edge;
+    double t0;
+    double t1;
+  };
+
+  /// Precomputed routing state; valid while `cache_ready_` is true.
+  struct RoutingCache {
+    // CSR adjacency mirroring incident_ iteration order exactly, so the
+    // cache-filling Dijkstra relaxes edges in the same sequence as the
+    // naive one (=> bit-identical dist/prev, including tie resolution).
+    std::vector<int> adj_start;    // NumNodes() + 1 offsets.
+    std::vector<int> adj_node;     // Neighbor node per incident entry.
+    std::vector<double> adj_len;   // Edge length per incident entry.
+    // Deduplicated neighbors per node with the min-length edge toward each
+    // (first-wins on length ties over incident order => lowest edge id,
+    // matching the naive incident scans in MoveAlong).
+    std::vector<int> nbr_start;    // NumNodes() + 1 offsets.
+    std::vector<int> nbr_node;
+    std::vector<int> nbr_min_edge;
+    std::vector<double> nbr_min_len;
+    // All-pairs Dijkstra results, row-major by source node.
+    std::vector<double> dist;      // n * n.
+    std::vector<int> prev;         // n * n.
+    // Uniform grid over edge bounding boxes for Project.
+    SegmentGrid edge_grid;
+
+    const double* DistRow(int from, int n) const {
+      return dist.data() + static_cast<size_t>(from) * n;
+    }
+    const int* PrevRow(int from, int n) const {
+      return prev.data() + static_cast<size_t>(from) * n;
+    }
+    // Min edge length / id between adjacent nodes u, v (+inf / -1 if not
+    // adjacent), identical to the naive incident_[u] scans.
+    double MinLen(int u, int v) const;
+    int MinEdge(int u, int v) const;
+  };
+
+  /// Expanded node path (node indices) from `from` to `to` using the cached
+  /// predecessor table, written into `out`; `out` is empty if disconnected.
+  void NodePathCached(int from, int to, std::vector<int>* out) const;
+
+  /// Naive expanded node path via per-call Dijkstra (test oracle for
+  /// NodePathCached); empty if disconnected.
+  std::vector<int> NodePathNaive(int from, int to) const;
 
   /// Dijkstra distances from `from` to all nodes; `prev` (optional) receives
   /// predecessor node indices for path recovery.
   std::vector<double> Dijkstra(int from, std::vector<int>* prev) const;
 
+  /// Shared MoveAlong implementation; `cached` selects the cached or the
+  /// per-call-Dijkstra route computation (identical results).
+  RoadPosition MoveAlongImpl(const RoadPosition& from, const RoadPosition& to,
+                             double budget, double* moved, bool cached) const;
+
+  void BuildCache() const;
+  void InvalidateCaches();
+
   std::vector<Point2> nodes_;
-  std::vector<Edge> edges_;
+  std::vector<RoadGraph::Edge> edges_;
   std::vector<std::vector<int>> incident_;  // node -> incident edge indices.
+
+  mutable RoutingCache cache_;
+  mutable std::atomic<bool> cache_ready_{false};
+  mutable std::mutex cache_mutex_;
+  // MoveAlong scratch (reused so steady-state moves do not allocate).
+  mutable std::vector<int> path_scratch_;
+  mutable std::vector<TravelSegment> route_scratch_;
 };
 
 }  // namespace agsc::map

@@ -1,0 +1,76 @@
+#include "map/spatial_index.h"
+
+namespace agsc::map {
+
+void PointGrid::Build(const Rect& bounds, const std::vector<Point2>& points,
+                      int cells_per_side) {
+  shape_.Init(bounds, cells_per_side);
+  points_ = points;
+  const int nc = shape_.num_cells();
+  const int n = static_cast<int>(points_.size());
+  cell_start_.assign(nc + 1, 0);
+  ids_.resize(n);
+  // Counting sort by cell: two passes keep per-cell id lists ascending and
+  // reuse the existing storage (no allocation once capacities are warm).
+  for (int i = 0; i < n; ++i) {
+    const int cx = std::clamp(shape_.CellX(points_[i].x), 0, shape_.nx - 1);
+    const int cy = std::clamp(shape_.CellY(points_[i].y), 0, shape_.ny - 1);
+    ++cell_start_[shape_.Index(cx, cy) + 1];
+  }
+  for (int c = 0; c < nc; ++c) cell_start_[c + 1] += cell_start_[c];
+  cursor_.assign(nc, 0);
+  for (int i = 0; i < n; ++i) {
+    const int cx = std::clamp(shape_.CellX(points_[i].x), 0, shape_.nx - 1);
+    const int cy = std::clamp(shape_.CellY(points_[i].y), 0, shape_.ny - 1);
+    const int c = shape_.Index(cx, cy);
+    ids_[cell_start_[c] + cursor_[c]] = i;
+    ++cursor_[c];
+  }
+}
+
+void SegmentGrid::Build(const Rect& bounds, const std::vector<Rect>& boxes,
+                        int cells_per_side) {
+  shape_.Init(bounds, cells_per_side);
+  const int nc = shape_.num_cells();
+  const int n = static_cast<int>(boxes.size());
+  cell_start_.assign(nc + 1, 0);
+  stamp_.assign(n, 0);
+  epoch_ = 0;
+  auto cell_range = [&](const Rect& b, int& x0, int& x1, int& y0, int& y1) {
+    x0 = std::clamp(shape_.CellX(b.min.x), 0, shape_.nx - 1);
+    x1 = std::clamp(shape_.CellX(b.max.x), 0, shape_.nx - 1);
+    y0 = std::clamp(shape_.CellY(b.min.y), 0, shape_.ny - 1);
+    y1 = std::clamp(shape_.CellY(b.max.y), 0, shape_.ny - 1);
+  };
+  for (int i = 0; i < n; ++i) {
+    int x0, x1, y0, y1;
+    cell_range(boxes[i], x0, x1, y0, y1);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) ++cell_start_[shape_.Index(x, y) + 1];
+    }
+  }
+  for (int c = 0; c < nc; ++c) cell_start_[c + 1] += cell_start_[c];
+  ids_.resize(cell_start_[nc]);
+  std::vector<int> cursor(nc, 0);
+  for (int i = 0; i < n; ++i) {
+    int x0, x1, y0, y1;
+    cell_range(boxes[i], x0, x1, y0, y1);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const int c = shape_.Index(x, y);
+        ids_[cell_start_[c] + cursor[c]] = i;
+        ++cursor[c];
+      }
+    }
+  }
+}
+
+void SegmentGrid::NextEpoch() const {
+  if (epoch_ == std::numeric_limits<int>::max()) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+}
+
+}  // namespace agsc::map

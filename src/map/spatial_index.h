@@ -1,0 +1,253 @@
+#ifndef AGSC_MAP_SPATIAL_INDEX_H_
+#define AGSC_MAP_SPATIAL_INDEX_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "map/geometry.h"
+
+namespace agsc::map {
+
+/// Geometry shared by the uniform grids below: `bounds.min`-anchored square
+/// cells of side `cell`, `nx` columns by `ny` rows.
+///
+/// Query points may lie anywhere (including far outside the bounds); cell
+/// coordinates of a query are therefore *unclamped* and only intersected
+/// with the grid when enumerating cells. Indexed items, in contrast, must
+/// lie inside `bounds` — the ring lower bounds below assume an item's true
+/// position is inside the cells it was binned into.
+struct GridShape {
+  Point2 origin;
+  double cell = 1.0;
+  int nx = 0;
+  int ny = 0;
+
+  bool empty() const { return nx <= 0 || ny <= 0; }
+  int num_cells() const { return nx * ny; }
+
+  void Init(const Rect& bounds, int cells_per_side) {
+    origin = bounds.min;
+    const int n = std::max(1, cells_per_side);
+    const double extent = std::max(bounds.Width(), bounds.Height());
+    cell = extent > 0.0 ? extent / static_cast<double>(n) : 1.0;
+    nx = std::max(1, static_cast<int>(std::ceil(bounds.Width() / cell)));
+    ny = std::max(1, static_cast<int>(std::ceil(bounds.Height() / cell)));
+  }
+
+  /// Unclamped cell coordinate of `x` (clamped only against int overflow).
+  int CellCoord(double x, double o) const {
+    const double c = std::floor((x - o) / cell);
+    return static_cast<int>(std::clamp(c, -1.0e9, 1.0e9));
+  }
+  int CellX(double x) const { return CellCoord(x, origin.x); }
+  int CellY(double y) const { return CellCoord(y, origin.y); }
+  int Index(int cx, int cy) const { return cy * nx + cx; }
+
+  /// Lower bound on the distance from `p` (whose unclamped cell is
+  /// (cx, cy)) to any point inside any cell at Chebyshev ring >= r, r >= 1:
+  /// the distance from `p` to the exterior of the box covering rings
+  /// 0..r-1. Exact for in-bounds items; never overestimates.
+  double RingLowerBound(const Point2& p, int cx, int cy, int r) const {
+    const double bx0 = origin.x + (cx - (r - 1)) * cell;
+    const double bx1 = origin.x + (cx + r) * cell;
+    const double by0 = origin.y + (cy - (r - 1)) * cell;
+    const double by1 = origin.y + (cy + r) * cell;
+    const double slack = std::min(std::min(p.x - bx0, bx1 - p.x),
+                                  std::min(p.y - by0, by1 - p.y));
+    return std::max(0.0, slack);
+  }
+
+  /// First ring (around unclamped cell (cx, cy)) that intersects the grid.
+  int FirstRing(int cx, int cy) const {
+    const int dx = std::max({0, -cx, cx - (nx - 1)});
+    const int dy = std::max({0, -cy, cy - (ny - 1)});
+    return std::max(dx, dy);
+  }
+
+  /// Last ring that can contain any grid cell.
+  int LastRing(int cx, int cy) const {
+    return std::max(std::max(cx, nx - 1 - cx), std::max(cy, ny - 1 - cy));
+  }
+};
+
+namespace internal {
+
+/// Calls `fn(cell_index)` for every grid cell at exactly Chebyshev ring `r`
+/// around (cx, cy) that lies inside the grid.
+template <typename Fn>
+void ForEachRingCell(const GridShape& shape, int cx, int cy, int r, Fn&& fn) {
+  if (r == 0) {
+    if (cx >= 0 && cx < shape.nx && cy >= 0 && cy < shape.ny) {
+      fn(shape.Index(cx, cy));
+    }
+    return;
+  }
+  const int x0 = std::max(cx - r, 0), x1 = std::min(cx + r, shape.nx - 1);
+  const int y0 = std::max(cy - r, 0), y1 = std::min(cy + r, shape.ny - 1);
+  if (x0 > x1 || y0 > y1) return;
+  if (cy - r >= 0) {
+    for (int x = x0; x <= x1; ++x) fn(shape.Index(x, cy - r));
+  }
+  if (cy + r < shape.ny && r > 0) {
+    for (int x = x0; x <= x1; ++x) fn(shape.Index(x, cy + r));
+  }
+  const int yy0 = std::max(cy - r + 1, 0);
+  const int yy1 = std::min(cy + r - 1, shape.ny - 1);
+  if (cx - r >= 0) {
+    for (int y = yy0; y <= yy1; ++y) fn(shape.Index(cx - r, y));
+  }
+  if (cx + r < shape.nx) {
+    for (int y = yy0; y <= yy1; ++y) fn(shape.Index(cx + r, y));
+  }
+}
+
+}  // namespace internal
+
+/// Uniform grid over a set of points (each binned into exactly one cell;
+/// per-cell id lists are ascending by construction). `Build` reuses the
+/// internal storage, so rebuilding with the same sizes allocates nothing —
+/// the environment rebuilds its agent grid every timeslot this way.
+///
+/// Queries use the exact same `Distance` arithmetic a linear scan would,
+/// and nearest-neighbor ties are broken toward the smallest id, so results
+/// are bit-identical to an ascending linear scan with a strict `<` argmin.
+/// Const queries mutate no state, but `Build` is not synchronized: share a
+/// PointGrid across threads only once built.
+class PointGrid {
+ public:
+  PointGrid() = default;
+
+  /// Bins `points` (which must lie inside `bounds`) into a grid of roughly
+  /// `cells_per_side`^2 square cells.
+  void Build(const Rect& bounds, const std::vector<Point2>& points,
+             int cells_per_side);
+
+  bool built() const { return !shape_.empty(); }
+  int size() const { return static_cast<int>(points_.size()); }
+
+  /// Calls `fn(id)` exactly once for every point whose cell intersects the
+  /// axis-aligned bounding box of the disk (a superset of the points within
+  /// `radius` of `center`); the caller applies the exact distance test.
+  template <typename Fn>
+  void ForEachInDiskBBox(const Point2& center, double radius, Fn&& fn) const {
+    if (shape_.empty() || points_.empty()) return;
+    const int x0 = std::clamp(shape_.CellX(center.x - radius), 0,
+                              shape_.nx - 1);
+    const int x1 = std::clamp(shape_.CellX(center.x + radius), 0,
+                              shape_.nx - 1);
+    const int y0 = std::clamp(shape_.CellY(center.y - radius), 0,
+                              shape_.ny - 1);
+    const int y1 = std::clamp(shape_.CellY(center.y + radius), 0,
+                              shape_.ny - 1);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const int c = shape_.Index(x, y);
+        for (int s = cell_start_[c]; s < cell_start_[c + 1]; ++s) fn(ids_[s]);
+      }
+    }
+  }
+
+  /// Nearest point satisfying `pred`, or -1. Ring expansion stops only once
+  /// the ring lower bound strictly exceeds the best distance found, so the
+  /// result is the smallest-id argmin — bit-identical to a full linear scan
+  /// `for (i ascending) if (pred(i) && d < best) take i`.
+  template <typename Pred>
+  int Nearest(const Point2& p, Pred&& pred, double* best_dist_out) const {
+    int best = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    if (shape_.empty() || points_.empty()) return best;
+    const int cx = shape_.CellX(p.x), cy = shape_.CellY(p.y);
+    const int r_last = shape_.LastRing(cx, cy);
+    for (int r = shape_.FirstRing(cx, cy); r <= r_last; ++r) {
+      if (best >= 0 && r >= 1 &&
+          shape_.RingLowerBound(p, cx, cy, r) > best_dist) {
+        break;
+      }
+      internal::ForEachRingCell(shape_, cx, cy, r, [&](int c) {
+        for (int s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
+          const int id = ids_[s];
+          if (!pred(id)) continue;
+          const double d = Distance(p, points_[id]);
+          if (best < 0 || d < best_dist || (d == best_dist && id < best)) {
+            best = id;
+            best_dist = d;
+          }
+        }
+      });
+    }
+    if (best_dist_out != nullptr) *best_dist_out = best_dist;
+    return best;
+  }
+
+ private:
+  GridShape shape_;
+  std::vector<Point2> points_;
+  std::vector<int> cell_start_;  ///< num_cells + 1 offsets into ids_.
+  std::vector<int> ids_;
+  std::vector<int> cursor_;  ///< Counting-sort scratch, reused across builds.
+};
+
+/// Uniform grid over axis-aligned bounding boxes of segments (road edges).
+/// A segment is binned into every cell its bbox overlaps, so nearest
+/// queries deduplicate candidates with an epoch-stamped visited array —
+/// the stamp is mutable scratch, making concurrent queries on the *same*
+/// object racy; every environment replica owns its own copy.
+class SegmentGrid {
+ public:
+  SegmentGrid() = default;
+
+  /// `boxes[i]` is the bbox of segment i; boxes must lie inside `bounds`.
+  void Build(const Rect& bounds, const std::vector<Rect>& boxes,
+             int cells_per_side);
+
+  bool built() const { return !shape_.empty(); }
+  int size() const { return static_cast<int>(stamp_.size()); }
+
+  /// Nearest segment by exact distance `dist(id)` (called at most once per
+  /// candidate), ties toward the smallest id — bit-identical to an
+  /// ascending linear scan with a strict `<` argmin. Returns -1 if empty.
+  template <typename DistFn>
+  int Nearest(const Point2& p, DistFn&& dist, double* best_dist_out) const {
+    int best = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    if (shape_.empty() || stamp_.empty()) return best;
+    NextEpoch();
+    const int cx = shape_.CellX(p.x), cy = shape_.CellY(p.y);
+    const int r_last = shape_.LastRing(cx, cy);
+    for (int r = shape_.FirstRing(cx, cy); r <= r_last; ++r) {
+      if (best >= 0 && r >= 1 &&
+          shape_.RingLowerBound(p, cx, cy, r) > best_dist) {
+        break;
+      }
+      internal::ForEachRingCell(shape_, cx, cy, r, [&](int c) {
+        for (int s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
+          const int id = ids_[s];
+          if (stamp_[id] == epoch_) continue;
+          stamp_[id] = epoch_;
+          const double d = dist(id);
+          if (best < 0 || d < best_dist || (d == best_dist && id < best)) {
+            best = id;
+            best_dist = d;
+          }
+        }
+      });
+    }
+    if (best_dist_out != nullptr) *best_dist_out = best_dist;
+    return best;
+  }
+
+ private:
+  void NextEpoch() const;
+
+  GridShape shape_;
+  std::vector<int> cell_start_;
+  std::vector<int> ids_;
+  mutable std::vector<int> stamp_;  ///< Per-segment visited epoch.
+  mutable int epoch_ = 0;
+};
+
+}  // namespace agsc::map
+
+#endif  // AGSC_MAP_SPATIAL_INDEX_H_

@@ -1,0 +1,555 @@
+// Bit-exactness and allocation-behavior tests for the environment hot path:
+//  - RoadGraph::Project / MoveToward throw std::logic_error on an edgeless
+//    graph (regression: they used to return a bogus RoadPosition);
+//  - grid-accelerated Project and the cached NodeDistance / PathDistance /
+//    MoveAlong are bit-identical to the retained naive oracles on randomized
+//    graphs, including lattice graphs engineered to produce distance ties,
+//    duplicate (parallel) edges, and zero-length edges between coincident
+//    nodes;
+//  - AddNode/AddEdge invalidate the routing caches (queries after a mutation
+//    still match the naive oracles);
+//  - PointGrid::Nearest / ForEachInDiskBBox match an ascending linear scan
+//    with a strict `<` argmin, bit for bit, for in-bounds and out-of-bounds
+//    query points;
+//  - a naive-path env (use_spatial_index = false) and an indexed env produce
+//    identical StepResults and HomogeneousNeighbors over full episodes;
+//  - record_event_log = false suppresses the per-slot event log without
+//    changing anything else;
+//  - a fixed-seed training run writes byte-identical checkpoints under the
+//    indexed env, the naive env, and the indexed env with event logging off;
+//  - steady-state out-param Step performs no heap allocation after warm-up.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hi_madrl.h"
+#include "env/config.h"
+#include "env/sc_env.h"
+#include "map/campus.h"
+#include "map/geometry.h"
+#include "map/road_graph.h"
+#include "map/spatial_index.h"
+#include "util/rng.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for the zero-allocation test. Sanitizer builds
+// keep the instrumented allocator in the loop (mirrors the buffer-pool gate
+// in nn/tensor.cc), so the override is compiled out and the test skips.
+// ---------------------------------------------------------------------------
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kAllocCounterCompiledIn = false;
+long long HeapAllocCount() { return 0; }
+#else
+constexpr bool kAllocCounterCompiledIn = true;
+namespace {
+std::atomic<long long> g_heap_allocs{0};
+}  // namespace
+
+long long HeapAllocCount() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+// noinline keeps GCC from inlining the free() into callers and then warning
+// about a new/free mismatch it can no longer pair with the new override.
+#define AGSC_ALLOC_NOINLINE __attribute__((noinline))
+
+AGSC_ALLOC_NOINLINE void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+AGSC_ALLOC_NOINLINE void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+AGSC_ALLOC_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+AGSC_ALLOC_NOINLINE void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+AGSC_ALLOC_NOINLINE void operator delete[](void* p) noexcept { std::free(p); }
+AGSC_ALLOC_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
+#endif
+
+namespace agsc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Randomized road graphs. `lattice` snaps nodes to a coarse grid so that
+// coincident nodes (=> zero-length edges), parallel duplicate edges, and
+// exact distance ties all occur with high probability.
+// ---------------------------------------------------------------------------
+
+map::RoadGraph RandomGraph(util::Rng& rng, int num_nodes, bool lattice) {
+  map::RoadGraph g;
+  for (int i = 0; i < num_nodes; ++i) {
+    if (lattice) {
+      g.AddNode({static_cast<double>(rng.UniformInt(int64_t{0}, int64_t{3})) *
+                     300.0,
+                 static_cast<double>(rng.UniformInt(int64_t{0}, int64_t{3})) *
+                     300.0});
+    } else {
+      g.AddNode({rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)});
+    }
+  }
+  // Random spanning chain keeps the graph connected; extra edges add
+  // alternate routes and (on lattices) duplicates of existing edges.
+  for (int i = 1; i < num_nodes; ++i) {
+    g.AddEdge(static_cast<int>(rng.UniformInt(static_cast<uint64_t>(i))), i);
+  }
+  for (int e = 0; e < num_nodes; ++e) {
+    const int a =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+    const int b =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+    if (a != b) g.AddEdge(a, b);
+  }
+  return g;
+}
+
+map::Point2 RandomPoint(util::Rng& rng, bool lattice) {
+  if (lattice && rng.Bernoulli(0.5)) {
+    // Exactly on a lattice vertex: equidistant from several edges.
+    return {static_cast<double>(rng.UniformInt(int64_t{0}, int64_t{3})) * 300.0,
+            static_cast<double>(rng.UniformInt(int64_t{0}, int64_t{3})) *
+                300.0};
+  }
+  return {rng.Uniform(-200.0, 2200.0), rng.Uniform(-200.0, 2200.0)};
+}
+
+map::RoadPosition RandomRoadPos(const map::RoadGraph& g, util::Rng& rng) {
+  map::RoadPosition pos;
+  pos.edge = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(
+      g.NumEdges())));
+  pos.t = rng.Uniform();
+  return pos;
+}
+
+// ---------------------------------------------------------------------------
+// Empty-graph regression: Project / MoveToward used to return edge -1.
+// ---------------------------------------------------------------------------
+
+TEST(RoadGraphEmptyTest, ProjectAndMoveTowardThrowWithoutEdges) {
+  map::RoadGraph no_nodes;
+  EXPECT_THROW(no_nodes.Project({0.0, 0.0}), std::logic_error);
+  EXPECT_THROW(no_nodes.ProjectNaive({0.0, 0.0}), std::logic_error);
+
+  map::RoadGraph no_edges;  // Nodes but nothing to project onto.
+  no_edges.AddNode({0.0, 0.0});
+  no_edges.AddNode({10.0, 0.0});
+  EXPECT_THROW(no_edges.Project({5.0, 1.0}), std::logic_error);
+  EXPECT_THROW(no_edges.ProjectNaive({5.0, 1.0}), std::logic_error);
+  EXPECT_THROW(no_edges.MoveToward({}, {5.0, 1.0}, 3.0), std::logic_error);
+  EXPECT_THROW(no_edges.MoveTowardNaive({}, {5.0, 1.0}, 3.0),
+               std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Cached / grid-accelerated road queries vs the naive oracles.
+// ---------------------------------------------------------------------------
+
+TEST(RoadGraphCacheTest, ProjectMatchesNaiveOnRandomGraphs) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 16; ++trial) {
+    const bool lattice = trial % 2 == 0;
+    const map::RoadGraph g = RandomGraph(rng, 4 + trial, lattice);
+    for (int q = 0; q < 60; ++q) {
+      const map::Point2 p = RandomPoint(rng, lattice);
+      const map::RoadPosition fast = g.Project(p);
+      const map::RoadPosition naive = g.ProjectNaive(p);
+      ASSERT_EQ(fast.edge, naive.edge)
+          << "trial " << trial << " point (" << p.x << ", " << p.y << ")";
+      ASSERT_EQ(fast.t, naive.t)
+          << "trial " << trial << " point (" << p.x << ", " << p.y << ")";
+    }
+  }
+}
+
+TEST(RoadGraphCacheTest, DistancesMatchNaiveOnRandomGraphs) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    const bool lattice = trial % 2 == 0;
+    const map::RoadGraph g = RandomGraph(rng, 5 + trial, lattice);
+    for (int a = 0; a < g.NumNodes(); ++a) {
+      for (int b = 0; b < g.NumNodes(); ++b) {
+        ASSERT_EQ(g.NodeDistance(a, b), g.NodeDistanceNaive(a, b))
+            << "trial " << trial << " nodes " << a << " -> " << b;
+      }
+    }
+    for (int q = 0; q < 60; ++q) {
+      const map::RoadPosition from = RandomRoadPos(g, rng);
+      const map::RoadPosition to = RandomRoadPos(g, rng);
+      ASSERT_EQ(g.PathDistance(from, to), g.PathDistanceNaive(from, to))
+          << "trial " << trial << " edges " << from.edge << " -> " << to.edge;
+    }
+  }
+}
+
+TEST(RoadGraphCacheTest, MoveAlongMatchesNaiveOnRandomGraphs) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 12; ++trial) {
+    const bool lattice = trial % 2 == 0;
+    const map::RoadGraph g = RandomGraph(rng, 5 + trial, lattice);
+    for (int q = 0; q < 60; ++q) {
+      const map::RoadPosition from = RandomRoadPos(g, rng);
+      const map::RoadPosition to = RandomRoadPos(g, rng);
+      const double budget = rng.Uniform(0.0, 900.0);
+      double moved_fast = -1.0, moved_naive = -1.0;
+      const map::RoadPosition fast = g.MoveAlong(from, to, budget,
+                                                 &moved_fast);
+      const map::RoadPosition naive = g.MoveAlongNaive(from, to, budget,
+                                                       &moved_naive);
+      const std::string tag = "trial " + std::to_string(trial) + " query " +
+                              std::to_string(q);
+      ASSERT_EQ(fast.edge, naive.edge) << tag;
+      ASSERT_EQ(fast.t, naive.t) << tag;
+      ASSERT_EQ(moved_fast, moved_naive) << tag;
+    }
+  }
+}
+
+TEST(RoadGraphCacheTest, MutationInvalidatesCaches) {
+  util::Rng rng(9);
+  map::RoadGraph g = RandomGraph(rng, 6, /*lattice=*/false);
+  g.EnsureCaches();
+  // Warm query, then grow the graph; cached answers must track the naive
+  // ones computed on the new topology.
+  (void)g.Project({100.0, 100.0});
+  const int n = g.AddNode({50.0, 1500.0});
+  g.AddEdge(0, n);
+  for (int q = 0; q < 40; ++q) {
+    const map::Point2 p = RandomPoint(rng, /*lattice=*/false);
+    const map::RoadPosition fast = g.Project(p);
+    const map::RoadPosition naive = g.ProjectNaive(p);
+    ASSERT_EQ(fast.edge, naive.edge) << "query " << q;
+    ASSERT_EQ(fast.t, naive.t) << "query " << q;
+  }
+  for (int a = 0; a < g.NumNodes(); ++a) {
+    for (int b = 0; b < g.NumNodes(); ++b) {
+      ASSERT_EQ(g.NodeDistance(a, b), g.NodeDistanceNaive(a, b))
+          << a << " -> " << b;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PointGrid vs an ascending strict-< linear scan.
+// ---------------------------------------------------------------------------
+
+TEST(PointGridTest, NearestMatchesLinearScanIncludingTies) {
+  util::Rng rng(321);
+  const map::Rect bounds{{0.0, 0.0}, {1000.0, 800.0}};
+  for (int trial = 0; trial < 10; ++trial) {
+    const bool lattice = trial % 2 == 0;
+    std::vector<map::Point2> points;
+    const int count = 1 + static_cast<int>(rng.UniformInt(uint64_t{120}));
+    for (int i = 0; i < count; ++i) {
+      if (lattice) {
+        // Many coincident points => heavy tie-breaking pressure.
+        points.push_back(
+            {static_cast<double>(rng.UniformInt(int64_t{0}, int64_t{4})) *
+                 250.0,
+             static_cast<double>(rng.UniformInt(int64_t{0}, int64_t{4})) *
+                 200.0});
+      } else {
+        points.push_back(
+            {rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 800.0)});
+      }
+    }
+    map::PointGrid grid;
+    grid.Build(bounds, points, 8);
+    ASSERT_TRUE(grid.built());
+    ASSERT_EQ(grid.size(), count);
+
+    auto pred = [](int id) { return id % 3 != 0; };
+    for (int q = 0; q < 80; ++q) {
+      // Queries both inside and far outside the indexed bounds.
+      const map::Point2 p = {rng.Uniform(-500.0, 1500.0),
+                             rng.Uniform(-500.0, 1300.0)};
+      int want = -1;
+      double want_dist = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < count; ++i) {
+        if (!pred(i)) continue;
+        const double d = map::Distance(p, points[i]);
+        if (d < want_dist) {
+          want = i;
+          want_dist = d;
+        }
+      }
+      double got_dist = std::numeric_limits<double>::infinity();
+      const int got = grid.Nearest(p, pred, &got_dist);
+      ASSERT_EQ(got, want) << "trial " << trial << " query " << q;
+      if (want >= 0) {
+        ASSERT_EQ(got_dist, want_dist) << "trial " << trial << " query " << q;
+      }
+    }
+  }
+}
+
+TEST(PointGridTest, DiskBBoxVisitsEveryPointInRadiusExactlyOnce) {
+  util::Rng rng(654);
+  const map::Rect bounds{{0.0, 0.0}, {1000.0, 1000.0}};
+  std::vector<map::Point2> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
+  }
+  map::PointGrid grid;
+  grid.Build(bounds, points, 10);
+  for (int q = 0; q < 50; ++q) {
+    const map::Point2 center = {rng.Uniform(-100.0, 1100.0),
+                                rng.Uniform(-100.0, 1100.0)};
+    const double radius = rng.Uniform(0.0, 400.0);
+    std::vector<int> visits(points.size(), 0);
+    grid.ForEachInDiskBBox(center, radius, [&](int id) { ++visits[id]; });
+    for (size_t i = 0; i < points.size(); ++i) {
+      ASSERT_LE(visits[i], 1) << "duplicate visit, query " << q;
+      if (map::Distance(center, points[i]) <= radius) {
+        ASSERT_EQ(visits[i], 1) << "missed in-radius point " << i
+                                << ", query " << q;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Env equivalence: indexed vs naive paths over full episodes.
+// ---------------------------------------------------------------------------
+
+const map::Dataset& TestDataset() {
+  static const map::Dataset* dataset =
+      new map::Dataset(map::BuildDataset(map::CampusId::kPurdue, 24));
+  return *dataset;
+}
+
+env::EnvConfig TestEnvConfig() {
+  env::EnvConfig config;
+  config.num_timeslots = 25;
+  config.num_pois = 24;
+  config.num_uavs = 2;
+  config.num_ugvs = 2;
+  return config;
+}
+
+void ExpectStepResultsEqual(const env::StepResult& a, const env::StepResult& b,
+                            const std::string& tag) {
+  ASSERT_EQ(a.done, b.done) << tag;
+  ASSERT_EQ(a.observations, b.observations) << tag;
+  ASSERT_EQ(a.state, b.state) << tag;
+  ASSERT_EQ(a.rewards, b.rewards) << tag;
+  ASSERT_EQ(a.events.size(), b.events.size()) << tag;
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    const env::CollectionEvent& x = a.events[i];
+    const env::CollectionEvent& y = b.events[i];
+    const std::string etag = tag + " event " + std::to_string(i);
+    ASSERT_EQ(x.subchannel, y.subchannel) << etag;
+    ASSERT_EQ(x.uav, y.uav) << etag;
+    ASSERT_EQ(x.ugv, y.ugv) << etag;
+    ASSERT_EQ(x.poi_uav, y.poi_uav) << etag;
+    ASSERT_EQ(x.poi_ugv, y.poi_ugv) << etag;
+    ASSERT_EQ(x.collected_uav_gbit, y.collected_uav_gbit) << etag;
+    ASSERT_EQ(x.collected_ugv_gbit, y.collected_ugv_gbit) << etag;
+    ASSERT_EQ(x.loss_uav, y.loss_uav) << etag;
+    ASSERT_EQ(x.loss_ugv, y.loss_ugv) << etag;
+    ASSERT_EQ(x.sinr_uplink_uav_db, y.sinr_uplink_uav_db) << etag;
+    ASSERT_EQ(x.sinr_relay_db, y.sinr_relay_db) << etag;
+    ASSERT_EQ(x.sinr_uplink_ugv_db, y.sinr_uplink_ugv_db) << etag;
+  }
+}
+
+TEST(EnvHotPathTest, IndexedEnvBitIdenticalToNaiveEnv) {
+  for (uint64_t seed : {11u, 23u}) {
+    env::EnvConfig indexed_cfg = TestEnvConfig();
+    env::EnvConfig naive_cfg = TestEnvConfig();
+    naive_cfg.use_spatial_index = false;
+    env::ScEnv indexed(indexed_cfg, TestDataset(), seed);
+    env::ScEnv naive(naive_cfg, TestDataset(), seed);
+
+    util::Rng rng(seed * 1000 + 1);
+    std::vector<env::UvAction> actions(indexed.num_agents());
+    env::StepResult ri, rn;
+    for (int episode = 0; episode < 2; ++episode) {
+      indexed.Reset(ri);
+      naive.Reset(rn);
+      ExpectStepResultsEqual(ri, rn, "reset seed " + std::to_string(seed));
+      int t = 0;
+      while (!ri.done) {
+        for (auto& a : actions) {
+          a.raw_direction = rng.Uniform(-1.5, 1.5);
+          a.raw_speed = rng.Uniform(-1.5, 1.5);
+        }
+        indexed.Step(actions, ri);
+        naive.Step(actions, rn);
+        const std::string tag = "seed " + std::to_string(seed) + " ep " +
+                                std::to_string(episode) + " slot " +
+                                std::to_string(t++);
+        ExpectStepResultsEqual(ri, rn, tag);
+        for (int k = 0; k < indexed.num_agents(); ++k) {
+          ASSERT_EQ(indexed.HomogeneousNeighbors(k),
+                    naive.HomogeneousNeighbors(k))
+              << tag << " agent " << k;
+        }
+      }
+      ASSERT_EQ(indexed.EpisodeMetrics().data_collection_ratio,
+                naive.EpisodeMetrics().data_collection_ratio)
+          << "seed " << seed << " episode " << episode;
+    }
+  }
+}
+
+TEST(EnvHotPathTest, EventLogOptOutChangesOnlyTheLog) {
+  const uint64_t seed = 31;
+  env::EnvConfig log_cfg = TestEnvConfig();
+  env::EnvConfig no_log_cfg = TestEnvConfig();
+  no_log_cfg.record_event_log = false;
+  env::ScEnv with_log(log_cfg, TestDataset(), seed);
+  env::ScEnv without_log(no_log_cfg, TestDataset(), seed);
+
+  util::Rng rng(99);
+  std::vector<env::UvAction> actions(with_log.num_agents());
+  env::StepResult ra, rb;
+  with_log.Reset(ra);
+  without_log.Reset(rb);
+  int slots = 0;
+  while (!ra.done) {
+    for (auto& a : actions) {
+      a.raw_direction = rng.Uniform(-1.0, 1.0);
+      a.raw_speed = rng.Uniform(-1.0, 1.0);
+    }
+    with_log.Step(actions, ra);
+    without_log.Step(actions, rb);
+    ExpectStepResultsEqual(ra, rb, "slot " + std::to_string(slots));
+    ++slots;
+  }
+  EXPECT_EQ(static_cast<int>(with_log.event_log().size()), slots);
+  EXPECT_TRUE(without_log.event_log().empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the env fast path never changes training results.
+// ---------------------------------------------------------------------------
+
+env::EnvConfig SmallEnvConfig() {
+  env::EnvConfig config;
+  config.num_timeslots = 6;
+  config.num_pois = 10;
+  config.num_uavs = 1;
+  config.num_ugvs = 1;
+  return config;
+}
+
+core::TrainConfig SmallTrainConfig() {
+  core::TrainConfig train;
+  train.iterations = 2;
+  train.episodes_per_iteration = 2;
+  train.policy_epochs = 1;
+  train.lcf_epochs = 1;
+  train.minibatch = 64;
+  train.net.hidden = {16};
+  train.eoi.hidden = {12};
+  train.seed = 11;
+  train.verbose = false;
+  return train;
+}
+
+std::string TempPath(const std::string& name) {
+  // pid-scoped: gtest's TempDir is shared across concurrent test processes.
+  return ::testing::TempDir() + "/p" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(EnvInvarianceTest, TrainingCheckpointBytesIdenticalAcrossEnvPaths) {
+  const map::Dataset dataset = map::BuildDataset(map::CampusId::kPurdue, 10);
+  struct Case {
+    bool spatial_index;
+    bool event_log;
+    const char* name;
+  };
+  const Case cases[] = {
+      {true, true, "indexed"},
+      {false, true, "naive"},
+      {true, false, "indexed_nolog"},
+  };
+  std::vector<std::string> bytes;
+  for (const Case& c : cases) {
+    env::EnvConfig config = SmallEnvConfig();
+    config.use_spatial_index = c.spatial_index;
+    config.record_event_log = c.event_log;
+    env::ScEnv env(config, dataset, 11);
+    core::HiMadrlTrainer trainer(env, SmallTrainConfig());
+    for (int i = 0; i < 2; ++i) trainer.TrainIteration();
+    const std::string path = TempPath(std::string("einv_") + c.name + ".agsc");
+    ASSERT_TRUE(trainer.SaveCheckpoint(path));
+    bytes.push_back(ReadFileBytes(path));
+    std::remove(path.c_str());
+  }
+  for (size_t i = 1; i < bytes.size(); ++i) {
+    EXPECT_EQ(bytes[0], bytes[i])
+        << "checkpoint bytes diverge between " << cases[0].name << " and "
+        << cases[i].name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation stepping.
+// ---------------------------------------------------------------------------
+
+TEST(EnvHotPathTest, SteadyStateStepIsAllocationFree) {
+  if (!kAllocCounterCompiledIn) {
+    GTEST_SKIP() << "allocation counter compiled out (sanitizer build)";
+  }
+  env::EnvConfig config = TestEnvConfig();
+  config.record_event_log = false;  // The log is the one intentional grower.
+  env::ScEnv env(config, TestDataset(), 17);
+
+  util::Rng rng(5);
+  std::vector<env::UvAction> actions(env.num_agents());
+  env::StepResult step;
+
+  auto run_episode = [&] {
+    env.Reset(step);
+    while (!step.done) {
+      for (auto& a : actions) {
+        a.raw_direction = rng.Uniform(-1.0, 1.0);
+        a.raw_speed = rng.Uniform(-1.0, 1.0);
+      }
+      env.Step(actions, step);
+    }
+  };
+
+  run_episode();  // Warm every scratch buffer and the routing caches.
+  env.Reset(step);
+
+  const long long before = HeapAllocCount();
+  while (!step.done) {
+    for (auto& a : actions) {
+      a.raw_direction = rng.Uniform(-1.0, 1.0);
+      a.raw_speed = rng.Uniform(-1.0, 1.0);
+    }
+    env.Step(actions, step);
+  }
+  const long long after = HeapAllocCount();
+  EXPECT_EQ(after, before)
+      << "steady-state Step allocated " << (after - before)
+      << " times; scratch buffers should absorb the whole episode";
+}
+
+}  // namespace
+}  // namespace agsc

@@ -6,7 +6,7 @@
 //              [--height M] [--threshold DB] [--medium noma|tdma|ofdma]
 //              [--no-eoi] [--no-copo] [--plain-copo] [--mappo]
 //              [--seed S] [--eval N] [--num-workers W]
-//              [--nn-threads T] [--nn-naive]
+//              [--nn-threads T] [--nn-naive] [--env-naive]
 //              [--save FILE] [--load FILE]
 //              [--checkpoint-dir DIR] [--checkpoint-every N]
 //              [--checkpoint-keep K] [--resume]
@@ -25,6 +25,9 @@
 // workers and --nn-naive falls back to the reference kernels; both are
 // bit-identical to the default blocked single-threaded kernels, so they
 // change throughput only, never the learned parameters.
+// --env-naive disables the environment's spatial indices and cached road
+// routing, falling back to the linear-scan / per-call-Dijkstra reference
+// paths — also bit-identical, kept as an oracle and debugging aid.
 
 #include <iostream>
 #include <string>
@@ -56,6 +59,7 @@ struct Args {
   int num_workers = 1;
   int nn_threads = 0;
   bool nn_naive = false;
+  bool env_naive = false;
   std::string save_path;
   std::string load_path;
   std::string checkpoint_dir;
@@ -161,6 +165,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (!next_int("--nn-threads", 0, 1024, &args.nn_threads)) return false;
     } else if (flag == "--nn-naive") {
       args.nn_naive = true;
+    } else if (flag == "--env-naive") {
+      args.env_naive = true;
     } else if (flag == "--save") {
       const char* v = next("--save");
       if (!v) return false;
@@ -223,6 +229,7 @@ int main(int argc, char** argv) {
            "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
            "  [--plain-copo] [--mappo] [--seed S] [--eval N]\n"
            "  [--num-workers W] [--nn-threads T] [--nn-naive]\n"
+           "  [--env-naive]\n"
            "  [--save FILE] [--load FILE]\n"
            "  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
            "  [--checkpoint-keep K] [--resume] [--render] [--quiet]\n";
@@ -247,6 +254,10 @@ int main(int argc, char** argv) {
   } else if (args.medium == "ofdma") {
     env_config.medium_access = env::MediumAccess::kOfdma;
   }
+  env_config.use_spatial_index = !args.env_naive;
+  // Training consumes only each slot's last events; the full per-slot event
+  // log is needed just for the trajectory/coordination renders.
+  env_config.record_event_log = args.render;
   const std::string config_error = env_config.Validate();
   if (!config_error.empty()) {
     std::cerr << "invalid configuration: " << config_error << "\n";

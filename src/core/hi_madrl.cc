@@ -8,10 +8,12 @@
 #include <fstream>
 #include <limits>
 
+#include "core/oracle_guard.h"
 #include "core/ppo.h"
 #include "nn/serialize.h"
 #include "util/fault_inject.h"
 #include "util/logging.h"
+#include "util/shutdown.h"
 
 namespace agsc::core {
 
@@ -110,6 +112,8 @@ HiMadrlTrainer::HiMadrlTrainer(env::ScEnv& env, const TrainConfig& config)
   if (config_.num_workers >= 1) {
     sampler_ = std::make_unique<VecSampler>(env_, rng_, config_.num_workers,
                                             config_.seed);
+    if (config_.stop_check) sampler_->set_stop_check(config_.stop_check);
+    sampler_->set_step_deadline_ms(config_.watchdog_ms);
   }
 }
 
@@ -191,6 +195,11 @@ void HiMadrlTrainer::CollectRollouts() {
   for (int e = 0; e < config_.episodes_per_iteration; ++e) {
     env_.Reset(cur);
     while (true) {
+      if (config_.stop_check && config_.stop_check()) {
+        throw util::InterruptedError(
+            "rollout interrupted by stop request (legacy sampler); partial "
+            "episodes discarded");
+      }
       for (int k = 0; k < num_agents; ++k) {
         raw_actions[k] =
             Nets(k).actor->Act(ActorInput(k, cur.observations[k]), rng_,
@@ -720,6 +729,11 @@ IterationStats HiMadrlTrainer::TrainIteration() {
   IterationStats stats;
   stats.iteration = iteration_;
 
+  if (config_.oracle_check_every > 0 &&
+      iteration_ % config_.oracle_check_every == 0) {
+    RunOracleChecks();
+  }
+
   iter_anomalies_ = 0;
   CollectRollouts();
   stats.eoi_loss = UpdateEoiAndRewards();
@@ -755,6 +769,8 @@ IterationStats HiMadrlTrainer::TrainIteration() {
   stats.mean_reward_int =
       count > 0 ? static_cast<float>(int_sum / count) : 0.0f;
   stats.total_env_steps = total_env_steps_;
+  stats.env_oracle_fallback = env_fallback_;
+  stats.nn_oracle_fallback = nn_fallback_;
 
   if (config_.verbose) {
     AGSC_LOG(kInfo) << "iter " << iteration_ << " lambda="
@@ -771,6 +787,15 @@ bool HiMadrlTrainer::MaybeBackoffLearningRates() {
       anomaly_streak_ < config_.anomaly_backoff_after) {
     return false;
   }
+  if (config_.max_lr_backoffs > 0 &&
+      lr_backoff_count_ >= config_.max_lr_backoffs) {
+    throw TrainingDiverged(
+        "divergence guard: updates still non-finite after " +
+        std::to_string(lr_backoff_count_) +
+        " learning-rate backoff(s); giving up at iteration " +
+        std::to_string(iteration_));
+  }
+  ++lr_backoff_count_;
   const float factor = config_.lr_backoff_factor;
   config_.actor_lr *= factor;
   config_.critic_lr *= factor;
@@ -789,20 +814,90 @@ bool HiMadrlTrainer::MaybeBackoffLearningRates() {
   return true;
 }
 
+void HiMadrlTrainer::RunOracleChecks() {
+  if (!env_fallback_) {
+    const OracleCheckResult check =
+        EnvSelfCheck(env_, config_.oracle_check_steps);
+    if (!check.ok) {
+      env_fallback_ = true;
+      AGSC_LOG(kError) << "oracle guard: spatial-index env disagrees with "
+                       << "the naive oracle (" << check.detail
+                       << "); permanently falling back to the naive "
+                       << "linear-scan path";
+    }
+  }
+  if (!nn_fallback_) {
+    const OracleCheckResult check = NnKernelSelfCheck();
+    if (!check.ok) {
+      nn_fallback_ = true;
+      AGSC_LOG(kError) << "oracle guard: blocked GEMM kernels disagree with "
+                       << "the naive reference (" << check.detail
+                       << "); permanently falling back to the naive kernels";
+    }
+  }
+  ApplyOracleFallbacks();
+}
+
+void HiMadrlTrainer::ApplyOracleFallbacks() {
+  if (env_fallback_) {
+    env_.DisableSpatialIndex();
+    if (sampler_) {
+      for (int w = 1; w < sampler_->num_workers(); ++w) {
+        sampler_->worker_env(w).DisableSpatialIndex();
+      }
+    }
+  }
+  if (nn_fallback_ && nn::GetKernelConfig().gemm != nn::GemmKernel::kNaive) {
+    nn::KernelConfig kernel_config = nn::GetKernelConfig();
+    kernel_config.gemm = nn::GemmKernel::kNaive;
+    nn::SetKernelConfig(kernel_config);
+  }
+}
+
 std::vector<IterationStats> HiMadrlTrainer::Train(int iterations) {
   const int total = iterations >= 0 ? iterations : config_.iterations;
   const bool auto_checkpoint =
       !config_.checkpoint_dir.empty() && config_.checkpoint_every > 0;
   std::vector<IterationStats> all;
   all.reserve(total);
-  for (int i = 0; i < total; ++i) {
-    all.push_back(TrainIteration());
-    if (auto_checkpoint && (iteration_ % config_.checkpoint_every == 0 ||
-                            i + 1 == total)) {
-      WriteAutoCheckpoint();
+  try {
+    for (int i = 0; i < total; ++i) {
+      if (config_.stop_check && config_.stop_check()) {
+        throw util::InterruptedError(
+            "stop requested at iteration boundary " +
+            std::to_string(iteration_));
+      }
+      all.push_back(TrainIteration());
+      stats_history_.push_back(all.back());
+      if (auto_checkpoint && (iteration_ % config_.checkpoint_every == 0 ||
+                              i + 1 == total)) {
+        WriteAutoCheckpoint();
+      }
     }
+  } catch (const util::InterruptedError&) {
+    // Clean cooperative stop: persist where we got to, then let the caller
+    // decide (the CLI maps this to the signal-stop exit code).
+    FlushFinalCheckpoint();
+    throw;
+  } catch (const TrainingDiverged&) {
+    // The flushed state is the last completed iteration — the run can be
+    // resumed with different hyperparameters from there.
+    FlushFinalCheckpoint();
+    throw;
   }
+  // Deliberately NOT flushed on util::WatchdogTimeoutError: a hung worker
+  // may still be mutating environment state concurrently, so a checkpoint
+  // written here could be torn. The watchdog path is fail-fast.
   return all;
+}
+
+void HiMadrlTrainer::FlushFinalCheckpoint() {
+  if (config_.checkpoint_dir.empty()) return;
+  // Don't overwrite a clean iteration-boundary checkpoint with one carrying
+  // identical counters: if the current iteration already has a file on
+  // disk, keep it.
+  if (last_checkpoint_iter_ == iteration_) return;
+  WriteAutoCheckpoint();
 }
 
 std::vector<IterationStats> HiMadrlTrainer::TrainTo(int total_iterations) {
@@ -915,8 +1010,14 @@ constexpr char kSecCounters[] = "counters";
 // (kStateWords words each). Absent <=> the run had at most one worker.
 constexpr char kSecVecRng[] = "vrng";
 // counters section layout: iteration, total_env_steps, anomaly_streak,
-// actor_lr bits, critic_lr bits.
+// actor_lr bits, critic_lr bits. Files written since the supervisor layer
+// carry a sixth word: bit 0 = env oracle fallback, bit 1 = NN kernel
+// oracle fallback, bits 8+ = learning-rate backoff count. Older 5-word
+// files load fine (no fallback, zero backoffs).
 constexpr size_t kCounterWords = 5;
+constexpr uint64_t kFallbackEnvBit = 1;
+constexpr uint64_t kFallbackNnBit = 2;
+constexpr int kBackoffCountShift = 8;
 }  // namespace
 
 bool HiMadrlTrainer::SaveCheckpoint(const std::string& path) {
@@ -950,7 +1051,11 @@ bool HiMadrlTrainer::SaveCheckpoint(const std::string& path) {
                     static_cast<uint64_t>(total_env_steps_),
                     static_cast<uint64_t>(anomaly_streak_),
                     DoubleBits(static_cast<double>(config_.actor_lr)),
-                    DoubleBits(static_cast<double>(config_.critic_lr))};
+                    DoubleBits(static_cast<double>(config_.critic_lr)),
+                    (env_fallback_ ? kFallbackEnvBit : 0) |
+                        (nn_fallback_ ? kFallbackNnBit : 0) |
+                        (static_cast<uint64_t>(lr_backoff_count_)
+                         << kBackoffCountShift)};
 
   if (sampler_ && sampler_->num_workers() > 1) {
     nn::CheckpointSection& vrng = ckpt.AddSection(kSecVecRng);
@@ -960,7 +1065,10 @@ bool HiMadrlTrainer::SaveCheckpoint(const std::string& path) {
     }
   }
 
-  return nn::SaveCheckpointFile(path, ckpt);
+  // Encode once, retry only the write: transient I/O failures (injected or
+  // real) are absorbed with exponential backoff before giving up.
+  return util::AtomicWriteFileRetry(path, nn::EncodeCheckpoint(ckpt),
+                                    config_.io_retry);
 }
 
 bool HiMadrlTrainer::LoadCheckpoint(const std::string& path) {
@@ -1138,6 +1246,25 @@ bool HiMadrlTrainer::LoadCheckpointV2(const std::string& path) {
   config_.actor_lr = static_cast<float>(BitsToDouble(counters_sec->words[3]));
   config_.critic_lr =
       static_cast<float>(BitsToDouble(counters_sec->words[4]));
+  if (counters_sec->words.size() > kCounterWords) {
+    // Supervisor word: oracle-fallback flags + LR backoff count. A run
+    // downgraded to a reference path stays downgraded across resume (the
+    // optimized path already proved untrustworthy on this machine).
+    const uint64_t flags = counters_sec->words[kCounterWords];
+    env_fallback_ = (flags & kFallbackEnvBit) != 0;
+    nn_fallback_ = (flags & kFallbackNnBit) != 0;
+    lr_backoff_count_ = static_cast<int>(flags >> kBackoffCountShift);
+    if (env_fallback_ || nn_fallback_) {
+      AGSC_LOG(kWarning) << "checkpoint " << path
+                         << ": restoring oracle fallback(s) (env="
+                         << env_fallback_ << ", nn=" << nn_fallback_ << ")";
+      ApplyOracleFallbacks();
+    }
+  } else {
+    env_fallback_ = false;
+    nn_fallback_ = false;
+    lr_backoff_count_ = 0;
+  }
   // Keep theta_old in sync so the next LCF update sees a consistent pair.
   SnapshotOldPolicies();
   return true;
@@ -1193,7 +1320,9 @@ void HiMadrlTrainer::WriteAutoCheckpoint() {
     AGSC_LOG(kWarning) << "auto-checkpoint failed: " << path;
     return;
   }
-  util::AtomicWriteFile((dir / "latest").string(), std::string(name) + "\n");
+  last_checkpoint_iter_ = iteration_;
+  util::AtomicWriteFileRetry((dir / "latest").string(),
+                             std::string(name) + "\n", config_.io_retry);
   // Keep-last-K retention over ckpt_*.agsc files.
   std::vector<fs::path> retained;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {

@@ -1,7 +1,10 @@
 #ifndef AGSC_CORE_HI_MADRL_H_
 #define AGSC_CORE_HI_MADRL_H_
 
+#include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/copo.h"
@@ -12,8 +15,19 @@
 #include "core/vec_sampler.h"
 #include "env/sc_env.h"
 #include "nn/optimizer.h"
+#include "util/retry.h"
 
 namespace agsc::core {
+
+/// Thrown by Train when the divergence guard has exhausted its learning-rate
+/// backoff budget (TrainConfig::max_lr_backoffs) and updates are still
+/// non-finite: the run cannot make progress. Train flushes a final
+/// checkpoint before letting this propagate, so the last good state is on
+/// disk.
+class TrainingDiverged : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Which multi-agent actor-critic serves as the base module (Section V):
 /// IPPO (independent critics on local obs) or MAPPO (critics on the global
@@ -67,6 +81,36 @@ struct TrainConfig {
   /// and critic learning rates (with a warning) instead of crashing.
   int anomaly_backoff_after = 3;
   float lr_backoff_factor = 0.5f;
+  /// Give up after this many learning-rate backoffs: the next one throws
+  /// TrainingDiverged instead of halving again (Train flushes a final
+  /// checkpoint first). 0 = never give up (the legacy behavior).
+  int max_lr_backoffs = 0;
+
+  // --- Long-run supervisor (robustness) ---
+  /// Cooperative stop hook (e.g. util::ShutdownRequested), polled at
+  /// iteration boundaries and at every sampling timeslot. When it fires
+  /// mid-collect the partial iteration is abandoned via
+  /// util::InterruptedError; Train flushes a final checkpoint and rethrows.
+  std::function<bool()> stop_check;
+  /// Watchdog deadline for each parallel rollout reset/step batch, in
+  /// milliseconds (0 = disabled). A hung worker turns into a
+  /// util::WatchdogTimeoutError naming the stuck worker and timeslot
+  /// instead of a deadlock. Effective only with num_workers > 1 (the
+  /// single-worker pool runs inline). Fail-fast: no checkpoint is flushed
+  /// on timeout, since the hung task may still be mutating trainer state.
+  long watchdog_ms = 0;
+  /// Run the oracle self-checks (indexed env vs naive linear scan, blocked
+  /// GEMM vs naive reference) at the start of every `oracle_check_every`-th
+  /// iteration, including the first. On mismatch the affected subsystem is
+  /// logged loudly and permanently downgraded to its reference path (see
+  /// IterationStats::*_oracle_fallback); the downgrade is recorded in
+  /// checkpoints and reapplied on resume. 0 = disabled.
+  int oracle_check_every = 0;
+  /// Timeslots stepped by each env oracle self-check.
+  int oracle_check_steps = 16;
+  /// Retry policy for checkpoint writes (transient I/O failures are
+  /// retried with exponential backoff before the write is abandoned).
+  util::RetryPolicy io_retry;
 
   // --- Periodic auto-checkpointing (crash recovery) ---
   /// When non-empty and checkpoint_every > 0, Train() writes a v2
@@ -120,6 +164,12 @@ struct IterationStats {
   /// True if repeated anomalies triggered a learning-rate halving at the
   /// end of this iteration.
   bool lr_backoff = false;
+  /// True while the environment runs on the naive linear-scan path after an
+  /// oracle self-check mismatch (sticky for the rest of the run).
+  bool env_oracle_fallback = false;
+  /// True while the NN GEMMs run on the naive reference kernels after an
+  /// oracle self-check mismatch (sticky for the rest of the run).
+  bool nn_oracle_fallback = false;
 };
 
 /// The h/i-MADRL trainer (Algorithm 1): a PPO-family base module plus the
@@ -151,6 +201,11 @@ class HiMadrlTrainer : public Policy {
   long total_env_steps() const { return total_env_steps_; }
   /// Cumulative iterations trained (restored by LoadCheckpoint).
   int iteration() const { return iteration_; }
+  /// Learning-rate backoffs taken so far (counted against max_lr_backoffs).
+  int lr_backoff_count() const { return lr_backoff_count_; }
+  /// Oracle-fallback state (sticky; persisted in checkpoints).
+  bool env_oracle_fallback() const { return env_fallback_; }
+  bool nn_oracle_fallback() const { return nn_fallback_; }
 
   /// Total scalar parameters across all live networks.
   int TotalParameterCount() const;
@@ -171,6 +226,14 @@ class HiMadrlTrainer : public Policy {
 
   /// The shared on-policy buffer filled by CollectRollouts.
   const MultiAgentBuffer& buffer() const { return buffer_; }
+
+  /// Every IterationStats produced through Train/TrainTo over this
+  /// trainer's lifetime. Unlike Train's return value this survives an
+  /// abnormal exit (interrupt, divergence), so the CLI can still flush a
+  /// stats CSV covering the completed iterations.
+  const std::vector<IterationStats>& stats_history() const {
+    return stats_history_;
+  }
 
   /// Runs one optimize phase (i-EOI update + theta_old snapshot + M1 policy
   /// epochs + M2 LCF meta-updates) on whatever CollectRollouts already put
@@ -252,9 +315,19 @@ class HiMadrlTrainer : public Policy {
   bool LoadCheckpointV2(const std::string& path);
   /// Writes ckpt_<iter>.agsc + the `latest` pointer and prunes old files.
   void WriteAutoCheckpoint();
+  /// Writes a final auto-checkpoint on an abnormal Train exit, unless the
+  /// current iteration already has one on disk.
+  void FlushFinalCheckpoint();
   /// Halves actor/critic learning rates after repeated anomalous
-  /// iterations; returns true if a backoff happened.
+  /// iterations; returns true if a backoff happened. Throws
+  /// TrainingDiverged once max_lr_backoffs is exhausted.
   bool MaybeBackoffLearningRates();
+  /// Runs the due oracle self-checks and applies any permanent fallback
+  /// (env spatial index -> naive scan, blocked GEMM -> naive kernels).
+  void RunOracleChecks();
+  /// Applies the sticky fallback flags to the live env/replicas/kernels
+  /// (after a self-check mismatch or a checkpoint restore).
+  void ApplyOracleFallbacks();
 
   env::ScEnv& env_;
   TrainConfig config_;
@@ -267,12 +340,17 @@ class HiMadrlTrainer : public Policy {
   std::vector<Lcf> lcfs_;
   MultiAgentBuffer buffer_;
   std::vector<env::Metrics> rollout_metrics_;
+  std::vector<IterationStats> stats_history_;
   int iteration_ = 0;
   long total_env_steps_ = 0;
   int actor_input_dim_ = 0;
   int critic_input_dim_ = 0;
   int iter_anomalies_ = 0;        ///< Guard events in the current iteration.
   int anomaly_streak_ = 0;        ///< Consecutive anomalous iterations.
+  int lr_backoff_count_ = 0;      ///< LR backoffs taken (vs max_lr_backoffs).
+  bool env_fallback_ = false;     ///< Env downgraded to the naive scan path.
+  bool nn_fallback_ = false;      ///< GEMMs downgraded to the naive kernels.
+  int last_checkpoint_iter_ = -1; ///< Iteration of the newest auto-ckpt.
 };
 
 }  // namespace agsc::core

@@ -1,0 +1,38 @@
+#ifndef AGSC_CORE_ORACLE_GUARD_H_
+#define AGSC_CORE_ORACLE_GUARD_H_
+
+#include <string>
+
+#include "env/sc_env.h"
+
+namespace agsc::core {
+
+/// Outcome of one oracle self-check. `ok == false` means the optimized path
+/// disagreed with its retained reference implementation; `detail` names the
+/// first mismatching operation.
+struct OracleCheckResult {
+  bool ok = true;
+  std::string detail;
+};
+
+/// Compares the process-wide GEMM kernel selection (nn::GetKernelConfig)
+/// against the naive reference kernels on a deterministic set of random
+/// tensors (all three MatMul variants, several shapes). The kernels are
+/// designed to be bit-identical, so any difference is a real defect — the
+/// caller should fall back to GemmKernel::kNaive. Trivially passes when the
+/// naive kernels are already selected. Uses a private fixed-seed RNG; never
+/// touches training streams.
+OracleCheckResult NnKernelSelfCheck();
+
+/// Runs two copies of `env` — one on the spatial-index fast path, one
+/// downgraded to the naive linear-scan oracle — in lock-step for `steps`
+/// random-action timeslots and compares every StepResult field bit-exactly.
+/// The copies start from `env`'s current RNG state, so both see identical
+/// episode randomness; actions come from a private fixed-seed RNG. `env`
+/// itself is never mutated. Trivially passes when `env` is already on the
+/// naive path.
+OracleCheckResult EnvSelfCheck(const env::ScEnv& env, int steps);
+
+}  // namespace agsc::core
+
+#endif  // AGSC_CORE_ORACLE_GUARD_H_

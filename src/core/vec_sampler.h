@@ -63,8 +63,32 @@ class VecSampler {
   /// Collects `episodes` full episodes through `act`, appending the merged
   /// experience to `buffer` and one `Metrics` row per episode to `metrics`
   /// (both in stable worker-index order).
+  ///
+  /// Throws util::InterruptedError if the stop check fires at a timeslot
+  /// boundary, and util::WatchdogTimeoutError (annotated with the stuck
+  /// worker and timeslot) if a parallel step batch misses the step deadline.
+  /// Partial experience from an interrupted call is discarded; the sampling
+  /// RNG streams have advanced, so a resumed run is still deterministic but
+  /// not bit-equal to an uninterrupted one.
   void Collect(int episodes, const BatchActFn& act, MultiAgentBuffer& buffer,
                std::vector<env::Metrics>& metrics);
+
+  /// Optional cooperative stop: polled on the caller's thread at every
+  /// timeslot boundary (never inside a pool task). When it returns true,
+  /// Collect throws util::InterruptedError instead of starting more work.
+  void set_stop_check(std::function<bool()> stop_check) {
+    stop_check_ = std::move(stop_check);
+  }
+
+  /// Watchdog deadline for each parallel reset/step batch, in milliseconds
+  /// (0 = no deadline). Only meaningful with num_workers > 1 — the inline
+  /// single-worker pool runs tasks synchronously, so a deadline can never
+  /// fire mid-task. A timeout is fail-fast: the hung task may still be
+  /// running when Collect throws, so treat the sampler as unusable and
+  /// flush + exit rather than retrying.
+  void set_step_deadline_ms(long deadline_ms) {
+    step_deadline_ms_ = deadline_ms;
+  }
 
   int num_workers() const { return num_workers_; }
 
@@ -87,6 +111,10 @@ class VecSampler {
   int num_workers_;
   std::vector<std::unique_ptr<env::ScEnv>> replica_envs_;  ///< Workers 1..W-1.
   std::vector<util::Rng> replica_rngs_;                    ///< Workers 1..W-1.
+  std::function<bool()> stop_check_;
+  long step_deadline_ms_ = 0;
+  // Declared last so it is destroyed first: the destructor join waits for
+  // any straggling (e.g. stalled) task before the envs it touches go away.
   util::ThreadPool pool_;
 };
 

@@ -117,6 +117,13 @@ class ScEnv {
   const EnvConfig& config() const { return config_; }
   const ChannelModel& channel() const { return channel_; }
 
+  /// Permanently switches this env onto the naive linear-scan path (the
+  /// retained test oracle). Only the indexed -> naive direction exists: the
+  /// spatial grids are built at construction time, so an env downgraded by
+  /// the oracle-fallback guard stays naive for its lifetime. Bit-identical
+  /// results, just slower.
+  void DisableSpatialIndex() { config_.use_spatial_index = false; }
+
   /// The environment's private RNG stream. Exposed mutably so checkpoints
   /// can capture/restore it for bit-exact training resume.
   util::Rng& rng() { return rng_; }

@@ -1,0 +1,20 @@
+#include "util/exit_codes.h"
+
+namespace agsc::util {
+
+const char* ExitCodeName(int code) {
+  switch (code) {
+    case kExitOk: return "ok";
+    case kExitUsage: return "usage-error";
+    case kExitConfig: return "config-error";
+    case kExitIoError: return "io-error";
+    case kExitResumeMismatch: return "resume-mismatch";
+    case kExitDiverged: return "diverged";
+    case kExitWatchdogTimeout: return "watchdog-timeout";
+    case kExitSignalStop: return "signal-stop";
+    case kExitInterruptedAbort: return "interrupted-abort";
+    default: return "unknown";
+  }
+}
+
+}  // namespace agsc::util

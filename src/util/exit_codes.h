@@ -1,0 +1,46 @@
+#ifndef AGSC_UTIL_EXIT_CODES_H_
+#define AGSC_UTIL_EXIT_CODES_H_
+
+namespace agsc::util {
+
+/// Stable exit-code taxonomy for the long-running tools (agsc_train).
+/// Supervisors (shell scripts, cron, k8s restart policies) key restart /
+/// alert decisions off these values, so they are part of the CLI contract
+/// and documented in README.md; never renumber an existing entry.
+enum ExitCode : int {
+  /// Run completed normally (including a --resume that was already done).
+  kExitOk = 0,
+  /// Unknown flag, malformed value, or inconsistent flag combination.
+  kExitUsage = 2,
+  /// Flags parsed but the resulting EnvConfig failed validation.
+  kExitConfig = 3,
+  /// A required checkpoint/stats write or an explicit --load/--save failed
+  /// even after the retry policy was exhausted.
+  kExitIoError = 4,
+  /// --resume found checkpoint files but none of them loaded (corrupted
+  /// beyond the retained set, or an architecture/worker-count mismatch).
+  /// The run refuses to silently retrain from scratch.
+  kExitResumeMismatch = 5,
+  /// Training diverged beyond recovery: the divergence guard exhausted
+  /// --max-backoffs learning-rate backoffs. A final checkpoint is flushed
+  /// before exiting so the run is inspectable/resumable.
+  kExitDiverged = 6,
+  /// A rollout worker exceeded the --watchdog-sec deadline. The process
+  /// exits immediately (no state flush: the hung worker may still own the
+  /// sampler state); the last auto-checkpoint is the resume point.
+  kExitWatchdogTimeout = 7,
+  /// Clean cooperative stop after SIGINT/SIGTERM: a final checkpoint and
+  /// the stats CSV were flushed at the last safe boundary.
+  kExitSignalStop = 8,
+  /// Second SIGINT/SIGTERM while a cooperative stop was pending: immediate
+  /// abort from the signal handler, nothing flushed.
+  kExitInterruptedAbort = 9,
+};
+
+/// Short stable name of `code` for log lines ("ok", "watchdog-timeout", ...);
+/// "unknown" for values outside the taxonomy.
+const char* ExitCodeName(int code);
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_EXIT_CODES_H_

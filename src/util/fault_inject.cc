@@ -1,8 +1,10 @@
 #include "util/fault_inject.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 
@@ -16,46 +18,87 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::set_config(const Config& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
   config_ = config;
   write_count_ = 0;
   loss_count_ = 0;
+  task_count_ = 0;
+}
+
+FaultInjector::Config FaultInjector::config() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
 }
 
 void FaultInjector::ReloadFromEnv() {
   Config config;
   config.fail_write = GetEnvOr("AGSC_FAULT_FAIL_WRITE", 0);
+  config.fail_write_count = GetEnvOr("AGSC_FAULT_FAIL_WRITE_COUNT", 1);
   config.mutate_write = GetEnvOr("AGSC_FAULT_MUTATE_WRITE", 0);
   config.truncate_at =
       static_cast<long>(GetEnvOr("AGSC_FAULT_TRUNCATE_AT", -1));
   config.flip_byte = static_cast<long>(GetEnvOr("AGSC_FAULT_FLIP_BYTE", -1));
+  config.signal_write = GetEnvOr("AGSC_FAULT_SIGNAL_WRITE", 0);
   config.nan_loss = GetEnvOr("AGSC_FAULT_NAN_LOSS", 0);
+  config.nan_loss_every = GetEnvOr("AGSC_FAULT_NAN_LOSS_EVERY", 0);
+  config.stall_task = GetEnvOr("AGSC_FAULT_STALL_TASK", 0);
+  config.stall_ms = static_cast<long>(GetEnvOr("AGSC_FAULT_STALL_MS", 0));
   set_config(config);
 }
 
 void FaultInjector::Reset() { set_config(Config{}); }
 
 bool FaultInjector::OnWrite(std::string& bytes) {
-  ++write_count_;
-  if (config_.fail_write > 0 && write_count_ == config_.fail_write) {
-    return false;
-  }
-  if (config_.mutate_write > 0 && write_count_ == config_.mutate_write) {
-    if (config_.truncate_at >= 0 &&
-        static_cast<size_t>(config_.truncate_at) < bytes.size()) {
-      bytes.resize(static_cast<size_t>(config_.truncate_at));
+  bool raise_signal = false;
+  bool ok = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++write_count_;
+    if (config_.signal_write > 0 && write_count_ == config_.signal_write) {
+      raise_signal = true;
     }
-    if (config_.flip_byte >= 0 &&
-        static_cast<size_t>(config_.flip_byte) < bytes.size()) {
-      bytes[static_cast<size_t>(config_.flip_byte)] ^=
-          static_cast<char>(0xFF);
+    if (config_.fail_write > 0 && write_count_ >= config_.fail_write &&
+        write_count_ < config_.fail_write + std::max(1,
+                                                     config_.fail_write_count)) {
+      ok = false;
+    }
+    if (ok && config_.mutate_write > 0 &&
+        write_count_ == config_.mutate_write) {
+      if (config_.truncate_at >= 0 &&
+          static_cast<size_t>(config_.truncate_at) < bytes.size()) {
+        bytes.resize(static_cast<size_t>(config_.truncate_at));
+      }
+      if (config_.flip_byte >= 0 &&
+          static_cast<size_t>(config_.flip_byte) < bytes.size()) {
+        bytes[static_cast<size_t>(config_.flip_byte)] ^=
+            static_cast<char>(0xFF);
+      }
     }
   }
-  return true;
+  // Raise outside the lock: the handler must never observe the injector
+  // mid-update, and a longjmp-free handler returning here re-enters I/O.
+  if (raise_signal) ::raise(SIGINT);
+  return ok;
 }
 
 bool FaultInjector::PoisonLossNow() {
-  if (config_.nan_loss <= 0) return false;
-  return ++loss_count_ == config_.nan_loss;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.nan_loss <= 0 && config_.nan_loss_every <= 0) return false;
+  ++loss_count_;
+  if (config_.nan_loss > 0 && loss_count_ == config_.nan_loss) return true;
+  return config_.nan_loss_every > 0 &&
+         loss_count_ % config_.nan_loss_every == 0;
+}
+
+long FaultInjector::NextStallMs() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.stall_task <= 0 || config_.stall_ms <= 0) return 0;
+  return ++task_count_ == config_.stall_task ? config_.stall_ms : 0;
+}
+
+int FaultInjector::write_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_count_;
 }
 
 bool AtomicWriteFile(const std::string& path, const std::string& bytes) {

@@ -1,6 +1,7 @@
 #ifndef AGSC_UTIL_FAULT_INJECT_H_
 #define AGSC_UTIL_FAULT_INJECT_H_
 
+#include <mutex>
 #include <string>
 
 namespace agsc::util {
@@ -10,33 +11,58 @@ namespace agsc::util {
 /// programmatically via set_config() or from environment flags via
 /// ReloadFromEnv():
 ///
-///   AGSC_FAULT_FAIL_WRITE=N    AtomicWriteFile call #N (1-based) fails
-///                              without touching the destination.
-///   AGSC_FAULT_MUTATE_WRITE=N  AtomicWriteFile call #N writes a corrupted
-///                              payload, shaped by the two flags below.
-///   AGSC_FAULT_TRUNCATE_AT=B   the mutated payload is truncated to B bytes.
-///   AGSC_FAULT_FLIP_BYTE=B     byte B of the mutated payload is XORed with
-///                              0xFF (after any truncation).
-///   AGSC_FAULT_NAN_LOSS=N      guarded training loss #N evaluates as NaN
-///                              (exercises the divergence guard).
+///   AGSC_FAULT_FAIL_WRITE=N        AtomicWriteFile call #N (1-based) fails
+///                                  without touching the destination.
+///   AGSC_FAULT_FAIL_WRITE_COUNT=M  with FAIL_WRITE=N, calls N..N+M-1 all
+///                                  fail (default 1). M >= the retry
+///                                  policy's attempts makes the failure
+///                                  persistent; smaller M makes it a
+///                                  transient fault the retry layer
+///                                  absorbs.
+///   AGSC_FAULT_MUTATE_WRITE=N      AtomicWriteFile call #N writes a
+///                                  corrupted payload, shaped by the two
+///                                  flags below.
+///   AGSC_FAULT_TRUNCATE_AT=B       the mutated payload is truncated to B
+///                                  bytes.
+///   AGSC_FAULT_FLIP_BYTE=B         byte B of the mutated payload is XORed
+///                                  with 0xFF (after any truncation).
+///   AGSC_FAULT_SIGNAL_WRITE=N      raise(SIGINT) just before AtomicWrite-
+///                                  File call #N runs — a deterministic
+///                                  "signal arrives mid-checkpoint".
+///   AGSC_FAULT_NAN_LOSS=N          guarded training loss #N evaluates as
+///                                  NaN (exercises the divergence guard).
+///   AGSC_FAULT_NAN_LOSS_EVERY=K    every Kth guarded loss is NaN — a
+///                                  persistent divergence that drives the
+///                                  LR-backoff / give-up path.
+///   AGSC_FAULT_STALL_TASK=N        guarded worker task #N stalls for
+///                                  AGSC_FAULT_STALL_MS milliseconds
+///                                  (exercises the rollout watchdog).
+///   AGSC_FAULT_STALL_MS=M          stall duration (default 0 = no stall).
 ///
 /// The injector is a process-wide singleton; counters advance across all
-/// call sites so "the Nth write" is well defined for a whole run.
+/// call sites so "the Nth write" is well defined for a whole run. All
+/// entry points are thread-safe: checkpoint writes, guarded losses and
+/// worker stalls may run concurrently under --num-workers/--nn-threads.
 class FaultInjector {
  public:
   struct Config {
-    int fail_write = 0;     ///< 1-based write call to fail; 0 = off.
-    int mutate_write = 0;   ///< 1-based write call to corrupt; 0 = off.
-    long truncate_at = -1;  ///< Truncation length for the mutated write.
-    long flip_byte = -1;    ///< Byte offset to flip in the mutated write.
-    int nan_loss = 0;       ///< 1-based guarded loss to poison; 0 = off.
+    int fail_write = 0;       ///< 1-based first write call to fail; 0 = off.
+    int fail_write_count = 1; ///< How many consecutive writes fail.
+    int mutate_write = 0;     ///< 1-based write call to corrupt; 0 = off.
+    long truncate_at = -1;    ///< Truncation length for the mutated write.
+    long flip_byte = -1;      ///< Byte offset to flip in the mutated write.
+    int signal_write = 0;     ///< 1-based write call to precede with SIGINT.
+    int nan_loss = 0;         ///< 1-based guarded loss to poison; 0 = off.
+    int nan_loss_every = 0;   ///< Every Kth guarded loss is NaN; 0 = off.
+    int stall_task = 0;       ///< 1-based guarded worker task to stall.
+    long stall_ms = 0;        ///< Stall duration in milliseconds.
   };
 
   static FaultInjector& Instance();
 
   /// Installs `config` and resets all counters.
   void set_config(const Config& config);
-  const Config& config() const { return config_; }
+  Config config() const;
 
   /// Re-reads the AGSC_FAULT_* environment flags and resets all counters.
   void ReloadFromEnv();
@@ -47,26 +73,35 @@ class FaultInjector {
   /// Called once per AtomicWriteFile with the payload about to be written.
   /// Advances the write counter; returns false if this write must fail,
   /// and corrupts `bytes` in place if this write is the mutation target.
+  /// May raise SIGINT first when this write is the signal target.
   bool OnWrite(std::string& bytes);
 
   /// Called once per guarded loss evaluation; returns true if this loss
   /// must be treated as NaN.
   bool PoisonLossNow();
 
-  int write_count() const { return write_count_; }
+  /// Called once per guarded worker task (rollout env steps); returns the
+  /// stall to inject in milliseconds (0 = run normally). The caller sleeps
+  /// outside the injector's lock.
+  long NextStallMs();
+
+  int write_count() const;
 
  private:
   FaultInjector() { ReloadFromEnv(); }
 
+  mutable std::mutex mutex_;
   Config config_;
   int write_count_ = 0;
   int loss_count_ = 0;
+  int task_count_ = 0;
 };
 
 /// Writes `bytes` to `path` crash-safely: the payload goes to `path.tmp`,
 /// is fsync'd, and is then renamed over `path`, so readers observe either
 /// the old file or the complete new one, never a torn write. Returns false
 /// on any I/O failure (or an injected fault), leaving the old file intact.
+/// Single attempt — see util::AtomicWriteFileRetry for the retrying variant.
 bool AtomicWriteFile(const std::string& path, const std::string& bytes);
 
 }  // namespace agsc::util

@@ -1,0 +1,64 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/fault_inject.h"
+#include "util/logging.h"
+
+namespace agsc::util {
+
+double RetryPolicy::BackoffMs(int attempt) const {
+  if (attempt <= 1) return 0.0;
+  double backoff = initial_backoff_ms;
+  for (int i = 2; i < attempt; ++i) backoff *= backoff_multiplier;
+  return std::min(backoff, max_backoff_ms);
+}
+
+bool RetryWithBackoff(const RetryPolicy& policy,
+                      const std::function<bool()>& attempt,
+                      const std::function<void(double)>& sleep_ms,
+                      int* attempts_out) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  bool ok = false;
+  int attempts = 0;
+  for (int i = 1; i <= max_attempts && !ok; ++i) {
+    if (i > 1) {
+      const double backoff = policy.BackoffMs(i);
+      if (sleep_ms) {
+        sleep_ms(backoff);
+      } else if (backoff > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+      }
+    }
+    attempts = i;
+    ok = attempt();
+  }
+  if (attempts_out) *attempts_out = attempts;
+  return ok;
+}
+
+bool AtomicWriteFileRetry(const std::string& path, const std::string& bytes,
+                          const RetryPolicy& policy) {
+  int attempt = 0;
+  const bool ok = RetryWithBackoff(policy, [&] {
+    ++attempt;
+    const bool wrote = AtomicWriteFile(path, bytes);
+    if (!wrote && attempt < std::max(1, policy.max_attempts)) {
+      AGSC_LOG(kWarning) << "write " << path << " failed (attempt " << attempt
+                         << "/" << policy.max_attempts << "); backing off "
+                         << policy.BackoffMs(attempt + 1) << " ms";
+    }
+    return wrote;
+  });
+  if (!ok) {
+    AGSC_LOG(kError) << "write " << path << " failed after "
+                     << std::max(1, policy.max_attempts)
+                     << " attempt(s); giving up";
+  }
+  return ok;
+}
+
+}  // namespace agsc::util

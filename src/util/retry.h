@@ -1,0 +1,41 @@
+#ifndef AGSC_UTIL_RETRY_H_
+#define AGSC_UTIL_RETRY_H_
+
+#include <functional>
+#include <string>
+
+namespace agsc::util {
+
+/// Bounded retry with exponential backoff for transient failures (mostly
+/// I/O: checkpoint, stats-CSV and bench-result writes). Deterministic: no
+/// jitter, and the sleep is injectable so tests run instantly and can
+/// assert the exact backoff sequence.
+struct RetryPolicy {
+  int max_attempts = 3;            ///< Total attempts (1 = no retry).
+  double initial_backoff_ms = 10;  ///< Sleep before the 2nd attempt.
+  double backoff_multiplier = 4;   ///< Growth factor per further attempt.
+  double max_backoff_ms = 2000;    ///< Backoff ceiling.
+
+  /// Backoff before attempt `attempt` (2-based; attempt 1 never sleeps).
+  double BackoffMs(int attempt) const;
+};
+
+/// Calls `attempt` up to `policy.max_attempts` times until it returns true,
+/// sleeping the policy's backoff between tries. `sleep_ms` overrides the
+/// real clock (tests); null uses std::this_thread::sleep_for. Returns the
+/// final attempt's result; `attempts_out` (optional) receives how many
+/// attempts ran.
+bool RetryWithBackoff(const RetryPolicy& policy,
+                      const std::function<bool()>& attempt,
+                      const std::function<void(double)>& sleep_ms = nullptr,
+                      int* attempts_out = nullptr);
+
+/// AtomicWriteFile wrapped in RetryWithBackoff: transient write failures
+/// (injected or real) are retried with backoff and logged at kWarning per
+/// failed attempt; returns false only after the policy is exhausted.
+bool AtomicWriteFileRetry(const std::string& path, const std::string& bytes,
+                          const RetryPolicy& policy = RetryPolicy{});
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_RETRY_H_

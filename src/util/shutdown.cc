@@ -1,0 +1,68 @@
+#include "util/shutdown.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "util/exit_codes.h"
+
+namespace agsc::util {
+
+namespace {
+
+std::atomic<int> g_shutdown_signal{0};
+std::atomic<int> g_signal_count{0};
+std::atomic<bool> g_handler_installed{false};
+
+void ShutdownHandler(int signum) {
+  // Async-signal-safe only: atomics, write(2), _exit.
+  const int count = g_signal_count.fetch_add(1, std::memory_order_relaxed);
+  if (count == 0) {
+    g_shutdown_signal.store(signum, std::memory_order_relaxed);
+    constexpr char msg[] =
+        "\n[WARN] signal received: finishing the current boundary, flushing "
+        "a final checkpoint, then exiting (signal again to abort now)\n";
+    [[maybe_unused]] ssize_t n = ::write(2, msg, sizeof(msg) - 1);
+    return;
+  }
+  constexpr char msg[] = "\n[WARN] second signal: aborting immediately\n";
+  [[maybe_unused]] ssize_t n = ::write(2, msg, sizeof(msg) - 1);
+  ::_exit(kExitInterruptedAbort);
+}
+
+}  // namespace
+
+void InstallShutdownHandler() {
+  bool expected = false;
+  if (!g_handler_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction action = {};
+  action.sa_handler = ShutdownHandler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a signal should interrupt slow syscalls (sleeps, reads)
+  // so the polling loop notices the flag promptly.
+  action.sa_flags = 0;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0 ||
+         g_signal_count.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownSignal() {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+void RequestShutdown() {
+  g_signal_count.fetch_add(1, std::memory_order_relaxed);
+  g_shutdown_signal.store(SIGTERM, std::memory_order_relaxed);
+}
+
+void ResetShutdownForTest() {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+  g_signal_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace agsc::util

@@ -1,0 +1,46 @@
+#ifndef AGSC_UTIL_SHUTDOWN_H_
+#define AGSC_UTIL_SHUTDOWN_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace agsc::util {
+
+/// Cooperative graceful-shutdown support for long training runs.
+///
+/// InstallShutdownHandler() registers a signal-safe SIGINT/SIGTERM handler
+/// that only sets an atomic flag; the training loop polls
+/// ShutdownRequested() at iteration and sampling boundaries and winds down
+/// cleanly (final checkpoint + stats flush). A *second* signal while the
+/// stop is pending means the user is done waiting: the handler calls
+/// _exit(kExitInterruptedAbort) immediately, flushing nothing.
+///
+/// The handler performs only async-signal-safe work (atomic stores, write(2),
+/// _exit). Everything else — checkpointing, logging, teardown — happens on
+/// the training thread when it observes the flag.
+void InstallShutdownHandler();
+
+/// True once SIGINT/SIGTERM arrived (or RequestShutdown() was called).
+bool ShutdownRequested();
+
+/// The signal number that triggered the pending shutdown, or 0 if none.
+int ShutdownSignal();
+
+/// Programmatic equivalent of the first signal (tests, embedding code).
+void RequestShutdown();
+
+/// Clears the pending-shutdown flag (tests only; real runs exit instead).
+void ResetShutdownForTest();
+
+/// Thrown by samplers/trainers when a cooperative stop request interrupts
+/// work mid-iteration. Carries no data: the catcher decides how much state
+/// is still at a consistent boundary to flush.
+class InterruptedError : public std::runtime_error {
+ public:
+  explicit InterruptedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_SHUTDOWN_H_

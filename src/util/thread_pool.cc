@@ -1,9 +1,21 @@
 #include "util/thread_pool.h"
 
+#include <atomic>
+#include <chrono>
 #include <exception>
+#include <memory>
+#include <sstream>
 #include <utility>
 
 namespace agsc::util {
+
+namespace {
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 0) num_threads = 0;
@@ -60,6 +72,91 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   }
   // Wait for everything first so no task can still be touching caller state
   // when we unwind, then rethrow from the lowest failing index.
+  std::exception_ptr first_error;
+  for (int i = 0; i < n; ++i) {
+    try {
+      futures[static_cast<size_t>(i)].get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn,
+                             long deadline_ms) {
+  if (deadline_ms <= 0) {
+    ParallelFor(n, fn);
+    return;
+  }
+  if (n <= 0) return;
+
+  // Everything a task touches after a timeout throw must outlive this
+  // frame: the callable and the heartbeat slots live behind a shared_ptr
+  // that every task co-owns.
+  struct Batch {
+    std::function<void(int)> fn;
+    std::vector<std::atomic<int64_t>> start_ns;  ///< 0 = not started yet.
+    std::vector<std::atomic<uint8_t>> done;
+    Batch(const std::function<void(int)>& f, int count)
+        : fn(f),
+          start_ns(static_cast<size_t>(count)),
+          done(static_cast<size_t>(count)) {}
+  };
+  auto batch = std::make_shared<Batch>(fn, n);
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(Submit([batch, i] {
+      const size_t s = static_cast<size_t>(i);
+      batch->start_ns[s].store(NowNs(), std::memory_order_relaxed);
+      try {
+        batch->fn(i);
+      } catch (...) {
+        batch->done[s].store(1, std::memory_order_release);
+        throw;  // Lands in the future; rethrown below on the normal path.
+      }
+      batch->done[s].store(1, std::memory_order_release);
+    }));
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  bool timed_out = false;
+  for (int i = 0; i < n && !timed_out; ++i) {
+    if (futures[static_cast<size_t>(i)].wait_until(deadline) !=
+        std::future_status::ready) {
+      timed_out = true;
+    }
+  }
+
+  if (timed_out) {
+    // Re-scan the heartbeat flags: a future can become ready between the
+    // timed wait and here, so only a task still marked unfinished counts.
+    for (int i = 0; i < n; ++i) {
+      const size_t s = static_cast<size_t>(i);
+      if (batch->done[s].load(std::memory_order_acquire) != 0) continue;
+      const int64_t started = batch->start_ns[s].load(
+          std::memory_order_relaxed);
+      const long elapsed_ms =
+          started > 0 ? static_cast<long>((NowNs() - started) / 1000000)
+                      : 0;
+      std::ostringstream msg;
+      msg << "watchdog: task " << i << " of " << n << " missed the "
+          << deadline_ms << " ms deadline (";
+      if (started > 0) {
+        msg << "running for " << elapsed_ms << " ms";
+      } else {
+        msg << "never started";
+      }
+      msg << ")";
+      throw WatchdogTimeoutError(msg.str(), i, started > 0, elapsed_ms,
+                                 deadline_ms);
+    }
+    // Every task finished in the race window after all: fall through.
+  }
+
   std::exception_ptr first_error;
   for (int i = 0; i < n; ++i) {
     try {

@@ -7,10 +7,42 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace agsc::util {
+
+/// Structured error thrown when a ParallelFor deadline expires: identifies
+/// the first unfinished task, whether it ever started, and how long it has
+/// been running. Callers at higher layers (VecSampler, the trainer, the
+/// CLI) re-wrap it with domain context (worker id, env step) and map it to
+/// the watchdog-timeout exit code.
+class WatchdogTimeoutError : public std::runtime_error {
+ public:
+  WatchdogTimeoutError(const std::string& what, int task_index,
+                       bool task_started, long elapsed_ms, long deadline_ms)
+      : std::runtime_error(what),
+        task_index_(task_index),
+        task_started_(task_started),
+        elapsed_ms_(elapsed_ms),
+        deadline_ms_(deadline_ms) {}
+
+  /// Index (0-based) of the first task that missed the deadline.
+  int task_index() const { return task_index_; }
+  /// False if the task was still queued (never heartbeat) at expiry.
+  bool task_started() const { return task_started_; }
+  /// Milliseconds since the task's start heartbeat (0 if never started).
+  long elapsed_ms() const { return elapsed_ms_; }
+  long deadline_ms() const { return deadline_ms_; }
+
+ private:
+  int task_index_;
+  bool task_started_;
+  long elapsed_ms_;
+  long deadline_ms_;
+};
 
 /// A small fixed-size thread pool for deterministic fork/join parallelism.
 ///
@@ -45,6 +77,22 @@ class ThreadPool {
   /// complete. If any invocation throws, the exception from the *lowest*
   /// index is rethrown (a deterministic choice) after every task finished.
   void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// ParallelFor with a per-batch watchdog: every task records a start
+  /// heartbeat, and a deadline monitor on the calling thread waits at most
+  /// `deadline_ms` (0 = forever, i.e. the plain overload) for the whole
+  /// batch. On expiry it throws WatchdogTimeoutError naming the first
+  /// unfinished task instead of blocking forever on a hung worker.
+  ///
+  /// Safety contract on timeout: the hung task may still be running. `fn`
+  /// is copied into shared storage that outlives the throw, so the caller's
+  /// callable must only touch state that also outlives the call (heap state
+  /// held by shared_ptr, or members of a long-lived object) — never stack
+  /// locals of the calling frame. A watchdog timeout is a fail-fast event:
+  /// the expected reaction is to flush what is safe and exit the process,
+  /// not to reuse the pool.
+  void ParallelFor(int n, const std::function<void(int)>& fn,
+                   long deadline_ms);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 

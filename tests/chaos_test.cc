@@ -1,0 +1,274 @@
+// Chaos campaign: end-to-end trainings of the real agsc_train binary under
+// injected faults — signals mid-checkpoint, external SIGINT (single and
+// double), transient and persistent write failures, stalled rollout
+// workers, corrupted checkpoint files, and persistent NaN losses. Every
+// scenario asserts the documented exit-code contract and, where the
+// contract promises it, that the run left a loadable checkpoint behind
+// (proved by resuming from it fault-free).
+//
+// The binary path is injected at build time via AGSC_TRAIN_BINARY (see
+// tests/CMakeLists.txt); fault flags reach the child through AGSC_FAULT_*
+// environment variables so the parent test process stays fault-free.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/exit_codes.h"
+
+namespace agsc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  // pid-scoped: gtest's TempDir is shared across concurrently running test
+  // processes (ctest -j), and fixed names collide.
+  return ::testing::TempDir() + "/p" + std::to_string(::getpid()) + "_" + name;
+}
+
+/// The fixed tiny-run arguments every scenario shares: a small Purdue
+/// problem so each end-to-end training finishes in well under a second.
+std::vector<std::string> TinyArgs() {
+  return {"--pois", "12", "--uavs", "1", "--ugvs", "1",
+          "--timeslots", "8", "--eval", "0", "--quiet"};
+}
+
+/// Forks and execs the real trainer binary with `extra_args` appended to
+/// TinyArgs() and `env_kv` ("KEY=VALUE") exported in the child only;
+/// stdout+stderr go to `log_path`. Returns the child pid.
+pid_t SpawnTrain(const std::vector<std::string>& extra_args,
+                 const std::vector<std::string>& env_kv,
+                 const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child. Only async-signal-unsafe calls before a fresh exec: fine here.
+  FILE* log = std::freopen(log_path.c_str(), "w", stdout);
+  if (log == nullptr) ::_exit(126);
+  ::dup2(::fileno(stdout), 2);
+  for (const std::string& kv : env_kv) {
+    const size_t eq = kv.find('=');
+    ::setenv(kv.substr(0, eq).c_str(), kv.substr(eq + 1).c_str(), 1);
+  }
+  std::vector<std::string> args = {AGSC_TRAIN_BINARY};
+  for (const std::string& a : TinyArgs()) args.push_back(a);
+  for (const std::string& a : extra_args) args.push_back(a);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(AGSC_TRAIN_BINARY, argv.data());
+  ::_exit(127);  // exec failed.
+}
+
+/// Blocks until `pid` exits; returns its exit code (or 128+signal if it was
+/// killed, mirroring the shell convention).
+int WaitExit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+int RunTrain(const std::vector<std::string>& extra_args,
+             const std::vector<std::string>& env_kv,
+             const std::string& log_path) {
+  return WaitExit(SpawnTrain(extra_args, env_kv, log_path));
+}
+
+std::string LogContents(const std::string& log_path) {
+  std::ifstream in(log_path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Scenario-scoped workspace: a fresh checkpoint directory plus a log file,
+/// removed on destruction.
+struct Workspace {
+  std::string dir;
+  std::string log;
+
+  explicit Workspace(const std::string& name)
+      : dir(TempPath(name + "_ckpt")), log(TempPath(name + ".log")) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~Workspace() {
+    fs::remove_all(dir);
+    std::remove(log.c_str());
+  }
+
+  std::vector<std::string> CheckpointArgs() const {
+    return {"--checkpoint-dir", dir, "--checkpoint-every", "1"};
+  }
+  /// Fault-free resume proving the directory holds a loadable checkpoint.
+  int Resume(int iterations) const {
+    std::vector<std::string> args = CheckpointArgs();
+    args.push_back("--iterations");
+    args.push_back(std::to_string(iterations));
+    args.push_back("--resume");
+    return RunTrain(args, {}, log);
+  }
+};
+
+void CorruptFile(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "garbage";
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, BaselineCompletesAndResumes) {
+  Workspace ws("baseline");
+  std::vector<std::string> args = ws.CheckpointArgs();
+  args.insert(args.end(), {"--iterations", "2"});
+  EXPECT_EQ(RunTrain(args, {}, ws.log), util::kExitOk) << LogContents(ws.log);
+  EXPECT_TRUE(fs::exists(ws.dir + "/ckpt_000002.agsc"));
+  EXPECT_EQ(ws.Resume(3), util::kExitOk) << LogContents(ws.log);
+}
+
+TEST(ChaosTest, UsageAndConfigErrorsUseTheirCodes) {
+  const std::string log = TempPath("usage.log");
+  EXPECT_EQ(RunTrain({"--no-such-flag"}, {}, log), util::kExitUsage);
+  EXPECT_EQ(RunTrain({"--uavs", "0", "--ugvs", "0"}, {}, log),
+            util::kExitConfig);
+  std::remove(log.c_str());
+}
+
+TEST(ChaosTest, SignalDuringCheckpointWriteStopsCleanly) {
+  Workspace ws("sig_write");
+  std::vector<std::string> args = ws.CheckpointArgs();
+  args.insert(args.end(), {"--iterations", "50"});
+  // SIGINT is raised by the injector immediately before the second
+  // checkpoint write — a deterministic "signal arrives mid-checkpoint".
+  EXPECT_EQ(RunTrain(args, {"AGSC_FAULT_SIGNAL_WRITE=2"}, ws.log),
+            util::kExitSignalStop)
+      << LogContents(ws.log);
+  // The cooperative stop flushed a loadable checkpoint at the boundary.
+  EXPECT_EQ(ws.Resume(3), util::kExitOk) << LogContents(ws.log);
+}
+
+TEST(ChaosTest, ExternalSigintStopsCleanly) {
+  Workspace ws("ext_sigint");
+  std::vector<std::string> args = ws.CheckpointArgs();
+  args.insert(args.end(), {"--iterations", "100000"});
+  const pid_t pid = SpawnTrain(args, {}, ws.log);
+  ASSERT_GT(pid, 0);
+  // The handler is installed before anything else in main, so the signal is
+  // caught no matter how far the child has gotten.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_EQ(::kill(pid, SIGINT), 0);
+  EXPECT_EQ(WaitExit(pid), util::kExitSignalStop) << LogContents(ws.log);
+}
+
+TEST(ChaosTest, SecondSignalAbortsImmediately) {
+  Workspace ws("double_sigint");
+  std::vector<std::string> args = ws.CheckpointArgs();
+  args.insert(args.end(),
+              {"--iterations", "100000", "--num-workers", "2"});
+  // A 30 s worker stall pins the child mid-collection, where the stop flag
+  // is unreachable: the first SIGINT can only set the flag, so the second
+  // one deterministically hits the abort path in the handler.
+  const pid_t pid = SpawnTrain(
+      args, {"AGSC_FAULT_STALL_TASK=1", "AGSC_FAULT_STALL_MS=30000"}, ws.log);
+  ASSERT_GT(pid, 0);
+  // Generous margin for the child to finish construction and enter the
+  // stalled step even on a loaded machine.
+  std::this_thread::sleep_for(std::chrono::milliseconds(3000));
+  ASSERT_EQ(::kill(pid, SIGINT), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_EQ(::kill(pid, SIGINT), 0);
+  EXPECT_EQ(WaitExit(pid), util::kExitInterruptedAbort) << LogContents(ws.log);
+}
+
+TEST(ChaosTest, TransientWriteFaultIsAbsorbedByRetry) {
+  Workspace ws("transient_write");
+  std::vector<std::string> args = ws.CheckpointArgs();
+  args.insert(args.end(), {"--iterations", "2"});
+  // Exactly one failed write: the retry layer absorbs it and the run is
+  // indistinguishable from a healthy one (bar a warning in the log).
+  EXPECT_EQ(RunTrain(args, {"AGSC_FAULT_FAIL_WRITE=1"}, ws.log), util::kExitOk)
+      << LogContents(ws.log);
+  EXPECT_TRUE(fs::exists(ws.dir + "/ckpt_000002.agsc"));
+  EXPECT_EQ(ws.Resume(3), util::kExitOk) << LogContents(ws.log);
+}
+
+TEST(ChaosTest, PersistentWriteFaultExitsIoError) {
+  Workspace ws("persistent_write");
+  // Every write fails, outlasting the retry budget: the explicit --save
+  // cannot succeed and the run must report the I/O failure.
+  EXPECT_EQ(RunTrain({"--iterations", "1", "--save", ws.dir + "/final.agsc"},
+                     {"AGSC_FAULT_FAIL_WRITE=1",
+                      "AGSC_FAULT_FAIL_WRITE_COUNT=99"},
+                     ws.log),
+            util::kExitIoError)
+      << LogContents(ws.log);
+  EXPECT_FALSE(fs::exists(ws.dir + "/final.agsc"));
+}
+
+TEST(ChaosTest, StalledWorkerTripsTheWatchdog) {
+  Workspace ws("watchdog");
+  std::vector<std::string> args = ws.CheckpointArgs();
+  args.insert(args.end(), {"--iterations", "3", "--num-workers", "2",
+                           "--watchdog-sec", "1"});
+  // The first worker step hangs far past the 1 s deadline; the watchdog
+  // names the stuck worker and the process fail-fasts with its own code.
+  EXPECT_EQ(RunTrain(args,
+                     {"AGSC_FAULT_STALL_TASK=1", "AGSC_FAULT_STALL_MS=20000"},
+                     ws.log),
+            util::kExitWatchdogTimeout)
+      << LogContents(ws.log);
+  EXPECT_NE(LogContents(ws.log).find("watchdog"), std::string::npos);
+}
+
+TEST(ChaosTest, CorruptedNewestCheckpointFallsBackOnResume) {
+  Workspace ws("fallback");
+  std::vector<std::string> args = ws.CheckpointArgs();
+  args.insert(args.end(), {"--iterations", "2"});
+  ASSERT_EQ(RunTrain(args, {}, ws.log), util::kExitOk) << LogContents(ws.log);
+  CorruptFile(ws.dir + "/ckpt_000002.agsc");
+  // Resume skips the corrupted newest file and restores the older one.
+  EXPECT_EQ(ws.Resume(3), util::kExitOk) << LogContents(ws.log);
+  EXPECT_NE(LogContents(ws.log).find("ckpt_000001"), std::string::npos)
+      << LogContents(ws.log);
+}
+
+TEST(ChaosTest, AllCheckpointsCorruptedExitsResumeMismatch) {
+  Workspace ws("all_corrupt");
+  std::vector<std::string> args = ws.CheckpointArgs();
+  args.insert(args.end(), {"--iterations", "2"});
+  ASSERT_EQ(RunTrain(args, {}, ws.log), util::kExitOk) << LogContents(ws.log);
+  for (const fs::directory_entry& entry : fs::directory_iterator(ws.dir)) {
+    CorruptFile(entry.path().string());
+  }
+  // Checkpoints exist but none loads: refusing to silently retrain from
+  // scratch is the whole point of the resume-mismatch code.
+  EXPECT_EQ(ws.Resume(3), util::kExitResumeMismatch) << LogContents(ws.log);
+}
+
+TEST(ChaosTest, PersistentNanLossExitsDiverged) {
+  Workspace ws("diverged");
+  std::vector<std::string> args = ws.CheckpointArgs();
+  args.insert(args.end(), {"--iterations", "20", "--max-backoffs", "1"});
+  // Every guarded loss is NaN: the divergence guard rolls back, backs off
+  // the learning rates once, then gives up — flushing a last checkpoint.
+  EXPECT_EQ(RunTrain(args, {"AGSC_FAULT_NAN_LOSS_EVERY=1"}, ws.log),
+            util::kExitDiverged)
+      << LogContents(ws.log);
+  EXPECT_EQ(ws.Resume(6), util::kExitOk) << LogContents(ws.log);
+}
+
+}  // namespace
+}  // namespace agsc

@@ -1,0 +1,200 @@
+// Corruption fuzz sweep over the v2 ("AGSCNN02") checkpoint format: a real
+// trainer checkpoint is truncated and bit-flipped at deterministic
+// pseudo-random offsets, and every corrupted variant must be rejected as a
+// clean, recoverable failure — DecodeCheckpoint/LoadCheckpointFile never
+// crash, and a trainer asked to load the corrupted file is left untouched
+// (same iteration, bit-identical parameters).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hi_madrl.h"
+#include "env/config.h"
+#include "env/sc_env.h"
+#include "map/campus.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace agsc {
+namespace {
+
+const map::Dataset& SmallDataset() {
+  static const map::Dataset* dataset =
+      new map::Dataset(map::BuildDataset(map::CampusId::kPurdue, 10));
+  return *dataset;
+}
+
+env::EnvConfig SmallEnvConfig() {
+  env::EnvConfig config;
+  config.num_timeslots = 6;
+  config.num_pois = 10;
+  config.num_uavs = 1;
+  config.num_ugvs = 1;
+  return config;
+}
+
+core::TrainConfig SmallTrainConfig() {
+  core::TrainConfig train;
+  train.iterations = 1;
+  train.episodes_per_iteration = 1;
+  train.policy_epochs = 1;
+  train.lcf_epochs = 1;
+  train.minibatch = 64;
+  train.net.hidden = {16};
+  train.eoi.hidden = {12};
+  train.seed = 11;
+  train.verbose = false;
+  return train;
+}
+
+std::string TempPath(const std::string& name) {
+  // pid-scoped: gtest's TempDir is shared across concurrently running test
+  // processes (ctest -j), and fixed names collide.
+  return ::testing::TempDir() + "/p" + std::to_string(::getpid()) + "_" + name;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// One trained-for-an-iteration trainer plus its encoded checkpoint bytes,
+/// shared by every fuzz case (training once is the expensive part).
+struct FuzzFixture {
+  env::ScEnv env{SmallEnvConfig(), SmallDataset(), 11};
+  core::HiMadrlTrainer trainer{env, SmallTrainConfig()};
+  std::string bytes;
+
+  FuzzFixture() {
+    trainer.Train();
+    const std::string path = TempPath("fuzz_source.agsc");
+    EXPECT_TRUE(trainer.SaveCheckpoint(path));
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    EXPECT_GT(bytes.size(), 64u);
+  }
+};
+
+FuzzFixture& Fixture() {
+  static FuzzFixture* fixture = new FuzzFixture();
+  return *fixture;
+}
+
+/// Snapshot of the actor parameters through the public checkpoint surface.
+std::vector<nn::Tensor> ParamSnapshot(core::HiMadrlTrainer& trainer) {
+  const std::string path = TempPath("fuzz_probe.agsc");
+  EXPECT_TRUE(trainer.SaveCheckpoint(path));
+  nn::Checkpoint ckpt;
+  EXPECT_EQ(nn::LoadCheckpointFile(path, ckpt), nn::CheckpointError::kOk);
+  std::remove(path.c_str());
+  const nn::CheckpointSection* params = ckpt.Find("params");
+  EXPECT_NE(params, nullptr);
+  if (params == nullptr) return {};
+  return params->tensors;
+}
+
+void ExpectTensorsBitEqual(const std::vector<nn::Tensor>& a,
+                           const std::vector<nn::Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].SameAs(b[i])) << "tensor " << i;
+  }
+}
+
+/// The core fuzz assertion: `corrupted` must be rejected without crashing,
+/// and loading it into a live trainer must leave that trainer untouched.
+void ExpectCleanRejection(const std::string& corrupted,
+                          const std::string& label) {
+  FuzzFixture& fx = Fixture();
+  // Decode layer: a clean error, never kOk (every payload byte is covered
+  // by the CRC, the CRC itself by the comparison, and the header by the
+  // magic/length checks).
+  nn::Checkpoint out;
+  EXPECT_NE(nn::DecodeCheckpoint(corrupted, out), nn::CheckpointError::kOk)
+      << label;
+
+  // File layer + trainer layer: LoadCheckpoint returns false and rolls
+  // nothing into the live trainer.
+  const std::string path = TempPath("fuzz_case.agsc");
+  WriteFileBytes(path, corrupted);
+  const int iteration_before = fx.trainer.iteration();
+  const std::vector<nn::Tensor> params_before = ParamSnapshot(fx.trainer);
+  EXPECT_FALSE(fx.trainer.LoadCheckpoint(path)) << label;
+  EXPECT_EQ(fx.trainer.iteration(), iteration_before) << label;
+  ExpectTensorsBitEqual(params_before, ParamSnapshot(fx.trainer));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzzTest, TruncationSweep) {
+  const std::string& bytes = Fixture().bytes;
+  // Deterministic sweep: boundary lengths plus pseudo-random interior ones.
+  std::vector<size_t> lengths = {0, 1, 7, 8, bytes.size() / 2,
+                                 bytes.size() - 1};
+  util::Rng rng(0xF022CAFEULL);
+  for (int i = 0; i < 24; ++i) {
+    lengths.push_back(
+        static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(bytes.size()))));
+  }
+  for (size_t len : lengths) {
+    if (len >= bytes.size()) continue;  // Full length is not a corruption.
+    ExpectCleanRejection(bytes.substr(0, len),
+                         "truncate to " + std::to_string(len) + " bytes");
+  }
+}
+
+TEST(CheckpointFuzzTest, BitFlipSweep) {
+  const std::string& bytes = Fixture().bytes;
+  // Flip a single bit at boundary offsets (magic, header, trailer) and at
+  // pseudo-random interior offsets; every variant must be detected.
+  std::vector<size_t> offsets = {0, 1, 7, 8, bytes.size() / 2,
+                                 bytes.size() - 4, bytes.size() - 1};
+  util::Rng rng(0xB17F11BULL);
+  for (int i = 0; i < 32; ++i) {
+    offsets.push_back(
+        static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(bytes.size()))));
+  }
+  for (size_t offset : offsets) {
+    std::string corrupted = bytes;
+    const int bit = static_cast<int>(rng.UniformInt(8));
+    corrupted[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupted[offset]) ^ (1u << bit));
+    ExpectCleanRejection(corrupted, "flip bit " + std::to_string(bit) +
+                                        " at offset " + std::to_string(offset));
+  }
+}
+
+TEST(CheckpointFuzzTest, GarbageAndEmptyFiles) {
+  ExpectCleanRejection("", "empty file");
+  ExpectCleanRejection("AGSCNN02", "bare magic, no payload");
+  ExpectCleanRejection(std::string(4096, '\xA5'), "4 KiB of garbage");
+  util::Rng rng(0x6A2BA6EULL);
+  std::string random_bytes(Fixture().bytes.size(), '\0');
+  for (char& c : random_bytes) {
+    c = static_cast<char>(rng.UniformInt(256));
+  }
+  ExpectCleanRejection(random_bytes, "random bytes, checkpoint-sized");
+}
+
+TEST(CheckpointFuzzTest, UncorruptedBaselineStillLoads) {
+  // Sanity anchor for the sweep: the same bytes, unmodified, round-trip.
+  FuzzFixture& fx = Fixture();
+  nn::Checkpoint out;
+  EXPECT_EQ(nn::DecodeCheckpoint(fx.bytes, out), nn::CheckpointError::kOk);
+  const std::string path = TempPath("fuzz_baseline.agsc");
+  WriteFileBytes(path, fx.bytes);
+  EXPECT_TRUE(fx.trainer.LoadCheckpoint(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace agsc

@@ -10,6 +10,8 @@
 //              [--save FILE] [--load FILE]
 //              [--checkpoint-dir DIR] [--checkpoint-every N]
 //              [--checkpoint-keep K] [--resume]
+//              [--stats-csv FILE] [--watchdog-sec S]
+//              [--oracle-check-every N] [--max-backoffs N]
 //              [--render] [--quiet]
 //
 // Trains h/i-MADRL (or the selected variant), evaluates it, prints the five
@@ -28,14 +30,42 @@
 // --env-naive disables the environment's spatial indices and cached road
 // routing, falling back to the linear-scan / per-call-Dijkstra reference
 // paths — also bit-identical, kept as an oracle and debugging aid.
+//
+// Long-run supervisor (see DESIGN.md "Robustness"):
+//  * SIGINT/SIGTERM stop the run cooperatively at the next iteration or
+//    sampling-timeslot boundary: the trainer flushes a final checkpoint and
+//    the stats CSV, then exits with code 8. A second signal aborts
+//    immediately with code 9 (no flush).
+//  * --watchdog-sec S bounds every parallel rollout step batch; a worker
+//    hung longer than S seconds is reported (worker id + timeslot) and the
+//    process fail-fast exits with code 7 instead of deadlocking.
+//  * --oracle-check-every N cross-checks the optimized env/NN paths against
+//    their retained naive oracles every N iterations and permanently falls
+//    back to the oracle path on mismatch (recorded in checkpoints).
+//  * --max-backoffs N turns a persistently diverging run (repeated NaN
+//    updates after N learning-rate backoffs) into exit code 6 with the last
+//    good checkpoint on disk.
+//  * --stats-csv FILE writes one row of training diagnostics per completed
+//    iteration (written atomically with retry, also on abnormal exits).
+//
+// Exit codes are stable (see util/exit_codes.h): 0 ok, 2 usage, 3 invalid
+// config, 4 I/O error, 5 resume mismatch, 6 diverged, 7 watchdog timeout,
+// 8 clean signal stop, 9 second-signal abort.
 
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/hi_madrl.h"
 #include "env/render.h"
+#include "util/exit_codes.h"
 #include "util/parse.h"
+#include "util/retry.h"
+#include "util/shutdown.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -66,8 +96,13 @@ struct Args {
   int checkpoint_every = 0;
   int checkpoint_keep = 3;
   bool resume = false;
+  std::string stats_csv;
+  int watchdog_sec = 0;
+  int oracle_check_every = 0;
+  int max_backoffs = 0;
   bool render = false;
   bool quiet = false;
+  bool help = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -190,6 +225,23 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
     } else if (flag == "--resume") {
       args.resume = true;
+    } else if (flag == "--stats-csv") {
+      const char* v = next("--stats-csv");
+      if (!v) return false;
+      args.stats_csv = v;
+    } else if (flag == "--watchdog-sec") {
+      if (!next_int("--watchdog-sec", 0, 86400, &args.watchdog_sec)) {
+        return false;
+      }
+    } else if (flag == "--oracle-check-every") {
+      if (!next_int("--oracle-check-every", 0, kMaxInt,
+                    &args.oracle_check_every)) {
+        return false;
+      }
+    } else if (flag == "--max-backoffs") {
+      if (!next_int("--max-backoffs", 0, kMaxInt, &args.max_backoffs)) {
+        return false;
+      }
     } else if (flag == "--no-eoi") {
       args.use_eoi = false;
     } else if (flag == "--no-copo") {
@@ -203,6 +255,7 @@ bool ParseArgs(int argc, char** argv, Args& args) {
     } else if (flag == "--quiet") {
       args.quiet = true;
     } else if (flag == "--help" || flag == "-h") {
+      args.help = true;
       return false;
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
@@ -216,24 +269,72 @@ bool ParseArgs(int argc, char** argv, Args& args) {
   return true;
 }
 
+void PrintUsage(std::ostream& out) {
+  out << "usage: agsc_train [--campus purdue|ncsu] [--iterations N]\n"
+         "  [--timeslots T] [--pois I] [--uavs U] [--ugvs G]\n"
+         "  [--subchannels Z] [--height M] [--threshold DB]\n"
+         "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
+         "  [--plain-copo] [--mappo] [--seed S] [--eval N]\n"
+         "  [--num-workers W] [--nn-threads T] [--nn-naive]\n"
+         "  [--env-naive]\n"
+         "  [--save FILE] [--load FILE]\n"
+         "  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+         "  [--checkpoint-keep K] [--resume]\n"
+         "  [--stats-csv FILE] [--watchdog-sec S]\n"
+         "  [--oracle-check-every N] [--max-backoffs N]\n"
+         "  [--render] [--quiet]\n"
+         "exit codes: 0 ok, 2 usage, 3 config, 4 io, 5 resume-mismatch,\n"
+         "  6 diverged, 7 watchdog-timeout, 8 signal-stop, 9 abort\n";
+}
+
+/// Serializes the trainer's full stats history and writes it atomically
+/// (with retry). Called on clean completion AND on supervised abnormal
+/// exits, so the CSV always covers every completed iteration.
+bool WriteStatsCsv(const agsc::core::HiMadrlTrainer& trainer,
+                   const std::string& path,
+                   const agsc::util::RetryPolicy& policy) {
+  std::ostringstream csv;
+  csv << "iteration,psi,sigma,xi,kappa,lambda,mean_reward_ext,"
+         "mean_reward_int,eoi_loss,actor_grad_norm,value_loss,"
+         "total_env_steps,anomalies,lr_backoff,env_oracle_fallback,"
+         "nn_oracle_fallback\n";
+  for (const agsc::core::IterationStats& s : trainer.stats_history()) {
+    csv << s.iteration;
+    for (double v : s.rollout_metrics.ToVector()) csv << "," << v;
+    csv << "," << s.mean_reward_ext << "," << s.mean_reward_int << ","
+        << s.eoi_loss << "," << s.actor_grad_norm << "," << s.value_loss
+        << "," << s.total_env_steps << "," << s.anomalies << ","
+        << (s.lr_backoff ? 1 : 0) << "," << (s.env_oracle_fallback ? 1 : 0)
+        << "," << (s.nn_oracle_fallback ? 1 : 0) << "\n";
+  }
+  if (!agsc::util::AtomicWriteFileRetry(path, csv.str(), policy)) {
+    std::cerr << "failed to write stats CSV " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// True if `dir` contains at least one ckpt_*.agsc file — used to tell
+/// "fresh start" apart from "checkpoints exist but none loads" on --resume.
+bool HasCheckpointFiles(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt_", 0) == 0 && name.ends_with(".agsc")) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace agsc;
+  util::InstallShutdownHandler();
   Args args;
   if (!ParseArgs(argc, argv, args)) {
-    std::cerr
-        << "usage: agsc_train [--campus purdue|ncsu] [--iterations N]\n"
-           "  [--timeslots T] [--pois I] [--uavs U] [--ugvs G]\n"
-           "  [--subchannels Z] [--height M] [--threshold DB]\n"
-           "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
-           "  [--plain-copo] [--mappo] [--seed S] [--eval N]\n"
-           "  [--num-workers W] [--nn-threads T] [--nn-naive]\n"
-           "  [--env-naive]\n"
-           "  [--save FILE] [--load FILE]\n"
-           "  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
-           "  [--checkpoint-keep K] [--resume] [--render] [--quiet]\n";
-    return 1;
+    PrintUsage(args.help ? std::cout : std::cerr);
+    return args.help ? util::kExitOk : util::kExitUsage;
   }
 
   const map::CampusId campus = args.campus == "ncsu"
@@ -261,7 +362,7 @@ int main(int argc, char** argv) {
   const std::string config_error = env_config.Validate();
   if (!config_error.empty()) {
     std::cerr << "invalid configuration: " << config_error << "\n";
-    return 1;
+    return util::kExitConfig;
   }
   env::ScEnv env(env_config, dataset, args.seed);
 
@@ -279,37 +380,78 @@ int main(int argc, char** argv) {
   train.checkpoint_dir = args.checkpoint_dir;
   train.checkpoint_every = args.checkpoint_every;
   train.checkpoint_keep = args.checkpoint_keep;
+  train.watchdog_ms = static_cast<long>(args.watchdog_sec) * 1000;
+  train.oracle_check_every = args.oracle_check_every;
+  train.max_lr_backoffs = args.max_backoffs;
+  train.stop_check = [] { return util::ShutdownRequested(); };
   core::HiMadrlTrainer trainer(env, train);
 
   if (args.resume) {
     if (trainer.LoadLatestCheckpoint(args.checkpoint_dir)) {
       std::cout << "resumed from " << args.checkpoint_dir << " at iteration "
                 << trainer.iteration() << "\n";
+    } else if (HasCheckpointFiles(args.checkpoint_dir)) {
+      // Checkpoints exist but none is loadable into THIS configuration:
+      // almost always a config/architecture mismatch. Refuse to silently
+      // retrain from scratch next to data we can't read.
+      std::cerr << "resume mismatch: " << args.checkpoint_dir
+                << " contains checkpoints but none loads with this "
+                << "configuration (see log above)\n";
+      return util::kExitResumeMismatch;
     } else {
-      std::cout << "no valid checkpoint in " << args.checkpoint_dir
+      std::cout << "no checkpoint in " << args.checkpoint_dir
                 << "; starting fresh\n";
     }
   }
   if (!args.load_path.empty()) {
     if (!trainer.LoadCheckpoint(args.load_path)) {
       std::cerr << "failed to load checkpoint " << args.load_path << "\n";
-      return 1;
+      return util::kExitIoError;
     }
     std::cout << "loaded checkpoint " << args.load_path << "\n";
   }
+
+  const auto flush_stats = [&]() -> bool {
+    if (args.stats_csv.empty()) return true;
+    return WriteStatsCsv(trainer, args.stats_csv, train.io_retry);
+  };
+
   if (args.iterations > 0) {
     std::cout << "training " << args.iterations << " iterations on "
               << dataset.campus.name << " ("
               << trainer.TotalParameterCount() << " parameters)...\n";
-    trainer.TrainTo(args.iterations);
+    try {
+      trainer.TrainTo(args.iterations);
+    } catch (const util::InterruptedError& e) {
+      // Cooperative signal stop: the trainer already flushed a final
+      // checkpoint; persist the stats rows and report the signal.
+      flush_stats();
+      std::cerr << "stopped by signal "
+                << util::ShutdownSignal() << ": " << e.what()
+                << " (checkpoint flushed; resume with --resume)\n";
+      return util::kExitSignalStop;
+    } catch (const core::TrainingDiverged& e) {
+      flush_stats();
+      std::cerr << "training diverged: " << e.what()
+                << " (last good checkpoint flushed)\n";
+      return util::kExitDiverged;
+    } catch (const util::WatchdogTimeoutError& e) {
+      // Fail fast: the hung worker may still be running, so skip all
+      // destructors (a pool join would block on the stuck task) and leave
+      // the previously written checkpoints as the recovery point.
+      flush_stats();
+      std::cerr << "watchdog timeout: " << e.what() << "\n" << std::flush;
+      std::_Exit(util::kExitWatchdogTimeout);
+    }
   }
   if (!args.save_path.empty()) {
     if (!trainer.SaveCheckpoint(args.save_path)) {
       std::cerr << "failed to save checkpoint " << args.save_path << "\n";
-      return 1;
+      return util::kExitIoError;
     }
     std::cout << "saved checkpoint to " << args.save_path << "\n";
   }
+  if (!flush_stats()) return util::kExitIoError;
 
   const core::EvalResult result =
       core::Evaluate(env, trainer, args.eval_episodes, args.seed + 99);
@@ -333,5 +475,5 @@ int main(int argc, char** argv) {
   if (args.render) {
     std::cout << env::RenderTrajectoriesAscii(env);
   }
-  return 0;
+  return util::kExitOk;
 }

@@ -8,6 +8,7 @@
 #include "nn/ops.h"
 #include "nn/serialize.h"
 #include "util/logging.h"
+#include "util/shutdown.h"
 
 namespace agsc::algorithms {
 
@@ -100,12 +101,6 @@ nn::Tensor RowsToTensor(const std::vector<const std::vector<float>*>& rows) {
   return t;
 }
 
-std::vector<float> TensorRow(const nn::Tensor& t, int r) {
-  std::vector<float> out(t.cols());
-  for (int c = 0; c < t.cols(); ++c) out[c] = t(r, c);
-  return out;
-}
-
 }  // namespace
 
 struct EDivertTrainer::Impl {
@@ -170,6 +165,11 @@ struct EDivertTrainer::Impl {
     eval_hidden.assign(num_agents, actors[0]->InitialState(1));
   }
 
+  bool StopRequested() const {
+    return config.stop_check ? config.stop_check()
+                             : util::ShutdownRequested();
+  }
+
   float CurrentNoise() const {
     if (config.iterations <= 1) return config.explore_noise;
     const float progress =
@@ -226,6 +226,13 @@ struct EDivertTrainer::Impl {
       std::vector<nn::Tensor> hidden(num_agents,
                                      actors[0]->InitialState(1));
       while (!cur.done) {
+        // Cooperative stop at timeslot granularity: the baseline's rollouts
+        // must not hold a SIGINT hostage any more than the main trainer's.
+        if (StopRequested()) {
+          throw util::InterruptedError(
+              "e-Divert collection interrupted at episode " +
+              std::to_string(e));
+        }
         Transition t;
         t.obs = cur.observations;
         t.state = cur.state;
@@ -410,7 +417,14 @@ double EDivertTrainer::TrainIteration() {
 void EDivertTrainer::Train(int iterations) {
   const int total =
       iterations >= 0 ? iterations : impl_->config.iterations;
-  for (int i = 0; i < total; ++i) TrainIteration();
+  for (int i = 0; i < total; ++i) {
+    if (impl_->StopRequested()) {
+      throw util::InterruptedError(
+          "e-Divert training interrupted before iteration " +
+          std::to_string(impl_->iteration));
+    }
+    TrainIteration();
+  }
 }
 
 void EDivertTrainer::BeginEpisode(const env::ScEnv& env) {

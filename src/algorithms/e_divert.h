@@ -1,6 +1,7 @@
 #ifndef AGSC_ALGORITHMS_E_DIVERT_H_
 #define AGSC_ALGORITHMS_E_DIVERT_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,6 +33,10 @@ struct EDivertConfig {
   bool use_lstm = true;
   uint64_t seed = 3;
   bool verbose = false;
+  /// Polled at episode-timeslot and iteration boundaries; when it returns
+  /// true the trainer throws util::InterruptedError. Defaults to the
+  /// process-wide util::ShutdownRequested flag when unset.
+  std::function<bool()> stop_check;
 };
 
 /// The paper's "e-Divert" baseline (Liu et al., TMC'20): a CTDE

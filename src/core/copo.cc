@@ -29,7 +29,8 @@ double CoopAdvantageDPhi(double a, double a_he, double a_ho, const Lcf& lcf) {
              std::cos(lcf.phi_rad());
 }
 
-double CoopAdvantageDChi(double a, double a_he, double a_ho, const Lcf& lcf) {
+double CoopAdvantageDChi(double /*a*/, double a_he, double a_ho,
+                         const Lcf& lcf) {
   return (-a_he * std::sin(lcf.chi_rad()) + a_ho * std::cos(lcf.chi_rad())) *
          std::sin(lcf.phi_rad());
 }

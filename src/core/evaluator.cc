@@ -1,9 +1,15 @@
 #include "core/evaluator.h"
 
+#include "util/shutdown.h"
+
 namespace agsc::core {
 
 EvalResult Evaluate(env::ScEnv& env, Policy& policy, int episodes,
-                    uint64_t seed, bool deterministic) {
+                    uint64_t seed, bool deterministic,
+                    const std::function<bool()>& stop_check) {
+  const auto stop = [&stop_check] {
+    return stop_check ? stop_check() : util::ShutdownRequested();
+  };
   EvalResult result;
   util::Rng rng(seed);
   // One reused StepResult: the out-param Step overwrites it in place (its
@@ -14,6 +20,12 @@ EvalResult Evaluate(env::ScEnv& env, Policy& policy, int episodes,
     env.Reset(step);
     policy.BeginEpisode(env);
     while (!step.done) {
+      // Timeslot-granular stop: an evaluation over many long episodes can
+      // dominate a run's tail, so SIGINT must not have to wait it out.
+      if (stop()) {
+        throw util::InterruptedError("evaluation interrupted at episode " +
+                                     std::to_string(e));
+      }
       for (int k = 0; k < env.num_agents(); ++k) {
         actions[k] =
             policy.Act(env, k, step.observations[k], rng, deterministic);

@@ -1,6 +1,7 @@
 #ifndef AGSC_CORE_EVALUATOR_H_
 #define AGSC_CORE_EVALUATOR_H_
 
+#include <functional>
 #include <vector>
 
 #include "env/sc_env.h"
@@ -33,8 +34,14 @@ struct EvalResult {
 /// Runs `episodes` full episodes of `policy` in `env` (the paper tests each
 /// model 50 times and averages, Section VI). `deterministic` selects the
 /// policy mode instead of sampling.
+///
+/// Polls `stop_check` (default: util::ShutdownRequested) once per timeslot
+/// and throws util::InterruptedError when it fires, so a SIGINT during a
+/// long evaluation tail stops the process promptly instead of after all
+/// remaining episodes.
 EvalResult Evaluate(env::ScEnv& env, Policy& policy, int episodes,
-                    uint64_t seed, bool deterministic = true);
+                    uint64_t seed, bool deterministic = true,
+                    const std::function<bool()>& stop_check = nullptr);
 
 }  // namespace agsc::core
 

@@ -109,12 +109,36 @@ HiMadrlTrainer::HiMadrlTrainer(env::ScEnv& env, const TrainConfig& config)
                                            config_.eoi, rng_);
   }
   lcfs_.assign(num_agents, Lcf{});  // phi = 0, chi = 45 (Line 3).
-  if (config_.num_workers >= 1) {
+  if (config_.proc_workers > 0) {
+    // Crash-isolated subprocess collection. Workers are spawned lazily on
+    // the first collect, so a trainer built only for checkpoint surgery
+    // never forks.
+    ProcSampler::Options opts;
+    opts.worker_binary = config_.worker_binary;
+    opts.step_deadline_ms = config_.watchdog_ms;
+    opts.respawn_backoff = config_.worker_respawn;
+    opts.max_respawns = config_.worker_max_respawns;
+    proc_sampler_ = std::make_unique<ProcSampler>(
+        env_, rng_, config_.proc_workers, config_.seed, std::move(opts));
+    if (config_.stop_check) proc_sampler_->set_stop_check(config_.stop_check);
+  } else if (config_.num_workers >= 1) {
     sampler_ = std::make_unique<VecSampler>(env_, rng_, config_.num_workers,
                                             config_.seed);
     if (config_.stop_check) sampler_->set_stop_check(config_.stop_check);
     sampler_->set_step_deadline_ms(config_.watchdog_ms);
   }
+}
+
+int HiMadrlTrainer::SamplerWorkerCount() const {
+  if (proc_sampler_) return proc_sampler_->num_workers();
+  if (sampler_) return sampler_->num_workers();
+  return 1;
+}
+
+std::vector<util::Rng*> HiMadrlTrainer::SamplerSplitRngs() {
+  if (proc_sampler_) return proc_sampler_->SplitRngs();
+  if (sampler_) return sampler_->SplitRngs();
+  return {};
 }
 
 std::vector<float> HiMadrlTrainer::ActorInput(
@@ -170,6 +194,20 @@ void HiMadrlTrainer::CollectRollouts() {
   buffer_.Clear();
   rollout_metrics_.clear();
   const int num_agents = env_.num_agents();
+  if (proc_sampler_) {
+    proc_sampler_->Collect(
+        config_.episodes_per_iteration,
+        [this](int k, const std::vector<const std::vector<float>*>& obs_rows,
+               const std::vector<util::Rng*>& rngs,
+               std::vector<std::array<float, 2>>& actions_out,
+               std::vector<float>& logps_out) {
+          BatchAct(k, obs_rows, rngs, actions_out, logps_out);
+        },
+        buffer_, rollout_metrics_);
+    total_env_steps_ += static_cast<long>(config_.episodes_per_iteration) *
+                        env_.config().num_timeslots * num_agents;
+    return;
+  }
   if (sampler_) {
     sampler_->Collect(
         config_.episodes_per_iteration,
@@ -846,6 +884,9 @@ void HiMadrlTrainer::ApplyOracleFallbacks() {
         sampler_->worker_env(w).DisableSpatialIndex();
       }
     }
+    // Subprocess replicas: sticky flag, carried to every worker by its
+    // next episode-prefix frame (and to respawned incarnations).
+    if (proc_sampler_) proc_sampler_->DisableSpatialIndex();
   }
   if (nn_fallback_ && nn::GetKernelConfig().gemm != nn::GemmKernel::kNaive) {
     nn::KernelConfig kernel_config = nn::GetKernelConfig();
@@ -882,6 +923,12 @@ std::vector<IterationStats> HiMadrlTrainer::Train(int iterations) {
   } catch (const TrainingDiverged&) {
     // The flushed state is the last completed iteration — the run can be
     // resumed with different hyperparameters from there.
+    FlushFinalCheckpoint();
+    throw;
+  } catch (const ProcWorkerError&) {
+    // The worker fleet is broken but the trainer's own state sits at a
+    // consistent boundary (the failed collect's partial buffers were
+    // discarded with the throw), so the run is resumable.
     FlushFinalCheckpoint();
     throw;
   }
@@ -1057,10 +1104,10 @@ bool HiMadrlTrainer::SaveCheckpoint(const std::string& path) {
                         (static_cast<uint64_t>(lr_backoff_count_)
                          << kBackoffCountShift)};
 
-  if (sampler_ && sampler_->num_workers() > 1) {
+  if (SamplerWorkerCount() > 1) {
     nn::CheckpointSection& vrng = ckpt.AddSection(kSecVecRng);
-    vrng.words.push_back(static_cast<uint64_t>(sampler_->num_workers()));
-    for (util::Rng* stream : sampler_->SplitRngs()) {
+    vrng.words.push_back(static_cast<uint64_t>(SamplerWorkerCount()));
+    for (util::Rng* stream : SamplerSplitRngs()) {
       for (uint64_t w : stream->SaveState()) vrng.words.push_back(w);
     }
   }
@@ -1197,8 +1244,7 @@ bool HiMadrlTrainer::LoadCheckpointV2(const std::string& path) {
   // same num_workers, so a mismatch is rejected loudly. Files without a
   // vrng section come from single-worker (or legacy-sampler) runs.
   const nn::CheckpointSection* vrng_sec = ckpt.Find(kSecVecRng);
-  const uint64_t my_workers =
-      sampler_ ? static_cast<uint64_t>(sampler_->num_workers()) : 1;
+  const uint64_t my_workers = static_cast<uint64_t>(SamplerWorkerCount());
   const uint64_t file_workers =
       vrng_sec && !vrng_sec->words.empty() ? vrng_sec->words[0] : 1;
   if (file_workers != my_workers) {
@@ -1232,8 +1278,8 @@ bool HiMadrlTrainer::LoadCheckpointV2(const std::string& path) {
   std::copy_n(rng_sec->words.begin() + util::Rng::kStateWords,
               util::Rng::kStateWords, rng_state.begin());
   env_.rng().LoadState(rng_state);
-  if (vrng_sec && sampler_) {
-    const std::vector<util::Rng*> streams = sampler_->SplitRngs();
+  if (vrng_sec != nullptr) {
+    const std::vector<util::Rng*> streams = SamplerSplitRngs();
     for (size_t i = 0; i < streams.size(); ++i) {
       std::copy_n(vrng_sec->words.begin() + 1 + i * util::Rng::kStateWords,
                   util::Rng::kStateWords, rng_state.begin());

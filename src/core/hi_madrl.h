@@ -11,6 +11,7 @@
 #include "core/eoi.h"
 #include "core/evaluator.h"
 #include "core/policy.h"
+#include "core/proc_sampler.h"
 #include "core/rollout.h"
 #include "core/vec_sampler.h"
 #include "env/sc_env.h"
@@ -131,6 +132,24 @@ struct TrainConfig {
   /// selects the legacy sequential sampler directly (reference
   /// implementation, kept for the equivalence tests).
   int num_workers = 1;
+
+  // --- Crash-isolated subprocess rollout collection ---
+  /// > 0 replaces the in-process sampler with `proc_workers` agsc_worker
+  /// subprocesses (core/proc_sampler.h): each worker owns one environment
+  /// replica in its own address space, and a crashed/hung/garbage-emitting
+  /// worker is respawned and replayed deterministically instead of taking
+  /// the trainer down. Buffers and checkpoints are bit-identical to
+  /// `num_workers == proc_workers` for the same seed (checkpoints from
+  /// either mode resume in the other). Takes precedence over num_workers;
+  /// the CLI enforces mutual exclusivity.
+  int proc_workers = 0;
+  /// Path to the agsc_worker binary; required when proc_workers > 0.
+  std::string worker_binary;
+  /// Backoff schedule between respawn attempts of a failed worker, and the
+  /// total respawns tolerated per collection round before Train gives up
+  /// with ProcWorkerError (the CLI maps it to util::kExitWorkerFailed).
+  util::RetryPolicy worker_respawn;
+  int worker_max_respawns = 8;
 
   // --- NN compute kernels (process-wide, applied in the ctor) ---
   /// Worker threads for the blocked GEMM kernels in the optimize phase
@@ -329,10 +348,18 @@ class HiMadrlTrainer : public Policy {
   /// (after a self-check mismatch or a checkpoint restore).
   void ApplyOracleFallbacks();
 
+  /// Worker count of whichever sampler is active (1 for the legacy
+  /// sequential sampler) — the value the checkpoint `vrng` section keys on.
+  int SamplerWorkerCount() const;
+  /// Extra per-worker RNG streams of the active sampler in checkpoint
+  /// order; empty for the legacy sampler.
+  std::vector<util::Rng*> SamplerSplitRngs();
+
   env::ScEnv& env_;
   TrainConfig config_;
   util::Rng rng_;
   std::unique_ptr<VecSampler> sampler_;  ///< Null when num_workers == 0.
+  std::unique_ptr<ProcSampler> proc_sampler_;  ///< Set when proc_workers > 0.
   std::vector<AgentNets> nets_;
   std::unique_ptr<ValueNet> value_all_;       ///< V_all on the state.
   std::unique_ptr<nn::Adam> value_all_opt_;

@@ -1,0 +1,442 @@
+#include "core/proc_sampler.h"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/shutdown.h"
+
+namespace agsc::core {
+
+namespace {
+
+// Same stream-id layout as VecSampler: worker w > 0 samples from id 2w and
+// steps its environment from id 2w+1; worker 0 owns no split ids.
+uint64_t SampleStreamId(int w) { return 2 * static_cast<uint64_t>(w); }
+uint64_t EnvStreamId(int w) { return 2 * static_cast<uint64_t>(w) + 1; }
+
+// Extra read budget for an episode-prefix reply from a fresh incarnation:
+// the worker first rebuilds its dataset/env, which the per-step deadline
+// was never meant to cover.
+constexpr long kSpawnGraceMs = 15000;
+
+}  // namespace
+
+ProcSampler::ProcSampler(env::ScEnv& primary_env, util::Rng& primary_rng,
+                         int num_workers, uint64_t seed, Options options)
+    : primary_env_(primary_env),
+      primary_rng_(primary_rng),
+      num_workers_(num_workers),
+      options_(std::move(options)) {
+  if (num_workers < 1) {
+    throw std::invalid_argument("ProcSampler: num_workers must be >= 1");
+  }
+  if (options_.worker_binary.empty()) {
+    throw std::invalid_argument("ProcSampler: worker_binary is required");
+  }
+  map::CampusId campus;
+  if (!CampusIdFromName(primary_env_.dataset().campus.name, campus)) {
+    throw std::invalid_argument(
+        "ProcSampler: environment dataset is not a named campus; worker "
+        "subprocesses cannot rebuild it");
+  }
+  // A worker dying between our poll and our write must surface as EPIPE on
+  // that worker's pipe, not kill the whole trainer.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const util::Rng base(seed);
+  sample_rngs_.reserve(static_cast<size_t>(num_workers - 1));
+  env_mirrors_.reserve(static_cast<size_t>(num_workers - 1));
+  for (int w = 1; w < num_workers; ++w) {
+    sample_rngs_.push_back(base.Split(SampleStreamId(w)));
+    env_mirrors_.push_back(base.Split(EnvStreamId(w)));
+  }
+  workers_.resize(static_cast<size_t>(num_workers));
+  episode_rng_.resize(static_cast<size_t>(num_workers));
+  replay_log_.resize(static_cast<size_t>(num_workers));
+  consecutive_failures_.assign(static_cast<size_t>(num_workers), 0);
+  pending_prefix_.assign(static_cast<size_t>(num_workers), 0);
+}
+
+ProcSampler::~ProcSampler() {
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    Worker& wk = workers_[w];
+    if (wk.connected && wk.writer) {
+      wk.writer->Write(kMsgShutdown, wk.out_seq++, std::string());
+      wk.proc.CloseStdin();
+      wk.proc.Wait(nullptr, 500);
+    }
+    wk.proc.Reap();
+  }
+}
+
+util::Rng& ProcSampler::sample_rng(int w) {
+  return w == 0 ? primary_rng_ : sample_rngs_[static_cast<size_t>(w - 1)];
+}
+
+util::Rng& ProcSampler::env_stream(int w) {
+  return w == 0 ? primary_env_.rng()
+                : env_mirrors_[static_cast<size_t>(w - 1)];
+}
+
+std::vector<util::Rng*> ProcSampler::SplitRngs() {
+  std::vector<util::Rng*> rngs;
+  rngs.reserve(2 * sample_rngs_.size());
+  for (int w = 1; w < num_workers_; ++w) {
+    rngs.push_back(&sample_rngs_[static_cast<size_t>(w - 1)]);
+    rngs.push_back(&env_mirrors_[static_cast<size_t>(w - 1)]);
+  }
+  return rngs;
+}
+
+void ProcSampler::SpawnWorker(int w) {
+  Worker& wk = workers_[static_cast<size_t>(w)];
+  const bool up = util::RetryWithBackoff(options_.respawn_backoff, [&] {
+    wk.proc.Reap();
+    wk.reader.reset();
+    wk.writer.reset();
+    wk.out_seq = 0;
+    wk.connected = false;
+    ++wk.incarnation;
+
+    const std::vector<std::string> argv = {
+        options_.worker_binary,
+        "--worker-id", std::to_string(w),
+        "--incarnation", std::to_string(wk.incarnation)};
+    if (!wk.proc.Start(argv)) return false;
+    wk.reader = std::make_unique<util::FrameReader>(wk.proc.stdout_fd());
+    wk.writer = std::make_unique<util::FrameWriter>(wk.proc.stdin_fd());
+
+    WorkerInit init;
+    init.config = primary_env_.config();
+    if (!CampusIdFromName(primary_env_.dataset().campus.name, init.campus)) {
+      return false;  // Unreachable: the ctor validated the name.
+    }
+    if (!wk.writer->Write(kMsgInit, wk.out_seq++, EncodeWorkerInit(init))) {
+      return false;
+    }
+    util::Frame frame;
+    // Generous fixed deadline: a worker that cannot say hello within a
+    // minute is broken, not slow (the env rebuild takes well under that).
+    const util::IpcStatus status = wk.reader->Read(frame, 60000);
+    WorkerHello hello;
+    if (status != util::IpcStatus::kOk || frame.type != kMsgHello ||
+        !DecodeWorkerHello(frame.payload, hello) ||
+        hello.protocol_version != kWorkerProtocolVersion ||
+        hello.worker_id != w ||
+        hello.num_agents != primary_env_.num_agents() ||
+        hello.obs_dim != primary_env_.obs_dim() ||
+        hello.state_dim != primary_env_.state_dim()) {
+      AGSC_LOG(kWarning) << "proc sampler: worker " << w
+                         << " handshake failed ("
+                         << util::IpcStatusName(status) << ")";
+      wk.proc.Reap();
+      return false;
+    }
+    wk.connected = true;
+    return true;
+  });
+  if (!up) {
+    std::ostringstream msg;
+    msg << "proc sampler: worker " << w << " (" << options_.worker_binary
+        << ") failed to spawn and handshake after "
+        << options_.respawn_backoff.max_attempts << " attempts";
+    throw ProcWorkerError(msg.str());
+  }
+}
+
+void ProcSampler::FailWorker(int w, const std::string& why) {
+  Worker& wk = workers_[static_cast<size_t>(w)];
+  AGSC_LOG(kWarning) << "proc sampler: worker " << w << " failed (" << why
+                     << "); killing and respawning for deterministic replay";
+  wk.proc.Reap();
+  wk.reader.reset();
+  wk.writer.reset();
+  wk.connected = false;
+  ++lifetime_respawns_;
+  if (++collect_respawns_ > options_.max_respawns) {
+    std::ostringstream msg;
+    msg << "proc sampler: worker " << w << " failed (" << why
+        << ") and the respawn budget (" << options_.max_respawns
+        << " per collect) is exhausted";
+    throw ProcWorkerError(msg.str());
+  }
+  const int failures = ++consecutive_failures_[static_cast<size_t>(w)];
+  const double backoff_ms = options_.respawn_backoff.BackoffMs(
+      std::min(failures + 1, options_.respawn_backoff.max_attempts));
+  if (backoff_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(backoff_ms)));
+  }
+}
+
+bool ProcSampler::SendPrefix(int w) {
+  Worker& wk = workers_[static_cast<size_t>(w)];
+  EpisodePrefix prefix;
+  prefix.flags = naive_env_ ? kPrefixNaiveEnv : 0;
+  prefix.rng_state = episode_rng_[static_cast<size_t>(w)];
+  prefix.replay = replay_log_[static_cast<size_t>(w)];
+  pending_prefix_[static_cast<size_t>(w)] = 1;
+  return wk.writer->Write(kMsgEpisodePrefix, wk.out_seq++,
+                          EncodeEpisodePrefix(prefix));
+}
+
+bool ProcSampler::SendStep(int w, const WorkerActions& actions) {
+  Worker& wk = workers_[static_cast<size_t>(w)];
+  pending_prefix_[static_cast<size_t>(w)] = 0;
+  return wk.writer->Write(kMsgStep, wk.out_seq++,
+                          EncodeWorkerActions(actions));
+}
+
+bool ProcSampler::ReadResult(int w, long timeout_ms, WorkerStepResult& out,
+                             std::string* why) {
+  Worker& wk = workers_[static_cast<size_t>(w)];
+  util::Frame frame;
+  const util::IpcStatus status = wk.reader->Read(frame, timeout_ms);
+  if (status != util::IpcStatus::kOk) {
+    if (status == util::IpcStatus::kTimeout) {
+      // A hung worker: unlike VecSampler's fail-fast watchdog this is
+      // recoverable, but kill it hard so the straggler cannot write a
+      // stale frame into a respawned successor's conversation.
+      wk.proc.Kill(SIGKILL);
+    }
+    if (why != nullptr) *why = std::string("read: ") + IpcStatusName(status);
+    return false;
+  }
+  if (frame.type != kMsgStepResult ||
+      !DecodeWorkerStepResult(frame.payload, out)) {
+    if (why != nullptr) *why = "malformed result frame";
+    return false;
+  }
+  const size_t num_agents = static_cast<size_t>(primary_env_.num_agents());
+  const size_t obs_dim = static_cast<size_t>(primary_env_.obs_dim());
+  bool shape_ok = out.observations.size() == num_agents &&
+                  out.state.size() ==
+                      static_cast<size_t>(primary_env_.state_dim());
+  for (const std::vector<float>& obs : out.observations) {
+    shape_ok = shape_ok && obs.size() == obs_dim;
+  }
+  if (!out.is_reset) {
+    shape_ok = shape_ok && out.rewards.size() == num_agents &&
+               out.he_neighbors.size() == num_agents &&
+               out.ho_neighbors.size() == num_agents;
+  }
+  if (!shape_ok) {
+    if (why != nullptr) *why = "result shape mismatch";
+    return false;
+  }
+  return true;
+}
+
+WorkerStepResult ProcSampler::AwaitResult(int w) {
+  for (;;) {
+    Worker& wk = workers_[static_cast<size_t>(w)];
+    std::string why = "not connected";
+    WorkerStepResult result;
+    bool ok = false;
+    if (wk.connected) {
+      long timeout = options_.step_deadline_ms;
+      if (timeout > 0 && pending_prefix_[static_cast<size_t>(w)] != 0) {
+        // A prefix reply covers env rebuild + silent replay of the episode
+        // so far, not just one step.
+        timeout = timeout * static_cast<long>(
+                                replay_log_[static_cast<size_t>(w)].size() + 2) +
+                  kSpawnGraceMs;
+      }
+      ok = ReadResult(w, timeout, result, &why);
+      if (ok &&
+          result.is_reset != replay_log_[static_cast<size_t>(w)].empty()) {
+        ok = false;
+        why = "result kind does not match the episode position";
+      }
+    }
+    if (ok) {
+      // Mirror the worker's post-step env stream so the next prefix —
+      // ordinary reset or crash replay — resumes the exact position.
+      env_stream(w).LoadState(result.rng_state);
+      consecutive_failures_[static_cast<size_t>(w)] = 0;
+      pending_prefix_[static_cast<size_t>(w)] = 0;
+      return result;
+    }
+    FailWorker(w, why);
+    SpawnWorker(w);
+    // Fresh incarnation: replay the episode deterministically. A failed
+    // prefix write loops back into FailWorker until the budget runs out.
+    if (!SendPrefix(w)) continue;
+  }
+}
+
+void ProcSampler::Collect(int episodes, const BatchActFn& act,
+                          MultiAgentBuffer& buffer,
+                          std::vector<env::Metrics>& metrics) {
+  if (episodes <= 0) return;
+  collect_respawns_ = 0;
+  const int num_agents = primary_env_.num_agents();
+  const int w_count = num_workers_;
+
+  // Worker-local outputs, merged in worker-index order at the end — the
+  // same merge contract as VecSampler, so the result never depends on
+  // worker timing.
+  std::vector<MultiAgentBuffer> wbufs;
+  wbufs.reserve(static_cast<size_t>(w_count));
+  for (int w = 0; w < w_count; ++w) wbufs.emplace_back(num_agents);
+  std::vector<std::vector<env::Metrics>> wmetrics(
+      static_cast<size_t>(w_count));
+  std::vector<WorkerStepResult> cur(static_cast<size_t>(w_count));
+  std::vector<WorkerActions> step_msgs(static_cast<size_t>(w_count));
+  std::vector<std::vector<std::array<float, 2>>> raw(
+      static_cast<size_t>(w_count),
+      std::vector<std::array<float, 2>>(static_cast<size_t>(num_agents)));
+  std::vector<std::vector<float>> logps(
+      static_cast<size_t>(w_count),
+      std::vector<float>(static_cast<size_t>(num_agents)));
+  std::vector<uint8_t> running;
+  std::vector<int> run_ids;
+
+  // Batched-action scratch, identical use to VecSampler::Collect.
+  std::vector<const std::vector<float>*> rows;
+  std::vector<util::Rng*> rngs;
+  std::vector<std::array<float, 2>> batch_actions;
+  std::vector<float> batch_logps;
+
+  const auto check_stop = [&](int round, int timeslot) {
+    if (stop_check_ && stop_check_()) {
+      std::ostringstream msg;
+      msg << "rollout interrupted by stop request (round " << round
+          << ", timeslot " << timeslot << "); partial episodes discarded";
+      throw util::InterruptedError(msg.str());
+    }
+  };
+
+  // Episodes are dealt round-robin, so each round's active workers form a
+  // prefix 0..active-1 of the worker indices.
+  const int rounds = (episodes + w_count - 1) / w_count;
+  for (int r = 0; r < rounds; ++r) {
+    check_stop(r, 0);
+    const int active = std::min(w_count, episodes - r * w_count);
+
+    // Episode starts: snapshot each worker's episode-start RNG position,
+    // send all prefixes first so the resets run concurrently, then collect
+    // the replies in worker order.
+    for (int w = 0; w < active; ++w) {
+      episode_rng_[static_cast<size_t>(w)] = env_stream(w).SaveState();
+      replay_log_[static_cast<size_t>(w)].clear();
+      if (!workers_[static_cast<size_t>(w)].connected) SpawnWorker(w);
+      SendPrefix(w);  // Failures surface in AwaitResult and are recovered.
+    }
+    for (int w = 0; w < active; ++w) {
+      cur[static_cast<size_t>(w)] = AwaitResult(w);
+    }
+
+    running.assign(static_cast<size_t>(active), 1);
+    int num_running = active;
+    int timeslot = 0;
+    while (num_running > 0) {
+      check_stop(r, timeslot);
+      run_ids.clear();
+      for (int w = 0; w < active; ++w) {
+        if (running[static_cast<size_t>(w)]) run_ids.push_back(w);
+      }
+
+      // Batched action selection on this thread: one forward per agent
+      // covering all running workers, each row sampled from its own worker
+      // stream in ascending worker order — the exact computation VecSampler
+      // performs, hence bit-equal actions and log-probs.
+      for (int w : run_ids) {
+        step_msgs[static_cast<size_t>(w)].per_agent.assign(
+            static_cast<size_t>(num_agents), {});
+      }
+      for (int k = 0; k < num_agents; ++k) {
+        rows.clear();
+        rngs.clear();
+        for (int w : run_ids) {
+          rows.push_back(
+              &cur[static_cast<size_t>(w)]
+                   .observations[static_cast<size_t>(k)]);
+          rngs.push_back(&sample_rng(w));
+        }
+        batch_actions.assign(run_ids.size(), {});
+        batch_logps.assign(run_ids.size(), 0.0f);
+        act(k, rows, rngs, batch_actions, batch_logps);
+        for (size_t i = 0; i < run_ids.size(); ++i) {
+          const int w = run_ids[i];
+          raw[static_cast<size_t>(w)][static_cast<size_t>(k)] =
+              batch_actions[i];
+          logps[static_cast<size_t>(w)][static_cast<size_t>(k)] =
+              batch_logps[i];
+          step_msgs[static_cast<size_t>(w)]
+              .per_agent[static_cast<size_t>(k)] = batch_actions[i];
+        }
+      }
+
+      // Send phase: record each action in the replay log *before* any I/O
+      // (a crash at any later point replays it), then fire all steps so
+      // the workers run their slots concurrently. Send failures are left
+      // for the read phase, which observes the dead pipe and recovers.
+      for (int w : run_ids) {
+        replay_log_[static_cast<size_t>(w)].push_back(
+            step_msgs[static_cast<size_t>(w)]);
+        if (workers_[static_cast<size_t>(w)].connected) {
+          SendStep(w, step_msgs[static_cast<size_t>(w)]);
+        }
+      }
+
+      // Read phase, ascending worker order. Any fault — EOF, timeout,
+      // checksum/sequence mismatch, shape mismatch — funnels through
+      // AwaitResult's respawn-and-replay loop and comes back as the exact
+      // result the healthy worker would have produced.
+      for (int w : run_ids) {
+        WorkerStepResult next = AwaitResult(w);
+        const bool episode_done = next.done;
+        MultiAgentBuffer& b = wbufs[static_cast<size_t>(w)];
+        const WorkerStepResult& prev = cur[static_cast<size_t>(w)];
+        for (int k = 0; k < num_agents; ++k) {
+          AgentRollout& ar = b.agents[static_cast<size_t>(k)];
+          ar.obs.push_back(prev.observations[static_cast<size_t>(k)]);
+          ar.next_obs.push_back(next.observations[static_cast<size_t>(k)]);
+          ar.action_dir.push_back(
+              raw[static_cast<size_t>(w)][static_cast<size_t>(k)][0]);
+          ar.action_speed.push_back(
+              raw[static_cast<size_t>(w)][static_cast<size_t>(k)][1]);
+          ar.logp_old.push_back(
+              logps[static_cast<size_t>(w)][static_cast<size_t>(k)]);
+          ar.reward_ext.push_back(
+              static_cast<float>(next.rewards[static_cast<size_t>(k)]));
+          const std::vector<int32_t>& he =
+              next.he_neighbors[static_cast<size_t>(k)];
+          const std::vector<int32_t>& ho =
+              next.ho_neighbors[static_cast<size_t>(k)];
+          ar.he_neighbors.emplace_back(he.begin(), he.end());
+          ar.ho_neighbors.emplace_back(ho.begin(), ho.end());
+          ar.done.push_back(next.done ? 1 : 0);
+        }
+        b.states.push_back(prev.state);
+        b.next_states.push_back(next.state);
+        b.done.push_back(next.done ? 1 : 0);
+        if (episode_done) {
+          wmetrics[static_cast<size_t>(w)].push_back(next.metrics);
+          running[static_cast<size_t>(w)] = 0;
+        }
+        cur[static_cast<size_t>(w)] = std::move(next);
+      }
+
+      num_running = 0;
+      for (uint8_t flag : running) num_running += flag != 0 ? 1 : 0;
+      ++timeslot;
+    }
+  }
+
+  for (int w = 0; w < w_count; ++w) {
+    buffer.Append(wbufs[static_cast<size_t>(w)]);
+    metrics.insert(metrics.end(), wmetrics[static_cast<size_t>(w)].begin(),
+                   wmetrics[static_cast<size_t>(w)].end());
+  }
+}
+
+}  // namespace agsc::core

@@ -1,0 +1,184 @@
+#ifndef AGSC_CORE_PROC_SAMPLER_H_
+#define AGSC_CORE_PROC_SAMPLER_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/vec_sampler.h"
+#include "core/worker_protocol.h"
+#include "env/sc_env.h"
+#include "util/ipc.h"
+#include "util/retry.h"
+#include "util/rng.h"
+#include "util/subprocess.h"
+
+namespace agsc::core {
+
+/// Thrown when a rollout worker subprocess could not be kept alive: the
+/// respawn budget (ProcSampler::Options::max_respawns) was exhausted, or a
+/// fresh spawn never produced a valid handshake. The trainer maps this to
+/// util::kExitWorkerFailed; anything short of it is absorbed invisibly by
+/// respawn-and-replay.
+class ProcWorkerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Crash-isolated counterpart of VecSampler: N agsc_worker subprocesses,
+/// each owning one environment replica in its own address space, driven in
+/// lock-step over checksummed pipes (core/worker_protocol). A worker that
+/// dies, hangs past the step deadline, or emits a damaged frame is
+/// SIGKILLed, respawned with bounded backoff, and replayed deterministically
+/// from its recorded episode-start RNG state plus the actions already
+/// issued — the final buffers and checkpoints are byte-identical to the
+/// fault-free run.
+///
+/// Bit-exactness contract (pinned by proc_sampler_test and the chaos
+/// campaign): `--proc-workers N` produces rollout buffers, metrics, and
+/// checkpoints bit-identical to `--num-workers N` for the same seed. The
+/// pieces that make this hold:
+///  * identical RNG stream layout — worker w > 0 samples from
+///    Rng(seed).Split(2w) (trainer-side) and steps its env from
+///    Rng(seed).Split(2w+1) (worker-side, mirrored here); worker 0 aliases
+///    the primary trainer/env streams, so oracle checks and checkpoint
+///    save/load see the exact same streams as the in-process sampler;
+///  * action selection stays on the trainer: the same batched BatchActFn
+///    over the same rows in the same worker order, so every FP operation
+///    is literally the same computation;
+///  * floats cross the pipe as raw bit patterns, and results merge in
+///    worker-index order, independent of arrival timing.
+///
+/// Unlike VecSampler's fail-fast watchdog (a hung in-process worker can be
+/// mid-write anywhere in the shared address space), a ProcSampler timeout
+/// is recoverable: the straggler owns nothing but its own replica, so it is
+/// killed and replayed like any other crash.
+class ProcSampler {
+ public:
+  using BatchActFn = VecSampler::BatchActFn;
+
+  struct Options {
+    /// Path to the agsc_worker binary. Required.
+    std::string worker_binary;
+    /// Read deadline per result frame in ms; 0 = block forever (a hung
+    /// worker then hangs collection, exactly like a watchdog-less
+    /// VecSampler). Settable later via set_step_deadline_ms.
+    long step_deadline_ms = 0;
+    /// Backoff schedule between respawn attempts of the same worker.
+    util::RetryPolicy respawn_backoff;
+    /// Total respawns tolerated per Collect() call before giving up with
+    /// ProcWorkerError.
+    int max_respawns = 8;
+  };
+
+  /// `num_workers` and `seed` define the RNG stream layout exactly as in
+  /// VecSampler(primary_env, primary_rng, num_workers, seed). Workers are
+  /// spawned lazily on first Collect(), so constructing a trainer (for
+  /// checkpoint surgery, tests, --iterations 0 runs) costs no processes.
+  ProcSampler(env::ScEnv& primary_env, util::Rng& primary_rng,
+              int num_workers, uint64_t seed, Options options);
+  ~ProcSampler();
+
+  ProcSampler(const ProcSampler&) = delete;
+  ProcSampler& operator=(const ProcSampler&) = delete;
+
+  /// Collects `episodes` episodes through the worker fleet into `buffer` /
+  /// `metrics`, dealing episodes round-robin across workers — the same
+  /// schedule, stream use, and merge order as VecSampler::Collect. Throws
+  /// util::InterruptedError on a stop request and ProcWorkerError when the
+  /// respawn budget runs out.
+  void Collect(int episodes, const BatchActFn& act, MultiAgentBuffer& buffer,
+               std::vector<env::Metrics>& metrics);
+
+  void set_stop_check(std::function<bool()> stop_check) {
+    stop_check_ = std::move(stop_check);
+  }
+  void set_step_deadline_ms(long deadline_ms) {
+    options_.step_deadline_ms = deadline_ms;
+  }
+
+  int num_workers() const { return num_workers_; }
+
+  /// Trainer-side sampling stream of worker `w` (0 = the primary rng).
+  util::Rng& sample_rng(int w);
+
+  /// Extra per-worker streams in checkpoint order, identical to
+  /// VecSampler::SplitRngs(): [sample_1, env_1, sample_2, env_2, ...].
+  /// The env entries are the trainer-side mirrors of the workers' states;
+  /// loading into them redirects the next episode prefix.
+  std::vector<util::Rng*> SplitRngs();
+
+  /// Sticky: every later episode prefix tells its worker to run the naive
+  /// linear-scan environment (the oracle-fallback path). The primary env is
+  /// the trainer's to downgrade.
+  void DisableSpatialIndex() { naive_env_ = true; }
+
+  /// Total worker respawns over this sampler's lifetime (tests/stats).
+  int respawn_count() const { return lifetime_respawns_; }
+
+ private:
+  struct Worker {
+    util::Subprocess proc;
+    std::unique_ptr<util::FrameReader> reader;
+    std::unique_ptr<util::FrameWriter> writer;
+    uint64_t out_seq = 0;
+    int incarnation = -1;  ///< Spawn count - 1; -1 = never spawned.
+    bool connected = false;
+  };
+
+  util::Rng& env_stream(int w);
+
+  /// Spawn + kMsgInit + kMsgHello handshake with retry/backoff. Throws
+  /// ProcWorkerError when the worker cannot be brought up at all.
+  void SpawnWorker(int w);
+  /// SIGKILL + reap + count one respawn against the Collect budget (throws
+  /// ProcWorkerError when it is exhausted) + backoff sleep.
+  void FailWorker(int w, const std::string& why);
+
+  /// Blocks until worker `w` delivers one valid result for its pending
+  /// request. Never returns a damaged or out-of-order frame: any fault —
+  /// EOF, timeout, checksum/sequence/shape mismatch — runs through
+  /// FailWorker + SpawnWorker + a prefix that replays the episode so far,
+  /// and the loop re-reads until a valid result arrives or the budget
+  /// throws. On success the worker's env-stream mirror is updated.
+  WorkerStepResult AwaitResult(int w);
+
+  bool SendPrefix(int w);
+  bool SendStep(int w, const WorkerActions& actions);
+  /// Reads one kMsgStepResult with `timeout_ms`, decodes and shape-checks
+  /// it; false on any fault (timeout, EOF, corruption, wrong type/shape).
+  bool ReadResult(int w, long timeout_ms, WorkerStepResult& out,
+                  std::string* why);
+
+  env::ScEnv& primary_env_;
+  util::Rng& primary_rng_;
+  const int num_workers_;
+  Options options_;
+  std::function<bool()> stop_check_;
+
+  std::vector<util::Rng> sample_rngs_;  ///< Workers 1..W-1.
+  std::vector<util::Rng> env_mirrors_;  ///< Workers 1..W-1 (0 = env_.rng()).
+  std::vector<Worker> workers_;
+
+  /// Per-worker episode replay state: the env-RNG state the running episode
+  /// started from and every action issued since.
+  std::vector<std::array<uint64_t, util::Rng::kStateWords>> episode_rng_;
+  std::vector<std::vector<WorkerActions>> replay_log_;
+  std::vector<int> consecutive_failures_;
+  /// 1 while worker w's pending reply answers an episode prefix (reset or
+  /// crash replay) rather than a single step — prefix replies get a larger
+  /// read deadline covering env rebuild + replay.
+  std::vector<uint8_t> pending_prefix_;
+
+  bool naive_env_ = false;
+  int collect_respawns_ = 0;
+  int lifetime_respawns_ = 0;
+};
+
+}  // namespace agsc::core
+
+#endif  // AGSC_CORE_PROC_SAMPLER_H_

@@ -1,0 +1,273 @@
+#include "core/worker_protocol.h"
+
+#include "util/ipc.h"
+
+namespace agsc::core {
+
+namespace {
+
+using util::WireReader;
+using util::WireWriter;
+
+void PutRngState(WireWriter& w,
+                 const std::array<uint64_t, util::Rng::kStateWords>& state) {
+  for (uint64_t word : state) w.U64(word);
+}
+
+bool GetRngState(WireReader& r,
+                 std::array<uint64_t, util::Rng::kStateWords>& state) {
+  for (uint64_t& word : state) word = r.U64();
+  return r.ok();
+}
+
+void PutActions(WireWriter& w, const WorkerActions& actions) {
+  w.U32(static_cast<uint32_t>(actions.per_agent.size()));
+  for (const std::array<float, 2>& a : actions.per_agent) {
+    w.F32(a[0]);
+    w.F32(a[1]);
+  }
+}
+
+bool GetActions(WireReader& r, WorkerActions& actions) {
+  const uint32_t n = r.U32();
+  if (!r.ok() || n > 1u << 16) return false;
+  actions.per_agent.resize(n);
+  for (std::array<float, 2>& a : actions.per_agent) {
+    a[0] = r.F32();
+    a[1] = r.F32();
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+std::string EncodeWorkerInit(const WorkerInit& init) {
+  WireWriter w;
+  w.U32(kWorkerProtocolVersion);
+  w.U32(static_cast<uint32_t>(init.campus));
+  const env::EnvConfig& c = init.config;
+  // Every EnvConfig field, declaration order. The decoder's Done() check
+  // turns any drift between this list and the struct into a loud reject
+  // at spawn instead of a silent behavioral divergence.
+  w.I32(c.num_timeslots);
+  w.F64(c.tau_move);
+  w.F64(c.tau_coll);
+  w.I32(c.num_pois);
+  w.F64(c.initial_data_gbit);
+  w.I32(c.num_uavs);
+  w.I32(c.num_ugvs);
+  w.F64(c.uav_vmax);
+  w.F64(c.ugv_vmax);
+  w.F64(c.uav_height);
+  w.F64(c.uav_energy_kj);
+  w.F64(c.ugv_energy_kj);
+  w.F64(c.uav_idle_power_w);
+  w.F64(c.uav_move_power_w);
+  w.F64(c.ugv_idle_power_w);
+  w.F64(c.ugv_move_power_w);
+  w.I32(c.num_subchannels);
+  w.F64(c.bandwidth_hz);
+  w.F64(c.noise_psd);
+  w.F64(c.alpha1);
+  w.F64(c.alpha2);
+  w.F64(c.eta_los_db);
+  w.F64(c.eta_nlos_db);
+  w.F64(c.omega_los);
+  w.F64(c.beta_los);
+  w.F64(c.rho_uav_w);
+  w.F64(c.rho_poi_w);
+  w.F64(c.sinr_threshold_db);
+  w.F64(c.throughput_factor);
+  w.U32(static_cast<uint32_t>(c.medium_access));
+  w.F64(c.rayleigh_mean_gain);
+  w.U32(c.rayleigh_fading ? 1 : 0);
+  w.F64(c.omega_coll);
+  w.F64(c.omega_move);
+  w.F64(c.observe_range_fraction);
+  w.F64(c.neighbor_range_fraction);
+  w.U32(c.record_event_log ? 1 : 0);
+  w.U32(c.use_spatial_index ? 1 : 0);
+  return w.Take();
+}
+
+bool DecodeWorkerInit(const std::string& payload, WorkerInit& out) {
+  WireReader r(payload);
+  if (r.U32() != kWorkerProtocolVersion) return false;
+  const uint32_t campus = r.U32();
+  if (!r.ok() || campus > static_cast<uint32_t>(map::CampusId::kNcsu)) {
+    return false;
+  }
+  out.campus = static_cast<map::CampusId>(campus);
+  env::EnvConfig& c = out.config;
+  c.num_timeslots = r.I32();
+  c.tau_move = r.F64();
+  c.tau_coll = r.F64();
+  c.num_pois = r.I32();
+  c.initial_data_gbit = r.F64();
+  c.num_uavs = r.I32();
+  c.num_ugvs = r.I32();
+  c.uav_vmax = r.F64();
+  c.ugv_vmax = r.F64();
+  c.uav_height = r.F64();
+  c.uav_energy_kj = r.F64();
+  c.ugv_energy_kj = r.F64();
+  c.uav_idle_power_w = r.F64();
+  c.uav_move_power_w = r.F64();
+  c.ugv_idle_power_w = r.F64();
+  c.ugv_move_power_w = r.F64();
+  c.num_subchannels = r.I32();
+  c.bandwidth_hz = r.F64();
+  c.noise_psd = r.F64();
+  c.alpha1 = r.F64();
+  c.alpha2 = r.F64();
+  c.eta_los_db = r.F64();
+  c.eta_nlos_db = r.F64();
+  c.omega_los = r.F64();
+  c.beta_los = r.F64();
+  c.rho_uav_w = r.F64();
+  c.rho_poi_w = r.F64();
+  c.sinr_threshold_db = r.F64();
+  c.throughput_factor = r.F64();
+  const uint32_t medium = r.U32();
+  if (!r.ok() || medium > static_cast<uint32_t>(env::MediumAccess::kOfdma)) {
+    return false;
+  }
+  c.medium_access = static_cast<env::MediumAccess>(medium);
+  c.rayleigh_mean_gain = r.F64();
+  c.rayleigh_fading = r.U32() != 0;
+  c.omega_coll = r.F64();
+  c.omega_move = r.F64();
+  c.observe_range_fraction = r.F64();
+  c.neighbor_range_fraction = r.F64();
+  c.record_event_log = r.U32() != 0;
+  c.use_spatial_index = r.U32() != 0;
+  return r.Done();
+}
+
+std::string EncodeWorkerHello(const WorkerHello& hello) {
+  WireWriter w;
+  w.U32(hello.protocol_version);
+  w.I32(hello.worker_id);
+  w.I32(hello.num_agents);
+  w.I32(hello.obs_dim);
+  w.I32(hello.state_dim);
+  return w.Take();
+}
+
+bool DecodeWorkerHello(const std::string& payload, WorkerHello& out) {
+  WireReader r(payload);
+  out.protocol_version = r.U32();
+  out.worker_id = r.I32();
+  out.num_agents = r.I32();
+  out.obs_dim = r.I32();
+  out.state_dim = r.I32();
+  return r.Done();
+}
+
+std::string EncodeEpisodePrefix(const EpisodePrefix& prefix) {
+  WireWriter w;
+  w.U32(prefix.flags);
+  PutRngState(w, prefix.rng_state);
+  w.U32(static_cast<uint32_t>(prefix.replay.size()));
+  for (const WorkerActions& actions : prefix.replay) PutActions(w, actions);
+  return w.Take();
+}
+
+bool DecodeEpisodePrefix(const std::string& payload, EpisodePrefix& out) {
+  WireReader r(payload);
+  out.flags = r.U32();
+  if (!GetRngState(r, out.rng_state)) return false;
+  const uint32_t steps = r.U32();
+  if (!r.ok() || steps > 1u << 20) return false;
+  out.replay.resize(steps);
+  for (WorkerActions& actions : out.replay) {
+    if (!GetActions(r, actions)) return false;
+  }
+  return r.Done();
+}
+
+std::string EncodeWorkerActions(const WorkerActions& actions) {
+  WireWriter w;
+  PutActions(w, actions);
+  return w.Take();
+}
+
+bool DecodeWorkerActions(const std::string& payload, WorkerActions& out) {
+  WireReader r(payload);
+  return GetActions(r, out) && r.Done();
+}
+
+std::string EncodeWorkerStepResult(const WorkerStepResult& result) {
+  WireWriter w;
+  w.U32(result.is_reset ? 0 : 1);
+  w.U32(result.done ? 1 : 0);
+  w.U32(static_cast<uint32_t>(result.observations.size()));
+  for (const std::vector<float>& obs : result.observations) w.F32Vec(obs);
+  w.F32Vec(result.state);
+  w.F64Vec(result.rewards);
+  w.U32(static_cast<uint32_t>(result.he_neighbors.size()));
+  for (const std::vector<int32_t>& n : result.he_neighbors) w.I32Vec(n);
+  w.U32(static_cast<uint32_t>(result.ho_neighbors.size()));
+  for (const std::vector<int32_t>& n : result.ho_neighbors) w.I32Vec(n);
+  PutRngState(w, result.rng_state);
+  if (result.done) {
+    w.F64(result.metrics.data_collection_ratio);
+    w.F64(result.metrics.data_loss_ratio);
+    w.F64(result.metrics.energy_consumption_ratio);
+    w.F64(result.metrics.geographical_fairness);
+    w.F64(result.metrics.efficiency);
+  }
+  return w.Take();
+}
+
+bool DecodeWorkerStepResult(const std::string& payload,
+                            WorkerStepResult& out) {
+  WireReader r(payload);
+  const uint32_t kind = r.U32();
+  if (!r.ok() || kind > 1) return false;
+  out.is_reset = kind == 0;
+  out.done = r.U32() != 0;
+  const uint32_t agents = r.U32();
+  if (!r.ok() || agents > 1u << 16) return false;
+  out.observations.resize(agents);
+  for (std::vector<float>& obs : out.observations) {
+    if (!r.F32Vec(obs)) return false;
+  }
+  if (!r.F32Vec(out.state)) return false;
+  if (!r.F64Vec(out.rewards)) return false;
+  const uint32_t he = r.U32();
+  if (!r.ok() || he > 1u << 16) return false;
+  out.he_neighbors.resize(he);
+  for (std::vector<int32_t>& n : out.he_neighbors) {
+    if (!r.I32Vec(n)) return false;
+  }
+  const uint32_t ho = r.U32();
+  if (!r.ok() || ho > 1u << 16) return false;
+  out.ho_neighbors.resize(ho);
+  for (std::vector<int32_t>& n : out.ho_neighbors) {
+    if (!r.I32Vec(n)) return false;
+  }
+  if (!GetRngState(r, out.rng_state)) return false;
+  if (out.done) {
+    out.metrics.data_collection_ratio = r.F64();
+    out.metrics.data_loss_ratio = r.F64();
+    out.metrics.energy_consumption_ratio = r.F64();
+    out.metrics.geographical_fairness = r.F64();
+    out.metrics.efficiency = r.F64();
+  } else {
+    out.metrics = env::Metrics{};
+  }
+  return r.Done();
+}
+
+bool CampusIdFromName(const std::string& name, map::CampusId& out) {
+  for (map::CampusId id : {map::CampusId::kPurdue, map::CampusId::kNcsu}) {
+    if (map::CampusName(id) == name) {
+      out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace agsc::core

@@ -388,6 +388,19 @@ IsaLevel Isa() {
   return level;
 }
 
+}  // namespace
+
+const char* ActiveGemmIsaName() {
+  switch (Isa()) {
+    case IsaLevel::kAvx512: return "avx512";
+    case IsaLevel::kAvx2: return "avx2";
+    case IsaLevel::kGeneric: return "generic";
+  }
+  return "generic";
+}
+
+namespace {
+
 // --- MatMul family: C[i][j] = sum_p A[i][p]*B[p][j], A is m x k row-major --
 
 constexpr int kMmMr = 8;   // rows per register tile

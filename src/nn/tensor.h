@@ -44,6 +44,11 @@ void SetKernelConfig(const KernelConfig& config);
 /// Returns the currently installed configuration.
 KernelConfig GetKernelConfig();
 
+/// Name of the SIMD tier the blocked GEMM kernels dispatched to on this
+/// CPU at runtime: "avx512", "avx2", or "generic". Build provenance for
+/// --build-info / bug reports; the choice never affects result bits.
+const char* ActiveGemmIsaName();
+
 /// Dense row-major 2-D float matrix. This is the only tensor rank the
 /// library needs: batches are rows, features are columns; vectors are 1xC or
 /// Rx1 matrices and scalars are 1x1.

@@ -1,0 +1,37 @@
+#include "util/build_info.h"
+
+#include <sstream>
+
+namespace agsc::util {
+
+std::string BuildInfoString(const std::string& extra) {
+  std::ostringstream out;
+#if defined(__clang__)
+  out << "compiler=clang-" << __clang_major__ << "." << __clang_minor__ << "."
+      << __clang_patchlevel__;
+#elif defined(__GNUC__)
+  out << "compiler=gcc-" << __GNUC__ << "." << __GNUC_MINOR__ << "."
+      << __GNUC_PATCHLEVEL__;
+#else
+  out << "compiler=unknown";
+#endif
+
+#ifdef AGSC_BUILD_TYPE
+  out << " build=" << (AGSC_BUILD_TYPE[0] != '\0' ? AGSC_BUILD_TYPE : "none");
+#else
+  out << " build=unknown";
+#endif
+
+#ifdef AGSC_SANITIZE_STR
+  out << " sanitize="
+      << (AGSC_SANITIZE_STR[0] != '\0' ? AGSC_SANITIZE_STR : "none");
+#else
+  out << " sanitize=none";
+#endif
+
+  out << " std=" << __cplusplus;
+  if (!extra.empty()) out << " " << extra;
+  return out.str();
+}
+
+}  // namespace agsc::util

@@ -1,0 +1,19 @@
+#ifndef AGSC_UTIL_BUILD_INFO_H_
+#define AGSC_UTIL_BUILD_INFO_H_
+
+#include <string>
+
+namespace agsc::util {
+
+/// One-line build provenance for reproducible bug reports: compiler and
+/// version, CMake build type, sanitizer flags, and the C++ standard. The
+/// CLIs print it for --version/--build-info and stamp it into the stats-CSV
+/// header; `extra` appends run-time facts the compile step cannot know
+/// (e.g. the GEMM ISA selected by dispatch on the running CPU).
+///
+/// Format: "compiler=<...> build=<...> sanitize=<...> std=<...>[ <extra>]".
+std::string BuildInfoString(const std::string& extra = "");
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_BUILD_INFO_H_

@@ -13,6 +13,7 @@ const char* ExitCodeName(int code) {
     case kExitWatchdogTimeout: return "watchdog-timeout";
     case kExitSignalStop: return "signal-stop";
     case kExitInterruptedAbort: return "interrupted-abort";
+    case kExitWorkerFailed: return "worker-failed";
     default: return "unknown";
   }
 }

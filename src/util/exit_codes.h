@@ -35,6 +35,12 @@ enum ExitCode : int {
   /// Second SIGINT/SIGTERM while a cooperative stop was pending: immediate
   /// abort from the signal handler, nothing flushed.
   kExitInterruptedAbort = 9,
+  /// A rollout worker subprocess (--proc-workers) could not be kept alive:
+  /// spawn/handshake failed outright, or the per-collect respawn budget
+  /// was exhausted by repeated crashes. A final checkpoint is flushed
+  /// first (the trainer's own state is consistent; only the disposable
+  /// worker fleet is broken).
+  kExitWorkerFailed = 10,
 };
 
 /// Short stable name of `code` for log lines ("ok", "watchdog-timeout", ...);

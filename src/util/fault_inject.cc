@@ -23,6 +23,8 @@ void FaultInjector::set_config(const Config& config) {
   write_count_ = 0;
   loss_count_ = 0;
   task_count_ = 0;
+  frame_in_count_ = 0;
+  frame_out_count_ = 0;
 }
 
 FaultInjector::Config FaultInjector::config() const {
@@ -43,6 +45,10 @@ void FaultInjector::ReloadFromEnv() {
   config.nan_loss_every = GetEnvOr("AGSC_FAULT_NAN_LOSS_EVERY", 0);
   config.stall_task = GetEnvOr("AGSC_FAULT_STALL_TASK", 0);
   config.stall_ms = static_cast<long>(GetEnvOr("AGSC_FAULT_STALL_MS", 0));
+  config.kill_worker_nth = GetEnvOr("AGSC_FAULT_KILL_WORKER_NTH", 0);
+  config.corrupt_frame = GetEnvOr("AGSC_FAULT_CORRUPT_FRAME", 0);
+  config.stall_pipe = GetEnvOr("AGSC_FAULT_STALL_PIPE", 0);
+  config.fault_worker_id = GetEnvOr("AGSC_FAULT_WORKER_ID", -1);
   set_config(config);
 }
 
@@ -94,6 +100,35 @@ long FaultInjector::NextStallMs() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (config_.stall_task <= 0 || config_.stall_ms <= 0) return 0;
   return ++task_count_ == config_.stall_task ? config_.stall_ms : 0;
+}
+
+bool FaultInjector::KillWorkerNow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.kill_worker_nth <= 0) return false;
+  return ++frame_in_count_ == config_.kill_worker_nth;
+}
+
+FaultInjector::FrameFault FaultInjector::NextFrameFault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FrameFault fault;
+  if (config_.corrupt_frame <= 0 && config_.stall_pipe <= 0) return fault;
+  ++frame_out_count_;
+  if (config_.corrupt_frame > 0 && frame_out_count_ == config_.corrupt_frame) {
+    // Flip a payload byte past the header; offset 0 keeps the fault
+    // deterministic and independent of payload size.
+    fault.corrupt_byte = 0;
+  }
+  if (config_.stall_pipe > 0 && frame_out_count_ == config_.stall_pipe) {
+    fault.stall_ms = config_.stall_ms;
+  }
+  return fault;
+}
+
+void FaultInjector::DisarmWorkerFaults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_.kill_worker_nth = 0;
+  config_.corrupt_frame = 0;
+  config_.stall_pipe = 0;
 }
 
 int FaultInjector::write_count() const {

@@ -39,6 +39,25 @@ namespace agsc::util {
 ///                                  (exercises the rollout watchdog).
 ///   AGSC_FAULT_STALL_MS=M          stall duration (default 0 = no stall).
 ///
+/// Subprocess-rollout faults, observed by the agsc_worker binary (the
+/// trainer process inherits the same environment but never calls these
+/// hooks). Scoped by AGSC_FAULT_WORKER_ID, and disarmed for respawned
+/// incarnations so a replayed shard does not re-trip the same fault:
+///
+///   AGSC_FAULT_KILL_WORKER_NTH=N   the worker SIGKILLs itself on receiving
+///                                  its Nth step frame — a deterministic
+///                                  mid-round crash (segfault/OOM stand-in).
+///   AGSC_FAULT_CORRUPT_FRAME=N     the worker's Nth outgoing result frame
+///                                  has a payload byte flipped after the
+///                                  CRC is computed (garbage-emitting
+///                                  worker; the trainer must detect it).
+///   AGSC_FAULT_STALL_PIPE=N        the worker sleeps AGSC_FAULT_STALL_MS
+///                                  before writing its Nth result frame
+///                                  (hung worker; exercises the read
+///                                  timeout -> respawn path).
+///   AGSC_FAULT_WORKER_ID=W         restrict the three faults above to
+///                                  worker W (default -1 = any worker).
+///
 /// The injector is a process-wide singleton; counters advance across all
 /// call sites so "the Nth write" is well defined for a whole run. All
 /// entry points are thread-safe: checkpoint writes, guarded losses and
@@ -56,6 +75,16 @@ class FaultInjector {
     int nan_loss_every = 0;   ///< Every Kth guarded loss is NaN; 0 = off.
     int stall_task = 0;       ///< 1-based guarded worker task to stall.
     long stall_ms = 0;        ///< Stall duration in milliseconds.
+    int kill_worker_nth = 0;  ///< 1-based incoming step frame to die on.
+    int corrupt_frame = 0;    ///< 1-based outgoing frame to corrupt.
+    int stall_pipe = 0;       ///< 1-based outgoing frame to delay.
+    int fault_worker_id = -1; ///< Worker the three faults target; -1 = any.
+  };
+
+  /// Faults to apply to the next outgoing IPC frame (worker side).
+  struct FrameFault {
+    long stall_ms = 0;       ///< Sleep before writing; 0 = none.
+    long corrupt_byte = -1;  ///< Payload byte to flip post-CRC; -1 = none.
   };
 
   static FaultInjector& Instance();
@@ -85,6 +114,22 @@ class FaultInjector {
   /// outside the injector's lock.
   long NextStallMs();
 
+  /// Called by agsc_worker once per incoming step frame; true means this
+  /// worker must SIGKILL itself now (KILL_WORKER_NTH).
+  bool KillWorkerNow();
+
+  /// Called by agsc_worker once per outgoing result frame; returns the
+  /// CORRUPT_FRAME / STALL_PIPE faults due for this frame. The caller
+  /// sleeps and flips outside the injector's lock.
+  FrameFault NextFrameFault();
+
+  /// Disarms the subprocess-rollout faults only (KILL_WORKER_NTH,
+  /// CORRUPT_FRAME, STALL_PIPE). agsc_worker calls this when the faults
+  /// are scoped to another worker id, or when it is a respawned
+  /// incarnation — a replayed shard must not re-trip the fault that
+  /// killed its predecessor.
+  void DisarmWorkerFaults();
+
   int write_count() const;
 
  private:
@@ -95,6 +140,8 @@ class FaultInjector {
   int write_count_ = 0;
   int loss_count_ = 0;
   int task_count_ = 0;
+  int frame_in_count_ = 0;
+  int frame_out_count_ = 0;
 };
 
 /// Writes `bytes` to `path` crash-safely: the payload goes to `path.tmp`,

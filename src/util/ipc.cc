@@ -1,0 +1,172 @@
+#include "util/ipc.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace agsc::util {
+
+namespace {
+
+uint32_t Crc32Table(int i) {
+  // Computed lazily once; identical to the nn/serialize table.
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t n = 0; n < 256; ++n) {
+      uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table[static_cast<size_t>(i)];
+}
+
+long RemainingMs(const std::chrono::steady_clock::time_point& deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+      .count();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    c = Crc32Table(static_cast<int>((c ^ p[i]) & 0xFFu)) ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* IpcStatusName(IpcStatus status) {
+  switch (status) {
+    case IpcStatus::kOk: return "ok";
+    case IpcStatus::kEof: return "eof";
+    case IpcStatus::kTimeout: return "timeout";
+    case IpcStatus::kCorrupt: return "corrupt";
+    case IpcStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool FrameWriter::Write(uint32_t type, uint64_t seq,
+                        const std::string& payload,
+                        long corrupt_payload_byte) {
+  if (payload.size() > kMaxFramePayload) return false;
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+
+  scratch_.clear();
+  scratch_.reserve(kFrameHeaderBytes + payload.size());
+  const auto put_u32 = [this](uint32_t v) {
+    scratch_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const auto put_u64 = [this](uint64_t v) {
+    scratch_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_u32(kFrameMagic);
+  put_u32(type);
+  put_u64(seq);
+  put_u32(len);
+  // CRC over [type, seq, len, payload]: everything after the magic except
+  // the CRC field itself.
+  uint32_t crc = Crc32(scratch_.data() + 4, scratch_.size() - 4);
+  crc = Crc32(payload.data(), payload.size(), crc);
+  put_u32(crc);
+  scratch_.append(payload);
+
+  if (corrupt_payload_byte >= 0 &&
+      static_cast<size_t>(corrupt_payload_byte) < payload.size()) {
+    scratch_[kFrameHeaderBytes + static_cast<size_t>(corrupt_payload_byte)] ^=
+        static_cast<char>(0xFF);
+  }
+
+  size_t written = 0;
+  while (written < scratch_.size()) {
+    const ssize_t n =
+        ::write(fd_, scratch_.data() + written, scratch_.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+IpcStatus FrameReader::ReadExact(char* buf, size_t n, long timeout_ms,
+                                 bool* at_boundary) {
+  const bool bounded = timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  size_t got = 0;
+  while (got < n) {
+    if (bounded) {
+      const long remaining = RemainingMs(deadline);
+      if (remaining <= 0) return IpcStatus::kTimeout;
+      struct pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return IpcStatus::kError;
+      }
+      if (pr == 0) return IpcStatus::kTimeout;
+    }
+    const ssize_t r = ::read(fd_, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IpcStatus::kError;
+    }
+    if (r == 0) {
+      // EOF: clean only if nothing of this read unit has arrived yet and
+      // the caller says we sit at a frame boundary.
+      return (got == 0 && at_boundary != nullptr && *at_boundary)
+                 ? IpcStatus::kEof
+                 : IpcStatus::kCorrupt;
+    }
+    got += static_cast<size_t>(r);
+    if (at_boundary != nullptr) *at_boundary = false;
+  }
+  return IpcStatus::kOk;
+}
+
+IpcStatus FrameReader::Read(Frame& out, long timeout_ms) {
+  char header[kFrameHeaderBytes];
+  bool at_boundary = true;
+  IpcStatus status =
+      ReadExact(header, sizeof(header), timeout_ms, &at_boundary);
+  if (status != IpcStatus::kOk) return status;
+
+  uint32_t magic = 0, type = 0, len = 0, crc = 0;
+  uint64_t seq = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&type, header + 4, 4);
+  std::memcpy(&seq, header + 8, 8);
+  std::memcpy(&len, header + 16, 4);
+  std::memcpy(&crc, header + 20, 4);
+  if (magic != kFrameMagic) return IpcStatus::kCorrupt;
+  if (len > kMaxFramePayload) return IpcStatus::kCorrupt;
+
+  out.payload.resize(len);
+  if (len > 0) {
+    status = ReadExact(out.payload.data(), len, timeout_ms, nullptr);
+    if (status == IpcStatus::kEof) return IpcStatus::kCorrupt;
+    if (status != IpcStatus::kOk) return status;
+  }
+
+  uint32_t want = Crc32(header + 4, 16);
+  want = Crc32(out.payload.data(), out.payload.size(), want);
+  if (want != crc) return IpcStatus::kCorrupt;
+  if (seq != next_seq_) return IpcStatus::kCorrupt;
+  ++next_seq_;
+
+  out.type = type;
+  out.seq = seq;
+  return status;
+}
+
+}  // namespace agsc::util

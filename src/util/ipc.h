@@ -1,0 +1,200 @@
+#ifndef AGSC_UTIL_IPC_H_
+#define AGSC_UTIL_IPC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace agsc::util {
+
+/// CRC-32 (IEEE reflected polynomial 0xEDB88320) over `n` bytes; chainable
+/// via `seed` (pass a previous return value to continue a running checksum).
+/// Bit-compatible with nn::Crc32 — the checkpoint format and the IPC frames
+/// share one checksum definition.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Length-prefixed, checksummed, sequence-numbered frames over a pipe/fd —
+/// the wire format between the trainer and its agsc_worker subprocesses.
+///
+/// Layout (all little-endian, which every supported target is):
+///   u32 magic   "AGF1" (0x31464741)
+///   u32 type    message type (worker_protocol.h owns the registry)
+///   u64 seq     per-direction sequence number, 0-based, gap-free
+///   u32 len     payload byte count (bounded by kMaxFramePayload)
+///   u32 crc     CRC-32 over [type, seq, len, payload]
+///   u8  payload[len]
+///
+/// Every field that could mislead the reader is covered: a corrupted type,
+/// seq or length fails the CRC, a corrupted CRC fails the comparison, and a
+/// corrupted magic fails the magic check. A reader therefore never acts on
+/// a damaged frame — it reports kCorrupt and the owner escalates (the
+/// trainer kills and respawns the worker; the worker exits).
+struct Frame {
+  uint32_t type = 0;
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+inline constexpr uint32_t kFrameMagic = 0x31464741u;  // "AGF1"
+inline constexpr uint32_t kFrameHeaderBytes = 24;
+/// Upper bound on a single payload: generous for rollout chunks (a step
+/// result is O(num_agents * obs_dim) floats) while keeping a corrupted
+/// length field from provoking a multi-GiB allocation.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+enum class IpcStatus {
+  kOk,       ///< A whole valid frame was read.
+  kEof,      ///< Clean EOF at a frame boundary (peer closed the pipe).
+  kTimeout,  ///< Deadline expired before a whole frame arrived.
+  kCorrupt,  ///< Bad magic, oversized length, CRC mismatch, or torn frame.
+  kError,    ///< read(2)/poll(2) failure.
+};
+
+const char* IpcStatusName(IpcStatus status);
+
+/// Serializes frames onto `fd`. Not thread-safe; one writer per pipe.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  /// Writes one frame; `seq` is the caller's counter (FrameReader enforces
+  /// the gap-free contract on the far side). `corrupt_payload_byte`, when
+  /// >= 0, XOR-flips that payload byte *after* the CRC is computed — the
+  /// deliberately-damaged-frame hook for the CORRUPT_FRAME fault campaign.
+  /// Returns false on any write failure (e.g. EPIPE from a dead peer).
+  bool Write(uint32_t type, uint64_t seq, const std::string& payload,
+             long corrupt_payload_byte = -1);
+
+ private:
+  int fd_;
+  std::string scratch_;
+};
+
+/// Deserializes frames from `fd`, enforcing magic/length/CRC and the
+/// gap-free sequence contract. Not thread-safe; one reader per pipe.
+class FrameReader {
+ public:
+  explicit FrameReader(int fd) : fd_(fd) {}
+
+  /// Reads exactly one frame. `timeout_ms` bounds the whole frame (<= 0
+  /// blocks forever). kEof is only reported at a frame boundary; EOF
+  /// mid-frame is a torn write and reports kCorrupt. A frame whose seq is
+  /// not the next expected value also reports kCorrupt: a lost or replayed
+  /// chunk must not be silently accepted.
+  IpcStatus Read(Frame& out, long timeout_ms);
+
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  IpcStatus ReadExact(char* buf, size_t n, long timeout_ms, bool* at_boundary);
+
+  int fd_;
+  uint64_t next_seq_ = 0;
+};
+
+/// Bounds-checked binary encode/decode helpers for frame payloads. Floats
+/// and doubles travel as raw bit patterns (memcpy through u32/u64), so a
+/// value decoded on the far side is bit-identical to the one encoded —
+/// the foundation of the proc-sampler's bit-exactness contract.
+class WireWriter {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void F32(float v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void F32Span(const float* data, size_t n) {
+    U64(n);
+    Raw(data, n * sizeof(float));
+  }
+  void F32Vec(const std::vector<float>& v) { F32Span(v.data(), v.size()); }
+  void F64Vec(const std::vector<double>& v) {
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(double));
+  }
+  void I32Vec(const std::vector<int32_t>& v) {
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(int32_t));
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  void Raw(const void* data, size_t n) {
+    if (n > 0) bytes_.append(static_cast<const char*>(data), n);
+  }
+  std::string bytes_;
+};
+
+/// Reading past the end or a length prefix larger than the remaining bytes
+/// sets ok() to false and yields zeros from then on; callers check ok()
+/// once after decoding a whole payload instead of after every field.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& bytes) : bytes_(bytes) {}
+
+  uint32_t U32() { return Scalar<uint32_t>(); }
+  uint64_t U64() { return Scalar<uint64_t>(); }
+  int32_t I32() { return Scalar<int32_t>(); }
+  float F32() { return Scalar<float>(); }
+  double F64() { return Scalar<double>(); }
+  bool F32Vec(std::vector<float>& out) { return Vec(out); }
+  bool F64Vec(std::vector<double>& out) { return Vec(out); }
+  bool I32Vec(std::vector<int32_t>& out) { return Vec(out); }
+  bool Str(std::string& out) {
+    const uint64_t n = U64();
+    if (!ok_ || n > bytes_.size() - pos_) return Fail();
+    out.assign(bytes_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  /// True iff every read so far stayed in bounds.
+  bool ok() const { return ok_; }
+  /// True iff ok() and the whole payload was consumed (no trailing bytes —
+  /// a length/content mismatch the CRC cannot see).
+  bool Done() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  template <typename T>
+  T Scalar() {
+    if (!ok_ || sizeof(T) > bytes_.size() - pos_) {
+      Fail();
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  template <typename T>
+  bool Vec(std::vector<T>& out) {
+    const uint64_t n = U64();
+    if (!ok_ || n > (bytes_.size() - pos_) / sizeof(T)) return Fail();
+    out.resize(n);
+    if (n > 0) {
+      std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(T));
+      pos_ += n * sizeof(T);
+    }
+    return true;
+  }
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_IPC_H_

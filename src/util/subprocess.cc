@@ -1,0 +1,137 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace agsc::util {
+
+namespace {
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Subprocess::~Subprocess() { Reap(); }
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      stdin_fd_(std::exchange(other.stdin_fd_, -1)),
+      stdout_fd_(std::exchange(other.stdout_fd_, -1)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    Reap();
+    pid_ = std::exchange(other.pid_, -1);
+    stdin_fd_ = std::exchange(other.stdin_fd_, -1);
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+  }
+  return *this;
+}
+
+bool Subprocess::Start(const std::vector<std::string>& argv) {
+  if (running() || argv.empty()) return false;
+
+  // in[1]: parent writes child's stdin; out[0]: parent reads child's stdout.
+  int in_pipe[2] = {-1, -1};
+  int out_pipe[2] = {-1, -1};
+  if (::pipe(in_pipe) != 0) return false;
+  if (::pipe(out_pipe) != 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    return false;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    return false;
+  }
+
+  if (pid == 0) {
+    // Child: async-signal-safe work only between fork and exec.
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) {
+      cargv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+
+  // Parent: keep the far ends closed and mark ours close-on-exec so sibling
+  // workers spawned later do not hold this child's pipes open.
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  ::fcntl(in_pipe[1], F_SETFD, FD_CLOEXEC);
+  ::fcntl(out_pipe[0], F_SETFD, FD_CLOEXEC);
+  pid_ = pid;
+  stdin_fd_ = in_pipe[1];
+  stdout_fd_ = out_pipe[0];
+  return true;
+}
+
+void Subprocess::CloseStdin() { CloseFd(stdin_fd_); }
+
+void Subprocess::Kill(int sig) {
+  if (running()) ::kill(pid_, sig);
+}
+
+bool Subprocess::Wait(int* exit_code, long timeout_ms) {
+  if (!running()) return false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, timeout_ms < 0 ? 0 : WNOHANG);
+    if (r == pid_) {
+      pid_ = -1;
+      if (exit_code != nullptr) {
+        if (WIFEXITED(status)) {
+          *exit_code = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+          *exit_code = 128 + WTERMSIG(status);
+        } else {
+          *exit_code = -1;
+        }
+      }
+      return true;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0) return false;  // ECHILD: nothing to reap.
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void Subprocess::Reap() {
+  if (running()) {
+    Kill(SIGKILL);
+    Wait(nullptr, -1);
+  }
+  CloseFd(stdin_fd_);
+  CloseFd(stdout_fd_);
+}
+
+}  // namespace agsc::util

@@ -1,0 +1,73 @@
+#ifndef AGSC_UTIL_SUBPROCESS_H_
+#define AGSC_UTIL_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace agsc::util {
+
+/// A child process connected to the parent by two pipes: the parent writes
+/// the child's stdin through stdin_fd() and reads its stdout through
+/// stdout_fd(); stderr is inherited so the child's diagnostics land in the
+/// parent's log stream. Generalized out of the chaos-test campaign's
+/// fork/exec harness so the trainer can own crash-isolated rollout workers.
+///
+/// Pipe fds are O_CLOEXEC on the parent side, so concurrently spawned
+/// siblings do not inherit each other's pipe ends (a leaked write end would
+/// keep a dead worker's pipe from ever reporting EOF). Not thread-safe; one
+/// owner per instance. The destructor SIGKILLs and reaps a still-running
+/// child — a Subprocess never outlives its handle.
+class Subprocess {
+ public:
+  Subprocess() = default;
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+
+  /// Forks and execs `argv` (argv[0] is the binary path; PATH is not
+  /// searched). Returns false if the pipes or the fork fail, or if `argv`
+  /// is empty. An exec failure inside the child cannot be reported here —
+  /// the child _exits with 127 and the parent observes EOF on stdout_fd()
+  /// plus exit code 127 from Wait().
+  bool Start(const std::vector<std::string>& argv);
+
+  /// True between a successful Start() and the Wait() that reaped the child.
+  bool running() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+
+  /// Parent ends of the pipes; -1 when not running.
+  int stdin_fd() const { return stdin_fd_; }
+  int stdout_fd() const { return stdout_fd_; }
+
+  /// Closes the parent's write end of the child's stdin; the child sees
+  /// EOF. Safe to call repeatedly.
+  void CloseStdin();
+
+  /// Sends `sig` (default SIGKILL) to the child if it is still running.
+  void Kill(int sig = 9);
+
+  /// Waits up to `timeout_ms` for the child to exit (<= 0 waits forever)
+  /// and reaps it. Returns true once reaped; `exit_code` (optional)
+  /// receives the shell-convention status: WEXITSTATUS for a normal exit,
+  /// 128 + signal for a signal death. Returns false on timeout with the
+  /// child still running.
+  bool Wait(int* exit_code, long timeout_ms = -1);
+
+  /// Kill(SIGKILL) + Wait + close both pipe fds: the unconditional cleanup
+  /// path. No-op when nothing is running or open.
+  void Reap();
+
+ private:
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+};
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_SUBPROCESS_H_

@@ -270,5 +270,124 @@ TEST(ChaosTest, PersistentNanLossExitsDiverged) {
   EXPECT_EQ(ws.Resume(6), util::kExitOk) << LogContents(ws.log);
 }
 
+// ---------------------------------------------------------------------------
+// Subprocess rollout workers (--proc-workers): byte-identity with the
+// in-process sampler, respawn-and-replay under injected worker faults, and
+// the worker-failed exit code when the fleet cannot be kept alive.
+// ---------------------------------------------------------------------------
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Trains 2 iterations with `mode_args` + `env_kv` and returns the bytes of
+/// the saved final checkpoint.
+std::string TrainAndSave(const Workspace& ws, const std::string& name,
+                         const std::vector<std::string>& mode_args,
+                         const std::vector<std::string>& env_kv) {
+  const std::string ckpt = ws.dir + "/" + name;
+  std::vector<std::string> args = {"--iterations", "2", "--save", ckpt};
+  args.insert(args.end(), mode_args.begin(), mode_args.end());
+  EXPECT_EQ(RunTrain(args, env_kv, ws.log), util::kExitOk)
+      << LogContents(ws.log);
+  return FileBytes(ckpt);
+}
+
+TEST(ChaosTest, ProcWorkersMatchInProcessWorkersByteExactly) {
+  Workspace ws("proc_parity");
+  const std::string vec =
+      TrainAndSave(ws, "vec.agsc", {"--num-workers", "2"}, {});
+  const std::string proc =
+      TrainAndSave(ws, "proc.agsc", {"--proc-workers", "2"}, {});
+  ASSERT_FALSE(vec.empty());
+  EXPECT_EQ(vec, proc);
+}
+
+TEST(ChaosTest, KilledProcWorkerIsReplayedByteExactly) {
+  Workspace ws("proc_kill");
+  const std::string clean =
+      TrainAndSave(ws, "clean.agsc", {"--num-workers", "2"}, {});
+  // Worker 1 SIGKILLs itself on its 4th step frame, mid-round; the trainer
+  // must respawn and replay it, landing on the identical checkpoint.
+  const std::string faulty =
+      TrainAndSave(ws, "faulty.agsc", {"--proc-workers", "2"},
+                   {"AGSC_FAULT_KILL_WORKER_NTH=4",
+                    "AGSC_FAULT_WORKER_ID=1"});
+  ASSERT_FALSE(clean.empty());
+  EXPECT_EQ(clean, faulty);
+  EXPECT_NE(LogContents(ws.log).find("respawn"), std::string::npos)
+      << LogContents(ws.log);
+}
+
+TEST(ChaosTest, CorruptFrameFromProcWorkerIsReplayedByteExactly) {
+  Workspace ws("proc_corrupt");
+  const std::string clean =
+      TrainAndSave(ws, "clean.agsc", {"--num-workers", "2"}, {});
+  // Worker 0's 3rd outgoing frame has a payload byte flipped after its CRC:
+  // the trainer must reject the frame, never consume garbage, and replay.
+  const std::string faulty =
+      TrainAndSave(ws, "faulty.agsc", {"--proc-workers", "2"},
+                   {"AGSC_FAULT_CORRUPT_FRAME=3", "AGSC_FAULT_WORKER_ID=0"});
+  ASSERT_FALSE(clean.empty());
+  EXPECT_EQ(clean, faulty);
+}
+
+TEST(ChaosTest, StalledProcWorkerIsRespawnedNotFatal) {
+  Workspace ws("proc_stall");
+  const std::string clean =
+      TrainAndSave(ws, "clean.agsc", {"--num-workers", "2"}, {});
+  // A 30 s pipe stall against a 1 s step deadline. Unlike the in-process
+  // watchdog (fail-fast exit 7), a subprocess straggler is recoverable:
+  // kill, respawn, replay, finish with exit 0 and identical bytes.
+  const std::string faulty = TrainAndSave(
+      ws, "faulty.agsc",
+      {"--proc-workers", "2", "--watchdog-sec", "1"},
+      {"AGSC_FAULT_STALL_PIPE=3", "AGSC_FAULT_STALL_MS=30000",
+       "AGSC_FAULT_WORKER_ID=1"});
+  ASSERT_FALSE(clean.empty());
+  EXPECT_EQ(clean, faulty);
+}
+
+TEST(ChaosTest, MissingWorkerBinaryExitsWorkerFailed) {
+  Workspace ws("proc_missing");
+  EXPECT_EQ(RunTrain({"--iterations", "2", "--proc-workers", "1",
+                      "--worker-binary", ws.dir + "/no_such_worker"},
+                     {}, ws.log),
+            util::kExitWorkerFailed)
+      << LogContents(ws.log);
+  EXPECT_NE(LogContents(ws.log).find("worker failed"), std::string::npos)
+      << LogContents(ws.log);
+}
+
+TEST(ChaosTest, ProcAndNumWorkersAreMutuallyExclusive) {
+  const std::string log = TempPath("proc_usage.log");
+  EXPECT_EQ(RunTrain({"--proc-workers", "2", "--num-workers", "2"}, {}, log),
+            util::kExitUsage);
+  std::remove(log.c_str());
+}
+
+TEST(ChaosTest, VersionFlagPrintsBuildProvenance) {
+  const std::string log = TempPath("version.log");
+  EXPECT_EQ(RunTrain({"--version"}, {}, log), util::kExitOk);
+  const std::string out = LogContents(log);
+  EXPECT_NE(out.find("agsc_train compiler="), std::string::npos) << out;
+  EXPECT_NE(out.find("gemm-isa="), std::string::npos) << out;
+  std::remove(log.c_str());
+}
+
+TEST(ChaosTest, StatsCsvCarriesBuildHeader) {
+  Workspace ws("stats_header");
+  const std::string csv = ws.dir + "/stats.csv";
+  ASSERT_EQ(RunTrain({"--iterations", "1", "--stats-csv", csv}, {}, ws.log),
+            util::kExitOk)
+      << LogContents(ws.log);
+  const std::string contents = FileBytes(csv);
+  EXPECT_EQ(contents.rfind("# build: agsc_train compiler=", 0), 0u)
+      << contents.substr(0, 200);
+}
+
 }  // namespace
 }  // namespace agsc

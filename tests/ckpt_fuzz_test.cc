@@ -185,6 +185,129 @@ TEST(CheckpointFuzzTest, GarbageAndEmptyFiles) {
   ExpectCleanRejection(random_bytes, "random bytes, checkpoint-sized");
 }
 
+// ---------------------------------------------------------------------------
+// Multi-worker checkpoints: the "vrng" worker-stream section and the
+// supervisor word in "counters" sit at the file tail; sweep that region
+// specifically, and pin the semantic (uncorrupted) rejection paths.
+// ---------------------------------------------------------------------------
+
+/// Like FuzzFixture but trained with two rollout workers, so the encoded
+/// bytes contain a vrng section (worker RNG streams) and the counters
+/// section carries the supervisor word.
+struct VrngFuzzFixture {
+  env::ScEnv env{SmallEnvConfig(), SmallDataset(), 11};
+  core::HiMadrlTrainer trainer{env, [] {
+                                 core::TrainConfig train = SmallTrainConfig();
+                                 train.num_workers = 2;
+                                 return train;
+                               }()};
+  std::string bytes;
+
+  VrngFuzzFixture() {
+    trainer.Train();
+    const std::string path = TempPath("fuzz_vrng_source.agsc");
+    EXPECT_TRUE(trainer.SaveCheckpoint(path));
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    EXPECT_GT(bytes.size(), 64u);
+  }
+};
+
+VrngFuzzFixture& VrngFixture() {
+  static VrngFuzzFixture* fixture = new VrngFuzzFixture();
+  return *fixture;
+}
+
+/// Clean-rejection assertion against the TWO-worker trainer, so the
+/// trainer-layer check exercises the vrng restore path rather than
+/// stopping at the worker-count gate.
+void ExpectCleanRejectionWithWorkers(const std::string& corrupted,
+                                     const std::string& label) {
+  VrngFuzzFixture& fx = VrngFixture();
+  nn::Checkpoint out;
+  EXPECT_NE(nn::DecodeCheckpoint(corrupted, out), nn::CheckpointError::kOk)
+      << label;
+  const std::string path = TempPath("fuzz_vrng_case.agsc");
+  WriteFileBytes(path, corrupted);
+  const int iteration_before = fx.trainer.iteration();
+  EXPECT_FALSE(fx.trainer.LoadCheckpoint(path)) << label;
+  EXPECT_EQ(fx.trainer.iteration(), iteration_before) << label;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzzTest, VrngAndSupervisorWordArePresentWithWorkers) {
+  nn::Checkpoint ckpt;
+  ASSERT_EQ(nn::DecodeCheckpoint(VrngFixture().bytes, ckpt),
+            nn::CheckpointError::kOk);
+  // vrng layout: word 0 = worker count, then {sampling, env} states for
+  // workers 1..W-1, util::Rng::kStateWords words each.
+  const nn::CheckpointSection* vrng = ckpt.Find("vrng");
+  ASSERT_NE(vrng, nullptr);
+  ASSERT_EQ(vrng->words.size(), 1u + 2u * util::Rng::kStateWords);
+  EXPECT_EQ(vrng->words[0], 2u);
+  // counters = 5 base words + the supervisor word.
+  const nn::CheckpointSection* counters = ckpt.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->words.size(), 6u);
+}
+
+TEST(CheckpointFuzzTest, TailRegionSweepCoversWorkerStreams) {
+  const std::string& bytes = VrngFixture().bytes;
+  // The vrng and counters sections are encoded last; sweep truncations and
+  // bit flips concentrated in the final stretch of the file so the worker
+  // streams and supervisor word themselves take the damage.
+  const size_t tail_start = bytes.size() > 256 ? bytes.size() - 256 : 0;
+  util::Rng rng(0x7A11CAFEULL);
+  for (int i = 0; i < 12; ++i) {
+    const size_t len =
+        tail_start + static_cast<size_t>(
+                         rng.UniformInt(bytes.size() - tail_start));
+    ExpectCleanRejectionWithWorkers(
+        bytes.substr(0, len),
+        "tail truncate to " + std::to_string(len) + " bytes");
+  }
+  for (int i = 0; i < 16; ++i) {
+    const size_t offset =
+        tail_start + static_cast<size_t>(
+                         rng.UniformInt(bytes.size() - tail_start));
+    const int bit = static_cast<int>(rng.UniformInt(8));
+    std::string corrupted = bytes;
+    corrupted[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupted[offset]) ^ (1u << bit));
+    ExpectCleanRejectionWithWorkers(
+        corrupted, "tail flip bit " + std::to_string(bit) + " at offset " +
+                       std::to_string(offset));
+  }
+}
+
+TEST(CheckpointFuzzTest, WorkerCountMismatchIsSemanticRejection) {
+  // The pristine two-worker file decodes fine but must be refused by the
+  // single-worker trainer (and leave it untouched): a worker-count
+  // mismatch is a semantic error, not a corruption.
+  FuzzFixture& fx = Fixture();
+  nn::Checkpoint out;
+  EXPECT_EQ(nn::DecodeCheckpoint(VrngFixture().bytes, out),
+            nn::CheckpointError::kOk);
+  const std::string path = TempPath("fuzz_vrng_mismatch.agsc");
+  WriteFileBytes(path, VrngFixture().bytes);
+  const int iteration_before = fx.trainer.iteration();
+  const std::vector<nn::Tensor> params_before = ParamSnapshot(fx.trainer);
+  EXPECT_FALSE(fx.trainer.LoadCheckpoint(path));
+  EXPECT_EQ(fx.trainer.iteration(), iteration_before);
+  ExpectTensorsBitEqual(params_before, ParamSnapshot(fx.trainer));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzzTest, UncorruptedWorkerBaselineStillLoads) {
+  VrngFuzzFixture& fx = VrngFixture();
+  const std::string path = TempPath("fuzz_vrng_baseline.agsc");
+  WriteFileBytes(path, fx.bytes);
+  EXPECT_TRUE(fx.trainer.LoadCheckpoint(path));
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointFuzzTest, UncorruptedBaselineStillLoads) {
   // Sanity anchor for the sweep: the same bytes, unmodified, round-trip.
   FuzzFixture& fx = Fixture();

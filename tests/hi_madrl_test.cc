@@ -121,7 +121,9 @@ TEST(HiMadrlTest, AblationVariantsTrain) {
     HiMadrlTrainer trainer(env, config);
     const IterationStats stats = trainer.TrainIteration();
     EXPECT_TRUE(std::isfinite(stats.actor_grad_norm));
-    if (!use_eoi) EXPECT_EQ(stats.mean_reward_int, 0.0f);
+    if (!use_eoi) {
+      EXPECT_EQ(stats.mean_reward_int, 0.0f);
+    }
   }
 }
 

@@ -1,0 +1,484 @@
+// Crash-isolated subprocess sampler tests: bit-identity of --proc-workers
+// style collection with the in-process VecSampler, trainer-level checkpoint
+// byte-equality and cross-mode resume, and deterministic respawn-and-replay
+// under injected worker crashes, corrupted frames, and pipe stalls.
+//
+// Every fault test pins the SAME invariant: the merged buffer (and
+// therefore any downstream checkpoint) is bit-identical to the fault-free
+// in-process run — a respawned worker replays its shard exactly.
+
+#include <cstdlib>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hi_madrl.h"
+#include "core/proc_sampler.h"
+#include "core/rollout.h"
+#include "core/vec_sampler.h"
+#include "env/config.h"
+#include "env/sc_env.h"
+#include "map/campus.h"
+#include "util/rng.h"
+
+#ifndef AGSC_WORKER_BINARY
+#error "AGSC_WORKER_BINARY must point at the built agsc_worker binary"
+#endif
+
+namespace agsc {
+namespace {
+
+const map::Dataset& SmallDataset() {
+  static const map::Dataset* dataset =
+      new map::Dataset(map::BuildDataset(map::CampusId::kPurdue, 10));
+  return *dataset;
+}
+
+constexpr int kTimeslots = 6;
+
+env::EnvConfig SmallEnvConfig() {
+  env::EnvConfig config;
+  config.num_timeslots = kTimeslots;
+  config.num_pois = 10;
+  config.num_uavs = 1;
+  config.num_ugvs = 1;
+  return config;
+}
+
+core::ProcSampler::Options WorkerOptions() {
+  core::ProcSampler::Options options;
+  options.worker_binary = AGSC_WORKER_BINARY;
+  return options;
+}
+
+core::TrainConfig SmallTrainConfig(int episodes = 3) {
+  core::TrainConfig train;
+  train.iterations = 2;
+  train.episodes_per_iteration = episodes;
+  train.policy_epochs = 1;
+  train.lcf_epochs = 1;
+  train.minibatch = 64;
+  train.net.hidden = {16};
+  train.eoi.hidden = {12};
+  train.seed = 11;
+  train.verbose = false;
+  return train;
+}
+
+std::string TempPath(const std::string& name) {
+  // pid-scoped: gtest's TempDir is shared across concurrently running test
+  // processes (ctest -j), and fixed names collide.
+  return ::testing::TempDir() + "/pp" + std::to_string(::getpid()) + "_" +
+         name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void ExpectBuffersBitEqual(const core::MultiAgentBuffer& a,
+                           const core::MultiAgentBuffer& b) {
+  ASSERT_EQ(a.agents.size(), b.agents.size());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.next_states, b.next_states);
+  EXPECT_EQ(a.reward_all, b.reward_all);
+  EXPECT_EQ(a.done, b.done);
+  for (size_t k = 0; k < a.agents.size(); ++k) {
+    const core::AgentRollout& x = a.agents[k];
+    const core::AgentRollout& y = b.agents[k];
+    ASSERT_EQ(x.size(), y.size()) << "agent " << k;
+    EXPECT_EQ(x.obs, y.obs) << "agent " << k;
+    EXPECT_EQ(x.next_obs, y.next_obs) << "agent " << k;
+    EXPECT_EQ(x.action_dir, y.action_dir) << "agent " << k;
+    EXPECT_EQ(x.action_speed, y.action_speed) << "agent " << k;
+    EXPECT_EQ(x.logp_old, y.logp_old) << "agent " << k;
+    EXPECT_EQ(x.reward_ext, y.reward_ext) << "agent " << k;
+    EXPECT_EQ(x.he_neighbors, y.he_neighbors) << "agent " << k;
+    EXPECT_EQ(x.ho_neighbors, y.ho_neighbors) << "agent " << k;
+    EXPECT_EQ(x.done, y.done) << "agent " << k;
+  }
+}
+
+/// Same policy-free BatchActFn as vec_sampler_test: row i's action is a
+/// pure function of its private stream, drawn in row order.
+void DummyAct(int /*k*/, const std::vector<const std::vector<float>*>& rows,
+              const std::vector<util::Rng*>& rngs,
+              std::vector<std::array<float, 2>>& actions_out,
+              std::vector<float>& logps_out) {
+  ASSERT_EQ(rows.size(), rngs.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    actions_out[i] = {static_cast<float>(rngs[i]->Gaussian()),
+                      static_cast<float>(rngs[i]->Gaussian())};
+    logps_out[i] = static_cast<float>(i);
+  }
+}
+
+/// Collects with the in-process VecSampler — the reference result.
+core::MultiAgentBuffer VecCollect(int workers, int episodes,
+                                  std::vector<env::Metrics>* metrics_out) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+  util::Rng rng(11);
+  core::VecSampler sampler(env, rng, workers, 11);
+  core::MultiAgentBuffer buffer(env.num_agents());
+  std::vector<env::Metrics> metrics;
+  sampler.Collect(episodes, DummyAct, buffer, metrics);
+  if (metrics_out) *metrics_out = std::move(metrics);
+  return buffer;
+}
+
+/// Collects through real agsc_worker subprocesses.
+core::MultiAgentBuffer ProcCollect(int workers, int episodes,
+                                   std::vector<env::Metrics>* metrics_out,
+                                   int* respawns_out = nullptr) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+  util::Rng rng(11);
+  core::ProcSampler sampler(env, rng, workers, 11, WorkerOptions());
+  core::MultiAgentBuffer buffer(env.num_agents());
+  std::vector<env::Metrics> metrics;
+  sampler.Collect(episodes, DummyAct, buffer, metrics);
+  if (metrics_out) *metrics_out = std::move(metrics);
+  if (respawns_out) *respawns_out = sampler.respawn_count();
+  return buffer;
+}
+
+void ExpectMetricsBitEqual(const std::vector<env::Metrics>& a,
+                           const std::vector<env::Metrics>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToVector(), b[i].ToVector()) << "episode " << i;
+  }
+}
+
+/// Scoped AGSC_FAULT_* environment: sets the given variables for the
+/// workers spawned inside the scope, and clears ALL worker-fault variables
+/// on destruction so later tests (and the test process itself) start clean.
+class ScopedWorkerFaultEnv {
+ public:
+  explicit ScopedWorkerFaultEnv(
+      const std::vector<std::pair<std::string, std::string>>& vars) {
+    for (const auto& [key, value] : vars) {
+      ::setenv(key.c_str(), value.c_str(), 1);
+    }
+  }
+  ~ScopedWorkerFaultEnv() {
+    for (const char* key :
+         {"AGSC_FAULT_KILL_WORKER_NTH", "AGSC_FAULT_CORRUPT_FRAME",
+          "AGSC_FAULT_STALL_PIPE", "AGSC_FAULT_STALL_MS",
+          "AGSC_FAULT_WORKER_ID"}) {
+      ::unsetenv(key);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Construction and unrecoverable failures.
+// ---------------------------------------------------------------------------
+
+TEST(ProcSamplerTest, RejectsBadConstruction) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+  util::Rng rng(11);
+  EXPECT_THROW(core::ProcSampler(env, rng, 0, 11, WorkerOptions()),
+               std::invalid_argument);
+  core::ProcSampler::Options no_binary;
+  EXPECT_THROW(core::ProcSampler(env, rng, 1, 11, no_binary),
+               std::invalid_argument);
+}
+
+TEST(ProcSamplerTest, MissingWorkerBinaryThrowsProcWorkerError) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+  util::Rng rng(11);
+  core::ProcSampler::Options options = WorkerOptions();
+  options.worker_binary = TempPath("no_such_worker_binary");
+  // Tight budget/backoff: the spawn retry loop must exhaust quickly.
+  options.respawn_backoff.max_attempts = 2;
+  options.respawn_backoff.initial_backoff_ms = 1;
+  options.respawn_backoff.max_backoff_ms = 2;
+  core::ProcSampler sampler(env, rng, 1, 11, std::move(options));
+  core::MultiAgentBuffer buffer(env.num_agents());
+  std::vector<env::Metrics> metrics;
+  EXPECT_THROW(sampler.Collect(1, DummyAct, buffer, metrics),
+               core::ProcWorkerError);
+}
+
+TEST(ProcSamplerTest, NotAWorkerProtocolBinaryThrowsProcWorkerError) {
+  // /bin/true exists and exits immediately: the handshake read hits EOF.
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+  util::Rng rng(11);
+  core::ProcSampler::Options options = WorkerOptions();
+  options.worker_binary = "/bin/true";
+  options.respawn_backoff.max_attempts = 2;
+  options.respawn_backoff.initial_backoff_ms = 1;
+  options.respawn_backoff.max_backoff_ms = 2;
+  options.max_respawns = 1;
+  core::ProcSampler sampler(env, rng, 1, 11, std::move(options));
+  core::MultiAgentBuffer buffer(env.num_agents());
+  std::vector<env::Metrics> metrics;
+  EXPECT_THROW(sampler.Collect(1, DummyAct, buffer, metrics),
+               core::ProcWorkerError);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity with the in-process sampler.
+// ---------------------------------------------------------------------------
+
+TEST(ProcSamplerTest, SingleWorkerMatchesVecSamplerBitExactly) {
+  std::vector<env::Metrics> vec_metrics, proc_metrics;
+  const core::MultiAgentBuffer vec = VecCollect(1, 3, &vec_metrics);
+  const core::MultiAgentBuffer proc = ProcCollect(1, 3, &proc_metrics);
+  ExpectBuffersBitEqual(vec, proc);
+  ExpectMetricsBitEqual(vec_metrics, proc_metrics);
+}
+
+TEST(ProcSamplerTest, MultiWorkerMatchesVecSamplerBitExactly) {
+  for (const int workers : {2, 3}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    std::vector<env::Metrics> vec_metrics, proc_metrics;
+    const core::MultiAgentBuffer vec = VecCollect(workers, 5, &vec_metrics);
+    const core::MultiAgentBuffer proc =
+        ProcCollect(workers, 5, &proc_metrics);
+    ExpectBuffersBitEqual(vec, proc);
+    ExpectMetricsBitEqual(vec_metrics, proc_metrics);
+  }
+}
+
+TEST(ProcSamplerTest, MoreWorkersThanEpisodesStillMatches) {
+  std::vector<env::Metrics> vec_metrics, proc_metrics;
+  const core::MultiAgentBuffer vec = VecCollect(4, 2, &vec_metrics);
+  const core::MultiAgentBuffer proc = ProcCollect(4, 2, &proc_metrics);
+  ExpectBuffersBitEqual(vec, proc);
+  ExpectMetricsBitEqual(vec_metrics, proc_metrics);
+}
+
+TEST(ProcSamplerTest, PrimaryRngStreamsAdvanceIdentically) {
+  // After collection the primary env/sampling streams (worker 0 aliases
+  // them in both samplers) must sit at the same state — this is what makes
+  // checkpoints and oracle checks mode-independent.
+  env::ScEnv vec_env(SmallEnvConfig(), SmallDataset(), 11);
+  util::Rng vec_rng(11);
+  {
+    core::VecSampler sampler(vec_env, vec_rng, 2, 11);
+    core::MultiAgentBuffer buffer(vec_env.num_agents());
+    std::vector<env::Metrics> metrics;
+    sampler.Collect(4, DummyAct, buffer, metrics);
+  }
+  env::ScEnv proc_env(SmallEnvConfig(), SmallDataset(), 11);
+  util::Rng proc_rng(11);
+  {
+    core::ProcSampler sampler(proc_env, proc_rng, 2, 11, WorkerOptions());
+    core::MultiAgentBuffer buffer(proc_env.num_agents());
+    std::vector<env::Metrics> metrics;
+    sampler.Collect(4, DummyAct, buffer, metrics);
+    // The split streams (checkpoint "vrng" payload) must also agree.
+    env::ScEnv ref_env(SmallEnvConfig(), SmallDataset(), 11);
+    util::Rng ref_rng(11);
+    core::VecSampler ref(ref_env, ref_rng, 2, 11);
+    core::MultiAgentBuffer ref_buffer(ref_env.num_agents());
+    std::vector<env::Metrics> ref_metrics;
+    ref.Collect(4, DummyAct, ref_buffer, ref_metrics);
+    const std::vector<util::Rng*> proc_streams = sampler.SplitRngs();
+    const std::vector<util::Rng*> ref_streams = ref.SplitRngs();
+    ASSERT_EQ(proc_streams.size(), ref_streams.size());
+    for (size_t i = 0; i < proc_streams.size(); ++i) {
+      EXPECT_EQ(proc_streams[i]->SaveState(), ref_streams[i]->SaveState())
+          << "stream " << i;
+    }
+  }
+  EXPECT_EQ(vec_rng.SaveState(), proc_rng.SaveState());
+  EXPECT_EQ(vec_env.rng().SaveState(), proc_env.rng().SaveState());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: every fault is absorbed by respawn-and-replay and the
+// result stays bit-identical to the fault-free reference.
+// ---------------------------------------------------------------------------
+
+TEST(ProcSamplerFaultTest, WorkerKilledMidEpisodeIsReplayedBitExactly) {
+  const core::MultiAgentBuffer reference = VecCollect(2, 4, nullptr);
+  int respawns = 0;
+  core::MultiAgentBuffer faulty(2);  // 1 UAV + 1 UGV.
+  {
+    // Worker 1 SIGKILLs itself on its 3rd step frame of incarnation 0.
+    ScopedWorkerFaultEnv env_guard({{"AGSC_FAULT_KILL_WORKER_NTH", "3"},
+                                    {"AGSC_FAULT_WORKER_ID", "1"}});
+    faulty = ProcCollect(2, 4, nullptr, &respawns);
+  }
+  EXPECT_GE(respawns, 1);
+  ExpectBuffersBitEqual(reference, faulty);
+}
+
+TEST(ProcSamplerFaultTest, CorruptFrameIsDetectedAndReplayedBitExactly) {
+  const core::MultiAgentBuffer reference = VecCollect(2, 4, nullptr);
+  int respawns = 0;
+  core::MultiAgentBuffer faulty(2);  // 1 UAV + 1 UGV.
+  {
+    // Worker 0's 2nd outgoing result frame has a payload byte flipped after
+    // its CRC was computed — the trainer must detect the mismatch, never
+    // consume the frame, and replay the shard.
+    ScopedWorkerFaultEnv env_guard({{"AGSC_FAULT_CORRUPT_FRAME", "2"},
+                                    {"AGSC_FAULT_WORKER_ID", "0"}});
+    faulty = ProcCollect(2, 4, nullptr, &respawns);
+  }
+  EXPECT_GE(respawns, 1);
+  ExpectBuffersBitEqual(reference, faulty);
+}
+
+TEST(ProcSamplerFaultTest, StalledPipeIsKilledAndReplayedBitExactly) {
+  const core::MultiAgentBuffer reference = VecCollect(2, 3, nullptr);
+  int respawns = 0;
+  core::MultiAgentBuffer faulty(2);  // 1 UAV + 1 UGV.
+  {
+    // Worker 1 sleeps 30s before its 2nd result — far past the 1s step
+    // deadline, so the trainer must kill and replay it.
+    ScopedWorkerFaultEnv env_guard({{"AGSC_FAULT_STALL_PIPE", "2"},
+                                    {"AGSC_FAULT_STALL_MS", "30000"},
+                                    {"AGSC_FAULT_WORKER_ID", "1"}});
+    env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+    util::Rng rng(11);
+    core::ProcSampler::Options options = WorkerOptions();
+    options.step_deadline_ms = 1000;
+    core::ProcSampler sampler(env, rng, 2, 11, std::move(options));
+    faulty = core::MultiAgentBuffer(env.num_agents());
+    std::vector<env::Metrics> metrics;
+    sampler.Collect(3, DummyAct, faulty, metrics);
+    respawns = sampler.respawn_count();
+  }
+  EXPECT_GE(respawns, 1);
+  ExpectBuffersBitEqual(reference, faulty);
+}
+
+// ---------------------------------------------------------------------------
+// Trainer-level: checkpoints and cross-mode resume.
+// ---------------------------------------------------------------------------
+
+core::TrainConfig ProcTrainConfig(int workers, int episodes = 3) {
+  core::TrainConfig train = SmallTrainConfig(episodes);
+  train.proc_workers = workers;
+  train.worker_binary = AGSC_WORKER_BINARY;
+  return train;
+}
+
+core::TrainConfig VecTrainConfig(int workers, int episodes = 3) {
+  core::TrainConfig train = SmallTrainConfig(episodes);
+  train.num_workers = workers;
+  return train;
+}
+
+TEST(ProcTrainerTest, CheckpointBytesMatchInProcessTrainer) {
+  auto run = [](const core::TrainConfig& train, const std::string& name) {
+    env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+    core::HiMadrlTrainer trainer(env, train);
+    trainer.TrainTo(2);
+    const std::string path = TempPath(name);
+    EXPECT_TRUE(trainer.SaveCheckpoint(path));
+    std::string bytes = ReadFileBytes(path);
+    std::remove(path.c_str());
+    return bytes;
+  };
+  for (const int workers : {1, 2}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const std::string vec_bytes =
+        run(VecTrainConfig(workers), "xvec.agsc");
+    const std::string proc_bytes =
+        run(ProcTrainConfig(workers), "xproc.agsc");
+    ASSERT_FALSE(vec_bytes.empty());
+    EXPECT_EQ(vec_bytes, proc_bytes);
+  }
+}
+
+TEST(ProcTrainerTest, CrossModeResumeIsBitExact) {
+  // Full fault-free in-process run as reference.
+  env::ScEnv env_full(SmallEnvConfig(), SmallDataset(), 11);
+  core::HiMadrlTrainer full(env_full, VecTrainConfig(2));
+  full.TrainTo(4);
+  const std::string full_path = TempPath("xfull.agsc");
+  ASSERT_TRUE(full.SaveCheckpoint(full_path));
+
+  // First half in subprocess mode, second half resumed in-process.
+  const std::string mid_path = TempPath("xmid.agsc");
+  {
+    env::ScEnv env_a(SmallEnvConfig(), SmallDataset(), 11);
+    core::HiMadrlTrainer first_half(env_a, ProcTrainConfig(2));
+    first_half.TrainTo(2);
+    ASSERT_TRUE(first_half.SaveCheckpoint(mid_path));
+  }
+  env::ScEnv env_b(SmallEnvConfig(), SmallDataset(), 11);
+  core::HiMadrlTrainer second_half(env_b, VecTrainConfig(2));
+  ASSERT_TRUE(second_half.LoadCheckpoint(mid_path));
+  EXPECT_EQ(second_half.iteration(), 2);
+  second_half.TrainTo(4);
+  const std::string resumed_path = TempPath("xresumed.agsc");
+  ASSERT_TRUE(second_half.SaveCheckpoint(resumed_path));
+
+  EXPECT_EQ(ReadFileBytes(full_path), ReadFileBytes(resumed_path));
+  std::remove(full_path.c_str());
+  std::remove(mid_path.c_str());
+  std::remove(resumed_path.c_str());
+}
+
+TEST(ProcTrainerTest, WorkerCountMismatchOnLoadIsRejected) {
+  const std::string w2_path = TempPath("xw2.agsc");
+  {
+    env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+    core::HiMadrlTrainer trainer(env, ProcTrainConfig(2));
+    trainer.TrainIteration();
+    ASSERT_TRUE(trainer.SaveCheckpoint(w2_path));
+  }
+  // Subprocess-mode W=2 file into in-process W=1 and W=3 trainers: the vrng
+  // worker count guards the load in both modes.
+  for (const int workers : {1, 3}) {
+    env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+    core::HiMadrlTrainer trainer(env, VecTrainConfig(workers));
+    EXPECT_FALSE(trainer.LoadCheckpoint(w2_path)) << "workers=" << workers;
+  }
+  // Matching count loads in either mode. The proc trainer spawns lazily, so
+  // the load needs no worker processes at all.
+  {
+    env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+    core::HiMadrlTrainer trainer(env, ProcTrainConfig(2));
+    EXPECT_TRUE(trainer.LoadCheckpoint(w2_path));
+  }
+  {
+    env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+    core::HiMadrlTrainer trainer(env, VecTrainConfig(2));
+    EXPECT_TRUE(trainer.LoadCheckpoint(w2_path));
+  }
+  std::remove(w2_path.c_str());
+}
+
+TEST(ProcTrainerTest, OracleFallbackPropagatesToWorkers) {
+  // DisableSpatialIndex on the sampler is sticky and bit-identical by the
+  // env-naive oracle contract: collection after the downgrade must match an
+  // in-process sampler downgraded the same way.
+  env::ScEnv vec_env(SmallEnvConfig(), SmallDataset(), 11);
+  util::Rng vec_rng(11);
+  core::VecSampler vec(vec_env, vec_rng, 2, 11);
+  vec_env.DisableSpatialIndex();
+  vec.worker_env(1).DisableSpatialIndex();
+  core::MultiAgentBuffer vec_buffer(vec_env.num_agents());
+  std::vector<env::Metrics> vec_metrics;
+  vec.Collect(4, DummyAct, vec_buffer, vec_metrics);
+
+  env::ScEnv proc_env(SmallEnvConfig(), SmallDataset(), 11);
+  util::Rng proc_rng(11);
+  core::ProcSampler proc(proc_env, proc_rng, 2, 11, WorkerOptions());
+  proc_env.DisableSpatialIndex();
+  proc.DisableSpatialIndex();
+  core::MultiAgentBuffer proc_buffer(proc_env.num_agents());
+  std::vector<env::Metrics> proc_metrics;
+  proc.Collect(4, DummyAct, proc_buffer, proc_metrics);
+
+  ExpectBuffersBitEqual(vec_buffer, proc_buffer);
+}
+
+}  // namespace
+}  // namespace agsc

@@ -234,17 +234,27 @@ TEST(ScEnvTest, EventsReferenceValidAgentsAndPois) {
     for (const CollectionEvent& ev : r.events) {
       EXPECT_GE(ev.subchannel, 0);
       EXPECT_LT(ev.subchannel, env.config().num_subchannels);
-      if (ev.uav >= 0) EXPECT_TRUE(env.IsUav(ev.uav));
-      if (ev.ugv >= 0) EXPECT_FALSE(env.IsUav(ev.ugv));
-      if (ev.poi_uav >= 0) EXPECT_LT(ev.poi_uav, 100);
+      if (ev.uav >= 0) {
+        EXPECT_TRUE(env.IsUav(ev.uav));
+      }
+      if (ev.ugv >= 0) {
+        EXPECT_FALSE(env.IsUav(ev.ugv));
+      }
+      if (ev.poi_uav >= 0) {
+        EXPECT_LT(ev.poi_uav, 100);
+      }
       if (ev.poi_ugv >= 0) {
         EXPECT_LT(ev.poi_ugv, 100);
         EXPECT_NE(ev.poi_ugv, ev.poi_uav);  // i' != i (Section III-B).
       }
       EXPECT_GE(ev.collected_uav_gbit, 0.0);
       EXPECT_GE(ev.collected_ugv_gbit, 0.0);
-      if (ev.loss_uav) EXPECT_EQ(ev.collected_uav_gbit, 0.0);
-      if (ev.loss_ugv) EXPECT_EQ(ev.collected_ugv_gbit, 0.0);
+      if (ev.loss_uav) {
+        EXPECT_EQ(ev.collected_uav_gbit, 0.0);
+      }
+      if (ev.loss_ugv) {
+        EXPECT_EQ(ev.collected_ugv_gbit, 0.0);
+      }
     }
     if (r.done) break;
   }

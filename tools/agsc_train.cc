@@ -6,13 +6,14 @@
 //              [--height M] [--threshold DB] [--medium noma|tdma|ofdma]
 //              [--no-eoi] [--no-copo] [--plain-copo] [--mappo]
 //              [--seed S] [--eval N] [--num-workers W]
+//              [--proc-workers W] [--worker-binary PATH]
 //              [--nn-threads T] [--nn-naive] [--env-naive]
 //              [--save FILE] [--load FILE]
 //              [--checkpoint-dir DIR] [--checkpoint-every N]
 //              [--checkpoint-keep K] [--resume]
 //              [--stats-csv FILE] [--watchdog-sec S]
 //              [--oracle-check-every N] [--max-backoffs N]
-//              [--render] [--quiet]
+//              [--render] [--quiet] [--version]
 //
 // Trains h/i-MADRL (or the selected variant), evaluates it, prints the five
 // paper metrics and optionally saves/loads a checkpoint. With
@@ -23,6 +24,12 @@
 // per-worker RNG streams: results are bit-identical for a given
 // (seed, W) pair, and checkpoints capture every worker stream so --resume
 // stays bit-exact.
+// --proc-workers W moves those replicas into W crash-isolated agsc_worker
+// subprocesses (mutually exclusive with --num-workers): a worker that
+// crashes, hangs, or corrupts its pipe is killed, respawned with bounded
+// backoff, and its episode shard is replayed deterministically, so the
+// produced rollouts — and checkpoints — stay bit-identical to
+// --num-workers W for the same seed. Checkpoints resume across modes.
 // --nn-threads T parallelizes the large GEMMs of the optimize phase over T
 // workers and --nn-naive falls back to the reference kernels; both are
 // bit-identical to the default blocked single-threaded kernels, so they
@@ -50,7 +57,7 @@
 //
 // Exit codes are stable (see util/exit_codes.h): 0 ok, 2 usage, 3 invalid
 // config, 4 I/O error, 5 resume mismatch, 6 diverged, 7 watchdog timeout,
-// 8 clean signal stop, 9 second-signal abort.
+// 8 clean signal stop, 9 second-signal abort, 10 worker failed.
 
 #include <cstdlib>
 #include <filesystem>
@@ -60,6 +67,8 @@
 
 #include "core/hi_madrl.h"
 #include "env/render.h"
+#include "nn/tensor.h"
+#include "util/build_info.h"
 #include "util/exit_codes.h"
 #include "util/parse.h"
 #include "util/retry.h"
@@ -87,6 +96,9 @@ struct Args {
   uint64_t seed = 1;
   int eval_episodes = 10;
   int num_workers = 1;
+  bool num_workers_set = false;
+  int proc_workers = 0;
+  std::string worker_binary;
   int nn_threads = 0;
   bool nn_naive = false;
   bool env_naive = false;
@@ -103,6 +115,7 @@ struct Args {
   bool render = false;
   bool quiet = false;
   bool help = false;
+  bool version = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -196,6 +209,15 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (!next_int("--num-workers", 1, 1024, &args.num_workers)) {
         return false;
       }
+      args.num_workers_set = true;
+    } else if (flag == "--proc-workers") {
+      if (!next_int("--proc-workers", 1, 1024, &args.proc_workers)) {
+        return false;
+      }
+    } else if (flag == "--worker-binary") {
+      const char* v = next("--worker-binary");
+      if (!v) return false;
+      args.worker_binary = v;
     } else if (flag == "--nn-threads") {
       if (!next_int("--nn-threads", 0, 1024, &args.nn_threads)) return false;
     } else if (flag == "--nn-naive") {
@@ -254,6 +276,9 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.render = true;
     } else if (flag == "--quiet") {
       args.quiet = true;
+    } else if (flag == "--version" || flag == "--build-info") {
+      args.version = true;
+      return true;
     } else if (flag == "--help" || flag == "-h") {
       args.help = true;
       return false;
@@ -266,6 +291,12 @@ bool ParseArgs(int argc, char** argv, Args& args) {
     std::cerr << "--resume requires --checkpoint-dir\n";
     return false;
   }
+  if (args.proc_workers > 0 && args.num_workers_set) {
+    // Both select the replica count; a run is either in-process or
+    // subprocess mode, never a mix.
+    std::cerr << "--proc-workers and --num-workers are mutually exclusive\n";
+    return false;
+  }
   return true;
 }
 
@@ -275,16 +306,18 @@ void PrintUsage(std::ostream& out) {
          "  [--subchannels Z] [--height M] [--threshold DB]\n"
          "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
          "  [--plain-copo] [--mappo] [--seed S] [--eval N]\n"
-         "  [--num-workers W] [--nn-threads T] [--nn-naive]\n"
+         "  [--num-workers W] [--proc-workers W] [--worker-binary PATH]\n"
+         "  [--nn-threads T] [--nn-naive]\n"
          "  [--env-naive]\n"
          "  [--save FILE] [--load FILE]\n"
          "  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
          "  [--checkpoint-keep K] [--resume]\n"
          "  [--stats-csv FILE] [--watchdog-sec S]\n"
          "  [--oracle-check-every N] [--max-backoffs N]\n"
-         "  [--render] [--quiet]\n"
+         "  [--render] [--quiet] [--version]\n"
          "exit codes: 0 ok, 2 usage, 3 config, 4 io, 5 resume-mismatch,\n"
-         "  6 diverged, 7 watchdog-timeout, 8 signal-stop, 9 abort\n";
+         "  6 diverged, 7 watchdog-timeout, 8 signal-stop, 9 abort,\n"
+         "  10 worker-failed\n";
 }
 
 /// Serializes the trainer's full stats history and writes it atomically
@@ -294,6 +327,12 @@ bool WriteStatsCsv(const agsc::core::HiMadrlTrainer& trainer,
                    const std::string& path,
                    const agsc::util::RetryPolicy& policy) {
   std::ostringstream csv;
+  // Provenance header: which build produced these numbers. Comment line so
+  // the CSV stays loadable with `comment='#'` in pandas/R.
+  csv << "# build: agsc_train "
+      << agsc::util::BuildInfoString(std::string("gemm-isa=") +
+                                     agsc::nn::ActiveGemmIsaName())
+      << "\n";
   csv << "iteration,psi,sigma,xi,kappa,lambda,mean_reward_ext,"
          "mean_reward_int,eoi_loss,actor_grad_norm,value_loss,"
          "total_env_steps,anomalies,lr_backoff,env_oracle_fallback,"
@@ -336,6 +375,13 @@ int main(int argc, char** argv) {
     PrintUsage(args.help ? std::cout : std::cerr);
     return args.help ? util::kExitOk : util::kExitUsage;
   }
+  if (args.version) {
+    std::cout << "agsc_train "
+              << util::BuildInfoString(std::string("gemm-isa=") +
+                                       nn::ActiveGemmIsaName())
+              << "\n";
+    return util::kExitOk;
+  }
 
   const map::CampusId campus = args.campus == "ncsu"
                                    ? map::CampusId::kNcsu
@@ -374,6 +420,20 @@ int main(int argc, char** argv) {
   if (args.mappo) train.base = core::BaseAlgo::kMappo;
   train.seed = args.seed;
   train.num_workers = args.num_workers;
+  train.proc_workers = args.proc_workers;
+  if (args.proc_workers > 0) {
+    train.worker_binary = args.worker_binary;
+    if (train.worker_binary.empty()) {
+      // Default: the agsc_worker binary built next to this trainer.
+      std::error_code ec;
+      std::filesystem::path self =
+          std::filesystem::canonical(argv[0], ec);
+      train.worker_binary =
+          ((ec ? std::filesystem::path(argv[0]) : self).parent_path() /
+           "agsc_worker")
+              .string();
+    }
+  }
   train.nn_threads = args.nn_threads;
   train.nn_naive_kernels = args.nn_naive;
   train.verbose = !args.quiet;
@@ -435,6 +495,15 @@ int main(int argc, char** argv) {
       std::cerr << "training diverged: " << e.what()
                 << " (last good checkpoint flushed)\n";
       return util::kExitDiverged;
+    } catch (const core::ProcWorkerError& e) {
+      // The worker fleet could not be kept alive (respawn budget exhausted
+      // or spawn/handshake failure). The trainer flushed a final checkpoint
+      // before rethrowing; persist stats and hand the supervisor a distinct
+      // code so it can alert on infrastructure vs. training failures.
+      flush_stats();
+      std::cerr << "worker failed: " << e.what()
+                << " (checkpoint flushed; resume with --resume)\n";
+      return util::kExitWorkerFailed;
     } catch (const util::WatchdogTimeoutError& e) {
       // Fail fast: the hung worker may still be running, so skip all
       // destructors (a pool join would block on the stuck task) and leave
@@ -453,8 +522,16 @@ int main(int argc, char** argv) {
   }
   if (!flush_stats()) return util::kExitIoError;
 
-  const core::EvalResult result =
-      core::Evaluate(env, trainer, args.eval_episodes, args.seed + 99);
+  core::EvalResult result;
+  try {
+    result = core::Evaluate(env, trainer, args.eval_episodes, args.seed + 99);
+  } catch (const util::InterruptedError& e) {
+    // Training already finished and was saved/flushed above; only the final
+    // evaluation was cut short.
+    std::cerr << "stopped by signal " << util::ShutdownSignal() << ": "
+              << e.what() << "\n";
+    return util::kExitSignalStop;
+  }
   util::Table table({"metric", "value"});
   const char* names[] = {"data collection ratio (psi)",
                          "data loss ratio (sigma)",

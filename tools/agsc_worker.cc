@@ -1,0 +1,292 @@
+// agsc_worker: one crash-isolated rollout worker subprocess.
+//
+// Spawned by the trainer's ProcSampler (`agsc_train --proc-workers N`), one
+// process per worker shard. The worker owns a single environment replica
+// rebuilt deterministically from the kMsgInit frame and steps it under the
+// trainer's direction; the trainer keeps the policy, the sampling RNG
+// streams, and the rollout buffers, so a worker crash loses nothing that
+// cannot be replayed. Protocol: core/worker_protocol.h over stdin/stdout
+// (framed, checksummed, sequence-numbered); stderr carries diagnostics.
+//
+// Lifecycle contract: the worker never outlives its pipe. EOF on stdin —
+// the trainer died or dropped this incarnation — is a clean exit; a
+// protocol violation is a loud nonzero exit the trainer observes as EOF and
+// answers with a respawn. SIGINT/SIGTERM are ignored: a terminal ^C must
+// reach only the trainer, which winds the fleet down cooperatively
+// (kMsgShutdown / pipe close), and SIGKILL remains the trainer's escalation
+// path for a hung worker.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/worker_protocol.h"
+#include "env/sc_env.h"
+#include "map/trace.h"
+#include "nn/tensor.h"
+#include "util/build_info.h"
+#include "util/env_flags.h"
+#include "util/exit_codes.h"
+#include "util/fault_inject.h"
+#include "util/ipc.h"
+#include "util/logging.h"
+#include "util/parse.h"
+
+namespace {
+
+using agsc::core::DecodeEpisodePrefix;
+using agsc::core::DecodeWorkerActions;
+using agsc::core::DecodeWorkerInit;
+using agsc::core::EncodeWorkerHello;
+using agsc::core::EncodeWorkerStepResult;
+using agsc::core::EpisodePrefix;
+using agsc::core::WorkerActions;
+using agsc::core::WorkerHello;
+using agsc::core::WorkerInit;
+using agsc::core::WorkerStepResult;
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: agsc_worker [--worker-id N] [--incarnation N]\n"
+               "       agsc_worker --version | --build-info\n"
+               "Rollout worker subprocess for `agsc_train --proc-workers N`;\n"
+               "speaks the framed worker protocol on stdin/stdout and is not\n"
+               "meant to be run by hand.\n");
+}
+
+/// Packages one Reset/Step outcome (plus the post-step RNG position and,
+/// when the episode ended, its metrics) for the wire.
+WorkerStepResult BuildResult(agsc::env::ScEnv& env,
+                             const agsc::env::StepResult& step,
+                             bool is_reset) {
+  WorkerStepResult result;
+  result.is_reset = is_reset;
+  result.done = step.done;
+  result.observations = step.observations;
+  result.state = step.state;
+  if (!is_reset) {
+    result.rewards = step.rewards;
+    const int num_agents = env.num_agents();
+    result.he_neighbors.resize(static_cast<size_t>(num_agents));
+    result.ho_neighbors.resize(static_cast<size_t>(num_agents));
+    for (int k = 0; k < num_agents; ++k) {
+      const std::vector<int> he = env.HeterogeneousNeighbors(k);
+      const std::vector<int> ho = env.HomogeneousNeighbors(k);
+      result.he_neighbors[static_cast<size_t>(k)].assign(he.begin(), he.end());
+      result.ho_neighbors[static_cast<size_t>(k)].assign(ho.begin(), ho.end());
+    }
+    if (step.done) result.metrics = env.EpisodeMetrics();
+  }
+  result.rng_state = env.rng().SaveState();
+  return result;
+}
+
+void ToUvActions(const WorkerActions& actions,
+                 std::vector<agsc::env::UvAction>& out) {
+  out.resize(actions.per_agent.size());
+  for (size_t k = 0; k < actions.per_agent.size(); ++k) {
+    out[k] = {actions.per_agent[k][0], actions.per_agent[k][1]};
+  }
+}
+
+int WorkerMain(int worker_id, int incarnation) {
+  // The protocol owns stdin/stdout; only the trainer may end this process
+  // (pipe close or SIGKILL), so terminal signals are ignored and a dead
+  // peer must surface as EPIPE/EOF rather than a signal death.
+  ::signal(SIGINT, SIG_IGN);
+  ::signal(SIGTERM, SIG_IGN);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // Worker-fault scoping: the injected crash/corrupt/stall campaigns target
+  // one (worker id, incarnation 0) pair, so a respawned incarnation
+  // replaying the same shard does not immediately re-trip the same fault.
+  agsc::util::FaultInjector& faults = agsc::util::FaultInjector::Instance();
+  const int fault_target =
+      agsc::util::GetEnvOr("AGSC_FAULT_WORKER_ID", -1);
+  if (incarnation != 0 ||
+      (fault_target >= 0 && fault_target != worker_id)) {
+    faults.DisarmWorkerFaults();
+  }
+
+  agsc::util::FrameReader reader(STDIN_FILENO);
+  agsc::util::FrameWriter writer(STDOUT_FILENO);
+  uint64_t out_seq = 0;
+
+  const auto send_result = [&](const WorkerStepResult& result) {
+    const agsc::util::FaultInjector::FrameFault fault =
+        faults.NextFrameFault();
+    if (fault.stall_ms > 0) {
+      AGSC_LOG(kWarning) << "worker " << worker_id
+                         << ": injected pipe stall of " << fault.stall_ms
+                         << " ms";
+      ::usleep(static_cast<useconds_t>(fault.stall_ms) * 1000);
+    }
+    if (fault.corrupt_byte >= 0) {
+      AGSC_LOG(kWarning) << "worker " << worker_id
+                         << ": injected frame corruption";
+    }
+    return writer.Write(agsc::core::kMsgStepResult, out_seq++,
+                        EncodeWorkerStepResult(result), fault.corrupt_byte);
+  };
+
+  // --- Handshake: kMsgInit -> rebuild the env -> kMsgHello. ---
+  agsc::util::Frame frame;
+  agsc::util::IpcStatus status = reader.Read(frame, /*timeout_ms=*/0);
+  if (status == agsc::util::IpcStatus::kEof) return agsc::util::kExitOk;
+  if (status != agsc::util::IpcStatus::kOk ||
+      frame.type != agsc::core::kMsgInit) {
+    AGSC_LOG(kError) << "worker " << worker_id << ": bad init frame ("
+                     << agsc::util::IpcStatusName(status) << ")";
+    return agsc::util::kExitIoError;
+  }
+  WorkerInit init;
+  if (!DecodeWorkerInit(frame.payload, init)) {
+    AGSC_LOG(kError) << "worker " << worker_id
+                     << ": init payload rejected (protocol/config mismatch)";
+    return agsc::util::kExitConfig;
+  }
+
+  std::unique_ptr<agsc::env::ScEnv> env;
+  try {
+    // The ctor seed is irrelevant: every episode prefix loads the exact RNG
+    // state this shard's stream is at, so the env is reconstructible from
+    // (campus, config) alone.
+    env = std::make_unique<agsc::env::ScEnv>(
+        init.config, agsc::map::BuildDataset(init.campus, init.config.num_pois),
+        /*seed=*/0);
+  } catch (const std::exception& e) {
+    AGSC_LOG(kError) << "worker " << worker_id
+                     << ": env rebuild failed: " << e.what();
+    return agsc::util::kExitConfig;
+  }
+
+  WorkerHello hello;
+  hello.worker_id = worker_id;
+  hello.num_agents = env->num_agents();
+  hello.obs_dim = env->obs_dim();
+  hello.state_dim = env->state_dim();
+  if (!writer.Write(agsc::core::kMsgHello, out_seq++,
+                    EncodeWorkerHello(hello))) {
+    return agsc::util::kExitIoError;
+  }
+
+  // --- Steady state: episode prefixes and steps until shutdown/EOF. ---
+  agsc::env::StepResult step;
+  std::vector<agsc::env::UvAction> uv_actions;
+  for (;;) {
+    status = reader.Read(frame, /*timeout_ms=*/0);
+    if (status == agsc::util::IpcStatus::kEof) return agsc::util::kExitOk;
+    if (status != agsc::util::IpcStatus::kOk) {
+      AGSC_LOG(kError) << "worker " << worker_id << ": pipe "
+                       << agsc::util::IpcStatusName(status) << "; exiting";
+      return agsc::util::kExitIoError;
+    }
+
+    switch (frame.type) {
+      case agsc::core::kMsgShutdown:
+        return agsc::util::kExitOk;
+
+      case agsc::core::kMsgEpisodePrefix: {
+        EpisodePrefix prefix;
+        if (!DecodeEpisodePrefix(frame.payload, prefix)) {
+          AGSC_LOG(kError) << "worker " << worker_id
+                           << ": episode prefix rejected";
+          return agsc::util::kExitConfig;
+        }
+        if ((prefix.flags & agsc::core::kPrefixNaiveEnv) != 0) {
+          env->DisableSpatialIndex();
+        }
+        env->rng().LoadState(prefix.rng_state);
+        env->Reset(step);
+        bool replayed = false;
+        for (const WorkerActions& actions : prefix.replay) {
+          ToUvActions(actions, uv_actions);
+          env->Step(uv_actions, step);
+          replayed = true;
+        }
+        if (!send_result(BuildResult(*env, step, !replayed))) {
+          return agsc::util::kExitIoError;
+        }
+        break;
+      }
+
+      case agsc::core::kMsgStep: {
+        if (faults.KillWorkerNow()) {
+          AGSC_LOG(kWarning) << "worker " << worker_id
+                             << ": injected SIGKILL (KILL_WORKER_NTH)";
+          ::raise(SIGKILL);
+        }
+        WorkerActions actions;
+        if (!DecodeWorkerActions(frame.payload, actions) ||
+            static_cast<int>(actions.per_agent.size()) !=
+                env->num_agents()) {
+          AGSC_LOG(kError) << "worker " << worker_id
+                           << ": step actions rejected";
+          return agsc::util::kExitConfig;
+        }
+        ToUvActions(actions, uv_actions);
+        env->Step(uv_actions, step);
+        if (!send_result(BuildResult(*env, step, /*is_reset=*/false))) {
+          return agsc::util::kExitIoError;
+        }
+        break;
+      }
+
+      default:
+        AGSC_LOG(kError) << "worker " << worker_id
+                         << ": unexpected frame type " << frame.type;
+        return agsc::util::kExitConfig;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int worker_id = 0;
+  int incarnation = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--version" || arg == "--build-info") {
+      std::printf("agsc_worker %s\n",
+                  agsc::util::BuildInfoString(
+                      std::string("gemm-isa=") + agsc::nn::ActiveGemmIsaName())
+                      .c_str());
+      return agsc::util::kExitOk;
+    }
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return agsc::util::kExitOk;
+    }
+    if (arg == "--worker-id") {
+      const char* v = next();
+      if (v == nullptr ||
+          !agsc::util::ParseIntInRange(v, 0, 1 << 20, &worker_id)) {
+        PrintUsage();
+        return agsc::util::kExitUsage;
+      }
+      continue;
+    }
+    if (arg == "--incarnation") {
+      const char* v = next();
+      if (v == nullptr ||
+          !agsc::util::ParseIntInRange(v, 0, 1 << 20, &incarnation)) {
+        PrintUsage();
+        return agsc::util::kExitUsage;
+      }
+      continue;
+    }
+    PrintUsage();
+    return agsc::util::kExitUsage;
+  }
+  return WorkerMain(worker_id, incarnation);
+}

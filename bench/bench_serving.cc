@@ -1,0 +1,164 @@
+// Serving-path benchmark: sustained request throughput and batching
+// latency of core/DispatchServer. For each (sessions, clients, max_batch)
+// configuration, client threads step their episode sessions through the
+// batched inference path for a fixed wall-clock budget; the server's own
+// latency window supplies p50/p99. Results are recorded in
+// BENCH_serving.json at the repo root.
+//
+// The policy is a freshly initialized (untrained) network — serving cost
+// depends on architecture, not on the learned values — snapshotted through
+// the same PolicySnapshot::FromTrainer path agsc_serve uses.
+//
+//   --smoke                  one tiny configuration, ~fractions of a second
+//                            (the ctest entry; guards the harness itself)
+//   AGSC_BENCH_SCALE=paper   longer measurement window per configuration
+//   AGSC_BENCH_TIMESLOTS, AGSC_BENCH_POIS   override the env scale
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/dispatch_server.h"
+#include "core/policy_snapshot.h"
+#include "env/sc_env.h"
+#include "util/table.h"
+
+namespace agsc {
+namespace {
+
+struct Combo {
+  int sessions = 0;
+  int clients = 0;
+  int max_batch = 0;
+};
+
+struct Result {
+  Combo combo;
+  double seconds = 0.0;
+  uint64_t requests = 0;
+  double req_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double rows_per_batch = 0.0;
+};
+
+Result Measure(const env::ScEnv& env, const core::HiMadrlTrainer& trainer,
+               const Combo& combo, double budget_sec) {
+  core::DispatchConfig config;
+  config.num_sessions = combo.sessions;
+  config.max_batch = combo.max_batch;
+  config.deadline_ms = 0;  // Throughput run: serve everything, never expire.
+  core::DispatchServer server(env, config);
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<live>"));
+  server.Start();
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(budget_sec));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(combo.clients));
+  for (int c = 0; c < combo.clients; ++c) {
+    clients.emplace_back([&, c] {
+      int session = c % server.num_sessions();
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (server.StepSession(session).shutdown) break;
+        session = (session + combo.clients) % server.num_sessions();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.Stop();
+
+  const core::DispatchStats stats = server.Stats();
+  Result r;
+  r.combo = combo;
+  r.seconds = seconds;
+  r.requests = stats.requests_ok;
+  r.req_per_sec = seconds > 0 ? stats.requests_ok / seconds : 0.0;
+  r.p50_ms = stats.latency_p50_ms;
+  r.p99_ms = stats.latency_p99_ms;
+  r.rows_per_batch =
+      stats.batches > 0 ? static_cast<double>(stats.rows) / stats.batches : 0.0;
+  return r;
+}
+
+}  // namespace
+}  // namespace agsc
+
+int main(int argc, char** argv) {
+  using namespace agsc;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  const bench::Settings settings = bench::Settings::FromEnv();
+  bench::PrintBanner("Policy dispatch serving throughput", settings);
+  std::cout << "host hardware concurrency: "
+            << std::thread::hardware_concurrency() << "\n";
+
+  const map::Dataset& dataset =
+      bench::GetDataset(map::CampusId::kPurdue, settings.num_pois);
+  env::EnvConfig env_config = bench::BaseEnvConfig(settings);
+  env::ScEnv env(env_config, dataset, /*seed=*/1);
+  core::TrainConfig train = bench::BaseTrainConfig(settings, /*seed=*/1);
+  core::HiMadrlTrainer trainer(env, train);
+
+  const double budget_sec = smoke ? 0.2 : (settings.paper ? 5.0 : 2.0);
+  std::vector<Combo> combos;
+  if (smoke) {
+    combos = {{2, 2, 8}};
+  } else {
+    combos = {{1, 1, 1},    {4, 4, 16},  {8, 8, 64},
+              {8, 16, 64},  {16, 16, 128}};
+  }
+
+  std::vector<Result> results;
+  for (const Combo& combo : combos) {
+    std::cerr << "  measuring sessions=" << combo.sessions
+              << " clients=" << combo.clients
+              << " max_batch=" << combo.max_batch << "...\n";
+    results.push_back(Measure(env, trainer, combo, budget_sec));
+  }
+
+  util::Table table({"sessions", "clients", "max_batch", "req/s", "p50_ms",
+                     "p99_ms", "rows/batch"});
+  for (const Result& r : results) {
+    table.AddRow({std::to_string(r.combo.sessions),
+                  std::to_string(r.combo.clients),
+                  std::to_string(r.combo.max_batch),
+                  util::FormatDouble(r.req_per_sec, 1),
+                  util::FormatDouble(r.p50_ms, 4),
+                  util::FormatDouble(r.p99_ms, 4),
+                  util::FormatDouble(r.rows_per_batch, 2)});
+  }
+  table.Print();
+
+  // Machine-readable block (copied into BENCH_serving.json).
+  std::cout << "{\n  \"hardware_concurrency\": "
+            << std::thread::hardware_concurrency()
+            << ",\n  \"budget_sec\": " << budget_sec
+            << ",\n  \"timeslots\": " << env_config.num_timeslots
+            << ",\n  \"pois\": " << env_config.num_pois
+            << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::cout << "    {\"sessions\": " << r.combo.sessions
+              << ", \"clients\": " << r.combo.clients
+              << ", \"max_batch\": " << r.combo.max_batch
+              << ", \"requests\": " << r.requests
+              << ", \"seconds\": " << r.seconds
+              << ", \"req_per_sec\": " << r.req_per_sec
+              << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+              << ", \"rows_per_batch\": " << r.rows_per_batch << "}"
+              << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
+  return 0;
+}

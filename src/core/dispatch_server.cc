@@ -1,0 +1,331 @@
+#include "core/dispatch_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/fault_inject.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace agsc::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Sliding window backing the latency quantiles: large enough for stable
+/// p99 estimates, small enough that Stats() stays cheap.
+constexpr size_t kLatencyWindow = 4096;
+
+/// Session env streams follow the VecSampler discipline — odd split ids are
+/// env streams (even ones are sampling streams, unused here, reserved so a
+/// future stochastic-serving mode slots in without re-seeding sessions).
+uint64_t SessionEnvStreamId(int session) {
+  return 2 * static_cast<uint64_t>(session) + 1;
+}
+
+double MsSince(Clock::time_point start, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+}  // namespace
+
+DispatchServer::DispatchServer(const env::ScEnv& primary_env,
+                               const DispatchConfig& config)
+    : config_(config) {
+  if (config_.num_sessions < 1) config_.num_sessions = 1;
+  if (config_.max_batch < 1) config_.max_batch = 1;
+  util::Rng base(config_.seed);
+  sessions_.reserve(static_cast<size_t>(config_.num_sessions));
+  for (int s = 0; s < config_.num_sessions; ++s) {
+    Session session;
+    session.env = std::make_unique<env::ScEnv>(primary_env);
+    session.env->rng() = base.Split(SessionEnvStreamId(s));
+    session.env->Reset(session.current);
+    sessions_.push_back(std::move(session));
+  }
+  latency_window_.reserve(kLatencyWindow);
+}
+
+DispatchServer::~DispatchServer() { Stop(); }
+
+void DispatchServer::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  batcher_ = std::thread(&DispatchServer::BatcherLoop, this);
+}
+
+void DispatchServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  // Fail anything still queued (requests submitted while stopping, or a
+  // Stop without Start).
+  std::deque<std::unique_ptr<Request>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftovers.swap(queue_);
+    running_ = false;
+  }
+  for (std::unique_ptr<Request>& request : leftovers) {
+    DispatchResult result;
+    result.shutdown = true;
+    request->promise.set_value(result);
+  }
+  if (!leftovers.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.requests_shutdown += leftovers.size();
+  }
+}
+
+uint64_t DispatchServer::PublishSnapshot(
+    std::shared_ptr<PolicySnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  // Stamp the version before the swap: the snapshot must be immutable by
+  // the time any reader can acquire it.
+  const uint64_t version = registry_.version() + 1;
+  snapshot->set_version(version);
+  registry_.Publish(std::move(snapshot));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.publishes;
+  }
+  return version;
+}
+
+void DispatchServer::CountPublishReject() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.publish_rejects;
+}
+
+DispatchResult DispatchServer::Act(int agent, const std::vector<float>& obs) {
+  auto request = std::make_unique<Request>();
+  request->kind = RequestKind::kStateless;
+  request->agent = agent;
+  request->obs = obs;
+  return Submit(std::move(request));
+}
+
+DispatchResult DispatchServer::StepSession(int session) {
+  if (session < 0 || session >= num_sessions()) {
+    DispatchResult result;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests_invalid;
+    }
+    return result;
+  }
+  auto request = std::make_unique<Request>();
+  request->kind = RequestKind::kSession;
+  request->session = session;
+  return Submit(std::move(request));
+}
+
+DispatchResult DispatchServer::Submit(std::unique_ptr<Request> request) {
+  const Clock::time_point now = Clock::now();
+  request->enqueue_time = now;
+  request->deadline = config_.deadline_ms > 0
+                          ? now + std::chrono::milliseconds(config_.deadline_ms)
+                          : Clock::time_point::max();
+  std::future<DispatchResult> future = request->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_ || !running_) {
+      DispatchResult result;
+      result.shutdown = true;
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.requests_shutdown;
+      }
+      return result;
+    }
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return future.get();
+}
+
+void DispatchServer::BatcherLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<Request>> batch;
+    bool stopping = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_requested_ || !queue_.empty(); });
+      stopping = stop_requested_;
+      if (stopping && queue_.empty()) return;
+      const size_t take = static_cast<size_t>(config_.max_batch);
+      while (!queue_.empty() && batch.size() < take) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (stopping) {
+      for (std::unique_ptr<Request>& request : batch) {
+        DispatchResult result;
+        result.shutdown = true;
+        request->promise.set_value(result);
+      }
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.requests_shutdown += batch.size();
+      continue;
+    }
+    ServeBatch(std::move(batch));
+  }
+}
+
+void DispatchServer::ServeBatch(std::vector<std::unique_ptr<Request>> batch) {
+  // Fault hook: one guarded "task" per assembled batch, so the soak test
+  // can stall the service path deterministically (STALL_TASK/STALL_MS) and
+  // watch queued requests blow their deadlines.
+  const long stall_ms = util::FaultInjector::Instance().NextStallMs();
+  if (stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+
+  // Deadline check *after* the potential stall: a request that can no
+  // longer be served in time is failed fast instead of fed a stale action.
+  const Clock::time_point now = Clock::now();
+  std::vector<std::unique_ptr<Request>> live;
+  uint64_t expired = 0;
+  live.reserve(batch.size());
+  for (std::unique_ptr<Request>& request : batch) {
+    if (request->deadline < now) {
+      DispatchResult result;
+      result.expired = true;
+      result.latency_ms = MsSince(request->enqueue_time, now);
+      request->promise.set_value(result);
+      ++expired;
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (expired > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.requests_expired += expired;
+  }
+  if (live.empty()) return;
+
+  // Pin the snapshot once for the whole batch: every row in this batch is
+  // served by the same parameters even if a publisher swaps mid-flight.
+  const std::shared_ptr<const PolicySnapshot> snapshot = registry_.Acquire();
+  if (snapshot == nullptr) {
+    for (std::unique_ptr<Request>& request : live) {
+      DispatchResult result;
+      result.latency_ms = MsSince(request->enqueue_time, Clock::now());
+      request->promise.set_value(result);
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.requests_no_snapshot += live.size();
+    return;
+  }
+
+  // Assemble rows: stateless requests contribute one row, session requests
+  // one per agent. Invalid stateless rows are rejected up front so the
+  // batch GEMM never throws.
+  std::vector<PolicySnapshot::Row> rows;
+  struct Slice {
+    Request* request;
+    size_t first = 0;
+    size_t count = 0;
+    bool valid = true;
+  };
+  std::vector<Slice> slices;
+  slices.reserve(live.size());
+  for (std::unique_ptr<Request>& request : live) {
+    Slice slice;
+    slice.request = request.get();
+    slice.first = rows.size();
+    if (request->kind == RequestKind::kStateless) {
+      if (request->agent < 0 || request->agent >= snapshot->num_agents() ||
+          static_cast<int>(request->obs.size()) != snapshot->obs_dim()) {
+        slice.valid = false;
+      } else {
+        rows.push_back({request->agent, &request->obs});
+        slice.count = 1;
+      }
+    } else {
+      const Session& session = sessions_[static_cast<size_t>(request->session)];
+      const int num_agents = session.env->num_agents();
+      for (int k = 0; k < num_agents; ++k) {
+        rows.push_back({k, &session.current.observations[static_cast<size_t>(k)]});
+      }
+      slice.count = static_cast<size_t>(num_agents);
+    }
+    slices.push_back(slice);
+  }
+
+  std::vector<std::array<float, 2>> actions;
+  snapshot->ActBatch(rows, actions);
+
+  uint64_t ok = 0, invalid = 0, env_steps = 0, episodes = 0;
+  std::vector<env::UvAction> joint;
+  std::vector<double> latencies;
+  latencies.reserve(slices.size());
+  for (const Slice& slice : slices) {
+    DispatchResult result;
+    if (!slice.valid) {
+      ++invalid;
+    } else {
+      result.ok = true;
+      result.snapshot_version = snapshot->version();
+      result.action = actions[slice.first];
+      if (slice.request->kind == RequestKind::kSession) {
+        Session& session =
+            sessions_[static_cast<size_t>(slice.request->session)];
+        joint.clear();
+        for (size_t r = 0; r < slice.count; ++r) {
+          const std::array<float, 2>& a = actions[slice.first + r];
+          joint.push_back({a[0], a[1]});
+        }
+        session.env->Step(joint, session.scratch);
+        std::swap(session.current, session.scratch);
+        ++env_steps;
+        if (session.current.done) {
+          result.episode_done = true;
+          ++episodes;
+          session.env->Reset(session.current);
+        }
+      }
+      ++ok;
+    }
+    result.latency_ms = MsSince(slice.request->enqueue_time, Clock::now());
+    latencies.push_back(result.latency_ms);
+    slice.request->promise.set_value(result);
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.requests_ok += ok;
+  stats_.requests_invalid += invalid;
+  stats_.env_steps += env_steps;
+  stats_.episodes_completed += episodes;
+  ++stats_.batches;
+  stats_.rows += rows.size();
+  for (double ms : latencies) {
+    ++stats_.latency_samples;
+    stats_.latency_max_ms = std::max(stats_.latency_max_ms, ms);
+    if (latency_window_.size() < kLatencyWindow) {
+      latency_window_.push_back(ms);
+    } else {
+      latency_window_[latency_next_] = ms;
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
+  }
+}
+
+DispatchStats DispatchServer::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  DispatchStats out = stats_;
+  if (!latency_window_.empty()) {
+    out.latency_p50_ms = util::Quantile(latency_window_, 0.50);
+    out.latency_p99_ms = util::Quantile(latency_window_, 0.99);
+  }
+  return out;
+}
+
+}  // namespace agsc::core

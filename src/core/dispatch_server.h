@@ -1,0 +1,178 @@
+#ifndef AGSC_CORE_DISPATCH_SERVER_H_
+#define AGSC_CORE_DISPATCH_SERVER_H_
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/policy_snapshot.h"
+#include "env/sc_env.h"
+#include "util/snapshot_registry.h"
+
+namespace agsc::core {
+
+/// Tuning knobs of the dispatch service.
+struct DispatchConfig {
+  /// Concurrent episode sessions: each owns an env::ScEnv replica of the
+  /// primary env, seeded on its own Rng::Split stream (the VecSampler
+  /// discipline), so sessions evolve independently and deterministically.
+  int num_sessions = 8;
+  /// Max observation rows folded into one inference batch (one GEMM per
+  /// policy head regardless of how many sessions contributed rows).
+  int max_batch = 64;
+  /// Per-request service deadline. A request still queued when its deadline
+  /// passes is failed fast (`expired`) without running inference — stale
+  /// actions are worse than no action for a moving UV. 0 disables deadlines.
+  long deadline_ms = 50;
+  /// Base seed for the session env streams.
+  uint64_t seed = 1;
+};
+
+/// Reply to a dispatch request.
+struct DispatchResult {
+  bool ok = false;        ///< Served within deadline.
+  bool expired = false;   ///< Deadline passed while queued; no inference ran.
+  bool shutdown = false;  ///< Server stopped before this request was served.
+  std::array<float, 2> action = {0.0f, 0.0f};  ///< First requested row.
+  uint64_t snapshot_version = 0;  ///< Version that computed the action.
+  bool episode_done = false;      ///< Session requests: episode just ended.
+  double latency_ms = 0.0;        ///< Enqueue -> completion.
+};
+
+/// Counters + latency quantiles, readable at any time (Stats()) and flushed
+/// to JSON by agsc_serve on exit.
+struct DispatchStats {
+  uint64_t requests_ok = 0;
+  uint64_t requests_expired = 0;
+  uint64_t requests_shutdown = 0;   ///< Drained unserved at Stop().
+  uint64_t requests_no_snapshot = 0;
+  uint64_t requests_invalid = 0;    ///< Bad agent id / observation width.
+  uint64_t batches = 0;
+  uint64_t rows = 0;                ///< Observation rows actually inferred.
+  uint64_t publishes = 0;
+  uint64_t publish_rejects = 0;     ///< Corrupted promotions kept out.
+  uint64_t episodes_completed = 0;
+  uint64_t env_steps = 0;           ///< Session timeslots advanced.
+  uint64_t latency_samples = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+};
+
+/// Long-lived low-latency policy dispatch service.
+///
+/// One batcher thread drains a deadline-aware request queue, pins the
+/// current PolicySnapshot once per batch (util::SnapshotRegistry acquire),
+/// assembles all pending observation rows — stateless requests and whole
+/// sessions alike — into per-head GEMM batches, and completes each request
+/// with the deterministic action plus the snapshot version that produced
+/// it. Publishers (a checkpoint watcher, a co-located trainer) promote new
+/// parameters with PublishSnapshot at any time: the swap is a single
+/// release store, request handling never pauses, and in-flight batches
+/// finish on the snapshot they pinned. See DESIGN.md "Serving" for the
+/// memory-ordering argument.
+///
+/// Fault hooks: the batch path calls util::FaultInjector::NextStallMs()
+/// once per assembled batch (AGSC_FAULT_STALL_TASK/STALL_MS), which the
+/// soak test uses to force deadline expiries under load.
+class DispatchServer {
+ public:
+  /// Copies `primary_env` into `config.num_sessions` session replicas, each
+  /// reset on its own RNG stream. The server starts with no snapshot:
+  /// requests fail (`ok=false`) until the first PublishSnapshot.
+  DispatchServer(const env::ScEnv& primary_env, const DispatchConfig& config);
+  ~DispatchServer();
+
+  DispatchServer(const DispatchServer&) = delete;
+  DispatchServer& operator=(const DispatchServer&) = delete;
+
+  /// Starts the batcher thread. Idempotent.
+  void Start();
+
+  /// Stops the batcher and fails any queued requests with `shutdown`.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  /// Stamps `snapshot` with the next version and swaps it live. Thread-safe
+  /// against concurrent Acquire (lock-free for readers) and against other
+  /// publishers (serialized among themselves). Returns the new version.
+  uint64_t PublishSnapshot(std::shared_ptr<PolicySnapshot> snapshot);
+
+  /// Records a rejected promotion attempt (corrupted/truncated checkpoint
+  /// that LoadPolicySnapshot refused); the live snapshot is untouched.
+  void CountPublishReject();
+
+  /// Currently served snapshot (null before the first publish).
+  std::shared_ptr<const PolicySnapshot> CurrentSnapshot() const {
+    return registry_.Acquire();
+  }
+
+  /// Blocking stateless inference: one observation for `agent` -> its
+  /// deterministic action under the snapshot current at service time.
+  DispatchResult Act(int agent, const std::vector<float>& obs);
+
+  /// Blocking session step: folds all of session `s`'s per-agent
+  /// observations into the next batch, applies the resulting joint action
+  /// to the session env, and auto-resets finished episodes. `action` in the
+  /// result is agent 0's (the batch's first row).
+  DispatchResult StepSession(int session);
+
+  int num_sessions() const { return static_cast<int>(sessions_.size()); }
+
+  /// Point-in-time stats (quantiles computed over a sliding window of the
+  /// most recent completions).
+  DispatchStats Stats() const;
+
+ private:
+  struct Session {
+    std::unique_ptr<env::ScEnv> env;
+    env::StepResult current;  ///< Live observations (batcher-owned).
+    env::StepResult scratch;  ///< Step target, swapped with current.
+  };
+
+  enum class RequestKind { kStateless, kSession };
+
+  struct Request {
+    RequestKind kind = RequestKind::kStateless;
+    int agent = 0;                ///< kStateless: policy head.
+    std::vector<float> obs;       ///< kStateless: observation copy.
+    int session = 0;              ///< kSession: session index.
+    std::chrono::steady_clock::time_point enqueue_time;
+    std::chrono::steady_clock::time_point deadline;  ///< max() if disabled.
+    std::promise<DispatchResult> promise;
+  };
+
+  DispatchResult Submit(std::unique_ptr<Request> request);
+  void BatcherLoop();
+  /// Serves one dequeued batch (inference + session stepping + replies).
+  void ServeBatch(std::vector<std::unique_ptr<Request>> batch);
+
+  DispatchConfig config_;
+  util::SnapshotRegistry<PolicySnapshot> registry_;
+  std::mutex publish_mutex_;
+  std::vector<Session> sessions_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Request>> queue_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread batcher_;
+
+  mutable std::mutex stats_mutex_;
+  DispatchStats stats_;
+  std::vector<double> latency_window_;  ///< Ring of recent latencies (ms).
+  size_t latency_next_ = 0;
+};
+
+}  // namespace agsc::core
+
+#endif  // AGSC_CORE_DISPATCH_SERVER_H_

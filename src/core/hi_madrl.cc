@@ -1123,6 +1123,63 @@ bool HiMadrlTrainer::LoadCheckpoint(const std::string& path) {
   return LoadCheckpointV2(path);
 }
 
+bool HiMadrlTrainer::LoadCheckpointForInference(const std::string& path) {
+  // v1 files already carry params + LCFs only.
+  if (nn::ReadFileMagic(path) == "AGSCNN01") return LoadCheckpointV1(path);
+
+  nn::Checkpoint ckpt;
+  const nn::CheckpointError error = nn::LoadCheckpointFile(path, ckpt);
+  if (error != nn::CheckpointError::kOk) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": "
+                     << nn::CheckpointErrorString(error);
+    return false;
+  }
+  if (ckpt.fingerprint != ArchitectureFingerprint()) {
+    AGSC_LOG(kError) << "checkpoint " << path
+                     << ": architecture fingerprint mismatch (file "
+                     << ckpt.fingerprint << ", trainer "
+                     << ArchitectureFingerprint() << ")";
+    return false;
+  }
+  const nn::CheckpointSection* params_sec = ckpt.Find(kSecParams);
+  const nn::CheckpointSection* lcf_sec = ckpt.Find(kSecLcf);
+  if (!params_sec || !lcf_sec) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": missing section";
+    return false;
+  }
+  // Validate before mutating so a malformed file leaves the trainer intact.
+  std::vector<nn::Variable> net_params = GatherNetParameters();
+  if (params_sec->tensors.size() != net_params.size()) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": parameter count "
+                     << params_sec->tensors.size() << " != expected "
+                     << net_params.size();
+    return false;
+  }
+  for (size_t i = 0; i < net_params.size(); ++i) {
+    const nn::Tensor& have = params_sec->tensors[i];
+    const nn::Tensor& want = net_params[i].value();
+    if (have.rows() != want.rows() || have.cols() != want.cols()) {
+      AGSC_LOG(kError) << "checkpoint " << path << ": tensor " << i
+                       << " shape " << have.ShapeString() << " != expected "
+                       << want.ShapeString();
+      return false;
+    }
+  }
+  if (lcf_sec->words.size() != lcfs_.size() * 2) {
+    AGSC_LOG(kError) << "checkpoint " << path << ": LCF count mismatch";
+    return false;
+  }
+  // Commit. Optimizer/RNG/counter/vrng sections are deliberately ignored:
+  // none of them affect a deterministic forward pass.
+  nn::RestoreParameters(params_sec->tensors, net_params);
+  for (size_t k = 0; k < lcfs_.size(); ++k) {
+    lcfs_[k].phi_deg = BitsToDouble(lcf_sec->words[2 * k]);
+    lcfs_[k].chi_deg = BitsToDouble(lcf_sec->words[2 * k + 1]);
+  }
+  SnapshotOldPolicies();
+  return true;
+}
+
 bool HiMadrlTrainer::LoadCheckpointV1(const std::string& path) {
   // Legacy flat parameter files: network params + LCFs only (no optimizer,
   // RNG, or counter state — resume from these is *not* bit-exact).

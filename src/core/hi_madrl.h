@@ -279,6 +279,28 @@ class HiMadrlTrainer : public Policy {
   /// Returns false on failure, leaving the trainer unchanged.
   bool LoadCheckpoint(const std::string& path);
 
+  /// Restores network parameters + LCFs from a checkpoint, ignoring
+  /// optimizer, RNG, counter, and worker-stream state. This is the serving
+  /// loader: unlike LoadCheckpoint it accepts checkpoints saved with any
+  /// num_workers (the vrng section does not describe inference state), so a
+  /// dispatch server with a 1-worker staging trainer can promote checkpoints
+  /// from a multi-worker training run. v2 files are still checksum-verified
+  /// and fingerprint-checked; malformed files are rejected loudly with the
+  /// trainer left unchanged. Returns false on failure.
+  bool LoadCheckpointForInference(const std::string& path);
+
+  /// Live policy head for agent `k` (the shared net under SP). Used to copy
+  /// actor weights into an immutable serving snapshot; the deterministic
+  /// action for `k` is actor(k).mean_net() on ActorInputFor(k, obs).
+  const GaussianActor& actor(int k) const { return *Nets(k).actor; }
+
+  /// Public ActorInput: obs plus the one-hot agent id appended under
+  /// share_params (identity otherwise). Exposed so serving code can build
+  /// bit-identical actor rows without going through Act.
+  std::vector<float> ActorInputFor(int k, const std::vector<float>& obs) const {
+    return ActorInput(k, obs);
+  }
+
   /// Restores the newest checkpoint in `dir` that passes validation,
   /// falling back to older retained files when the newest one is
   /// truncated or corrupted. Returns false if no checkpoint loads.

@@ -37,6 +37,10 @@ class GaussianActor : public nn::Module {
   int obs_dim() const { return mean_net_.in_features(); }
   int action_dim() const { return mean_net_.out_features(); }
   const nn::Variable& log_std() const { return log_std_; }
+  /// The mean MLP, exposed for values-only batched inference (serving):
+  /// mean_net().Infer(batch) is bit-identical to the per-row deterministic
+  /// Act path, which returns the distribution mode = the tanh-bounded mean.
+  const nn::Mlp& mean_net() const { return mean_net_; }
 
  private:
   nn::Mlp mean_net_;

@@ -76,6 +76,15 @@ Variable Linear::Forward(const Variable& x, Activation act) const {
   return LinearActivate(x, weight_, bias_, act);
 }
 
+Tensor Linear::Infer(const Tensor& x, Activation act) const {
+  if (x.cols() != in_features_) {
+    throw std::invalid_argument("Linear::Infer: expected " +
+                                std::to_string(in_features_) + " cols, got " +
+                                std::to_string(x.cols()));
+  }
+  return LinearActivateValue(x, weight_.value(), bias_.value(), act);
+}
+
 std::vector<Variable> Linear::Parameters() const { return {weight_, bias_}; }
 
 Mlp::Mlp(const std::vector<int>& sizes, util::Rng& rng, Activation hidden_act,
@@ -102,6 +111,15 @@ Variable Mlp::Forward(const Variable& x) const {
 
 Variable Mlp::Forward(const Tensor& x) const {
   return Forward(Variable::Constant(x));
+}
+
+Tensor Mlp::Infer(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = i + 1 == layers_.size();
+    h = layers_[i].Infer(h, last ? output_act_ : hidden_act_);
+  }
+  return h;
 }
 
 std::vector<Variable> Mlp::Parameters() const {

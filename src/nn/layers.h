@@ -43,6 +43,12 @@ class Linear : public Module {
   /// equivalent to Activate(Forward(x), act), with fewer allocations).
   Variable Forward(const Variable& x, Activation act) const;
 
+  /// Values-only forward for inference: no autograd nodes are built, and the
+  /// result is bit-identical to Forward(x, act).value() (both run the same
+  /// LinearActivateValue kernel). Safe to call concurrently from multiple
+  /// threads as long as the parameters are not mutated.
+  Tensor Infer(const Tensor& x, Activation act) const;
+
   std::vector<Variable> Parameters() const override;
 
   int in_features() const { return in_features_; }
@@ -71,6 +77,13 @@ class Mlp : public Module {
   /// Convenience: forward on raw data without building grad history upstream
   /// of the input (input becomes a constant leaf).
   Variable Forward(const Tensor& x) const;
+
+  /// Const batched inference entry point: the full forward pass on values
+  /// only, building no autograd graph. Bit-identical to Forward(x).value()
+  /// — every layer runs the same fused LinearActivateValue kernel the graph
+  /// op uses — and rows are independent, so a batched call equals the
+  /// row-by-row calls bit-for-bit. This is the serving hot path.
+  Tensor Infer(const Tensor& x) const;
 
   std::vector<Variable> Parameters() const override;
 

@@ -513,27 +513,31 @@ float ActivationPrimeFromY(Activation act, float y) {
 
 }  // namespace
 
-Variable LinearActivate(const Variable& m, const Variable& w,
-                        const Variable& b, Activation act) {
+Tensor LinearActivateValue(const Tensor& m, const Tensor& w, const Tensor& b,
+                           Activation act) {
   if (m.cols() != w.rows()) {
-    throw std::invalid_argument("LinearActivate: inner dims " +
-                                m.value().ShapeString() + " vs " +
-                                w.value().ShapeString());
+    throw std::invalid_argument("LinearActivateValue: inner dims " +
+                                m.ShapeString() + " vs " + w.ShapeString());
   }
   if (b.rows() != 1 || b.cols() != w.cols()) {
-    throw std::invalid_argument("LinearActivate: b must be 1x" +
+    throw std::invalid_argument("LinearActivateValue: b must be 1x" +
                                 std::to_string(w.cols()));
   }
-  Tensor out = MatMul(m.value(), w.value());
-  const Tensor& bias = b.value();
+  Tensor out = MatMul(m, w);
   for (int r = 0; r < out.rows(); ++r) {
-    for (int c = 0; c < out.cols(); ++c) out(r, c) += bias(0, c);
+    for (int c = 0; c < out.cols(); ++c) out(r, c) += b(0, c);
   }
   if (act != Activation::kNone) {
     for (int i = 0; i < out.size(); ++i) {
       out[i] = ApplyActivation(act, out[i]);
     }
   }
+  return out;
+}
+
+Variable LinearActivate(const Variable& m, const Variable& w,
+                        const Variable& b, Activation act) {
+  Tensor out = LinearActivateValue(m.value(), w.value(), b.value(), act);
   return Variable::FromNode(
       MakeNode("linear_activate", std::move(out), {m, w, b}, [act](Node& n) {
         const auto& pm = n.parents[0];

@@ -116,6 +116,13 @@ Variable MseLoss(const Variable& pred, const Tensor& target);
 Variable LinearActivate(const Variable& m, const Variable& w,
                         const Variable& b, Activation act);
 
+/// Values-only act(m x w + b): the inference entry point behind the graph
+/// op above — LinearActivate computes its forward value through this exact
+/// function, so a no-graph forward (serving, evaluation) is bit-identical
+/// to Forward(x).value() by construction. `m` is RxK, `w` KxN, `b` 1xN.
+Tensor LinearActivateValue(const Tensor& m, const Tensor& w, const Tensor& b,
+                           Activation act);
+
 /// Elementwise a + s*b (same shape); equivalent to Add(a, ScalarMul(b, s)).
 Variable AddScaled(const Variable& a, const Variable& b, float s);
 

@@ -14,6 +14,7 @@ const char* ExitCodeName(int code) {
     case kExitSignalStop: return "signal-stop";
     case kExitInterruptedAbort: return "interrupted-abort";
     case kExitWorkerFailed: return "worker-failed";
+    case kExitServeError: return "serve-error";
     default: return "unknown";
   }
 }

@@ -41,6 +41,12 @@ enum ExitCode : int {
   /// first (the trainer's own state is consistent; only the disposable
   /// worker fleet is broken).
   kExitWorkerFailed = 10,
+  /// The dispatch service (agsc_serve) could not start or keep serving: no
+  /// loadable policy snapshot at startup, the session table could not be
+  /// built, or the serving loop failed internally. Snapshot files that
+  /// corrupt *after* startup do NOT use this code — the server keeps the
+  /// last good snapshot live and exits 0.
+  kExitServeError = 11,
 };
 
 /// Short stable name of `code` for log lines ("ok", "watchdog-timeout", ...);

@@ -3,6 +3,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 
@@ -106,8 +107,11 @@ IpcStatus FrameReader::ReadExact(char* buf, size_t n, long timeout_ms,
   size_t got = 0;
   while (got < n) {
     if (bounded) {
-      const long remaining = RemainingMs(deadline);
-      if (remaining <= 0) return IpcStatus::kTimeout;
+      // An expired deadline still gets one zero-timeout readiness probe:
+      // data that is already buffered is served, only actual waiting is
+      // refused. Without this a tight deadline (1 ms truncates to 0 on the
+      // steady-clock round trip) would misreport a ready frame as timeout.
+      const long remaining = std::max(0L, RemainingMs(deadline));
       struct pollfd pfd{fd_, POLLIN, 0};
       const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
       if (pr < 0) {

@@ -1,0 +1,74 @@
+#ifndef AGSC_UTIL_SNAPSHOT_REGISTRY_H_
+#define AGSC_UTIL_SNAPSHOT_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace agsc::util {
+
+/// Read-mostly publication point for immutable snapshots (e.g. policy
+/// parameter sets promoted into a live dispatch server).
+///
+/// The registry holds one `shared_ptr<const T>` behind a
+/// `std::atomic<std::shared_ptr>`. Readers call Acquire() once per unit of
+/// work (a request batch, not a request) and then use the snapshot through
+/// plain loads — the object behind the pointer is immutable by contract, so
+/// no further synchronization is needed. Publishers build the replacement
+/// off to the side and swap it in with a single release store; the old
+/// snapshot stays alive (and fully valid) for as long as any in-flight
+/// reader still holds its reference, then the last reference frees it.
+///
+/// Memory-ordering argument (documented in DESIGN.md "Serving"): Publish's
+/// store is a release operation on the control-block pointer and every
+/// Acquire load is an acquire operation, so all writes that initialized the
+/// snapshot happen-before any read through an acquired pointer. A reader
+/// therefore observes either the complete old snapshot or the complete new
+/// one — never a torn mix — and the refcount keeps whichever one it got
+/// alive for the duration of the batch. There is no reader-side lock to
+/// block a publisher and no publisher-side pause of request handling.
+///
+/// `version()` counts successful publishes (the initial snapshot installed
+/// at construction is version 1); it is monotonically increasing and
+/// updated before the swap, so a snapshot tagged with the version returned
+/// by Publish is visible to readers no later than that version number.
+template <typename T>
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  explicit SnapshotRegistry(std::shared_ptr<const T> initial) {
+    Publish(std::move(initial));
+  }
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Returns the current snapshot (possibly null before the first Publish).
+  /// The returned reference keeps the snapshot alive even if a publisher
+  /// swaps in a replacement concurrently.
+  std::shared_ptr<const T> Acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Atomically installs `snapshot` as the current one and returns the new
+  /// version number. The previous snapshot is released (freed once the last
+  /// in-flight reader drops it).
+  uint64_t Publish(std::shared_ptr<const T> snapshot) {
+    const uint64_t version =
+        1 + version_.fetch_add(1, std::memory_order_relaxed);
+    current_.store(std::move(snapshot), std::memory_order_release);
+    return version;
+  }
+
+  /// Number of successful Publish calls so far.
+  uint64_t version() const { return version_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::shared_ptr<const T>> current_;
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_SNAPSHOT_REGISTRY_H_

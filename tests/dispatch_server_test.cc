@@ -1,0 +1,507 @@
+// Serving correctness suite for core/policy_snapshot + core/dispatch_server:
+//  * served actions are bit-identical to the Evaluator's deterministic
+//    forward (HiMadrlTrainer::Act) on the same checkpoint, batched or not;
+//  * LoadCheckpointForInference accepts checkpoints from any worker count
+//    (params + LCFs only), while the full resume loader keeps rejecting
+//    worker-count mismatches;
+//  * snapshot publication is torn-read-free under concurrent swap-and-serve
+//    load: every reply matches exactly one published parameter set AND the
+//    version it claims (run under -DAGSC_SANITIZE=thread in the TSan suite);
+//  * corrupted/truncated/mismatched promotion attempts are rejected with the
+//    previous snapshot still live and bit-exact;
+//  * the deadline-aware queue fails stalled requests fast instead of
+//    serving stale actions.
+
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dispatch_server.h"
+#include "core/hi_madrl.h"
+#include "core/policy_snapshot.h"
+#include "env/config.h"
+#include "env/sc_env.h"
+#include "map/campus.h"
+#include "nn/serialize.h"
+#include "util/fault_inject.h"
+#include "util/rng.h"
+
+namespace agsc {
+namespace {
+
+const map::Dataset& SmallDataset() {
+  static const map::Dataset* dataset =
+      new map::Dataset(map::BuildDataset(map::CampusId::kPurdue, 10));
+  return *dataset;
+}
+
+env::EnvConfig SmallEnvConfig() {
+  env::EnvConfig config;
+  config.num_timeslots = 6;
+  config.num_pois = 10;
+  config.num_uavs = 1;
+  config.num_ugvs = 1;
+  return config;
+}
+
+core::TrainConfig SmallTrainConfig(uint64_t seed) {
+  core::TrainConfig train;
+  train.iterations = 1;
+  train.episodes_per_iteration = 1;
+  train.policy_epochs = 1;
+  train.lcf_epochs = 1;
+  train.minibatch = 64;
+  train.net.hidden = {16};
+  train.eoi.hidden = {12};
+  train.seed = seed;
+  train.verbose = false;
+  return train;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/p" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::vector<std::vector<float>> ProbeObservations(env::ScEnv& env) {
+  env::StepResult result = env.Reset();
+  return result.observations;
+}
+
+/// Deterministic Evaluator action through the public Policy interface.
+std::array<float, 2> EvaluatorAction(core::HiMadrlTrainer& trainer,
+                                     env::ScEnv& env, int k,
+                                     const std::vector<float>& obs) {
+  util::Rng rng(99);  // Unused on the deterministic path.
+  const env::UvAction action =
+      trainer.Act(env, k, obs, rng, /*deterministic=*/true);
+  return {static_cast<float>(action.raw_direction),
+          static_cast<float>(action.raw_speed)};
+}
+
+/// Overwrites every actor parameter of `trainer` with zeros, making its
+/// deterministic action exactly (0, 0): tanh(0*h + 0) == 0.0f.
+void ZeroActorParameters(core::HiMadrlTrainer& trainer, int num_agents) {
+  for (int k = 0; k < num_agents; ++k) {
+    std::vector<nn::Variable> params = trainer.actor(k).Parameters();
+    std::vector<nn::Tensor> zeros;
+    zeros.reserve(params.size());
+    for (const nn::Variable& p : params) {
+      zeros.emplace_back(p.value().rows(), p.value().cols());
+    }
+    nn::RestoreParameters(zeros, params);
+  }
+}
+
+TEST(PolicySnapshotTest, BitExactVsEvaluatorOnSameCheckpoint) {
+  env::ScEnv source_env(SmallEnvConfig(), SmallDataset(), 11);
+  core::HiMadrlTrainer source(source_env, SmallTrainConfig(11));
+  const std::string path = TempPath("snap_bitexact.agsc");
+  ASSERT_TRUE(source.SaveCheckpoint(path));
+
+  // Staging trainer with different init (seed) — the load must make it
+  // byte-identical to the source.
+  env::ScEnv serve_env(SmallEnvConfig(), SmallDataset(), 12);
+  core::HiMadrlTrainer staging(serve_env, SmallTrainConfig(12));
+  std::string error;
+  std::shared_ptr<core::PolicySnapshot> snapshot =
+      core::LoadPolicySnapshot(staging, path, &error);
+  ASSERT_NE(snapshot, nullptr) << error;
+  std::remove(path.c_str());
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 13);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+  ASSERT_EQ(static_cast<int>(observations.size()), probe_env.num_agents());
+  for (int k = 0; k < probe_env.num_agents(); ++k) {
+    const std::array<float, 2> want =
+        EvaluatorAction(source, probe_env, k, observations[k]);
+    const std::array<float, 2> got = snapshot->Act(k, observations[k]);
+    EXPECT_EQ(got[0], want[0]) << "agent " << k;  // Bit-exact, not Near.
+    EXPECT_EQ(got[1], want[1]) << "agent " << k;
+    // The staging trainer itself must also now act identically.
+    const std::array<float, 2> staged =
+        EvaluatorAction(staging, probe_env, k, observations[k]);
+    EXPECT_EQ(staged[0], want[0]) << "agent " << k;
+    EXPECT_EQ(staged[1], want[1]) << "agent " << k;
+  }
+}
+
+TEST(PolicySnapshotTest, BatchedRowsBitEqualSingleRows) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 21);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(21));
+  std::shared_ptr<core::PolicySnapshot> snapshot =
+      core::PolicySnapshot::FromTrainer(trainer, "<live>");
+
+  // Many distinct observations per agent: step the env with varying actions.
+  env::StepResult state = env.Reset();
+  std::vector<core::PolicySnapshot::Row> rows;
+  std::vector<std::vector<float>> storage;
+  storage.reserve(64);
+  for (int t = 0; t < 5; ++t) {
+    for (int k = 0; k < env.num_agents(); ++k) {
+      storage.push_back(state.observations[static_cast<size_t>(k)]);
+    }
+    std::vector<env::UvAction> actions(
+        static_cast<size_t>(env.num_agents()),
+        env::UvAction{0.1 * (t + 1), 0.5});
+    state = env.Step(actions);
+  }
+  rows.reserve(storage.size());
+  for (size_t i = 0; i < storage.size(); ++i) {
+    rows.push_back({static_cast<int>(i) % env.num_agents(), &storage[i]});
+  }
+
+  std::vector<std::array<float, 2>> batched;
+  snapshot->ActBatch(rows, batched);
+  ASSERT_EQ(batched.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const std::array<float, 2> single =
+        snapshot->Act(rows[i].agent, *rows[i].obs);
+    EXPECT_EQ(batched[i][0], single[0]) << "row " << i;
+    EXPECT_EQ(batched[i][1], single[1]) << "row " << i;
+  }
+}
+
+TEST(PolicySnapshotTest, InferenceLoadAcceptsMultiWorkerCheckpoints) {
+  env::ScEnv source_env(SmallEnvConfig(), SmallDataset(), 31);
+  core::TrainConfig multi = SmallTrainConfig(31);
+  multi.num_workers = 3;
+  core::HiMadrlTrainer source(source_env, multi);
+  const std::string path = TempPath("snap_multiworker.agsc");
+  ASSERT_TRUE(source.SaveCheckpoint(path));
+
+  env::ScEnv serve_env(SmallEnvConfig(), SmallDataset(), 32);
+  core::HiMadrlTrainer staging(serve_env, SmallTrainConfig(32));
+  // Full resume load keys on the vrng worker count and must reject...
+  EXPECT_FALSE(staging.LoadCheckpoint(path));
+  // ...while the inference load ignores worker streams and succeeds.
+  EXPECT_TRUE(staging.LoadCheckpointForInference(path));
+  std::remove(path.c_str());
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 33);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+  for (int k = 0; k < probe_env.num_agents(); ++k) {
+    const std::array<float, 2> want =
+        EvaluatorAction(source, probe_env, k, observations[k]);
+    const std::array<float, 2> got =
+        EvaluatorAction(staging, probe_env, k, observations[k]);
+    EXPECT_EQ(got[0], want[0]) << "agent " << k;
+    EXPECT_EQ(got[1], want[1]) << "agent " << k;
+  }
+}
+
+TEST(PolicySnapshotTest, SharedParamsOneHotMatchesEvaluator) {
+  core::TrainConfig sp = SmallTrainConfig(41);
+  sp.share_params = true;
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 41);
+  core::HiMadrlTrainer trainer(env, sp);
+  std::shared_ptr<core::PolicySnapshot> snapshot =
+      core::PolicySnapshot::FromTrainer(trainer, "<live>");
+  ASSERT_TRUE(snapshot->share_params());
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 42);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+  for (int k = 0; k < probe_env.num_agents(); ++k) {
+    const std::array<float, 2> want =
+        EvaluatorAction(trainer, probe_env, k, observations[k]);
+    const std::array<float, 2> got = snapshot->Act(k, observations[k]);
+    EXPECT_EQ(got[0], want[0]) << "agent " << k;
+    EXPECT_EQ(got[1], want[1]) << "agent " << k;
+  }
+  // Distinct agents through the shared net must (generically) differ —
+  // proves the one-hot id actually reached the input.
+  const std::array<float, 2> a0 = snapshot->Act(0, observations[0]);
+  const std::array<float, 2> a1 = snapshot->Act(1, observations[0]);
+  EXPECT_TRUE(a0[0] != a1[0] || a0[1] != a1[1]);
+}
+
+TEST(DispatchServerTest, ServesBitExactActionsThroughBatcher) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 51);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(51));
+  std::shared_ptr<core::PolicySnapshot> snapshot =
+      core::PolicySnapshot::FromTrainer(trainer, "<live>");
+
+  core::DispatchConfig config;
+  config.num_sessions = 2;
+  config.max_batch = 8;
+  config.deadline_ms = 0;
+  core::DispatchServer server(env, config);
+  EXPECT_EQ(server.PublishSnapshot(snapshot), 1u);
+  server.Start();
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 52);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+  for (int k = 0; k < probe_env.num_agents(); ++k) {
+    const core::DispatchResult result = server.Act(k, observations[k]);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.snapshot_version, 1u);
+    const std::array<float, 2> want =
+        EvaluatorAction(trainer, probe_env, k, observations[k]);
+    EXPECT_EQ(result.action[0], want[0]) << "agent " << k;
+    EXPECT_EQ(result.action[1], want[1]) << "agent " << k;
+  }
+  server.Stop();
+  const core::DispatchStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_ok,
+            static_cast<uint64_t>(probe_env.num_agents()));
+  EXPECT_EQ(stats.requests_expired, 0u);
+}
+
+TEST(DispatchServerTest, SessionSteppingAdvancesAndResetsEpisodes) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 61);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(61));
+
+  core::DispatchConfig config;
+  config.num_sessions = 2;
+  config.deadline_ms = 0;
+  core::DispatchServer server(env, config);
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<live>"));
+  server.Start();
+
+  // 6-slot episodes: 14 steps on one session must complete >= 2 episodes.
+  int done_seen = 0;
+  for (int t = 0; t < 14; ++t) {
+    const core::DispatchResult result = server.StepSession(0);
+    ASSERT_TRUE(result.ok);
+    if (result.episode_done) ++done_seen;
+  }
+  server.Stop();
+  EXPECT_GE(done_seen, 2);
+  const core::DispatchStats stats = server.Stats();
+  EXPECT_EQ(stats.env_steps, 14u);
+  EXPECT_EQ(stats.episodes_completed, static_cast<uint64_t>(done_seen));
+  // An out-of-range session is rejected without touching the queue.
+  const core::DispatchResult bad = server.StepSession(7);
+  EXPECT_FALSE(bad.ok);
+}
+
+TEST(DispatchServerTest, NoSnapshotFailsRequestsCleanly) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 71);
+  core::DispatchConfig config;
+  config.deadline_ms = 0;
+  core::DispatchServer server(env, config);
+  server.Start();
+  const std::vector<float> obs(static_cast<size_t>(env.obs_dim()), 0.0f);
+  const core::DispatchResult result = server.Act(0, obs);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.expired);
+  server.Stop();
+  EXPECT_EQ(server.Stats().requests_no_snapshot, 1u);
+}
+
+// The headline TSan scenario: clients hammer the dispatch path while a
+// publisher swaps between two distinguishable parameter sets. Every reply
+// must bit-match exactly one of the two snapshots' predictions AND agree
+// with the snapshot version it reports — a torn read, a stale-version
+// reply, or a data race would all fail.
+TEST(DispatchServerTest, SnapshotSwapUnderLoadIsTornFreeAndVersioned) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 81);
+  core::HiMadrlTrainer live(env, SmallTrainConfig(81));
+
+  env::ScEnv zero_env(SmallEnvConfig(), SmallDataset(), 82);
+  core::HiMadrlTrainer zeroed(zero_env, SmallTrainConfig(82));
+  ZeroActorParameters(zeroed, zero_env.num_agents());
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 83);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+  const int num_agents = probe_env.num_agents();
+
+  // Expected replies under each parameter set. The zeroed net's mode is
+  // exactly (0, 0); the live net's must differ or the test is vacuous.
+  std::vector<std::array<float, 2>> expect_live(
+      static_cast<size_t>(num_agents));
+  std::shared_ptr<core::PolicySnapshot> probe =
+      core::PolicySnapshot::FromTrainer(live, "<live>");
+  for (int k = 0; k < num_agents; ++k) {
+    expect_live[static_cast<size_t>(k)] = probe->Act(k, observations[k]);
+    ASSERT_TRUE(expect_live[k][0] != 0.0f || expect_live[k][1] != 0.0f);
+    const std::array<float, 2> zero_action =
+        core::PolicySnapshot::FromTrainer(zeroed, "<zero>")
+            ->Act(k, observations[k]);
+    ASSERT_EQ(zero_action[0], 0.0f);
+    ASSERT_EQ(zero_action[1], 0.0f);
+  }
+
+  core::DispatchConfig config;
+  config.num_sessions = 1;
+  config.max_batch = 16;
+  config.deadline_ms = 0;
+  core::DispatchServer server(env, config);
+  // v1 = live; the publisher below alternates zeroed (even versions) and
+  // live (odd versions), so version parity identifies the parameter set.
+  ASSERT_EQ(server.PublishSnapshot(core::PolicySnapshot::FromTrainer(
+                live, "<live>")),
+            1u);
+  server.Start();
+
+  std::atomic<bool> clients_done{false};
+  std::thread publisher([&] {
+    uint64_t next = 2;
+    while (!clients_done.load(std::memory_order_relaxed)) {
+      core::HiMadrlTrainer& source = (next % 2 == 0) ? zeroed : live;
+      const uint64_t version = server.PublishSnapshot(
+          core::PolicySnapshot::FromTrainer(source, "<swap>"));
+      ASSERT_EQ(version, next);
+      ++next;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 250;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int n = 0; n < kRequestsPerClient; ++n) {
+        const int k = (c + n) % num_agents;
+        const core::DispatchResult result =
+            server.Act(k, observations[static_cast<size_t>(k)]);
+        if (!result.ok) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const bool is_zero =
+            result.action[0] == 0.0f && result.action[1] == 0.0f;
+        const bool is_live =
+            result.action[0] == expect_live[static_cast<size_t>(k)][0] &&
+            result.action[1] == expect_live[static_cast<size_t>(k)][1];
+        // Exactly one published parameter set, never a mix.
+        if (!(is_zero || is_live)) failures.fetch_add(1);
+        // And the one the reported version says.
+        const bool version_says_zero = result.snapshot_version % 2 == 0;
+        if (is_zero != version_says_zero) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  clients_done.store(true, std::memory_order_relaxed);
+  publisher.join();
+  server.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  const core::DispatchStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_ok,
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_GE(stats.publishes, 2u);
+}
+
+TEST(DispatchServerTest, CorruptedPromotionKeepsOldSnapshotLive) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 91);
+  core::HiMadrlTrainer source(env, SmallTrainConfig(91));
+  const std::string good_path = TempPath("snap_good.agsc");
+  ASSERT_TRUE(source.SaveCheckpoint(good_path));
+  std::string bytes;
+  {
+    std::ifstream in(good_path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+
+  env::ScEnv serve_env(SmallEnvConfig(), SmallDataset(), 92);
+  core::HiMadrlTrainer staging(serve_env, SmallTrainConfig(92));
+  std::string error;
+  std::shared_ptr<core::PolicySnapshot> good =
+      core::LoadPolicySnapshot(staging, good_path, &error);
+  ASSERT_NE(good, nullptr) << error;
+
+  core::DispatchConfig config;
+  config.deadline_ms = 0;
+  core::DispatchServer server(env, config);
+  server.PublishSnapshot(good);
+  server.Start();
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 93);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+  const std::array<float, 2> want =
+      EvaluatorAction(source, probe_env, 0, observations[0]);
+
+  // Three promotion attempts that must all be rejected: truncation,
+  // bit-flip, and an architecture-fingerprint mismatch.
+  const std::string bad_path = TempPath("snap_bad.agsc");
+  const auto write_bad = [&](const std::string& payload) {
+    std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  };
+  write_bad(bytes.substr(0, bytes.size() / 2));
+  EXPECT_EQ(core::LoadPolicySnapshot(staging, bad_path, &error), nullptr);
+  server.CountPublishReject();
+
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] =
+      static_cast<char>(flipped[flipped.size() / 2] ^ 0xFF);
+  write_bad(flipped);
+  EXPECT_EQ(core::LoadPolicySnapshot(staging, bad_path, &error), nullptr);
+  server.CountPublishReject();
+
+  core::TrainConfig other_arch = SmallTrainConfig(94);
+  other_arch.net.hidden = {24};
+  env::ScEnv other_env(SmallEnvConfig(), SmallDataset(), 94);
+  core::HiMadrlTrainer other(other_env, other_arch);
+  ASSERT_TRUE(other.SaveCheckpoint(bad_path));
+  EXPECT_EQ(core::LoadPolicySnapshot(staging, bad_path, &error), nullptr);
+  server.CountPublishReject();
+
+  // The original snapshot is still the one serving, still bit-exact.
+  ASSERT_NE(server.CurrentSnapshot(), nullptr);
+  EXPECT_EQ(server.CurrentSnapshot()->version(), 1u);
+  const core::DispatchResult result = server.Act(0, observations[0]);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.action[0], want[0]);
+  EXPECT_EQ(result.action[1], want[1]);
+  EXPECT_EQ(result.snapshot_version, 1u);
+  server.Stop();
+  EXPECT_EQ(server.Stats().publish_rejects, 3u);
+
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST(DispatchServerTest, StalledBatchExpiresDeadlinedRequests) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 101);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(101));
+
+  core::DispatchConfig config;
+  config.num_sessions = 1;
+  config.deadline_ms = 20;
+  core::DispatchServer server(env, config);
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<live>"));
+  server.Start();
+
+  // First batch stalls well past the deadline; its request must come back
+  // expired (fail-fast, no stale action), later ones are served normally.
+  util::FaultInjector::Config fault;
+  fault.stall_task = 1;
+  fault.stall_ms = 120;
+  util::FaultInjector::Instance().set_config(fault);
+  const core::DispatchResult stalled = server.StepSession(0);
+  util::FaultInjector::Instance().Reset();
+  EXPECT_FALSE(stalled.ok);
+  EXPECT_TRUE(stalled.expired);
+  EXPECT_GE(stalled.latency_ms, 100.0);
+
+  const core::DispatchResult after = server.StepSession(0);
+  EXPECT_TRUE(after.ok);
+  server.Stop();
+  const core::DispatchStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_expired, 1u);
+  EXPECT_EQ(stats.requests_ok, 1u);
+}
+
+}  // namespace
+}  // namespace agsc

@@ -1,0 +1,17 @@
+# Included by ctest via TEST_INCLUDE_FILES *after* the gtest-generated
+# registration scripts (tests/CMakeLists.txt appends it last), so the soak
+# tests already exist here. gtest_discover_tests cannot forward a
+# list-valued LABELS property ("slow;serving" flattens into two arguments
+# on the way through its argument serialization), so the serving label is
+# applied in this post-pass instead: parse the generated include for the
+# discovered test names and re-set their labels with proper quoting.
+file(GLOB _agsc_soak_includes "${CMAKE_CURRENT_LIST_DIR}/serving_soak_test*_tests.cmake")
+foreach(_agsc_file IN LISTS _agsc_soak_includes)
+  file(STRINGS "${_agsc_file}" _agsc_adds REGEX "add_test")
+  foreach(_agsc_line IN LISTS _agsc_adds)
+    string(REGEX MATCH "add_test\\( *\\[=\\[([^]]+)\\]=\\]" _agsc_m "${_agsc_line}")
+    if(CMAKE_MATCH_1)
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES LABELS "slow;serving")
+    endif()
+  endforeach()
+endforeach()

@@ -1,0 +1,334 @@
+// Serving soak campaign: end-to-end runs of the real agsc_serve binary
+// under injected faults — stalled inference batches against a request
+// deadline, transient and persistent stats-write failures, corrupted
+// snapshot promotions, SIGTERM mid-stream — plus the startup and usage
+// error contract. Every scenario asserts the documented exit code and,
+// where promised, that the final stats JSON was flushed and is consistent.
+//
+// Binary paths are injected at build time via AGSC_SERVE_BINARY and
+// AGSC_TRAIN_BINARY (see tests/CMakeLists.txt); fault flags reach the child
+// through AGSC_FAULT_* environment variables so the parent stays clean.
+// The checkpoint every scenario serves is produced once per suite by a real
+// agsc_train run on the same tiny Purdue problem.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/exit_codes.h"
+
+namespace agsc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  // pid-scoped: gtest's TempDir is shared across concurrently running test
+  // processes (ctest -j), and fixed names collide.
+  return ::testing::TempDir() + "/p" + std::to_string(::getpid()) + "_" + name;
+}
+
+/// The env-shape arguments shared by the trainer producing the checkpoint
+/// and every serve run consuming it (the snapshot fingerprint ties the two).
+std::vector<std::string> TinyEnvArgs() {
+  return {"--pois", "12", "--uavs", "1", "--ugvs", "1", "--timeslots", "8",
+          "--quiet"};
+}
+
+/// Forks and execs `binary` with TinyEnvArgs() + `extra_args` and `env_kv`
+/// ("KEY=VALUE") exported in the child only; stdout+stderr to `log_path`.
+pid_t Spawn(const char* binary, const std::vector<std::string>& extra_args,
+            const std::vector<std::string>& env_kv,
+            const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  FILE* log = std::freopen(log_path.c_str(), "w", stdout);
+  if (log == nullptr) ::_exit(126);
+  ::dup2(::fileno(stdout), 2);
+  for (const std::string& kv : env_kv) {
+    const size_t eq = kv.find('=');
+    ::setenv(kv.substr(0, eq).c_str(), kv.substr(eq + 1).c_str(), 1);
+  }
+  std::vector<std::string> args = {binary};
+  for (const std::string& a : TinyEnvArgs()) args.push_back(a);
+  for (const std::string& a : extra_args) args.push_back(a);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(binary, argv.data());
+  ::_exit(127);
+}
+
+int WaitExit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+int RunServe(const std::vector<std::string>& extra_args,
+             const std::vector<std::string>& env_kv,
+             const std::string& log_path) {
+  return WaitExit(Spawn(AGSC_SERVE_BINARY, extra_args, env_kv, log_path));
+}
+
+std::string FileContents(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Pulls an integer counter out of the flushed stats JSON, e.g.
+/// ExtractCounter(json, "requests_ok"). Returns -1 when absent.
+long ExtractCounter(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::atol(json.c_str() + at + needle.size());
+}
+
+/// Suite-wide fixture: trains the checkpoint every serve scenario consumes
+/// (once — a real agsc_train run on the same tiny problem).
+class ServingSoakTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    checkpoint_ = new std::string(TempPath("soak_policy.agsc"));
+    const std::string log = TempPath("soak_train.log");
+    const int code = WaitExit(Spawn(
+        AGSC_TRAIN_BINARY,
+        {"--eval", "0", "--iterations", "1", "--save", *checkpoint_}, {},
+        log));
+    ASSERT_EQ(code, util::kExitOk) << FileContents(log);
+    std::remove(log.c_str());
+  }
+  static void TearDownTestSuite() {
+    std::remove(checkpoint_->c_str());
+    delete checkpoint_;
+    checkpoint_ = nullptr;
+  }
+
+  static const std::string& Checkpoint() { return *checkpoint_; }
+
+  /// Scenario-scoped stats/log paths, removed on destruction.
+  struct Workspace {
+    std::string stats;
+    std::string log;
+    explicit Workspace(const std::string& name)
+        : stats(TempPath(name + "_stats.json")),
+          log(TempPath(name + ".log")) {}
+    ~Workspace() {
+      std::remove(stats.c_str());
+      std::remove(log.c_str());
+    }
+  };
+
+ private:
+  static std::string* checkpoint_;
+};
+
+std::string* ServingSoakTest::checkpoint_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Scenarios.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingSoakTest, BaselineServesAndFlushesConsistentStats) {
+  Workspace ws("baseline");
+  ASSERT_EQ(RunServe({"--snapshot", Checkpoint(), "--sessions", "2",
+                      "--clients", "2", "--requests", "32", "--stats-json",
+                      ws.stats},
+                     {}, ws.log),
+            util::kExitOk)
+      << FileContents(ws.log);
+  const std::string json = FileContents(ws.stats);
+  ASSERT_FALSE(json.empty());
+  // 2 clients x 32 session steps, every one served, none dropped.
+  EXPECT_EQ(ExtractCounter(json, "client_steps"), 64);
+  EXPECT_EQ(ExtractCounter(json, "requests_ok"), 64);
+  EXPECT_EQ(ExtractCounter(json, "requests_expired"), 0);
+  EXPECT_EQ(ExtractCounter(json, "publishes"), 1);
+  EXPECT_GE(ExtractCounter(json, "batches"), 1);
+  // 8-slot episodes, 32 steps per session: 4 completed episodes each.
+  EXPECT_EQ(ExtractCounter(json, "episodes_completed"), 8);
+  EXPECT_GE(ExtractCounter(json, "latency_samples"), 1);
+}
+
+TEST_F(ServingSoakTest, WatchPromotesNewCheckpointWithoutRestart) {
+  Workspace ws("promote");
+  const std::string dir = TempPath("promote_dir");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fs::copy_file(Checkpoint(), dir + "/ckpt_000001.agsc");
+
+  const pid_t pid = Spawn(
+      AGSC_SERVE_BINARY,
+      {"--snapshot-dir", dir, "--watch", "--watch-poll-ms", "50",
+       "--requests", "0", "--duration-sec", "3", "--stats-json", ws.stats},
+      {}, ws.log);
+  ASSERT_GT(pid, 0);
+  // Drop a newer checkpoint while requests are streaming; the watcher must
+  // promote it in-place.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  fs::copy_file(Checkpoint(), dir + "/ckpt_000002.agsc");
+  EXPECT_EQ(WaitExit(pid), util::kExitOk) << FileContents(ws.log);
+
+  // Exactly one promotion on top of the initial publish ("--quiet"
+  // suppresses the human-readable promotion line; the stats are the
+  // contract).
+  const std::string json = FileContents(ws.stats);
+  EXPECT_EQ(ExtractCounter(json, "publishes"), 2) << FileContents(ws.log);
+  EXPECT_EQ(ExtractCounter(json, "publish_rejects"), 0);
+  EXPECT_GE(ExtractCounter(json, "requests_ok"), 1);
+  fs::remove_all(dir);
+}
+
+TEST_F(ServingSoakTest, CorruptedPromotionKeepsOldSnapshotServing) {
+  Workspace ws("corrupt_promote");
+  const std::string dir = TempPath("corrupt_dir");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fs::copy_file(Checkpoint(), dir + "/ckpt_000001.agsc");
+
+  const pid_t pid = Spawn(
+      AGSC_SERVE_BINARY,
+      {"--snapshot-dir", dir, "--watch", "--watch-poll-ms", "50",
+       "--requests", "0", "--duration-sec", "2", "--stats-json", ws.stats},
+      {}, ws.log);
+  ASSERT_GT(pid, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  {
+    std::ofstream out(dir + "/ckpt_000002.agsc",
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  // The rejected promotion must not take the service down or stop serving.
+  EXPECT_EQ(WaitExit(pid), util::kExitOk) << FileContents(ws.log);
+  const std::string json = FileContents(ws.stats);
+  EXPECT_GE(ExtractCounter(json, "publish_rejects"), 1)
+      << FileContents(ws.log);
+  EXPECT_EQ(ExtractCounter(json, "publishes"), 1);
+  EXPECT_GE(ExtractCounter(json, "requests_ok"), 1);
+  EXPECT_NE(FileContents(ws.log).find("keeping v1 live"), std::string::npos)
+      << FileContents(ws.log);
+  fs::remove_all(dir);
+}
+
+TEST_F(ServingSoakTest, StalledBatchExpiresRequestsButRunSucceeds) {
+  Workspace ws("stall");
+  // The first inference batch stalls 150 ms against a 10 ms deadline: its
+  // requests expire (fail-fast, no stale actions), later batches serve
+  // normally and the run still exits clean with stats flushed.
+  ASSERT_EQ(RunServe({"--snapshot", Checkpoint(), "--sessions", "2",
+                      "--clients", "2", "--requests", "32", "--deadline-ms",
+                      "10", "--stats-json", ws.stats},
+                     {"AGSC_FAULT_STALL_TASK=1", "AGSC_FAULT_STALL_MS=150"},
+                     ws.log),
+            util::kExitOk)
+      << FileContents(ws.log);
+  const std::string json = FileContents(ws.stats);
+  EXPECT_GE(ExtractCounter(json, "requests_expired"), 1);
+  EXPECT_GE(ExtractCounter(json, "requests_ok"), 1);
+}
+
+TEST_F(ServingSoakTest, TransientStatsWriteFaultIsAbsorbedByRetry) {
+  Workspace ws("transient_write");
+  // Exactly one failed write: the retry layer absorbs it and the flush
+  // succeeds anyway.
+  ASSERT_EQ(RunServe({"--snapshot", Checkpoint(), "--requests", "8",
+                      "--stats-json", ws.stats},
+                     {"AGSC_FAULT_FAIL_WRITE=1"}, ws.log),
+            util::kExitOk)
+      << FileContents(ws.log);
+  EXPECT_GE(ExtractCounter(FileContents(ws.stats), "requests_ok"), 1);
+}
+
+TEST_F(ServingSoakTest, PersistentStatsWriteFaultExitsIoError) {
+  Workspace ws("persistent_write");
+  // Every write fails, outlasting the retry budget: the final stats flush
+  // cannot land and the run must report the I/O failure.
+  EXPECT_EQ(RunServe({"--snapshot", Checkpoint(), "--requests", "8",
+                      "--stats-json", ws.stats},
+                     {"AGSC_FAULT_FAIL_WRITE=1",
+                      "AGSC_FAULT_FAIL_WRITE_COUNT=99"},
+                     ws.log),
+            util::kExitIoError)
+      << FileContents(ws.log);
+  EXPECT_FALSE(fs::exists(ws.stats));
+}
+
+TEST_F(ServingSoakTest, SigtermMidStreamStopsCleanlyWithStatsFlushed) {
+  Workspace ws("sigterm");
+  const pid_t pid = Spawn(
+      AGSC_SERVE_BINARY,
+      {"--snapshot", Checkpoint(), "--requests", "0", "--duration-sec", "30",
+       "--stats-json", ws.stats},
+      {}, ws.log);
+  ASSERT_GT(pid, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(WaitExit(pid), util::kExitSignalStop) << FileContents(ws.log);
+  // The cooperative stop still flushed the final stats.
+  const std::string json = FileContents(ws.stats);
+  ASSERT_FALSE(json.empty()) << FileContents(ws.log);
+  EXPECT_GE(ExtractCounter(json, "requests_ok"), 1);
+  EXPECT_NE(FileContents(ws.log).find("stats flushed"), std::string::npos)
+      << FileContents(ws.log);
+}
+
+TEST_F(ServingSoakTest, NoLoadableSnapshotExitsServeError) {
+  Workspace ws("no_snapshot");
+  const std::string dir = TempPath("empty_dir");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir + "/ckpt_000001.agsc",
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  // The only candidate is corrupted: a dispatch service with no policy
+  // cannot serve, and says so with its own exit code.
+  EXPECT_EQ(RunServe({"--snapshot-dir", dir, "--requests", "8"}, {}, ws.log),
+            util::kExitServeError)
+      << FileContents(ws.log);
+  EXPECT_NE(FileContents(ws.log).find("serve-error"), std::string::npos)
+      << FileContents(ws.log);
+  fs::remove_all(dir);
+}
+
+TEST_F(ServingSoakTest, UsageErrorsUseTheirCode) {
+  const std::string log = TempPath("usage.log");
+  EXPECT_EQ(RunServe({"--no-such-flag"}, {}, log), util::kExitUsage);
+  // A snapshot source is mandatory.
+  EXPECT_EQ(RunServe({"--requests", "8"}, {}, log), util::kExitUsage);
+  // --watch only makes sense against a directory.
+  EXPECT_EQ(RunServe({"--snapshot", Checkpoint(), "--watch", "--requests",
+                      "8"},
+                     {}, log),
+            util::kExitUsage);
+  std::remove(log.c_str());
+}
+
+TEST_F(ServingSoakTest, VersionFlagPrintsBuildProvenance) {
+  const std::string log = TempPath("version.log");
+  EXPECT_EQ(RunServe({"--version"}, {}, log), util::kExitOk);
+  const std::string out = FileContents(log);
+  EXPECT_NE(out.find("agsc_serve compiler="), std::string::npos) << out;
+  EXPECT_NE(out.find("gemm-isa="), std::string::npos) << out;
+  std::remove(log.c_str());
+}
+
+}  // namespace
+}  // namespace agsc

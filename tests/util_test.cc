@@ -1,13 +1,19 @@
+#include <unistd.h>
+
 #include <cmath>
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <set>
+#include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "util/csv.h"
 #include "util/env_flags.h"
+#include "util/ipc.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -316,6 +322,121 @@ TEST(EnvFlagsTest, BenchScaleDefaultsToSmoke) {
   setenv("AGSC_BENCH_SCALE", "paper", 1);
   EXPECT_EQ(GetBenchScale(), BenchScale::kPaper);
   unsetenv("AGSC_BENCH_SCALE");
+}
+
+// ---------------------------------------------------------------------------
+// FrameReader poll-deadline edge cases. The happy paths and the corruption
+// matrix are exercised end-to-end by the proc-sampler and chaos suites;
+// these pin down the boundary behaviors of the deadline logic itself.
+// ---------------------------------------------------------------------------
+
+/// A pipe pair closed on destruction (either end may be closed early).
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    CloseRead();
+    CloseWrite();
+  }
+  void CloseRead() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    fds[0] = -1;
+  }
+  void CloseWrite() {
+    if (fds[1] >= 0) ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(FrameReaderEdgeTest, BufferedFrameBeatsATightDeadline) {
+  Pipe p;
+  FrameWriter writer(p.fds[1]);
+  ASSERT_TRUE(writer.Write(/*type=*/7, /*seq=*/0, "hello"));
+  // The frame is already sitting in the pipe: a 1 ms deadline must not
+  // matter — readiness is checked before the deadline can expire.
+  FrameReader reader(p.fds[0]);
+  Frame frame;
+  EXPECT_EQ(reader.Read(frame, /*timeout_ms=*/1), IpcStatus::kOk);
+  EXPECT_EQ(frame.type, 7u);
+  EXPECT_EQ(frame.payload, "hello");
+  // Nothing else buffered: now the same deadline expires as a timeout, not
+  // an error or a phantom frame.
+  EXPECT_EQ(reader.Read(frame, /*timeout_ms=*/1), IpcStatus::kTimeout);
+}
+
+TEST(FrameReaderEdgeTest, PartialFrameReportsTimeoutNotCorrupt) {
+  Pipe p;
+  // Only half a header arrives before the deadline: that is a straggling
+  // writer, not a damaged stream — kTimeout, never kCorrupt.
+  const uint32_t magic = kFrameMagic;
+  ASSERT_EQ(::write(p.fds[1], &magic, sizeof(magic)),
+            static_cast<ssize_t>(sizeof(magic)));
+  FrameReader reader(p.fds[0]);
+  Frame frame;
+  EXPECT_EQ(reader.Read(frame, /*timeout_ms=*/30), IpcStatus::kTimeout);
+}
+
+TEST(FrameReaderEdgeTest, ZeroLengthPayloadRoundTrips) {
+  Pipe p;
+  FrameWriter writer(p.fds[1]);
+  ASSERT_TRUE(writer.Write(/*type=*/1, /*seq=*/0, ""));
+  ASSERT_TRUE(writer.Write(/*type=*/2, /*seq=*/1, ""));
+  FrameReader reader(p.fds[0]);
+  Frame frame;
+  EXPECT_EQ(reader.Read(frame, /*timeout_ms=*/1000), IpcStatus::kOk);
+  EXPECT_EQ(frame.type, 1u);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(reader.Read(frame, /*timeout_ms=*/1000), IpcStatus::kOk);
+  EXPECT_EQ(frame.seq, 1u);
+  EXPECT_EQ(reader.next_seq(), 2u);
+}
+
+TEST(FrameReaderEdgeTest, MaxSizePayloadAtTheCapRoundTrips) {
+  Pipe p;
+  // A payload exactly at kMaxFramePayload (64 MiB) is legal and must cross
+  // the pipe intact. Far larger than the pipe buffer, so the writer streams
+  // from its own thread while the reader drains.
+  std::string payload(kMaxFramePayload, '\0');
+  for (size_t i = 0; i < payload.size(); i += 4096) {
+    payload[i] = static_cast<char>(i * 2654435761u >> 24);
+  }
+  std::thread writer_thread([&] {
+    FrameWriter writer(p.fds[1]);
+    EXPECT_TRUE(writer.Write(/*type=*/9, /*seq=*/0, payload));
+    p.CloseWrite();
+  });
+  FrameReader reader(p.fds[0]);
+  Frame frame;
+  EXPECT_EQ(reader.Read(frame, /*timeout_ms=*/60000), IpcStatus::kOk);
+  writer_thread.join();
+  EXPECT_EQ(frame.type, 9u);
+  EXPECT_EQ(frame.payload, payload);  // CRC already proved it; belt+braces.
+  EXPECT_EQ(reader.Read(frame, /*timeout_ms=*/1000), IpcStatus::kEof);
+}
+
+TEST(FrameReaderEdgeTest, LengthPastTheCapIsCorruptBeforeAllocating) {
+  Pipe p;
+  // A header declaring kMaxFramePayload + 1: rejected on the length check
+  // alone — no attempt to allocate or read the impossible payload (the CRC
+  // never enters into it).
+  std::string header;
+  const auto put_u32 = [&header](uint32_t v) {
+    header.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const auto put_u64 = [&header](uint64_t v) {
+    header.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_u32(kFrameMagic);
+  put_u32(/*type=*/1);
+  put_u64(/*seq=*/0);
+  put_u32(kMaxFramePayload + 1);
+  put_u32(/*crc=*/0);
+  ASSERT_EQ(header.size(), static_cast<size_t>(kFrameHeaderBytes));
+  ASSERT_EQ(::write(p.fds[1], header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  FrameReader reader(p.fds[0]);
+  Frame frame;
+  EXPECT_EQ(reader.Read(frame, /*timeout_ms=*/1000), IpcStatus::kCorrupt);
 }
 
 }  // namespace

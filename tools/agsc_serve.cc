@@ -1,0 +1,513 @@
+// Low-latency policy dispatch service: the serving counterpart of
+// agsc_train.
+//
+//   agsc_serve --snapshot FILE | --snapshot-dir DIR [--watch]
+//              [--watch-poll-ms MS] [--max-batch N] [--deadline-ms MS]
+//              [--sessions S] [--clients C] [--requests N]
+//              [--duration-sec S] [--stats-json FILE]
+//              [--campus purdue|ncsu] [--timeslots T] [--pois I]
+//              [--uavs U] [--ugvs G] [--subchannels Z] [--height M]
+//              [--threshold DB] [--medium noma|tdma|ofdma]
+//              [--no-eoi] [--no-copo] [--plain-copo] [--mappo]
+//              [--seed S] [--quiet] [--version]
+//
+// Boots a DispatchServer over `--sessions` concurrent episode sessions
+// (env replicas on split RNG streams), loads the newest valid checkpoint
+// as the initial policy snapshot, and drives `--clients` request threads
+// that step their sessions through the batched inference path until
+// `--requests` steps each (0 = unbounded), `--duration-sec` elapses, or a
+// signal arrives. The env/arch flags must match the run that produced the
+// checkpoints — a fingerprint mismatch is rejected like any corrupted file.
+//
+// Snapshot promotion: with --watch, a background watcher polls
+// --snapshot-dir and promotes any new ckpt_*.agsc it finds via an atomic
+// registry swap — request handling never pauses, in-flight batches finish
+// on the snapshot they pinned. A corrupted/truncated/mismatched file is
+// rejected loudly (counted in `publish_rejects`) and the last good
+// snapshot stays live; only a missing *initial* snapshot is fatal.
+//
+// On exit the final serving stats are flushed as JSON (atomically, with
+// retry) to --stats-json. SIGINT/SIGTERM stop serving cooperatively: the
+// stats still flush, and the process exits with code 8.
+//
+// Exit codes (util/exit_codes.h): 0 ok, 2 usage, 3 invalid config, 4 I/O
+// error (stats flush failed), 8 clean signal stop, 11 serve-error (no
+// loadable snapshot at startup).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dispatch_server.h"
+#include "core/hi_madrl.h"
+#include "core/policy_snapshot.h"
+#include "nn/tensor.h"
+#include "util/build_info.h"
+#include "util/exit_codes.h"
+#include "util/fault_inject.h"
+#include "util/parse.h"
+#include "util/retry.h"
+#include "util/shutdown.h"
+
+namespace {
+
+struct Args {
+  std::string snapshot_path;
+  std::string snapshot_dir;
+  bool watch = false;
+  int watch_poll_ms = 200;
+  int max_batch = 64;
+  int deadline_ms = 50;
+  int sessions = 4;
+  int clients = 0;  ///< 0 = one per session.
+  int requests = 64;
+  int duration_sec = 0;
+  std::string stats_json;
+
+  std::string campus = "purdue";
+  int timeslots = 100;
+  int pois = 100;
+  int uavs = 2;
+  int ugvs = 2;
+  int subchannels = 3;
+  double height = 60.0;
+  double threshold_db = 0.0;
+  std::string medium = "noma";
+  bool use_eoi = true;
+  bool use_copo = true;
+  bool hetero_copo = true;
+  bool mappo = false;
+  uint64_t seed = 1;
+  bool quiet = false;
+  bool help = false;
+  bool version = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << name << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto next_int = [&](const char* name, int lo, int hi, int* out) {
+      const char* v = next(name);
+      if (!v) return false;
+      if (!agsc::util::ParseIntInRange(v, lo, hi, out)) {
+        std::cerr << "invalid value for " << name << ": '" << v
+                  << "' (expected integer in [" << lo << ", " << hi
+                  << "])\n";
+        return false;
+      }
+      return true;
+    };
+    auto next_double = [&](const char* name, double lo, double hi,
+                           double* out) {
+      const char* v = next(name);
+      if (!v) return false;
+      if (!agsc::util::ParseDoubleInRange(v, lo, hi, out)) {
+        std::cerr << "invalid value for " << name << ": '" << v
+                  << "' (expected number in [" << lo << ", " << hi << "])\n";
+        return false;
+      }
+      return true;
+    };
+    constexpr int kMaxInt = 1000000000;
+    if (flag == "--snapshot") {
+      const char* v = next("--snapshot");
+      if (!v) return false;
+      args.snapshot_path = v;
+    } else if (flag == "--snapshot-dir") {
+      const char* v = next("--snapshot-dir");
+      if (!v) return false;
+      args.snapshot_dir = v;
+    } else if (flag == "--watch") {
+      args.watch = true;
+    } else if (flag == "--watch-poll-ms") {
+      if (!next_int("--watch-poll-ms", 1, 3600000, &args.watch_poll_ms)) {
+        return false;
+      }
+    } else if (flag == "--max-batch") {
+      if (!next_int("--max-batch", 1, 65536, &args.max_batch)) return false;
+    } else if (flag == "--deadline-ms") {
+      if (!next_int("--deadline-ms", 0, 3600000, &args.deadline_ms)) {
+        return false;
+      }
+    } else if (flag == "--sessions") {
+      if (!next_int("--sessions", 1, 4096, &args.sessions)) return false;
+    } else if (flag == "--clients") {
+      if (!next_int("--clients", 1, 4096, &args.clients)) return false;
+    } else if (flag == "--requests") {
+      if (!next_int("--requests", 0, kMaxInt, &args.requests)) return false;
+    } else if (flag == "--duration-sec") {
+      if (!next_int("--duration-sec", 0, 86400, &args.duration_sec)) {
+        return false;
+      }
+    } else if (flag == "--stats-json") {
+      const char* v = next("--stats-json");
+      if (!v) return false;
+      args.stats_json = v;
+    } else if (flag == "--campus") {
+      const char* v = next("--campus");
+      if (!v) return false;
+      args.campus = v;
+      if (args.campus != "purdue" && args.campus != "ncsu") {
+        std::cerr << "invalid value for --campus: '" << args.campus
+                  << "' (expected purdue|ncsu)\n";
+        return false;
+      }
+    } else if (flag == "--timeslots") {
+      if (!next_int("--timeslots", 1, kMaxInt, &args.timeslots)) return false;
+    } else if (flag == "--pois") {
+      if (!next_int("--pois", 1, kMaxInt, &args.pois)) return false;
+    } else if (flag == "--uavs") {
+      if (!next_int("--uavs", 0, kMaxInt, &args.uavs)) return false;
+    } else if (flag == "--ugvs") {
+      if (!next_int("--ugvs", 0, kMaxInt, &args.ugvs)) return false;
+    } else if (flag == "--subchannels") {
+      if (!next_int("--subchannels", 1, kMaxInt, &args.subchannels)) {
+        return false;
+      }
+    } else if (flag == "--height") {
+      if (!next_double("--height", 1e-6, 1e6, &args.height)) return false;
+    } else if (flag == "--threshold") {
+      if (!next_double("--threshold", -1e6, 1e6, &args.threshold_db)) {
+        return false;
+      }
+    } else if (flag == "--medium") {
+      const char* v = next("--medium");
+      if (!v) return false;
+      args.medium = v;
+      if (args.medium != "noma" && args.medium != "tdma" &&
+          args.medium != "ofdma") {
+        std::cerr << "invalid value for --medium: '" << args.medium
+                  << "' (expected noma|tdma|ofdma)\n";
+        return false;
+      }
+    } else if (flag == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      if (!agsc::util::ParseUint64(v, &args.seed)) {
+        std::cerr << "invalid value for --seed: '" << v
+                  << "' (expected unsigned integer)\n";
+        return false;
+      }
+    } else if (flag == "--no-eoi") {
+      args.use_eoi = false;
+    } else if (flag == "--no-copo") {
+      args.use_copo = false;
+    } else if (flag == "--plain-copo") {
+      args.hetero_copo = false;
+    } else if (flag == "--mappo") {
+      args.mappo = true;
+    } else if (flag == "--quiet") {
+      args.quiet = true;
+    } else if (flag == "--version" || flag == "--build-info") {
+      args.version = true;
+      return true;
+    } else if (flag == "--help" || flag == "-h") {
+      args.help = true;
+      return false;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  if (args.snapshot_path.empty() && args.snapshot_dir.empty()) {
+    std::cerr << "one of --snapshot or --snapshot-dir is required\n";
+    return false;
+  }
+  if (args.watch && args.snapshot_dir.empty()) {
+    std::cerr << "--watch requires --snapshot-dir\n";
+    return false;
+  }
+  if (args.requests == 0 && args.duration_sec == 0) {
+    std::cerr << "unbounded run: give --requests N or --duration-sec S\n";
+    return false;
+  }
+  return true;
+}
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: agsc_serve --snapshot FILE | --snapshot-dir DIR [--watch]\n"
+         "  [--watch-poll-ms MS] [--max-batch N] [--deadline-ms MS]\n"
+         "  [--sessions S] [--clients C] [--requests N] [--duration-sec S]\n"
+         "  [--stats-json FILE]\n"
+         "  [--campus purdue|ncsu] [--timeslots T] [--pois I] [--uavs U]\n"
+         "  [--ugvs G] [--subchannels Z] [--height M] [--threshold DB]\n"
+         "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
+         "  [--plain-copo] [--mappo] [--seed S] [--quiet] [--version]\n"
+         "exit codes: 0 ok, 2 usage, 3 config, 4 io, 8 signal-stop,\n"
+         "  11 serve-error\n";
+}
+
+/// Checkpoint files in `dir`, newest first by modification time (name as a
+/// deterministic tie-break). Empty when the directory is missing/empty.
+std::vector<std::string> CheckpointsNewestFirst(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::pair<fs::file_time_type, std::string>> found;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt_", 0) == 0 && name.ends_with(".agsc")) {
+      std::error_code time_ec;
+      const fs::file_time_type mtime = entry.last_write_time(time_ec);
+      found.emplace_back(time_ec ? fs::file_time_type::min() : mtime,
+                         entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  });
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [mtime, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+/// Serializes the final serving stats as a flat JSON object.
+std::string StatsJson(const Args& args, const agsc::core::DispatchStats& s,
+                      double elapsed_sec, uint64_t client_steps) {
+  std::ostringstream out;
+  const double reqs =
+      static_cast<double>(s.requests_ok + s.requests_expired);
+  out << "{\n"
+      << "  \"build\": \"" << agsc::util::BuildInfoString("") << "\",\n"
+      << "  \"sessions\": " << args.sessions << ",\n"
+      << "  \"clients\": " << (args.clients > 0 ? args.clients : args.sessions)
+      << ",\n"
+      << "  \"max_batch\": " << args.max_batch << ",\n"
+      << "  \"deadline_ms\": " << args.deadline_ms << ",\n"
+      << "  \"elapsed_sec\": " << elapsed_sec << ",\n"
+      << "  \"client_steps\": " << client_steps << ",\n"
+      << "  \"requests_ok\": " << s.requests_ok << ",\n"
+      << "  \"requests_expired\": " << s.requests_expired << ",\n"
+      << "  \"requests_shutdown\": " << s.requests_shutdown << ",\n"
+      << "  \"requests_no_snapshot\": " << s.requests_no_snapshot << ",\n"
+      << "  \"requests_invalid\": " << s.requests_invalid << ",\n"
+      << "  \"requests_per_sec\": "
+      << (elapsed_sec > 0 ? reqs / elapsed_sec : 0.0) << ",\n"
+      << "  \"batches\": " << s.batches << ",\n"
+      << "  \"rows\": " << s.rows << ",\n"
+      << "  \"publishes\": " << s.publishes << ",\n"
+      << "  \"publish_rejects\": " << s.publish_rejects << ",\n"
+      << "  \"episodes_completed\": " << s.episodes_completed << ",\n"
+      << "  \"env_steps\": " << s.env_steps << ",\n"
+      << "  \"latency_samples\": " << s.latency_samples << ",\n"
+      << "  \"latency_p50_ms\": " << s.latency_p50_ms << ",\n"
+      << "  \"latency_p99_ms\": " << s.latency_p99_ms << ",\n"
+      << "  \"latency_max_ms\": " << s.latency_max_ms << "\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace agsc;
+  util::InstallShutdownHandler();
+  // Arm any AGSC_FAULT_* flags up front (the soak test injects write
+  // failures and batch stalls through the environment).
+  util::FaultInjector::Instance();
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    PrintUsage(args.help ? std::cout : std::cerr);
+    return args.help ? util::kExitOk : util::kExitUsage;
+  }
+  if (args.version) {
+    std::cout << "agsc_serve "
+              << util::BuildInfoString(std::string("gemm-isa=") +
+                                       nn::ActiveGemmIsaName())
+              << "\n";
+    return util::kExitOk;
+  }
+
+  const map::CampusId campus = args.campus == "ncsu"
+                                   ? map::CampusId::kNcsu
+                                   : map::CampusId::kPurdue;
+  const map::Dataset dataset = map::BuildDataset(campus, args.pois);
+
+  env::EnvConfig env_config;
+  env_config.num_timeslots = args.timeslots;
+  env_config.num_pois = args.pois;
+  env_config.num_uavs = args.uavs;
+  env_config.num_ugvs = args.ugvs;
+  env_config.num_subchannels = args.subchannels;
+  env_config.uav_height = args.height;
+  env_config.sinr_threshold_db = args.threshold_db;
+  if (args.medium == "tdma") {
+    env_config.medium_access = env::MediumAccess::kTdma;
+  } else if (args.medium == "ofdma") {
+    env_config.medium_access = env::MediumAccess::kOfdma;
+  }
+  const std::string config_error = env_config.Validate();
+  if (!config_error.empty()) {
+    std::cerr << "invalid configuration: " << config_error << "\n";
+    return util::kExitConfig;
+  }
+  env::ScEnv env(env_config, dataset, args.seed);
+
+  // The staging trainer only exists to materialize networks of the right
+  // architecture and load checkpoints into them; it never trains.
+  core::TrainConfig train;
+  train.use_eoi = args.use_eoi;
+  train.use_copo = args.use_copo;
+  train.hetero_copo = args.hetero_copo;
+  if (args.mappo) train.base = core::BaseAlgo::kMappo;
+  train.seed = args.seed;
+  train.verbose = false;
+  core::HiMadrlTrainer staging(env, train);
+
+  core::DispatchConfig dispatch;
+  dispatch.num_sessions = args.sessions;
+  dispatch.max_batch = args.max_batch;
+  dispatch.deadline_ms = args.deadline_ms;
+  dispatch.seed = args.seed;
+  core::DispatchServer server(env, dispatch);
+
+  // Initial snapshot: the named file, or the newest loadable file in the
+  // snapshot dir (skipping past corrupted ones). Nothing loadable is fatal
+  // — a dispatch service without a policy cannot serve.
+  std::string last_promoted;
+  {
+    std::vector<std::string> candidates;
+    if (!args.snapshot_path.empty()) {
+      candidates.push_back(args.snapshot_path);
+    } else {
+      candidates = CheckpointsNewestFirst(args.snapshot_dir);
+    }
+    std::string error;
+    for (const std::string& path : candidates) {
+      std::shared_ptr<core::PolicySnapshot> snapshot =
+          core::LoadPolicySnapshot(staging, path, &error);
+      if (snapshot != nullptr) {
+        const uint64_t version = server.PublishSnapshot(std::move(snapshot));
+        last_promoted = path;
+        if (!args.quiet) {
+          std::cout << "serving snapshot v" << version << " from " << path
+                    << "\n";
+        }
+        break;
+      }
+      server.CountPublishReject();
+      std::cerr << "rejected " << error << "\n";
+    }
+    if (last_promoted.empty()) {
+      std::cerr << "serve-error: no loadable policy snapshot (looked at "
+                << candidates.size() << " candidate(s))\n";
+      return util::kExitServeError;
+    }
+  }
+
+  server.Start();
+
+  // Checkpoint watcher: promote new files as the (simulated or real)
+  // trainer drops them. Rejections keep the last good snapshot live.
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher;
+  if (args.watch) {
+    watcher = std::thread([&] {
+      while (!watcher_stop.load(std::memory_order_relaxed) &&
+             !util::ShutdownRequested()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(args.watch_poll_ms));
+        const std::vector<std::string> candidates =
+            CheckpointsNewestFirst(args.snapshot_dir);
+        if (candidates.empty() || candidates.front() == last_promoted) {
+          continue;
+        }
+        std::string error;
+        std::shared_ptr<core::PolicySnapshot> snapshot =
+            core::LoadPolicySnapshot(staging, candidates.front(), &error);
+        if (snapshot == nullptr) {
+          server.CountPublishReject();
+          std::cerr << "rejected " << error << " (keeping v"
+                    << server.CurrentSnapshot()->version() << " live)\n";
+          continue;
+        }
+        const uint64_t version = server.PublishSnapshot(std::move(snapshot));
+        last_promoted = candidates.front();
+        if (!args.quiet) {
+          std::cout << "promoted snapshot v" << version << " from "
+                    << last_promoted << "\n";
+        }
+      }
+    });
+  }
+
+  // Client fleet: each thread steps its sessions round-robin through the
+  // batched dispatch path. This is the simulated request stream; a network
+  // frontend would enqueue the same StepSession/Act calls.
+  const int num_clients = args.clients > 0 ? args.clients : args.sessions;
+  const auto start_time = std::chrono::steady_clock::now();
+  const auto deadline =
+      args.duration_sec > 0
+          ? start_time + std::chrono::seconds(args.duration_sec)
+          : std::chrono::steady_clock::time_point::max();
+  std::atomic<uint64_t> client_steps{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      int session = c % server.num_sessions();
+      for (int n = 0; args.requests == 0 || n < args.requests; ++n) {
+        if (util::ShutdownRequested()) break;
+        if (std::chrono::steady_clock::now() >= deadline) break;
+        const core::DispatchResult result = server.StepSession(session);
+        if (result.shutdown) break;
+        client_steps.fetch_add(1, std::memory_order_relaxed);
+        session = (session + num_clients) % server.num_sessions();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  watcher_stop.store(true, std::memory_order_relaxed);
+  if (watcher.joinable()) watcher.join();
+  server.Stop();
+
+  const double elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  const core::DispatchStats stats = server.Stats();
+  if (!args.quiet) {
+    const double reqs =
+        static_cast<double>(stats.requests_ok + stats.requests_expired);
+    std::cout << "served " << stats.requests_ok << " ok, "
+              << stats.requests_expired << " expired in " << elapsed_sec
+              << "s (" << (elapsed_sec > 0 ? reqs / elapsed_sec : 0.0)
+              << " req/s, p50 " << stats.latency_p50_ms << " ms, p99 "
+              << stats.latency_p99_ms << " ms, " << stats.publishes
+              << " publishes, " << stats.publish_rejects << " rejects)\n";
+  }
+
+  // Final stats flush — also on signal stop. A persistent write failure is
+  // an I/O error; the retry layer absorbs transient ones.
+  if (!args.stats_json.empty()) {
+    util::RetryPolicy policy;
+    if (!util::AtomicWriteFileRetry(
+            args.stats_json,
+            StatsJson(args, stats, elapsed_sec, client_steps.load()),
+            policy)) {
+      std::cerr << "failed to write stats JSON " << args.stats_json << "\n";
+      return util::kExitIoError;
+    }
+  }
+  if (util::ShutdownRequested()) {
+    std::cerr << "stopped by signal " << util::ShutdownSignal()
+              << " (stats flushed)\n";
+    return util::kExitSignalStop;
+  }
+  return util::kExitOk;
+}

@@ -118,6 +118,7 @@ HiMadrlTrainer::HiMadrlTrainer(env::ScEnv& env, const TrainConfig& config)
     opts.step_deadline_ms = config_.watchdog_ms;
     opts.respawn_backoff = config_.worker_respawn;
     opts.max_respawns = config_.worker_max_respawns;
+    opts.listen_address = config_.listen_address;
     proc_sampler_ = std::make_unique<ProcSampler>(
         env_, rng_, config_.proc_workers, config_.seed, std::move(opts));
     if (config_.stop_check) proc_sampler_->set_stop_check(config_.stop_check);

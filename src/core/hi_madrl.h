@@ -143,8 +143,17 @@ struct TrainConfig {
   /// either mode resume in the other). Takes precedence over num_workers;
   /// the CLI enforces mutual exclusivity.
   int proc_workers = 0;
-  /// Path to the agsc_worker binary; required when proc_workers > 0.
+  /// Path to the agsc_worker binary; required when proc_workers > 0 and
+  /// listen_address is empty.
   std::string worker_binary;
+  /// Non-empty switches the proc sampler to remote mode: instead of
+  /// fork/exec'ing workers it listens on this "HOST:PORT" (port 0 =
+  /// kernel-assigned, see SamplerBoundPort()) and `proc_workers`
+  /// externally launched `agsc_worker --connect` processes claim the
+  /// slots. Same protocol, same bit-exactness contract; a dropped
+  /// connection replays like a local crash. The CLI sets this from
+  /// --listen + --remote-workers.
+  std::string listen_address;
   /// Backoff schedule between respawn attempts of a failed worker, and the
   /// total respawns tolerated per collection round before Train gives up
   /// with ProcWorkerError (the CLI maps it to util::kExitWorkerFailed).
@@ -309,6 +318,14 @@ class HiMadrlTrainer : public Policy {
   /// Hash of the env dims and architecture-relevant TrainConfig fields;
   /// stored in checkpoints and compared on load.
   uint64_t ArchitectureFingerprint() const;
+
+  /// Remote-worker mode only (TrainConfig::listen_address set): the TCP
+  /// port the sampler is listening on — resolves a port-0 listen address
+  /// to the kernel's choice so the CLI can publish it (--port-file) before
+  /// any worker connects. 0 in every other sampler mode.
+  int SamplerBoundPort() const {
+    return proc_sampler_ ? proc_sampler_->bound_port() : 0;
+  }
 
  private:
   struct AgentNets {

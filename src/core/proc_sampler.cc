@@ -1,6 +1,9 @@
 #include "core/proc_sampler.h"
 
+#include <fcntl.h>
 #include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -26,6 +29,12 @@ uint64_t EnvStreamId(int w) { return 2 * static_cast<uint64_t>(w) + 1; }
 // was never meant to cover.
 constexpr long kSpawnGraceMs = 15000;
 
+long RemainingMs(const std::chrono::steady_clock::time_point& deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+      .count();
+}
+
 }  // namespace
 
 ProcSampler::ProcSampler(env::ScEnv& primary_env, util::Rng& primary_rng,
@@ -37,18 +46,35 @@ ProcSampler::ProcSampler(env::ScEnv& primary_env, util::Rng& primary_rng,
   if (num_workers < 1) {
     throw std::invalid_argument("ProcSampler: num_workers must be >= 1");
   }
-  if (options_.worker_binary.empty()) {
+  if (!remote() && options_.worker_binary.empty()) {
     throw std::invalid_argument("ProcSampler: worker_binary is required");
   }
   map::CampusId campus;
   if (!CampusIdFromName(primary_env_.dataset().campus.name, campus)) {
     throw std::invalid_argument(
         "ProcSampler: environment dataset is not a named campus; worker "
-        "subprocesses cannot rebuild it");
+        "processes cannot rebuild it");
   }
   // A worker dying between our poll and our write must surface as EPIPE on
-  // that worker's pipe, not kill the whole trainer.
-  ::signal(SIGPIPE, SIG_IGN);
+  // that worker's pipe, not kill the whole trainer (socket sends are
+  // already covered by MSG_NOSIGNAL in FrameWriter).
+  util::IgnoreSigpipe();
+  if (remote()) {
+    std::string host;
+    int port = 0;
+    if (!util::ParseHostPort(options_.listen_address, &host, &port)) {
+      throw util::NetError("ProcSampler: unparseable listen address '" +
+                           options_.listen_address + "'");
+    }
+    std::string error;
+    if (!listener_.Listen(host, port, &error)) {
+      throw util::NetError("ProcSampler: cannot listen on '" +
+                           options_.listen_address + "': " + error);
+    }
+    AGSC_LOG(kInfo) << "proc sampler: listening for " << num_workers
+                    << " remote worker(s) on " << host << ":"
+                    << listener_.bound_port();
+  }
 
   const util::Rng base(seed);
   sample_rngs_.reserve(static_cast<size_t>(num_workers - 1));
@@ -68,11 +94,22 @@ ProcSampler::~ProcSampler() {
   for (size_t w = 0; w < workers_.size(); ++w) {
     Worker& wk = workers_[w];
     if (wk.connected && wk.writer) {
-      wk.writer->Write(kMsgShutdown, wk.out_seq++, std::string());
-      wk.proc.CloseStdin();
-      wk.proc.Wait(nullptr, 500);
+      // Bounded: a wedged peer must not block the trainer's destructor.
+      wk.writer->Write(kMsgShutdown, wk.out_seq++, std::string(),
+                       /*timeout_ms=*/500);
+      if (!remote()) {
+        wk.proc.CloseStdin();
+        wk.proc.Wait(nullptr, 500);
+      }
+    }
+    if (wk.fd >= 0) {
+      ::close(wk.fd);
+      wk.fd = -1;
     }
     wk.proc.Reap();
+  }
+  for (auto& [id, pending] : parked_) {
+    if (pending.fd >= 0) ::close(pending.fd);
   }
 }
 
@@ -95,58 +132,153 @@ std::vector<util::Rng*> ProcSampler::SplitRngs() {
   return rngs;
 }
 
+void ProcSampler::ResetTransport(Worker& wk) {
+  if (wk.fd >= 0) {
+    // Shutdown first: a straggler blocked mid-write on the far side must
+    // observe the teardown immediately, and close alone can linger while
+    // unread data sits in flight. The worker process survives (unlike a
+    // local SIGKILL) and re-registers.
+    ::shutdown(wk.fd, SHUT_RDWR);
+    ::close(wk.fd);
+    wk.fd = -1;
+  }
+  wk.proc.Reap();
+  wk.reader.reset();
+  wk.writer.reset();
+  wk.out_seq = 0;
+  wk.connected = false;
+}
+
+bool ProcSampler::SpawnLocal(int w) {
+  Worker& wk = workers_[static_cast<size_t>(w)];
+  const std::vector<std::string> argv = {
+      options_.worker_binary,
+      "--worker-id", std::to_string(w),
+      "--incarnation", std::to_string(wk.incarnation)};
+  if (!wk.proc.Start(argv)) return false;
+  if (options_.send_buffer_bytes > 0) {
+    // Test hook: a tiny pipe makes a large episode-prefix frame exceed the
+    // kernel buffer, so a worker that stops draining trips the bounded
+    // write instead of hiding behind buffering. Kernel clamps to >= 1 page.
+    ::fcntl(wk.proc.stdin_fd(), F_SETPIPE_SZ, options_.send_buffer_bytes);
+  }
+  wk.reader = std::make_unique<util::FrameReader>(wk.proc.stdout_fd());
+  wk.writer = std::make_unique<util::FrameWriter>(wk.proc.stdin_fd());
+  return true;
+}
+
+bool ProcSampler::AttachRemote(int w) {
+  Worker& wk = workers_[static_cast<size_t>(w)];
+  const auto take = [&](PendingConn&& conn) {
+    wk.fd = conn.fd;
+    wk.reader = std::move(conn.reader);
+    wk.writer = std::make_unique<util::FrameWriter>(wk.fd);
+  };
+  const auto parked = parked_.find(w);
+  if (parked != parked_.end()) {
+    take(std::move(parked->second));
+    parked_.erase(parked);
+    return true;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.handshake_timeout_ms);
+  for (;;) {
+    const long remaining = std::max(0L, RemainingMs(deadline));
+    const int fd = listener_.Accept(remaining);
+    if (fd == -1) return false;  // Handshake budget exhausted.
+    if (fd < 0) {
+      AGSC_LOG(kWarning) << "proc sampler: accept failed";
+      return false;
+    }
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                   sizeof(options_.send_buffer_bytes));
+    }
+    PendingConn conn;
+    conn.fd = fd;
+    conn.reader = std::make_unique<util::FrameReader>(fd);
+    util::Frame frame;
+    const util::IpcStatus status = conn.reader->Read(frame, 5000);
+    WorkerRegister reg;
+    if (status != util::IpcStatus::kOk || frame.type != kMsgRegister ||
+        !DecodeWorkerRegister(frame.payload, reg) ||
+        reg.protocol_version != kWorkerProtocolVersion ||
+        reg.worker_id < 0 || reg.worker_id >= num_workers_) {
+      AGSC_LOG(kWarning) << "proc sampler: rejected a connection with a bad "
+                            "registration ("
+                         << util::IpcStatusName(status) << ")";
+      ::close(fd);
+      continue;
+    }
+    if (reg.worker_id == w) {
+      take(std::move(conn));
+      return true;
+    }
+    // Another slot registered first; park it (latest registration wins —
+    // an older parked fd is a dead predecessor connection).
+    PendingConn& slot = parked_[reg.worker_id];
+    if (slot.fd >= 0) ::close(slot.fd);
+    slot = std::move(conn);
+  }
+}
+
+bool ProcSampler::Handshake(int w) {
+  Worker& wk = workers_[static_cast<size_t>(w)];
+  WorkerInit init;
+  init.config = primary_env_.config();
+  if (!CampusIdFromName(primary_env_.dataset().campus.name, init.campus)) {
+    return false;  // Unreachable: the ctor validated the name.
+  }
+  if (wk.writer->Write(kMsgInit, wk.out_seq++, EncodeWorkerInit(init),
+                       options_.handshake_timeout_ms) !=
+      util::IpcStatus::kOk) {
+    ResetTransport(wk);
+    return false;
+  }
+  util::Frame frame;
+  // Generous deadline: a worker that cannot say hello within a minute is
+  // broken, not slow (the env rebuild takes well under that).
+  const util::IpcStatus status =
+      wk.reader->Read(frame, options_.handshake_timeout_ms);
+  WorkerHello hello;
+  if (status != util::IpcStatus::kOk || frame.type != kMsgHello ||
+      !DecodeWorkerHello(frame.payload, hello) ||
+      hello.protocol_version != kWorkerProtocolVersion ||
+      hello.worker_id != w ||
+      hello.num_agents != primary_env_.num_agents() ||
+      hello.obs_dim != primary_env_.obs_dim() ||
+      hello.state_dim != primary_env_.state_dim()) {
+    AGSC_LOG(kWarning) << "proc sampler: worker " << w
+                       << " handshake failed ("
+                       << util::IpcStatusName(status) << ")";
+    ResetTransport(wk);
+    return false;
+  }
+  wk.connected = true;
+  return true;
+}
+
 void ProcSampler::SpawnWorker(int w) {
   Worker& wk = workers_[static_cast<size_t>(w)];
   const bool up = util::RetryWithBackoff(options_.respawn_backoff, [&] {
-    wk.proc.Reap();
-    wk.reader.reset();
-    wk.writer.reset();
-    wk.out_seq = 0;
-    wk.connected = false;
+    ResetTransport(wk);
     ++wk.incarnation;
-
-    const std::vector<std::string> argv = {
-        options_.worker_binary,
-        "--worker-id", std::to_string(w),
-        "--incarnation", std::to_string(wk.incarnation)};
-    if (!wk.proc.Start(argv)) return false;
-    wk.reader = std::make_unique<util::FrameReader>(wk.proc.stdout_fd());
-    wk.writer = std::make_unique<util::FrameWriter>(wk.proc.stdin_fd());
-
-    WorkerInit init;
-    init.config = primary_env_.config();
-    if (!CampusIdFromName(primary_env_.dataset().campus.name, init.campus)) {
-      return false;  // Unreachable: the ctor validated the name.
-    }
-    if (!wk.writer->Write(kMsgInit, wk.out_seq++, EncodeWorkerInit(init))) {
-      return false;
-    }
-    util::Frame frame;
-    // Generous fixed deadline: a worker that cannot say hello within a
-    // minute is broken, not slow (the env rebuild takes well under that).
-    const util::IpcStatus status = wk.reader->Read(frame, 60000);
-    WorkerHello hello;
-    if (status != util::IpcStatus::kOk || frame.type != kMsgHello ||
-        !DecodeWorkerHello(frame.payload, hello) ||
-        hello.protocol_version != kWorkerProtocolVersion ||
-        hello.worker_id != w ||
-        hello.num_agents != primary_env_.num_agents() ||
-        hello.obs_dim != primary_env_.obs_dim() ||
-        hello.state_dim != primary_env_.state_dim()) {
-      AGSC_LOG(kWarning) << "proc sampler: worker " << w
-                         << " handshake failed ("
-                         << util::IpcStatusName(status) << ")";
-      wk.proc.Reap();
-      return false;
-    }
-    wk.connected = true;
-    return true;
+    if (remote() ? !AttachRemote(w) : !SpawnLocal(w)) return false;
+    return Handshake(w);
   });
   if (!up) {
     std::ostringstream msg;
-    msg << "proc sampler: worker " << w << " (" << options_.worker_binary
-        << ") failed to spawn and handshake after "
-        << options_.respawn_backoff.max_attempts << " attempts";
+    if (remote()) {
+      msg << "proc sampler: no remote worker registered for slot " << w
+          << " on " << options_.listen_address << " (bound port "
+          << listener_.bound_port() << ") within "
+          << options_.respawn_backoff.max_attempts << " attempts";
+    } else {
+      msg << "proc sampler: worker " << w << " (" << options_.worker_binary
+          << ") failed to spawn and handshake after "
+          << options_.respawn_backoff.max_attempts << " attempts";
+    }
     throw ProcWorkerError(msg.str());
   }
 }
@@ -154,11 +286,10 @@ void ProcSampler::SpawnWorker(int w) {
 void ProcSampler::FailWorker(int w, const std::string& why) {
   Worker& wk = workers_[static_cast<size_t>(w)];
   AGSC_LOG(kWarning) << "proc sampler: worker " << w << " failed (" << why
-                     << "); killing and respawning for deterministic replay";
-  wk.proc.Reap();
-  wk.reader.reset();
-  wk.writer.reset();
-  wk.connected = false;
+                     << "); " << (remote() ? "dropping the connection"
+                                           : "killing and respawning")
+                     << " for deterministic replay";
+  ResetTransport(wk);
   ++lifetime_respawns_;
   if (++collect_respawns_ > options_.max_respawns) {
     std::ostringstream msg;
@@ -183,15 +314,41 @@ bool ProcSampler::SendPrefix(int w) {
   prefix.rng_state = episode_rng_[static_cast<size_t>(w)];
   prefix.replay = replay_log_[static_cast<size_t>(w)];
   pending_prefix_[static_cast<size_t>(w)] = 1;
-  return wk.writer->Write(kMsgEpisodePrefix, wk.out_seq++,
-                          EncodeEpisodePrefix(prefix));
+  // The prefix is the one frame that can outgrow a kernel buffer (a crash
+  // replay late in an episode carries the whole action log), so the
+  // bounded write is what protects the trainer from a peer that stops
+  // draining: kTimeout here escalates exactly like a read failure.
+  const util::IpcStatus status =
+      wk.writer->Write(kMsgEpisodePrefix, wk.out_seq++,
+                       EncodeEpisodePrefix(prefix), write_timeout_ms());
+  if (status == util::IpcStatus::kTimeout) {
+    AGSC_LOG(kWarning) << "proc sampler: worker " << w
+                       << " stopped draining its pipe (prefix write timed "
+                          "out)";
+    // Same hard cutoff as a read timeout: the straggler never received the
+    // full replay and must not write a stale frame into a respawned
+    // successor's conversation.
+    if (remote()) {
+      if (wk.fd >= 0) ::shutdown(wk.fd, SHUT_RDWR);
+    } else {
+      wk.proc.Kill(SIGKILL);
+    }
+  }
+  if (status != util::IpcStatus::kOk) {
+    // The peer cannot have a coherent view of the episode; there is nothing
+    // to await on this transport. Leaving `connected` set would make the
+    // caller wait out the full scaled prefix-read deadline (deadline_ms x
+    // replay length) for a reply that can never come.
+    wk.connected = false;
+  }
+  return status == util::IpcStatus::kOk;
 }
 
 bool ProcSampler::SendStep(int w, const WorkerActions& actions) {
   Worker& wk = workers_[static_cast<size_t>(w)];
   pending_prefix_[static_cast<size_t>(w)] = 0;
-  return wk.writer->Write(kMsgStep, wk.out_seq++,
-                          EncodeWorkerActions(actions));
+  return wk.writer->Write(kMsgStep, wk.out_seq++, EncodeWorkerActions(actions),
+                          write_timeout_ms()) == util::IpcStatus::kOk;
 }
 
 bool ProcSampler::ReadResult(int w, long timeout_ms, WorkerStepResult& out,
@@ -202,9 +359,14 @@ bool ProcSampler::ReadResult(int w, long timeout_ms, WorkerStepResult& out,
   if (status != util::IpcStatus::kOk) {
     if (status == util::IpcStatus::kTimeout) {
       // A hung worker: unlike VecSampler's fail-fast watchdog this is
-      // recoverable, but kill it hard so the straggler cannot write a
-      // stale frame into a respawned successor's conversation.
-      wk.proc.Kill(SIGKILL);
+      // recoverable, but cut it off hard so the straggler cannot write a
+      // stale frame into a respawned successor's conversation — SIGKILL
+      // locally, socket shutdown remotely (FailWorker closes the fd).
+      if (remote()) {
+        if (wk.fd >= 0) ::shutdown(wk.fd, SHUT_RDWR);
+      } else {
+        wk.proc.Kill(SIGKILL);
+      }
     }
     if (why != nullptr) *why = std::string("read: ") + IpcStatusName(status);
     return false;
@@ -241,7 +403,10 @@ WorkerStepResult ProcSampler::AwaitResult(int w) {
     WorkerStepResult result;
     bool ok = false;
     if (wk.connected) {
-      long timeout = options_.step_deadline_ms;
+      // 0 = "block forever" in Options terms, -1 on the IPC sentinel.
+      long timeout = options_.step_deadline_ms > 0
+                         ? options_.step_deadline_ms
+                         : -1;
       if (timeout > 0 && pending_prefix_[static_cast<size_t>(w)] != 0) {
         // A prefix reply covers env rebuild + silent replay of the episode
         // so far, not just one step.
@@ -266,9 +431,15 @@ WorkerStepResult ProcSampler::AwaitResult(int w) {
     }
     FailWorker(w, why);
     SpawnWorker(w);
-    // Fresh incarnation: replay the episode deterministically. A failed
-    // prefix write loops back into FailWorker until the budget runs out.
-    if (!SendPrefix(w)) continue;
+    // Fresh incarnation: replay the episode deterministically. A prefix
+    // write that itself fails escalates on the spot — the peer never got
+    // the replay, so waiting for its reply would burn the whole scaled
+    // prefix-read deadline. FailWorker enforces the respawn budget, so
+    // this cannot loop forever.
+    while (!SendPrefix(w)) {
+      FailWorker(w, "prefix write failed");
+      SpawnWorker(w);
+    }
   }
 }
 

@@ -7,12 +7,14 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/vec_sampler.h"
 #include "core/worker_protocol.h"
 #include "env/sc_env.h"
 #include "util/ipc.h"
+#include "util/net.h"
 #include "util/retry.h"
 #include "util/rng.h"
 #include "util/subprocess.h"
@@ -29,19 +31,27 @@ class ProcWorkerError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Crash-isolated counterpart of VecSampler: N agsc_worker subprocesses,
-/// each owning one environment replica in its own address space, driven in
-/// lock-step over checksummed pipes (core/worker_protocol). A worker that
-/// dies, hangs past the step deadline, or emits a damaged frame is
-/// SIGKILLed, respawned with bounded backoff, and replayed deterministically
-/// from its recorded episode-start RNG state plus the actions already
-/// issued — the final buffers and checkpoints are byte-identical to the
-/// fault-free run.
+/// Crash-isolated counterpart of VecSampler: N agsc_worker processes, each
+/// owning one environment replica in its own address space, driven in
+/// lock-step over checksummed frames (core/worker_protocol). Two
+/// transports, one protocol:
+///  * local (`--proc-workers N`): fork/exec subprocesses over stdin/stdout
+///    pipes. A worker that dies, hangs past the step deadline, or emits a
+///    damaged frame is SIGKILLed and respawned with bounded backoff.
+///  * remote (`--remote-workers N` + Options::listen_address): the sampler
+///    listens on TCP (util/net) and `agsc_worker --connect` processes —
+///    possibly on other hosts — claim worker slots via kMsgRegister. The
+///    SIGKILL-respawn path generalizes to disconnect-reconnect: any fault
+///    drops the connection and the worker's next registration resumes the
+///    slot.
+/// Either way the failed shard is replayed deterministically from its
+/// recorded episode-start RNG state plus the actions already issued — the
+/// final buffers and checkpoints are byte-identical to the fault-free run.
 ///
 /// Bit-exactness contract (pinned by proc_sampler_test and the chaos
-/// campaign): `--proc-workers N` produces rollout buffers, metrics, and
-/// checkpoints bit-identical to `--num-workers N` for the same seed. The
-/// pieces that make this hold:
+/// campaign): `--proc-workers N` and `--remote-workers N` produce rollout
+/// buffers, metrics, and checkpoints bit-identical to `--num-workers N`
+/// for the same seed. The pieces that make this hold:
 ///  * identical RNG stream layout — worker w > 0 samples from
 ///    Rng(seed).Split(2w) (trainer-side) and steps its env from
 ///    Rng(seed).Split(2w+1) (worker-side, mirrored here); worker 0 aliases
@@ -62,17 +72,36 @@ class ProcSampler {
   using BatchActFn = VecSampler::BatchActFn;
 
   struct Options {
-    /// Path to the agsc_worker binary. Required.
+    /// Path to the agsc_worker binary. Required in local mode; unused when
+    /// listen_address is set (remote workers are launched externally).
     std::string worker_binary;
-    /// Read deadline per result frame in ms; 0 = block forever (a hung
-    /// worker then hangs collection, exactly like a watchdog-less
-    /// VecSampler). Settable later via set_step_deadline_ms.
+    /// Deadline per result-frame read AND per frame write in ms; 0 = block
+    /// forever (a hung worker then hangs collection, exactly like a
+    /// watchdog-less VecSampler). A bounded write matters as much as a
+    /// bounded read: a peer that stops draining its pipe/socket would
+    /// otherwise wedge the trainer's send path with no watchdog in front
+    /// of it. Settable later via set_step_deadline_ms.
     long step_deadline_ms = 0;
-    /// Backoff schedule between respawn attempts of the same worker.
+    /// Backoff schedule between respawn/re-attach attempts of the same
+    /// worker.
     util::RetryPolicy respawn_backoff;
     /// Total respawns tolerated per Collect() call before giving up with
     /// ProcWorkerError.
     int max_respawns = 8;
+    /// Remote mode: "HOST:PORT" to listen on (port 0 = kernel-assigned,
+    /// see bound_port()). Empty = local fork/exec mode. The listener is
+    /// bound in the constructor (NetError on failure) so callers can
+    /// publish the port before workers exist.
+    std::string listen_address;
+    /// Remote mode: budget for one worker registration + init/hello
+    /// handshake (covers the reconnect-after-drop latency of a worker
+    /// replaying a long episode prefix too).
+    long handshake_timeout_ms = 60000;
+    /// Test hook: shrink each worker transport's send buffer to roughly
+    /// this many bytes (F_SETPIPE_SZ on pipes, SO_SNDBUF on sockets; the
+    /// kernel clamps to a page / doubles respectively). 0 = OS default.
+    /// Makes the write-stall fault reachable with small frames.
+    int send_buffer_bytes = 0;
   };
 
   /// `num_workers` and `seed` define the RNG stream layout exactly as in
@@ -120,22 +149,49 @@ class ProcSampler {
   /// Total worker respawns over this sampler's lifetime (tests/stats).
   int respawn_count() const { return lifetime_respawns_; }
 
+  /// Remote mode only: the TCP port workers must --connect to (resolves a
+  /// port-0 listen_address); 0 in local mode.
+  int bound_port() const { return listener_.bound_port(); }
+  bool remote() const { return !options_.listen_address.empty(); }
+
  private:
   struct Worker {
-    util::Subprocess proc;
+    util::Subprocess proc;               ///< Local mode only.
+    int fd = -1;                         ///< Remote mode only: the socket.
     std::unique_ptr<util::FrameReader> reader;
     std::unique_ptr<util::FrameWriter> writer;
     uint64_t out_seq = 0;
-    int incarnation = -1;  ///< Spawn count - 1; -1 = never spawned.
+    int incarnation = -1;  ///< Spawn/attach count - 1; -1 = never spawned.
     bool connected = false;
+  };
+
+  /// A remote worker that registered while we were attaching a different
+  /// slot; claimed (fd + reader mid-stream) when its slot spawns.
+  struct PendingConn {
+    int fd = -1;
+    std::unique_ptr<util::FrameReader> reader;
   };
 
   util::Rng& env_stream(int w);
 
-  /// Spawn + kMsgInit + kMsgHello handshake with retry/backoff. Throws
+  /// Brings worker `w` up with retry/backoff: fork/exec (local) or claim a
+  /// registration (remote), then the kMsgInit/kMsgHello handshake. Throws
   /// ProcWorkerError when the worker cannot be brought up at all.
   void SpawnWorker(int w);
-  /// SIGKILL + reap + count one respawn against the Collect budget (throws
+  /// Local: fork/exec + pipe setup. False on failure.
+  bool SpawnLocal(int w);
+  /// Remote: claim worker w's registration — parked or freshly accepted
+  /// within the handshake budget; registrations for other slots are parked
+  /// (latest wins). False on timeout/listener failure.
+  bool AttachRemote(int w);
+  /// kMsgInit -> kMsgHello handshake + dims validation over the already-
+  /// attached transport. False (transport torn down) on any mismatch.
+  bool Handshake(int w);
+  /// Tears down worker w's transport: reap the subprocess (local) or
+  /// shutdown+close the socket (remote, the worker sees EOF and
+  /// reconnects); resets reader/writer/seq state.
+  void ResetTransport(Worker& wk);
+  /// ResetTransport + count one respawn against the Collect budget (throws
   /// ProcWorkerError when it is exhausted) + backoff sleep.
   void FailWorker(int w, const std::string& why);
 
@@ -154,11 +210,20 @@ class ProcSampler {
   bool ReadResult(int w, long timeout_ms, WorkerStepResult& out,
                   std::string* why);
 
+  /// Options::step_deadline_ms translated to the IPC sentinel (0 = "block
+  /// forever" becomes -1); bounds every steady-state frame write.
+  long write_timeout_ms() const {
+    return options_.step_deadline_ms > 0 ? options_.step_deadline_ms : -1;
+  }
+
   env::ScEnv& primary_env_;
   util::Rng& primary_rng_;
   const int num_workers_;
   Options options_;
   std::function<bool()> stop_check_;
+
+  util::TcpListener listener_;                    ///< Remote mode only.
+  std::unordered_map<int, PendingConn> parked_;   ///< Remote mode only.
 
   std::vector<util::Rng> sample_rngs_;  ///< Workers 1..W-1.
   std::vector<util::Rng> env_mirrors_;  ///< Workers 1..W-1 (0 = env_.rng()).

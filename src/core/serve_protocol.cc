@@ -1,0 +1,273 @@
+#include "core/serve_protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace agsc::core {
+
+namespace {
+
+using util::WireReader;
+using util::WireWriter;
+
+// DispatchResult outcome flags on the wire.
+constexpr uint32_t kFlagOk = 1u << 0;
+constexpr uint32_t kFlagExpired = 1u << 1;
+constexpr uint32_t kFlagShutdown = 1u << 2;
+constexpr uint32_t kFlagEpisodeDone = 1u << 3;
+
+}  // namespace
+
+std::string EncodeServeActRequest(const ServeActRequest& req) {
+  WireWriter w;
+  w.U32(kServeProtocolVersion);
+  w.I32(req.agent);
+  w.F32Vec(req.obs);
+  return w.Take();
+}
+
+bool DecodeServeActRequest(const std::string& payload, ServeActRequest& out) {
+  WireReader r(payload);
+  if (r.U32() != kServeProtocolVersion) return false;
+  out.agent = r.I32();
+  if (!r.F32Vec(out.obs)) return false;
+  return r.Done();
+}
+
+std::string EncodeServeStepRequest(const ServeStepRequest& req) {
+  WireWriter w;
+  w.U32(kServeProtocolVersion);
+  w.I32(req.session);
+  return w.Take();
+}
+
+bool DecodeServeStepRequest(const std::string& payload,
+                            ServeStepRequest& out) {
+  WireReader r(payload);
+  if (r.U32() != kServeProtocolVersion) return false;
+  out.session = r.I32();
+  return r.Done();
+}
+
+std::string EncodeServeResponse(const DispatchResult& result) {
+  WireWriter w;
+  w.U32(kServeProtocolVersion);
+  uint32_t flags = 0;
+  if (result.ok) flags |= kFlagOk;
+  if (result.expired) flags |= kFlagExpired;
+  if (result.shutdown) flags |= kFlagShutdown;
+  if (result.episode_done) flags |= kFlagEpisodeDone;
+  w.U32(flags);
+  w.F32(result.action[0]);
+  w.F32(result.action[1]);
+  w.U64(result.snapshot_version);
+  w.F64(result.latency_ms);
+  return w.Take();
+}
+
+bool DecodeServeResponse(const std::string& payload, DispatchResult& out) {
+  WireReader r(payload);
+  if (r.U32() != kServeProtocolVersion) return false;
+  const uint32_t flags = r.U32();
+  out.action[0] = r.F32();
+  out.action[1] = r.F32();
+  out.snapshot_version = r.U64();
+  out.latency_ms = r.F64();
+  if (!r.Done()) return false;
+  out.ok = (flags & kFlagOk) != 0;
+  out.expired = (flags & kFlagExpired) != 0;
+  out.shutdown = (flags & kFlagShutdown) != 0;
+  out.episode_done = (flags & kFlagEpisodeDone) != 0;
+  return true;
+}
+
+// --- ServeFrontend ---------------------------------------------------------
+
+ServeFrontend::ServeFrontend(DispatchServer& server, const Options& options)
+    : server_(server), options_(options) {
+  util::IgnoreSigpipe();
+  std::string host;
+  int port = 0;
+  if (!util::ParseHostPort(options_.listen_address, &host, &port)) {
+    throw util::NetError("unparseable listen address '" +
+                         options_.listen_address + "'");
+  }
+  std::string error;
+  if (!listener_.Listen(host, port, &error)) {
+    throw util::NetError("cannot listen on " + options_.listen_address +
+                         ": " + error);
+  }
+}
+
+ServeFrontend::~ServeFrontend() { Stop(); }
+
+void ServeFrontend::Start() {
+  if (running_.exchange(true)) return;
+  stop_requested_.store(false);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+void ServeFrontend::Stop() {
+  if (!running_.load()) return;
+  stop_requested_.store(true);
+  // Unblock the acceptor: closing the listening socket fails its poll.
+  listener_.Close();
+  if (acceptor_.joinable()) acceptor_.join();
+  // Unblock every handler read with EOF, then join.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const std::unique_ptr<Conn>& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (const std::unique_ptr<Conn>& conn : conns_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  conns_.clear();
+  running_.store(false);
+}
+
+void ServeFrontend::ReapFinished() {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (size_t i = 0; i < conns_.size();) {
+    if (conns_[i]->done) {
+      if (conns_[i]->thread.joinable()) conns_[i]->thread.join();
+      conns_.erase(conns_.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void ServeFrontend::AcceptLoop() {
+  while (!stop_requested_.load()) {
+    const int fd = listener_.Accept(/*timeout_ms=*/250);
+    if (fd == -1) {  // Timeout: reap and keep accepting.
+      ReapFinished();
+      continue;
+    }
+    if (fd < 0) break;  // Listener closed (Stop) or failed.
+    ReapFinished();
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      if (static_cast<int>(conns_.size()) >= options_.max_connections) {
+        AGSC_LOG(kWarning) << "serve frontend: connection limit ("
+                           << options_.max_connections << ") reached";
+        ::close(fd);
+        continue;
+      }
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Conn>();
+    Conn* raw = conn.get();
+    raw->fd = fd;
+    raw->thread = std::thread([this, fd, raw] { HandleConnection(fd, raw); });
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void ServeFrontend::HandleConnection(int fd, Conn* conn) {
+  util::FrameReader reader(fd);
+  util::FrameWriter writer(fd);
+  uint64_t out_seq = 0;
+  util::Frame frame;
+  for (;;) {
+    const util::IpcStatus status = reader.Read(frame, /*timeout_ms=*/-1);
+    if (status != util::IpcStatus::kOk) {
+      // EOF is the normal goodbye; anything else (corruption, a torn
+      // frame from a dying peer) just ends this conversation — the
+      // dispatch server and the other connections are untouched.
+      if (status != util::IpcStatus::kEof) {
+        AGSC_LOG(kWarning) << "serve frontend: dropping connection ("
+                           << util::IpcStatusName(status) << ")";
+      }
+      break;
+    }
+    DispatchResult result;
+    bool valid = false;
+    if (frame.type == kSrvMsgActRequest) {
+      ServeActRequest req;
+      if ((valid = DecodeServeActRequest(frame.payload, req))) {
+        result = server_.Act(req.agent, req.obs);
+      }
+    } else if (frame.type == kSrvMsgStepRequest) {
+      ServeStepRequest req;
+      if ((valid = DecodeServeStepRequest(frame.payload, req))) {
+        result = server_.StepSession(req.session);
+      }
+    }
+    if (!valid) {
+      AGSC_LOG(kWarning) << "serve frontend: rejecting malformed request "
+                         << "(type " << frame.type << ")";
+      break;
+    }
+    if (writer.Write(kSrvMsgResponse, out_seq++, EncodeServeResponse(result),
+                     options_.write_timeout_ms) != util::IpcStatus::kOk) {
+      AGSC_LOG(kWarning)
+          << "serve frontend: dropping connection (response write stalled)";
+      break;
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  conn->fd = -1;
+  conn->done = true;
+}
+
+// --- ServeClient ------------------------------------------------------------
+
+bool ServeClient::Connect(const std::string& host, int port, long timeout_ms,
+                          std::string* error) {
+  Close();
+  util::IgnoreSigpipe();
+  fd_ = util::TcpConnect(host, port, timeout_ms, error);
+  if (fd_ < 0) return false;
+  writer_ = std::make_unique<util::FrameWriter>(fd_);
+  reader_ = std::make_unique<util::FrameReader>(fd_);
+  out_seq_ = 0;
+  return true;
+}
+
+void ServeClient::Close() {
+  writer_.reset();
+  reader_.reset();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool ServeClient::RoundTrip(uint32_t type, const std::string& payload,
+                            long timeout_ms, DispatchResult& out) {
+  if (fd_ < 0) return false;
+  if (writer_->Write(type, out_seq_++, payload, timeout_ms) !=
+      util::IpcStatus::kOk) {
+    return false;
+  }
+  util::Frame frame;
+  if (reader_->Read(frame, timeout_ms) != util::IpcStatus::kOk) return false;
+  if (frame.type != kSrvMsgResponse) return false;
+  return DecodeServeResponse(frame.payload, out);
+}
+
+bool ServeClient::Act(int agent, const std::vector<float>& obs,
+                      long timeout_ms, DispatchResult& out) {
+  ServeActRequest req;
+  req.agent = agent;
+  req.obs = obs;
+  return RoundTrip(kSrvMsgActRequest, EncodeServeActRequest(req), timeout_ms,
+                   out);
+}
+
+bool ServeClient::StepSession(int session, long timeout_ms,
+                              DispatchResult& out) {
+  ServeStepRequest req;
+  req.session = session;
+  return RoundTrip(kSrvMsgStepRequest, EncodeServeStepRequest(req),
+                   timeout_ms, out);
+}
+
+}  // namespace agsc::core

@@ -1,0 +1,172 @@
+#ifndef AGSC_CORE_SERVE_PROTOCOL_H_
+#define AGSC_CORE_SERVE_PROTOCOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dispatch_server.h"
+#include "util/ipc.h"
+#include "util/net.h"
+
+namespace agsc::core {
+
+/// Wire protocol of the networked serving frontend: the DispatchServer's
+/// two blocking entry points (Act, StepSession) exposed as framed
+/// request/response pairs over TCP (util/net sockets carrying util/ipc
+/// length-prefixed CRC frames — the exact transport the rollout workers
+/// speak, reused rather than reinvented).
+///
+/// Each connection is an independent conversation: the client sends one
+/// request frame and reads exactly one kSrvMsgResponse back; frame `seq`
+/// starts at 0 per direction and increments per frame, so a dropped or
+/// reordered frame is caught by the reader's gap check. Requests pipeline
+/// naturally (the frontend answers in request order per connection), but
+/// the provided ServeClient keeps the simple lock-step discipline.
+///
+/// The frontend adds NO semantics of its own: every request is handed to
+/// the in-process DispatchServer, so a framed Act over loopback returns an
+/// action bit-identical to a direct DispatchServer::Act call against the
+/// same snapshot — serving_soak_test pins exactly that. Deadlines,
+/// batching, snapshot pinning, and fail-fast expiry all happen in the
+/// DispatchServer; the frontend only moves bytes.
+inline constexpr uint32_t kServeProtocolVersion = 1;
+
+enum ServeMsgType : uint32_t {
+  /// Client -> frontend: stateless inference. {agent i32, obs F32Vec}.
+  kSrvMsgActRequest = 1,
+  /// Client -> frontend: step a server-side session. {session i32}.
+  kSrvMsgStepRequest = 2,
+  /// Frontend -> client: one DispatchResult. Answers either request.
+  kSrvMsgResponse = 3,
+};
+
+struct ServeActRequest {
+  int32_t agent = 0;
+  std::vector<float> obs;
+};
+
+struct ServeStepRequest {
+  int32_t session = 0;
+};
+
+std::string EncodeServeActRequest(const ServeActRequest& req);
+bool DecodeServeActRequest(const std::string& payload, ServeActRequest& out);
+std::string EncodeServeStepRequest(const ServeStepRequest& req);
+bool DecodeServeStepRequest(const std::string& payload, ServeStepRequest& out);
+
+/// DispatchResult crosses the wire losslessly: floats/doubles as raw bit
+/// patterns, the three outcome flags packed into a bitmask.
+std::string EncodeServeResponse(const DispatchResult& result);
+bool DecodeServeResponse(const std::string& payload, DispatchResult& out);
+
+/// TCP frontend for a DispatchServer: accepts connections on a listening
+/// socket and serves framed Act/StepSession requests against the wrapped
+/// (caller-owned, already Start()ed) server.
+///
+/// Threading: one acceptor thread plus one handler thread per live
+/// connection. The handler blocks in DispatchServer's synchronous calls —
+/// the deadline discipline lives there, so a slow request fails fast with
+/// `expired` rather than stalling the connection indefinitely. Response
+/// writes are bounded by `write_timeout_ms`; a peer that stops draining
+/// its socket gets its connection dropped, never a wedged handler.
+///
+/// Stop() discipline: handler reads are unbounded (a quiet client costs
+/// nothing), so shutdown works by shutdown(2)-ing every live connection —
+/// the blocked reads see EOF and the handlers unwind; no timeout-tearing
+/// mid-frame.
+class ServeFrontend {
+ public:
+  struct Options {
+    std::string listen_address;     ///< "HOST:PORT"; port 0 = kernel pick.
+    long write_timeout_ms = 5000;   ///< Response-write bound per frame.
+    int max_connections = 64;       ///< Accepts beyond this are closed.
+  };
+
+  /// Binds and listens immediately; throws util::NetError when the address
+  /// is unusable (agsc_serve maps it to util::kExitNetError).
+  ServeFrontend(DispatchServer& server, const Options& options);
+  ~ServeFrontend();
+
+  ServeFrontend(const ServeFrontend&) = delete;
+  ServeFrontend& operator=(const ServeFrontend&) = delete;
+
+  /// Starts the acceptor thread. Idempotent.
+  void Start();
+  /// Stops accepting, unblocks and joins every handler. Idempotent.
+  void Stop();
+
+  int bound_port() const { return listener_.bound_port(); }
+
+  /// Connections accepted over this frontend's lifetime (tests/stats).
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    bool done = false;  ///< Handler exited; joinable, fd closed.
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd, Conn* conn);
+  /// Joins finished handlers and drops their slots (acceptor thread only).
+  void ReapFinished();
+
+  DispatchServer& server_;
+  Options options_;
+  util::TcpListener listener_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+/// Minimal blocking client for the frontend: one connection, lock-step
+/// request/response. Used by bench_serving's TCP mode and the serving soak
+/// test; real deployments can speak the protocol from anything that can
+/// frame bytes.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { Close(); }
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects with `timeout_ms` per the util/ipc sentinel convention
+  /// (negative = unbounded). False on failure (`error` filled if given).
+  bool Connect(const std::string& host, int port, long timeout_ms,
+               std::string* error = nullptr);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One framed Act round-trip; `timeout_ms` bounds the response read.
+  /// False on transport failure (the connection is then unusable).
+  bool Act(int agent, const std::vector<float>& obs, long timeout_ms,
+           DispatchResult& out);
+  /// One framed StepSession round-trip.
+  bool StepSession(int session, long timeout_ms, DispatchResult& out);
+
+ private:
+  bool RoundTrip(uint32_t type, const std::string& payload, long timeout_ms,
+                 DispatchResult& out);
+
+  int fd_ = -1;
+  std::unique_ptr<util::FrameWriter> writer_;
+  std::unique_ptr<util::FrameReader> reader_;
+  uint64_t out_seq_ = 0;
+};
+
+}  // namespace agsc::core
+
+#endif  // AGSC_CORE_SERVE_PROTOCOL_H_

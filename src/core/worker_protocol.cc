@@ -144,6 +144,22 @@ bool DecodeWorkerInit(const std::string& payload, WorkerInit& out) {
   return r.Done();
 }
 
+std::string EncodeWorkerRegister(const WorkerRegister& reg) {
+  WireWriter w;
+  w.U32(reg.protocol_version);
+  w.I32(reg.worker_id);
+  w.I32(reg.connect_seq);
+  return w.Take();
+}
+
+bool DecodeWorkerRegister(const std::string& payload, WorkerRegister& out) {
+  WireReader r(payload);
+  out.protocol_version = r.U32();
+  out.worker_id = r.I32();
+  out.connect_seq = r.I32();
+  return r.Done();
+}
+
 std::string EncodeWorkerHello(const WorkerHello& hello) {
   WireWriter w;
   w.U32(hello.protocol_version);

@@ -14,11 +14,14 @@
 namespace agsc::core {
 
 /// Wire protocol between the trainer's ProcSampler and the agsc_worker
-/// subprocesses. Frames are carried by util::FrameWriter/FrameReader
-/// (length-prefixed, CRC-checksummed, sequence-numbered); this header owns
-/// the message-type registry and the payload codecs.
+/// processes — local subprocesses over stdin/stdout pipes, or remote
+/// `agsc_worker --connect` processes over TCP (util/net). Frames are
+/// carried by util::FrameWriter/FrameReader (length-prefixed,
+/// CRC-checksummed, sequence-numbered); this header owns the message-type
+/// registry and the payload codecs.
 ///
-/// Conversation (one per worker, per incarnation):
+/// Conversation (one per worker, per incarnation/connection):
+///   worker  -> trainer  kMsgRegister        remote only: claim a worker slot
 ///   trainer -> worker   kMsgInit            campus + full EnvConfig
 ///   worker  -> trainer  kMsgHello           version + dims echo
 ///   repeat per episode:
@@ -39,7 +42,8 @@ namespace agsc::core {
 /// All floats/doubles travel as raw bit patterns, so a replayed or
 /// multi-process rollout is bit-identical to the in-process one.
 
-inline constexpr uint32_t kWorkerProtocolVersion = 1;
+/// v2 added kMsgRegister (remote workers over TCP).
+inline constexpr uint32_t kWorkerProtocolVersion = 2;
 
 enum WorkerMsgType : uint32_t {
   kMsgInit = 1,
@@ -48,6 +52,7 @@ enum WorkerMsgType : uint32_t {
   kMsgStep = 4,
   kMsgShutdown = 5,
   kMsgStepResult = 6,
+  kMsgRegister = 7,
 };
 
 /// kMsgInit payload: everything a worker needs to rebuild the trainer's
@@ -56,6 +61,18 @@ enum WorkerMsgType : uint32_t {
 struct WorkerInit {
   map::CampusId campus = map::CampusId::kPurdue;
   env::EnvConfig config;
+};
+
+/// kMsgRegister payload: the first frame a remote (`--connect`) worker
+/// sends on every fresh TCP connection, claiming its `--worker-id` slot.
+/// `connect_seq` counts the worker's connections (0 = first) — the remote
+/// analogue of the local incarnation number, and the scope the worker
+/// fault campaigns key off. Local pipe workers never send this: their
+/// identity is the pipe itself.
+struct WorkerRegister {
+  uint32_t protocol_version = kWorkerProtocolVersion;
+  int32_t worker_id = 0;
+  int32_t connect_seq = 0;
 };
 
 /// kMsgHello payload: the worker's view of the protocol and the rebuilt
@@ -103,6 +120,9 @@ struct WorkerStepResult {
 
 std::string EncodeWorkerInit(const WorkerInit& init);
 bool DecodeWorkerInit(const std::string& payload, WorkerInit& out);
+
+std::string EncodeWorkerRegister(const WorkerRegister& reg);
+bool DecodeWorkerRegister(const std::string& payload, WorkerRegister& out);
 
 std::string EncodeWorkerHello(const WorkerHello& hello);
 bool DecodeWorkerHello(const std::string& payload, WorkerHello& out);

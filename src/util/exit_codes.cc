@@ -15,6 +15,7 @@ const char* ExitCodeName(int code) {
     case kExitInterruptedAbort: return "interrupted-abort";
     case kExitWorkerFailed: return "worker-failed";
     case kExitServeError: return "serve-error";
+    case kExitNetError: return "net-error";
     default: return "unknown";
   }
 }

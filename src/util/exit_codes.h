@@ -47,6 +47,13 @@ enum ExitCode : int {
   /// corrupt *after* startup do NOT use this code — the server keeps the
   /// last good snapshot live and exits 0.
   kExitServeError = 11,
+  /// Network setup failed: an unusable --listen address (bind/listen
+  /// refused, unparseable host:port) in agsc_train/agsc_serve, or an
+  /// agsc_worker --connect whose retry budget never reached a listening
+  /// trainer. Runtime peer failures (a worker dropping mid-run) do NOT use
+  /// this code — they feed the reconnect-and-replay machinery and, only if
+  /// the respawn budget dies, surface as kExitWorkerFailed.
+  kExitNetError = 12,
 };
 
 /// Short stable name of `code` for log lines ("ok", "watchdog-timeout", ...);

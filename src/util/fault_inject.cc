@@ -25,6 +25,7 @@ void FaultInjector::set_config(const Config& config) {
   task_count_ = 0;
   frame_in_count_ = 0;
   frame_out_count_ = 0;
+  frame_read_count_ = 0;
 }
 
 FaultInjector::Config FaultInjector::config() const {
@@ -48,6 +49,8 @@ void FaultInjector::ReloadFromEnv() {
   config.kill_worker_nth = GetEnvOr("AGSC_FAULT_KILL_WORKER_NTH", 0);
   config.corrupt_frame = GetEnvOr("AGSC_FAULT_CORRUPT_FRAME", 0);
   config.stall_pipe = GetEnvOr("AGSC_FAULT_STALL_PIPE", 0);
+  config.stall_reads = GetEnvOr("AGSC_FAULT_STALL_READS", 0);
+  config.drop_conn = GetEnvOr("AGSC_FAULT_DROP_CONN", 0);
   config.fault_worker_id = GetEnvOr("AGSC_FAULT_WORKER_ID", -1);
   set_config(config);
 }
@@ -124,11 +127,31 @@ FaultInjector::FrameFault FaultInjector::NextFrameFault() {
   return fault;
 }
 
+FaultInjector::ReadFault FaultInjector::NextReadFault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReadFault fault;
+  if (config_.stall_reads <= 0 && config_.drop_conn <= 0) return fault;
+  ++frame_read_count_;
+  if (config_.stall_reads > 0 && frame_read_count_ == config_.stall_reads) {
+    fault.stall_ms = config_.stall_ms;
+  }
+  if (config_.drop_conn > 0 && frame_read_count_ == config_.drop_conn) {
+    fault.drop = true;
+  }
+  return fault;
+}
+
 void FaultInjector::DisarmWorkerFaults() {
   std::lock_guard<std::mutex> lock(mutex_);
   config_.kill_worker_nth = 0;
   config_.corrupt_frame = 0;
   config_.stall_pipe = 0;
+  config_.drop_conn = 0;
+}
+
+void FaultInjector::DisarmReadStallFault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_.stall_reads = 0;
 }
 
 int FaultInjector::write_count() const {

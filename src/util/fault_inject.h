@@ -55,7 +55,26 @@ namespace agsc::util {
 ///                                  before writing its Nth result frame
 ///                                  (hung worker; exercises the read
 ///                                  timeout -> respawn path).
-///   AGSC_FAULT_WORKER_ID=W         restrict the three faults above to
+///   AGSC_FAULT_STALL_READS=N       the worker sleeps AGSC_FAULT_STALL_MS
+///                                  before *reading* its Nth incoming frame
+///                                  (counted over every incoming frame,
+///                                  init/prefix included) — a peer that
+///                                  stops draining; exercises the bounded
+///                                  FrameWriter::Write -> kTimeout path.
+///                                  Scoped by its own incarnation knob
+///                                  AGSC_FAULT_STALL_READS_INCARNATION
+///                                  (read by agsc_worker, default 0) so the
+///                                  stall can target a *respawned*
+///                                  incarnation whose episode prefix
+///                                  carries a large replay log.
+///   AGSC_FAULT_DROP_CONN=N         a remote (--connect) worker drops its
+///                                  TCP connection instead of reading its
+///                                  Nth incoming frame, then reconnects —
+///                                  the injected mid-episode network
+///                                  partition behind the reconnect-and-
+///                                  replay tests. Pipe workers exit 4
+///                                  instead (the trainer sees EOF).
+///   AGSC_FAULT_WORKER_ID=W         restrict the worker faults above to
 ///                                  worker W (default -1 = any worker).
 ///
 /// The injector is a process-wide singleton; counters advance across all
@@ -78,13 +97,21 @@ class FaultInjector {
     int kill_worker_nth = 0;  ///< 1-based incoming step frame to die on.
     int corrupt_frame = 0;    ///< 1-based outgoing frame to corrupt.
     int stall_pipe = 0;       ///< 1-based outgoing frame to delay.
-    int fault_worker_id = -1; ///< Worker the three faults target; -1 = any.
+    int stall_reads = 0;      ///< 1-based incoming frame to stall before.
+    int drop_conn = 0;        ///< 1-based incoming frame to drop conn before.
+    int fault_worker_id = -1; ///< Worker the faults above target; -1 = any.
   };
 
   /// Faults to apply to the next outgoing IPC frame (worker side).
   struct FrameFault {
     long stall_ms = 0;       ///< Sleep before writing; 0 = none.
     long corrupt_byte = -1;  ///< Payload byte to flip post-CRC; -1 = none.
+  };
+
+  /// Faults to apply before the next incoming IPC frame (worker side).
+  struct ReadFault {
+    long stall_ms = 0;  ///< Sleep before reading; 0 = none (STALL_READS).
+    bool drop = false;  ///< Drop the connection instead (DROP_CONN).
   };
 
   static FaultInjector& Instance();
@@ -123,12 +150,23 @@ class FaultInjector {
   /// sleeps and flips outside the injector's lock.
   FrameFault NextFrameFault();
 
+  /// Called by agsc_worker once per incoming frame, *before* the read;
+  /// returns the STALL_READS / DROP_CONN faults due for this frame. The
+  /// caller sleeps / drops outside the injector's lock.
+  ReadFault NextReadFault();
+
   /// Disarms the subprocess-rollout faults only (KILL_WORKER_NTH,
-  /// CORRUPT_FRAME, STALL_PIPE). agsc_worker calls this when the faults
-  /// are scoped to another worker id, or when it is a respawned
-  /// incarnation — a replayed shard must not re-trip the fault that
-  /// killed its predecessor.
+  /// CORRUPT_FRAME, STALL_PIPE, DROP_CONN). agsc_worker calls this when
+  /// the faults are scoped to another worker id, or when it is a respawned
+  /// incarnation / reconnection — a replayed shard must not re-trip the
+  /// fault that killed its predecessor. STALL_READS is NOT covered: it is
+  /// scoped by its own incarnation knob (see the env-flag table) and
+  /// disarmed via DisarmReadStallFault.
   void DisarmWorkerFaults();
+
+  /// Disarms STALL_READS only (its incarnation scope is independent so the
+  /// stall can be aimed at a respawned incarnation's replay prefix).
+  void DisarmReadStallFault();
 
   int write_count() const;
 
@@ -142,6 +180,7 @@ class FaultInjector {
   int task_count_ = 0;
   int frame_in_count_ = 0;
   int frame_out_count_ = 0;
+  int frame_read_count_ = 0;
 };
 
 /// Writes `bytes` to `path` crash-safely: the payload goes to `path.tmp`,

@@ -1,11 +1,14 @@
 #include "util/ipc.h"
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+
+#include "util/net.h"
 
 namespace agsc::util {
 
@@ -55,10 +58,23 @@ const char* IpcStatusName(IpcStatus status) {
   return "unknown";
 }
 
-bool FrameWriter::Write(uint32_t type, uint64_t seq,
-                        const std::string& payload,
-                        long corrupt_payload_byte) {
-  if (payload.size() > kMaxFramePayload) return false;
+FrameWriter::FrameWriter(int fd) : fd_(fd) {
+  int sock_type = 0;
+  socklen_t len = sizeof(sock_type);
+  is_socket_ =
+      ::getsockopt(fd, SOL_SOCKET, SO_TYPE, &sock_type, &len) == 0;
+  // Bounded writes require EAGAIN: a *blocking* write(2) of more than the
+  // buffer's free space blocks until everything is written, no matter what
+  // poll(POLLOUT) said beforehand. The paired FrameReader polls around the
+  // shared-fd consequence. If fcntl fails (exotic fd) writes simply block,
+  // which is the pre-deadline behavior.
+  SetNonBlocking(fd, true);
+}
+
+IpcStatus FrameWriter::Write(uint32_t type, uint64_t seq,
+                             const std::string& payload, long timeout_ms,
+                             long corrupt_payload_byte) {
+  if (payload.size() > kMaxFramePayload) return IpcStatus::kError;
   const uint32_t len = static_cast<uint32_t>(payload.size());
 
   scratch_.clear();
@@ -86,43 +102,71 @@ bool FrameWriter::Write(uint32_t type, uint64_t seq,
         static_cast<char>(0xFF);
   }
 
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
   size_t written = 0;
   while (written < scratch_.size()) {
+    const char* p = scratch_.data() + written;
+    const size_t left = scratch_.size() - written;
+    // MSG_NOSIGNAL only exists for sockets; pipes rely on IgnoreSigpipe().
     const ssize_t n =
-        ::write(fd_, scratch_.data() + written, scratch_.size() - written);
+        is_socket_ ? ::send(fd_, p, left, MSG_NOSIGNAL) : ::write(fd_, p, left);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Buffer full: wait for drain within the deadline. An expired
+        // deadline still gets one zero-timeout probe, mirroring the read
+        // side: only actual waiting is refused.
+        const long remaining =
+            bounded ? std::max(0L, RemainingMs(deadline)) : -1L;
+        struct pollfd pfd{fd_, POLLOUT, 0};
+        const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+        if (pr < 0) {
+          if (errno == EINTR) continue;
+          return IpcStatus::kError;
+        }
+        if (pr == 0) return IpcStatus::kTimeout;
+        continue;
+      }
+      return IpcStatus::kError;
     }
     written += static_cast<size_t>(n);
   }
-  return true;
+  return IpcStatus::kOk;
 }
 
 IpcStatus FrameReader::ReadExact(char* buf, size_t n, long timeout_ms,
                                  bool* at_boundary) {
-  const bool bounded = timeout_ms > 0;
+  // Sentinel: negative = unbounded, 0 = buffered-data-only probe,
+  // positive = deadline. (0 used to mean unbounded — an ambiguous sentinel
+  // that turned a computed remaining-time of 0 into an infinite block.)
+  const bool bounded = timeout_ms >= 0;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(bounded ? timeout_ms : 0);
   size_t got = 0;
   while (got < n) {
-    if (bounded) {
-      // An expired deadline still gets one zero-timeout readiness probe:
-      // data that is already buffered is served, only actual waiting is
-      // refused. Without this a tight deadline (1 ms truncates to 0 on the
-      // steady-clock round trip) would misreport a ready frame as timeout.
-      const long remaining = std::max(0L, RemainingMs(deadline));
-      struct pollfd pfd{fd_, POLLIN, 0};
-      const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
-      if (pr < 0) {
-        if (errno == EINTR) continue;
-        return IpcStatus::kError;
-      }
-      if (pr == 0) return IpcStatus::kTimeout;
+    // Poll unconditionally — the fd may be nonblocking (a FrameWriter on
+    // the same socket switches it), so even the unbounded path must wait
+    // for readiness instead of spinning on EAGAIN. An expired deadline
+    // still gets one zero-timeout readiness probe: data that is already
+    // buffered is served, only actual waiting is refused. Without this a
+    // tight deadline (1 ms truncates to 0 on the steady-clock round trip)
+    // would misreport a ready frame as timeout.
+    const long remaining = bounded ? std::max(0L, RemainingMs(deadline)) : -1L;
+    struct pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return IpcStatus::kError;
     }
+    if (pr == 0) return IpcStatus::kTimeout;
     const ssize_t r = ::read(fd_, buf + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
+      // Readiness can be spurious (another reader raced us, or the kernel
+      // woke us for an event that drained); go back to poll.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return IpcStatus::kError;
     }
     if (r == 0) {

@@ -15,8 +15,15 @@ namespace agsc::util {
 /// share one checksum definition.
 uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
 
-/// Length-prefixed, checksummed, sequence-numbered frames over a pipe/fd —
-/// the wire format between the trainer and its agsc_worker subprocesses.
+/// Length-prefixed, checksummed, sequence-numbered frames over a pipe or a
+/// TCP socket — the wire format between the trainer and its agsc_worker
+/// processes (local pipes or --connect sockets, see util/net) and between
+/// agsc_serve and its framed clients.
+///
+/// Timeout sentinel (shared by FrameReader::Read, FrameWriter::Write and
+/// TcpListener::Accept): negative = unbounded, 0 = probe (only succeed on
+/// what is already buffered / immediately possible), positive = deadline
+/// in milliseconds.
 ///
 /// Layout (all little-endian, which every supported target is):
 ///   u32 magic   "AGF1" (0x31464741)
@@ -54,21 +61,35 @@ enum class IpcStatus {
 
 const char* IpcStatusName(IpcStatus status);
 
-/// Serializes frames onto `fd`. Not thread-safe; one writer per pipe.
+/// Serializes frames onto `fd`. Not thread-safe; one writer per stream.
+///
+/// The constructor switches `fd` to O_NONBLOCK: a bounded write is only
+/// honest on a nonblocking fd (a blocking write(2) past the pipe/socket
+/// buffer blocks until completion regardless of any prior poll). The
+/// paired FrameReader tolerates the shared-fd consequence (EAGAIN) by
+/// polling. Socket sends use MSG_NOSIGNAL so a dead peer yields kError
+/// (EPIPE), not SIGPIPE; pipe writers rely on net::IgnoreSigpipe().
 class FrameWriter {
  public:
-  explicit FrameWriter(int fd) : fd_(fd) {}
+  explicit FrameWriter(int fd);
 
   /// Writes one frame; `seq` is the caller's counter (FrameReader enforces
-  /// the gap-free contract on the far side). `corrupt_payload_byte`, when
-  /// >= 0, XOR-flips that payload byte *after* the CRC is computed — the
-  /// deliberately-damaged-frame hook for the CORRUPT_FRAME fault campaign.
-  /// Returns false on any write failure (e.g. EPIPE from a dead peer).
-  bool Write(uint32_t type, uint64_t seq, const std::string& payload,
-             long corrupt_payload_byte = -1);
+  /// the gap-free contract on the far side). `timeout_ms` bounds the whole
+  /// write with the shared sentinel (negative = block until written, 0 =
+  /// only what fits in the kernel buffer right now, positive = deadline):
+  /// a peer that stops draining yields kTimeout instead of wedging the
+  /// caller. After kTimeout/kError the stream may hold a torn frame — the
+  /// owner must escalate (kill/respawn the worker or drop the connection),
+  /// never keep writing. `corrupt_payload_byte`, when >= 0, XOR-flips that
+  /// payload byte *after* the CRC is computed — the deliberately-damaged-
+  /// frame hook for the CORRUPT_FRAME fault campaign. Returns kOk,
+  /// kTimeout, or kError (e.g. EPIPE from a dead peer / oversized payload).
+  IpcStatus Write(uint32_t type, uint64_t seq, const std::string& payload,
+                  long timeout_ms = -1, long corrupt_payload_byte = -1);
 
  private:
   int fd_;
+  bool is_socket_ = false;
   std::string scratch_;
 };
 
@@ -78,11 +99,15 @@ class FrameReader {
  public:
   explicit FrameReader(int fd) : fd_(fd) {}
 
-  /// Reads exactly one frame. `timeout_ms` bounds the whole frame (<= 0
-  /// blocks forever). kEof is only reported at a frame boundary; EOF
-  /// mid-frame is a torn write and reports kCorrupt. A frame whose seq is
-  /// not the next expected value also reports kCorrupt: a lost or replayed
-  /// chunk must not be silently accepted.
+  /// Reads exactly one frame. `timeout_ms` follows the shared sentinel:
+  /// negative blocks forever, 0 serves only data already buffered (a
+  /// zero-cost readiness probe that never waits), positive bounds each of
+  /// the header and payload phases. kEof is only reported at a frame
+  /// boundary; EOF mid-frame is a torn write and reports kCorrupt. A frame
+  /// whose seq is not the next expected value also reports kCorrupt: a
+  /// lost or replayed chunk must not be silently accepted. After kTimeout
+  /// the stream may sit mid-frame (bytes already consumed are dropped) —
+  /// owners escalate exactly as for kCorrupt.
   IpcStatus Read(Frame& out, long timeout_ms);
 
   uint64_t next_seq() const { return next_seq_; }

@@ -1,0 +1,247 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+#include "util/parse.h"
+
+namespace agsc::util {
+
+namespace {
+
+long RemainingMs(const std::chrono::steady_clock::time_point& deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+      .count();
+}
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Resolves "localhost" / numeric IPv4 into `addr`; false on anything else
+/// (no DNS: worker/trainer addressing is numeric by contract).
+bool ResolveIpv4(const std::string& host, int port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  return ::inet_pton(AF_INET, ip.c_str(), &addr->sin_addr) == 1;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int NewTcpSocket() {
+  return ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+}
+
+}  // namespace
+
+void IgnoreSigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+  });
+}
+
+bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return false;
+  std::string h = spec.substr(0, colon);
+  if (h.empty()) h = "127.0.0.1";
+  int p = 0;
+  if (!ParseIntInRange(spec.substr(colon + 1), 0, 65535, &p)) return false;
+  sockaddr_in probe;
+  if (!ResolveIpv4(h, p, &probe)) return false;
+  *host = h;
+  *port = p;
+  return true;
+}
+
+bool SetNonBlocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want == flags) return true;
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+bool TcpListener::Listen(const std::string& host, int port,
+                         std::string* error) {
+  Close();
+  sockaddr_in addr;
+  if (!ResolveIpv4(host, port, &addr)) {
+    if (error != nullptr) *error = "unresolvable listen host '" + host + "'";
+    return false;
+  }
+  const int fd = NewTcpSocket();
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("socket");
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    if (error != nullptr) *error = Errno("bind/listen");
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    if (error != nullptr) *error = Errno("getsockname");
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  bound_port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+int TcpListener::Accept(long timeout_ms) {
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  while (true) {
+    if (fd_ < 0) return -2;
+    struct pollfd pfd{fd_, POLLIN, 0};
+    const long remaining =
+        bounded ? std::max(0L, RemainingMs(deadline)) : -1L;
+    const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return -2;
+    }
+    if (pr == 0) return -1;
+    const int conn = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        // A pending connection can vanish between poll and accept; retry
+        // within the same deadline.
+        if (bounded && RemainingMs(deadline) <= 0) return -1;
+        continue;
+      }
+      return -2;
+    }
+    SetNoDelay(conn);
+    return conn;
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    // shutdown() before close(): closing an fd does NOT wake a thread
+    // blocked in poll(2) on it (the open file description stays alive
+    // under the poller), but shutting down a listening socket does — the
+    // woken Accept then sees fd_ < 0 or EINVAL from accept4 and returns
+    // -2 as documented.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  bound_port_ = 0;
+}
+
+int TcpConnect(const std::string& host, int port, long timeout_ms,
+               std::string* error) {
+  sockaddr_in addr;
+  if (!ResolveIpv4(host, port, &addr)) {
+    if (error != nullptr) *error = "unresolvable host '" + host + "'";
+    return -1;
+  }
+  const int fd = NewTcpSocket();
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("socket");
+    return -1;
+  }
+  if (!SetNonBlocking(fd, true)) {
+    if (error != nullptr) *error = Errno("fcntl");
+    ::close(fd);
+    return -1;
+  }
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (error != nullptr) *error = Errno("connect");
+    ::close(fd);
+    return -1;
+  }
+  if (rc != 0) {
+    // In-progress: poll for writability, then read the final status.
+    while (true) {
+      struct pollfd pfd{fd, POLLOUT, 0};
+      const long remaining =
+          bounded ? std::max(0L, RemainingMs(deadline)) : -1L;
+      const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        if (error != nullptr) *error = Errno("poll");
+        ::close(fd);
+        return -1;
+      }
+      if (pr == 0) {
+        if (error != nullptr) *error = "connect timed out";
+        ::close(fd);
+        return -1;
+      }
+      break;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      if (error != nullptr) {
+        *error = std::string("connect: ") +
+                 std::strerror(so_error != 0 ? so_error : errno);
+      }
+      ::close(fd);
+      return -1;
+    }
+  }
+  // Leave the fd nonblocking: FrameReader/FrameWriter poll around EAGAIN,
+  // and bounded writes depend on it (a blocking write past the socket
+  // buffer ignores any prior POLLOUT).
+  SetNoDelay(fd);
+  return fd;
+}
+
+int TcpConnectWithRetry(const std::string& host, int port, long timeout_ms,
+                        const RetryPolicy& policy,
+                        const std::function<void(double)>& sleep_ms,
+                        std::string* error, int* attempts_out) {
+  int fd = -1;
+  std::string last_error;
+  RetryWithBackoff(
+      policy,
+      [&] {
+        fd = TcpConnect(host, port, timeout_ms, &last_error);
+        return fd >= 0;
+      },
+      sleep_ms, attempts_out);
+  if (fd < 0 && error != nullptr) *error = last_error;
+  return fd;
+}
+
+}  // namespace agsc::util

@@ -1,0 +1,100 @@
+#ifndef AGSC_UTIL_NET_H_
+#define AGSC_UTIL_NET_H_
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "util/retry.h"
+
+namespace agsc::util {
+
+/// TCP plumbing for the framed transport (util/ipc runs unchanged over
+/// these sockets): a listener/acceptor for the trainer and the serving
+/// frontend, a nonblocking connect with a deadline for workers/clients,
+/// and a reconnect helper driven by the shared RetryPolicy so backoff
+/// sequences are test-assertable via the injectable sleep.
+///
+/// SIGPIPE discipline lives here too: IgnoreSigpipe() is the process-wide
+/// install-once suppression (replacing the racy ::signal calls formerly
+/// scattered over proc_sampler/agsc_worker), and FrameWriter sends with
+/// MSG_NOSIGNAL on sockets so a peer disconnect surfaces as EPIPE ->
+/// IpcStatus::kError instead of killing the process.
+
+/// Thrown on network *setup* failures (bind/listen, unparseable address):
+/// the caller cannot make progress and the CLI maps it to kExitNetError.
+/// Runtime peer failures (disconnect, timeout) are NOT exceptions — they
+/// surface as IpcStatus values and feed the respawn/reconnect machinery.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Installs SIG_IGN for SIGPIPE exactly once per process (thread-safe;
+/// later calls are no-ops). Pipes have no MSG_NOSIGNAL equivalent, so a
+/// torn pipe write needs this to surface as EPIPE rather than SIGPIPE.
+void IgnoreSigpipe();
+
+/// Parses "HOST:PORT" or ":PORT" (host defaults to 127.0.0.1). HOST must
+/// be a numeric IPv4 address or "localhost"; PORT is 0..65535 (0 = let the
+/// kernel pick, see TcpListener::bound_port). Returns false on anything
+/// else without touching the outputs.
+bool ParseHostPort(const std::string& spec, std::string* host, int* port);
+
+/// Sets/clears O_NONBLOCK on `fd`; returns false on fcntl failure.
+bool SetNonBlocking(int fd, bool enable);
+
+/// Listening TCP socket (SO_REUSEADDR, CLOEXEC). Movable, not copyable;
+/// the destructor closes the socket.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on host:port. Port 0 binds an ephemeral port,
+  /// reported by bound_port(). Returns false with `error` filled on
+  /// failure (address in use, unparseable host, ...).
+  bool Listen(const std::string& host, int port, std::string* error);
+
+  /// Accepts one connection. `timeout_ms` follows the IPC sentinel:
+  /// negative blocks forever, 0 probes for an already-pending connection,
+  /// positive bounds the wait. Returns the connected fd (CLOEXEC,
+  /// TCP_NODELAY) or -1 on timeout / -2 on error. Close() from another
+  /// thread unblocks a pending Accept with -2.
+  int Accept(long timeout_ms);
+
+  /// Port actually bound (resolves port 0); 0 when not listening.
+  int bound_port() const { return bound_port_; }
+  bool listening() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int bound_port_ = 0;
+};
+
+/// Nonblocking connect with a deadline (sentinel as above; negative waits
+/// forever). Returns the connected fd (CLOEXEC, TCP_NODELAY) or -1 with
+/// `error` filled (refused, timeout, unparseable host...).
+int TcpConnect(const std::string& host, int port, long timeout_ms,
+               std::string* error);
+
+/// TcpConnect wrapped in RetryWithBackoff: retries refused/timed-out
+/// connects up to policy.max_attempts with the policy's backoff between
+/// tries (covers the "worker starts before the trainer listens" race).
+/// `sleep_ms` overrides the real clock (tests assert the exact backoff
+/// sequence); `attempts_out` receives the attempt count. Returns the
+/// connected fd or -1 with `error` holding the last failure.
+int TcpConnectWithRetry(const std::string& host, int port, long timeout_ms,
+                        const RetryPolicy& policy,
+                        const std::function<void(double)>& sleep_ms = nullptr,
+                        std::string* error = nullptr,
+                        int* attempts_out = nullptr);
+
+}  // namespace agsc::util
+
+#endif  // AGSC_UTIL_NET_H_

@@ -14,6 +14,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -24,6 +25,10 @@
 #include <gtest/gtest.h>
 
 #include "util/exit_codes.h"
+
+#ifndef AGSC_WORKER_BINARY
+#error "AGSC_WORKER_BINARY must point at the built agsc_worker binary"
+#endif
 
 namespace agsc {
 namespace {
@@ -43,12 +48,12 @@ std::vector<std::string> TinyArgs() {
           "--timeslots", "8", "--eval", "0", "--quiet"};
 }
 
-/// Forks and execs the real trainer binary with `extra_args` appended to
-/// TinyArgs() and `env_kv` ("KEY=VALUE") exported in the child only;
-/// stdout+stderr go to `log_path`. Returns the child pid.
-pid_t SpawnTrain(const std::vector<std::string>& extra_args,
-                 const std::vector<std::string>& env_kv,
-                 const std::string& log_path) {
+/// Forks and execs `binary` with exactly `full_args` and `env_kv`
+/// ("KEY=VALUE") exported in the child only; stdout+stderr go to
+/// `log_path`. Returns the child pid.
+pid_t SpawnBinary(const char* binary, const std::vector<std::string>& full_args,
+                  const std::vector<std::string>& env_kv,
+                  const std::string& log_path) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   // Child. Only async-signal-unsafe calls before a fresh exec: fine here.
@@ -59,15 +64,23 @@ pid_t SpawnTrain(const std::vector<std::string>& extra_args,
     const size_t eq = kv.find('=');
     ::setenv(kv.substr(0, eq).c_str(), kv.substr(eq + 1).c_str(), 1);
   }
-  std::vector<std::string> args = {AGSC_TRAIN_BINARY};
-  for (const std::string& a : TinyArgs()) args.push_back(a);
-  for (const std::string& a : extra_args) args.push_back(a);
+  std::vector<std::string> args = {binary};
+  for (const std::string& a : full_args) args.push_back(a);
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (std::string& a : args) argv.push_back(a.data());
   argv.push_back(nullptr);
-  ::execv(AGSC_TRAIN_BINARY, argv.data());
+  ::execv(binary, argv.data());
   ::_exit(127);  // exec failed.
+}
+
+/// Trainer-specific wrapper: `extra_args` appended to the shared TinyArgs().
+pid_t SpawnTrain(const std::vector<std::string>& extra_args,
+                 const std::vector<std::string>& env_kv,
+                 const std::string& log_path) {
+  std::vector<std::string> args = TinyArgs();
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  return SpawnBinary(AGSC_TRAIN_BINARY, args, env_kv, log_path);
 }
 
 /// Blocks until `pid` exits; returns its exit code (or 128+signal if it was
@@ -366,6 +379,139 @@ TEST(ChaosTest, ProcAndNumWorkersAreMutuallyExclusive) {
   const std::string log = TempPath("proc_usage.log");
   EXPECT_EQ(RunTrain({"--proc-workers", "2", "--num-workers", "2"}, {}, log),
             util::kExitUsage);
+  std::remove(log.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Networked rollout workers (--remote-workers + --listen): byte-identity
+// over loopback TCP, harness-killed workers replaced mid-run, and the
+// network-setup / flag-combination exit-code contract.
+// ---------------------------------------------------------------------------
+
+/// Polls `path` (written atomically by --port-file) for a positive port
+/// number. Returns 0 on deadline.
+int PollPortFile(const std::string& path, long deadline_ms = 30000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in >> port && port > 0) return port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return 0;
+}
+
+pid_t SpawnRemoteWorker(int port, int worker_id, const std::string& log_path) {
+  return SpawnBinary(AGSC_WORKER_BINARY,
+                     {"--connect", "127.0.0.1:" + std::to_string(port),
+                      "--worker-id", std::to_string(worker_id)},
+                     {}, log_path);
+}
+
+TEST(ChaosTest, RemoteWorkersMatchInProcessWorkersByteExactly) {
+  Workspace ws("remote_parity");
+  const std::string clean =
+      TrainAndSave(ws, "clean.agsc", {"--num-workers", "2"}, {});
+  ASSERT_FALSE(clean.empty());
+
+  const std::string ckpt = ws.dir + "/remote.agsc";
+  const std::string port_file = ws.dir + "/port.txt";
+  std::vector<std::string> args = {
+      "--iterations", "2",        "--save",      ckpt,     "--remote-workers",
+      "2",            "--listen", "127.0.0.1:0", "--port-file", port_file};
+  const pid_t trainer = SpawnTrain(args, {}, ws.log);
+  ASSERT_GT(trainer, 0);
+  const int port = PollPortFile(port_file);
+  ASSERT_GT(port, 0) << LogContents(ws.log);
+  const pid_t w0 = SpawnRemoteWorker(port, 0, ws.dir + "/w0.log");
+  const pid_t w1 = SpawnRemoteWorker(port, 1, ws.dir + "/w1.log");
+  EXPECT_EQ(WaitExit(trainer), util::kExitOk) << LogContents(ws.log);
+  // The trainer's shutdown frame ends both workers cleanly.
+  EXPECT_EQ(WaitExit(w0), 0) << LogContents(ws.dir + "/w0.log");
+  EXPECT_EQ(WaitExit(w1), 0) << LogContents(ws.dir + "/w1.log");
+  EXPECT_EQ(clean, FileBytes(ckpt));
+}
+
+TEST(ChaosTest, KilledRemoteWorkerIsReplacedAndByteIdentical) {
+  Workspace ws("remote_kill");
+  // Longer episodes than the other scenarios so the SIGKILL below lands
+  // mid-run rather than after the training already finished.
+  const std::string clean = TrainAndSave(
+      ws, "clean.agsc", {"--num-workers", "2", "--timeslots", "60"}, {});
+  ASSERT_FALSE(clean.empty());
+
+  const std::string ckpt = ws.dir + "/remote.agsc";
+  const std::string port_file = ws.dir + "/port.txt";
+  std::vector<std::string> args = {
+      "--iterations", "2",        "--save",      ckpt,     "--remote-workers",
+      "2",            "--listen", "127.0.0.1:0", "--port-file", port_file,
+      "--timeslots",  "60"};
+  const pid_t trainer = SpawnTrain(args, {}, ws.log);
+  ASSERT_GT(trainer, 0);
+  const int port = PollPortFile(port_file);
+  ASSERT_GT(port, 0) << LogContents(ws.log);
+  const pid_t w0 = SpawnRemoteWorker(port, 0, ws.dir + "/w0.log");
+  const pid_t w1 = SpawnRemoteWorker(port, 1, ws.dir + "/w1.log");
+
+  // SIGKILL worker 1 over TCP mid-episode, then hand the trainer a
+  // replacement: the slot must be re-attached and its shard replayed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ::kill(w1, SIGKILL);
+  WaitExit(w1);
+  const pid_t w1b = SpawnRemoteWorker(port, 1, ws.dir + "/w1b.log");
+
+  EXPECT_EQ(WaitExit(trainer), util::kExitOk) << LogContents(ws.log);
+  EXPECT_EQ(WaitExit(w0), 0) << LogContents(ws.dir + "/w0.log");
+  // The replacement either served the rest of the run (exit 0 on shutdown)
+  // or arrived after the trainer finished and exhausted its reconnect
+  // budget (net-error) — the checkpoint contract below is what matters.
+  const int w1b_exit = WaitExit(w1b);
+  EXPECT_TRUE(w1b_exit == 0 || w1b_exit == util::kExitNetError) << w1b_exit;
+  EXPECT_EQ(clean, FileBytes(ckpt));
+}
+
+TEST(ChaosTest, RemoteWorkerFlagCombinationsAreValidated) {
+  const std::string log = TempPath("remote_usage.log");
+  // --remote-workers excludes the in-process/local-subprocess modes.
+  EXPECT_EQ(RunTrain({"--remote-workers", "2", "--listen", "127.0.0.1:0",
+                      "--num-workers", "2"},
+                     {}, log),
+            util::kExitUsage);
+  EXPECT_EQ(RunTrain({"--remote-workers", "2", "--listen", "127.0.0.1:0",
+                      "--proc-workers", "2"},
+                     {}, log),
+            util::kExitUsage);
+  // --remote-workers needs --listen; --listen/--port-file need the rest.
+  EXPECT_EQ(RunTrain({"--remote-workers", "2"}, {}, log), util::kExitUsage);
+  EXPECT_EQ(RunTrain({"--listen", "127.0.0.1:0"}, {}, log), util::kExitUsage);
+  EXPECT_EQ(RunTrain({"--port-file", TempPath("unused_port.txt")}, {}, log),
+            util::kExitUsage);
+  std::remove(log.c_str());
+}
+
+TEST(ChaosTest, UnusableListenAddressExitsNetError) {
+  const std::string log = TempPath("net_error.log");
+  EXPECT_EQ(RunTrain({"--iterations", "1", "--remote-workers", "2",
+                      "--listen", "not-a-sockaddr"},
+                     {}, log),
+            util::kExitNetError)
+      << LogContents(log);
+  EXPECT_NE(LogContents(log).find("net-error"), std::string::npos)
+      << LogContents(log);
+  std::remove(log.c_str());
+}
+
+TEST(ChaosTest, WorkerConnectRefusedExitsNetError) {
+  const std::string log = TempPath("worker_refused.log");
+  // Nothing listens on the reserved port; a tight retry budget makes the
+  // worker give up fast with the network-setup code.
+  const int code = WaitExit(SpawnBinary(
+      AGSC_WORKER_BINARY,
+      {"--connect", "127.0.0.1:1", "--connect-retries", "2",
+       "--connect-timeout-ms", "500"},
+      {}, log));
+  EXPECT_EQ(code, util::kExitNetError) << LogContents(log);
   std::remove(log.c_str());
 }
 

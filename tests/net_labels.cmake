@@ -1,0 +1,16 @@
+# Included by ctest via TEST_INCLUDE_FILES *after* the gtest-generated
+# registration scripts (tests/CMakeLists.txt appends it last), so the net
+# tests already exist here. gtest_discover_tests cannot forward a
+# list-valued LABELS property (see serving_labels.cmake for the long
+# version), so the net label is applied in this post-pass: parse the
+# generated include for the discovered test names and re-set their labels.
+file(GLOB _agsc_net_includes "${CMAKE_CURRENT_LIST_DIR}/net_test*_tests.cmake")
+foreach(_agsc_file IN LISTS _agsc_net_includes)
+  file(STRINGS "${_agsc_file}" _agsc_adds REGEX "add_test")
+  foreach(_agsc_line IN LISTS _agsc_adds)
+    string(REGEX MATCH "add_test\\( *\\[=\\[([^]]+)\\]=\\]" _agsc_m "${_agsc_line}")
+    if(CMAKE_MATCH_1)
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES LABELS "fast;net")
+    endif()
+  endforeach()
+endforeach()

@@ -1,0 +1,511 @@
+// Loopback socket edge-case suite for util/net + the framed transport
+// (util/ipc) running over it: address parsing, listener/acceptor timeout
+// sentinels, nonblocking connect with a deadline, the reconnect backoff
+// sequence (asserted exactly via the injectable sleep), frames split across
+// TCP segments, EINTR storms against a blocked read, a peer that RSTs
+// mid-frame, bounded writes against a full pipe/socket buffer, and the
+// SIGPIPE discipline (install-once SIG_IGN + MSG_NOSIGNAL on sockets).
+//
+// Everything runs on loopback or local pipes — no external network, no
+// fixed port numbers (every listener binds port 0 and reads bound_port()).
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/ipc.h"
+#include "util/net.h"
+#include "util/retry.h"
+
+namespace agsc {
+namespace {
+
+using util::Frame;
+using util::FrameReader;
+using util::FrameWriter;
+using util::IpcStatus;
+using util::TcpListener;
+
+long ElapsedMs(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// A connected loopback pair: listener + client fd + accepted server fd.
+struct Loopback {
+  TcpListener listener;
+  int client = -1;
+  int server = -1;
+
+  Loopback() {
+    std::string error;
+    EXPECT_TRUE(listener.Listen("127.0.0.1", 0, &error)) << error;
+    client = util::TcpConnect("127.0.0.1", listener.bound_port(),
+                              /*timeout_ms=*/2000, &error);
+    EXPECT_GE(client, 0) << error;
+    server = listener.Accept(/*timeout_ms=*/2000);
+    EXPECT_GE(server, 0);
+  }
+  ~Loopback() {
+    if (client >= 0) ::close(client);
+    if (server >= 0) ::close(server);
+  }
+};
+
+/// Hand-assembled frame bytes matching the documented layout, so tests can
+/// dribble them onto a socket in arbitrary chunk sizes.
+std::string RawFrame(uint32_t type, uint64_t seq, const std::string& payload) {
+  std::string header(util::kFrameHeaderBytes, '\0');
+  const uint32_t magic = util::kFrameMagic;
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(&header[0], &magic, 4);
+  std::memcpy(&header[4], &type, 4);
+  std::memcpy(&header[8], &seq, 8);
+  std::memcpy(&header[16], &len, 4);
+  uint32_t crc = util::Crc32(header.data() + 4, 16);
+  crc = util::Crc32(payload.data(), payload.size(), crc);
+  std::memcpy(&header[20], &crc, 4);
+  return header + payload;
+}
+
+void SendAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    ASSERT_GT(r, 0) << "send failed: " << std::strerror(errno);
+    sent += static_cast<size_t>(r);
+  }
+}
+
+/// Reserves a currently-free port by binding port 0 and closing again.
+/// Nothing listens on the returned port afterwards (modulo an unlikely
+/// reuse race, which would only make a "refused" assertion fail loudly).
+int FreePort() {
+  TcpListener listener;
+  std::string error;
+  EXPECT_TRUE(listener.Listen("127.0.0.1", 0, &error)) << error;
+  const int port = listener.bound_port();
+  listener.Close();
+  return port;
+}
+
+// ---------------------------------------------------------------------------
+// Address parsing.
+// ---------------------------------------------------------------------------
+
+TEST(NetTest, ParseHostPortAcceptsNumericLocalhostAndBarePort) {
+  std::string host;
+  int port = -1;
+  EXPECT_TRUE(util::ParseHostPort("127.0.0.1:8080", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_TRUE(util::ParseHostPort("localhost:65535", &host, &port));
+  EXPECT_EQ(host, "localhost");
+  EXPECT_EQ(port, 65535);
+  // ":PORT" defaults the host to loopback; port 0 = kernel-assigned.
+  EXPECT_TRUE(util::ParseHostPort(":0", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 0);
+}
+
+TEST(NetTest, ParseHostPortRejectsGarbageWithoutTouchingOutputs) {
+  for (const char* bad :
+       {"", "nocolon", "127.0.0.1:", ":", "127.0.0.1:notaport",
+        "127.0.0.1:70000", "127.0.0.1:-1", "evil.example.com:80",
+        "300.1.1.1:5", "127.0.0.1:80:90"}) {
+    SCOPED_TRACE(bad);
+    std::string host = "sentinel";
+    int port = -7;
+    EXPECT_FALSE(util::ParseHostPort(bad, &host, &port));
+    EXPECT_EQ(host, "sentinel");
+    EXPECT_EQ(port, -7);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listener / acceptor.
+// ---------------------------------------------------------------------------
+
+TEST(NetTest, ListenerReportsEphemeralPortAndAcceptHonorsSentinel) {
+  TcpListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, &error)) << error;
+  EXPECT_GT(listener.bound_port(), 0);
+  EXPECT_TRUE(listener.listening());
+
+  // 0 = probe: returns immediately when no connection is pending.
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(listener.Accept(/*timeout_ms=*/0), -1);
+  EXPECT_LT(ElapsedMs(start), 250);
+
+  // Positive = deadline.
+  start = std::chrono::steady_clock::now();
+  EXPECT_EQ(listener.Accept(/*timeout_ms=*/50), -1);
+  const long waited = ElapsedMs(start);
+  EXPECT_GE(waited, 40);
+  EXPECT_LT(waited, 5000);
+}
+
+TEST(NetTest, ListenOnBusyPortFailsWithError) {
+  TcpListener first;
+  std::string error;
+  ASSERT_TRUE(first.Listen("127.0.0.1", 0, &error)) << error;
+  TcpListener second;
+  EXPECT_FALSE(second.Listen("127.0.0.1", first.bound_port(), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(NetTest, CloseFromAnotherThreadUnblocksPendingAccept) {
+  TcpListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, &error)) << error;
+  int result = 0;
+  std::thread acceptor([&] { result = listener.Accept(/*timeout_ms=*/-1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  listener.Close();
+  acceptor.join();
+  EXPECT_EQ(result, -2);
+}
+
+// ---------------------------------------------------------------------------
+// Connect.
+// ---------------------------------------------------------------------------
+
+TEST(NetTest, ConnectAcceptRoundTripCarriesFramesBothWays) {
+  Loopback conn;
+  FrameWriter client_writer(conn.client);
+  FrameReader server_reader(conn.server);
+  FrameWriter server_writer(conn.server);
+  FrameReader client_reader(conn.client);
+
+  Frame frame;
+  for (uint64_t seq = 0; seq < 3; ++seq) {
+    const std::string payload(64 * (seq + 1), static_cast<char>('a' + seq));
+    ASSERT_EQ(client_writer.Write(7, seq, payload, /*timeout_ms=*/2000),
+              IpcStatus::kOk);
+    ASSERT_EQ(server_reader.Read(frame, /*timeout_ms=*/2000), IpcStatus::kOk);
+    EXPECT_EQ(frame.type, 7u);
+    EXPECT_EQ(frame.seq, seq);
+    EXPECT_EQ(frame.payload, payload);
+    // And a reply on the same socket in the other direction.
+    ASSERT_EQ(server_writer.Write(8, seq, "ack", /*timeout_ms=*/2000),
+              IpcStatus::kOk);
+    ASSERT_EQ(client_reader.Read(frame, /*timeout_ms=*/2000), IpcStatus::kOk);
+    EXPECT_EQ(frame.type, 8u);
+    EXPECT_EQ(frame.payload, "ack");
+  }
+}
+
+TEST(NetTest, ConnectToDeadPortFailsFastWithError) {
+  const int port = FreePort();
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(util::TcpConnect("127.0.0.1", port, /*timeout_ms=*/2000, &error),
+            -1);
+  EXPECT_FALSE(error.empty());
+  // Loopback refusal is immediate — nowhere near the deadline.
+  EXPECT_LT(ElapsedMs(start), 1900);
+}
+
+TEST(NetTest, ConnectWithRetryReportsExactBackoffSequence) {
+  const int port = FreePort();
+  util::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 10;
+  policy.backoff_multiplier = 4;
+  policy.max_backoff_ms = 100;  // Caps the 3rd sleep: 10, 40, 100 (not 160).
+  std::vector<double> sleeps;
+  std::string error;
+  int attempts = 0;
+  const int fd = util::TcpConnectWithRetry(
+      "127.0.0.1", port, /*timeout_ms=*/500, policy,
+      [&](double ms) { sleeps.push_back(ms); }, &error, &attempts);
+  EXPECT_EQ(fd, -1);
+  EXPECT_EQ(attempts, 4);
+  EXPECT_FALSE(error.empty());
+  ASSERT_EQ(sleeps.size(), 3u);  // No sleep before the 1st attempt.
+  EXPECT_DOUBLE_EQ(sleeps[0], 10.0);
+  EXPECT_DOUBLE_EQ(sleeps[1], 40.0);
+  EXPECT_DOUBLE_EQ(sleeps[2], 100.0);
+}
+
+TEST(NetTest, ConnectWithRetrySucceedsOnceListenerAppears) {
+  // The "worker starts before the trainer listens" race, deterministically:
+  // the listener comes up inside the first backoff sleep.
+  const int port = FreePort();
+  TcpListener late_listener;
+  util::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 1;
+  std::string error;
+  int attempts = 0;
+  const int fd = util::TcpConnectWithRetry(
+      "127.0.0.1", port, /*timeout_ms=*/2000, policy,
+      [&](double /*ms*/) {
+        if (!late_listener.listening()) {
+          std::string listen_error;
+          ASSERT_TRUE(late_listener.Listen("127.0.0.1", port, &listen_error))
+              << listen_error;
+        }
+      },
+      &error, &attempts);
+  EXPECT_GE(fd, 0) << error;
+  EXPECT_GE(attempts, 2);
+  if (fd >= 0) ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Framed transport over TCP: segmentation, EINTR, peer resets.
+// ---------------------------------------------------------------------------
+
+TEST(NetTest, FramesSplitAcrossTcpSegmentsReassemble) {
+  Loopback conn;
+  const std::string p1(300, 'x');
+  const std::string p2(17, 'y');
+  const std::string bytes = RawFrame(3, 0, p1) + RawFrame(4, 1, p2);
+
+  // Dribble both frames 3 bytes per segment (TCP_NODELAY is set by
+  // TcpConnect/Accept, so each send really leaves as its own segment), with
+  // the reader concurrently mid-Read. Boundaries land everywhere: inside
+  // the magic, inside the length, inside payloads, across the frame seam.
+  std::thread dribbler([&] {
+    for (size_t at = 0; at < bytes.size(); at += 3) {
+      const size_t n = std::min<size_t>(3, bytes.size() - at);
+      SendAll(conn.client, bytes.data() + at, n);
+      if (at % 60 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+
+  FrameReader reader(conn.server);
+  Frame frame;
+  ASSERT_EQ(reader.Read(frame, /*timeout_ms=*/10000), IpcStatus::kOk);
+  EXPECT_EQ(frame.type, 3u);
+  EXPECT_EQ(frame.payload, p1);
+  ASSERT_EQ(reader.Read(frame, /*timeout_ms=*/10000), IpcStatus::kOk);
+  EXPECT_EQ(frame.type, 4u);
+  EXPECT_EQ(frame.payload, p2);
+  dribbler.join();
+
+  // The inverse case — two whole frames coalescing into one segment — must
+  // come back out as two frames too.
+  const std::string coalesced = RawFrame(5, 2, "ab") + RawFrame(6, 3, "cd");
+  SendAll(conn.client, coalesced.data(), coalesced.size());
+  ASSERT_EQ(reader.Read(frame, /*timeout_ms=*/2000), IpcStatus::kOk);
+  EXPECT_EQ(frame.payload, "ab");
+  ASSERT_EQ(reader.Read(frame, /*timeout_ms=*/2000), IpcStatus::kOk);
+  EXPECT_EQ(frame.payload, "cd");
+}
+
+void SigUsr1Noop(int) {}
+
+TEST(NetTest, EintrStormDoesNotCorruptABlockedRead) {
+  // A handler installed WITHOUT SA_RESTART: every SIGUSR1 makes the blocked
+  // poll/read return EINTR, which the transport must absorb silently.
+  struct sigaction action {};
+  struct sigaction old_action {};
+  action.sa_handler = SigUsr1Noop;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &old_action), 0);
+
+  Loopback conn;
+  IpcStatus status = IpcStatus::kError;
+  Frame frame;
+  std::thread reader_thread([&] {
+    FrameReader reader(conn.server);
+    status = reader.Read(frame, /*timeout_ms=*/10000);
+  });
+  // Pummel the blocked reader with signals, then deliver the frame while
+  // the storm is still running.
+  const pthread_t target = reader_thread.native_handle();
+  std::thread writer_thread([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    FrameWriter writer(conn.client);
+    EXPECT_EQ(writer.Write(9, 0, std::string(2048, 'z'), /*timeout_ms=*/5000),
+              IpcStatus::kOk);
+  });
+  for (int i = 0; i < 200; ++i) {
+    ::pthread_kill(target, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  writer_thread.join();
+  reader_thread.join();
+  EXPECT_EQ(status, IpcStatus::kOk);
+  EXPECT_EQ(frame.payload, std::string(2048, 'z'));
+  ::sigaction(SIGUSR1, &old_action, nullptr);
+}
+
+TEST(NetTest, PeerResetMidFrameSurfacesAsCorruptOrErrorNeverHangs) {
+  Loopback conn;
+  // Half a header, then an abortive close (SO_LINGER 0 => RST, no FIN).
+  const std::string bytes = RawFrame(2, 0, std::string(100, 'q'));
+  SendAll(conn.client, bytes.data(), 10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  struct linger hard_close {};
+  hard_close.l_onoff = 1;
+  hard_close.l_linger = 0;
+  ASSERT_EQ(::setsockopt(conn.client, SOL_SOCKET, SO_LINGER, &hard_close,
+                         sizeof(hard_close)),
+            0);
+  ::close(conn.client);
+  conn.client = -1;
+
+  FrameReader reader(conn.server);
+  Frame frame;
+  const auto start = std::chrono::steady_clock::now();
+  const IpcStatus status = reader.Read(frame, /*timeout_ms=*/5000);
+  // Depending on whether the kernel hands over the torn bytes before the
+  // reset, this is a torn frame (kCorrupt) or ECONNRESET (kError) — never a
+  // valid frame, never a hang until the deadline.
+  EXPECT_TRUE(status == IpcStatus::kCorrupt || status == IpcStatus::kError)
+      << util::IpcStatusName(status);
+  EXPECT_LT(ElapsedMs(start), 4000);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded writes: a peer that stops draining must yield kTimeout, not wedge
+// the writer (the IPC write-path stall fix).
+// ---------------------------------------------------------------------------
+
+TEST(NetTest, BoundedWriteAgainstFullPipeReturnsTimeout) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Shrink the pipe to one page so a handful of frames fills it.
+  ASSERT_GT(::fcntl(fds[1], F_SETPIPE_SZ, 4096), 0);
+  util::IgnoreSigpipe();
+
+  FrameWriter writer(fds[1]);
+  const std::string payload(2000, 'f');
+  IpcStatus status = IpcStatus::kOk;
+  uint64_t seq = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (status == IpcStatus::kOk && seq < 64) {
+    status = writer.Write(1, seq++, payload, /*timeout_ms=*/100);
+  }
+  EXPECT_EQ(status, IpcStatus::kTimeout);
+  EXPECT_LT(seq, 64u);  // One page cannot hold 64 x 2KB frames.
+  EXPECT_LT(ElapsedMs(start), 5000);
+
+  // 0 = probe: a full buffer reports kTimeout without waiting at all.
+  const auto probe_start = std::chrono::steady_clock::now();
+  EXPECT_EQ(writer.Write(1, seq, payload, /*timeout_ms=*/0),
+            IpcStatus::kTimeout);
+  EXPECT_LT(ElapsedMs(probe_start), 100);
+
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(NetTest, BoundedWriteAgainstFullSocketBufferReturnsTimeout) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Shrink the send buffer; the kernel clamps to its minimum (a few KiB),
+  // still far below what the loop below writes.
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(fds[1], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)),
+            0);
+  util::IgnoreSigpipe();
+
+  FrameWriter writer(fds[1]);
+  const std::string payload(16000, 's');
+  IpcStatus status = IpcStatus::kOk;
+  uint64_t seq = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (status == IpcStatus::kOk && seq < 64) {
+    status = writer.Write(1, seq++, payload, /*timeout_ms=*/100);
+  }
+  EXPECT_EQ(status, IpcStatus::kTimeout);
+  EXPECT_LT(ElapsedMs(start), 10000);
+
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(NetTest, WriteToClosedPeerReturnsErrorNotSigpipe) {
+  util::IgnoreSigpipe();
+  // Socket: MSG_NOSIGNAL turns the dead peer into EPIPE -> kError.
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ::close(fds[0]);
+    FrameWriter writer(fds[1]);
+    EXPECT_EQ(writer.Write(1, 0, "payload", /*timeout_ms=*/1000),
+              IpcStatus::kError);
+    ::close(fds[1]);
+  }
+  // Pipe: no MSG_NOSIGNAL exists; the install-once SIG_IGN does the job.
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ::close(fds[0]);
+    FrameWriter writer(fds[1]);
+    EXPECT_EQ(writer.Write(1, 0, "payload", /*timeout_ms=*/1000),
+              IpcStatus::kError);
+    ::close(fds[1]);
+  }
+  // Reaching this line at all proves no SIGPIPE killed the process.
+}
+
+// ---------------------------------------------------------------------------
+// Read sentinel semantics.
+// ---------------------------------------------------------------------------
+
+TEST(NetTest, ZeroTimeoutReadServesOnlyAlreadyBufferedData) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  FrameReader reader(fds[0]);
+  Frame frame;
+
+  // Empty pipe: the probe refuses to wait.
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(reader.Read(frame, /*timeout_ms=*/0), IpcStatus::kTimeout);
+  EXPECT_LT(ElapsedMs(start), 100);
+
+  // A buffered whole frame is served by the same zero-cost probe.
+  const std::string bytes = RawFrame(11, 0, "buffered");
+  ASSERT_EQ(::write(fds[1], bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  start = std::chrono::steady_clock::now();
+  ASSERT_EQ(reader.Read(frame, /*timeout_ms=*/0), IpcStatus::kOk);
+  EXPECT_LT(ElapsedMs(start), 100);
+  EXPECT_EQ(frame.type, 11u);
+  EXPECT_EQ(frame.payload, "buffered");
+
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(NetTest, NegativeTimeoutBlocksUntilTheFrameArrives) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  IpcStatus status = IpcStatus::kError;
+  Frame frame;
+  std::thread reader_thread([&] {
+    FrameReader reader(fds[0]);
+    status = reader.Read(frame, /*timeout_ms=*/-1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  FrameWriter writer(fds[1]);
+  ASSERT_EQ(writer.Write(12, 0, "late", /*timeout_ms=*/1000), IpcStatus::kOk);
+  reader_thread.join();
+  EXPECT_EQ(status, IpcStatus::kOk);
+  EXPECT_EQ(frame.payload, "late");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace agsc

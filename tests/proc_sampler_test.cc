@@ -11,8 +11,10 @@
 #include <unistd.h>
 
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,7 @@
 #include "env/sc_env.h"
 #include "map/campus.h"
 #include "util/rng.h"
+#include "util/subprocess.h"
 
 #ifndef AGSC_WORKER_BINARY
 #error "AGSC_WORKER_BINARY must point at the built agsc_worker binary"
@@ -174,7 +177,8 @@ class ScopedWorkerFaultEnv {
     for (const char* key :
          {"AGSC_FAULT_KILL_WORKER_NTH", "AGSC_FAULT_CORRUPT_FRAME",
           "AGSC_FAULT_STALL_PIPE", "AGSC_FAULT_STALL_MS",
-          "AGSC_FAULT_WORKER_ID"}) {
+          "AGSC_FAULT_STALL_READS", "AGSC_FAULT_STALL_READS_INCARNATION",
+          "AGSC_FAULT_DROP_CONN", "AGSC_FAULT_WORKER_ID"}) {
       ::unsetenv(key);
     }
   }
@@ -351,6 +355,162 @@ TEST(ProcSamplerFaultTest, StalledPipeIsKilledAndReplayedBitExactly) {
     std::vector<env::Metrics> metrics;
     sampler.Collect(3, DummyAct, faulty, metrics);
     respawns = sampler.respawn_count();
+  }
+  EXPECT_GE(respawns, 1);
+  ExpectBuffersBitEqual(reference, faulty);
+}
+
+TEST(ProcSamplerFaultTest, StalledWriteSidePeerIsDetectedWithinDeadline) {
+  // The write-path-stall fix, end to end: worker 1 crashes late in a long
+  // episode, so the replay prefix (~230 actions) outgrows the one-page pipe
+  // the trainer writes into — and the respawned incarnation 1 stalls 30 s
+  // before reading it. Without the poll(POLLOUT)-bounded FrameWriter::Write
+  // the trainer would block in write(2) forever; with it, the stalled
+  // write-side peer yields kTimeout within the 1 s step deadline, is failed
+  // like any other fault, and incarnation 2 replays the shard bit-exactly.
+  env::EnvConfig config = SmallEnvConfig();
+  config.num_timeslots = 240;  // ~230 x 24 B of replay > the 4 KiB pipe.
+
+  env::ScEnv vec_env(config, SmallDataset(), 11);
+  util::Rng vec_rng(11);
+  core::VecSampler vec(vec_env, vec_rng, 2, 11);
+  core::MultiAgentBuffer reference(vec_env.num_agents());
+  std::vector<env::Metrics> vec_metrics;
+  vec.Collect(2, DummyAct, reference, vec_metrics);
+
+  int respawns = 0;
+  core::MultiAgentBuffer faulty(2);  // 1 UAV + 1 UGV.
+  const auto faulty_start = std::chrono::steady_clock::now();
+  {
+    ScopedWorkerFaultEnv env_guard(
+        {{"AGSC_FAULT_KILL_WORKER_NTH", "232"},
+         {"AGSC_FAULT_STALL_READS", "2"},  // Read 1 = init, 2 = the prefix.
+         {"AGSC_FAULT_STALL_READS_INCARNATION", "1"},
+         {"AGSC_FAULT_STALL_MS", "30000"},
+         {"AGSC_FAULT_WORKER_ID", "1"}});
+    env::ScEnv env(config, SmallDataset(), 11);
+    util::Rng rng(11);
+    core::ProcSampler::Options options = WorkerOptions();
+    options.step_deadline_ms = 1000;
+    options.send_buffer_bytes = 4096;
+    core::ProcSampler sampler(env, rng, 2, 11, std::move(options));
+    faulty = core::MultiAgentBuffer(env.num_agents());
+    std::vector<env::Metrics> metrics;
+    sampler.Collect(2, DummyAct, faulty, metrics);
+    respawns = sampler.respawn_count();
+  }
+  const long faulty_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - faulty_start)
+          .count();
+  // At least two respawns: the SIGKILL, then the wedged prefix write.
+  EXPECT_GE(respawns, 2);
+  // "Within deadline" means the trainer escalated off the bounded write —
+  // it must not have waited out the 30 s stall (nor the scaled
+  // prefix-read budget, ~249 s here) for the peer to wake up and drain.
+  EXPECT_LT(faulty_ms, 30000) << "stalled write-side peer was not detected "
+                                 "within the step deadline";
+  ExpectBuffersBitEqual(reference, faulty);
+}
+
+// ---------------------------------------------------------------------------
+// Remote mode (--remote-workers analogue): agsc_worker --connect processes
+// over loopback TCP, same bit-exactness contract, and disconnect-reconnect-
+// and-replay instead of SIGKILL-respawn-and-replay.
+// ---------------------------------------------------------------------------
+
+core::ProcSampler::Options RemoteOptions() {
+  core::ProcSampler::Options options;
+  options.listen_address = "127.0.0.1:0";  // Kernel-assigned port.
+  return options;
+}
+
+/// Launches `count` agsc_worker --connect processes against the sampler's
+/// bound port. The returned handles SIGKILL their children on destruction,
+/// so a failing test never leaks workers.
+std::vector<std::unique_ptr<util::Subprocess>> LaunchRemoteWorkers(int port,
+                                                                   int count) {
+  std::vector<std::unique_ptr<util::Subprocess>> fleet;
+  for (int w = 0; w < count; ++w) {
+    auto proc = std::make_unique<util::Subprocess>();
+    EXPECT_TRUE(proc->Start({AGSC_WORKER_BINARY, "--connect",
+                             "127.0.0.1:" + std::to_string(port),
+                             "--worker-id", std::to_string(w)}));
+    fleet.push_back(std::move(proc));
+  }
+  return fleet;
+}
+
+/// Collects through remote workers over loopback; asserts they shut down
+/// cleanly (exit 0 on the trainer's kMsgShutdown) after the sampler dies.
+core::MultiAgentBuffer RemoteCollect(int workers, int episodes,
+                                     std::vector<env::Metrics>* metrics_out,
+                                     int* respawns_out = nullptr,
+                                     long step_deadline_ms = 0) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 11);
+  util::Rng rng(11);
+  core::MultiAgentBuffer buffer(env.num_agents());
+  std::vector<std::unique_ptr<util::Subprocess>> fleet;
+  {
+    core::ProcSampler::Options options = RemoteOptions();
+    options.step_deadline_ms = step_deadline_ms;
+    core::ProcSampler sampler(env, rng, workers, 11, std::move(options));
+    EXPECT_GT(sampler.bound_port(), 0);
+    EXPECT_TRUE(sampler.remote());
+    fleet = LaunchRemoteWorkers(sampler.bound_port(), workers);
+    std::vector<env::Metrics> metrics;
+    sampler.Collect(episodes, DummyAct, buffer, metrics);
+    if (metrics_out) *metrics_out = std::move(metrics);
+    if (respawns_out) *respawns_out = sampler.respawn_count();
+  }  // Sampler destructor sends kMsgShutdown over every live socket.
+  for (size_t w = 0; w < fleet.size(); ++w) {
+    int exit_code = -1;
+    EXPECT_TRUE(fleet[w]->Wait(&exit_code, 10000)) << "worker " << w;
+    EXPECT_EQ(exit_code, 0) << "worker " << w;
+  }
+  return buffer;
+}
+
+TEST(RemoteSamplerTest, RemoteWorkersMatchVecSamplerBitExactly) {
+  std::vector<env::Metrics> vec_metrics, remote_metrics;
+  const core::MultiAgentBuffer vec = VecCollect(2, 4, &vec_metrics);
+  const core::MultiAgentBuffer remote = RemoteCollect(2, 4, &remote_metrics);
+  ExpectBuffersBitEqual(vec, remote);
+  ExpectMetricsBitEqual(vec_metrics, remote_metrics);
+}
+
+TEST(RemoteSamplerTest, DroppedConnectionIsReconnectedAndReplayedBitExactly) {
+  const core::MultiAgentBuffer reference = VecCollect(2, 4, nullptr);
+  int respawns = 0;
+  core::MultiAgentBuffer faulty(2);  // 1 UAV + 1 UGV.
+  {
+    // Worker 1 severs its TCP connection instead of reading its 4th frame
+    // (mid-episode), then reconnects: the injected network partition. The
+    // sampler must treat the EOF exactly like a crash — fail the slot,
+    // re-attach the reconnecting worker, replay the episode prefix.
+    ScopedWorkerFaultEnv env_guard({{"AGSC_FAULT_DROP_CONN", "4"},
+                                    {"AGSC_FAULT_WORKER_ID", "1"}});
+    faulty = RemoteCollect(2, 4, nullptr, &respawns);
+  }
+  EXPECT_GE(respawns, 1);
+  ExpectBuffersBitEqual(reference, faulty);
+}
+
+TEST(RemoteSamplerTest, RemoteTimeoutReattachesTheReconnectingWorker) {
+  // The socket flavor of the stalled-pipe fault: worker 1 sleeps 5 s
+  // before writing its 2nd result, past the 1 s step deadline. The sampler
+  // drops the connection; unlike the pipe case it cannot SIGKILL a remote
+  // peer, so the worker itself must notice the dead socket when it wakes
+  // (write fails), reconnect, and replay — bit-identical either way.
+  const core::MultiAgentBuffer reference = VecCollect(2, 3, nullptr);
+  int respawns = 0;
+  core::MultiAgentBuffer faulty(2);  // 1 UAV + 1 UGV.
+  {
+    ScopedWorkerFaultEnv env_guard({{"AGSC_FAULT_STALL_PIPE", "2"},
+                                    {"AGSC_FAULT_STALL_MS", "5000"},
+                                    {"AGSC_FAULT_WORKER_ID", "1"}});
+    faulty = RemoteCollect(2, 3, nullptr, &respawns,
+                           /*step_deadline_ms=*/1000);
   }
   EXPECT_GE(respawns, 1);
   ExpectBuffersBitEqual(reference, faulty);

@@ -26,6 +26,13 @@
 
 #include <gtest/gtest.h>
 
+#include "core/dispatch_server.h"
+#include "core/hi_madrl.h"
+#include "core/policy_snapshot.h"
+#include "core/serve_protocol.h"
+#include "env/config.h"
+#include "env/sc_env.h"
+#include "map/campus.h"
 #include "util/exit_codes.h"
 
 namespace agsc {
@@ -42,15 +49,16 @@ std::string TempPath(const std::string& name) {
 /// The env-shape arguments shared by the trainer producing the checkpoint
 /// and every serve run consuming it (the snapshot fingerprint ties the two).
 std::vector<std::string> TinyEnvArgs() {
-  return {"--pois", "12", "--uavs", "1", "--ugvs", "1", "--timeslots", "8",
-          "--quiet"};
+  return {"--pois", "12", "--uavs", "1", "--ugvs", "1", "--timeslots", "8"};
 }
 
 /// Forks and execs `binary` with TinyEnvArgs() + `extra_args` and `env_kv`
 /// ("KEY=VALUE") exported in the child only; stdout+stderr to `log_path`.
+/// Runs --quiet by default; pass quiet=false when a test needs the
+/// human-readable startup banner as a readiness signal.
 pid_t Spawn(const char* binary, const std::vector<std::string>& extra_args,
             const std::vector<std::string>& env_kv,
-            const std::string& log_path) {
+            const std::string& log_path, bool quiet = true) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   FILE* log = std::freopen(log_path.c_str(), "w", stdout);
@@ -62,6 +70,7 @@ pid_t Spawn(const char* binary, const std::vector<std::string>& extra_args,
   }
   std::vector<std::string> args = {binary};
   for (const std::string& a : TinyEnvArgs()) args.push_back(a);
+  if (quiet) args.push_back("--quiet");
   for (const std::string& a : extra_args) args.push_back(a);
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
@@ -89,6 +98,20 @@ std::string FileContents(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   return std::string(std::istreambuf_iterator<char>(in),
                      std::istreambuf_iterator<char>());
+}
+
+/// Polls `path` until `needle` appears (20 ms ticks). Readiness gate for
+/// signalling a freshly spawned server: a fixed sleep races against slow
+/// sanitizer/parallel-CI startup, the banner does not.
+bool PollLogFor(const std::string& path, const std::string& needle,
+                long deadline_ms = 20000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (FileContents(path).find(needle) != std::string::npos) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
 }
 
 /// Pulls an integer counter out of the flushed stats JSON, e.g.
@@ -275,8 +298,12 @@ TEST_F(ServingSoakTest, SigtermMidStreamStopsCleanlyWithStatsFlushed) {
       AGSC_SERVE_BINARY,
       {"--snapshot", Checkpoint(), "--requests", "0", "--duration-sec", "30",
        "--stats-json", ws.stats},
-      {}, ws.log);
+      {}, ws.log, /*quiet=*/false);
   ASSERT_GT(pid, 0);
+  // Signal only once the server is past its heavy setup (checkpoint load,
+  // session build) and actually streaming — the banner is printed before
+  // the client fleet starts, so the grace period buys real requests.
+  ASSERT_TRUE(PollLogFor(ws.log, "serving snapshot")) << FileContents(ws.log);
   std::this_thread::sleep_for(std::chrono::milliseconds(700));
   ASSERT_EQ(::kill(pid, SIGTERM), 0);
   EXPECT_EQ(WaitExit(pid), util::kExitSignalStop) << FileContents(ws.log);
@@ -318,6 +345,152 @@ TEST_F(ServingSoakTest, UsageErrorsUseTheirCode) {
                       "8"},
                      {}, log),
             util::kExitUsage);
+  std::remove(log.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Network frontend (--listen / core::ServeFrontend): bit-identity with the
+// in-process dispatch path, the framed client against the real binary, and
+// the flag/exit-code contract.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingSoakTest, TcpFrontendServesBitIdenticalToInProcessDispatch) {
+  // Two DispatchServers built from the same env and snapshot: one stepped
+  // directly (the oracle), one only reachable through ServeFrontend +
+  // ServeClient over loopback. Every session action must match bit for bit
+  // — the frames carry floats as raw bit patterns and the frontend adds no
+  // computation of its own.
+  env::EnvConfig config;
+  config.num_timeslots = 8;
+  config.num_pois = 12;
+  config.num_uavs = 1;
+  config.num_ugvs = 1;
+  env::ScEnv env(config, map::BuildDataset(map::CampusId::kPurdue, 12), 1);
+  core::TrainConfig train;
+  train.net.hidden = {16};
+  train.eoi.hidden = {12};
+  train.seed = 7;
+  train.verbose = false;
+  core::HiMadrlTrainer trainer(env, train);
+  const std::shared_ptr<core::PolicySnapshot> snapshot =
+      core::PolicySnapshot::FromTrainer(trainer, "<soak>");
+
+  core::DispatchConfig dconfig;
+  dconfig.num_sessions = 2;
+  dconfig.max_batch = 8;
+  dconfig.deadline_ms = 0;
+  core::DispatchServer oracle(env, dconfig);
+  core::DispatchServer served(env, dconfig);
+  oracle.PublishSnapshot(snapshot);
+  served.PublishSnapshot(snapshot);
+  oracle.Start();
+  served.Start();
+
+  core::ServeFrontend::Options fopts;
+  fopts.listen_address = "127.0.0.1:0";
+  core::ServeFrontend frontend(served, fopts);
+  frontend.Start();
+  core::ServeClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", frontend.bound_port(),
+                             /*timeout_ms=*/5000, &error))
+      << error;
+
+  // Interleave sessions so batching order differs from request order; the
+  // session streams stay deterministic regardless.
+  for (int step = 0; step < 20; ++step) {
+    for (int session = 0; session < dconfig.num_sessions; ++session) {
+      SCOPED_TRACE("step " + std::to_string(step) + " session " +
+                   std::to_string(session));
+      core::DispatchResult via_tcp;
+      ASSERT_TRUE(client.StepSession(session, /*timeout_ms=*/10000, via_tcp));
+      const core::DispatchResult direct = oracle.StepSession(session);
+      ASSERT_TRUE(via_tcp.ok);
+      ASSERT_TRUE(direct.ok);
+      EXPECT_EQ(via_tcp.action[0], direct.action[0]);
+      EXPECT_EQ(via_tcp.action[1], direct.action[1]);
+      EXPECT_EQ(via_tcp.episode_done, direct.episode_done);
+      EXPECT_EQ(via_tcp.snapshot_version, direct.snapshot_version);
+    }
+  }
+
+  // The stateless Act path over the same connection: identical bits too.
+  const env::StepResult initial = env::ScEnv(
+      config, map::BuildDataset(map::CampusId::kPurdue, 12), 1).Reset();
+  core::DispatchResult via_tcp;
+  ASSERT_TRUE(
+      client.Act(0, initial.observations[0], /*timeout_ms=*/10000, via_tcp));
+  const core::DispatchResult direct = oracle.Act(0, initial.observations[0]);
+  ASSERT_TRUE(via_tcp.ok);
+  EXPECT_EQ(via_tcp.action[0], direct.action[0]);
+  EXPECT_EQ(via_tcp.action[1], direct.action[1]);
+
+  client.Close();
+  frontend.Stop();
+  served.Stop();
+  oracle.Stop();
+}
+
+/// Polls `path` (written atomically by --port-file) for a positive port.
+int PollPortFile(const std::string& path, long deadline_ms = 30000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in >> port && port > 0) return port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return 0;
+}
+
+TEST_F(ServingSoakTest, ListenFlagServesFramedClientsAndStopsOnSigterm) {
+  Workspace ws("listen");
+  const std::string port_file = TempPath("listen_port.txt");
+  const pid_t pid = Spawn(
+      AGSC_SERVE_BINARY,
+      {"--snapshot", Checkpoint(), "--requests", "0", "--duration-sec", "30",
+       "--listen", "127.0.0.1:0", "--port-file", port_file, "--stats-json",
+       ws.stats},
+      {}, ws.log);
+  ASSERT_GT(pid, 0);
+  const int port = PollPortFile(port_file);
+  ASSERT_GT(port, 0) << FileContents(ws.log);
+
+  core::ServeClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port, /*timeout_ms=*/5000, &error))
+      << error;
+  for (int i = 0; i < 8; ++i) {
+    core::DispatchResult result;
+    ASSERT_TRUE(client.StepSession(i % 2, /*timeout_ms=*/10000, result))
+        << "request " << i;
+    EXPECT_TRUE(result.ok) << "request " << i;
+    EXPECT_GE(result.snapshot_version, 1u);
+  }
+  client.Close();
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(WaitExit(pid), util::kExitSignalStop) << FileContents(ws.log);
+  const std::string json = FileContents(ws.stats);
+  ASSERT_FALSE(json.empty()) << FileContents(ws.log);
+  EXPECT_GE(ExtractCounter(json, "requests_ok"), 8);
+  std::remove(port_file.c_str());
+}
+
+TEST_F(ServingSoakTest, ListenFlagValidationAndNetSetupErrors) {
+  const std::string log = TempPath("listen_usage.log");
+  // --port-file only makes sense with --listen.
+  EXPECT_EQ(RunServe({"--snapshot", Checkpoint(), "--requests", "8",
+                      "--port-file", TempPath("unused_port.txt")},
+                     {}, log),
+            util::kExitUsage);
+  // An unusable listen address is a network-setup failure, not usage.
+  EXPECT_EQ(RunServe({"--snapshot", Checkpoint(), "--requests", "8",
+                      "--listen", "not-a-sockaddr"},
+                     {}, log),
+            util::kExitNetError)
+      << FileContents(log);
   std::remove(log.c_str());
 }
 

@@ -351,7 +351,7 @@ struct Pipe {
 TEST(FrameReaderEdgeTest, BufferedFrameBeatsATightDeadline) {
   Pipe p;
   FrameWriter writer(p.fds[1]);
-  ASSERT_TRUE(writer.Write(/*type=*/7, /*seq=*/0, "hello"));
+  ASSERT_EQ(writer.Write(/*type=*/7, /*seq=*/0, "hello"), util::IpcStatus::kOk);
   // The frame is already sitting in the pipe: a 1 ms deadline must not
   // matter — readiness is checked before the deadline can expire.
   FrameReader reader(p.fds[0]);
@@ -379,8 +379,8 @@ TEST(FrameReaderEdgeTest, PartialFrameReportsTimeoutNotCorrupt) {
 TEST(FrameReaderEdgeTest, ZeroLengthPayloadRoundTrips) {
   Pipe p;
   FrameWriter writer(p.fds[1]);
-  ASSERT_TRUE(writer.Write(/*type=*/1, /*seq=*/0, ""));
-  ASSERT_TRUE(writer.Write(/*type=*/2, /*seq=*/1, ""));
+  ASSERT_EQ(writer.Write(/*type=*/1, /*seq=*/0, ""), util::IpcStatus::kOk);
+  ASSERT_EQ(writer.Write(/*type=*/2, /*seq=*/1, ""), util::IpcStatus::kOk);
   FrameReader reader(p.fds[0]);
   Frame frame;
   EXPECT_EQ(reader.Read(frame, /*timeout_ms=*/1000), IpcStatus::kOk);
@@ -402,7 +402,7 @@ TEST(FrameReaderEdgeTest, MaxSizePayloadAtTheCapRoundTrips) {
   }
   std::thread writer_thread([&] {
     FrameWriter writer(p.fds[1]);
-    EXPECT_TRUE(writer.Write(/*type=*/9, /*seq=*/0, payload));
+    EXPECT_EQ(writer.Write(/*type=*/9, /*seq=*/0, payload), util::IpcStatus::kOk);
     p.CloseWrite();
   });
   FrameReader reader(p.fds[0]);

@@ -5,6 +5,7 @@
 //              [--watch-poll-ms MS] [--max-batch N] [--deadline-ms MS]
 //              [--sessions S] [--clients C] [--requests N]
 //              [--duration-sec S] [--stats-json FILE]
+//              [--listen HOST:PORT] [--port-file FILE]
 //              [--campus purdue|ncsu] [--timeslots T] [--pois I]
 //              [--uavs U] [--ugvs G] [--subchannels Z] [--height M]
 //              [--threshold DB] [--medium noma|tdma|ofdma]
@@ -26,13 +27,24 @@
 // rejected loudly (counted in `publish_rejects`) and the last good
 // snapshot stays live; only a missing *initial* snapshot is fatal.
 //
+// Network frontend: --listen HOST:PORT (port 0 = kernel-assigned,
+// published via --port-file) additionally exposes Act/StepSession as
+// framed request/response over TCP (core/serve_protocol — the same
+// length-prefixed CRC frames the rollout workers speak). Remote requests
+// run through the identical batched dispatch path as the in-process
+// client fleet, with the same --deadline-ms fail-fast discipline, and
+// return bit-identical actions. With --listen the local client fleet
+// defaults to none and the process serves until --duration-sec or a
+// signal.
+//
 // On exit the final serving stats are flushed as JSON (atomically, with
 // retry) to --stats-json. SIGINT/SIGTERM stop serving cooperatively: the
 // stats still flush, and the process exits with code 8.
 //
 // Exit codes (util/exit_codes.h): 0 ok, 2 usage, 3 invalid config, 4 I/O
 // error (stats flush failed), 8 clean signal stop, 11 serve-error (no
-// loadable snapshot at startup).
+// loadable snapshot at startup), 12 net-error (unusable --listen
+// address).
 
 #include <algorithm>
 #include <atomic>
@@ -45,13 +57,17 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "core/dispatch_server.h"
 #include "core/hi_madrl.h"
 #include "core/policy_snapshot.h"
+#include "core/serve_protocol.h"
 #include "nn/tensor.h"
 #include "util/build_info.h"
 #include "util/exit_codes.h"
 #include "util/fault_inject.h"
+#include "util/net.h"
 #include "util/parse.h"
 #include "util/retry.h"
 #include "util/shutdown.h"
@@ -66,10 +82,13 @@ struct Args {
   int max_batch = 64;
   int deadline_ms = 50;
   int sessions = 4;
-  int clients = 0;  ///< 0 = one per session.
+  int clients = 0;  ///< 0 = one per session (none with --listen).
+  bool clients_set = false;
   int requests = 64;
   int duration_sec = 0;
   std::string stats_json;
+  std::string listen;
+  std::string port_file;
 
   std::string campus = "purdue";
   int timeslots = 100;
@@ -147,6 +166,15 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (!next_int("--sessions", 1, 4096, &args.sessions)) return false;
     } else if (flag == "--clients") {
       if (!next_int("--clients", 1, 4096, &args.clients)) return false;
+      args.clients_set = true;
+    } else if (flag == "--listen") {
+      const char* v = next("--listen");
+      if (!v) return false;
+      args.listen = v;
+    } else if (flag == "--port-file") {
+      const char* v = next("--port-file");
+      if (!v) return false;
+      args.port_file = v;
     } else if (flag == "--requests") {
       if (!next_int("--requests", 0, kMaxInt, &args.requests)) return false;
     } else if (flag == "--duration-sec") {
@@ -231,8 +259,14 @@ bool ParseArgs(int argc, char** argv, Args& args) {
     std::cerr << "--watch requires --snapshot-dir\n";
     return false;
   }
-  if (args.requests == 0 && args.duration_sec == 0) {
+  if (args.requests == 0 && args.duration_sec == 0 && args.listen.empty()) {
+    // A listening server is legitimately unbounded (stopped by signal);
+    // a pure local client fleet is not.
     std::cerr << "unbounded run: give --requests N or --duration-sec S\n";
+    return false;
+  }
+  if (!args.port_file.empty() && args.listen.empty()) {
+    std::cerr << "--port-file requires --listen\n";
     return false;
   }
   return true;
@@ -242,13 +276,13 @@ void PrintUsage(std::ostream& out) {
   out << "usage: agsc_serve --snapshot FILE | --snapshot-dir DIR [--watch]\n"
          "  [--watch-poll-ms MS] [--max-batch N] [--deadline-ms MS]\n"
          "  [--sessions S] [--clients C] [--requests N] [--duration-sec S]\n"
-         "  [--stats-json FILE]\n"
+         "  [--stats-json FILE] [--listen HOST:PORT] [--port-file FILE]\n"
          "  [--campus purdue|ncsu] [--timeslots T] [--pois I] [--uavs U]\n"
          "  [--ugvs G] [--subchannels Z] [--height M] [--threshold DB]\n"
          "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
          "  [--plain-copo] [--mappo] [--seed S] [--quiet] [--version]\n"
          "exit codes: 0 ok, 2 usage, 3 config, 4 io, 8 signal-stop,\n"
-         "  11 serve-error\n";
+         "  11 serve-error, 12 net-error\n";
 }
 
 /// Checkpoint files in `dir`, newest first by modification time (name as a
@@ -277,16 +311,16 @@ std::vector<std::string> CheckpointsNewestFirst(const std::string& dir) {
 }
 
 /// Serializes the final serving stats as a flat JSON object.
-std::string StatsJson(const Args& args, const agsc::core::DispatchStats& s,
-                      double elapsed_sec, uint64_t client_steps) {
+std::string StatsJson(const Args& args, int num_clients,
+                      const agsc::core::DispatchStats& s, double elapsed_sec,
+                      uint64_t client_steps) {
   std::ostringstream out;
   const double reqs =
       static_cast<double>(s.requests_ok + s.requests_expired);
   out << "{\n"
       << "  \"build\": \"" << agsc::util::BuildInfoString("") << "\",\n"
       << "  \"sessions\": " << args.sessions << ",\n"
-      << "  \"clients\": " << (args.clients > 0 ? args.clients : args.sessions)
-      << ",\n"
+      << "  \"clients\": " << num_clients << ",\n"
       << "  \"max_batch\": " << args.max_batch << ",\n"
       << "  \"deadline_ms\": " << args.deadline_ms << ",\n"
       << "  \"elapsed_sec\": " << elapsed_sec << ",\n"
@@ -395,8 +429,11 @@ int main(int argc, char** argv) {
         const uint64_t version = server.PublishSnapshot(std::move(snapshot));
         last_promoted = path;
         if (!args.quiet) {
+          // Flushed immediately: this is the readiness line supervisors
+          // (and the soak tests) wait on, and a redirected stdout is fully
+          // buffered otherwise.
           std::cout << "serving snapshot v" << version << " from " << path
-                    << "\n";
+                    << std::endl;
         }
         break;
       }
@@ -411,6 +448,42 @@ int main(int argc, char** argv) {
   }
 
   server.Start();
+
+  // Network frontend: framed Act/StepSession over TCP against the same
+  // dispatch server the local client fleet uses.
+  std::unique_ptr<core::ServeFrontend> frontend;
+  if (!args.listen.empty()) {
+    core::ServeFrontend::Options fopts;
+    fopts.listen_address = args.listen;
+    try {
+      frontend = std::make_unique<core::ServeFrontend>(server, fopts);
+    } catch (const util::NetError& e) {
+      std::cerr << "network setup failed ("
+                << util::ExitCodeName(util::kExitNetError) << "): " << e.what()
+                << "\n";
+      return util::kExitNetError;
+    }
+    frontend->Start();
+    if (!args.port_file.empty()) {
+      // Published atomically: pollers must never read partial content.
+      const std::string tmp = args.port_file + ".tmp";
+      std::ofstream out(tmp, std::ios::trunc);
+      out << frontend->bound_port() << "\n";
+      out.close();
+      std::error_code ec;
+      if (!out ||
+          (std::filesystem::rename(tmp, args.port_file, ec), ec)) {
+        std::cerr << "failed to write --port-file " << args.port_file
+                  << "\n";
+        return util::kExitIoError;
+      }
+    }
+    if (!args.quiet) {
+      // Also a readiness line — flush past the redirected-stdout buffer.
+      std::cout << "listening on " << args.listen << " (port "
+                << frontend->bound_port() << ")" << std::endl;
+    }
+  }
 
   // Checkpoint watcher: promote new files as the (simulated or real)
   // trainer drops them. Rejections keep the last good snapshot live.
@@ -449,7 +522,9 @@ int main(int argc, char** argv) {
   // Client fleet: each thread steps its sessions round-robin through the
   // batched dispatch path. This is the simulated request stream; a network
   // frontend would enqueue the same StepSession/Act calls.
-  const int num_clients = args.clients > 0 ? args.clients : args.sessions;
+  const int num_clients = args.clients_set
+                              ? args.clients
+                              : (args.listen.empty() ? args.sessions : 0);
   const auto start_time = std::chrono::steady_clock::now();
   const auto deadline =
       args.duration_sec > 0
@@ -472,6 +547,15 @@ int main(int argc, char** argv) {
     });
   }
   for (std::thread& t : clients) t.join();
+  if (frontend != nullptr && clients.empty()) {
+    // Pure network server: serve until the duration elapses or a signal
+    // lands (the local fleet otherwise bounds the run's lifetime).
+    while (!util::ShutdownRequested() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  if (frontend != nullptr) frontend->Stop();
   watcher_stop.store(true, std::memory_order_relaxed);
   if (watcher.joinable()) watcher.join();
   server.Stop();
@@ -498,7 +582,8 @@ int main(int argc, char** argv) {
     util::RetryPolicy policy;
     if (!util::AtomicWriteFileRetry(
             args.stats_json,
-            StatsJson(args, stats, elapsed_sec, client_steps.load()),
+            StatsJson(args, num_clients, stats, elapsed_sec,
+                      client_steps.load()),
             policy)) {
       std::cerr << "failed to write stats JSON " << args.stats_json << "\n";
       return util::kExitIoError;

@@ -7,6 +7,8 @@
 //              [--no-eoi] [--no-copo] [--plain-copo] [--mappo]
 //              [--seed S] [--eval N] [--num-workers W]
 //              [--proc-workers W] [--worker-binary PATH]
+//              [--listen HOST:PORT] [--remote-workers W]
+//              [--port-file FILE]
 //              [--nn-threads T] [--nn-naive] [--env-naive]
 //              [--save FILE] [--load FILE]
 //              [--checkpoint-dir DIR] [--checkpoint-every N]
@@ -30,6 +32,14 @@
 // backoff, and its episode shard is replayed deterministically, so the
 // produced rollouts — and checkpoints — stay bit-identical to
 // --num-workers W for the same seed. Checkpoints resume across modes.
+// --listen HOST:PORT + --remote-workers W keep the same crash-isolated
+// protocol but stop fork/exec'ing: the trainer listens on TCP (port 0 =
+// kernel-assigned, published via --port-file) and W externally launched
+// `agsc_worker --connect HOST:PORT` processes — containers, other hosts, a
+// test harness — register for the worker slots. A dropped connection is
+// the remote analogue of a worker crash: the worker reconnects (or a
+// replacement registers) and the episode shard replays deterministically,
+// so rollouts and checkpoints stay bit-identical to --num-workers W.
 // --nn-threads T parallelizes the large GEMMs of the optimize phase over T
 // workers and --nn-naive falls back to the reference kernels; both are
 // bit-identical to the default blocked single-threaded kernels, so they
@@ -57,11 +67,14 @@
 //
 // Exit codes are stable (see util/exit_codes.h): 0 ok, 2 usage, 3 invalid
 // config, 4 I/O error, 5 resume mismatch, 6 diverged, 7 watchdog timeout,
-// 8 clean signal stop, 9 second-signal abort, 10 worker failed.
+// 8 clean signal stop, 9 second-signal abort, 10 worker failed, 12 network
+// setup failed (unusable --listen address).
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -70,6 +83,7 @@
 #include "nn/tensor.h"
 #include "util/build_info.h"
 #include "util/exit_codes.h"
+#include "util/net.h"
 #include "util/parse.h"
 #include "util/retry.h"
 #include "util/shutdown.h"
@@ -99,6 +113,9 @@ struct Args {
   bool num_workers_set = false;
   int proc_workers = 0;
   std::string worker_binary;
+  std::string listen;
+  int remote_workers = 0;
+  std::string port_file;
   int nn_threads = 0;
   bool nn_naive = false;
   bool env_naive = false;
@@ -218,6 +235,18 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next("--worker-binary");
       if (!v) return false;
       args.worker_binary = v;
+    } else if (flag == "--listen") {
+      const char* v = next("--listen");
+      if (!v) return false;
+      args.listen = v;
+    } else if (flag == "--remote-workers") {
+      if (!next_int("--remote-workers", 1, 1024, &args.remote_workers)) {
+        return false;
+      }
+    } else if (flag == "--port-file") {
+      const char* v = next("--port-file");
+      if (!v) return false;
+      args.port_file = v;
     } else if (flag == "--nn-threads") {
       if (!next_int("--nn-threads", 0, 1024, &args.nn_threads)) return false;
     } else if (flag == "--nn-naive") {
@@ -297,6 +326,24 @@ bool ParseArgs(int argc, char** argv, Args& args) {
     std::cerr << "--proc-workers and --num-workers are mutually exclusive\n";
     return false;
   }
+  if (args.remote_workers > 0 &&
+      (args.num_workers_set || args.proc_workers > 0)) {
+    std::cerr << "--remote-workers is mutually exclusive with "
+                 "--num-workers/--proc-workers\n";
+    return false;
+  }
+  if (args.remote_workers > 0 && args.listen.empty()) {
+    std::cerr << "--remote-workers requires --listen HOST:PORT\n";
+    return false;
+  }
+  if (!args.listen.empty() && args.remote_workers == 0) {
+    std::cerr << "--listen requires --remote-workers W\n";
+    return false;
+  }
+  if (!args.port_file.empty() && args.listen.empty()) {
+    std::cerr << "--port-file requires --listen\n";
+    return false;
+  }
   return true;
 }
 
@@ -307,6 +354,7 @@ void PrintUsage(std::ostream& out) {
          "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
          "  [--plain-copo] [--mappo] [--seed S] [--eval N]\n"
          "  [--num-workers W] [--proc-workers W] [--worker-binary PATH]\n"
+         "  [--listen HOST:PORT] [--remote-workers W] [--port-file FILE]\n"
          "  [--nn-threads T] [--nn-naive]\n"
          "  [--env-naive]\n"
          "  [--save FILE] [--load FILE]\n"
@@ -317,7 +365,7 @@ void PrintUsage(std::ostream& out) {
          "  [--render] [--quiet] [--version]\n"
          "exit codes: 0 ok, 2 usage, 3 config, 4 io, 5 resume-mismatch,\n"
          "  6 diverged, 7 watchdog-timeout, 8 signal-stop, 9 abort,\n"
-         "  10 worker-failed\n";
+         "  10 worker-failed, 12 net-error\n";
 }
 
 /// Serializes the trainer's full stats history and writes it atomically
@@ -434,6 +482,12 @@ int main(int argc, char** argv) {
               .string();
     }
   }
+  if (args.remote_workers > 0) {
+    // Remote mode reuses the proc-sampler machinery; the worker binary is
+    // whatever the operator launches against --listen.
+    train.proc_workers = args.remote_workers;
+    train.listen_address = args.listen;
+  }
   train.nn_threads = args.nn_threads;
   train.nn_naive_kernels = args.nn_naive;
   train.verbose = !args.quiet;
@@ -444,7 +498,36 @@ int main(int argc, char** argv) {
   train.oracle_check_every = args.oracle_check_every;
   train.max_lr_backoffs = args.max_backoffs;
   train.stop_check = [] { return util::ShutdownRequested(); };
-  core::HiMadrlTrainer trainer(env, train);
+  std::unique_ptr<core::HiMadrlTrainer> trainer_holder;
+  try {
+    trainer_holder = std::make_unique<core::HiMadrlTrainer>(env, train);
+  } catch (const util::NetError& e) {
+    std::cerr << "network setup failed ("
+              << util::ExitCodeName(util::kExitNetError) << "): " << e.what()
+              << "\n";
+    return util::kExitNetError;
+  }
+  core::HiMadrlTrainer& trainer = *trainer_holder;
+
+  if (!args.port_file.empty()) {
+    // Publish the bound port (resolves --listen HOST:0) atomically: the
+    // harness/operator polls for this file, so it must never read partial
+    // content.
+    const int port = trainer.SamplerBoundPort();
+    const std::string tmp = args.port_file + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    out << port << "\n";
+    out.close();
+    std::error_code ec;
+    if (!out || (std::filesystem::rename(tmp, args.port_file, ec), ec)) {
+      std::cerr << "failed to write --port-file " << args.port_file << "\n";
+      return util::kExitIoError;
+    }
+    if (!args.quiet) {
+      std::cout << "listening on " << args.listen << " (port " << port
+                << ", published to " << args.port_file << ")\n";
+    }
+  }
 
   if (args.resume) {
     if (trainer.LoadLatestCheckpoint(args.checkpoint_dir)) {

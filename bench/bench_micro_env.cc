@@ -15,6 +15,7 @@
 
 #include "algorithms/shortest_path.h"
 #include "bench/bench_common.h"
+#include "env/channel_batch.h"
 
 namespace {
 
@@ -24,9 +25,11 @@ const map::Dataset& Dataset100() {
   return bench::GetDataset(map::CampusId::kPurdue, 100);
 }
 
-env::ScEnv MakeEnv(bool indexed, int uavs = -1, int ugvs = -1) {
+env::ScEnv MakeEnv(bool indexed, int uavs = -1, int ugvs = -1,
+                   bool batch_channel = true) {
   env::EnvConfig config;
   config.use_spatial_index = indexed;
+  config.use_channel_batch = batch_channel;
   config.record_event_log = false;
   if (uavs >= 0) config.num_uavs = uavs;
   if (ugvs >= 0) config.num_ugvs = ugvs;
@@ -83,8 +86,8 @@ void BM_EnvMoveAgents(benchmark::State& state) {
 }
 BENCHMARK(BM_EnvMoveAgents)->Unit(benchmark::kMicrosecond);
 
-void BM_EnvCollectData(benchmark::State& state) {
-  env::ScEnv env = MakeEnv(true);
+void EnvCollectData(benchmark::State& state, bool batch_channel) {
+  env::ScEnv env = MakeEnv(true, -1, -1, batch_channel);
   env.Reset();
   std::vector<double> rewards(env.num_agents(), 0.0);
   std::vector<env::CollectionEvent> events;
@@ -97,7 +100,14 @@ void BM_EnvCollectData(benchmark::State& state) {
     benchmark::DoNotOptimize(rewards[0]);
   }
 }
+void BM_EnvCollectData(benchmark::State& state) {
+  EnvCollectData(state, true);
+}
+void BM_EnvCollectDataScalarChannel(benchmark::State& state) {
+  EnvCollectData(state, false);
+}
 BENCHMARK(BM_EnvCollectData)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EnvCollectDataScalarChannel)->Unit(benchmark::kMicrosecond);
 
 void BM_EnvBuildObservation(benchmark::State& state) {
   env::ScEnv env = MakeEnv(true);
@@ -110,6 +120,81 @@ void BM_EnvBuildObservation(benchmark::State& state) {
 }
 BENCHMARK(BM_EnvBuildObservation)->Unit(benchmark::kMicrosecond);
 
+// Observation build against PoI count, batched SoA sweep vs the scalar
+// per-PoI path (--env-channel-scalar). The campus trace extractor yields at
+// most ~1.1k distinct 60 m cells, so the env-level sweep stops at 1k; the
+// 10k point is carried by the kernel-range cases below (BM_ObsVisible*,
+// BM_ChannelGains*, BM_ChannelInterference*), which bench the same per-PoI
+// math on synthetic layouts.
+void EnvObsBuild(benchmark::State& state, bool batch_channel) {
+  const int pois = static_cast<int>(state.range(0));
+  env::EnvConfig config;
+  config.num_pois = pois;
+  config.use_channel_batch = batch_channel;
+  config.record_event_log = false;
+  env::ScEnv env(config, bench::GetDataset(map::CampusId::kPurdue, pois), 1);
+  env.Reset();
+  std::vector<float> obs;
+  for (auto _ : state) {
+    env.BuildObservation(0, &obs);
+    benchmark::DoNotOptimize(obs[0]);
+  }
+}
+void BM_EnvObsBuildBatch(benchmark::State& state) {
+  EnvObsBuild(state, true);
+}
+void BM_EnvObsBuildScalarChannel(benchmark::State& state) {
+  EnvObsBuild(state, false);
+}
+BENCHMARK(BM_EnvObsBuildBatch)
+    ->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EnvObsBuildScalarChannel)
+    ->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+// Synthetic PoI layout shared by the kernel-range channel benches.
+env::PoiSoa BenchSoa(int n, std::vector<map::Point2>& pts) {
+  util::Rng rng(29);
+  pts.resize(static_cast<size_t>(n));
+  for (map::Point2& p : pts) {
+    p = {rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)};
+  }
+  env::PoiSoa soa;
+  soa.Build(pts, n);
+  return soa;
+}
+
+// The observation-build channel phase in isolation: the per-PoI visibility
+// test over the whole PoI set, scalar map::Distance loop vs the vectorized
+// VisibleMask kernel, at 100 / 1k / 10k PoIs.
+void ObsVisible(benchmark::State& state, bool batch) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<map::Point2> pts;
+  const env::PoiSoa soa = BenchSoa(n, pts);
+  const map::Point2 pos{977.0, 1041.0};
+  const double range = 600.0;
+  std::vector<double> dist(static_cast<size_t>(n));
+  std::vector<uint8_t> vis(static_cast<size_t>(n));
+  for (auto _ : state) {
+    if (batch) {
+      env::VisibleMask(soa, pos, range, dist.data(), vis.data());
+    } else {
+      for (int i = 0; i < n; ++i) {
+        vis[i] = map::Distance(pos, pts[i]) <= range ? 1 : 0;
+      }
+    }
+    benchmark::DoNotOptimize(vis[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+void BM_ObsVisibleScalar(benchmark::State& state) {
+  ObsVisible(state, false);
+}
+void BM_ObsVisibleBatch(benchmark::State& state) { ObsVisible(state, true); }
+BENCHMARK(BM_ObsVisibleScalar)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ObsVisibleBatch)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
 void BM_ChannelAirLinkGain(benchmark::State& state) {
   env::EnvConfig config;
   env::ChannelModel channel(config);
@@ -121,6 +206,110 @@ void BM_ChannelAirLinkGain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChannelAirLinkGain);
+
+// --- Batched channel kernels vs the scalar ChannelModel oracle. ---
+//
+// The kernel-range cases isolate the CollectData channel phase: computing a
+// whole gain vector (one receiver against every PoI) and folding it into an
+// interference sum, at 100 / 1k / 10k PoIs. "Scalar" calls
+// ChannelModel::AirLinkGain per PoI exactly as the pre-SoA env did; "Batch"
+// is the bit-exact SIMD tier; "Fast" the --env-fast-math tier.
+
+enum class GainTier { kScalar, kBatch, kFast };
+
+void ChannelGainVector(benchmark::State& state, GainTier tier) {
+  const int n = static_cast<int>(state.range(0));
+  env::EnvConfig config;
+  const env::ChannelModel model(config);
+  const env::ChannelBatchParams params =
+      env::ChannelBatchParams::FromConfig(config);
+  std::vector<map::Point2> pts;
+  const env::PoiSoa soa = BenchSoa(n, pts);
+  const map::Point2 rx{977.0, 1041.0};
+  std::vector<double> gains(static_cast<size_t>(n));
+  for (auto _ : state) {
+    switch (tier) {
+      case GainTier::kScalar:
+        for (int i = 0; i < n; ++i) {
+          gains[i] = model.AirLinkGain(pts[i], rx, config.uav_height);
+        }
+        break;
+      case GainTier::kBatch:
+        env::AirGainsBatch(params, soa, nullptr, n, rx, config.uav_height,
+                           gains.data());
+        break;
+      case GainTier::kFast:
+        env::AirGainsFast(params, soa, nullptr, n, rx, config.uav_height,
+                          gains.data());
+        break;
+    }
+    benchmark::DoNotOptimize(gains[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+void BM_ChannelGainsScalar(benchmark::State& state) {
+  ChannelGainVector(state, GainTier::kScalar);
+}
+void BM_ChannelGainsBatch(benchmark::State& state) {
+  ChannelGainVector(state, GainTier::kBatch);
+}
+void BM_ChannelGainsFast(benchmark::State& state) {
+  ChannelGainVector(state, GainTier::kFast);
+}
+BENCHMARK(BM_ChannelGainsScalar)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ChannelGainsBatch)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ChannelGainsFast)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+// The acceptance case: one per-slot interference sum over every
+// transmitting PoI — gains plus the ordered accumulation, scalar vs batch.
+void ChannelInterference(benchmark::State& state, GainTier tier) {
+  const int n = static_cast<int>(state.range(0));
+  env::EnvConfig config;
+  const env::ChannelModel model(config);
+  const env::ChannelBatchParams params =
+      env::ChannelBatchParams::FromConfig(config);
+  std::vector<map::Point2> pts;
+  const env::PoiSoa soa = BenchSoa(n, pts);
+  std::vector<int> ids(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) ids[i] = i;
+  const map::Point2 rx{977.0, 1041.0};
+  std::vector<double> gains(static_cast<size_t>(n));
+  for (auto _ : state) {
+    double intf = 0.0;
+    if (tier == GainTier::kScalar) {
+      for (int i = 0; i < n; ++i) {
+        if (i == 7) continue;
+        intf += model.AirLinkGain(pts[i], rx, config.uav_height) *
+                config.rho_poi_w;
+      }
+    } else {
+      (tier == GainTier::kFast ? env::AirGainsFast : env::AirGainsBatch)(
+          params, soa, nullptr, n, rx, config.uav_height, gains.data());
+      intf = env::InterferencePower(gains.data(), ids.data(), n,
+                                    config.rho_poi_w, 7, -1);
+    }
+    benchmark::DoNotOptimize(intf);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+void BM_ChannelInterferenceScalar(benchmark::State& state) {
+  ChannelInterference(state, GainTier::kScalar);
+}
+void BM_ChannelInterferenceBatch(benchmark::State& state) {
+  ChannelInterference(state, GainTier::kBatch);
+}
+void BM_ChannelInterferenceFast(benchmark::State& state) {
+  ChannelInterference(state, GainTier::kFast);
+}
+BENCHMARK(BM_ChannelInterferenceScalar)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ChannelInterferenceBatch)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ChannelInterferenceFast)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
 
 // --- Road-graph queries: grid/cache vs naive oracle. ---
 
@@ -321,11 +510,69 @@ bool EnvSelfCheck() {
   return true;
 }
 
+// Batched-channel equivalence: the SIMD kernels must be bit-identical to
+// the scalar ChannelModel per link, and a full episode stepped with
+// use_channel_batch on/off must produce identical StepResults.
+bool ChannelSelfCheck() {
+  env::EnvConfig config;
+  const env::ChannelModel model(config);
+  const env::ChannelBatchParams params =
+      env::ChannelBatchParams::FromConfig(config);
+  std::vector<map::Point2> pts;
+  const env::PoiSoa soa = BenchSoa(512, pts);
+  std::vector<double> gains(pts.size());
+  const map::Point2 rx{400.0, 1600.0};
+  env::AirGainsBatch(params, soa, nullptr, 512, rx, config.uav_height,
+                     gains.data());
+  for (int i = 0; i < 512; ++i) {
+    if (gains[i] != model.AirLinkGain(pts[i], rx, config.uav_height)) {
+      std::fprintf(stderr, "self-check FAILED: air gain %d mismatch\n", i);
+      return false;
+    }
+  }
+  env::GroundGainsBatch(params, soa, nullptr, 512, rx, 1.2, gains.data());
+  for (int i = 0; i < 512; ++i) {
+    if (gains[i] != model.GroundLinkGain(pts[i], rx, 1.2)) {
+      std::fprintf(stderr, "self-check FAILED: ground gain %d mismatch\n", i);
+      return false;
+    }
+  }
+
+  env::EnvConfig batch_config;
+  batch_config.num_timeslots = 40;
+  batch_config.use_channel_batch = true;
+  env::EnvConfig scalar_config = batch_config;
+  scalar_config.use_channel_batch = false;
+  env::ScEnv batched(batch_config, Dataset100(), 13);
+  env::ScEnv scalar(scalar_config, Dataset100(), 13);
+  env::StepResult sb, ss;
+  batched.Reset(sb);
+  scalar.Reset(ss);
+  if (!StepResultsEqual(sb, ss)) {
+    std::fprintf(stderr, "self-check FAILED: channel Reset mismatch\n");
+    return false;
+  }
+  util::Rng rng(31);
+  std::vector<env::UvAction> actions(batched.num_agents());
+  for (int t = 0; t < batch_config.num_timeslots; ++t) {
+    RandomActions(rng, actions);
+    batched.Step(actions, sb);
+    scalar.Step(actions, ss);
+    if (!StepResultsEqual(sb, ss)) {
+      std::fprintf(stderr, "self-check FAILED: channel Step %d mismatch\n",
+                   t);
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!RoadSelfCheck() || !EnvSelfCheck()) return 1;
-  std::fprintf(stderr, "naive-vs-indexed self-check OK\n");
+  if (!RoadSelfCheck() || !EnvSelfCheck() || !ChannelSelfCheck()) return 1;
+  std::fprintf(stderr,
+               "naive-vs-indexed + batched-channel self-check OK\n");
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();

@@ -810,6 +810,7 @@ IterationStats HiMadrlTrainer::TrainIteration() {
   stats.total_env_steps = total_env_steps_;
   stats.env_oracle_fallback = env_fallback_;
   stats.nn_oracle_fallback = nn_fallback_;
+  stats.channel_oracle_fallback = channel_fallback_;
 
   if (config_.verbose) {
     AGSC_LOG(kInfo) << "iter " << iteration_ << " lambda="
@@ -865,6 +866,17 @@ void HiMadrlTrainer::RunOracleChecks() {
                        << "linear-scan path";
     }
   }
+  if (!channel_fallback_) {
+    const OracleCheckResult check =
+        ChannelSelfCheck(env_, config_.oracle_check_steps);
+    if (!check.ok) {
+      channel_fallback_ = true;
+      AGSC_LOG(kError) << "oracle guard: batched channel kernels disagree "
+                       << "with the scalar ChannelModel (" << check.detail
+                       << "); permanently falling back to the scalar "
+                       << "per-link path";
+    }
+  }
   if (!nn_fallback_) {
     const OracleCheckResult check = NnKernelSelfCheck();
     if (!check.ok) {
@@ -888,6 +900,15 @@ void HiMadrlTrainer::ApplyOracleFallbacks() {
     // Subprocess replicas: sticky flag, carried to every worker by its
     // next episode-prefix frame (and to respawned incarnations).
     if (proc_sampler_) proc_sampler_->DisableSpatialIndex();
+  }
+  if (channel_fallback_) {
+    env_.DisableChannelBatch();
+    if (sampler_) {
+      for (int w = 1; w < sampler_->num_workers(); ++w) {
+        sampler_->worker_env(w).DisableChannelBatch();
+      }
+    }
+    if (proc_sampler_) proc_sampler_->DisableChannelBatch();
   }
   if (nn_fallback_ && nn::GetKernelConfig().gemm != nn::GemmKernel::kNaive) {
     nn::KernelConfig kernel_config = nn::GetKernelConfig();
@@ -1060,11 +1081,13 @@ constexpr char kSecVecRng[] = "vrng";
 // counters section layout: iteration, total_env_steps, anomaly_streak,
 // actor_lr bits, critic_lr bits. Files written since the supervisor layer
 // carry a sixth word: bit 0 = env oracle fallback, bit 1 = NN kernel
-// oracle fallback, bits 8+ = learning-rate backoff count. Older 5-word
-// files load fine (no fallback, zero backoffs).
+// oracle fallback, bit 2 = batched-channel oracle fallback, bits 8+ =
+// learning-rate backoff count. Older 5-word files load fine (no fallback,
+// zero backoffs).
 constexpr size_t kCounterWords = 5;
 constexpr uint64_t kFallbackEnvBit = 1;
 constexpr uint64_t kFallbackNnBit = 2;
+constexpr uint64_t kFallbackChannelBit = 4;
 constexpr int kBackoffCountShift = 8;
 }  // namespace
 
@@ -1102,6 +1125,7 @@ bool HiMadrlTrainer::SaveCheckpoint(const std::string& path) {
                     DoubleBits(static_cast<double>(config_.critic_lr)),
                     (env_fallback_ ? kFallbackEnvBit : 0) |
                         (nn_fallback_ ? kFallbackNnBit : 0) |
+                        (channel_fallback_ ? kFallbackChannelBit : 0) |
                         (static_cast<uint64_t>(lr_backoff_count_)
                          << kBackoffCountShift)};
 
@@ -1357,16 +1381,19 @@ bool HiMadrlTrainer::LoadCheckpointV2(const std::string& path) {
     const uint64_t flags = counters_sec->words[kCounterWords];
     env_fallback_ = (flags & kFallbackEnvBit) != 0;
     nn_fallback_ = (flags & kFallbackNnBit) != 0;
+    channel_fallback_ = (flags & kFallbackChannelBit) != 0;
     lr_backoff_count_ = static_cast<int>(flags >> kBackoffCountShift);
-    if (env_fallback_ || nn_fallback_) {
+    if (env_fallback_ || nn_fallback_ || channel_fallback_) {
       AGSC_LOG(kWarning) << "checkpoint " << path
                          << ": restoring oracle fallback(s) (env="
-                         << env_fallback_ << ", nn=" << nn_fallback_ << ")";
+                         << env_fallback_ << ", nn=" << nn_fallback_
+                         << ", channel=" << channel_fallback_ << ")";
       ApplyOracleFallbacks();
     }
   } else {
     env_fallback_ = false;
     nn_fallback_ = false;
+    channel_fallback_ = false;
     lr_backoff_count_ = 0;
   }
   // Keep theta_old in sync so the next LCF update sees a consistent pair.

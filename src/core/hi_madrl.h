@@ -198,6 +198,9 @@ struct IterationStats {
   /// True while the NN GEMMs run on the naive reference kernels after an
   /// oracle self-check mismatch (sticky for the rest of the run).
   bool nn_oracle_fallback = false;
+  /// True while the environment runs on the scalar per-link ChannelModel
+  /// path after a batched-channel oracle mismatch (sticky for the run).
+  bool channel_oracle_fallback = false;
 };
 
 /// The h/i-MADRL trainer (Algorithm 1): a PPO-family base module plus the
@@ -234,6 +237,7 @@ class HiMadrlTrainer : public Policy {
   /// Oracle-fallback state (sticky; persisted in checkpoints).
   bool env_oracle_fallback() const { return env_fallback_; }
   bool nn_oracle_fallback() const { return nn_fallback_; }
+  bool channel_oracle_fallback() const { return channel_fallback_; }
 
   /// Total scalar parameters across all live networks.
   int TotalParameterCount() const;
@@ -416,6 +420,7 @@ class HiMadrlTrainer : public Policy {
   int lr_backoff_count_ = 0;      ///< LR backoffs taken (vs max_lr_backoffs).
   bool env_fallback_ = false;     ///< Env downgraded to the naive scan path.
   bool nn_fallback_ = false;      ///< GEMMs downgraded to the naive kernels.
+  bool channel_fallback_ = false; ///< Channel downgraded to the scalar path.
   int last_checkpoint_iter_ = -1; ///< Iteration of the newest auto-ckpt.
 };
 

@@ -107,4 +107,37 @@ OracleCheckResult EnvSelfCheck(const env::ScEnv& env, int steps) {
   return {};
 }
 
+OracleCheckResult ChannelSelfCheck(const env::ScEnv& env, int steps) {
+  if (!env.config().use_channel_batch || env.config().env_fast_math ||
+      steps <= 0) {
+    return {};
+  }
+  env::ScEnv batched(env);
+  env::ScEnv scalar(env);
+  scalar.DisableChannelBatch();
+
+  env::StepResult sb, ss;
+  batched.Reset(sb);
+  scalar.Reset(ss);
+  if (!StepResultsEqual(sb, ss)) {
+    return {false, "Reset: batched channel differs from the scalar oracle"};
+  }
+  util::Rng action_rng(0x0AC1E0ACULL);
+  std::vector<env::UvAction> actions(
+      static_cast<size_t>(batched.num_agents()));
+  for (int t = 0; t < steps; ++t) {
+    RandomActions(action_rng, actions);
+    batched.Step(actions, sb);
+    scalar.Step(actions, ss);
+    if (!StepResultsEqual(sb, ss)) {
+      std::ostringstream detail;
+      detail << "Step " << t
+             << ": batched channel differs from the scalar oracle";
+      return {false, detail.str()};
+    }
+    if (sb.done) break;
+  }
+  return {};
+}
+
 }  // namespace agsc::core

@@ -33,6 +33,15 @@ OracleCheckResult NnKernelSelfCheck();
 /// naive path.
 OracleCheckResult EnvSelfCheck(const env::ScEnv& env, int steps);
 
+/// Same lock-step scheme for the batched channel kernels: one copy keeps
+/// `env`'s batched channel path, the other is downgraded to the scalar
+/// per-link ChannelModel oracle, and every StepResult field must match
+/// bit-exactly. Trivially passes when `env` already runs the scalar channel
+/// path, and also under `env_fast_math` — the fast tier intentionally
+/// deviates from libm bit patterns (its acceptance is statistical, pinned
+/// by tests, not a bit-exact oracle property).
+OracleCheckResult ChannelSelfCheck(const env::ScEnv& env, int steps);
+
 }  // namespace agsc::core
 
 #endif  // AGSC_CORE_ORACLE_GUARD_H_

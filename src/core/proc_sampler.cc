@@ -310,7 +310,8 @@ void ProcSampler::FailWorker(int w, const std::string& why) {
 bool ProcSampler::SendPrefix(int w) {
   Worker& wk = workers_[static_cast<size_t>(w)];
   EpisodePrefix prefix;
-  prefix.flags = naive_env_ ? kPrefixNaiveEnv : 0;
+  prefix.flags = (naive_env_ ? kPrefixNaiveEnv : 0) |
+                 (scalar_channel_ ? kPrefixScalarChannel : 0);
   prefix.rng_state = episode_rng_[static_cast<size_t>(w)];
   prefix.replay = replay_log_[static_cast<size_t>(w)];
   pending_prefix_[static_cast<size_t>(w)] = 1;

@@ -146,6 +146,10 @@ class ProcSampler {
   /// the trainer's to downgrade.
   void DisableSpatialIndex() { naive_env_ = true; }
 
+  /// Sticky: every later episode prefix tells its worker to run the scalar
+  /// per-link channel path (the batched-channel oracle fallback).
+  void DisableChannelBatch() { scalar_channel_ = true; }
+
   /// Total worker respawns over this sampler's lifetime (tests/stats).
   int respawn_count() const { return lifetime_respawns_; }
 
@@ -240,6 +244,7 @@ class ProcSampler {
   std::vector<uint8_t> pending_prefix_;
 
   bool naive_env_ = false;
+  bool scalar_channel_ = false;
   int collect_respawns_ = 0;
   int lifetime_respawns_ = 0;
 };

@@ -87,6 +87,8 @@ std::string EncodeWorkerInit(const WorkerInit& init) {
   w.F64(c.neighbor_range_fraction);
   w.U32(c.record_event_log ? 1 : 0);
   w.U32(c.use_spatial_index ? 1 : 0);
+  w.U32(c.use_channel_batch ? 1 : 0);
+  w.U32(c.env_fast_math ? 1 : 0);
   return w.Take();
 }
 
@@ -141,6 +143,8 @@ bool DecodeWorkerInit(const std::string& payload, WorkerInit& out) {
   c.neighbor_range_fraction = r.F64();
   c.record_event_log = r.U32() != 0;
   c.use_spatial_index = r.U32() != 0;
+  c.use_channel_batch = r.U32() != 0;
+  c.env_fast_math = r.U32() != 0;
   return r.Done();
 }
 

@@ -42,8 +42,10 @@ namespace agsc::core {
 /// All floats/doubles travel as raw bit patterns, so a replayed or
 /// multi-process rollout is bit-identical to the in-process one.
 
-/// v2 added kMsgRegister (remote workers over TCP).
-inline constexpr uint32_t kWorkerProtocolVersion = 2;
+/// v2 added kMsgRegister (remote workers over TCP). v3 appended the
+/// EnvConfig channel-path fields (use_channel_batch / env_fast_math) to
+/// kMsgInit and the kPrefixScalarChannel fallback flag.
+inline constexpr uint32_t kWorkerProtocolVersion = 3;
 
 enum WorkerMsgType : uint32_t {
   kMsgInit = 1,
@@ -95,12 +97,16 @@ struct WorkerActions {
 
 /// kMsgEpisodePrefix payload (see the conversation diagram above).
 struct EpisodePrefix {
-  uint32_t flags = 0;  ///< kPrefixNaiveEnv when the oracle fallback is on.
+  uint32_t flags = 0;  ///< kPrefix* bits when oracle fallbacks are on.
   std::array<uint64_t, util::Rng::kStateWords> rng_state{};
   std::vector<WorkerActions> replay;  ///< Actions already issued; may be empty.
 };
 
 inline constexpr uint32_t kPrefixNaiveEnv = 1u << 0;
+/// The trainer's oracle guard downgraded the batched channel kernels to the
+/// scalar per-link ChannelModel path; workers must mirror it (sticky, like
+/// kPrefixNaiveEnv, and carried to respawned incarnations).
+inline constexpr uint32_t kPrefixScalarChannel = 1u << 1;
 
 /// kMsgStepResult payload: everything the trainer appends to the rollout
 /// buffer for one slot, plus the worker's post-step env RNG state (the

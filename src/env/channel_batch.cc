@@ -1,0 +1,619 @@
+#include "env/channel_batch.h"
+
+// This translation unit must be compiled with floating-point contraction
+// disabled (-ffp-contract=off, set in src/env/CMakeLists.txt): both tiers
+// are deterministic only if the compiler never fuses their mul+add chains
+// into FMAs. The avx512 variants additionally pin fp-contract=off at
+// function level because their target attribute enables FMA hardware (the
+// same convention as the GEMM tiles in nn/tensor.cc).
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "env/channel.h"
+#include "util/env_flags.h"
+
+namespace agsc::env {
+
+ChannelBatchParams ChannelBatchParams::FromConfig(const EnvConfig& config) {
+  // Exactly the derivations ChannelModel's constructor performs, so the
+  // bit-exact kernels reproduce its gains bit-for-bit.
+  ChannelBatchParams p;
+  p.alpha1 = config.alpha1;
+  p.alpha2 = config.alpha2;
+  p.omega_los = config.omega_los;
+  p.beta_los = config.beta_los;
+  p.eta_los_linear = DbToLinear(config.eta_los_db);
+  p.eta_nlos_linear = DbToLinear(config.eta_nlos_db);
+  p.bandwidth_hz = config.bandwidth_hz;
+  p.noise_power = config.noise_psd * config.bandwidth_hz;
+  return p;
+}
+
+// --- Runtime ISA dispatch (the nn/tensor GEMM pattern) ---------------------
+
+namespace {
+
+ChannelIsa DetectIsa() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return ChannelIsa::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return ChannelIsa::kAvx2;
+#endif
+  return ChannelIsa::kGeneric;
+}
+
+ChannelIsa ClampToDetected(ChannelIsa isa) {
+  return static_cast<int>(isa) <= static_cast<int>(DetectedChannelIsa())
+             ? isa
+             : DetectedChannelIsa();
+}
+
+// Initial level: detected capability, optionally lowered by the
+// AGSC_CHANNEL_ISA environment variable (read once at first use).
+ChannelIsa InitialIsa() {
+  const std::string name = util::GetEnvOr("AGSC_CHANNEL_ISA", std::string());
+  if (name == "generic") return ChannelIsa::kGeneric;
+  if (name == "avx2") return ClampToDetected(ChannelIsa::kAvx2);
+  if (name == "avx512") return ClampToDetected(ChannelIsa::kAvx512);
+  return DetectedChannelIsa();
+}
+
+std::atomic<int>& IsaSlot() {
+  static std::atomic<int> slot{static_cast<int>(InitialIsa())};
+  return slot;
+}
+
+ChannelIsa Isa() {
+  return static_cast<ChannelIsa>(IsaSlot().load(std::memory_order_relaxed));
+}
+
+}  // namespace
+
+ChannelIsa DetectedChannelIsa() {
+  static const ChannelIsa level = DetectIsa();
+  return level;
+}
+
+ChannelIsa ActiveChannelIsa() { return Isa(); }
+
+const char* ChannelIsaName(ChannelIsa isa) {
+  switch (isa) {
+    case ChannelIsa::kAvx512: return "avx512";
+    case ChannelIsa::kAvx2: return "avx2";
+    case ChannelIsa::kGeneric: return "generic";
+  }
+  return "generic";
+}
+
+ChannelIsa SetChannelIsa(ChannelIsa isa) {
+  const ChannelIsa clamped = ClampToDetected(isa);
+  IsaSlot().store(static_cast<int>(clamped), std::memory_order_relaxed);
+  return clamped;
+}
+
+// --- Fast-math polynomial transcendentals ----------------------------------
+//
+// Every coefficient is derived in-source (constexpr rational recurrences or
+// <cmath> platform constants) rather than pasted from a minimax table, so
+// the error bounds below follow directly from the series remainders:
+//
+//   FastExp : Cody-Waite range reduction against a hi/lo split of M_LN2,
+//             then a 13-term Taylor polynomial on |r| <= ln(2)/2 = 0.347
+//             (remainder r^14/14! < 5e-18); total relative error is
+//             dominated by the double-precision width of ln 2 itself,
+//             |n| * eps(ln2) ~ 1e-14 over the gains' argument range.
+//   FastLog : mantissa reduced to [sqrt(1/2), sqrt(2)), atanh series
+//             2z(1 + z^2/3 + ... + z^18/19) on |z| <= 0.172 (remainder
+//             z^21/21 < 5e-18), exponent recombined against the same
+//             ln 2 split.
+//   FastAsin: argument folded onto t <= 1/2 via
+//             asin(u) = pi/2 - 2 asin(sqrt((1-u)/2)) for u > 1/2, then the
+//             Maclaurin series with the exact coefficient recurrence
+//             c_n = c_{n-1} * (2n-1)^2 / ((2n)(2n+1)) (remainder < 2e-15).
+//
+// All helpers are branch-free (ternaries compile to blends), use no libm
+// calls, and perform the identical per-lane operation sequence in every ISA
+// variant, so the fast tier is bit-identical across generic/AVX2/AVX-512 —
+// deterministic, just not libm-equal (relative error <~1e-12 per gain,
+// asserted in tests/channel_batch_test.cc).
+//
+// Domain: arguments the channel model produces — FastExp on [-745, 0],
+// FastLog on [1, 1e300), FastAsin on [0, 1]. No denormal/overflow handling.
+
+namespace {
+
+constexpr double kMagic = 6755399441055744.0;  // 1.5 * 2^52.
+constexpr double kLn2Hi =
+    std::bit_cast<double>(std::bit_cast<uint64_t>(M_LN2) &
+                          ~((uint64_t{1} << 27) - 1));
+constexpr double kLn2Lo = M_LN2 - kLn2Hi;  // Exact (hi has 27 trailing zeros).
+
+constexpr int kExpTerms = 14;
+constexpr std::array<double, kExpTerms> MakeExpCoeffs() {
+  std::array<double, kExpTerms> c{};
+  double factorial = 1.0;
+  for (int k = 0; k < kExpTerms; ++k) {
+    if (k > 0) factorial *= static_cast<double>(k);
+    c[k] = 1.0 / factorial;
+  }
+  return c;
+}
+constexpr std::array<double, kExpTerms> kExpCoeff = MakeExpCoeffs();
+
+constexpr int kLogTerms = 10;
+constexpr std::array<double, kLogTerms> MakeLogCoeffs() {
+  std::array<double, kLogTerms> c{};
+  for (int k = 0; k < kLogTerms; ++k) {
+    c[k] = 1.0 / static_cast<double>(2 * k + 1);
+  }
+  return c;
+}
+constexpr std::array<double, kLogTerms> kLogCoeff = MakeLogCoeffs();
+
+constexpr int kAsinTerms = 24;
+constexpr std::array<double, kAsinTerms> MakeAsinCoeffs() {
+  std::array<double, kAsinTerms> c{};
+  c[0] = 1.0;
+  for (int n = 1; n < kAsinTerms; ++n) {
+    const double k = 2.0 * static_cast<double>(n);
+    c[n] = c[n - 1] * ((k - 1.0) / k) * ((k - 1.0) / (k + 1.0));
+  }
+  return c;
+}
+constexpr std::array<double, kAsinTerms> kAsinCoeff = MakeAsinCoeffs();
+
+// Round-to-nearest-even double -> integer via the 1.5*2^52 trick, plus the
+// matching exponent-bit constructions; these avoid int64<->double cvt
+// instructions (absent below AVX-512DQ) so every variant vectorizes.
+// Horner evaluation unrolled at compile time (an index_sequence fold) so the
+// polynomial bodies contain no control flow — a runtime coefficient loop is
+// "control flow in loop" to the auto-vectorizer, and the asin series' 23
+// iterations exceed GCC's complete-peel limit anyway.
+template <std::size_t N, std::size_t... I>
+__attribute__((always_inline)) inline double HornerImpl(
+    const std::array<double, N>& c, double x, std::index_sequence<I...>) {
+  double p = c[N - 1];
+  ((p = p * x + c[N - 2 - I]), ...);
+  return p;
+}
+
+template <std::size_t N>
+__attribute__((always_inline)) inline double Horner(
+    const std::array<double, N>& c, double x) {
+  return HornerImpl(c, x, std::make_index_sequence<N - 1>{});
+}
+
+__attribute__((always_inline)) inline double FastExp(double x) {
+  const double t = x * M_LOG2E + kMagic;
+  const int64_t n = std::bit_cast<int64_t>(t) - std::bit_cast<int64_t>(kMagic);
+  const double nd = t - kMagic;  // = round(x * log2(e)).
+  double r = x - nd * kLn2Hi;
+  r -= nd * kLn2Lo;
+  const double p = Horner(kExpCoeff, r);
+  const double scale = std::bit_cast<double>((n + 1023) << 52);
+  return p * scale;
+}
+
+__attribute__((always_inline)) inline double FastLog(double x) {
+  const uint64_t bits = std::bit_cast<uint64_t>(x);
+  int64_t ei = static_cast<int64_t>(bits >> 52) - 1023;
+  double m = std::bit_cast<double>((bits & ((uint64_t{1} << 52) - 1)) |
+                                   (uint64_t{1023} << 52));
+  const bool fold = m > M_SQRT2;  // Shift m into [sqrt(1/2), sqrt(2)).
+  m = fold ? m * 0.5 : m;
+  ei += fold ? 1 : 0;
+  const double ed =
+      std::bit_cast<double>(ei + std::bit_cast<int64_t>(kMagic)) - kMagic;
+  const double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  const double s = Horner(kLogCoeff, z2);
+  return ed * kLn2Hi + (2.0 * z * s + ed * kLn2Lo);
+}
+
+__attribute__((always_inline)) inline double FastAsin(double u) {
+  const bool fold = u > 0.5;
+  const double s = std::sqrt((1.0 - u) * 0.5);
+  const double t = fold ? s : u;  // t <= 1/2 on both branches.
+  const double t2 = t * t;
+  const double p = t * Horner(kAsinCoeff, t2);
+  return fold ? (M_PI / 2.0) - 2.0 * p : p;
+}
+
+// --- Kernel bodies ---------------------------------------------------------
+//
+// Each body is an always_inline helper instantiated once per ISA target
+// below (the nn/tensor shared-body convention): the helper compiles with the
+// caller's target, so the fast/mask loops auto-vectorize per ISA while every
+// variant keeps the identical per-element operation sequence.
+
+// Bit-exact air gain: the exact ChannelModel::AirLinkGain expression chain —
+// map::SlantDistance / map::ElevationAngleDeg / LosProbability inlined with
+// the same libm calls and operation order, the slant distance computed once
+// instead of twice.
+__attribute__((always_inline)) inline double AirExactElem(
+    double pxi, double pyi, double rxx, double rxy, double height, double h2,
+    double omega, double beta, double eta_l, double eta_n, double alpha1) {
+  const double d2d = std::hypot(pxi - rxx, pyi - rxy);
+  const double slant = std::sqrt(d2d * d2d + h2);
+  const double d = std::max(slant, 1.0);
+  double angle = 90.0;
+  if (slant > 0.0) {
+    const double ratio = std::clamp(height / slant, -1.0, 1.0);
+    angle = std::asin(ratio) * 180.0 / M_PI;
+  }
+  const double p_los = 1.0 / (1.0 + omega * std::exp(-beta * angle));
+  const double path = std::pow(d, -alpha1);
+  return (p_los * eta_l + (1.0 - p_los) * eta_n) * path;
+}
+
+__attribute__((always_inline)) inline void AirGainsExactBody(
+    const ChannelBatchParams& p, const double* px, const double* py,
+    const int* idx, int n, double rxx, double rxy, double height,
+    double* out) {
+  const double h2 = height * height;
+  if (idx) {
+    for (int j = 0; j < n; ++j) {
+      const int i = idx[j];
+      out[j] = AirExactElem(px[i], py[i], rxx, rxy, height, h2, p.omega_los,
+                            p.beta_los, p.eta_los_linear, p.eta_nlos_linear,
+                            p.alpha1);
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      out[j] = AirExactElem(px[j], py[j], rxx, rxy, height, h2, p.omega_los,
+                            p.beta_los, p.eta_los_linear, p.eta_nlos_linear,
+                            p.alpha1);
+    }
+  }
+}
+
+// Bit-exact ground gain: the exact ChannelModel::GroundLinkGain chain.
+__attribute__((always_inline)) inline void GroundGainsExactBody(
+    const ChannelBatchParams& p, const double* px, const double* py,
+    const int* idx, int n, double rxx, double rxy, double fading_gain,
+    double* out) {
+  if (idx) {
+    for (int j = 0; j < n; ++j) {
+      const int i = idx[j];
+      const double d = std::max(std::hypot(px[i] - rxx, py[i] - rxy), 1.0);
+      out[j] = fading_gain * std::pow(d, -p.alpha2);
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      const double d = std::max(std::hypot(px[j] - rxx, py[j] - rxy), 1.0);
+      out[j] = fading_gain * std::pow(d, -p.alpha2);
+    }
+  }
+}
+
+// Fast air gain: one sqrt for the slant, the elevation-angle/LoS mixture
+// through FastAsin/FastExp, the path loss as exp(-alpha * log d).
+__attribute__((always_inline)) inline double AirFastElem(
+    double pxi, double pyi, double rxx, double rxy, double height, double h2,
+    double neg_beta_deg, double omega, double eta_l, double eta_n,
+    double alpha1) {
+  const double dx = pxi - rxx;
+  const double dy = pyi - rxy;
+  const double slant = std::sqrt(dx * dx + dy * dy + h2);
+  // slant == 0 (coincident PoI at height 0) is the 90-degree elevation
+  // branch of the exact path; blend instead of branch so the loop stays
+  // vectorizable and 0/0 never leaks a NaN into the LoS mixture.
+  const double ratio = slant > 0.0 ? std::min(height / slant, 1.0) : 1.0;
+  const double p_los =
+      1.0 / (1.0 + omega * FastExp(neg_beta_deg * FastAsin(ratio)));
+  const double d = std::max(slant, 1.0);
+  const double path = FastExp(-alpha1 * FastLog(d));
+  return (p_los * eta_l + (1.0 - p_los) * eta_n) * path;
+}
+
+__attribute__((always_inline)) inline void AirGainsFastBody(
+    const ChannelBatchParams& p, const double* px, const double* py,
+    const int* idx, int n, double rxx, double rxy, double height,
+    double* out) {
+  const double h2 = height * height;
+  const double neg_beta_deg = -(p.beta_los * (180.0 / M_PI));
+  if (idx) {
+    for (int j = 0; j < n; ++j) {
+      const int i = idx[j];
+      out[j] = AirFastElem(px[i], py[i], rxx, rxy, height, h2, neg_beta_deg,
+                           p.omega_los, p.eta_los_linear, p.eta_nlos_linear,
+                           p.alpha1);
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      out[j] = AirFastElem(px[j], py[j], rxx, rxy, height, h2, neg_beta_deg,
+                           p.omega_los, p.eta_los_linear, p.eta_nlos_linear,
+                           p.alpha1);
+    }
+  }
+}
+
+__attribute__((always_inline)) inline double GroundFastElem(double pxi,
+                                                            double pyi,
+                                                            double rxx,
+                                                            double rxy,
+                                                            double fading,
+                                                            double alpha2) {
+  const double dx = pxi - rxx;
+  const double dy = pyi - rxy;
+  const double d = std::max(std::sqrt(dx * dx + dy * dy), 1.0);
+  return fading * FastExp(-alpha2 * FastLog(d));
+}
+
+__attribute__((always_inline)) inline void GroundGainsFastBody(
+    const ChannelBatchParams& p, const double* px, const double* py,
+    const int* idx, int n, double rxx, double rxy, double fading_gain,
+    double* out) {
+  if (idx) {
+    for (int j = 0; j < n; ++j) {
+      const int i = idx[j];
+      out[j] = GroundFastElem(px[i], py[i], rxx, rxy, fading_gain, p.alpha2);
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      out[j] = GroundFastElem(px[j], py[j], rxx, rxy, fading_gain, p.alpha2);
+    }
+  }
+}
+
+__attribute__((always_inline)) inline void CapacityFastBody(
+    double bandwidth_hz, const double* sinr, int n, double* out) {
+  for (int j = 0; j < n; ++j) {
+    const double s = std::max(sinr[j], 0.0);
+    out[j] = bandwidth_hz * (FastLog(1.0 + s) * M_LOG2E);
+  }
+}
+
+// Visibility pre-pass: dist[i] = sqrt(dx^2 + dy^2) (three roundings; a
+// +/- 4e-15 relative guard band around the range covers its divergence from
+// the correctly-rounded libm hypot, see VisibleMask below).
+__attribute__((always_inline)) inline void VisibleDistBody(
+    const double* px, const double* py, int n, double rxx, double rxy,
+    double* dist) {
+  for (int i = 0; i < n; ++i) {
+    const double dx = px[i] - rxx;
+    const double dy = py[i] - rxy;
+    dist[i] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+// Per-ISA instantiations. target("avx2") does not enable FMA generation, so
+// only the avx512 variants (whose target implies FMA hardware) need the
+// function-level fp-contract pin on top of this file's -ffp-contract=off.
+#define AGSC_CHANNEL_VARIANTS(NAME, BODY, EXTRA)                             \
+  void NAME##Generic(const ChannelBatchParams& p, const double* px,          \
+                     const double* py, const int* idx, int n, double rxx,    \
+                     double rxy, double EXTRA, double* out) {                \
+    BODY(p, px, py, idx, n, rxx, rxy, EXTRA, out);                           \
+  }                                                                          \
+  AGSC_CHANNEL_X86(NAME, BODY, EXTRA)
+
+#if defined(__x86_64__) || defined(__i386__)
+#define AGSC_CHANNEL_X86(NAME, BODY, EXTRA)                                  \
+  __attribute__((target("avx2"))) void NAME##Avx2(                           \
+      const ChannelBatchParams& p, const double* px, const double* py,       \
+      const int* idx, int n, double rxx, double rxy, double EXTRA,           \
+      double* out) {                                                         \
+    BODY(p, px, py, idx, n, rxx, rxy, EXTRA, out);                           \
+  }                                                                          \
+  __attribute__((target("avx512f"), optimize("fp-contract=off"))) void       \
+      NAME##Avx512(const ChannelBatchParams& p, const double* px,            \
+                   const double* py, const int* idx, int n, double rxx,      \
+                   double rxy, double EXTRA, double* out) {                  \
+    BODY(p, px, py, idx, n, rxx, rxy, EXTRA, out);                           \
+  }
+#else
+#define AGSC_CHANNEL_X86(NAME, BODY, EXTRA)
+#endif
+
+AGSC_CHANNEL_VARIANTS(AirExact, AirGainsExactBody, height)
+AGSC_CHANNEL_VARIANTS(GroundExact, GroundGainsExactBody, fading_gain)
+AGSC_CHANNEL_VARIANTS(AirFast, AirGainsFastBody, height)
+AGSC_CHANNEL_VARIANTS(GroundFast, GroundGainsFastBody, fading_gain)
+
+#undef AGSC_CHANNEL_VARIANTS
+#undef AGSC_CHANNEL_X86
+
+void CapacityFastGeneric(double bw, const double* sinr, int n, double* out) {
+  CapacityFastBody(bw, sinr, n, out);
+}
+void VisibleDistGeneric(const double* px, const double* py, int n, double rxx,
+                        double rxy, double* dist) {
+  VisibleDistBody(px, py, n, rxx, rxy, dist);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void CapacityFastAvx2(double bw,
+                                                      const double* sinr,
+                                                      int n, double* out) {
+  CapacityFastBody(bw, sinr, n, out);
+}
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+CapacityFastAvx512(double bw, const double* sinr, int n, double* out) {
+  CapacityFastBody(bw, sinr, n, out);
+}
+__attribute__((target("avx2"))) void VisibleDistAvx2(const double* px,
+                                                     const double* py, int n,
+                                                     double rxx, double rxy,
+                                                     double* dist) {
+  VisibleDistBody(px, py, n, rxx, rxy, dist);
+}
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+VisibleDistAvx512(const double* px, const double* py, int n, double rxx,
+                  double rxy, double* dist) {
+  VisibleDistBody(px, py, n, rxx, rxy, dist);
+}
+#endif  // x86
+
+#if defined(__x86_64__) || defined(__i386__)
+using GainFn = void (*)(const ChannelBatchParams&, const double*,
+                        const double*, const int*, int, double, double,
+                        double, double*);
+
+GainFn SelectGain(GainFn generic, GainFn avx2, GainFn avx512) {
+  if (Isa() == ChannelIsa::kAvx512) return avx512;
+  if (Isa() == ChannelIsa::kAvx2) return avx2;
+  return generic;
+}
+#endif  // x86
+
+}  // namespace
+
+void AirGainsBatch(const ChannelBatchParams& p, const PoiSoa& pois,
+                   const int* idx, int n, const map::Point2& rx,
+                   double height, double* out) {
+#if defined(__x86_64__) || defined(__i386__)
+  SelectGain(AirExactGeneric, AirExactAvx2, AirExactAvx512)(
+      p, pois.x.data(), pois.y.data(), idx, n, rx.x, rx.y, height, out);
+#else
+  AirExactGeneric(p, pois.x.data(), pois.y.data(), idx, n, rx.x, rx.y, height,
+                  out);
+#endif
+}
+
+void GroundGainsBatch(const ChannelBatchParams& p, const PoiSoa& pois,
+                      const int* idx, int n, const map::Point2& rx,
+                      double fading_gain, double* out) {
+#if defined(__x86_64__) || defined(__i386__)
+  SelectGain(GroundExactGeneric, GroundExactAvx2, GroundExactAvx512)(
+      p, pois.x.data(), pois.y.data(), idx, n, rx.x, rx.y, fading_gain, out);
+#else
+  GroundExactGeneric(p, pois.x.data(), pois.y.data(), idx, n, rx.x, rx.y,
+                     fading_gain, out);
+#endif
+}
+
+void AirGainsFast(const ChannelBatchParams& p, const PoiSoa& pois,
+                  const int* idx, int n, const map::Point2& rx, double height,
+                  double* out) {
+#if defined(__x86_64__) || defined(__i386__)
+  SelectGain(AirFastGeneric, AirFastAvx2, AirFastAvx512)(
+      p, pois.x.data(), pois.y.data(), idx, n, rx.x, rx.y, height, out);
+#else
+  AirFastGeneric(p, pois.x.data(), pois.y.data(), idx, n, rx.x, rx.y, height,
+                 out);
+#endif
+}
+
+void GroundGainsFast(const ChannelBatchParams& p, const PoiSoa& pois,
+                     const int* idx, int n, const map::Point2& rx,
+                     double fading_gain, double* out) {
+#if defined(__x86_64__) || defined(__i386__)
+  SelectGain(GroundFastGeneric, GroundFastAvx2, GroundFastAvx512)(
+      p, pois.x.data(), pois.y.data(), idx, n, rx.x, rx.y, fading_gain, out);
+#else
+  GroundFastGeneric(p, pois.x.data(), pois.y.data(), idx, n, rx.x, rx.y,
+                    fading_gain, out);
+#endif
+}
+
+double AirGainSingle(const ChannelBatchParams& p, const map::Point2& ground,
+                     const map::Point2& air, double height, bool fast_math) {
+  const double px = ground.x;
+  const double py = ground.y;
+  double out = 0.0;
+  if (fast_math) {
+    AirGainsFastBody(p, &px, &py, nullptr, 1, air.x, air.y, height, &out);
+  } else {
+    AirGainsExactBody(p, &px, &py, nullptr, 1, air.x, air.y, height, &out);
+  }
+  return out;
+}
+
+double GroundGainSingle(const ChannelBatchParams& p, const map::Point2& a,
+                        const map::Point2& b, double fading_gain,
+                        bool fast_math) {
+  const double px = a.x;
+  const double py = a.y;
+  double out = 0.0;
+  if (fast_math) {
+    GroundGainsFastBody(p, &px, &py, nullptr, 1, b.x, b.y, fading_gain, &out);
+  } else {
+    GroundGainsExactBody(p, &px, &py, nullptr, 1, b.x, b.y, fading_gain,
+                         &out);
+  }
+  return out;
+}
+
+double InterferencePower(const double* gains, const int* pois, int n,
+                         double rho_poi_w, int skip_a, int skip_b) {
+  // Scalar, list order: bit-identical to the per-pair interference loops in
+  // ScEnv::CollectData (SIMD reductions would reassociate the sum).
+  double power = 0.0;
+  for (int j = 0; j < n; ++j) {
+    if (pois[j] == skip_a || pois[j] == skip_b) continue;
+    power += gains[j] * rho_poi_w;
+  }
+  return power;
+}
+
+void UplinkSinrBatch(const double* gains, int n, double tx_power_w,
+                     double noise_w, double interference_w, double* out) {
+  const double denom = noise_w + interference_w;
+  for (int j = 0; j < n; ++j) out[j] = gains[j] * tx_power_w / denom;
+}
+
+void CapacityBatch(double bandwidth_hz, const double* sinr, int n,
+                   double* out) {
+  for (int j = 0; j < n; ++j) {
+    out[j] = bandwidth_hz * std::log2(1.0 + std::max(sinr[j], 0.0));
+  }
+}
+
+void CapacityBatchFast(double bandwidth_hz, const double* sinr, int n,
+                       double* out) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (Isa() == ChannelIsa::kAvx512) {
+    CapacityFastAvx512(bandwidth_hz, sinr, n, out);
+    return;
+  }
+  if (Isa() == ChannelIsa::kAvx2) {
+    CapacityFastAvx2(bandwidth_hz, sinr, n, out);
+    return;
+  }
+#endif
+  CapacityFastGeneric(bandwidth_hz, sinr, n, out);
+}
+
+void VisibleMask(const PoiSoa& pois, const map::Point2& pos, double range,
+                 double* dist_scratch, uint8_t* vis) {
+  const int n = pois.count();
+#if defined(__x86_64__) || defined(__i386__)
+  if (Isa() == ChannelIsa::kAvx512) {
+    VisibleDistAvx512(pois.x.data(), pois.y.data(), n, pos.x, pos.y,
+                      dist_scratch);
+  } else if (Isa() == ChannelIsa::kAvx2) {
+    VisibleDistAvx2(pois.x.data(), pois.y.data(), n, pos.x, pos.y,
+                    dist_scratch);
+  } else {
+    VisibleDistGeneric(pois.x.data(), pois.y.data(), n, pos.x, pos.y,
+                       dist_scratch);
+  }
+#else
+  VisibleDistGeneric(pois.x.data(), pois.y.data(), n, pos.x, pos.y,
+                     dist_scratch);
+#endif
+  // sqrt(dx^2 + dy^2) carries at most ~2.5 ulp of relative error and the
+  // libm hypot the scalar predicate uses at most ~1 ulp, so outside a
+  // +/- 4e-15 relative band around `range` the cheap distance decides the
+  // predicate; only band elements (measure ~0) pay the exact hypot call.
+  const double lo = range * (1.0 - 4e-15);
+  const double hi = range * (1.0 + 4e-15);
+  for (int i = 0; i < n; ++i) {
+    const double d = dist_scratch[i];
+    if (d <= lo) {
+      vis[i] = 1;
+    } else if (d > hi) {
+      vis[i] = 0;
+    } else {
+      vis[i] = std::hypot(pois.x[i] - pos.x, pois.y[i] - pos.y) <= range;
+    }
+  }
+}
+
+}  // namespace agsc::env

@@ -1,0 +1,167 @@
+#ifndef AGSC_ENV_CHANNEL_BATCH_H_
+#define AGSC_ENV_CHANNEL_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "env/config.h"
+#include "map/geometry.h"
+
+namespace agsc::env {
+
+/// Batched (structure-of-arrays) AG-NOMA channel math.
+///
+/// The scalar `ChannelModel` computes one gain per call; at fleet/city scale
+/// `ScEnv::CollectData` evaluates O(agents^2 / Z) of them per slot inside the
+/// interference sums, one libm-heavy call at a time. The kernels here compute
+/// gain vectors for whole PoI ranges per receiver in one call, in two tiers:
+///
+///  * **Bit-exact tier** (`AirGainsBatch` / `GroundGainsBatch`): evaluates
+///    exactly the scalar `ChannelModel` expression per element — same libm
+///    transcendentals (`hypot`, `asin`, `exp`, `pow`), same operation order —
+///    so every gain is bit-identical to `ChannelModel::AirLinkGain` /
+///    `GroundLinkGain`. The win is algorithmic (the slant distance is
+///    computed once instead of twice per gain, constants are hoisted, and
+///    callers reuse the vectors across the uplink/relay/interference terms
+///    instead of recomputing per pair); the dispatch exists so the
+///    IEEE-exact stages (subtract/multiply/divide/sqrt/min/max) may be
+///    vectorized — those operations are correctly rounded, so SIMD lanes
+///    match scalar bit-for-bit.
+///
+///  * **Fast-math tier** (`AirGainsFast` / `GroundGainsFast`): replaces the
+///    libm transcendentals with branchless polynomial evaluations (Taylor /
+///    atanh-series with constexpr-derived coefficients, range reduction via
+///    exponent-bit arithmetic) that the compiler auto-vectorizes under the
+///    per-ISA `target` attributes. Results carry a relative error bounded by
+///    ~1e-12 per gain (asserted in tests) and are therefore NOT
+///    checkpoint-compatible with the default tier — but they are still
+///    deterministic: every ISA variant executes the same per-lane operation
+///    sequence with fp-contract pinned off, so fast-tier results are
+///    bit-identical across generic/AVX2/AVX-512 too.
+///
+/// Runtime ISA dispatch mirrors the `nn/tensor` GEMM pattern: a shared
+/// macro body instantiated per target, `__builtin_cpu_supports` detection,
+/// and fp-contract pinned off wherever the target enables FMA hardware.
+/// `AGSC_CHANNEL_ISA=generic|avx2|avx512` overrides detection (clamped to
+/// what the CPU supports); `SetChannelIsa` does the same in-process for the
+/// equivalence-sweep tests.
+
+/// ISA level used by the batched channel kernels.
+enum class ChannelIsa { kGeneric, kAvx2, kAvx512 };
+
+/// Highest level the CPU supports (no override applied).
+ChannelIsa DetectedChannelIsa();
+
+/// Level the kernels currently dispatch to: the detected level, clamped by
+/// the AGSC_CHANNEL_ISA environment variable (read once) and by any later
+/// SetChannelIsa call.
+ChannelIsa ActiveChannelIsa();
+
+/// "generic" / "avx2" / "avx512".
+const char* ChannelIsaName(ChannelIsa isa);
+
+/// Forces the dispatch level for this process (test hook for the
+/// ISA-equivalence sweep). Requests above the detected capability are
+/// clamped; returns the level actually now active.
+ChannelIsa SetChannelIsa(ChannelIsa isa);
+
+/// Structure-of-arrays mirror of a PoI layout. Built once per env (PoIs are
+/// static within an episode); the kernels index it by PoI id.
+struct PoiSoa {
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void Build(const std::vector<map::Point2>& pois, int count) {
+    x.resize(count);
+    y.resize(count);
+    for (int i = 0; i < count; ++i) {
+      x[i] = pois[i].x;
+      y[i] = pois[i].y;
+    }
+  }
+  int count() const { return static_cast<int>(x.size()); }
+  bool empty() const { return x.empty(); }
+};
+
+/// Channel constants precomputed from an EnvConfig with exactly the
+/// derivations `ChannelModel`'s constructor uses (so the bit-exact tier
+/// reproduces its gains bit-for-bit).
+struct ChannelBatchParams {
+  double alpha1 = 2.0;
+  double alpha2 = 4.0;
+  double omega_los = 9.6;
+  double beta_los = 0.16;
+  double eta_los_linear = 1.0;
+  double eta_nlos_linear = 0.01;
+  double bandwidth_hz = 20e6;
+  double noise_power = 1e-12;
+
+  static ChannelBatchParams FromConfig(const EnvConfig& config);
+};
+
+/// Air link gains (Eqns. 2-3 / 8) from each PoI `idx[0..n)` to an aerial
+/// receiver at `rx` hovering at `height`. Bit-exact tier: out[j] is
+/// bit-identical to ChannelModel::AirLinkGain(pois[idx[j]], rx, height).
+void AirGainsBatch(const ChannelBatchParams& p, const PoiSoa& pois,
+                   const int* idx, int n, const map::Point2& rx,
+                   double height, double* out);
+
+/// Ground link gains (Eqn. 5) from each PoI `idx[0..n)` to a ground receiver
+/// at `rx` with sampled fading |h|^2. Bit-exact vs GroundLinkGain.
+void GroundGainsBatch(const ChannelBatchParams& p, const PoiSoa& pois,
+                      const int* idx, int n, const map::Point2& rx,
+                      double fading_gain, double* out);
+
+/// Fast-math variants of the two gain kernels (see the tier contract above).
+void AirGainsFast(const ChannelBatchParams& p, const PoiSoa& pois,
+                  const int* idx, int n, const map::Point2& rx,
+                  double height, double* out);
+void GroundGainsFast(const ChannelBatchParams& p, const PoiSoa& pois,
+                     const int* idx, int n, const map::Point2& rx,
+                     double fading_gain, double* out);
+
+/// Single-link conveniences routed through the same tier bodies (n = 1):
+/// with `fast_math` false the result is bit-identical to
+/// ChannelModel::AirLinkGain / GroundLinkGain.
+double AirGainSingle(const ChannelBatchParams& p, const map::Point2& ground,
+                     const map::Point2& air, double height, bool fast_math);
+double GroundGainSingle(const ChannelBatchParams& p, const map::Point2& a,
+                        const map::Point2& b, double fading_gain,
+                        bool fast_math);
+
+/// Bit-exact batched visibility mask over all PoIs: vis[i] = 1 iff
+/// map::Distance(pos, poi_i) <= range, with Distance's libm hypot semantics.
+/// A vectorized sqrt(dx^2+dy^2) pass decides every element outside a few-ulp
+/// guard band around `range`; band elements fall back to the exact hypot
+/// test, so the mask matches the scalar predicate bit-for-bit.
+/// `dist_scratch` and `vis` must hold pois.count() elements.
+void VisibleMask(const PoiSoa& pois, const map::Point2& pos, double range,
+                 double* dist_scratch, uint8_t* vis);
+
+/// Co-channel interference power at one receiver: sum of
+/// gains[j] * rho_poi_w over j in list order, skipping entries whose PoI id
+/// (pois[j]) equals skip_a or skip_b. The accumulation order matches the
+/// scalar loop in ScEnv::CollectData, so reusing a precomputed gain vector
+/// yields bit-identical interference sums.
+double InterferencePower(const double* gains, const int* pois, int n,
+                         double rho_poi_w, int skip_a, int skip_b);
+
+/// Batched uplink SINRs for a gain vector: out[j] =
+/// gains[j] * tx_power_w / (noise_w + interference_w). Division is IEEE
+/// correctly rounded, so this is bit-identical to the scalar expression.
+void UplinkSinrBatch(const double* gains, int n, double tx_power_w,
+                     double noise_w, double interference_w, double* out);
+
+/// Batched Shannon capacities (Eqn. 4): out[j] =
+/// bandwidth_hz * log2(1 + max(sinr[j], 0)). Bit-exact tier (libm log2).
+void CapacityBatch(double bandwidth_hz, const double* sinr, int n,
+                   double* out);
+
+/// Fast-math capacities (polynomial log; same error contract as the fast
+/// gain kernels).
+void CapacityBatchFast(double bandwidth_hz, const double* sinr, int n,
+                       double* out);
+
+}  // namespace agsc::env
+
+#endif  // AGSC_ENV_CHANNEL_BATCH_H_

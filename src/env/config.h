@@ -1,6 +1,7 @@
 #ifndef AGSC_ENV_CONFIG_H_
 #define AGSC_ENV_CONFIG_H_
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -98,6 +99,23 @@ struct EnvConfig {
   /// bit-identical results (pinned by tests); the naive path exists as an
   /// oracle and debugging aid.
   bool use_spatial_index = true;
+  /// If true (default), ScEnv computes per-slot channel gains, interference
+  /// sums, SINRs and observation distance masks through the batched
+  /// structure-of-arrays kernels in env/channel_batch.{h,cc} (runtime
+  /// generic/AVX2/AVX-512 dispatch); if false it calls the scalar
+  /// ChannelModel per link. The batched default tier is bit-exact against
+  /// the scalar path (pinned by tests and core/oracle_guard), so flipping
+  /// this never changes results — the scalar path exists as the oracle.
+  bool use_channel_batch = true;
+  /// If true, the batched channel path swaps its libm transcendentals for
+  /// the vectorized polynomial approximations (AirGainsFast & friends,
+  /// relative error <= ~1e-12 per gain). This DOES change bit patterns —
+  /// checkpoints are no longer byte-comparable against the exact tiers —
+  /// but results stay deterministic (bit-identical across ISA variants) and
+  /// statistically indistinguishable (bounded per-gain error +
+  /// action-distribution divergence acceptance, pinned by tests). Requires
+  /// use_channel_batch.
+  bool env_fast_math = false;
 
   int num_agents() const { return num_uavs + num_ugvs; }
 
@@ -124,8 +142,33 @@ struct EnvConfig {
     if (uav_energy_kj <= 0.0 || ugv_energy_kj <= 0.0) {
       return "uav_energy_kj/ugv_energy_kj must be > 0";
     }
-    if (bandwidth_hz <= 0.0) return "bandwidth_hz must be > 0";
-    if (noise_psd <= 0.0) return "noise_psd must be > 0";
+    // Channel parameters feed std::pow/std::exp chains: a non-finite or
+    // non-positive value here surfaces as NaN gains mid-run, so reject at
+    // startup instead.
+    if (!std::isfinite(bandwidth_hz) || bandwidth_hz <= 0.0) {
+      return "bandwidth_hz must be finite and > 0";
+    }
+    if (!std::isfinite(noise_psd) || noise_psd <= 0.0) {
+      return "noise_psd must be finite and > 0";
+    }
+    if (!std::isfinite(alpha1) || alpha1 <= 0.0 || !std::isfinite(alpha2) ||
+        alpha2 <= 0.0) {
+      return "path-loss exponents alpha1/alpha2 must be finite and > 0";
+    }
+    if (!std::isfinite(omega_los) || omega_los <= 0.0 ||
+        !std::isfinite(beta_los) || beta_los <= 0.0) {
+      return "LoS constants omega_los/beta_los must be finite and > 0";
+    }
+    if (!std::isfinite(rho_uav_w) || rho_uav_w <= 0.0 ||
+        !std::isfinite(rho_poi_w) || rho_poi_w <= 0.0) {
+      return "transmit powers rho_uav_w/rho_poi_w must be finite and > 0";
+    }
+    if (!std::isfinite(eta_los_db) || !std::isfinite(eta_nlos_db)) {
+      return "eta_los_db/eta_nlos_db must be finite";
+    }
+    if (env_fast_math && !use_channel_batch) {
+      return "env_fast_math requires use_channel_batch";
+    }
     return {};
   }
 

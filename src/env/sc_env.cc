@@ -30,6 +30,23 @@ ScEnv::ScEnv(const EnvConfig& config, map::Dataset dataset, uint64_t seed)
         1, 64);
     poi_grid_.Build(dataset_.campus.bounds, pois, cells);
   }
+  // Batched-channel inputs: the SoA mirror of the PoI layout and the
+  // normalized observation coordinates are static per dataset, so build
+  // them once here (always — DisableChannelBatch can never need them, but
+  // the cost is negligible and keeps the flag flip-free of invariants).
+  batch_params_ = ChannelBatchParams::FromConfig(config_);
+  poi_soa_.Build(dataset_.pois, config_.num_pois);
+  const map::Rect& bounds = dataset_.campus.bounds;
+  const double inv_w = 1.0 / bounds.Width();
+  const double inv_h = 1.0 / bounds.Height();
+  poi_xn_.resize(config_.num_pois);
+  poi_yn_.resize(config_.num_pois);
+  for (int i = 0; i < config_.num_pois; ++i) {
+    // Exactly the scalar BuildObservation expressions, so the batched
+    // observation path is bit-identical.
+    poi_xn_[i] = static_cast<float>((dataset_.pois[i].x - bounds.min.x) * inv_w);
+    poi_yn_[i] = static_cast<float>((dataset_.pois[i].y - bounds.min.y) * inv_h);
+  }
 }
 
 int ScEnv::obs_dim() const {
@@ -285,7 +302,15 @@ void ScEnv::CollectData(std::vector<double>& rewards,
     bw_share = 0.5;
     sinr_boost = 2.0;
   }
+  const bool batch = config_.use_channel_batch;
+  const bool fast = config_.env_fast_math;
   auto link_rate = [&](double sinr) {
+    if (fast) {
+      const double boosted = sinr * sinr_boost;
+      double cap;
+      CapacityBatchFast(config_.bandwidth_hz, &boosted, 1, &cap);
+      return bw_share * cap;
+    }
     return bw_share * channel_.Capacity(sinr * sinr_boost);
   };
   const double h_gain = SampleFadingGain();
@@ -315,6 +340,49 @@ void ScEnv::CollectData(std::vector<double>& rewards,
   };
   const double noise = channel_.NoisePower();
 
+  // Batched path: one gain vector per (receiver agent, subchannel) over
+  // that subchannel's transmitting PoIs — an air vector for UAV receivers,
+  // a ground vector for UGV receivers — computed lazily on first use this
+  // slot and then shared by every term that needs a gain to that receiver
+  // (the scalar path recomputes each gain per term: the decoding UGV's
+  // ground gains are evaluated once for the relay chain and again for its
+  // own direct uplink, plus once per interference-sum entry).
+  if (batch) {
+    const size_t slots = static_cast<size_t>(config_.num_agents()) * Z;
+    if (gain_cache_.size() != slots) {
+      gain_cache_.resize(slots);
+      gain_cache_stamp_.assign(slots, 0);
+    }
+    ++gain_cache_epoch_;
+  }
+  auto gains_for = [&](int k, int z) -> const std::vector<double>& {
+    const size_t slot = static_cast<size_t>(k) * Z + z;
+    std::vector<double>& gains = gain_cache_[slot];
+    if (gain_cache_stamp_[slot] != gain_cache_epoch_) {
+      const std::vector<int>& list = channel_pois[z];
+      const int n = static_cast<int>(list.size());
+      gains.resize(list.size());
+      if (IsUav(k)) {
+        (fast ? AirGainsFast : AirGainsBatch)(batch_params_, poi_soa_,
+                                              list.data(), n, uvs_[k].pos,
+                                              height, gains.data());
+      } else {
+        (fast ? GroundGainsFast : GroundGainsBatch)(batch_params_, poi_soa_,
+                                                    list.data(), n,
+                                                    uvs_[k].pos, h_gain,
+                                                    gains.data());
+      }
+      gain_cache_stamp_[slot] = gain_cache_epoch_;
+    }
+    return gains;
+  };
+  auto index_of = [](const std::vector<int>& list, int poi) {
+    for (size_t j = 0; j < list.size(); ++j) {
+      if (list[j] == poi) return static_cast<int>(j);
+    }
+    return -1;
+  };
+
   // --- UAV relay chains: PoI i -> UAV u -> UGV g (Def. 1). ---
   for (const RelayPair& pair : pairs) {
     CollectionEvent ev;
@@ -333,20 +401,35 @@ void ScEnv::CollectData(std::vector<double>& rewards,
     }
     const int i = pair.poi_uav;
     const int u = pair.uav, g = pair.ugv;
-    const double gain_iu =
-        channel_.AirLinkGain(dataset_.pois[i], uvs_[u].pos, height);
-    const double sinr_iu =
-        gain_iu * config_.rho_poi_w /
-        (noise + air_interference(pair.subchannel, uvs_[u].pos, i, -1));
-    const double gain_ug =
-        channel_.AirLinkGain(uvs_[g].pos, uvs_[u].pos, height);
-    const double gain_ig =
-        channel_.GroundLinkGain(dataset_.pois[i], uvs_[g].pos, h_gain);
+    double gain_iu, intf_air, gain_ug, gain_ig, intf_ground;
+    if (batch) {
+      const std::vector<int>& list = channel_pois[pair.subchannel];
+      const int n = static_cast<int>(list.size());
+      const std::vector<double>& air = gains_for(u, pair.subchannel);
+      gain_iu = air[index_of(list, i)];
+      intf_air = noma ? InterferencePower(air.data(), list.data(), n,
+                                          config_.rho_poi_w, i, -1)
+                      : 0.0;
+      gain_ug = AirGainSingle(batch_params_, uvs_[g].pos, uvs_[u].pos, height,
+                              fast);
+      const std::vector<double>& ground = gains_for(g, pair.subchannel);
+      gain_ig = ground[index_of(list, i)];
+      intf_ground = noma ? InterferencePower(ground.data(), list.data(), n,
+                                             config_.rho_poi_w, i, -1)
+                         : 0.0;
+    } else {
+      gain_iu = channel_.AirLinkGain(dataset_.pois[i], uvs_[u].pos, height);
+      intf_air = air_interference(pair.subchannel, uvs_[u].pos, i, -1);
+      gain_ug = channel_.AirLinkGain(uvs_[g].pos, uvs_[u].pos, height);
+      gain_ig = channel_.GroundLinkGain(dataset_.pois[i], uvs_[g].pos, h_gain);
+      intf_ground = ground_interference(pair.subchannel, uvs_[g].pos, i, -1);
+    }
+    const double sinr_iu = gain_iu * config_.rho_poi_w / (noise + intf_air);
     // Eqn. (9): the relay and the direct copy combine; co-channel ground
     // transmitters other than i interfere at the UGV.
     const double sinr_ug =
         (gain_ug * config_.rho_uav_w + gain_ig * config_.rho_poi_w) /
-        (noise + ground_interference(pair.subchannel, uvs_[g].pos, i, -1));
+        (noise + intf_ground);
     ev.sinr_uplink_uav_db = LinearToDb(std::max(sinr_iu * sinr_boost, 1e-30));
     ev.sinr_relay_db = LinearToDb(std::max(sinr_ug * sinr_boost, 1e-30));
     if (std::min(sinr_iu, sinr_ug) * sinr_boost < threshold) {
@@ -374,8 +457,6 @@ void ScEnv::CollectData(std::vector<double>& rewards,
     ev.poi_ugv = direct.poi_ugv;
     const int i2 = direct.poi_ugv;
     const int g = direct.ugv;
-    const double gain_i2g =
-        channel_.GroundLinkGain(dataset_.pois[i2], uvs_[g].pos, h_gain);
     // Eqn. (6): the own pair's relayed PoI is SIC-canceled; other
     // co-channel pairs' transmitters still interfere.
     int own_pair_poi = -1;
@@ -385,10 +466,26 @@ void ScEnv::CollectData(std::vector<double>& rewards,
         break;
       }
     }
+    double gain_i2g, intf_ground;
+    if (batch) {
+      // Reuses the (g, z) ground vector the relay loop already computed
+      // when g decodes for a pair on this subchannel.
+      const std::vector<int>& list = channel_pois[direct.subchannel];
+      const int n = static_cast<int>(list.size());
+      const std::vector<double>& ground = gains_for(g, direct.subchannel);
+      gain_i2g = ground[index_of(list, i2)];
+      intf_ground = noma ? InterferencePower(ground.data(), list.data(), n,
+                                             config_.rho_poi_w, i2,
+                                             own_pair_poi)
+                         : 0.0;
+    } else {
+      gain_i2g =
+          channel_.GroundLinkGain(dataset_.pois[i2], uvs_[g].pos, h_gain);
+      intf_ground = ground_interference(direct.subchannel, uvs_[g].pos, i2,
+                                        own_pair_poi);
+    }
     const double sinr_i2g =
-        gain_i2g * config_.rho_poi_w /
-        (noise + ground_interference(direct.subchannel, uvs_[g].pos, i2,
-                                     own_pair_poi));
+        gain_i2g * config_.rho_poi_w / (noise + intf_ground);
     ev.sinr_uplink_ugv_db =
         LinearToDb(std::max(sinr_i2g * sinr_boost, 1e-30));
     if (sinr_i2g * sinr_boost < threshold) {
@@ -467,7 +564,27 @@ void ScEnv::BuildObservation(int k, std::vector<float>* out) const {
     if (j == k) continue;
     push_uv(uvs_[j], map::Distance(uvs_[k].pos, uvs_[j].pos) <= range);
   }
-  if (config_.use_spatial_index) {
+  if (config_.use_channel_batch) {
+    // Batched visibility: one vectorized distance sweep over the SoA PoI
+    // mirror decides the whole mask (bit-identical to the scalar
+    // map::Distance predicate — see VisibleMask's guard-band contract),
+    // and the episode-static normalized coordinates are read back instead
+    // of being renormalized per call.
+    dist_scratch_.resize(config_.num_pois);
+    vis_scratch_.resize(config_.num_pois);
+    VisibleMask(poi_soa_, uvs_[k].pos, range, dist_scratch_.data(),
+                vis_scratch_.data());
+    for (int i = 0; i < config_.num_pois; ++i) {
+      if (vis_scratch_[i]) {
+        obs.push_back(poi_xn_[i]);
+        obs.push_back(poi_yn_[i]);
+        obs.push_back(
+            static_cast<float>(poi_data_[i] / config_.initial_data_gbit));
+      } else {
+        obs.insert(obs.end(), {0.0f, 0.0f, 0.0f});
+      }
+    }
+  } else if (config_.use_spatial_index) {
     // Mark the PoIs inside the visibility disk: candidates from the grid
     // get the exact distance test; everything else is provably out of
     // range (its cell lies outside the disk's bounding box).
@@ -518,6 +635,15 @@ void ScEnv::BuildState(std::vector<float>* out) const {
     state.push_back(static_cast<float>((uv.pos.x - bounds.min.x) * inv_w));
     state.push_back(static_cast<float>((uv.pos.y - bounds.min.y) * inv_h));
     state.push_back(static_cast<float>(uv.energy_j / uv.initial_energy_j));
+  }
+  if (config_.use_channel_batch) {
+    for (int i = 0; i < config_.num_pois; ++i) {
+      state.push_back(poi_xn_[i]);
+      state.push_back(poi_yn_[i]);
+      state.push_back(
+          static_cast<float>(poi_data_[i] / config_.initial_data_gbit));
+    }
+    return;
   }
   for (int i = 0; i < config_.num_pois; ++i) {
     state.push_back(

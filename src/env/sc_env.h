@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "env/channel.h"
+#include "env/channel_batch.h"
 #include "env/config.h"
 #include "env/metrics.h"
 #include "map/spatial_index.h"
@@ -124,6 +125,16 @@ class ScEnv {
   /// results, just slower.
   void DisableSpatialIndex() { config_.use_spatial_index = false; }
 
+  /// Permanently switches this env onto the scalar per-link ChannelModel
+  /// path (the retained channel oracle), clearing `env_fast_math` too since
+  /// the fast tier only exists inside the batched kernels. Like
+  /// DisableSpatialIndex, only the batched -> scalar direction exists; the
+  /// default batched tier is bit-identical, just slower when disabled.
+  void DisableChannelBatch() {
+    config_.use_channel_batch = false;
+    config_.env_fast_math = false;
+  }
+
   /// The environment's private RNG stream. Exposed mutably so checkpoints
   /// can capture/restore it for bit-exact training resume.
   util::Rng& rng() { return rng_; }
@@ -179,6 +190,19 @@ class ScEnv {
   // agent_grid_ is rebuilt (allocation-free) after every move.
   map::PointGrid poi_grid_;
   map::PointGrid agent_grid_;
+
+  // Batched channel state (use_channel_batch): the SoA PoI mirror and the
+  // precomputed params/normalized coordinates are episode-static, built at
+  // construction. gain_cache_ holds one gain vector per (agent, subchannel)
+  // slot, recomputed lazily per CollectData call (epoch/stamp invalidation)
+  // and shared across the uplink/relay/interference terms of that slot.
+  ChannelBatchParams batch_params_;
+  PoiSoa poi_soa_;
+  std::vector<float> poi_xn_, poi_yn_;  ///< (p - bounds.min) * inv_{w,h}.
+  std::vector<std::vector<double>> gain_cache_;
+  std::vector<uint32_t> gain_cache_stamp_;
+  uint32_t gain_cache_epoch_ = 0;
+  mutable std::vector<double> dist_scratch_;  ///< VisibleMask distances.
 
   // Reusable scratch so steady-state stepping performs no heap allocation.
   struct RelayPair {

@@ -99,6 +99,8 @@ struct Args {
   double height = 60.0;
   double threshold_db = 0.0;
   std::string medium = "noma";
+  bool env_channel_scalar = false;
+  bool env_fast_math = false;
   bool use_eoi = true;
   bool use_copo = true;
   bool hetero_copo = true;
@@ -230,6 +232,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
                   << "' (expected unsigned integer)\n";
         return false;
       }
+    } else if (flag == "--env-channel-scalar") {
+      args.env_channel_scalar = true;
+    } else if (flag == "--env-fast-math") {
+      args.env_fast_math = true;
     } else if (flag == "--no-eoi") {
       args.use_eoi = false;
     } else if (flag == "--no-copo") {
@@ -279,7 +285,8 @@ void PrintUsage(std::ostream& out) {
          "  [--stats-json FILE] [--listen HOST:PORT] [--port-file FILE]\n"
          "  [--campus purdue|ncsu] [--timeslots T] [--pois I] [--uavs U]\n"
          "  [--ugvs G] [--subchannels Z] [--height M] [--threshold DB]\n"
-         "  [--medium noma|tdma|ofdma] [--no-eoi] [--no-copo]\n"
+         "  [--medium noma|tdma|ofdma] [--env-channel-scalar]\n"
+         "  [--env-fast-math] [--no-eoi] [--no-copo]\n"
          "  [--plain-copo] [--mappo] [--seed S] [--quiet] [--version]\n"
          "exit codes: 0 ok, 2 usage, 3 config, 4 io, 8 signal-stop,\n"
          "  11 serve-error, 12 net-error\n";
@@ -385,6 +392,12 @@ int main(int argc, char** argv) {
   } else if (args.medium == "ofdma") {
     env_config.medium_access = env::MediumAccess::kOfdma;
   }
+  // Serving steps the env on the request path, so the channel tier flags
+  // apply here too: --env-channel-scalar pins the bit-identical scalar
+  // oracle, --env-fast-math trades libm bit patterns for vectorized
+  // transcendentals (deterministic, bounded error).
+  env_config.use_channel_batch = !args.env_channel_scalar;
+  env_config.env_fast_math = args.env_fast_math;
   const std::string config_error = env_config.Validate();
   if (!config_error.empty()) {
     std::cerr << "invalid configuration: " << config_error << "\n";

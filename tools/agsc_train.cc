@@ -10,6 +10,7 @@
 //              [--listen HOST:PORT] [--remote-workers W]
 //              [--port-file FILE]
 //              [--nn-threads T] [--nn-naive] [--env-naive]
+//              [--env-channel-scalar] [--env-fast-math]
 //              [--save FILE] [--load FILE]
 //              [--checkpoint-dir DIR] [--checkpoint-every N]
 //              [--checkpoint-keep K] [--resume]
@@ -47,6 +48,14 @@
 // --env-naive disables the environment's spatial indices and cached road
 // routing, falling back to the linear-scan / per-call-Dijkstra reference
 // paths — also bit-identical, kept as an oracle and debugging aid.
+// --env-channel-scalar disables the batched SoA channel kernels, computing
+// every gain through the scalar per-link ChannelModel — bit-identical
+// (the batched default tier reproduces libm bit patterns), kept as the
+// channel oracle. --env-fast-math swaps the batched kernels' libm
+// transcendentals for vectorized polynomial approximations: deterministic
+// and statistically equivalent (bounded per-gain error, pinned by tests)
+// but NOT bit-identical, so checkpoints are not byte-comparable with
+// exact-tier runs.
 //
 // Long-run supervisor (see DESIGN.md "Robustness"):
 //  * SIGINT/SIGTERM stop the run cooperatively at the next iteration or
@@ -119,6 +128,8 @@ struct Args {
   int nn_threads = 0;
   bool nn_naive = false;
   bool env_naive = false;
+  bool env_channel_scalar = false;
+  bool env_fast_math = false;
   std::string save_path;
   std::string load_path;
   std::string checkpoint_dir;
@@ -253,6 +264,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.nn_naive = true;
     } else if (flag == "--env-naive") {
       args.env_naive = true;
+    } else if (flag == "--env-channel-scalar") {
+      args.env_channel_scalar = true;
+    } else if (flag == "--env-fast-math") {
+      args.env_fast_math = true;
     } else if (flag == "--save") {
       const char* v = next("--save");
       if (!v) return false;
@@ -356,7 +371,7 @@ void PrintUsage(std::ostream& out) {
          "  [--num-workers W] [--proc-workers W] [--worker-binary PATH]\n"
          "  [--listen HOST:PORT] [--remote-workers W] [--port-file FILE]\n"
          "  [--nn-threads T] [--nn-naive]\n"
-         "  [--env-naive]\n"
+         "  [--env-naive] [--env-channel-scalar] [--env-fast-math]\n"
          "  [--save FILE] [--load FILE]\n"
          "  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
          "  [--checkpoint-keep K] [--resume]\n"
@@ -384,7 +399,7 @@ bool WriteStatsCsv(const agsc::core::HiMadrlTrainer& trainer,
   csv << "iteration,psi,sigma,xi,kappa,lambda,mean_reward_ext,"
          "mean_reward_int,eoi_loss,actor_grad_norm,value_loss,"
          "total_env_steps,anomalies,lr_backoff,env_oracle_fallback,"
-         "nn_oracle_fallback\n";
+         "nn_oracle_fallback,channel_oracle_fallback\n";
   for (const agsc::core::IterationStats& s : trainer.stats_history()) {
     csv << s.iteration;
     for (double v : s.rollout_metrics.ToVector()) csv << "," << v;
@@ -392,7 +407,8 @@ bool WriteStatsCsv(const agsc::core::HiMadrlTrainer& trainer,
         << s.eoi_loss << "," << s.actor_grad_norm << "," << s.value_loss
         << "," << s.total_env_steps << "," << s.anomalies << ","
         << (s.lr_backoff ? 1 : 0) << "," << (s.env_oracle_fallback ? 1 : 0)
-        << "," << (s.nn_oracle_fallback ? 1 : 0) << "\n";
+        << "," << (s.nn_oracle_fallback ? 1 : 0) << ","
+        << (s.channel_oracle_fallback ? 1 : 0) << "\n";
   }
   if (!agsc::util::AtomicWriteFileRetry(path, csv.str(), policy)) {
     std::cerr << "failed to write stats CSV " << path << "\n";
@@ -450,6 +466,8 @@ int main(int argc, char** argv) {
     env_config.medium_access = env::MediumAccess::kOfdma;
   }
   env_config.use_spatial_index = !args.env_naive;
+  env_config.use_channel_batch = !args.env_channel_scalar;
+  env_config.env_fast_math = args.env_fast_math;
   // Training consumes only each slot's last events; the full per-slot event
   // log is needed just for the trajectory/coordination renders.
   env_config.record_event_log = args.render;

@@ -271,6 +271,9 @@ SessionEnd RunSession(agsc::util::FrameReader& reader,
         if ((prefix.flags & agsc::core::kPrefixNaiveEnv) != 0) {
           env->DisableSpatialIndex();
         }
+        if ((prefix.flags & agsc::core::kPrefixScalarChannel) != 0) {
+          env->DisableChannelBatch();
+        }
         env->rng().LoadState(prefix.rng_state);
         env->Reset(step);
         bool replayed = false;

@@ -1,6 +1,7 @@
 #include "core/dispatch_server.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "util/fault_inject.h"
@@ -17,6 +18,11 @@ using Clock = std::chrono::steady_clock;
 /// p99 estimates, small enough that Stats() stays cheap.
 constexpr size_t kLatencyWindow = 4096;
 
+/// Smoothing factor of the admission estimator's batch-service-time EWMA.
+/// 0.2 forgets a one-off stall in a handful of batches while still damping
+/// per-batch jitter.
+constexpr double kEwmaAlpha = 0.2;
+
 /// Session env streams follow the VecSampler discipline — odd split ids are
 /// env streams (even ones are sampling streams, unused here, reserved so a
 /// future stochastic-serving mode slots in without re-seeding sessions).
@@ -30,11 +36,31 @@ double MsSince(Clock::time_point start, Clock::time_point now) {
 
 }  // namespace
 
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kClientCap:
+      return "client-cap";
+    case RejectReason::kDeadline:
+      return "deadline";
+    case RejectReason::kShed:
+      return "shed";
+    case RejectReason::kDisconnect:
+      return "disconnect";
+  }
+  return "unknown";
+}
+
 DispatchServer::DispatchServer(const env::ScEnv& primary_env,
                                const DispatchConfig& config)
     : config_(config) {
   if (config_.num_sessions < 1) config_.num_sessions = 1;
   if (config_.max_batch < 1) config_.max_batch = 1;
+  if (config_.max_queue < 0) config_.max_queue = 0;
+  if (config_.per_client_inflight < 0) config_.per_client_inflight = 0;
   util::Rng base(config_.seed);
   sessions_.reserve(static_cast<size_t>(config_.num_sessions));
   for (int s = 0; s < config_.num_sessions; ++s) {
@@ -66,10 +92,20 @@ void DispatchServer::Stop() {
   if (batcher_.joinable()) batcher_.join();
   // Fail anything still queued (requests submitted while stopping, or a
   // Stop without Start).
-  std::deque<std::unique_ptr<Request>> leftovers;
+  std::vector<std::unique_ptr<Request>> leftovers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    leftovers.swap(queue_);
+    for (auto& [client, state] : clients_) {
+      for (std::unique_ptr<Request>& request : state.queue) {
+        leftovers.push_back(std::move(request));
+      }
+      state.queue.clear();
+    }
+    clients_.clear();
+    rr_order_.clear();
+    queued_priorities_.clear();
+    queue_depth_ = 0;
+    queue_depth_gauge_.store(0, std::memory_order_relaxed);
     running_ = false;
   }
   for (std::unique_ptr<Request>& request : leftovers) {
@@ -103,67 +139,304 @@ void DispatchServer::CountPublishReject() {
   ++stats_.publish_rejects;
 }
 
-DispatchResult DispatchServer::Act(int agent, const std::vector<float>& obs) {
+void DispatchServer::CountQuarantine() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.clients_quarantined;
+}
+
+DispatchResult DispatchServer::Act(int agent, const std::vector<float>& obs,
+                                   const RequestOptions& options) {
+  return ActAsync(agent, obs, options).get();
+}
+
+std::future<DispatchResult> DispatchServer::ActAsync(
+    int agent, const std::vector<float>& obs, const RequestOptions& options) {
   auto request = std::make_unique<Request>();
   request->kind = RequestKind::kStateless;
   request->agent = agent;
   request->obs = obs;
-  return Submit(std::move(request));
+  request->client = options.client;
+  request->priority = options.priority;
+  return SubmitAsync(std::move(request));
 }
 
-DispatchResult DispatchServer::StepSession(int session) {
+DispatchResult DispatchServer::StepSession(int session,
+                                           const RequestOptions& options) {
+  return StepSessionAsync(session, options).get();
+}
+
+std::future<DispatchResult> DispatchServer::StepSessionAsync(
+    int session, const RequestOptions& options) {
   if (session < 0 || session >= num_sessions()) {
-    DispatchResult result;
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.requests_invalid;
     }
-    return result;
+    std::promise<DispatchResult> failed;
+    failed.set_value(DispatchResult{});
+    return failed.get_future();
   }
   auto request = std::make_unique<Request>();
   request->kind = RequestKind::kSession;
   request->session = session;
-  return Submit(std::move(request));
+  request->client = options.client;
+  request->priority = options.priority;
+  return SubmitAsync(std::move(request));
 }
 
-DispatchResult DispatchServer::Submit(std::unique_ptr<Request> request) {
+void DispatchServer::RejectRequest(Request& request, RejectReason reason,
+                                   bool overloaded) {
+  DispatchResult result;
+  result.rejected = true;
+  result.reject_reason = reason;
+  result.overloaded = overloaded;
+  result.latency_ms = MsSince(request.enqueue_time, Clock::now());
+  request.promise.set_value(result);
+}
+
+void DispatchServer::CountRejectLocked(RejectReason reason) {
+  ++stats_.requests_rejected;
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      ++stats_.rejected_queue_full;
+      break;
+    case RejectReason::kClientCap:
+      ++stats_.rejected_client_cap;
+      break;
+    case RejectReason::kDeadline:
+      ++stats_.rejected_deadline;
+      break;
+    default:
+      break;
+  }
+}
+
+void DispatchServer::NotePriorityQueuedLocked(int priority) {
+  ++queued_priorities_[priority];
+}
+
+void DispatchServer::NotePriorityDequeuedLocked(int priority) {
+  auto it = queued_priorities_.find(priority);
+  if (it != queued_priorities_.end() && --it->second == 0) {
+    queued_priorities_.erase(it);
+  }
+}
+
+void DispatchServer::UpdateOverloadLocked() {
+  queue_depth_gauge_.store(queue_depth_, std::memory_order_relaxed);
+  if (config_.max_queue <= 0) return;
+  const size_t high = std::max<size_t>(
+      1, static_cast<size_t>(config_.max_queue) * 3 / 4);
+  const size_t low = static_cast<size_t>(config_.max_queue) / 4;
+  const bool now_overloaded = overloaded_.load(std::memory_order_relaxed);
+  if (!now_overloaded && queue_depth_ >= high) {
+    overloaded_.store(true, std::memory_order_relaxed);
+    overload_entries_.fetch_add(1, std::memory_order_relaxed);
+  } else if (now_overloaded && queue_depth_ <= low) {
+    overloaded_.store(false, std::memory_order_relaxed);
+  }
+}
+
+std::future<DispatchResult> DispatchServer::SubmitAsync(
+    std::unique_ptr<Request> request) {
   const Clock::time_point now = Clock::now();
   request->enqueue_time = now;
   request->deadline = config_.deadline_ms > 0
                           ? now + std::chrono::milliseconds(config_.deadline_ms)
                           : Clock::time_point::max();
   std::future<DispatchResult> future = request->promise.get_future();
+
+  bool shutdown = false;
+  RejectReason reason = RejectReason::kNone;
+  std::unique_ptr<Request> shed_victim;
+  bool overloaded_now = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    overloaded_now = overloaded_.load(std::memory_order_relaxed);
     if (stop_requested_ || !running_) {
-      DispatchResult result;
-      result.shutdown = true;
-      {
-        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-        ++stats_.requests_shutdown;
+      shutdown = true;
+    } else {
+      ClientState& client = clients_[request->client];
+      // 1. Per-client in-flight cap: a flooder saturates its own budget,
+      //    not the shared queue.
+      if (config_.per_client_inflight > 0 &&
+          client.queue.size() + client.inflight >=
+              static_cast<size_t>(config_.per_client_inflight)) {
+        reason = RejectReason::kClientCap;
+      } else if (config_.admission &&
+                 request->deadline != Clock::time_point::max()) {
+        // 2. Deadline-aware admission: batches strictly ahead of this
+        //    request x the EWMA batch service time. floor(), not ceil() —
+        //    an empty queue must always admit regardless of how slow the
+        //    last (possibly fault-stalled) batch was.
+        const double ewma = ewma_batch_ms_.load(std::memory_order_relaxed);
+        if (ewma > 0.0) {
+          const double batches_ahead = static_cast<double>(
+              queue_depth_ / static_cast<size_t>(config_.max_batch));
+          const double est_wait_ms = batches_ahead * ewma;
+          if (now + std::chrono::duration<double, std::milli>(est_wait_ms) >
+              request->deadline) {
+            reason = RejectReason::kDeadline;
+          }
+        }
       }
-      return result;
+      // 3. Bounded queue with priority-ordered brownout shedding: when
+      //    full, a strictly-lower-priority queued request is displaced in
+      //    favor of the arrival; otherwise the arrival is refused.
+      if (!shutdown && reason == RejectReason::kNone &&
+          config_.max_queue > 0 &&
+          queue_depth_ >= static_cast<size_t>(config_.max_queue)) {
+        // Min-priority fast path: queued_priorities_ tracks how many queued
+        // requests exist at each level, so an arrival that cannot displace
+        // anything (the common equal-priority overload) is refused without
+        // touching the queues — the O(depth) victim scan below only runs
+        // when a strictly-lower-priority victim is known to exist.
+        const int min_priority = queued_priorities_.empty()
+                                     ? std::numeric_limits<int>::max()
+                                     : queued_priorities_.begin()->first;
+        if (min_priority >= request->priority) {
+          reason = RejectReason::kQueueFull;
+        } else {
+          uint64_t victim_client = 0;
+          size_t victim_index = 0;
+          bool found = false;
+          for (const auto& [id, state] : clients_) {
+            // Scan back-to-front so among equal priorities the youngest
+            // request is displaced and FIFO order is preserved for the rest.
+            for (size_t i = state.queue.size(); i-- > 0;) {
+              if (state.queue[i]->priority == min_priority) {
+                victim_client = id;
+                victim_index = i;
+                found = true;
+                break;
+              }
+            }
+            if (found) break;
+          }
+          ClientState& vc = clients_[victim_client];
+          shed_victim = std::move(vc.queue[victim_index]);
+          vc.queue.erase(vc.queue.begin() +
+                         static_cast<std::ptrdiff_t>(victim_index));
+          --queue_depth_;
+          NotePriorityDequeuedLocked(min_priority);
+          if (vc.queue.empty()) {
+            auto it = std::find(rr_order_.begin(), rr_order_.end(),
+                                victim_client);
+            if (it != rr_order_.end()) rr_order_.erase(it);
+          }
+        }
+      }
+      if (reason == RejectReason::kNone) {
+        const uint64_t client_id = request->client;
+        // Invariant: rr_order_ holds exactly the clients with nonempty
+        // queues, so an empty->nonempty transition (re)enters the rotation.
+        const bool was_empty = client.queue.empty();
+        NotePriorityQueuedLocked(request->priority);
+        client.queue.push_back(std::move(request));
+        if (was_empty) rr_order_.push_back(client_id);
+        ++queue_depth_;
+        UpdateOverloadLocked();
+      }
     }
-    queue_.push_back(std::move(request));
+  }
+
+  if (shutdown) {
+    DispatchResult result;
+    result.shutdown = true;
+    request->promise.set_value(result);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_shutdown;
+    return future;
+  }
+  if (shed_victim != nullptr) {
+    RejectRequest(*shed_victim, RejectReason::kShed, overloaded_now);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_shed;
+  }
+  if (reason != RejectReason::kNone) {
+    RejectRequest(*request, reason, overloaded_now);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    CountRejectLocked(reason);
+    return future;
   }
   cv_.notify_one();
-  return future.get();
+  return future;
+}
+
+void DispatchServer::CancelClient(uint64_t client) {
+  std::vector<std::unique_ptr<Request>> shed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    ClientState& state = it->second;
+    if (!state.queue.empty()) {
+      for (std::unique_ptr<Request>& request : state.queue) {
+        NotePriorityDequeuedLocked(request->priority);
+        shed.push_back(std::move(request));
+      }
+      state.queue.clear();
+      queue_depth_ -= shed.size();
+      auto rr = std::find(rr_order_.begin(), rr_order_.end(), client);
+      if (rr != rr_order_.end()) rr_order_.erase(rr);
+      UpdateOverloadLocked();
+    }
+    if (state.inflight == 0) clients_.erase(it);
+  }
+  if (shed.empty()) return;
+  const bool overloaded_now = overloaded_.load(std::memory_order_relaxed);
+  for (std::unique_ptr<Request>& request : shed) {
+    RejectRequest(*request, RejectReason::kDisconnect, overloaded_now);
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.requests_shed += shed.size();
+}
+
+void DispatchServer::FinishClients(const std::vector<uint64_t>& batch_clients) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (uint64_t id : batch_clients) {
+    auto it = clients_.find(id);
+    if (it == clients_.end()) continue;
+    if (it->second.inflight > 0) --it->second.inflight;
+    if (it->second.inflight == 0 && it->second.queue.empty()) {
+      clients_.erase(it);
+    }
+  }
 }
 
 void DispatchServer::BatcherLoop() {
   for (;;) {
     std::vector<std::unique_ptr<Request>> batch;
+    std::vector<uint64_t> batch_clients;
     bool stopping = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_requested_ || !queue_.empty(); });
+      cv_.wait(lock, [this] { return stop_requested_ || queue_depth_ > 0; });
       stopping = stop_requested_;
-      if (stopping && queue_.empty()) return;
-      const size_t take = static_cast<size_t>(config_.max_batch);
-      while (!queue_.empty() && batch.size() < take) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      if (stopping && queue_depth_ == 0) return;
+      // Weighted round-robin assembly: each client with queued work
+      // contributes up to its weight per turn, so one deep queue cannot
+      // monopolize a batch while other clients wait.
+      const size_t take =
+          stopping ? queue_depth_ : static_cast<size_t>(config_.max_batch);
+      while (batch.size() < take && !rr_order_.empty()) {
+        const uint64_t id = rr_order_.front();
+        rr_order_.pop_front();
+        ClientState& client = clients_[id];
+        size_t n = std::min<size_t>(
+            {static_cast<size_t>(std::max(client.weight, 1)),
+             take - batch.size(), client.queue.size()});
+        for (size_t i = 0; i < n; ++i) {
+          NotePriorityDequeuedLocked(client.queue.front()->priority);
+          batch.push_back(std::move(client.queue.front()));
+          client.queue.pop_front();
+          batch_clients.push_back(id);
+        }
+        client.inflight += n;
+        queue_depth_ -= n;
+        if (!client.queue.empty()) rr_order_.push_back(id);
       }
+      UpdateOverloadLocked();
     }
     if (stopping) {
       for (std::unique_ptr<Request>& request : batch) {
@@ -171,15 +444,20 @@ void DispatchServer::BatcherLoop() {
         result.shutdown = true;
         request->promise.set_value(result);
       }
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      stats_.requests_shutdown += batch.size();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.requests_shutdown += batch.size();
+      }
+      FinishClients(batch_clients);
       continue;
     }
     ServeBatch(std::move(batch));
+    FinishClients(batch_clients);
   }
 }
 
 void DispatchServer::ServeBatch(std::vector<std::unique_ptr<Request>> batch) {
+  const Clock::time_point service_start = Clock::now();
   // Fault hook: one guarded "task" per assembled batch, so the soak test
   // can stall the service path deterministically (STALL_TASK/STALL_MS) and
   // watch queued requests blow their deadlines.
@@ -187,6 +465,24 @@ void DispatchServer::ServeBatch(std::vector<std::unique_ptr<Request>> batch) {
   if (stall_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
   }
+  const bool overloaded_now = overloaded_.load(std::memory_order_relaxed);
+
+  // Updates the admission estimator from this batch's wall service time
+  // (stall included — that IS the service time queued requests behind this
+  // batch experience). Runs on every exit path.
+  struct EwmaUpdater {
+    DispatchServer* server;
+    Clock::time_point start;
+    ~EwmaUpdater() {
+      const double sample_ms = MsSince(start, Clock::now());
+      const double prev =
+          server->ewma_batch_ms_.load(std::memory_order_relaxed);
+      const double next =
+          prev <= 0.0 ? sample_ms
+                      : (1.0 - kEwmaAlpha) * prev + kEwmaAlpha * sample_ms;
+      server->ewma_batch_ms_.store(next, std::memory_order_relaxed);
+    }
+  } ewma_updater{this, service_start};
 
   // Deadline check *after* the potential stall: a request that can no
   // longer be served in time is failed fast instead of fed a stale action.
@@ -198,6 +494,7 @@ void DispatchServer::ServeBatch(std::vector<std::unique_ptr<Request>> batch) {
     if (request->deadline < now) {
       DispatchResult result;
       result.expired = true;
+      result.overloaded = overloaded_now;
       result.latency_ms = MsSince(request->enqueue_time, now);
       request->promise.set_value(result);
       ++expired;
@@ -217,6 +514,7 @@ void DispatchServer::ServeBatch(std::vector<std::unique_ptr<Request>> batch) {
   if (snapshot == nullptr) {
     for (std::unique_ptr<Request>& request : live) {
       DispatchResult result;
+      result.overloaded = overloaded_now;
       result.latency_ms = MsSince(request->enqueue_time, Clock::now());
       request->promise.set_value(result);
     }
@@ -267,8 +565,14 @@ void DispatchServer::ServeBatch(std::vector<std::unique_ptr<Request>> batch) {
   std::vector<env::UvAction> joint;
   std::vector<double> latencies;
   latencies.reserve(slices.size());
+  // Results are computed first and published (promise.set_value) only
+  // after the stats update below: a caller that has observed its reply
+  // must already see it counted in Stats()/Health().
+  std::vector<DispatchResult> results;
+  results.reserve(slices.size());
   for (const Slice& slice : slices) {
     DispatchResult result;
+    result.overloaded = overloaded_now;
     if (!slice.valid) {
       ++invalid;
     } else {
@@ -296,36 +600,66 @@ void DispatchServer::ServeBatch(std::vector<std::unique_ptr<Request>> batch) {
     }
     result.latency_ms = MsSince(slice.request->enqueue_time, Clock::now());
     latencies.push_back(result.latency_ms);
-    slice.request->promise.set_value(result);
+    results.push_back(result);
   }
 
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.requests_ok += ok;
-  stats_.requests_invalid += invalid;
-  stats_.env_steps += env_steps;
-  stats_.episodes_completed += episodes;
-  ++stats_.batches;
-  stats_.rows += rows.size();
-  for (double ms : latencies) {
-    ++stats_.latency_samples;
-    stats_.latency_max_ms = std::max(stats_.latency_max_ms, ms);
-    if (latency_window_.size() < kLatencyWindow) {
-      latency_window_.push_back(ms);
-    } else {
-      latency_window_[latency_next_] = ms;
-      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.requests_ok += ok;
+    stats_.requests_invalid += invalid;
+    stats_.env_steps += env_steps;
+    stats_.episodes_completed += episodes;
+    ++stats_.batches;
+    stats_.rows += rows.size();
+    for (double ms : latencies) {
+      ++stats_.latency_samples;
+      stats_.latency_max_ms = std::max(stats_.latency_max_ms, ms);
+      if (latency_window_.size() < kLatencyWindow) {
+        latency_window_.push_back(ms);
+      } else {
+        latency_window_[latency_next_] = ms;
+        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      }
     }
+  }
+
+  for (size_t i = 0; i < slices.size(); ++i) {
+    slices[i].request->promise.set_value(results[i]);
   }
 }
 
 DispatchStats DispatchServer::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  DispatchStats out = stats_;
-  if (!latency_window_.empty()) {
-    out.latency_p50_ms = util::Quantile(latency_window_, 0.50);
-    out.latency_p99_ms = util::Quantile(latency_window_, 0.99);
+  DispatchStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+    if (!latency_window_.empty()) {
+      out.latency_p50_ms = util::Quantile(latency_window_, 0.50);
+      out.latency_p99_ms = util::Quantile(latency_window_, 0.99);
+    }
   }
+  out.overloaded = overloaded_.load(std::memory_order_relaxed);
+  out.queue_depth = queue_depth_gauge_.load(std::memory_order_relaxed);
+  out.overload_entries = overload_entries_.load(std::memory_order_relaxed);
+  out.ewma_batch_ms = ewma_batch_ms_.load(std::memory_order_relaxed);
   return out;
+}
+
+DispatchHealth DispatchServer::Health() const {
+  DispatchHealth health;
+  health.overloaded = overloaded_.load(std::memory_order_relaxed);
+  health.queue_depth = queue_depth_gauge_.load(std::memory_order_relaxed);
+  health.ewma_batch_ms = ewma_batch_ms_.load(std::memory_order_relaxed);
+  health.snapshot_version = registry_.version();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    health.requests_ok = stats_.requests_ok;
+    health.requests_expired = stats_.requests_expired;
+    health.requests_rejected = stats_.requests_rejected;
+    health.requests_shed = stats_.requests_shed;
+    health.clients_quarantined = stats_.clients_quarantined;
+  }
+  return health;
 }
 
 }  // namespace agsc::core

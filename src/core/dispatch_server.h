@@ -2,15 +2,18 @@
 #define AGSC_CORE_DISPATCH_SERVER_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/policy_snapshot.h"
@@ -32,19 +35,59 @@ struct DispatchConfig {
   /// passes is failed fast (`expired`) without running inference — stale
   /// actions are worse than no action for a moving UV. 0 disables deadlines.
   long deadline_ms = 50;
+  /// Bound on the total admission queue (requests accepted but not yet
+  /// drained into a batch). Arrivals beyond the bound are refused with
+  /// `rejected` (or displace strictly-lower-priority queued work — see the
+  /// brownout discipline below). 0 = unbounded (the pre-overload-control
+  /// behavior).
+  int max_queue = 1024;
+  /// Max requests a single client may have admitted-but-uncompleted
+  /// (queued + in service). A flooding client hits its cap and is refused
+  /// with `rejected` instead of growing the shared queue. 0 = unlimited.
+  int per_client_inflight = 0;
+  /// Deadline-aware admission control: refuse a request immediately when
+  /// its estimated queue wait (batches ahead of it x an EWMA of batch
+  /// service time) already exceeds its deadline — an early explicit
+  /// `rejected` beats a late silent `expired`. Only bites when
+  /// deadline_ms > 0 and at least one batch has been served.
+  bool admission = true;
   /// Base seed for the session env streams.
   uint64_t seed = 1;
 };
+
+/// Why a request was refused or shed (DispatchResult::reject_reason).
+enum class RejectReason : uint8_t {
+  kNone = 0,
+  kQueueFull = 1,     ///< Admission queue at max_queue, no lower-priority prey.
+  kClientCap = 2,     ///< The client is at per_client_inflight.
+  kDeadline = 3,      ///< Estimated queue wait already exceeds the deadline.
+  kShed = 4,          ///< Displaced from the queue by a higher-priority arrival.
+  kDisconnect = 5,    ///< Client quarantined/cancelled; queued work shed.
+};
+
+const char* RejectReasonName(RejectReason reason);
 
 /// Reply to a dispatch request.
 struct DispatchResult {
   bool ok = false;        ///< Served within deadline.
   bool expired = false;   ///< Deadline passed while queued; no inference ran.
+  bool rejected = false;  ///< Refused at admission or shed; no inference ran.
   bool shutdown = false;  ///< Server stopped before this request was served.
+  bool overloaded = false;  ///< Server was in brownout when this completed.
+  RejectReason reject_reason = RejectReason::kNone;
   std::array<float, 2> action = {0.0f, 0.0f};  ///< First requested row.
   uint64_t snapshot_version = 0;  ///< Version that computed the action.
   bool episode_done = false;      ///< Session requests: episode just ended.
   double latency_ms = 0.0;        ///< Enqueue -> completion.
+};
+
+/// Per-request identity/priority. `client` keys the fairness machinery
+/// (per-client queue, in-flight cap, round-robin drain); callers that do
+/// not care share client 0. Higher `priority` survives brownout shedding
+/// longer; default 0.
+struct RequestOptions {
+  uint64_t client = 0;
+  int priority = 0;
 };
 
 /// Counters + latency quantiles, readable at any time (Stats()) and flushed
@@ -52,6 +95,11 @@ struct DispatchResult {
 struct DispatchStats {
   uint64_t requests_ok = 0;
   uint64_t requests_expired = 0;
+  uint64_t requests_rejected = 0;   ///< Refused at admission (all reasons).
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_client_cap = 0;
+  uint64_t rejected_deadline = 0;   ///< Admission estimator refusals.
+  uint64_t requests_shed = 0;       ///< Admitted then shed (brownout/cancel).
   uint64_t requests_shutdown = 0;   ///< Drained unserved at Stop().
   uint64_t requests_no_snapshot = 0;
   uint64_t requests_invalid = 0;    ///< Bad agent id / observation width.
@@ -61,10 +109,30 @@ struct DispatchStats {
   uint64_t publish_rejects = 0;     ///< Corrupted promotions kept out.
   uint64_t episodes_completed = 0;
   uint64_t env_steps = 0;           ///< Session timeslots advanced.
+  uint64_t overload_entries = 0;    ///< Times brownout engaged.
+  uint64_t clients_quarantined = 0; ///< Slow clients disconnected (frontend).
+  bool overloaded = false;          ///< Brownout engaged right now (gauge).
+  uint64_t queue_depth = 0;         ///< Queued requests right now (gauge).
+  double ewma_batch_ms = 0.0;       ///< Admission estimator state (gauge).
   uint64_t latency_samples = 0;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
+};
+
+/// Point-in-time health probe, cheap enough for load balancers to poll and
+/// served by the frontend WITHOUT entering the admission queue (a probe
+/// must answer precisely when the queue is the problem).
+struct DispatchHealth {
+  bool overloaded = false;
+  uint64_t queue_depth = 0;
+  uint64_t snapshot_version = 0;  ///< 0 before the first publish.
+  uint64_t requests_ok = 0;
+  uint64_t requests_expired = 0;
+  uint64_t requests_rejected = 0;
+  uint64_t requests_shed = 0;
+  uint64_t clients_quarantined = 0;
+  double ewma_batch_ms = 0.0;
 };
 
 /// Long-lived low-latency policy dispatch service.
@@ -80,9 +148,21 @@ struct DispatchStats {
 /// finish on the snapshot they pinned. See DESIGN.md "Serving" for the
 /// memory-ordering argument.
 ///
+/// Overload control (DESIGN.md "Serving" > "Overload control"): requests
+/// are admitted into per-client queues drained round-robin (a flooding
+/// client cannot starve the others; its requests also stop at
+/// per_client_inflight), the total queue is bounded by max_queue with
+/// priority-ordered shedding once full, and the admission estimator
+/// (EWMA of batch service time) refuses deadline-infeasible requests
+/// up front with an explicit `rejected` instead of a late `expired`.
+/// Every refused/shed request completes with a reason — nothing hangs
+/// and nothing expires silently. Admitted requests take the identical
+/// batched inference path as before, so the bit-exactness contract
+/// (served action == Evaluator forward) is untouched by overload.
+///
 /// Fault hooks: the batch path calls util::FaultInjector::NextStallMs()
-/// once per assembled batch (AGSC_FAULT_STALL_TASK/STALL_MS), which the
-/// soak test uses to force deadline expiries under load.
+/// once per assembled batch (AGSC_FAULT_STALL_TASK/STALL_EVERY/STALL_MS),
+/// which the soak test uses to force deadline expiries under load.
 class DispatchServer {
  public:
   /// Copies `primary_env` into `config.num_sessions` session replicas, each
@@ -110,6 +190,10 @@ class DispatchServer {
   /// that LoadPolicySnapshot refused); the live snapshot is untouched.
   void CountPublishReject();
 
+  /// Records a slow-client quarantine (frontend write budget tripped) so
+  /// the serving stats JSON carries it.
+  void CountQuarantine();
+
   /// Currently served snapshot (null before the first publish).
   std::shared_ptr<const PolicySnapshot> CurrentSnapshot() const {
     return registry_.Acquire();
@@ -117,19 +201,44 @@ class DispatchServer {
 
   /// Blocking stateless inference: one observation for `agent` -> its
   /// deterministic action under the snapshot current at service time.
-  DispatchResult Act(int agent, const std::vector<float>& obs);
+  DispatchResult Act(int agent, const std::vector<float>& obs) {
+    return Act(agent, obs, RequestOptions{});
+  }
+  DispatchResult Act(int agent, const std::vector<float>& obs,
+                     const RequestOptions& options);
+  /// Non-blocking variant: the future completes when the request is served,
+  /// expired, rejected, or shed — always, never hangs. Refusals complete
+  /// the future immediately.
+  std::future<DispatchResult> ActAsync(int agent, const std::vector<float>& obs,
+                                       const RequestOptions& options);
 
   /// Blocking session step: folds all of session `s`'s per-agent
   /// observations into the next batch, applies the resulting joint action
   /// to the session env, and auto-resets finished episodes. `action` in the
   /// result is agent 0's (the batch's first row).
-  DispatchResult StepSession(int session);
+  DispatchResult StepSession(int session) {
+    return StepSession(session, RequestOptions{});
+  }
+  DispatchResult StepSession(int session, const RequestOptions& options);
+  std::future<DispatchResult> StepSessionAsync(int session,
+                                               const RequestOptions& options);
+
+  /// Sheds every queued request of `client` (completed as rejected /
+  /// kDisconnect, counted in requests_shed) and forgets its fairness
+  /// state. In-service requests finish normally — their replies are simply
+  /// never written by a disconnected frontend handler. Used by the slow-
+  /// client quarantine; safe against a client id that was never seen.
+  void CancelClient(uint64_t client);
 
   int num_sessions() const { return static_cast<int>(sessions_.size()); }
 
   /// Point-in-time stats (quantiles computed over a sliding window of the
   /// most recent completions).
   DispatchStats Stats() const;
+
+  /// Cheap health probe (atomics + one stats lock; never touches the
+  /// admission queue).
+  DispatchHealth Health() const;
 
  private:
   struct Session {
@@ -145,27 +254,68 @@ class DispatchServer {
     int agent = 0;                ///< kStateless: policy head.
     std::vector<float> obs;       ///< kStateless: observation copy.
     int session = 0;              ///< kSession: session index.
+    uint64_t client = 0;          ///< Fairness key (frontend connection id).
+    int priority = 0;             ///< Brownout shedding order (higher lives).
     std::chrono::steady_clock::time_point enqueue_time;
     std::chrono::steady_clock::time_point deadline;  ///< max() if disabled.
     std::promise<DispatchResult> promise;
   };
 
-  DispatchResult Submit(std::unique_ptr<Request> request);
+  /// Per-client admission state: a FIFO of queued requests plus the
+  /// admitted-but-uncompleted count the in-flight cap checks. `weight` is
+  /// how many requests the round-robin drain takes per turn.
+  struct ClientState {
+    std::deque<std::unique_ptr<Request>> queue;
+    size_t inflight = 0;
+    int weight = 1;
+  };
+
+  std::future<DispatchResult> SubmitAsync(std::unique_ptr<Request> request);
+  /// Maintain queued_priorities_ alongside every queue insert/remove (all
+  /// call sites hold mutex_).
+  void NotePriorityQueuedLocked(int priority);
+  void NotePriorityDequeuedLocked(int priority);
+  /// Completes `request` as rejected with `reason` (stats under the caller's
+  /// discretion; this only sets the promise).
+  static void RejectRequest(Request& request, RejectReason reason,
+                            bool overloaded);
+  void CountRejectLocked(RejectReason reason);  ///< stats_mutex_ held.
+  /// Recomputes the brownout state after a queue-depth change (mutex_ held).
+  void UpdateOverloadLocked();
   void BatcherLoop();
   /// Serves one dequeued batch (inference + session stepping + replies).
   void ServeBatch(std::vector<std::unique_ptr<Request>> batch);
+  /// Decrements the in-flight counts of a completed batch (mutex_).
+  void FinishClients(const std::vector<uint64_t>& batch_clients);
 
   DispatchConfig config_;
   util::SnapshotRegistry<PolicySnapshot> registry_;
   std::mutex publish_mutex_;
   std::vector<Session> sessions_;
 
+  // Admission/fairness state. Lock order: mutex_ before stats_mutex_;
+  // never the reverse.
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::unique_ptr<Request>> queue_;
+  std::unordered_map<uint64_t, ClientState> clients_;
+  std::deque<uint64_t> rr_order_;  ///< Clients with queued work, drain order.
+  size_t queue_depth_ = 0;         ///< Total queued requests (all clients).
+  /// Queued-request count per priority level. The brownout shed path reads
+  /// begin() for the minimum priority present, so an equal-priority overload
+  /// rejects in O(log levels) instead of scanning every queued request —
+  /// the scan only runs when a strictly-lower-priority victim is known to
+  /// exist.
+  std::map<int, size_t> queued_priorities_;
   bool running_ = false;
   bool stop_requested_ = false;
   std::thread batcher_;
+
+  // Gauges readable without mutex_ (Health() must not contend with the
+  // admission path).
+  std::atomic<uint64_t> queue_depth_gauge_{0};
+  std::atomic<bool> overloaded_{false};
+  std::atomic<uint64_t> overload_entries_{0};
+  std::atomic<double> ewma_batch_ms_{0.0};
 
   mutable std::mutex stats_mutex_;
   DispatchStats stats_;

@@ -62,9 +62,10 @@ ProcSampler::ProcSampler(env::ScEnv& primary_env, util::Rng& primary_rng,
   if (remote()) {
     std::string host;
     int port = 0;
-    if (!util::ParseHostPort(options_.listen_address, &host, &port)) {
-      throw util::NetError("ProcSampler: unparseable listen address '" +
-                           options_.listen_address + "'");
+    std::string parse_error;
+    if (!util::ParseHostPort(options_.listen_address, &host, &port,
+                             &parse_error)) {
+      throw util::NetError("ProcSampler: bad listen address: " + parse_error);
     }
     std::string error;
     if (!listener_.Listen(host, port, &error)) {

@@ -1,10 +1,15 @@
 #include "core/serve_protocol.h"
 
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <utility>
 
+#include "util/fault_inject.h"
 #include "util/logging.h"
 
 namespace agsc::core {
@@ -19,6 +24,11 @@ constexpr uint32_t kFlagOk = 1u << 0;
 constexpr uint32_t kFlagExpired = 1u << 1;
 constexpr uint32_t kFlagShutdown = 1u << 2;
 constexpr uint32_t kFlagEpisodeDone = 1u << 3;
+constexpr uint32_t kFlagRejected = 1u << 4;
+constexpr uint32_t kFlagOverloaded = 1u << 5;
+
+// DispatchHealth flags.
+constexpr uint32_t kHealthFlagOverloaded = 1u << 0;
 
 }  // namespace
 
@@ -27,6 +37,7 @@ std::string EncodeServeActRequest(const ServeActRequest& req) {
   w.U32(kServeProtocolVersion);
   w.I32(req.agent);
   w.F32Vec(req.obs);
+  w.I32(req.priority);
   return w.Take();
 }
 
@@ -35,6 +46,7 @@ bool DecodeServeActRequest(const std::string& payload, ServeActRequest& out) {
   if (r.U32() != kServeProtocolVersion) return false;
   out.agent = r.I32();
   if (!r.F32Vec(out.obs)) return false;
+  out.priority = r.I32();
   return r.Done();
 }
 
@@ -42,6 +54,7 @@ std::string EncodeServeStepRequest(const ServeStepRequest& req) {
   WireWriter w;
   w.U32(kServeProtocolVersion);
   w.I32(req.session);
+  w.I32(req.priority);
   return w.Take();
 }
 
@@ -50,6 +63,7 @@ bool DecodeServeStepRequest(const std::string& payload,
   WireReader r(payload);
   if (r.U32() != kServeProtocolVersion) return false;
   out.session = r.I32();
+  out.priority = r.I32();
   return r.Done();
 }
 
@@ -61,7 +75,10 @@ std::string EncodeServeResponse(const DispatchResult& result) {
   if (result.expired) flags |= kFlagExpired;
   if (result.shutdown) flags |= kFlagShutdown;
   if (result.episode_done) flags |= kFlagEpisodeDone;
+  if (result.rejected) flags |= kFlagRejected;
+  if (result.overloaded) flags |= kFlagOverloaded;
   w.U32(flags);
+  w.U32(static_cast<uint32_t>(result.reject_reason));
   w.F32(result.action[0]);
   w.F32(result.action[1]);
   w.U64(result.snapshot_version);
@@ -73,15 +90,67 @@ bool DecodeServeResponse(const std::string& payload, DispatchResult& out) {
   WireReader r(payload);
   if (r.U32() != kServeProtocolVersion) return false;
   const uint32_t flags = r.U32();
+  const uint32_t reason = r.U32();
   out.action[0] = r.F32();
   out.action[1] = r.F32();
   out.snapshot_version = r.U64();
   out.latency_ms = r.F64();
   if (!r.Done()) return false;
+  if (reason > static_cast<uint32_t>(RejectReason::kDisconnect)) return false;
   out.ok = (flags & kFlagOk) != 0;
   out.expired = (flags & kFlagExpired) != 0;
   out.shutdown = (flags & kFlagShutdown) != 0;
   out.episode_done = (flags & kFlagEpisodeDone) != 0;
+  out.rejected = (flags & kFlagRejected) != 0;
+  out.overloaded = (flags & kFlagOverloaded) != 0;
+  out.reject_reason = static_cast<RejectReason>(reason);
+  return true;
+}
+
+std::string EncodeServeHealthRequest() {
+  WireWriter w;
+  w.U32(kServeProtocolVersion);
+  return w.Take();
+}
+
+bool DecodeServeHealthRequest(const std::string& payload) {
+  WireReader r(payload);
+  if (r.U32() != kServeProtocolVersion) return false;
+  return r.Done();
+}
+
+std::string EncodeServeHealthResponse(const DispatchHealth& health) {
+  WireWriter w;
+  w.U32(kServeProtocolVersion);
+  uint32_t flags = 0;
+  if (health.overloaded) flags |= kHealthFlagOverloaded;
+  w.U32(flags);
+  w.U64(health.queue_depth);
+  w.U64(health.snapshot_version);
+  w.U64(health.requests_ok);
+  w.U64(health.requests_expired);
+  w.U64(health.requests_rejected);
+  w.U64(health.requests_shed);
+  w.U64(health.clients_quarantined);
+  w.F64(health.ewma_batch_ms);
+  return w.Take();
+}
+
+bool DecodeServeHealthResponse(const std::string& payload,
+                               DispatchHealth& out) {
+  WireReader r(payload);
+  if (r.U32() != kServeProtocolVersion) return false;
+  const uint32_t flags = r.U32();
+  out.queue_depth = r.U64();
+  out.snapshot_version = r.U64();
+  out.requests_ok = r.U64();
+  out.requests_expired = r.U64();
+  out.requests_rejected = r.U64();
+  out.requests_shed = r.U64();
+  out.clients_quarantined = r.U64();
+  out.ewma_batch_ms = r.F64();
+  if (!r.Done()) return false;
+  out.overloaded = (flags & kHealthFlagOverloaded) != 0;
   return true;
 }
 
@@ -90,20 +159,36 @@ bool DecodeServeResponse(const std::string& payload, DispatchResult& out) {
 ServeFrontend::ServeFrontend(DispatchServer& server, const Options& options)
     : server_(server), options_(options) {
   util::IgnoreSigpipe();
+  if (options_.max_pipeline < 1) options_.max_pipeline = 1;
   std::string host;
   int port = 0;
-  if (!util::ParseHostPort(options_.listen_address, &host, &port)) {
-    throw util::NetError("unparseable listen address '" +
-                         options_.listen_address + "'");
+  std::string parse_error;
+  if (!util::ParseHostPort(options_.listen_address, &host, &port,
+                           &parse_error)) {
+    throw util::NetError("bad listen address: " + parse_error);
   }
   std::string error;
   if (!listener_.Listen(host, port, &error)) {
     throw util::NetError("cannot listen on " + options_.listen_address +
                          ": " + error);
   }
+  if (::pipe(wake_pipe_) != 0) {
+    listener_.Close();
+    throw util::NetError("cannot create frontend wake pipe");
+  }
+  for (int end : {0, 1}) {
+    util::SetNonBlocking(wake_pipe_[end], true);
+    ::fcntl(wake_pipe_[end], F_SETFD, FD_CLOEXEC);
+  }
 }
 
-ServeFrontend::~ServeFrontend() { Stop(); }
+ServeFrontend::~ServeFrontend() {
+  Stop();
+  for (int end : {0, 1}) {
+    if (wake_pipe_[end] >= 0) ::close(wake_pipe_[end]);
+    wake_pipe_[end] = -1;
+  }
+}
 
 void ServeFrontend::Start() {
   if (running_.exchange(true)) return;
@@ -114,9 +199,13 @@ void ServeFrontend::Start() {
 void ServeFrontend::Stop() {
   if (!running_.load()) return;
   stop_requested_.store(true);
-  // Unblock the acceptor: closing the listening socket fails its poll.
-  listener_.Close();
+  // The wake byte stays queued in the pipe until the acceptor drains it
+  // *after* poll returns, so the wakeup cannot be lost; the listener is
+  // closed only after the join — the acceptor reads listener_.fd() each
+  // iteration, and closing it concurrently would race that read.
+  WakeAcceptor();
   if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
   // Unblock every handler read with EOF, then join.
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
@@ -125,17 +214,31 @@ void ServeFrontend::Stop() {
     }
   }
   for (const std::unique_ptr<Conn>& conn : conns_) {
-    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+    conn->fd = -1;
   }
   conns_.clear();
   running_.store(false);
 }
 
+void ServeFrontend::WakeAcceptor() {
+  if (wake_pipe_[1] < 0) return;
+  const char byte = 1;
+  // Nonblocking: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
 void ServeFrontend::ReapFinished() {
   std::lock_guard<std::mutex> lock(conns_mutex_);
   for (size_t i = 0; i < conns_.size();) {
-    if (conns_[i]->done) {
-      if (conns_[i]->thread.joinable()) conns_[i]->thread.join();
+    if (conns_[i]->done.load(std::memory_order_acquire)) {
+      Conn& conn = *conns_[i];
+      if (conn.reader.joinable()) conn.reader.join();
+      if (conn.writer.joinable()) conn.writer.join();
+      if (conn.fd >= 0) ::close(conn.fd);
+      conn.fd = -1;
       conns_.erase(conns_.begin() + static_cast<long>(i));
     } else {
       ++i;
@@ -145,13 +248,33 @@ void ServeFrontend::ReapFinished() {
 
 void ServeFrontend::AcceptLoop() {
   while (!stop_requested_.load()) {
-    const int fd = listener_.Accept(/*timeout_ms=*/250);
-    if (fd == -1) {  // Timeout: reap and keep accepting.
-      ReapFinished();
-      continue;
+    // poll(2) over the listener and the wake pipe: a pending connection or
+    // a wake byte (Stop, a finished handler) is noticed immediately — the
+    // old 250 ms accept tick cost every idle connect up to a tick of
+    // latency and every Stop up to a tick of shutdown lag.
+    struct pollfd fds[2];
+    fds[0].fd = listener_.fd();
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const int rc = ::poll(fds, 2, /*timeout=*/-1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
     }
-    if (fd < 0) break;  // Listener closed (Stop) or failed.
+    if (fds[1].revents != 0) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
     ReapFinished();
+    if (stop_requested_.load()) break;
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+    const int fd = listener_.Accept(/*timeout_ms=*/0);  // Probe: no wait.
+    if (fd == -1) continue;  // Raced away / spurious wakeup.
+    if (fd < 0) break;       // Listener closed (Stop) or failed.
     {
       std::lock_guard<std::mutex> lock(conns_mutex_);
       if (static_cast<int>(conns_.size()) >= options_.max_connections) {
@@ -161,20 +284,27 @@ void ServeFrontend::AcceptLoop() {
         continue;
       }
     }
+    if (options_.send_buffer_bytes > 0) {
+      int bytes = options_.send_buffer_bytes;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+    }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_unique<Conn>();
     Conn* raw = conn.get();
     raw->fd = fd;
-    raw->thread = std::thread([this, fd, raw] { HandleConnection(fd, raw); });
+    // Dispatch fairness key: a high-bit namespace keeps frontend
+    // connections disjoint from in-process client ids (agsc_serve's local
+    // fleet uses small integers).
+    raw->client = (uint64_t{1} << 32) + next_client_ordinal_++;
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
     std::lock_guard<std::mutex> lock(conns_mutex_);
     conns_.push_back(std::move(conn));
   }
 }
 
-void ServeFrontend::HandleConnection(int fd, Conn* conn) {
-  util::FrameReader reader(fd);
-  util::FrameWriter writer(fd);
-  uint64_t out_seq = 0;
+void ServeFrontend::ReaderLoop(Conn* conn) {
+  util::FrameReader reader(conn->fd);
   util::Frame frame;
   for (;;) {
     const util::IpcStatus status = reader.Read(frame, /*timeout_ms=*/-1);
@@ -188,17 +318,31 @@ void ServeFrontend::HandleConnection(int fd, Conn* conn) {
       }
       break;
     }
-    DispatchResult result;
+    PendingReply reply;
     bool valid = false;
     if (frame.type == kSrvMsgActRequest) {
       ServeActRequest req;
       if ((valid = DecodeServeActRequest(frame.payload, req))) {
-        result = server_.Act(req.agent, req.obs);
+        RequestOptions opts;
+        opts.client = conn->client;
+        opts.priority = req.priority;
+        reply.future = server_.ActAsync(req.agent, req.obs, opts);
       }
     } else if (frame.type == kSrvMsgStepRequest) {
       ServeStepRequest req;
       if ((valid = DecodeServeStepRequest(frame.payload, req))) {
-        result = server_.StepSession(req.session);
+        RequestOptions opts;
+        opts.client = conn->client;
+        opts.priority = req.priority;
+        reply.future = server_.StepSessionAsync(req.session, opts);
+      }
+    } else if (frame.type == kSrvMsgHealthRequest) {
+      // Health never enters the admission queue — it must answer
+      // precisely when the queue is the problem. It still takes its FIFO
+      // slot in this connection's response order.
+      if ((valid = DecodeServeHealthRequest(frame.payload))) {
+        reply.is_health = true;
+        reply.health_payload = EncodeServeHealthResponse(server_.Health());
       }
     }
     if (!valid) {
@@ -206,17 +350,87 @@ void ServeFrontend::HandleConnection(int fd, Conn* conn) {
                          << "(type " << frame.type << ")";
       break;
     }
-    if (writer.Write(kSrvMsgResponse, out_seq++, EncodeServeResponse(result),
-                     options_.write_timeout_ms) != util::IpcStatus::kOk) {
-      AGSC_LOG(kWarning)
-          << "serve frontend: dropping connection (response write stalled)";
-      break;
+    bool quarantined = false;
+    {
+      // Pipeline bound: a peer with max_pipeline responses outstanding is
+      // backpressured here (we stop reading; TCP flow control propagates).
+      std::unique_lock<std::mutex> lock(conn->mutex);
+      conn->cv.wait(lock, [this, conn] {
+        return conn->quarantined ||
+               conn->pending.size() <
+                   static_cast<size_t>(options_.max_pipeline);
+      });
+      quarantined = conn->quarantined;
+      if (!quarantined) conn->pending.push_back(std::move(reply));
     }
+    if (quarantined) break;  // Connection is being torn down; stop reading.
+    conn->cv.notify_all();
   }
-  ::shutdown(fd, SHUT_RDWR);
-  ::close(fd);
-  conn->fd = -1;
-  conn->done = true;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->reader_done = true;
+  }
+  conn->cv.notify_all();
+}
+
+void ServeFrontend::WriterLoop(Conn* conn) {
+  util::FrameWriter writer(conn->fd);
+  uint64_t out_seq = 0;
+  bool broken = false;
+  for (;;) {
+    PendingReply reply;
+    {
+      std::unique_lock<std::mutex> lock(conn->mutex);
+      conn->cv.wait(lock, [conn] {
+        return !conn->pending.empty() || conn->reader_done;
+      });
+      if (conn->pending.empty()) break;  // Reader gone and fully drained.
+      reply = std::move(conn->pending.front());
+      conn->pending.pop_front();
+    }
+    conn->cv.notify_all();  // Free a pipeline slot for the reader.
+    uint32_t type = kSrvMsgResponse;
+    std::string payload;
+    if (reply.is_health) {
+      type = kSrvMsgHealthResponse;
+      payload = std::move(reply.health_payload);
+    } else {
+      // Always completes: served, expired, rejected, shed, or shutdown —
+      // the dispatch server never leaves a promise dangling.
+      payload = EncodeServeResponse(reply.future.get());
+    }
+    if (broken) continue;  // Draining slots only; the socket is dead.
+    const util::IpcStatus status =
+        writer.Write(type, out_seq++, payload, options_.write_timeout_ms);
+    if (status == util::IpcStatus::kOk) continue;
+    broken = true;
+    // kTimeout = the peer stopped draining its socket inside the write
+    // budget: quarantine. Anything else is an ordinary disconnect; either
+    // way its queued dispatch work is shed so live clients get the slots.
+    AbandonConn(conn, /*count_quarantine=*/status == util::IpcStatus::kTimeout);
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+  WakeAcceptor();  // Let the acceptor reap this slot promptly.
+}
+
+void ServeFrontend::AbandonConn(Conn* conn, bool count_quarantine) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->quarantined = true;
+  }
+  conn->cv.notify_all();
+  // Shed the client's queued dispatch work (completed as rejected /
+  // disconnect) so a dead connection stops consuming batch slots.
+  server_.CancelClient(conn->client);
+  if (count_quarantine) {
+    clients_quarantined_.fetch_add(1, std::memory_order_relaxed);
+    server_.CountQuarantine();
+    AGSC_LOG(kWarning) << "serve frontend: quarantining slow client (write "
+                       << "budget " << options_.write_timeout_ms
+                       << " ms exceeded); shedding its queued requests";
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
 }
 
 // --- ServeClient ------------------------------------------------------------
@@ -240,12 +454,21 @@ void ServeClient::Close() {
   fd_ = -1;
 }
 
-bool ServeClient::RoundTrip(uint32_t type, const std::string& payload,
-                            long timeout_ms, DispatchResult& out) {
+bool ServeClient::SendFrame(uint32_t type, const std::string& payload,
+                            long timeout_ms) {
   if (fd_ < 0) return false;
-  if (writer_->Write(type, out_seq_++, payload, timeout_ms) !=
-      util::IpcStatus::kOk) {
-    return false;
+  return writer_->Write(type, out_seq_++, payload, timeout_ms) ==
+         util::IpcStatus::kOk;
+}
+
+bool ServeClient::ReadResponse(long timeout_ms, DispatchResult& out) {
+  if (fd_ < 0) return false;
+  // Fault hook: a client that stops draining its socket (STALL_DRAIN_MS).
+  // With a pipelined send loop this backs responses up into the server's
+  // send buffer until the frontend's write budget trips.
+  const long drain_stall = util::FaultInjector::Instance().StallDrainMs();
+  if (drain_stall > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(drain_stall));
   }
   util::Frame frame;
   if (reader_->Read(frame, timeout_ms) != util::IpcStatus::kOk) return false;
@@ -253,21 +476,57 @@ bool ServeClient::RoundTrip(uint32_t type, const std::string& payload,
   return DecodeServeResponse(frame.payload, out);
 }
 
+bool ServeClient::RoundTrip(uint32_t type, const std::string& payload,
+                            long timeout_ms, DispatchResult& out) {
+  if (!SendFrame(type, payload, timeout_ms)) return false;
+  return ReadResponse(timeout_ms, out);
+}
+
 bool ServeClient::Act(int agent, const std::vector<float>& obs,
-                      long timeout_ms, DispatchResult& out) {
+                      long timeout_ms, DispatchResult& out, int priority) {
   ServeActRequest req;
   req.agent = agent;
   req.obs = obs;
+  req.priority = priority;
   return RoundTrip(kSrvMsgActRequest, EncodeServeActRequest(req), timeout_ms,
                    out);
 }
 
 bool ServeClient::StepSession(int session, long timeout_ms,
-                              DispatchResult& out) {
+                              DispatchResult& out, int priority) {
   ServeStepRequest req;
   req.session = session;
+  req.priority = priority;
   return RoundTrip(kSrvMsgStepRequest, EncodeServeStepRequest(req),
                    timeout_ms, out);
+}
+
+bool ServeClient::SendAct(int agent, const std::vector<float>& obs,
+                          long timeout_ms, int priority) {
+  ServeActRequest req;
+  req.agent = agent;
+  req.obs = obs;
+  req.priority = priority;
+  return SendFrame(kSrvMsgActRequest, EncodeServeActRequest(req), timeout_ms);
+}
+
+bool ServeClient::SendStep(int session, long timeout_ms, int priority) {
+  ServeStepRequest req;
+  req.session = session;
+  req.priority = priority;
+  return SendFrame(kSrvMsgStepRequest, EncodeServeStepRequest(req),
+                   timeout_ms);
+}
+
+bool ServeClient::Health(long timeout_ms, DispatchHealth& out) {
+  if (!SendFrame(kSrvMsgHealthRequest, EncodeServeHealthRequest(),
+                 timeout_ms)) {
+    return false;
+  }
+  util::Frame frame;
+  if (reader_->Read(frame, timeout_ms) != util::IpcStatus::kOk) return false;
+  if (frame.type != kSrvMsgHealthResponse) return false;
+  return DecodeServeHealthResponse(frame.payload, out);
 }
 
 }  // namespace agsc::core

@@ -45,7 +45,12 @@ void FaultInjector::ReloadFromEnv() {
   config.nan_loss = GetEnvOr("AGSC_FAULT_NAN_LOSS", 0);
   config.nan_loss_every = GetEnvOr("AGSC_FAULT_NAN_LOSS_EVERY", 0);
   config.stall_task = GetEnvOr("AGSC_FAULT_STALL_TASK", 0);
+  config.stall_every = GetEnvOr("AGSC_FAULT_STALL_EVERY", 0);
   config.stall_ms = static_cast<long>(GetEnvOr("AGSC_FAULT_STALL_MS", 0));
+  config.flood_clients = GetEnvOr("AGSC_FAULT_FLOOD_CLIENTS", 0);
+  config.flood_depth = GetEnvOr("AGSC_FAULT_FLOOD_DEPTH", 64);
+  config.stall_drain_ms =
+      static_cast<long>(GetEnvOr("AGSC_FAULT_STALL_DRAIN_MS", 0));
   config.kill_worker_nth = GetEnvOr("AGSC_FAULT_KILL_WORKER_NTH", 0);
   config.corrupt_frame = GetEnvOr("AGSC_FAULT_CORRUPT_FRAME", 0);
   config.stall_pipe = GetEnvOr("AGSC_FAULT_STALL_PIPE", 0);
@@ -101,8 +106,33 @@ bool FaultInjector::PoisonLossNow() {
 
 long FaultInjector::NextStallMs() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (config_.stall_task <= 0 || config_.stall_ms <= 0) return 0;
-  return ++task_count_ == config_.stall_task ? config_.stall_ms : 0;
+  if (config_.stall_ms <= 0 ||
+      (config_.stall_task <= 0 && config_.stall_every <= 0)) {
+    return 0;
+  }
+  ++task_count_;
+  if (config_.stall_task > 0 && task_count_ == config_.stall_task) {
+    return config_.stall_ms;
+  }
+  if (config_.stall_every > 0 && task_count_ % config_.stall_every == 0) {
+    return config_.stall_ms;
+  }
+  return 0;
+}
+
+int FaultInjector::FloodClients() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_.flood_clients;
+}
+
+int FaultInjector::FloodDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_.flood_depth < 1 ? 1 : config_.flood_depth;
+}
+
+long FaultInjector::StallDrainMs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_.stall_drain_ms;
 }
 
 bool FaultInjector::KillWorkerNow() {

@@ -37,7 +37,33 @@ namespace agsc::util {
 ///   AGSC_FAULT_STALL_TASK=N        guarded worker task #N stalls for
 ///                                  AGSC_FAULT_STALL_MS milliseconds
 ///                                  (exercises the rollout watchdog).
+///   AGSC_FAULT_STALL_EVERY=K       every Kth guarded task stalls (may be
+///                                  combined with STALL_TASK) — a
+///                                  *sustained* slowdown rather than a
+///                                  one-off; drives the serving layer past
+///                                  saturation so admission control and
+///                                  brownout engage.
 ///   AGSC_FAULT_STALL_MS=M          stall duration (default 0 = no stall).
+///
+/// Misbehaving-client modes, observed by serving-side client fleets
+/// (agsc_serve's local clients, ServeClient) to reproduce overload without
+/// bespoke load generators:
+///
+///   AGSC_FAULT_FLOOD_CLIENTS=N     the first N local agsc_serve clients
+///                                  FLOOD: instead of lock-step request/
+///                                  response they keep AGSC_FAULT_FLOOD_-
+///                                  DEPTH async requests in flight each —
+///                                  the admission queue fills and the
+///                                  per-client cap / fairness machinery
+///                                  must contain them.
+///   AGSC_FAULT_FLOOD_DEPTH=D       in-flight pipeline per flooding client
+///                                  (default 64).
+///   AGSC_FAULT_STALL_DRAIN_MS=M    ServeClient sleeps M ms before every
+///                                  response read — a peer that stops
+///                                  draining its socket; combined with a
+///                                  pipelined send loop it trips the
+///                                  frontend's write budget and the
+///                                  slow-client quarantine.
 ///
 /// Subprocess-rollout faults, observed by the agsc_worker binary (the
 /// trainer process inherits the same environment but never calls these
@@ -93,7 +119,11 @@ class FaultInjector {
     int nan_loss = 0;         ///< 1-based guarded loss to poison; 0 = off.
     int nan_loss_every = 0;   ///< Every Kth guarded loss is NaN; 0 = off.
     int stall_task = 0;       ///< 1-based guarded worker task to stall.
+    int stall_every = 0;      ///< Every Kth guarded task stalls; 0 = off.
     long stall_ms = 0;        ///< Stall duration in milliseconds.
+    int flood_clients = 0;    ///< Local serve clients that flood; 0 = none.
+    int flood_depth = 64;     ///< In-flight pipeline per flooding client.
+    long stall_drain_ms = 0;  ///< ServeClient delay before response reads.
     int kill_worker_nth = 0;  ///< 1-based incoming step frame to die on.
     int corrupt_frame = 0;    ///< 1-based outgoing frame to corrupt.
     int stall_pipe = 0;       ///< 1-based outgoing frame to delay.
@@ -138,8 +168,15 @@ class FaultInjector {
 
   /// Called once per guarded worker task (rollout env steps); returns the
   /// stall to inject in milliseconds (0 = run normally). The caller sleeps
-  /// outside the injector's lock.
+  /// outside the injector's lock. Fires one-shot on task STALL_TASK and
+  /// repeatedly on every STALL_EVERYth task.
   long NextStallMs();
+
+  /// Misbehaving-client knobs (FLOOD_CLIENTS / FLOOD_DEPTH /
+  /// STALL_DRAIN_MS); plain reads, no counters advance.
+  int FloodClients() const;
+  int FloodDepth() const;
+  long StallDrainMs() const;
 
   /// Called by agsc_worker once per incoming step frame; true means this
   /// worker must SIGKILL itself now (KILL_WORKER_NTH).

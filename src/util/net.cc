@@ -61,15 +61,30 @@ void IgnoreSigpipe() {
   });
 }
 
-bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
+bool ParseHostPort(const std::string& spec, std::string* host, int* port,
+                   std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
   const size_t colon = spec.rfind(':');
-  if (colon == std::string::npos) return false;
+  if (colon == std::string::npos) {
+    return fail("'" + spec + "' has no ':' — expected HOST:PORT or :PORT");
+  }
   std::string h = spec.substr(0, colon);
   if (h.empty()) h = "127.0.0.1";
+  const std::string port_token = spec.substr(colon + 1);
   int p = 0;
-  if (!ParseIntInRange(spec.substr(colon + 1), 0, 65535, &p)) return false;
+  if (!ParseIntInRange(port_token, 0, 65535, &p)) {
+    return fail("bad port '" + port_token + "' in '" + spec +
+                "' — expected an integer in 0..65535 (0 = kernel-picked)");
+  }
   sockaddr_in probe;
-  if (!ResolveIpv4(h, p, &probe)) return false;
+  if (!ResolveIpv4(h, p, &probe)) {
+    return fail("bad host '" + h + "' in '" + spec +
+                "' — expected a numeric IPv4 address (e.g. 127.0.0.1) or "
+                "'localhost'; hostnames are not resolved");
+  }
   *host = h;
   *port = p;
   return true;

@@ -38,8 +38,11 @@ void IgnoreSigpipe();
 /// Parses "HOST:PORT" or ":PORT" (host defaults to 127.0.0.1). HOST must
 /// be a numeric IPv4 address or "localhost"; PORT is 0..65535 (0 = let the
 /// kernel pick, see TcpListener::bound_port). Returns false on anything
-/// else without touching the outputs.
-bool ParseHostPort(const std::string& spec, std::string* host, int* port);
+/// else without touching `host`/`port`; `error` (optional) then names the
+/// offending token and the accepted forms, so exit-12 `net-error` lines
+/// say WHAT was wrong with the address, not just that something was.
+bool ParseHostPort(const std::string& spec, std::string* host, int* port,
+                   std::string* error = nullptr);
 
 /// Sets/clears O_NONBLOCK on `fd`; returns false on fcntl failure.
 bool SetNonBlocking(int fd, bool enable);

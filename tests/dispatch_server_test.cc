@@ -10,7 +10,17 @@
 //  * corrupted/truncated/mismatched promotion attempts are rejected with the
 //    previous snapshot still live and bit-exact;
 //  * the deadline-aware queue fails stalled requests fast instead of
-//    serving stale actions.
+//    serving stale actions;
+//  * overload control: the per-client in-flight cap bounds a flooding
+//    client, weighted round-robin batch assembly keeps a lock-step client
+//    from starving behind a flood (with every admitted action still
+//    bit-exact), the admission estimator rejects deadline-infeasible
+//    requests up front (explicit `rejected`, never a late silent expiry),
+//    the bounded queue sheds lowest-priority work first when full,
+//    CancelClient sheds a disconnected client's queued work, and Health()
+//    reports it all;
+//  * publish/publish-reject accounting is exact under concurrent load
+//    (the SnapshotRegistry satellite; run under -DAGSC_SANITIZE=thread).
 
 #include <unistd.h>
 
@@ -501,6 +511,430 @@ TEST(DispatchServerTest, StalledBatchExpiresDeadlinedRequests) {
   const core::DispatchStats stats = server.Stats();
   EXPECT_EQ(stats.requests_expired, 1u);
   EXPECT_EQ(stats.requests_ok, 1u);
+}
+
+// --- Overload control -------------------------------------------------------
+
+/// A flooding client is bounded by its in-flight cap: with the batcher held
+/// in a stall, requests beyond queue+inflight == cap come back `rejected`
+/// (client-cap) immediately, and every future completes — nothing hangs.
+TEST(DispatchServerTest, PerClientInflightCapBoundsFlooder) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 111);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(111));
+
+  core::DispatchConfig config;
+  config.num_sessions = 1;
+  config.deadline_ms = 0;
+  config.per_client_inflight = 4;
+  core::DispatchServer server(env, config);
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<live>"));
+  server.Start();
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 112);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+
+  // Hold the batcher in a long stall so the flood below queues up instead
+  // of draining.
+  util::FaultInjector::Config fault;
+  fault.stall_task = 1;
+  fault.stall_ms = 500;
+  util::FaultInjector::Instance().set_config(fault);
+
+  core::RequestOptions flooder;
+  flooder.client = 7;
+  std::vector<std::future<core::DispatchResult>> futures;
+  futures.push_back(server.ActAsync(0, observations[0], flooder));
+  // Let the batcher pick request 1 up (inflight=1), then flood 32 more:
+  // 3 fill the cap (queue 3 + inflight 1 == 4), 29 are refused.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int n = 0; n < 32; ++n) {
+    futures.push_back(server.ActAsync(0, observations[0], flooder));
+  }
+
+  uint64_t ok = 0, rejected_cap = 0;
+  for (std::future<core::DispatchResult>& f : futures) {
+    const core::DispatchResult result = f.get();  // Completes — never hangs.
+    if (result.ok) ++ok;
+    if (result.rejected) {
+      EXPECT_EQ(result.reject_reason, core::RejectReason::kClientCap);
+      EXPECT_LT(result.latency_ms, 100.0);  // Refused at admission, not late.
+      ++rejected_cap;
+    }
+  }
+  util::FaultInjector::Instance().Reset();
+  server.Stop();
+  EXPECT_EQ(ok, 4u);
+  EXPECT_EQ(rejected_cap, 29u);
+  const core::DispatchStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_ok, 4u);
+  EXPECT_EQ(stats.requests_rejected, 29u);
+  EXPECT_EQ(stats.rejected_client_cap, 29u);
+}
+
+/// Weighted round-robin batch assembly: a lock-step client makes steady
+/// progress while a flooder keeps hundreds of requests queued — under a
+/// FIFO queue its requests would sit behind the whole flood. Every admitted
+/// action stays bit-exact vs. the Evaluator forward under overload.
+TEST(DispatchServerTest, FairnessLockStepClientNotStarvedByFlood) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 121);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(121));
+
+  core::DispatchConfig config;
+  config.num_sessions = 1;
+  config.max_batch = 4;
+  config.deadline_ms = 0;
+  core::DispatchServer server(env, config);
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<live>"));
+  server.Start();
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 122);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+  const std::array<float, 2> want =
+      EvaluatorAction(trainer, probe_env, 0, observations[0]);
+
+  // Every batch is slowed a little so the flood builds a real backlog.
+  util::FaultInjector::Config fault;
+  fault.stall_every = 1;
+  fault.stall_ms = 10;
+  util::FaultInjector::Instance().set_config(fault);
+
+  constexpr int kFlood = 400;
+  constexpr int kLockStep = 16;
+  core::RequestOptions flood_opts;
+  flood_opts.client = 1;
+  std::vector<std::future<core::DispatchResult>> flood;
+  flood.reserve(kFlood);
+  for (int n = 0; n < kFlood; ++n) {
+    flood.push_back(server.ActAsync(0, observations[0], flood_opts));
+  }
+
+  core::RequestOptions steady_opts;
+  steady_opts.client = 2;
+  for (int n = 0; n < kLockStep; ++n) {
+    const core::DispatchResult result =
+        server.Act(0, observations[0], steady_opts);
+    ASSERT_TRUE(result.ok) << "lock-step request " << n;
+    EXPECT_EQ(result.action[0], want[0]);  // Bit-exact under overload.
+    EXPECT_EQ(result.action[1], want[1]);
+  }
+
+  // Fairness: the lock-step client finished while the flooder still had
+  // queued work — with a single FIFO queue each lock-step request would
+  // have waited behind the entire remaining flood.
+  size_t flood_pending = 0;
+  for (std::future<core::DispatchResult>& f : flood) {
+    if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      ++flood_pending;
+    }
+  }
+  EXPECT_GT(flood_pending, 0u);
+
+  // Drain the flood (un-stalled) and check it too was served bit-exactly.
+  util::FaultInjector::Instance().Reset();
+  uint64_t flood_ok = 0;
+  for (std::future<core::DispatchResult>& f : flood) {
+    const core::DispatchResult result = f.get();
+    if (result.ok) {
+      EXPECT_EQ(result.action[0], want[0]);
+      EXPECT_EQ(result.action[1], want[1]);
+      ++flood_ok;
+    }
+  }
+  server.Stop();
+  EXPECT_EQ(flood_ok, static_cast<uint64_t>(kFlood));
+  EXPECT_EQ(server.Stats().requests_ok,
+            static_cast<uint64_t>(kFlood + kLockStep));
+}
+
+/// Deadline-aware admission: once the batch-service EWMA shows a queued
+/// request cannot meet its deadline, it is refused immediately with
+/// `rejected` (deadline) — an early explicit no beats a late silent expiry.
+/// An EMPTY queue always admits, however slow the last batch was.
+TEST(DispatchServerTest, AdmissionRejectsDeadlineInfeasibleRequests) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 131);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(131));
+
+  core::DispatchConfig config;
+  config.num_sessions = 1;
+  config.max_batch = 1;
+  config.deadline_ms = 100;
+  core::DispatchServer server(env, config);
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<live>"));
+  server.Start();
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 132);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+
+  // Every batch stalls 300 ms — 3x the deadline.
+  util::FaultInjector::Config fault;
+  fault.stall_every = 1;
+  fault.stall_ms = 300;
+  util::FaultInjector::Instance().set_config(fault);
+
+  core::RequestOptions opts;
+  opts.client = 1;
+  // Seed the estimator: the first request expires (300 ms stall > 100 ms
+  // deadline) and teaches the EWMA that a batch takes ~300 ms. It was
+  // ADMITTED (empty queue, no estimate yet) — only ever failed as expired.
+  const core::DispatchResult seed = server.Act(0, observations[0], opts);
+  EXPECT_TRUE(seed.expired);
+
+  // A: drains into the (stalling) batch. B: queued behind it. C: with one
+  // queued request ahead and ewma ~300 ms > the 100 ms deadline, admission
+  // must refuse it instantly.
+  std::future<core::DispatchResult> a =
+      server.ActAsync(0, observations[0], opts);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::future<core::DispatchResult> b =
+      server.ActAsync(0, observations[0], opts);
+  const core::DispatchResult c = server.Act(0, observations[0], opts);
+  EXPECT_TRUE(c.rejected);
+  EXPECT_FALSE(c.expired);
+  EXPECT_EQ(c.reject_reason, core::RejectReason::kDeadline);
+  EXPECT_LT(c.latency_ms, 50.0);  // Refused at admission, not after queuing.
+
+  const core::DispatchResult a_result = a.get();
+  const core::DispatchResult b_result = b.get();
+  EXPECT_TRUE(a_result.expired);
+  EXPECT_TRUE(b_result.expired);
+  util::FaultInjector::Instance().Reset();
+
+  // Empty queue: admitted again despite the terrible EWMA (floor() of the
+  // batches-strictly-ahead estimate — never reject an idle server).
+  const core::DispatchResult after = server.Act(0, observations[0], opts);
+  EXPECT_TRUE(after.ok);
+  server.Stop();
+  const core::DispatchStats stats = server.Stats();
+  EXPECT_EQ(stats.rejected_deadline, 1u);
+  EXPECT_EQ(stats.requests_expired, 3u);
+  EXPECT_GT(stats.ewma_batch_ms, 100.0);
+}
+
+/// Brownout: when the bounded queue fills, a higher-priority arrival
+/// displaces the youngest lowest-priority queued request (shed as
+/// `rejected`/shed); an equal-priority arrival is refused as queue-full.
+/// The overload gauge engages on the way.
+TEST(DispatchServerTest, QueueFullShedsLowestPriorityFirst) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 141);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(141));
+
+  core::DispatchConfig config;
+  config.num_sessions = 1;
+  config.deadline_ms = 0;
+  config.max_queue = 3;
+  core::DispatchServer server(env, config);
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<live>"));
+  server.Start();
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 142);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+
+  util::FaultInjector::Config fault;
+  fault.stall_task = 1;
+  fault.stall_ms = 500;
+  util::FaultInjector::Instance().set_config(fault);
+
+  core::RequestOptions low;
+  low.client = 1;
+  low.priority = 0;
+  core::RequestOptions high;
+  high.client = 2;
+  high.priority = 1;
+
+  // head drains into the stalled batch; q1..q3 fill the queue.
+  std::future<core::DispatchResult> head =
+      server.ActAsync(0, observations[0], low);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::future<core::DispatchResult> q1 =
+      server.ActAsync(0, observations[0], low);
+  std::future<core::DispatchResult> q2 =
+      server.ActAsync(0, observations[0], low);
+  std::future<core::DispatchResult> q3 =
+      server.ActAsync(0, observations[0], low);
+
+  // Equal priority + full queue: refused, with the overload gauge set
+  // (3 queued >= the 3/4 high-water mark of max_queue 3).
+  const core::DispatchResult overflow =
+      server.Act(0, observations[0], low);
+  EXPECT_TRUE(overflow.rejected);
+  EXPECT_EQ(overflow.reject_reason, core::RejectReason::kQueueFull);
+  EXPECT_TRUE(overflow.overloaded);
+
+  // Higher priority: the youngest priority-0 queued request (q3) is shed
+  // to make room.
+  std::future<core::DispatchResult> vip =
+      server.ActAsync(0, observations[0], high);
+  const core::DispatchResult q3_result = q3.get();  // Ready immediately.
+  EXPECT_TRUE(q3_result.rejected);
+  EXPECT_EQ(q3_result.reject_reason, core::RejectReason::kShed);
+
+  util::FaultInjector::Instance().Reset();
+  EXPECT_TRUE(head.get().ok);
+  EXPECT_TRUE(q1.get().ok);
+  EXPECT_TRUE(q2.get().ok);
+  EXPECT_TRUE(vip.get().ok);
+  server.Stop();
+  const core::DispatchStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_ok, 4u);
+  EXPECT_EQ(stats.requests_shed, 1u);
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_GE(stats.overload_entries, 1u);
+  EXPECT_FALSE(stats.overloaded);  // Drained by now (hysteresis exit).
+}
+
+/// CancelClient (the quarantine backend): a disconnected client's queued
+/// requests complete as rejected/disconnect and are counted as shed;
+/// other clients' work is untouched.
+TEST(DispatchServerTest, CancelClientShedsOnlyThatClientsQueuedWork) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 151);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(151));
+
+  core::DispatchConfig config;
+  config.num_sessions = 1;
+  config.deadline_ms = 0;
+  core::DispatchServer server(env, config);
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<live>"));
+  server.Start();
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 152);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+
+  util::FaultInjector::Config fault;
+  fault.stall_task = 1;
+  fault.stall_ms = 400;
+  util::FaultInjector::Instance().set_config(fault);
+
+  core::RequestOptions doomed;
+  doomed.client = 9;
+  core::RequestOptions innocent;
+  innocent.client = 3;
+
+  std::future<core::DispatchResult> head =
+      server.ActAsync(0, observations[0], innocent);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<std::future<core::DispatchResult>> queued;
+  for (int n = 0; n < 5; ++n) {
+    queued.push_back(server.ActAsync(0, observations[0], doomed));
+  }
+  std::future<core::DispatchResult> bystander =
+      server.ActAsync(0, observations[0], innocent);
+
+  server.CancelClient(9);
+  for (std::future<core::DispatchResult>& f : queued) {
+    const core::DispatchResult result = f.get();  // Ready immediately.
+    EXPECT_TRUE(result.rejected);
+    EXPECT_EQ(result.reject_reason, core::RejectReason::kDisconnect);
+  }
+  util::FaultInjector::Instance().Reset();
+  EXPECT_TRUE(head.get().ok);
+  EXPECT_TRUE(bystander.get().ok);  // The innocent client's work survived.
+  server.Stop();
+  const core::DispatchStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_shed, 5u);
+  EXPECT_EQ(stats.requests_ok, 2u);
+}
+
+/// Health() is coherent with served traffic and cheap to call (no
+/// admission-queue locks).
+TEST(DispatchServerTest, HealthReportsVersionCountersAndEstimator) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 161);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(161));
+
+  core::DispatchConfig config;
+  config.num_sessions = 1;
+  config.deadline_ms = 0;
+  core::DispatchServer server(env, config);
+
+  const core::DispatchHealth empty = server.Health();
+  EXPECT_EQ(empty.snapshot_version, 0u);  // Nothing published yet.
+  EXPECT_EQ(empty.queue_depth, 0u);
+
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<live>"));
+  server.Start();
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 162);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+  ASSERT_TRUE(server.Act(0, observations[0]).ok);
+  ASSERT_TRUE(server.Act(0, observations[0]).ok);
+  server.CountQuarantine();
+
+  const core::DispatchHealth health = server.Health();
+  EXPECT_EQ(health.snapshot_version, 1u);
+  EXPECT_EQ(health.requests_ok, 2u);
+  EXPECT_EQ(health.requests_rejected, 0u);
+  EXPECT_EQ(health.requests_shed, 0u);
+  EXPECT_EQ(health.clients_quarantined, 1u);
+  EXPECT_EQ(health.queue_depth, 0u);
+  EXPECT_FALSE(health.overloaded);
+  EXPECT_GT(health.ewma_batch_ms, 0.0);  // Two batches taught the EWMA.
+  server.Stop();
+}
+
+/// SnapshotRegistry accounting satellite: publishes and publish-rejects
+/// race live Act batches; both counters must be exact — no lost
+/// increments. Run under -DAGSC_SANITIZE=thread in the TSan suite.
+TEST(DispatchServerTest, PublishRejectAccountingExactUnderConcurrentLoad) {
+  env::ScEnv env(SmallEnvConfig(), SmallDataset(), 171);
+  core::HiMadrlTrainer trainer(env, SmallTrainConfig(171));
+
+  core::DispatchConfig config;
+  config.num_sessions = 1;
+  config.deadline_ms = 0;
+  core::DispatchServer server(env, config);
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<live>"));
+  server.Start();
+
+  env::ScEnv probe_env(SmallEnvConfig(), SmallDataset(), 172);
+  const std::vector<std::vector<float>> observations =
+      ProbeObservations(probe_env);
+
+  constexpr int kRejectThreads = 4;
+  constexpr int kRejectsPerThread = 250;
+  constexpr int kPublishes = 50;
+  constexpr int kClients = 2;
+  constexpr int kRequestsPerClient = 100;
+
+  std::vector<std::thread> threads;
+  // Corrupt promotions: each failed load increments the reject counter.
+  for (int t = 0; t < kRejectThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int n = 0; n < kRejectsPerThread; ++n) {
+        server.CountPublishReject();
+      }
+    });
+  }
+  // Good promotions swap the live snapshot while clients serve.
+  threads.emplace_back([&] {
+    for (int n = 0; n < kPublishes; ++n) {
+      server.PublishSnapshot(
+          core::PolicySnapshot::FromTrainer(trainer, "<swap>"));
+    }
+  });
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      core::RequestOptions opts;
+      opts.client = static_cast<uint64_t>(c);
+      for (int n = 0; n < kRequestsPerClient; ++n) {
+        const core::DispatchResult result =
+            server.Act(0, observations[0], opts);
+        ASSERT_TRUE(result.ok);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.Stop();
+
+  const core::DispatchStats stats = server.Stats();
+  EXPECT_EQ(stats.publish_rejects,
+            static_cast<uint64_t>(kRejectThreads) * kRejectsPerThread);
+  EXPECT_EQ(stats.publishes, 1u + kPublishes);
+  EXPECT_EQ(stats.requests_ok,
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
 }
 
 }  // namespace

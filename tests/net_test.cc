@@ -133,6 +133,37 @@ TEST(NetTest, ParseHostPortRejectsGarbageWithoutTouchingOutputs) {
   }
 }
 
+/// The parse error names the offending token AND the accepted forms, so a
+/// typo'd --listen/--connect flag is diagnosable from the message alone.
+TEST(NetTest, ParseHostPortErrorNamesOffendingTokenAndAcceptedForms) {
+  std::string host, error;
+  int port = 0;
+
+  ASSERT_FALSE(util::ParseHostPort("nocolon", &host, &port, &error));
+  EXPECT_NE(error.find("'nocolon'"), std::string::npos) << error;
+  EXPECT_NE(error.find("HOST:PORT"), std::string::npos) << error;
+
+  ASSERT_FALSE(util::ParseHostPort("127.0.0.1:70000", &host, &port, &error));
+  EXPECT_NE(error.find("'70000'"), std::string::npos) << error;
+  EXPECT_NE(error.find("0..65535"), std::string::npos) << error;
+
+  ASSERT_FALSE(util::ParseHostPort("127.0.0.1:notaport", &host, &port,
+                                   &error));
+  EXPECT_NE(error.find("'notaport'"), std::string::npos) << error;
+
+  // The host diagnostic must say numeric-only resolution is by design.
+  ASSERT_FALSE(util::ParseHostPort("evil.example.com:80", &host, &port,
+                                   &error));
+  EXPECT_NE(error.find("'evil.example.com'"), std::string::npos) << error;
+  EXPECT_NE(error.find("not resolved"), std::string::npos) << error;
+
+  // Success leaves a previously set error untouched (callers check the
+  // return value, not the string).
+  error = "stale";
+  ASSERT_TRUE(util::ParseHostPort("localhost:80", &host, &port, &error));
+  EXPECT_EQ(error, "stale");
+}
+
 // ---------------------------------------------------------------------------
 // Listener / acceptor.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,30 @@
+# Included by ctest via TEST_INCLUDE_FILES after the gtest-generated
+# registration scripts AND after serving_labels.cmake / net_labels.cmake
+# (tests/CMakeLists.txt appends it last), so the base labels are already
+# set. Adds the "overload" label to the saturation/fairness scenarios in
+# the dispatch and soak suites — `ctest -L overload` runs exactly the
+# admission-control / brownout / quarantine campaign (see README).
+#
+# ctest's testfile interpreter does not support set_property(TEST ... APPEND),
+# only set_tests_properties — so this pass re-states the full label list.
+# Running last makes that deterministic: dispatch_server_test tests carry
+# "fast" (gtest_discover_tests), serving_soak_test tests carry
+# "slow;serving" (serving_labels.cmake).
+set(_agsc_labels_dispatch_server_test "fast;overload")
+set(_agsc_labels_serving_soak_test "slow;serving;overload")
+foreach(_agsc_suite dispatch_server_test serving_soak_test)
+  set(_agsc_labels "${_agsc_labels_${_agsc_suite}}")
+  file(GLOB _agsc_ovl_includes
+       "${CMAKE_CURRENT_LIST_DIR}/${_agsc_suite}*_tests.cmake")
+  foreach(_agsc_file IN LISTS _agsc_ovl_includes)
+    file(STRINGS "${_agsc_file}" _agsc_adds REGEX "add_test")
+    foreach(_agsc_line IN LISTS _agsc_adds)
+      string(REGEX MATCH "add_test\\( *\\[=\\[([^]]+)\\]=\\]" _agsc_m "${_agsc_line}")
+      # Copy the capture out before the next MATCHES clobbers CMAKE_MATCH_1.
+      set(_agsc_name "${CMAKE_MATCH_1}")
+      if(_agsc_name MATCHES "Overload|Fairness|Admission|Quarantine|Flood|Shed|Brownout|Health|PublishRejectAccounting|CancelClient")
+        set_tests_properties("${_agsc_name}" PROPERTIES LABELS "${_agsc_labels}")
+      endif()
+    endforeach()
+  endforeach()
+endforeach()

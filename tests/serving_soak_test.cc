@@ -11,13 +11,19 @@
 // The checkpoint every scenario serves is produced once per suite by a real
 // agsc_train run on the same tiny Purdue problem.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <array>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -34,6 +40,8 @@
 #include "env/sc_env.h"
 #include "map/campus.h"
 #include "util/exit_codes.h"
+#include "util/fault_inject.h"
+#include "util/net.h"
 
 namespace agsc {
 namespace {
@@ -492,6 +500,331 @@ TEST_F(ServingSoakTest, ListenFlagValidationAndNetSetupErrors) {
             util::kExitNetError)
       << FileContents(log);
   std::remove(log.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Overload campaign (`ctest -L overload`): the frontend + dispatch stack
+// driven past saturation with misbehaving clients. The headline scenario is
+// in-process (full control over fault timing and an oracle DispatchServer
+// for bit-exactness); the binary scenario checks the --max-queue /
+// --per-client-inflight flags and the flood-fleet fault knobs end to end.
+// ---------------------------------------------------------------------------
+
+/// The acceptance scenario from the overload issue: the server at ~2x
+/// saturation (every batch stalled) with one FLOODING client (32 requests
+/// pipelined against a per-client cap of 8), one STALLED-DRAIN client
+/// (pipelines hundreds of requests into a deliberately tiny receive buffer
+/// and never reads a byte back), and one WELL-BEHAVED lock-step client.
+/// Must hold simultaneously:
+///  * the well-behaved client's every request is served within the
+///    deadline, bit-identical to an oracle DispatchServer;
+///  * the flooder is bounded by its cap — and every one of its requests
+///    gets an explicit ok/expired/rejected answer (none hang);
+///  * the staller trips the connection write budget and is quarantined;
+///  * a health probe on a dedicated connection sees it all.
+TEST_F(ServingSoakTest, OverloadTwiceSaturationFairnessQuarantineAndHealth) {
+  env::EnvConfig config;
+  config.num_timeslots = 8;
+  config.num_pois = 12;
+  config.num_uavs = 1;
+  config.num_ugvs = 1;
+  env::ScEnv env(config, map::BuildDataset(map::CampusId::kPurdue, 12), 1);
+  core::TrainConfig train;
+  train.net.hidden = {16};
+  train.eoi.hidden = {12};
+  train.seed = 7;
+  train.verbose = false;
+  core::HiMadrlTrainer trainer(env, train);
+  const std::shared_ptr<core::PolicySnapshot> snapshot =
+      core::PolicySnapshot::FromTrainer(trainer, "<overload>");
+
+  core::DispatchConfig dconfig;
+  dconfig.num_sessions = 2;
+  dconfig.max_batch = 4;
+  dconfig.deadline_ms = 250;
+  dconfig.per_client_inflight = 8;
+  dconfig.max_queue = 64;
+  core::DispatchServer served(env, dconfig);
+  served.PublishSnapshot(snapshot);
+  served.Start();
+
+  // The oracle is only stepped AFTER the fault injector is reset (the
+  // stall hook is process-global); deadline 0 = never expires.
+  core::DispatchConfig oconfig = dconfig;
+  oconfig.deadline_ms = 0;
+  oconfig.per_client_inflight = 0;
+  core::DispatchServer oracle(env, oconfig);
+  oracle.PublishSnapshot(snapshot);
+  oracle.Start();
+
+  core::ServeFrontend::Options fopts;
+  fopts.listen_address = "127.0.0.1:0";
+  fopts.write_timeout_ms = 300;  // The write budget under test.
+  fopts.send_buffer_bytes = 4096;
+  fopts.max_pipeline = 512;
+  core::ServeFrontend frontend(served, fopts);
+  frontend.Start();
+  const int port = frontend.bound_port();
+  ASSERT_GT(port, 0);
+
+  // Saturate: every inference batch stalls 20 ms, so the flood below
+  // offers well over 2x what the batcher can drain.
+  util::FaultInjector::Config fault;
+  fault.stall_every = 1;
+  fault.stall_ms = 20;
+  util::FaultInjector::Instance().set_config(fault);
+
+  // Stalled-drain client: a raw socket whose receive buffer is shrunk
+  // BEFORE connect (so the advertised TCP window stays tiny), pipelining
+  // 600 step requests and never reading a response. Responses back up
+  // through its rcvbuf and the frontend's shrunken sndbuf until the
+  // bounded write trips the budget.
+  util::IgnoreSigpipe();
+  const int staller = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(staller, 0);
+  int rcvbuf = 2048;
+  ASSERT_EQ(::setsockopt(staller, SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                         sizeof(rcvbuf)),
+            0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(staller, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  {
+    util::FrameWriter staller_writer(staller);
+    core::ServeStepRequest step;
+    step.session = 1;  // Session 0 belongs to the well-behaved client.
+    const std::string payload = core::EncodeServeStepRequest(step);
+    for (uint64_t seq = 0; seq < 600; ++seq) {
+      ASSERT_EQ(staller_writer.Write(core::kSrvMsgStepRequest, seq, payload,
+                                     /*timeout_ms=*/10000),
+                util::IpcStatus::kOk)
+          << "staller request " << seq;
+    }
+  }
+
+  const env::StepResult initial =
+      env::ScEnv(config, map::BuildDataset(map::CampusId::kPurdue, 12), 1)
+          .Reset();
+  const std::vector<float>& obs = initial.observations[0];
+
+  core::ServeClient flooder;
+  core::ServeClient steady;
+  std::string error;
+  ASSERT_TRUE(flooder.Connect("127.0.0.1", port, 5000, &error)) << error;
+  ASSERT_TRUE(steady.Connect("127.0.0.1", port, 5000, &error)) << error;
+
+  int flood_ok = 0, flood_rejected = 0, flood_expired = 0;
+  std::vector<std::array<float, 2>> flood_actions;
+  std::vector<std::array<float, 2>> steady_actions;
+  for (int round = 0; round < 8; ++round) {
+    // 32 pipelined stateless Acts vs a per-client cap of 8.
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(flooder.SendAct(0, obs, 5000)) << "round " << round;
+    }
+    // The well-behaved client keeps lock-stepping its own session while
+    // the flood is in flight; fairness means it never waits behind the
+    // flood, so the server-measured latency stays within the deadline.
+    for (int i = 0; i < 2; ++i) {
+      core::DispatchResult result;
+      ASSERT_TRUE(steady.StepSession(0, /*timeout_ms=*/20000, result));
+      ASSERT_TRUE(result.ok)
+          << "round " << round << ": well-behaved request failed (reason "
+          << core::RejectReasonName(result.reject_reason) << ")";
+      EXPECT_LE(result.latency_ms, static_cast<double>(dconfig.deadline_ms));
+      steady_actions.push_back({result.action[0], result.action[1]});
+    }
+    for (int i = 0; i < 32; ++i) {
+      core::DispatchResult result;
+      ASSERT_TRUE(flooder.ReadResponse(/*timeout_ms=*/20000, result))
+          << "round " << round << " response " << i;
+      if (result.ok) {
+        ++flood_ok;
+        flood_actions.push_back({result.action[0], result.action[1]});
+      } else if (result.rejected) {
+        EXPECT_EQ(result.reject_reason, core::RejectReason::kClientCap);
+        ++flood_rejected;
+      } else if (result.expired) {
+        ++flood_expired;
+      } else {
+        FAIL() << "flood response without an explicit status";
+      }
+    }
+  }
+  // Every flood request was answered explicitly — served, expired, or
+  // rejected. None hang, none vanish.
+  EXPECT_EQ(flood_ok + flood_rejected + flood_expired, 8 * 32);
+  EXPECT_GE(flood_ok, 1);        // The cap admits, not blackholes.
+  EXPECT_GE(flood_rejected, 1);  // 32 in flight vs cap 8 must reject.
+
+  // Health probe on a DEDICATED connection (so it does not queue behind
+  // pipelined inference responses).
+  core::ServeClient probe;
+  ASSERT_TRUE(probe.Connect("127.0.0.1", port, 5000, &error)) << error;
+  core::DispatchHealth health;
+  ASSERT_TRUE(probe.Health(/*timeout_ms=*/10000, health));
+  EXPECT_EQ(health.snapshot_version, 1u);
+  EXPECT_GE(health.requests_ok, static_cast<uint64_t>(steady_actions.size()));
+  EXPECT_GE(health.requests_rejected, static_cast<uint64_t>(flood_rejected));
+  EXPECT_GT(health.ewma_batch_ms, 0.0);
+
+  // The stalled-drain client tripped its write budget: quarantined, its
+  // connection torn down. (The budget is 300 ms; the generous poll below
+  // only absorbs sanitizer scheduling noise.)
+  const auto quarantine_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (std::chrono::steady_clock::now() < quarantine_deadline &&
+         frontend.clients_quarantined() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(frontend.clients_quarantined(), 1u);
+
+  // ...and from the staller's side: draining the socket hits EOF (or a
+  // reset) — the server really disconnected it, not just stopped talking.
+  ASSERT_TRUE(util::SetNonBlocking(staller, true));
+  bool torn_down = false;
+  char drain[4096];
+  const auto eof_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < eof_deadline) {
+    const ssize_t n = ::recv(staller, drain, sizeof(drain), 0);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      torn_down = true;
+      break;
+    }
+    if (n < 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(torn_down);
+  ::close(staller);
+
+  util::FaultInjector::Instance().Reset();
+  flooder.Close();
+  steady.Close();
+  probe.Close();
+  frontend.Stop();
+
+  // Bit-exactness under overload: the well-behaved client's session-0
+  // stream and the flooder's admitted stateless Acts must match the
+  // oracle bit for bit.
+  for (size_t i = 0; i < steady_actions.size(); ++i) {
+    SCOPED_TRACE("steady step " + std::to_string(i));
+    const core::DispatchResult direct = oracle.StepSession(0);
+    ASSERT_TRUE(direct.ok);
+    EXPECT_EQ(steady_actions[i][0], direct.action[0]);
+    EXPECT_EQ(steady_actions[i][1], direct.action[1]);
+  }
+  const core::DispatchResult direct_act = oracle.Act(0, obs);
+  ASSERT_TRUE(direct_act.ok);
+  for (size_t i = 0; i < flood_actions.size(); ++i) {
+    SCOPED_TRACE("flood act " + std::to_string(i));
+    EXPECT_EQ(flood_actions[i][0], direct_act.action[0]);
+    EXPECT_EQ(flood_actions[i][1], direct_act.action[1]);
+  }
+
+  served.Stop();
+  oracle.Stop();
+  const core::DispatchStats stats = served.Stats();
+  EXPECT_EQ(stats.clients_quarantined, 1u);
+  EXPECT_GE(stats.requests_rejected, static_cast<uint64_t>(flood_rejected));
+}
+
+/// The AGSC_FAULT_STALL_DRAIN_MS knob: every ServeClient response read
+/// sleeps first, simulating a peer that drains its socket slowly. (The
+/// headline scenario's staller never drains at all; this knob is the
+/// throttled variant used by external soak drivers.)
+TEST_F(ServingSoakTest, OverloadStallDrainFaultThrottlesResponseReads) {
+  env::EnvConfig config;
+  config.num_timeslots = 8;
+  config.num_pois = 12;
+  config.num_uavs = 1;
+  config.num_ugvs = 1;
+  env::ScEnv env(config, map::BuildDataset(map::CampusId::kPurdue, 12), 1);
+  core::TrainConfig train;
+  train.net.hidden = {16};
+  train.eoi.hidden = {12};
+  train.seed = 7;
+  train.verbose = false;
+  core::HiMadrlTrainer trainer(env, train);
+
+  core::DispatchConfig dconfig;
+  dconfig.num_sessions = 1;
+  dconfig.deadline_ms = 0;
+  core::DispatchServer server(env, dconfig);
+  server.PublishSnapshot(core::PolicySnapshot::FromTrainer(trainer, "<d>"));
+  server.Start();
+  core::ServeFrontend::Options fopts;
+  fopts.listen_address = "127.0.0.1:0";
+  core::ServeFrontend frontend(server, fopts);
+  frontend.Start();
+
+  util::FaultInjector::Config fault;
+  fault.stall_drain_ms = 60;
+  util::FaultInjector::Instance().set_config(fault);
+
+  core::ServeClient client;
+  std::string error;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", frontend.bound_port(), 5000, &error))
+      << error;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 3; ++i) {
+    core::DispatchResult result;
+    ASSERT_TRUE(client.StepSession(0, /*timeout_ms=*/10000, result));
+    EXPECT_TRUE(result.ok);
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 3 * 60);  // Each read slept before draining.
+
+  util::FaultInjector::Instance().Reset();
+  client.Close();
+  frontend.Stop();
+  server.Stop();
+}
+
+/// End-to-end through the real binary: AGSC_FAULT_FLOOD_CLIENTS turns the
+/// first local fleet client into a flooder (depth 32 vs --per-client-inflight
+/// 4); the run must stay healthy, bound the flooder via the cap, keep the
+/// well-behaved client whole, and account for every request in the flushed
+/// stats JSON.
+TEST_F(ServingSoakTest, OverloadLocalFloodFleetBoundedByCapAndAccounted) {
+  Workspace ws("flood");
+  ASSERT_EQ(RunServe({"--snapshot", Checkpoint(), "--sessions", "2",
+                      "--clients", "2", "--requests", "64", "--deadline-ms",
+                      "300", "--max-queue", "32", "--per-client-inflight",
+                      "4", "--stats-json", ws.stats},
+                     {"AGSC_FAULT_FLOOD_CLIENTS=1",
+                      "AGSC_FAULT_FLOOD_DEPTH=32",
+                      "AGSC_FAULT_STALL_EVERY=2", "AGSC_FAULT_STALL_MS=10"},
+                     ws.log),
+            util::kExitOk)
+      << FileContents(ws.log);
+  const std::string json = FileContents(ws.stats);
+  ASSERT_FALSE(json.empty());
+  // The overload knobs are echoed into the stats (provenance for sweeps).
+  EXPECT_EQ(ExtractCounter(json, "max_queue"), 32);
+  EXPECT_EQ(ExtractCounter(json, "per_client_inflight"), 4);
+  EXPECT_EQ(ExtractCounter(json, "admission"), 1);
+  // The flooder keeps 32 in flight against a cap of 4: rejections are
+  // structural, and specifically client-cap rejections.
+  EXPECT_GE(ExtractCounter(json, "rejected_client_cap"), 1);
+  // The well-behaved client's 64 lock-step requests all land (it never
+  // holds more than one in flight, so no cap or queue limit touches it).
+  EXPECT_GE(ExtractCounter(json, "requests_ok"), 64);
+  // Every request is accounted: served, expired, rejected, or shed.
+  EXPECT_EQ(ExtractCounter(json, "requests_ok") +
+                ExtractCounter(json, "requests_expired") +
+                ExtractCounter(json, "requests_rejected") +
+                ExtractCounter(json, "requests_shed"),
+            128);
+  // Clean landing: queue drained, brownout exited, nobody quarantined.
+  EXPECT_EQ(ExtractCounter(json, "queue_depth"), 0);
+  EXPECT_EQ(ExtractCounter(json, "overloaded"), 0);
+  EXPECT_EQ(ExtractCounter(json, "clients_quarantined"), 0);
 }
 
 TEST_F(ServingSoakTest, VersionFlagPrintsBuildProvenance) {

@@ -3,9 +3,12 @@
 //
 //   agsc_serve --snapshot FILE | --snapshot-dir DIR [--watch]
 //              [--watch-poll-ms MS] [--max-batch N] [--deadline-ms MS]
+//              [--max-queue N] [--per-client-inflight N] [--admission 0|1]
 //              [--sessions S] [--clients C] [--requests N]
 //              [--duration-sec S] [--stats-json FILE]
 //              [--listen HOST:PORT] [--port-file FILE]
+//              [--write-budget-ms MS] [--listen-sndbuf BYTES]
+//              [--max-pipeline N]
 //              [--campus purdue|ncsu] [--timeslots T] [--pois I]
 //              [--uavs U] [--ugvs G] [--subchannels Z] [--height M]
 //              [--threshold DB] [--medium noma|tdma|ofdma]
@@ -37,6 +40,18 @@
 // defaults to none and the process serves until --duration-sec or a
 // signal.
 //
+// Overload control: --max-queue bounds the admission queue (0 =
+// unbounded), --per-client-inflight caps any one client's admitted-but-
+// unserved requests (0 = unlimited), and --admission 0 disables the
+// deadline-aware early-reject estimator. Requests the server refuses get
+// an explicit `rejected` status immediately — they never hang and never
+// expire silently. Per-connection frontend budgets: --write-budget-ms is
+// the slow-client quarantine threshold, --listen-sndbuf shrinks SO_SNDBUF
+// on accepted sockets (testing aid), --max-pipeline bounds per-connection
+// in-flight requests. The AGSC_FAULT_FLOOD_CLIENTS / FLOOD_DEPTH /
+// STALL_DRAIN_MS / STALL_EVERY env knobs turn the local fleet (and any
+// ServeClient) into misbehaving load generators for the soak campaign.
+//
 // On exit the final serving stats are flushed as JSON (atomically, with
 // retry) to --stats-json. SIGINT/SIGTERM stop serving cooperatively: the
 // stats still flush, and the process exits with code 8.
@@ -50,7 +65,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -81,6 +98,12 @@ struct Args {
   int watch_poll_ms = 200;
   int max_batch = 64;
   int deadline_ms = 50;
+  int max_queue = 1024;
+  int per_client_inflight = 0;
+  int admission = 1;
+  int write_budget_ms = 5000;
+  int listen_sndbuf = 0;
+  int max_pipeline = 256;
   int sessions = 4;
   int clients = 0;  ///< 0 = one per session (none with --listen).
   bool clients_set = false;
@@ -162,6 +185,27 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (!next_int("--max-batch", 1, 65536, &args.max_batch)) return false;
     } else if (flag == "--deadline-ms") {
       if (!next_int("--deadline-ms", 0, 3600000, &args.deadline_ms)) {
+        return false;
+      }
+    } else if (flag == "--max-queue") {
+      if (!next_int("--max-queue", 0, kMaxInt, &args.max_queue)) return false;
+    } else if (flag == "--per-client-inflight") {
+      if (!next_int("--per-client-inflight", 0, kMaxInt,
+                    &args.per_client_inflight)) {
+        return false;
+      }
+    } else if (flag == "--admission") {
+      if (!next_int("--admission", 0, 1, &args.admission)) return false;
+    } else if (flag == "--write-budget-ms") {
+      if (!next_int("--write-budget-ms", 1, 3600000, &args.write_budget_ms)) {
+        return false;
+      }
+    } else if (flag == "--listen-sndbuf") {
+      if (!next_int("--listen-sndbuf", 0, kMaxInt, &args.listen_sndbuf)) {
+        return false;
+      }
+    } else if (flag == "--max-pipeline") {
+      if (!next_int("--max-pipeline", 1, 65536, &args.max_pipeline)) {
         return false;
       }
     } else if (flag == "--sessions") {
@@ -281,8 +325,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
 void PrintUsage(std::ostream& out) {
   out << "usage: agsc_serve --snapshot FILE | --snapshot-dir DIR [--watch]\n"
          "  [--watch-poll-ms MS] [--max-batch N] [--deadline-ms MS]\n"
+         "  [--max-queue N] [--per-client-inflight N] [--admission 0|1]\n"
          "  [--sessions S] [--clients C] [--requests N] [--duration-sec S]\n"
          "  [--stats-json FILE] [--listen HOST:PORT] [--port-file FILE]\n"
+         "  [--write-budget-ms MS] [--listen-sndbuf BYTES] [--max-pipeline N]\n"
          "  [--campus purdue|ncsu] [--timeslots T] [--pois I] [--uavs U]\n"
          "  [--ugvs G] [--subchannels Z] [--height M] [--threshold DB]\n"
          "  [--medium noma|tdma|ofdma] [--env-channel-scalar]\n"
@@ -330,10 +376,23 @@ std::string StatsJson(const Args& args, int num_clients,
       << "  \"clients\": " << num_clients << ",\n"
       << "  \"max_batch\": " << args.max_batch << ",\n"
       << "  \"deadline_ms\": " << args.deadline_ms << ",\n"
+      << "  \"max_queue\": " << args.max_queue << ",\n"
+      << "  \"per_client_inflight\": " << args.per_client_inflight << ",\n"
+      << "  \"admission\": " << args.admission << ",\n"
       << "  \"elapsed_sec\": " << elapsed_sec << ",\n"
       << "  \"client_steps\": " << client_steps << ",\n"
       << "  \"requests_ok\": " << s.requests_ok << ",\n"
       << "  \"requests_expired\": " << s.requests_expired << ",\n"
+      << "  \"requests_rejected\": " << s.requests_rejected << ",\n"
+      << "  \"rejected_queue_full\": " << s.rejected_queue_full << ",\n"
+      << "  \"rejected_client_cap\": " << s.rejected_client_cap << ",\n"
+      << "  \"rejected_deadline\": " << s.rejected_deadline << ",\n"
+      << "  \"requests_shed\": " << s.requests_shed << ",\n"
+      << "  \"overload_entries\": " << s.overload_entries << ",\n"
+      << "  \"overloaded\": " << (s.overloaded ? 1 : 0) << ",\n"
+      << "  \"queue_depth\": " << s.queue_depth << ",\n"
+      << "  \"ewma_batch_ms\": " << s.ewma_batch_ms << ",\n"
+      << "  \"clients_quarantined\": " << s.clients_quarantined << ",\n"
       << "  \"requests_shutdown\": " << s.requests_shutdown << ",\n"
       << "  \"requests_no_snapshot\": " << s.requests_no_snapshot << ",\n"
       << "  \"requests_invalid\": " << s.requests_invalid << ",\n"
@@ -420,6 +479,9 @@ int main(int argc, char** argv) {
   dispatch.num_sessions = args.sessions;
   dispatch.max_batch = args.max_batch;
   dispatch.deadline_ms = args.deadline_ms;
+  dispatch.max_queue = args.max_queue;
+  dispatch.per_client_inflight = args.per_client_inflight;
+  dispatch.admission = args.admission != 0;
   dispatch.seed = args.seed;
   core::DispatchServer server(env, dispatch);
 
@@ -468,6 +530,9 @@ int main(int argc, char** argv) {
   if (!args.listen.empty()) {
     core::ServeFrontend::Options fopts;
     fopts.listen_address = args.listen;
+    fopts.write_timeout_ms = args.write_budget_ms;
+    fopts.send_buffer_bytes = args.listen_sndbuf;
+    fopts.max_pipeline = args.max_pipeline;
     try {
       frontend = std::make_unique<core::ServeFrontend>(server, fopts);
     } catch (const util::NetError& e) {
@@ -546,16 +611,52 @@ int main(int argc, char** argv) {
   std::atomic<uint64_t> client_steps{0};
   std::vector<std::thread> clients;
   clients.reserve(static_cast<size_t>(num_clients));
+  const int flood_clients = util::FaultInjector::Instance().FloodClients();
+  const int flood_depth = util::FaultInjector::Instance().FloodDepth();
   for (int c = 0; c < num_clients; ++c) {
-    clients.emplace_back([&, c] {
+    const bool flooder = c < flood_clients;
+    clients.emplace_back([&, c, flooder] {
+      core::RequestOptions opts;
+      opts.client = static_cast<uint64_t>(c);
       int session = c % server.num_sessions();
-      for (int n = 0; args.requests == 0 || n < args.requests; ++n) {
-        if (util::ShutdownRequested()) break;
-        if (std::chrono::steady_clock::now() >= deadline) break;
-        const core::DispatchResult result = server.StepSession(session);
-        if (result.shutdown) break;
-        client_steps.fetch_add(1, std::memory_order_relaxed);
-        session = (session + num_clients) % server.num_sessions();
+      if (!flooder) {
+        // Well-behaved client: lock-step request/response.
+        for (int n = 0; args.requests == 0 || n < args.requests; ++n) {
+          if (util::ShutdownRequested()) break;
+          if (std::chrono::steady_clock::now() >= deadline) break;
+          const core::DispatchResult result =
+              server.StepSession(session, opts);
+          if (result.shutdown) break;
+          client_steps.fetch_add(1, std::memory_order_relaxed);
+          session = (session + num_clients) % server.num_sessions();
+        }
+        return;
+      }
+      // Flooding client (AGSC_FAULT_FLOOD_CLIENTS): keeps flood_depth
+      // async requests in flight instead of pacing itself on responses —
+      // the admission queue and per-client cap must contain it.
+      std::deque<std::future<core::DispatchResult>> inflight;
+      int sent = 0;
+      bool stop = false;
+      while (!stop || !inflight.empty()) {
+        while (!stop &&
+               inflight.size() < static_cast<size_t>(flood_depth) &&
+               (args.requests == 0 || sent < args.requests)) {
+          if (util::ShutdownRequested() ||
+              std::chrono::steady_clock::now() >= deadline) {
+            stop = true;
+            break;
+          }
+          inflight.push_back(server.StepSessionAsync(session, opts));
+          ++sent;
+          session = (session + num_clients) % server.num_sessions();
+        }
+        if (args.requests != 0 && sent >= args.requests) stop = true;
+        if (inflight.empty()) continue;
+        const core::DispatchResult result = inflight.front().get();
+        inflight.pop_front();
+        if (result.shutdown) stop = true;
+        if (result.ok) client_steps.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -582,11 +683,16 @@ int main(int argc, char** argv) {
     const double reqs =
         static_cast<double>(stats.requests_ok + stats.requests_expired);
     std::cout << "served " << stats.requests_ok << " ok, "
-              << stats.requests_expired << " expired in " << elapsed_sec
-              << "s (" << (elapsed_sec > 0 ? reqs / elapsed_sec : 0.0)
+              << stats.requests_expired << " expired, "
+              << stats.requests_rejected << " rejected, "
+              << stats.requests_shed << " shed in " << elapsed_sec << "s ("
+              << (elapsed_sec > 0 ? reqs / elapsed_sec : 0.0)
               << " req/s, p50 " << stats.latency_p50_ms << " ms, p99 "
               << stats.latency_p99_ms << " ms, " << stats.publishes
-              << " publishes, " << stats.publish_rejects << " rejects)\n";
+              << " publishes, " << stats.publish_rejects
+              << " publish-rejects, " << stats.overload_entries
+              << " overload entries, " << stats.clients_quarantined
+              << " quarantined)\n";
   }
 
   // Final stats flush — also on signal stop. A persistent write failure is

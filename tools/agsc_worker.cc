@@ -460,8 +460,17 @@ int main(int argc, char** argv) {
   if (connect.empty()) return PipeMain(worker_id, incarnation);
   std::string host;
   int port = 0;
-  if (!agsc::util::ParseHostPort(connect, &host, &port) || port == 0) {
-    std::fprintf(stderr, "agsc_worker: bad --connect address '%s'\n",
+  std::string parse_error;
+  if (!agsc::util::ParseHostPort(connect, &host, &port, &parse_error)) {
+    std::fprintf(stderr, "agsc_worker: bad --connect address: %s\n",
+                 parse_error.c_str());
+    return agsc::util::kExitUsage;
+  }
+  if (port == 0) {
+    std::fprintf(stderr,
+                 "agsc_worker: bad --connect address '%s': port 0 is "
+                 "listen-only (kernel-picked); connecting needs the "
+                 "trainer's actual port\n",
                  connect.c_str());
     return agsc::util::kExitUsage;
   }
